@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! number of vector lanes, width of the L2 vector-cache port, and vector
+//! chaining.  Each point runs the motion-estimation-heavy MPEG-2 encoder on
+//! a 2-issue Vector2 machine with one parameter varied.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmv_core::run_one;
+use vmv_kernels::Benchmark;
+use vmv_machine::presets;
+use vmv_mem::MemoryModel;
+
+fn bench_lanes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vector_lanes");
+    g.sample_size(10);
+    for lanes in [1u32, 2, 4, 8] {
+        let mut machine = presets::vector2(2);
+        machine.vector_lanes = lanes;
+        machine.name = format!("2w +Vector2 lanes={lanes}");
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| {
+                let o = run_one(Benchmark::JpegEnc, &machine, MemoryModel::Perfect).unwrap();
+                assert!(o.check_failures.is_empty());
+                o.stats.cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_port_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_l2_port_width");
+    g.sample_size(10);
+    for elems in [1u32, 2, 4, 8] {
+        let mut machine = presets::vector2(2);
+        machine.l2_port_elems = elems;
+        machine.name = format!("2w +Vector2 port={elems}x64b");
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| {
+                let o = run_one(Benchmark::JpegDec, &machine, MemoryModel::Perfect).unwrap();
+                assert!(o.check_failures.is_empty());
+                o.stats.cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chaining");
+    g.sample_size(10);
+    for chaining in [true, false] {
+        let mut machine = presets::vector2(2);
+        machine.chaining = chaining;
+        machine.name = format!("2w +Vector2 chaining={chaining}");
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| {
+                let o = run_one(Benchmark::Mpeg2Enc, &machine, MemoryModel::Perfect).unwrap();
+                assert!(o.check_failures.is_empty());
+                o.stats.cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lanes, bench_port_width, bench_chaining);
+criterion_main!(benches);

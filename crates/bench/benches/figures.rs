@@ -1,0 +1,89 @@
+//! Criterion benches: one group per table / figure of the paper.
+//!
+//! Each group measures the end-to-end pipeline (kernel construction, static
+//! scheduling, cycle-level simulation) for the representative configuration
+//! points of that figure, so `cargo bench` both exercises the reproduction
+//! paths and reports how expensive each experiment is to regenerate.  The
+//! complete artefacts themselves are produced by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmv_core::run_one;
+use vmv_kernels::Benchmark;
+use vmv_machine::{presets, MachineConfig};
+use vmv_mem::MemoryModel;
+
+fn run(bench: Benchmark, machine: &MachineConfig, model: MemoryModel) -> u64 {
+    let outcome = run_one(bench, machine, model).expect("run succeeds");
+    assert!(outcome.check_failures.is_empty(), "functional checks must pass");
+    outcome.stats.cycles()
+}
+
+/// Table 1: vectorisation percentage comes from the 2-issue µSIMD runs.
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_vector_regions");
+    g.sample_size(10);
+    let machine = presets::usimd(2);
+    for bench in [Benchmark::JpegEnc, Benchmark::GsmDec] {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| run(bench, &machine, MemoryModel::Realistic))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 1: scalability of the µSIMD machines (2/4/8-issue points).
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_scalability");
+    g.sample_size(10);
+    for machine in [presets::usimd(2), presets::usimd(4), presets::usimd(8)] {
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| run(Benchmark::Mpeg2Dec, &machine, MemoryModel::Realistic))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: vector-region speed-ups, perfect vs realistic memory.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_vector_regions");
+    g.sample_size(10);
+    let vector = presets::vector2(2);
+    g.bench_function("mpeg2_enc perfect", |b| {
+        b.iter(|| run(Benchmark::Mpeg2Enc, &vector, MemoryModel::Perfect))
+    });
+    g.bench_function("mpeg2_enc realistic", |b| {
+        b.iter(|| run(Benchmark::Mpeg2Enc, &vector, MemoryModel::Realistic))
+    });
+    let usimd = presets::usimd(8);
+    g.bench_function("mpeg2_enc 8w usimd realistic", |b| {
+        b.iter(|| run(Benchmark::Mpeg2Enc, &usimd, MemoryModel::Realistic))
+    });
+    g.finish();
+}
+
+/// Figure 6 / Table 3: whole-application runs on the three ISA families.
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_applications");
+    g.sample_size(10);
+    for machine in [presets::vliw(2), presets::usimd(2), presets::vector1(2), presets::vector2(4)] {
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| run(Benchmark::JpegEnc, &machine, MemoryModel::Realistic))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: operation-count comparison only needs the 2-issue machines.
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_operation_counts");
+    g.sample_size(10);
+    for machine in [presets::vliw(2), presets::usimd(2), presets::vector2(2)] {
+        g.bench_function(machine.name.clone(), |b| {
+            b.iter(|| run(Benchmark::GsmEnc, &machine, MemoryModel::Realistic))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_fig1, bench_fig5, bench_fig6, bench_fig7);
+criterion_main!(benches);

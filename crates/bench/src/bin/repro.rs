@@ -1,0 +1,96 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p vmv-bench --bin repro            # everything
+//! cargo run --release -p vmv-bench --bin repro -- fig6    # one artefact
+//! ```
+//!
+//! Valid selectors: `table1`, `fig1`, `fig5a`, `fig5b`, `fig6`, `fig7`,
+//! `table3`, `all` (default).
+
+use vmv_core::Suite;
+use vmv_mem::MemoryModel;
+
+fn main() {
+    let selector = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+
+    let need_perfect = matches!(selector.as_str(), "all" | "fig5a");
+    let need_realistic = selector != "fig5a";
+
+    let perfect = if need_perfect {
+        Some(Suite::run_all_configs(MemoryModel::Perfect).expect("perfect-memory suite"))
+    } else {
+        None
+    };
+    let realistic = if need_realistic {
+        Some(Suite::run_all_configs(MemoryModel::Realistic).expect("realistic-memory suite"))
+    } else {
+        None
+    };
+
+    for suite in [perfect.as_ref(), realistic.as_ref()].into_iter().flatten() {
+        let failed = suite.failed();
+        if !failed.is_empty() {
+            eprintln!("WARNING: {} runs failed their output checks", failed.len());
+            for f in failed {
+                eprintln!("  {} / {} / {:?}: {:?}", f.config, f.benchmark.name(), f.variant, f.check_failures);
+            }
+        }
+    }
+
+    match selector.as_str() {
+        "all" => {
+            let p = perfect.as_ref().unwrap();
+            let r = realistic.as_ref().unwrap();
+            println!("{}", vmv_bench::render_everything(p, r));
+        }
+        "table1" => {
+            let r = realistic.as_ref().unwrap();
+            println!("{}", vmv_core::render_table1(&vmv_core::table1(r)));
+        }
+        "fig1" => {
+            let r = realistic.as_ref().unwrap();
+            let f1 = vmv_core::fig1(r);
+            println!("{}", vmv_core::render_fig1(&f1));
+            let t1 = vmv_core::table1(r);
+            let s = vmv_core::fig1_summary(&f1, &t1);
+            println!(
+                "section-2 aggregates: scalar 2->4w {:.2}x, scalar 4->8w {:.2}x, vector at 8w {:.2}x, avg vect {:.1}%",
+                s.scalar_2_to_4, s.scalar_4_to_8, s.vector_at_8, 100.0 * s.avg_vectorization
+            );
+        }
+        "fig5a" => {
+            let p = perfect.as_ref().unwrap();
+            println!("Figure 5a (perfect memory)");
+            println!("{}", vmv_core::render_chart(&vmv_core::fig5(p)));
+        }
+        "fig5b" => {
+            let r = realistic.as_ref().unwrap();
+            println!("Figure 5b (realistic memory)");
+            println!("{}", vmv_core::render_chart(&vmv_core::fig5(r)));
+        }
+        "fig6" => {
+            let r = realistic.as_ref().unwrap();
+            println!("Figure 6 (complete applications)");
+            println!("{}", vmv_core::render_chart(&vmv_core::fig6(r)));
+        }
+        "fig7" => {
+            let r = realistic.as_ref().unwrap();
+            println!("{}", vmv_core::render_fig7(&vmv_core::fig7(r)));
+            let s7 = vmv_core::fig7_summary(r);
+            println!(
+                "vector vs uSIMD operation reduction: {:.1}% (vector regions), {:.1}% (application)",
+                100.0 * s7.vector_region_reduction,
+                100.0 * s7.application_reduction
+            );
+        }
+        "table3" => {
+            let r = realistic.as_ref().unwrap();
+            println!("{}", vmv_core::render_table3(&vmv_core::table3(r)));
+        }
+        other => {
+            eprintln!("unknown selector '{other}' (use table1|fig1|fig5a|fig5b|fig6|fig7|table3|all)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The experiment driver: runs every benchmark on every processor
+//! configuration of Table 2 and collects per-region statistics, exactly the
+//! measurement matrix behind the paper's evaluation (§5).
+//!
+//! Each configuration executes the benchmark version written for its ISA
+//! (§4.1): the plain-VLIW configurations run the scalar code, the
+//! µSIMD-VLIW configurations the µSIMD code and the Vector-µSIMD-VLIW
+//! configurations the Vector-µSIMD code.  Every run is checked against the
+//! golden reference outputs, so a timing result is only reported for a
+//! functionally correct execution.
+
+use vmv_kernels::{Benchmark, IsaVariant};
+use vmv_machine::{IsaSupport, MachineConfig};
+use vmv_mem::MemoryModel;
+use vmv_sim::{RunStats, SimOptions, Simulator};
+
+/// Result of one (benchmark, configuration) run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Configuration name (e.g. "4w +Vector2").
+    pub config: String,
+    pub benchmark: Benchmark,
+    pub variant: IsaVariant,
+    pub memory_model: MemoryModel,
+    pub stats: RunStats,
+    /// Names of output checks that failed (empty = bit-exact).
+    pub check_failures: Vec<String>,
+}
+
+/// Errors from the experiment driver.
+#[derive(Debug)]
+pub enum ExperimentError {
+    Compile(String),
+    Simulation(String),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "compile error: {e}"),
+            ExperimentError::Simulation(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+impl std::error::Error for ExperimentError {}
+
+/// ISA variant a machine configuration executes (paper §4.1).
+pub fn variant_for(machine: &MachineConfig) -> IsaVariant {
+    match machine.isa {
+        IsaSupport::Vliw => IsaVariant::Scalar,
+        IsaSupport::Usimd => IsaVariant::Usimd,
+        IsaSupport::Vector => IsaVariant::Vector,
+    }
+}
+
+/// Compile and simulate one benchmark on one machine configuration.
+pub fn run_one(
+    benchmark: Benchmark,
+    machine: &MachineConfig,
+    model: MemoryModel,
+) -> Result<RunOutcome, ExperimentError> {
+    let variant = variant_for(machine);
+    let build = benchmark.build(variant);
+    let compiled = vmv_sched::compile(&build.program, machine)
+        .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
+    let mut sim = Simulator::new(
+        machine,
+        SimOptions {
+            memory_model: model,
+            mem_size: build.mem_size.max(1 << 20),
+            max_cycles: 2_000_000_000,
+        },
+    );
+    for (addr, bytes) in &build.init {
+        sim.mem.write_bytes(*addr, bytes);
+    }
+    let stats = sim
+        .run(&compiled.program)
+        .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
+    let check_failures = build.failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len));
+    Ok(RunOutcome {
+        config: machine.name.clone(),
+        benchmark,
+        variant,
+        memory_model: model,
+        stats,
+        check_failures,
+    })
+}
+
+/// The complete measurement matrix for one memory model: every benchmark on
+/// every configuration in `machines`.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    pub model: MemoryModel,
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl Suite {
+    /// Run all benchmarks on all configurations.  Benchmarks are distributed
+    /// across worker threads (the simulator is single-threaded per run).
+    pub fn run(machines: &[MachineConfig], model: MemoryModel) -> Result<Suite, ExperimentError> {
+        let mut jobs: Vec<(Benchmark, MachineConfig)> = Vec::new();
+        for &bench in &Benchmark::ALL {
+            for m in machines {
+                jobs.push((bench, m.clone()));
+            }
+        }
+        let results: std::sync::Mutex<Vec<RunOutcome>> = std::sync::Mutex::new(Vec::new());
+        let errors: std::sync::Mutex<Vec<ExperimentError>> = std::sync::Mutex::new(Vec::new());
+        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (bench, machine) = &jobs[i];
+                    match run_one(*bench, machine, model) {
+                        Ok(outcome) => results.lock().unwrap().push(outcome),
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let errors = errors.into_inner().unwrap();
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
+        let mut outcomes = results.into_inner().unwrap();
+        outcomes.sort_by(|a, b| (a.benchmark, a.config.clone()).cmp(&(b.benchmark, b.config.clone())));
+        Ok(Suite { model, outcomes })
+    }
+
+    /// Run the full ten-configuration matrix of Table 2.
+    pub fn run_all_configs(model: MemoryModel) -> Result<Suite, ExperimentError> {
+        Suite::run(&vmv_machine::all_configs(), model)
+    }
+
+    /// Look up the outcome for a configuration (by name) and benchmark.
+    pub fn get(&self, config: &str, benchmark: Benchmark) -> Option<&RunOutcome> {
+        self.outcomes.iter().find(|o| o.config == config && o.benchmark == benchmark)
+    }
+
+    /// All outcomes with failed correctness checks.
+    pub fn failed(&self) -> Vec<&RunOutcome> {
+        self.outcomes.iter().filter(|o| !o.check_failures.is_empty()).collect()
+    }
+}

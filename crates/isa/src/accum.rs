@@ -1,0 +1,175 @@
+//! Packed accumulators (192-bit), modeled after the MDMX-style accumulators
+//! referenced in paper §3.1.
+//!
+//! A packed accumulator holds one wide sub-accumulator per packed lane:
+//! * operating on 8-bit lanes, it holds eight 24-bit sub-accumulators;
+//! * operating on 16-bit lanes, it holds four 48-bit sub-accumulators;
+//! * operating on 32-bit lanes, it holds two 96-bit sub-accumulators.
+//!
+//! The architectural state is 192 bits regardless of the view.  For
+//! simulation we keep each sub-accumulator in an `i64` (wide enough for the
+//! 24- and 48-bit views used by the kernels; the 96-bit view is clamped to
+//! `i64`, which the reduction operations never exceed in practice) and
+//! saturate to the architectural width on every update so the observable
+//! values match a real 192-bit implementation bit-for-bit.
+
+use crate::packed::{self, Elem};
+
+/// A 192-bit packed accumulator register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accumulator {
+    /// Sub-accumulator values, lane 0 first.  Only the first `lanes()`
+    /// entries for the element width in use are meaningful; unused entries
+    /// stay at zero.
+    lanes: [i64; 8],
+}
+
+impl Accumulator {
+    /// A cleared accumulator (all sub-accumulators zero).
+    pub const fn zero() -> Self {
+        Accumulator { lanes: [0; 8] }
+    }
+
+    /// Clear every sub-accumulator.
+    pub fn clear(&mut self) {
+        self.lanes = [0; 8];
+    }
+
+    /// Architectural width, in bits, of one sub-accumulator for a given
+    /// element view: 192 bits split evenly across the lanes.
+    pub const fn sub_bits(e: Elem) -> u32 {
+        192 / (e.lanes() as u32)
+    }
+
+    /// Read one sub-accumulator.
+    pub fn lane(&self, i: usize) -> i64 {
+        self.lanes[i]
+    }
+
+    /// Raw access to all 8 sub-accumulator slots.
+    pub fn raw(&self) -> [i64; 8] {
+        self.lanes
+    }
+
+    /// Overwrite one sub-accumulator (saturating to the architectural width
+    /// of the given element view).
+    pub fn set_lane(&mut self, e: Elem, i: usize, v: i64) {
+        self.lanes[i] = clamp_to_bits(v, Self::sub_bits(e));
+    }
+
+    /// Accumulate `v` into sub-accumulator `i`, saturating at the
+    /// architectural sub-accumulator width.
+    pub fn accumulate(&mut self, e: Elem, i: usize, v: i64) {
+        let bits = Self::sub_bits(e);
+        let sum = self.lanes[i].saturating_add(v);
+        self.lanes[i] = clamp_to_bits(sum, bits);
+    }
+
+    /// Accumulate the element-wise unsigned absolute differences of two
+    /// packed words (the `SAD` operation of the paper's motion-estimation
+    /// example, Fig. 4).  Uses the 8-bit element view.
+    pub fn sad_accumulate_u8(&mut self, a: u64, b: u64) {
+        for i in 0..8 {
+            let x = packed::lane_u(a, Elem::B, i) as i64;
+            let y = packed::lane_u(b, Elem::B, i) as i64;
+            self.accumulate(Elem::B, i, (x - y).abs());
+        }
+    }
+
+    /// Multiply-accumulate of signed 16-bit lanes: `acc[i] += a[i] * b[i]`.
+    pub fn mac_i16(&mut self, a: u64, b: u64) {
+        for i in 0..4 {
+            let x = packed::lane_s(a, Elem::H, i);
+            let y = packed::lane_s(b, Elem::H, i);
+            self.accumulate(Elem::H, i, x * y);
+        }
+    }
+
+    /// Accumulate signed 16-bit lanes without multiplication:
+    /// `acc[i] += a[i]`.
+    pub fn add_i16(&mut self, a: u64) {
+        for i in 0..4 {
+            self.accumulate(Elem::H, i, packed::lane_s(a, Elem::H, i));
+        }
+    }
+
+    /// Accumulate unsigned 8-bit lanes: `acc[i] += a[i]`.
+    pub fn add_u8(&mut self, a: u64) {
+        for i in 0..8 {
+            self.accumulate(Elem::B, i, packed::lane_u(a, Elem::B, i) as i64);
+        }
+    }
+
+    /// Reduce (sum) every sub-accumulator into a single scalar.  This is the
+    /// final cross-lane reduction that only one of the vector lanes performs
+    /// (paper §3.2).
+    pub fn reduce(&self) -> i64 {
+        self.lanes.iter().copied().fold(0i64, i64::saturating_add)
+    }
+}
+
+/// Saturate `v` to a signed two's-complement value of `bits` bits.
+fn clamp_to_bits(v: i64, bits: u32) -> i64 {
+    if bits >= 64 {
+        return v;
+    }
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    v.clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::{pack_i16x4, pack_u8x8};
+
+    #[test]
+    fn sub_accumulator_widths() {
+        assert_eq!(Accumulator::sub_bits(Elem::B), 24);
+        assert_eq!(Accumulator::sub_bits(Elem::H), 48);
+        assert_eq!(Accumulator::sub_bits(Elem::W), 96);
+    }
+
+    #[test]
+    fn sad_accumulate_matches_manual_sum() {
+        let mut acc = Accumulator::zero();
+        let a = pack_u8x8([10, 20, 30, 40, 50, 60, 70, 80]);
+        let b = pack_u8x8([80, 70, 60, 50, 40, 30, 20, 10]);
+        acc.sad_accumulate_u8(a, b);
+        acc.sad_accumulate_u8(a, b);
+        let expect: i64 = 2 * (70 + 50 + 30 + 10 + 10 + 30 + 50 + 70);
+        assert_eq!(acc.reduce(), expect);
+    }
+
+    #[test]
+    fn mac_i16_accumulates_products() {
+        let mut acc = Accumulator::zero();
+        acc.mac_i16(pack_i16x4([2, -3, 4, 5]), pack_i16x4([10, 10, -10, 10]));
+        acc.mac_i16(pack_i16x4([1, 1, 1, 1]), pack_i16x4([1, 1, 1, 1]));
+        assert_eq!(acc.lane(0), 21);
+        assert_eq!(acc.lane(1), -29);
+        assert_eq!(acc.lane(2), -39);
+        assert_eq!(acc.lane(3), 51);
+        assert_eq!(acc.reduce(), 21 - 29 - 39 + 51);
+    }
+
+    #[test]
+    fn accumulate_saturates_at_sub_width() {
+        let mut acc = Accumulator::zero();
+        // 24-bit signed max is 8_388_607.
+        for _ in 0..40_000 {
+            acc.accumulate(Elem::B, 0, 255);
+        }
+        assert_eq!(acc.lane(0), (1 << 23) - 1);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut acc = Accumulator::zero();
+        acc.add_u8(pack_u8x8([1; 8]));
+        assert_eq!(acc.reduce(), 8);
+        acc.clear();
+        assert_eq!(acc.reduce(), 0);
+        assert_eq!(acc, Accumulator::zero());
+    }
+}

@@ -1,0 +1,735 @@
+//! An ergonomic builder for hand-writing programs in the three ISAs.
+//!
+//! The paper's methodology (§3.3, §4.1) relies on *emulation libraries*: the
+//! benchmarks are hand-written with µSIMD and Vector-µSIMD operations and the
+//! compiler replaces the emulation calls with the corresponding low-level
+//! operations.  `ProgramBuilder` plays exactly that role here: the kernels in
+//! `vmv-kernels` are written against this API and produce `Program`s that the
+//! static scheduler (`vmv-sched`) then schedules for a particular machine
+//! configuration.
+//!
+//! Registers allocated through the builder are *virtual*; the register
+//! allocator in `vmv-sched` later maps them onto the architectural register
+//! files of Table 2.
+
+use crate::opcode::{BrCond, MemWidth, Opcode};
+use crate::packed::{Elem, Sat, Sign};
+use crate::program::{BasicBlock, Op, Program, RegionId, RegionInfo};
+use crate::reg::{Reg, RegClass};
+
+/// Builder for [`Program`]s.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    current: Option<usize>,
+    next_index: [u32; 4],
+    region: RegionId,
+    /// Last compile-time-known vector length (simple data-flow analysis of
+    /// `SetVL`, paper §3.3).
+    known_vl: Option<u32>,
+    /// Last compile-time-known vector stride in bytes.
+    known_vs: Option<i64>,
+    label_counter: u32,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            program: Program::new(name),
+            current: None,
+            next_index: [0; 4],
+            region: RegionId::SCALAR,
+            known_vl: None,
+            known_vs: None,
+            label_counter: 0,
+        }
+    }
+
+    /// Finish building and return the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+
+    // ------------------------------------------------------------- regions
+
+    /// Declare a vector region and switch the builder into it.  Blocks
+    /// created until the next region switch belong to this region.
+    pub fn begin_region(&mut self, id: u32, name: impl Into<String>) {
+        let id = RegionId(id);
+        if self.program.region_info(id).is_none() {
+            self.program.regions.push(RegionInfo { id, name: name.into() });
+        }
+        self.region = id;
+        // Region boundaries always start a fresh block so cycle accounting
+        // can attribute whole blocks to a single region.
+        self.auto_label("region");
+    }
+
+    /// Switch back to the scalar region (region 0).
+    pub fn end_region(&mut self) {
+        self.region = RegionId::SCALAR;
+        self.auto_label("scalar");
+    }
+
+    /// The region the builder is currently emitting into.
+    pub fn current_region(&self) -> RegionId {
+        self.region
+    }
+
+    // -------------------------------------------------------------- blocks
+
+    /// Start a new basic block with an explicit label.
+    pub fn label(&mut self, label: impl Into<String>) {
+        let block = BasicBlock::new(label, self.region);
+        self.program.blocks.push(block);
+        self.current = Some(self.program.blocks.len() - 1);
+    }
+
+    /// Start a new basic block with a generated (unique) label and return it.
+    pub fn auto_label(&mut self, prefix: &str) -> String {
+        let label = format!("{prefix}_{}", self.label_counter);
+        self.label_counter += 1;
+        self.label(label.clone());
+        label
+    }
+
+    /// Generate a fresh label name without starting a block (for forward
+    /// branch targets).
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        let label = format!("{prefix}_{}", self.label_counter);
+        self.label_counter += 1;
+        label
+    }
+
+    // ----------------------------------------------------------- registers
+
+    fn fresh(&mut self, class: RegClass) -> Reg {
+        let slot = match class {
+            RegClass::Int => 0,
+            RegClass::Simd => 1,
+            RegClass::Vec => 2,
+            RegClass::Acc => 3,
+            RegClass::Ctrl => panic!("control registers are not allocated"),
+        };
+        let idx = self.next_index[slot];
+        self.next_index[slot] += 1;
+        Reg::new(class, idx)
+    }
+
+    /// Allocate a fresh virtual integer register.
+    pub fn ri(&mut self) -> Reg {
+        self.fresh(RegClass::Int)
+    }
+
+    /// Allocate a fresh virtual µSIMD register.
+    pub fn rs(&mut self) -> Reg {
+        self.fresh(RegClass::Simd)
+    }
+
+    /// Allocate a fresh virtual vector register.
+    pub fn rv(&mut self) -> Reg {
+        self.fresh(RegClass::Vec)
+    }
+
+    /// Allocate a fresh virtual accumulator register.
+    pub fn ra(&mut self) -> Reg {
+        self.fresh(RegClass::Acc)
+    }
+
+    /// Number of virtual registers allocated so far in each class
+    /// (int, µSIMD, vector, accumulator).
+    pub fn vreg_counts(&self) -> [u32; 4] {
+        self.next_index
+    }
+
+    // ------------------------------------------------------------ emission
+
+    /// Emit a raw operation into the current block.
+    pub fn emit(&mut self, mut op: Op) {
+        if op.opcode.reads_vl() && op.vl_hint.is_none() {
+            op.vl_hint = self.known_vl;
+        }
+        if op.opcode.reads_vs() && op.vs_hint.is_none() {
+            op.vs_hint = self.known_vs;
+        }
+        if self.current.is_none() {
+            self.label("entry");
+        }
+        let idx = self.current.expect("a current block always exists after label()");
+        self.program.blocks[idx].ops.push(op);
+    }
+
+    // -------------------------------------------------------- scalar moves
+
+    /// Load an immediate into a register.
+    pub fn li(&mut self, dst: Reg, imm: i64) {
+        self.emit(Op::new(Opcode::MovI).with_dst(dst).with_imm(imm));
+    }
+
+    /// Allocate a fresh integer register holding `imm`.
+    pub fn imm(&mut self, imm: i64) -> Reg {
+        let r = self.ri();
+        self.li(r, imm);
+        r
+    }
+
+    /// Copy an integer register.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::Mov).with_dst(dst).with_srcs(&[src]));
+    }
+
+    // --------------------------------------------------- scalar arithmetic
+
+    fn bin(&mut self, opcode: Opcode, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Op::new(opcode).with_dst(dst).with_srcs(&[a, b]));
+    }
+
+    fn bin_imm(&mut self, opcode: Opcode, dst: Reg, a: Reg, imm: i64) {
+        self.emit(Op::new(opcode).with_dst(dst).with_srcs(&[a]).with_imm(imm));
+    }
+
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IAdd, dst, a, b);
+    }
+    pub fn addi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IAdd, dst, a, imm);
+    }
+    pub fn sub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::ISub, dst, a, b);
+    }
+    pub fn subi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::ISub, dst, a, imm);
+    }
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IMul, dst, a, b);
+    }
+    pub fn muli(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IMul, dst, a, imm);
+    }
+    pub fn div(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IDiv, dst, a, b);
+    }
+    pub fn rem(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IRem, dst, a, b);
+    }
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IAnd, dst, a, b);
+    }
+    pub fn andi(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IAnd, dst, a, imm);
+    }
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IOr, dst, a, b);
+    }
+    pub fn ori(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IOr, dst, a, imm);
+    }
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IXor, dst, a, b);
+    }
+    pub fn shli(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IShl, dst, a, imm);
+    }
+    pub fn shl(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IShl, dst, a, b);
+    }
+    pub fn shri(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::IShr, dst, a, imm);
+    }
+    pub fn shr(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IShr, dst, a, b);
+    }
+    pub fn srai(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::ISra, dst, a, imm);
+    }
+    pub fn sra(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::ISra, dst, a, b);
+    }
+    pub fn slt(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::ISlt, dst, a, b);
+    }
+    pub fn slti(&mut self, dst: Reg, a: Reg, imm: i64) {
+        self.bin_imm(Opcode::ISlt, dst, a, imm);
+    }
+    pub fn sltu(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::ISltu, dst, a, b);
+    }
+    pub fn seq(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::ISeq, dst, a, b);
+    }
+    pub fn imin(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IMin, dst, a, b);
+    }
+    pub fn imax(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::IMax, dst, a, b);
+    }
+    pub fn iabs(&mut self, dst: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::IAbs).with_dst(dst).with_srcs(&[a]));
+    }
+
+    // ------------------------------------------------------- scalar memory
+
+    pub fn load(&mut self, width: MemWidth, sign: Sign, dst: Reg, base: Reg, off: i64) {
+        self.emit(Op::new(Opcode::Load(width, sign)).with_dst(dst).with_srcs(&[base]).with_imm(off));
+    }
+    pub fn ld8u(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B1, Sign::Unsigned, dst, base, off);
+    }
+    pub fn ld8s(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B1, Sign::Signed, dst, base, off);
+    }
+    pub fn ld16u(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B2, Sign::Unsigned, dst, base, off);
+    }
+    pub fn ld16s(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B2, Sign::Signed, dst, base, off);
+    }
+    pub fn ld32s(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B4, Sign::Signed, dst, base, off);
+    }
+    pub fn ld32u(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B4, Sign::Unsigned, dst, base, off);
+    }
+    pub fn ld64(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.load(MemWidth::B8, Sign::Signed, dst, base, off);
+    }
+
+    pub fn store(&mut self, width: MemWidth, base: Reg, off: i64, val: Reg) {
+        self.emit(Op::new(Opcode::Store(width)).with_srcs(&[base, val]).with_imm(off));
+    }
+    pub fn st8(&mut self, base: Reg, off: i64, val: Reg) {
+        self.store(MemWidth::B1, base, off, val);
+    }
+    pub fn st16(&mut self, base: Reg, off: i64, val: Reg) {
+        self.store(MemWidth::B2, base, off, val);
+    }
+    pub fn st32(&mut self, base: Reg, off: i64, val: Reg) {
+        self.store(MemWidth::B4, base, off, val);
+    }
+    pub fn st64(&mut self, base: Reg, off: i64, val: Reg) {
+        self.store(MemWidth::B8, base, off, val);
+    }
+
+    // ------------------------------------------------------ control flow
+
+    /// Conditional branch comparing two registers.
+    pub fn br(&mut self, cond: BrCond, a: Reg, b: Reg, target: impl Into<String>) {
+        self.emit(Op::new(Opcode::Br(cond)).with_srcs(&[a, b]).with_target(target));
+    }
+
+    /// Conditional branch comparing a register against an immediate.
+    pub fn br_imm(&mut self, cond: BrCond, a: Reg, imm: i64, target: impl Into<String>) {
+        self.emit(Op::new(Opcode::Br(cond)).with_srcs(&[a]).with_imm(imm).with_target(target));
+    }
+
+    pub fn beq(&mut self, a: Reg, b: Reg, target: impl Into<String>) {
+        self.br(BrCond::Eq, a, b, target);
+    }
+    pub fn bne(&mut self, a: Reg, b: Reg, target: impl Into<String>) {
+        self.br(BrCond::Ne, a, b, target);
+    }
+    pub fn blt(&mut self, a: Reg, b: Reg, target: impl Into<String>) {
+        self.br(BrCond::Lt, a, b, target);
+    }
+    pub fn bge(&mut self, a: Reg, b: Reg, target: impl Into<String>) {
+        self.br(BrCond::Ge, a, b, target);
+    }
+    pub fn bgt_i(&mut self, a: Reg, imm: i64, target: impl Into<String>) {
+        self.br_imm(BrCond::Gt, a, imm, target);
+    }
+    pub fn bne_i(&mut self, a: Reg, imm: i64, target: impl Into<String>) {
+        self.br_imm(BrCond::Ne, a, imm, target);
+    }
+    pub fn blt_i(&mut self, a: Reg, imm: i64, target: impl Into<String>) {
+        self.br_imm(BrCond::Lt, a, imm, target);
+    }
+
+    pub fn jump(&mut self, target: impl Into<String>) {
+        self.emit(Op::new(Opcode::Jump).with_target(target));
+    }
+
+    pub fn halt(&mut self) {
+        self.emit(Op::new(Opcode::Halt));
+    }
+
+    /// Emit a count-down loop executing `body` `count` times.  The body
+    /// receives the loop counter register, which counts from `count` down to
+    /// 1.  The loop becomes its own basic block (plus an exit block).
+    pub fn counted_loop(&mut self, name: &str, count: i64, body: impl FnOnce(&mut Self, Reg)) {
+        let counter = self.ri();
+        self.li(counter, count);
+        let head = self.fresh_label(&format!("{name}_head"));
+        self.label(head.clone());
+        body(self, counter);
+        self.subi(counter, counter, 1);
+        self.bgt_i(counter, 0, head);
+        self.auto_label(&format!("{name}_exit"));
+    }
+
+    // ------------------------------------------------------------- µSIMD
+
+    pub fn pload(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.emit(Op::new(Opcode::PLoad).with_dst(dst).with_srcs(&[base]).with_imm(off));
+    }
+    pub fn pstore(&mut self, base: Reg, off: i64, val: Reg) {
+        self.emit(Op::new(Opcode::PStore).with_srcs(&[base, val]).with_imm(off));
+    }
+    pub fn pmov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::PMov).with_dst(dst).with_srcs(&[src]));
+    }
+    pub fn int_to_simd(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::MovIntToSimd).with_dst(dst).with_srcs(&[src]));
+    }
+    pub fn simd_to_int(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::MovSimdToInt).with_dst(dst).with_srcs(&[src]));
+    }
+    pub fn psplat(&mut self, e: Elem, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::PSplat(e)).with_dst(dst).with_srcs(&[src]));
+    }
+    /// Broadcast an immediate into every lane of a fresh µSIMD register.
+    pub fn psplat_imm(&mut self, e: Elem, imm: i64) -> Reg {
+        let tmp = self.imm(imm);
+        let dst = self.rs();
+        self.psplat(e, dst, tmp);
+        dst
+    }
+
+    pub fn padd(&mut self, e: Elem, sat: Sat, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PAdd(e, sat), dst, a, b);
+    }
+    pub fn psub(&mut self, e: Elem, sat: Sat, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PSub(e, sat), dst, a, b);
+    }
+    pub fn pmullo(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMulLo(e), dst, a, b);
+    }
+    pub fn pmulhi(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMulHi(e), dst, a, b);
+    }
+    pub fn pmadd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMAdd, dst, a, b);
+    }
+    pub fn pmul_widen_even(&mut self, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMulWidenEven(sign), dst, a, b);
+    }
+    pub fn pmul_widen_odd(&mut self, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMulWidenOdd(sign), dst, a, b);
+    }
+    pub fn pavg(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PAvg(e), dst, a, b);
+    }
+    pub fn pmin(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMin(e, sign), dst, a, b);
+    }
+    pub fn pmax(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PMax(e, sign), dst, a, b);
+    }
+    pub fn pabsdiff(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PAbsDiff(e), dst, a, b);
+    }
+    pub fn psad(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PSad, dst, a, b);
+    }
+    pub fn pand(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PAnd, dst, a, b);
+    }
+    pub fn por(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::POr, dst, a, b);
+    }
+    pub fn pxor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PXor, dst, a, b);
+    }
+    pub fn pshl(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::PShl(e), dst, a, amount);
+    }
+    pub fn pshrl(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::PShrL(e), dst, a, amount);
+    }
+    pub fn pshra(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::PShrA(e), dst, a, amount);
+    }
+    pub fn ppack(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PPack(e, sign), dst, a, b);
+    }
+    pub fn punpack_lo(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PUnpackLo(e), dst, a, b);
+    }
+    pub fn punpack_hi(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PUnpackHi(e), dst, a, b);
+    }
+    pub fn pwiden_lo(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::PWidenLo(e, sign)).with_dst(dst).with_srcs(&[a]));
+    }
+    pub fn pwiden_hi(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::PWidenHi(e, sign)).with_dst(dst).with_srcs(&[a]));
+    }
+    pub fn pcmp_eq(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PCmpEq(e), dst, a, b);
+    }
+    pub fn pcmp_gt(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::PCmpGt(e), dst, a, b);
+    }
+    pub fn pextract(&mut self, e: Elem, dst: Reg, a: Reg, lane: i64) {
+        self.bin_imm(Opcode::PExtract(e), dst, a, lane);
+    }
+    pub fn pinsert(&mut self, e: Elem, dst: Reg, src: Reg, lane: i64) {
+        // dst is read-modify-write: the untouched lanes are preserved.
+        self.emit(
+            Op::new(Opcode::PInsert(e)).with_dst(dst).with_srcs(&[dst, src]).with_imm(lane),
+        );
+    }
+
+    // ------------------------------------------------------------- vector
+
+    /// Set the vector length from an immediate (records the value so later
+    /// vector operations carry an exact `vl_hint`).
+    pub fn setvl(&mut self, vl: u32) {
+        self.known_vl = Some(vl);
+        self.emit(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(vl as i64));
+    }
+    /// Set the vector length from a register (the scheduler will assume the
+    /// maximum vector length, paper §3.3).
+    pub fn setvl_reg(&mut self, src: Reg) {
+        self.known_vl = None;
+        self.emit(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_srcs(&[src]));
+    }
+    /// Set the vector stride (bytes between consecutive 64-bit words of a
+    /// vector memory access) from an immediate.
+    pub fn setvs(&mut self, stride_bytes: i64) {
+        self.known_vs = Some(stride_bytes);
+        self.emit(Op::new(Opcode::SetVS).with_dst(Reg::vs()).with_imm(stride_bytes));
+    }
+    /// Set the vector stride from a register.
+    pub fn setvs_reg(&mut self, src: Reg) {
+        self.known_vs = None;
+        self.emit(Op::new(Opcode::SetVS).with_dst(Reg::vs()).with_srcs(&[src]));
+    }
+
+    pub fn vload(&mut self, dst: Reg, base: Reg, off: i64) {
+        self.emit(Op::new(Opcode::VLoad).with_dst(dst).with_srcs(&[base]).with_imm(off));
+    }
+    pub fn vstore(&mut self, base: Reg, off: i64, val: Reg) {
+        self.emit(Op::new(Opcode::VStore).with_srcs(&[base, val]).with_imm(off));
+    }
+    pub fn vmov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::VMov).with_dst(dst).with_srcs(&[src]));
+    }
+    pub fn vsplat(&mut self, e: Elem, dst: Reg, src: Reg) {
+        self.emit(Op::new(Opcode::VSplat(e)).with_dst(dst).with_srcs(&[src]));
+    }
+    /// Broadcast an immediate into every lane of every word of a fresh
+    /// vector register.
+    pub fn vsplat_imm(&mut self, e: Elem, imm: i64) -> Reg {
+        let tmp = self.imm(imm);
+        let dst = self.rv();
+        self.vsplat(e, dst, tmp);
+        dst
+    }
+
+    pub fn vadd(&mut self, e: Elem, sat: Sat, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VAdd(e, sat), dst, a, b);
+    }
+    pub fn vsub(&mut self, e: Elem, sat: Sat, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VSub(e, sat), dst, a, b);
+    }
+    pub fn vmullo(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMulLo(e), dst, a, b);
+    }
+    pub fn vmulhi(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMulHi(e), dst, a, b);
+    }
+    pub fn vmadd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMAdd, dst, a, b);
+    }
+    pub fn vmul_widen_even(&mut self, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMulWidenEven(sign), dst, a, b);
+    }
+    pub fn vmul_widen_odd(&mut self, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMulWidenOdd(sign), dst, a, b);
+    }
+    pub fn vavg(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VAvg(e), dst, a, b);
+    }
+    pub fn vmin(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMin(e, sign), dst, a, b);
+    }
+    pub fn vmax(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VMax(e, sign), dst, a, b);
+    }
+    pub fn vabsdiff(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VAbsDiff(e), dst, a, b);
+    }
+    pub fn vand(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VAnd, dst, a, b);
+    }
+    pub fn vor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VOr, dst, a, b);
+    }
+    pub fn vxor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VXor, dst, a, b);
+    }
+    pub fn vshl(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::VShl(e), dst, a, amount);
+    }
+    pub fn vshrl(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::VShrL(e), dst, a, amount);
+    }
+    pub fn vshra(&mut self, e: Elem, dst: Reg, a: Reg, amount: i64) {
+        self.bin_imm(Opcode::VShrA(e), dst, a, amount);
+    }
+    pub fn vpack(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VPack(e, sign), dst, a, b);
+    }
+    pub fn vunpack_lo(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VUnpackLo(e), dst, a, b);
+    }
+    pub fn vunpack_hi(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VUnpackHi(e), dst, a, b);
+    }
+    pub fn vwiden_lo(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::VWidenLo(e, sign)).with_dst(dst).with_srcs(&[a]));
+    }
+    pub fn vwiden_hi(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::VWidenHi(e, sign)).with_dst(dst).with_srcs(&[a]));
+    }
+    pub fn vcmp_eq(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VCmpEq(e), dst, a, b);
+    }
+    pub fn vcmp_gt(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
+        self.bin(Opcode::VCmpGt(e), dst, a, b);
+    }
+    pub fn vextract(&mut self, dst: Reg, v: Reg, word: i64) {
+        self.bin_imm(Opcode::VExtract, dst, v, word);
+    }
+    pub fn vinsert(&mut self, dst: Reg, src: Reg, word: i64) {
+        self.emit(Op::new(Opcode::VInsert).with_dst(dst).with_srcs(&[dst, src]).with_imm(word));
+    }
+
+    // -------------------------------------------------------- accumulators
+
+    pub fn acc_clear(&mut self, acc: Reg) {
+        self.emit(Op::new(Opcode::AccClear).with_dst(acc));
+    }
+    pub fn vsad_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
+        self.emit(Op::new(Opcode::VSadAcc).with_dst(acc).with_srcs(&[acc, a, b]));
+    }
+    pub fn vmac_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
+        self.emit(Op::new(Opcode::VMacAcc).with_dst(acc).with_srcs(&[acc, a, b]));
+    }
+    pub fn vadd_acc(&mut self, acc: Reg, a: Reg) {
+        self.emit(Op::new(Opcode::VAddAcc).with_dst(acc).with_srcs(&[acc, a]));
+    }
+    pub fn acc_reduce(&mut self, dst: Reg, acc: Reg) {
+        self.emit(Op::new(Opcode::AccReduce).with_dst(dst).with_srcs(&[acc]));
+    }
+    pub fn acc_pack_shr_h(&mut self, dst: Reg, acc: Reg, shift: i64) {
+        self.emit(Op::new(Opcode::AccPackShrH).with_dst(dst).with_srcs(&[acc]).with_imm(shift));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn builder_creates_entry_block_on_demand() {
+        let mut b = ProgramBuilder::new("t");
+        let r = b.imm(7);
+        let p = b.finish();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].label, "entry");
+        assert_eq!(p.blocks[0].ops.len(), 1);
+        assert_eq!(p.blocks[0].ops[0].dst, Some(r));
+    }
+
+    #[test]
+    fn counted_loop_structure() {
+        let mut b = ProgramBuilder::new("loop");
+        let acc = b.ri();
+        b.li(acc, 0);
+        b.counted_loop("sum", 10, |b, _cnt| {
+            b.addi(acc, acc, 1);
+        });
+        b.halt();
+        let p = b.finish();
+        // entry + loop head + exit blocks
+        assert!(p.blocks.len() >= 3);
+        let head = p.blocks.iter().find(|blk| blk.label.starts_with("sum_head")).unwrap();
+        assert!(head.terminator().is_some());
+    }
+
+    #[test]
+    fn vector_ops_carry_vl_hint_from_setvl() {
+        let mut b = ProgramBuilder::new("v");
+        let base = b.imm(0x1000);
+        let v = b.rv();
+        b.setvl(8);
+        b.setvs(8);
+        b.vload(v, base, 0);
+        let p = b.finish();
+        let vload = p.iter_ops().map(|(_, o)| o).find(|o| o.opcode == Opcode::VLoad).unwrap();
+        assert_eq!(vload.vl_hint, Some(8));
+        assert_eq!(vload.vs_hint, Some(8));
+    }
+
+    #[test]
+    fn setvl_from_register_clears_hint() {
+        let mut b = ProgramBuilder::new("v");
+        let base = b.imm(0x1000);
+        let n = b.imm(4);
+        b.setvl(8);
+        b.setvl_reg(n);
+        let v = b.rv();
+        b.vload(v, base, 0);
+        let p = b.finish();
+        let vload = p.iter_ops().map(|(_, o)| o).find(|o| o.opcode == Opcode::VLoad).unwrap();
+        assert_eq!(vload.vl_hint, None);
+    }
+
+    #[test]
+    fn regions_start_new_blocks() {
+        let mut b = ProgramBuilder::new("r");
+        b.label("start");
+        let x = b.imm(1);
+        b.begin_region(1, "color conversion");
+        b.addi(x, x, 1);
+        b.end_region();
+        b.halt();
+        let p = b.finish();
+        let region_ids = p.region_ids();
+        assert!(region_ids.contains(&crate::program::RegionId(1)));
+        // the op inside the region must be in a block tagged with region 1
+        let blk = p.blocks.iter().find(|blk| blk.region == crate::program::RegionId(1)).unwrap();
+        assert_eq!(blk.ops.len(), 1);
+    }
+
+    #[test]
+    fn fresh_registers_are_distinct_per_class() {
+        let mut b = ProgramBuilder::new("f");
+        let a = b.ri();
+        let c = b.ri();
+        let s = b.rs();
+        let v = b.rv();
+        assert_ne!(a, c);
+        assert_ne!(a.class, s.class);
+        assert_ne!(s.class, v.class);
+        assert_eq!(b.vreg_counts()[0], 2);
+    }
+
+    #[test]
+    fn pinsert_and_vinsert_read_their_destination() {
+        let mut b = ProgramBuilder::new("ins");
+        let s = b.rs();
+        let x = b.ri();
+        b.pinsert(Elem::H, s, x, 2);
+        let v = b.rv();
+        b.vinsert(v, s, 3);
+        let p = b.finish();
+        let ops: Vec<_> = p.iter_ops().map(|(_, o)| o.clone()).collect();
+        let pins = ops.iter().find(|o| matches!(o.opcode, Opcode::PInsert(_))).unwrap();
+        assert!(pins.srcs.contains(&s));
+        let vins = ops.iter().find(|o| o.opcode == Opcode::VInsert).unwrap();
+        assert!(vins.srcs.contains(&v));
+    }
+}

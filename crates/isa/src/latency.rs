@@ -1,0 +1,126 @@
+//! HPL-PD style latency descriptors (paper §3.3, Fig. 3).
+//!
+//! For every operand of an operation, the scheduler needs an *earliest* and
+//! *latest* read / write time relative to the operation's initiation.  For a
+//! scalar operation with flow latency `L`, inputs are read during cycle 0 and
+//! the output is written at cycle `L`.  For a vector operation the times also
+//! depend on the vector length `VL` and the number of parallel vector lanes
+//! `LN` (or, for memory operations, the width of the L2 port in elements):
+//! up to `LN` sub-operations start per cycle, so the last input is read at
+//! `(VL-1)/LN` and the last output is written at `L + (VL-1)/LN`.
+
+/// Latency descriptor of one operation instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyDescriptor {
+    /// Earliest read of any source operand (cycles after initiation).
+    pub earliest_read: u32,
+    /// Latest read of any source operand.
+    pub latest_read: u32,
+    /// Earliest write of the destination operand.
+    pub earliest_write: u32,
+    /// Latest write of the destination operand.  A dependent operation can
+    /// safely issue `latest_write` cycles after this one.
+    pub latest_write: u32,
+}
+
+impl LatencyDescriptor {
+    /// Descriptor of a fully pipelined scalar operation with flow latency
+    /// `l` (Fig. 3a: `Ter = Tlr = Tew = 0`, `Tlw = L`).
+    pub fn scalar(l: u32) -> Self {
+        LatencyDescriptor { earliest_read: 0, latest_read: 0, earliest_write: 0, latest_write: l }
+    }
+
+    /// Descriptor of a vector operation with sub-operation flow latency `l`,
+    /// vector length `vl` and `ln` parallel lanes (Fig. 3b:
+    /// `Tlr = (VL-1)/LN`, `Tlw = L + (VL-1)/LN`).
+    ///
+    /// For vector memory operations `ln` is the L2 port width in elements.
+    pub fn vector(l: u32, vl: u32, ln: u32) -> Self {
+        let vl = vl.max(1);
+        let ln = ln.max(1);
+        let tail = (vl - 1) / ln;
+        LatencyDescriptor {
+            earliest_read: 0,
+            latest_read: tail,
+            earliest_write: 0,
+            latest_write: l + tail,
+        }
+    }
+
+    /// Number of cycles a dependent operation must wait after this one's
+    /// initiation before it can read the result through the register file
+    /// (no chaining).
+    pub fn result_latency(&self) -> u32 {
+        self.latest_write
+    }
+
+    /// Number of cycles a *chained* consumer must wait: with chaining
+    /// (paper §3.3), the consumer may start as soon as the first elements
+    /// have been produced, i.e. after the sub-operation flow latency alone.
+    pub fn chained_latency(&self) -> u32 {
+        self.latest_write - self.latest_read
+    }
+
+    /// Cycles during which the operation occupies its functional unit's
+    /// issue slot for new sub-operations (`1 + Tlr`): a vector operation
+    /// with more sub-operations than lanes keeps initiating sub-operations
+    /// for several cycles.
+    pub fn occupancy(&self) -> u32 {
+        1 + self.latest_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_descriptor_matches_fig3a() {
+        let d = LatencyDescriptor::scalar(3);
+        assert_eq!(d.earliest_read, 0);
+        assert_eq!(d.latest_read, 0);
+        assert_eq!(d.earliest_write, 0);
+        assert_eq!(d.latest_write, 3);
+        assert_eq!(d.result_latency(), 3);
+        assert_eq!(d.occupancy(), 1);
+    }
+
+    #[test]
+    fn vector_descriptor_matches_fig3b() {
+        // VL = 16, 4 lanes, L = 2: last read at (16-1)/4 = 3, last write at 5.
+        let d = LatencyDescriptor::vector(2, 16, 4);
+        assert_eq!(d.latest_read, 3);
+        assert_eq!(d.latest_write, 5);
+        assert_eq!(d.occupancy(), 4);
+        assert_eq!(d.chained_latency(), 2);
+    }
+
+    #[test]
+    fn vector_descriptor_short_vector() {
+        // If the vector length is at most the number of lanes the operation
+        // behaves like a scalar operation of latency L.
+        let d = LatencyDescriptor::vector(2, 4, 4);
+        assert_eq!(d.latest_read, 0);
+        assert_eq!(d.latest_write, 2);
+        assert_eq!(d.occupancy(), 1);
+    }
+
+    #[test]
+    fn worst_case_penalty_for_unknown_vl() {
+        // Paper §3.3: assuming VL=16 when it turns out to be ≤4 costs at most
+        // three extra cycles with four lanes.
+        let assumed = LatencyDescriptor::vector(2, 16, 4);
+        let actual = LatencyDescriptor::vector(2, 4, 4);
+        assert_eq!(assumed.result_latency() - actual.result_latency(), 3);
+    }
+
+    #[test]
+    fn memory_port_width_acts_as_lanes() {
+        // A vector load of 8 words through a 4-element wide port: 5 + (8-1)/4.
+        let d = LatencyDescriptor::vector(5, 8, 4);
+        assert_eq!(d.result_latency(), 6);
+        // Through a 1-element port (non-unit stride): 5 + 7.
+        let d1 = LatencyDescriptor::vector(5, 8, 1);
+        assert_eq!(d1.result_latency(), 12);
+    }
+}

@@ -1,0 +1,564 @@
+//! The operation set of the three ISAs under study:
+//!
+//! * the scalar VLIW base ISA (HPL-PD-like integer/memory/branch operations),
+//! * the µSIMD extension (64-bit packed sub-word operations, comparable to
+//!   the integer subset of SSE / MMX referenced in paper §4.2),
+//! * the Vector-µSIMD extension (MOM-like vector operations where every
+//!   element operation is an MMX-like packed operation, plus packed
+//!   accumulators and the `VL`/`VS` control registers, paper §3.1).
+//!
+//! Each opcode carries static metadata used by the scheduler (functional
+//! unit class, latency class, implicit control-register reads) and by the
+//! simulator (memory behaviour, micro-operation accounting).
+
+use crate::packed::{Elem, Sat, Sign};
+use crate::reg::RegClass;
+
+/// Width of a scalar memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    B1,
+    B2,
+    B4,
+    B8,
+}
+
+impl MemWidth {
+    pub const fn bytes(self) -> usize {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// Branch condition for conditional branches (compare-and-branch form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+}
+
+/// Functional-unit class an operation issues to.  The per-configuration
+/// resource counts come from Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU / branch / control operations (uses an integer unit).
+    Int,
+    /// µSIMD packed operations (uses a µSIMD unit, or a vector unit with
+    /// vector length 1 on the Vector configurations).
+    Simd,
+    /// Vector arithmetic and accumulator operations (uses a vector unit).
+    Vector,
+    /// Scalar / µSIMD memory operations (uses an L1 data-cache port).
+    MemL1,
+    /// Vector memory operations (bypass L1; use the wide L2 vector-cache
+    /// port, paper §3.2).
+    MemL2,
+}
+
+/// Latency class of an operation.  The concrete cycle counts for each class
+/// live in the machine configuration (`vmv-machine`), mirroring the way
+/// HPL-PD machine descriptions separate opcode → latency-class → cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatClass {
+    /// Single-cycle integer operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (rare; long latency).
+    IntDiv,
+    /// Scalar load (L1 hit assumed by the compiler).
+    Load,
+    /// Scalar / µSIMD store.
+    Store,
+    /// Branch.
+    Branch,
+    /// µSIMD ALU operation.
+    SimdAlu,
+    /// µSIMD multiply.
+    SimdMul,
+    /// Vector ALU sub-operation flow latency.
+    VecAlu,
+    /// Vector multiply / accumulator sub-operation flow latency.
+    VecMul,
+    /// Vector memory operation (L2 vector-cache hit assumed).
+    VecMem,
+    /// Zero-latency control (set VL / VS — handled as a 1-cycle int op).
+    Ctrl,
+}
+
+/// The complete operation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // ----------------------------------------------------------------- scalar
+    /// No operation.
+    Nop,
+    /// Stop program execution.
+    Halt,
+    /// Load immediate into an integer register.
+    MovI,
+    /// Copy integer register.
+    Mov,
+    IAdd,
+    ISub,
+    IMul,
+    IDiv,
+    IRem,
+    IAnd,
+    IOr,
+    IXor,
+    IShl,
+    IShr,
+    ISra,
+    /// Set-less-than (signed): dst = (a < b) as 0/1.
+    ISlt,
+    /// Set-less-than (unsigned).
+    ISltu,
+    /// Set-equal.
+    ISeq,
+    IMin,
+    IMax,
+    /// Absolute value.
+    IAbs,
+    /// Scalar load: dst ← mem[src0 + imm].
+    Load(MemWidth, Sign),
+    /// Scalar store: mem[src0 + imm] ← src1.
+    Store(MemWidth),
+    /// Conditional branch: if (src0 cond src1) goto target.
+    Br(BrCond),
+    /// Unconditional jump to target.
+    Jump,
+
+    // ----------------------------------------------------------------- µSIMD
+    /// Load a 64-bit packed word into a µSIMD register.
+    PLoad,
+    /// Store a 64-bit packed word from a µSIMD register.
+    PStore,
+    /// Copy µSIMD register.
+    PMov,
+    /// Move an integer register into a µSIMD register (no broadcast).
+    MovIntToSimd,
+    /// Move a µSIMD register into an integer register.
+    MovSimdToInt,
+    /// Broadcast the low element of an integer register into every lane.
+    PSplat(Elem),
+    /// Packed add.
+    PAdd(Elem, Sat),
+    /// Packed subtract.
+    PSub(Elem, Sat),
+    /// Packed multiply, low half of products.
+    PMulLo(Elem),
+    /// Packed signed multiply, high half of products.
+    PMulHi(Elem),
+    /// Multiply 16-bit lanes, add adjacent pairs into 32-bit lanes.
+    PMAdd,
+    /// Multiply even 16-bit lanes into full 32-bit products.
+    PMulWidenEven(Sign),
+    /// Multiply odd 16-bit lanes into full 32-bit products.
+    PMulWidenOdd(Sign),
+    /// Packed unsigned average with rounding.
+    PAvg(Elem),
+    PMin(Elem, Sign),
+    PMax(Elem, Sign),
+    /// Packed absolute difference of unsigned elements.
+    PAbsDiff(Elem),
+    /// Sum of absolute differences of 8 unsigned bytes → scalar result in a
+    /// µSIMD register (like `psadbw`).
+    PSad,
+    PAnd,
+    POr,
+    PXor,
+    PAndNot,
+    /// Packed shifts by immediate amount.
+    PShl(Elem),
+    PShrL(Elem),
+    PShrA(Elem),
+    /// Pack to the next narrower width with saturation (src width given).
+    PPack(Elem, Sign),
+    /// Interleave low/high halves of two registers.
+    PUnpackLo(Elem),
+    PUnpackHi(Elem),
+    /// Widen the low/high half of the lanes to the next wider width.
+    PWidenLo(Elem, Sign),
+    PWidenHi(Elem, Sign),
+    PCmpEq(Elem),
+    PCmpGt(Elem),
+    /// Extract lane `imm` into an integer register (zero-extended).
+    PExtract(Elem),
+    /// Insert the low bits of an integer register into lane `imm`.
+    PInsert(Elem),
+
+    // ------------------------------------------------------------ vector ISA
+    /// Set the vector-length register from an immediate or integer register.
+    SetVL,
+    /// Set the vector-stride register (in bytes) from an immediate or
+    /// integer register.
+    SetVS,
+    /// Vector load: VL 64-bit words from `src0 + imm`, stride `VS` bytes
+    /// between consecutive words.
+    VLoad,
+    /// Vector store.
+    VStore,
+    /// Copy vector register.
+    VMov,
+    /// Broadcast an integer register into every lane of every word.
+    VSplat(Elem),
+    VAdd(Elem, Sat),
+    VSub(Elem, Sat),
+    VMulLo(Elem),
+    VMulHi(Elem),
+    VMAdd,
+    VMulWidenEven(Sign),
+    VMulWidenOdd(Sign),
+    VAvg(Elem),
+    VMin(Elem, Sign),
+    VMax(Elem, Sign),
+    VAbsDiff(Elem),
+    VAnd,
+    VOr,
+    VXor,
+    VShl(Elem),
+    VShrL(Elem),
+    VShrA(Elem),
+    VPack(Elem, Sign),
+    VUnpackLo(Elem),
+    VUnpackHi(Elem),
+    VWidenLo(Elem, Sign),
+    VWidenHi(Elem, Sign),
+    VCmpEq(Elem),
+    VCmpGt(Elem),
+    /// Extract 64-bit word `imm` of a vector register into a µSIMD register.
+    VExtract,
+    /// Insert a µSIMD register into word `imm` of a vector register.
+    VInsert,
+
+    // ---------------------------------------------------------- accumulators
+    /// Clear a packed accumulator.
+    AccClear,
+    /// Accumulate the per-byte-lane absolute differences of two vector
+    /// registers over the whole vector length (the `SAD` of Fig. 4).
+    VSadAcc,
+    /// Multiply-accumulate of signed 16-bit lanes over the whole vector
+    /// length: `acc[lane] += Σ_word a[word][lane] * b[word][lane]`.
+    VMacAcc,
+    /// Per-lane add-accumulate of signed 16-bit lanes over the vector.
+    VAddAcc,
+    /// Reduce a packed accumulator to a scalar sum in an integer register.
+    AccReduce,
+    /// Shift every sub-accumulator right by `imm` (arithmetic), saturate to
+    /// signed 16-bit and pack the 4 halfword lanes into a µSIMD register.
+    AccPackShrH,
+}
+
+impl Opcode {
+    /// Functional unit class this operation issues to.
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Nop | Halt | MovI | Mov | IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor
+            | IShl | IShr | ISra | ISlt | ISltu | ISeq | IMin | IMax | IAbs | Br(_) | Jump
+            | SetVL | SetVS => FuClass::Int,
+            Load(..) | Store(..) | PLoad | PStore => FuClass::MemL1,
+            VLoad | VStore => FuClass::MemL2,
+            PMov | MovIntToSimd | MovSimdToInt | PSplat(_) | PAdd(..) | PSub(..) | PMulLo(_)
+            | PMulHi(_) | PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) | PAvg(_) | PMin(..)
+            | PMax(..) | PAbsDiff(_) | PSad | PAnd | POr | PXor | PAndNot | PShl(_) | PShrL(_)
+            | PShrA(_) | PPack(..) | PUnpackLo(_) | PUnpackHi(_) | PWidenLo(..) | PWidenHi(..)
+            | PCmpEq(_) | PCmpGt(_) | PExtract(_) | PInsert(_) => FuClass::Simd,
+            VMov | VSplat(_) | VAdd(..) | VSub(..) | VMulLo(_) | VMulHi(_) | VMAdd
+            | VMulWidenEven(_) | VMulWidenOdd(_) | VAvg(_) | VMin(..) | VMax(..) | VAbsDiff(_)
+            | VAnd | VOr | VXor | VShl(_) | VShrL(_) | VShrA(_) | VPack(..) | VUnpackLo(_)
+            | VUnpackHi(_) | VWidenLo(..) | VWidenHi(..) | VCmpEq(_) | VCmpGt(_) | VExtract
+            | VInsert | AccClear | VSadAcc | VMacAcc | VAddAcc | AccReduce | AccPackShrH => {
+                FuClass::Vector
+            }
+        }
+    }
+
+    /// Latency class of this operation.
+    pub fn lat_class(self) -> LatClass {
+        use Opcode::*;
+        match self {
+            Nop | Halt | MovI | Mov | IAdd | ISub | IAnd | IOr | IXor | IShl | IShr | ISra
+            | ISlt | ISltu | ISeq | IMin | IMax | IAbs => LatClass::IntAlu,
+            IMul => LatClass::IntMul,
+            IDiv | IRem => LatClass::IntDiv,
+            Load(..) | PLoad => LatClass::Load,
+            Store(..) | PStore => LatClass::Store,
+            Br(_) | Jump => LatClass::Branch,
+            SetVL | SetVS => LatClass::Ctrl,
+            PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) => {
+                LatClass::SimdMul
+            }
+            PMov | MovIntToSimd | MovSimdToInt | PSplat(_) | PAdd(..) | PSub(..) | PAvg(_)
+            | PMin(..) | PMax(..) | PAbsDiff(_) | PSad | PAnd | POr | PXor | PAndNot | PShl(_)
+            | PShrL(_) | PShrA(_) | PPack(..) | PUnpackLo(_) | PUnpackHi(_) | PWidenLo(..)
+            | PWidenHi(..) | PCmpEq(_) | PCmpGt(_) | PExtract(_) | PInsert(_) => LatClass::SimdAlu,
+            VLoad | VStore => LatClass::VecMem,
+            VMulLo(_) | VMulHi(_) | VMAdd | VMulWidenEven(_) | VMulWidenOdd(_) | VMacAcc => {
+                LatClass::VecMul
+            }
+            VMov | VSplat(_) | VAdd(..) | VSub(..) | VAvg(_) | VMin(..) | VMax(..)
+            | VAbsDiff(_) | VAnd | VOr | VXor | VShl(_) | VShrL(_) | VShrA(_) | VPack(..)
+            | VUnpackLo(_) | VUnpackHi(_) | VWidenLo(..) | VWidenHi(..) | VCmpEq(_)
+            | VCmpGt(_) | VExtract | VInsert | AccClear | VSadAcc | VAddAcc | AccReduce
+            | AccPackShrH => LatClass::VecAlu,
+        }
+    }
+
+    /// True for every memory operation (scalar, µSIMD or vector).
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Opcode::Load(..)
+                | Opcode::Store(..)
+                | Opcode::PLoad
+                | Opcode::PStore
+                | Opcode::VLoad
+                | Opcode::VStore
+        )
+    }
+
+    /// True for memory reads.
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Load(..) | Opcode::PLoad | Opcode::VLoad)
+    }
+
+    /// True for memory writes.
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Store(..) | Opcode::PStore | Opcode::VStore)
+    }
+
+    /// True for vector memory operations (which bypass the L1 and use the
+    /// wide L2 vector-cache port).
+    pub fn is_vector_memory(self) -> bool {
+        matches!(self, Opcode::VLoad | Opcode::VStore)
+    }
+
+    /// True for control transfers.
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Br(_) | Opcode::Jump)
+    }
+
+    /// True for conditional branches.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Br(_))
+    }
+
+    /// True for every operation of the vector extension (vector register,
+    /// accumulator or control-register operations).
+    pub fn is_vector_op(self) -> bool {
+        matches!(self.fu_class(), FuClass::Vector | FuClass::MemL2)
+            || matches!(self, Opcode::SetVL | Opcode::SetVS)
+    }
+
+    /// True for operations whose behaviour depends on the vector-length
+    /// register (every vector compute / memory / accumulator operation).
+    pub fn reads_vl(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            VLoad
+                | VStore
+                | VMov
+                | VSplat(_)
+                | VAdd(..)
+                | VSub(..)
+                | VMulLo(_)
+                | VMulHi(_)
+                | VMAdd
+                | VMulWidenEven(_)
+                | VMulWidenOdd(_)
+                | VAvg(_)
+                | VMin(..)
+                | VMax(..)
+                | VAbsDiff(_)
+                | VAnd
+                | VOr
+                | VXor
+                | VShl(_)
+                | VShrL(_)
+                | VShrA(_)
+                | VPack(..)
+                | VUnpackLo(_)
+                | VUnpackHi(_)
+                | VWidenLo(..)
+                | VWidenHi(..)
+                | VCmpEq(_)
+                | VCmpGt(_)
+                | VSadAcc
+                | VMacAcc
+                | VAddAcc
+        )
+    }
+
+    /// True for operations that read the vector-stride register.
+    pub fn reads_vs(self) -> bool {
+        matches!(self, Opcode::VLoad | Opcode::VStore)
+    }
+
+    /// Register class produced by this operation (None for stores, branches
+    /// and other operations with no register destination).
+    pub fn dst_class(self) -> Option<RegClass> {
+        use Opcode::*;
+        match self {
+            Nop | Halt | Store(..) | PStore | VStore | Br(_) | Jump => None,
+            SetVL | SetVS => Some(RegClass::Ctrl),
+            MovI | Mov | IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr
+            | ISra | ISlt | ISltu | ISeq | IMin | IMax | IAbs | Load(..) | MovSimdToInt
+            | PExtract(_) | AccReduce => Some(RegClass::Int),
+            PLoad | PMov | MovIntToSimd | PSplat(_) | PAdd(..) | PSub(..) | PMulLo(_)
+            | PMulHi(_) | PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) | PAvg(_) | PMin(..)
+            | PMax(..) | PAbsDiff(_) | PSad | PAnd | POr | PXor | PAndNot | PShl(_) | PShrL(_)
+            | PShrA(_) | PPack(..) | PUnpackLo(_) | PUnpackHi(_) | PWidenLo(..) | PWidenHi(..)
+            | PCmpEq(_) | PCmpGt(_) | PInsert(_) | VExtract | AccPackShrH => Some(RegClass::Simd),
+            VLoad | VMov | VSplat(_) | VAdd(..) | VSub(..) | VMulLo(_) | VMulHi(_) | VMAdd
+            | VMulWidenEven(_) | VMulWidenOdd(_) | VAvg(_) | VMin(..) | VMax(..) | VAbsDiff(_)
+            | VAnd | VOr | VXor | VShl(_) | VShrL(_) | VShrA(_) | VPack(..) | VUnpackLo(_)
+            | VUnpackHi(_) | VWidenLo(..) | VWidenHi(..) | VCmpEq(_) | VCmpGt(_) | VInsert => {
+                Some(RegClass::Vec)
+            }
+            AccClear | VSadAcc | VMacAcc | VAddAcc => Some(RegClass::Acc),
+        }
+    }
+
+    /// Number of architectural micro-operations performed by one dynamic
+    /// instance of this operation, given the active vector length `vl`
+    /// (ignored for non-vector operations).
+    ///
+    /// * a scalar operation counts as 1 micro-operation;
+    /// * a µSIMD operation counts as many micro-operations as packed lanes it
+    ///   processes (8 / 4 / 2);
+    /// * a vector operation counts `vl ×` that amount (paper §3.1: "a vector
+    ///   operation can perform up to 16 × 8 micro-operations").
+    pub fn micro_ops(self, vl: u32) -> u64 {
+        use Opcode::*;
+        let vl = vl.max(1) as u64;
+        match self {
+            // µSIMD packed arithmetic: lanes of the element width.
+            PAdd(e, _) | PSub(e, _) | PMulLo(e) | PMulHi(e) | PAvg(e) | PMin(e, _)
+            | PMax(e, _) | PAbsDiff(e) | PShl(e) | PShrL(e) | PShrA(e) | PPack(e, _)
+            | PUnpackLo(e) | PUnpackHi(e) | PWidenLo(e, _) | PWidenHi(e, _) | PCmpEq(e)
+            | PCmpGt(e) | PSplat(e) => e.lanes() as u64,
+            PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) => 4,
+            PSad | PAnd | POr | PXor | PAndNot => 8,
+            // Vector packed arithmetic: vl × lanes.
+            VAdd(e, _) | VSub(e, _) | VMulLo(e) | VMulHi(e) | VAvg(e) | VMin(e, _)
+            | VMax(e, _) | VAbsDiff(e) | VShl(e) | VShrL(e) | VShrA(e) | VPack(e, _)
+            | VUnpackLo(e) | VUnpackHi(e) | VWidenLo(e, _) | VWidenHi(e, _) | VCmpEq(e)
+            | VCmpGt(e) | VSplat(e) => vl * e.lanes() as u64,
+            VMAdd | VMulWidenEven(_) | VMulWidenOdd(_) => vl * 4,
+            VAnd | VOr | VXor | VMov => vl,
+            VSadAcc => vl * 8,
+            VMacAcc | VAddAcc => vl * 4,
+            VLoad | VStore => vl,
+            AccReduce | AccPackShrH | AccClear => 1,
+            VExtract | VInsert => 1,
+            // Everything scalar / µSIMD-move / memory counts as one.
+            _ => 1,
+        }
+    }
+
+    /// A short mnemonic used by the textual program / schedule dumps.
+    pub fn mnemonic(self) -> String {
+        format!("{self:?}")
+            .to_lowercase()
+            .replace(['(', ')', ','], "_")
+            .replace(' ', "")
+            .trim_end_matches('_')
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_classes_are_consistent_with_memory_flags() {
+        let ops = [
+            Opcode::IAdd,
+            Opcode::Load(MemWidth::B4, Sign::Signed),
+            Opcode::PLoad,
+            Opcode::VLoad,
+            Opcode::VAdd(Elem::H, Sat::Wrap),
+            Opcode::PSad,
+            Opcode::VSadAcc,
+            Opcode::SetVL,
+        ];
+        for op in ops {
+            if op.is_vector_memory() {
+                assert_eq!(op.fu_class(), FuClass::MemL2, "{op:?}");
+            } else if op.is_memory() {
+                assert_eq!(op.fu_class(), FuClass::MemL1, "{op:?}");
+            }
+        }
+        assert_eq!(Opcode::SetVL.fu_class(), FuClass::Int);
+        assert_eq!(Opcode::VSadAcc.fu_class(), FuClass::Vector);
+    }
+
+    #[test]
+    fn micro_op_counts_follow_the_paper_model() {
+        // A vector operation can perform up to 16x8 micro-operations (§3.1).
+        assert_eq!(Opcode::VAdd(Elem::B, Sat::Wrap).micro_ops(16), 128);
+        assert_eq!(Opcode::VSadAcc.micro_ops(16), 128);
+        assert_eq!(Opcode::VAdd(Elem::H, Sat::Wrap).micro_ops(8), 32);
+        // µSIMD operations perform up to 8 micro-operations.
+        assert_eq!(Opcode::PAdd(Elem::B, Sat::Wrap).micro_ops(1), 8);
+        assert_eq!(Opcode::PAdd(Elem::H, Sat::Wrap).micro_ops(1), 4);
+        // Scalar operations perform exactly one.
+        assert_eq!(Opcode::IAdd.micro_ops(1), 1);
+        assert_eq!(Opcode::Load(MemWidth::B4, Sign::Signed).micro_ops(1), 1);
+    }
+
+    #[test]
+    fn dst_classes() {
+        assert_eq!(Opcode::IAdd.dst_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::PAdd(Elem::B, Sat::Wrap).dst_class(), Some(RegClass::Simd));
+        assert_eq!(Opcode::VLoad.dst_class(), Some(RegClass::Vec));
+        assert_eq!(Opcode::VSadAcc.dst_class(), Some(RegClass::Acc));
+        assert_eq!(Opcode::AccReduce.dst_class(), Some(RegClass::Int));
+        assert_eq!(Opcode::Store(MemWidth::B4).dst_class(), None);
+        assert_eq!(Opcode::Br(BrCond::Lt).dst_class(), None);
+    }
+
+    #[test]
+    fn vl_and_vs_implicit_reads() {
+        assert!(Opcode::VLoad.reads_vl());
+        assert!(Opcode::VLoad.reads_vs());
+        assert!(Opcode::VAdd(Elem::H, Sat::Wrap).reads_vl());
+        assert!(!Opcode::VAdd(Elem::H, Sat::Wrap).reads_vs());
+        assert!(!Opcode::PAdd(Elem::H, Sat::Wrap).reads_vl());
+        assert!(!Opcode::AccReduce.reads_vl());
+    }
+
+    #[test]
+    fn vector_op_classification() {
+        assert!(Opcode::SetVL.is_vector_op());
+        assert!(Opcode::VLoad.is_vector_op());
+        assert!(Opcode::VSadAcc.is_vector_op());
+        assert!(!Opcode::PSad.is_vector_op());
+        assert!(!Opcode::IAdd.is_vector_op());
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_and_nonempty() {
+        for op in [
+            Opcode::IAdd,
+            Opcode::VAdd(Elem::H, Sat::Signed),
+            Opcode::Load(MemWidth::B2, Sign::Unsigned),
+            Opcode::Br(BrCond::Ne),
+        ] {
+            let m = op.mnemonic();
+            assert!(!m.is_empty());
+            assert_eq!(m, m.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Sub-word ("µSIMD") arithmetic on 64-bit packed words.
+//!
+//! A 64-bit word is interpreted as eight 8-bit, four 16-bit or two 32-bit
+//! elements (paper §3.1).  The functions in this module implement the
+//! element-wise semantics of the µSIMD opcodes; the same routines are reused
+//! word-by-word by the Vector-µSIMD execution engine, which is exactly how
+//! the paper describes the vector ISA ("a conventional vector ISA where each
+//! operation is a MMX-like operation").
+//!
+//! All functions are pure and deterministic so they can be exercised directly
+//! by unit tests and property-based tests.
+
+/// Element width of a packed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Elem {
+    /// Eight 8-bit elements per 64-bit word.
+    B,
+    /// Four 16-bit elements per 64-bit word.
+    H,
+    /// Two 32-bit elements per 64-bit word.
+    W,
+}
+
+impl Elem {
+    /// Number of elements packed into one 64-bit word.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        match self {
+            Elem::B => 8,
+            Elem::H => 4,
+            Elem::W => 2,
+        }
+    }
+
+    /// Width of one element in bits.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            Elem::B => 8,
+            Elem::H => 16,
+            Elem::W => 32,
+        }
+    }
+
+    /// Width of one element in bytes.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+}
+
+/// Saturation mode of a packed add/subtract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sat {
+    /// Modular (wrap-around) arithmetic.
+    Wrap,
+    /// Signed saturating arithmetic.
+    Signed,
+    /// Unsigned saturating arithmetic.
+    Unsigned,
+}
+
+/// Signedness selector for min/max/compare/pack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    Signed,
+    Unsigned,
+}
+
+// ---------------------------------------------------------------------------
+// Lane extraction / insertion helpers
+// ---------------------------------------------------------------------------
+
+/// Extract lane `i` of `x` as an unsigned value.
+#[inline]
+pub fn lane_u(x: u64, e: Elem, i: usize) -> u64 {
+    debug_assert!(i < e.lanes());
+    let bits = e.bits();
+    (x >> (i as u32 * bits)) & mask(bits)
+}
+
+/// Extract lane `i` of `x` as a sign-extended value.
+#[inline]
+pub fn lane_s(x: u64, e: Elem, i: usize) -> i64 {
+    let bits = e.bits();
+    let v = lane_u(x, e, i);
+    sign_extend(v, bits)
+}
+
+/// Replace lane `i` of `x` with the low bits of `v`.
+#[inline]
+pub fn set_lane(x: u64, e: Elem, i: usize, v: u64) -> u64 {
+    debug_assert!(i < e.lanes());
+    let bits = e.bits();
+    let m = mask(bits) << (i as u32 * bits);
+    (x & !m) | ((v & mask(bits)) << (i as u32 * bits))
+}
+
+/// Bit mask with the low `bits` bits set.
+#[inline]
+pub const fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Sign-extend the low `bits` bits of `v`.
+#[inline]
+pub const fn sign_extend(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// Saturate a signed value to the signed range of an element.
+#[inline]
+pub fn sat_s(v: i64, e: Elem) -> u64 {
+    let bits = e.bits();
+    let max = (1i64 << (bits - 1)) - 1;
+    let min = -(1i64 << (bits - 1));
+    (v.clamp(min, max) as u64) & mask(bits)
+}
+
+/// Saturate a signed value to the unsigned range of an element.
+#[inline]
+pub fn sat_u(v: i64, e: Elem) -> u64 {
+    let bits = e.bits();
+    let max = mask(bits) as i64;
+    v.clamp(0, max) as u64
+}
+
+/// Build a packed word from a closure producing one lane at a time.
+#[inline]
+pub fn from_lanes(e: Elem, mut f: impl FnMut(usize) -> u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..e.lanes() {
+        out = set_lane(out, e, i, f(i));
+    }
+    out
+}
+
+/// Broadcast the low bits of `v` to every lane of a packed word.
+#[inline]
+pub fn splat(e: Elem, v: u64) -> u64 {
+    from_lanes(e, |_| v)
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise binary operations
+// ---------------------------------------------------------------------------
+
+/// Packed addition with the requested saturation behaviour.
+pub fn padd(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| match sat {
+        Sat::Wrap => lane_u(a, e, i).wrapping_add(lane_u(b, e, i)),
+        Sat::Signed => sat_s(lane_s(a, e, i) + lane_s(b, e, i), e),
+        Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 + lane_u(b, e, i) as i64, e),
+    })
+}
+
+/// Packed subtraction with the requested saturation behaviour.
+pub fn psub(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| match sat {
+        Sat::Wrap => lane_u(a, e, i).wrapping_sub(lane_u(b, e, i)),
+        Sat::Signed => sat_s(lane_s(a, e, i) - lane_s(b, e, i), e),
+        Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 - lane_u(b, e, i) as i64, e),
+    })
+}
+
+/// Packed multiply keeping the low half of each product (signed semantics,
+/// identical bits to unsigned low half).
+pub fn pmul_lo(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| {
+        (lane_s(a, e, i).wrapping_mul(lane_s(b, e, i))) as u64
+    })
+}
+
+/// Packed signed multiply keeping the high half of each product.
+pub fn pmul_hi(e: Elem, a: u64, b: u64) -> u64 {
+    let bits = e.bits();
+    from_lanes(e, |i| {
+        let p = lane_s(a, e, i) * lane_s(b, e, i);
+        ((p >> bits) as u64) & mask(bits)
+    })
+}
+
+/// `pmaddwd`-style multiply-add: multiplies 16-bit lanes and adds adjacent
+/// pairs producing 32-bit results (two per word).
+pub fn pmadd_h(a: u64, b: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..2 {
+        let lo = lane_s(a, Elem::H, 2 * i) * lane_s(b, Elem::H, 2 * i);
+        let hi = lane_s(a, Elem::H, 2 * i + 1) * lane_s(b, Elem::H, 2 * i + 1);
+        out = set_lane(out, Elem::W, i, (lo + hi) as u64);
+    }
+    out
+}
+
+/// Packed unsigned average with rounding: `(a + b + 1) >> 1`.
+pub fn pavg_u(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| (lane_u(a, e, i) + lane_u(b, e, i) + 1) >> 1)
+}
+
+/// Packed minimum.
+pub fn pmin(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| match sign {
+        Sign::Signed => {
+            let v = lane_s(a, e, i).min(lane_s(b, e, i));
+            (v as u64) & mask(e.bits())
+        }
+        Sign::Unsigned => lane_u(a, e, i).min(lane_u(b, e, i)),
+    })
+}
+
+/// Packed maximum.
+pub fn pmax(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| match sign {
+        Sign::Signed => {
+            let v = lane_s(a, e, i).max(lane_s(b, e, i));
+            (v as u64) & mask(e.bits())
+        }
+        Sign::Unsigned => lane_u(a, e, i).max(lane_u(b, e, i)),
+    })
+}
+
+/// Packed absolute difference of unsigned elements.
+pub fn pabsdiff_u(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| {
+        let x = lane_u(a, e, i) as i64;
+        let y = lane_u(b, e, i) as i64;
+        (x - y).unsigned_abs() & mask(e.bits())
+    })
+}
+
+/// Sum of absolute differences of the eight unsigned bytes of `a` and `b`.
+/// Returns the scalar sum (fits in 16 bits: 8 × 255 = 2040).
+pub fn psad_u8(a: u64, b: u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..8 {
+        let x = lane_u(a, Elem::B, i) as i64;
+        let y = lane_u(b, Elem::B, i) as i64;
+        sum += (x - y).unsigned_abs();
+    }
+    sum
+}
+
+/// Packed compare-equal: each lane becomes all-ones when equal, zero otherwise.
+pub fn pcmp_eq(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| {
+        if lane_u(a, e, i) == lane_u(b, e, i) {
+            mask(e.bits())
+        } else {
+            0
+        }
+    })
+}
+
+/// Packed signed compare-greater-than.
+pub fn pcmp_gt(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| {
+        if lane_s(a, e, i) > lane_s(b, e, i) {
+            mask(e.bits())
+        } else {
+            0
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shifts
+// ---------------------------------------------------------------------------
+
+/// Packed logical left shift by `amount` bits.
+pub fn pshl(e: Elem, a: u64, amount: u32) -> u64 {
+    let bits = e.bits();
+    if amount >= bits {
+        return 0;
+    }
+    from_lanes(e, |i| (lane_u(a, e, i) << amount) & mask(bits))
+}
+
+/// Packed logical right shift by `amount` bits.
+pub fn pshr_l(e: Elem, a: u64, amount: u32) -> u64 {
+    if amount >= e.bits() {
+        return 0;
+    }
+    from_lanes(e, |i| lane_u(a, e, i) >> amount)
+}
+
+/// Packed arithmetic right shift by `amount` bits.
+pub fn pshr_a(e: Elem, a: u64, amount: u32) -> u64 {
+    let bits = e.bits();
+    let amount = amount.min(bits - 1);
+    from_lanes(e, |i| ((lane_s(a, e, i) >> amount) as u64) & mask(bits))
+}
+
+// ---------------------------------------------------------------------------
+// Pack / unpack
+// ---------------------------------------------------------------------------
+
+/// Pack the lanes of two source words (`a` low half, `b` high half) into a
+/// word of the next narrower element width, saturating each value.
+///
+/// `e` is the *source* element width (`H` packs 16→8, `W` packs 32→16).
+pub fn ppack(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
+    let narrow = match e {
+        Elem::H => Elem::B,
+        Elem::W => Elem::H,
+        Elem::B => panic!("cannot pack 8-bit elements narrower"),
+    };
+    let n = e.lanes();
+    from_lanes(narrow, |i| {
+        let src = if i < n { a } else { b };
+        let j = if i < n { i } else { i - n };
+        let v = lane_s(src, e, j);
+        match sign {
+            Sign::Signed => sat_s(v, narrow),
+            Sign::Unsigned => sat_u(v, narrow),
+        }
+    })
+}
+
+/// Interleave the low-half lanes of `a` and `b`, widening the element count:
+/// result lane 2k = a lane k, lane 2k+1 = b lane k (classic `punpckl`).
+pub fn punpack_lo(e: Elem, a: u64, b: u64) -> u64 {
+    from_lanes(e, |i| {
+        let src = if i % 2 == 0 { a } else { b };
+        lane_u(src, e, i / 2)
+    })
+}
+
+/// Interleave the high-half lanes of `a` and `b` (classic `punpckh`).
+pub fn punpack_hi(e: Elem, a: u64, b: u64) -> u64 {
+    let half = e.lanes() / 2;
+    from_lanes(e, |i| {
+        let src = if i % 2 == 0 { a } else { b };
+        lane_u(src, e, half + i / 2)
+    })
+}
+
+/// Widen the low half of the unsigned lanes of `a` into the next wider
+/// element width (zero extension).  `e` is the source width.
+pub fn pwiden_lo_u(e: Elem, a: u64) -> u64 {
+    let wide = match e {
+        Elem::B => Elem::H,
+        Elem::H => Elem::W,
+        Elem::W => panic!("cannot widen 32-bit elements"),
+    };
+    from_lanes(wide, |i| lane_u(a, e, i))
+}
+
+/// Widen the high half of the unsigned lanes of `a` into the next wider width.
+pub fn pwiden_hi_u(e: Elem, a: u64) -> u64 {
+    let wide = match e {
+        Elem::B => Elem::H,
+        Elem::H => Elem::W,
+        Elem::W => panic!("cannot widen 32-bit elements"),
+    };
+    let half = e.lanes() / 2;
+    from_lanes(wide, |i| lane_u(a, e, half + i))
+}
+
+/// Widen the low half of the signed lanes of `a` (sign extension).
+pub fn pwiden_lo_s(e: Elem, a: u64) -> u64 {
+    let wide = match e {
+        Elem::B => Elem::H,
+        Elem::H => Elem::W,
+        Elem::W => panic!("cannot widen 32-bit elements"),
+    };
+    from_lanes(wide, |i| (lane_s(a, e, i) as u64) & mask(wide.bits()))
+}
+
+/// Widen the high half of the signed lanes of `a` (sign extension).
+pub fn pwiden_hi_s(e: Elem, a: u64) -> u64 {
+    let wide = match e {
+        Elem::B => Elem::H,
+        Elem::H => Elem::W,
+        Elem::W => panic!("cannot widen 32-bit elements"),
+    };
+    let half = e.lanes() / 2;
+    from_lanes(wide, |i| (lane_s(a, e, half + i) as u64) & mask(wide.bits()))
+}
+
+// ---------------------------------------------------------------------------
+// Conversions between packed words and Rust slices (used by the workload
+// generators, the reference implementations and the tests).
+// ---------------------------------------------------------------------------
+
+/// Pack eight unsigned bytes into a 64-bit word (lane 0 = lowest byte).
+pub fn pack_u8x8(v: [u8; 8]) -> u64 {
+    u64::from_le_bytes(v)
+}
+
+/// Unpack a 64-bit word into eight unsigned bytes.
+pub fn unpack_u8x8(x: u64) -> [u8; 8] {
+    x.to_le_bytes()
+}
+
+/// Pack four signed 16-bit values into a 64-bit word.
+pub fn pack_i16x4(v: [i16; 4]) -> u64 {
+    let mut out = 0u64;
+    for (i, &e) in v.iter().enumerate() {
+        out = set_lane(out, Elem::H, i, e as u16 as u64);
+    }
+    out
+}
+
+/// Unpack a 64-bit word into four signed 16-bit values.
+pub fn unpack_i16x4(x: u64) -> [i16; 4] {
+    let mut out = [0i16; 4];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = lane_u(x, Elem::H, i) as u16 as i16;
+    }
+    out
+}
+
+/// Pack two signed 32-bit values into a 64-bit word.
+pub fn pack_i32x2(v: [i32; 2]) -> u64 {
+    let mut out = 0u64;
+    for (i, &e) in v.iter().enumerate() {
+        out = set_lane(out, Elem::W, i, e as u32 as u64);
+    }
+    out
+}
+
+/// Unpack a 64-bit word into two signed 32-bit values.
+pub fn unpack_i32x2(x: u64) -> [i32; 2] {
+    [lane_u(x, Elem::W, 0) as u32 as i32, lane_u(x, Elem::W, 1) as u32 as i32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_roundtrip_b() {
+        let w = pack_u8x8([1, 2, 3, 4, 5, 250, 0, 255]);
+        assert_eq!(lane_u(w, Elem::B, 0), 1);
+        assert_eq!(lane_u(w, Elem::B, 5), 250);
+        assert_eq!(lane_u(w, Elem::B, 7), 255);
+        assert_eq!(lane_s(w, Elem::B, 7), -1);
+    }
+
+    #[test]
+    fn lane_roundtrip_h() {
+        let w = pack_i16x4([100, -100, 32767, -32768]);
+        assert_eq!(lane_s(w, Elem::H, 0), 100);
+        assert_eq!(lane_s(w, Elem::H, 1), -100);
+        assert_eq!(lane_s(w, Elem::H, 2), 32767);
+        assert_eq!(lane_s(w, Elem::H, 3), -32768);
+        assert_eq!(unpack_i16x4(w), [100, -100, 32767, -32768]);
+    }
+
+    #[test]
+    fn set_lane_preserves_others() {
+        let w = pack_i16x4([1, 2, 3, 4]);
+        let w2 = set_lane(w, Elem::H, 2, 0xFFFF);
+        assert_eq!(unpack_i16x4(w2), [1, 2, -1, 4]);
+    }
+
+    #[test]
+    fn padd_wrap_and_saturate() {
+        let a = pack_u8x8([200, 100, 0, 0, 0, 0, 0, 0]);
+        let b = pack_u8x8([100, 100, 0, 0, 0, 0, 0, 0]);
+        let wrap = padd(Elem::B, Sat::Wrap, a, b);
+        assert_eq!(unpack_u8x8(wrap)[0], 44); // 300 mod 256
+        let sat = padd(Elem::B, Sat::Unsigned, a, b);
+        assert_eq!(unpack_u8x8(sat)[0], 255);
+        assert_eq!(unpack_u8x8(sat)[1], 200);
+    }
+
+    #[test]
+    fn padd_signed_saturate_h() {
+        let a = pack_i16x4([32000, -32000, 1, -1]);
+        let b = pack_i16x4([2000, -2000, 1, -1]);
+        let r = padd(Elem::H, Sat::Signed, a, b);
+        assert_eq!(unpack_i16x4(r), [32767, -32768, 2, -2]);
+    }
+
+    #[test]
+    fn psub_unsigned_saturates_at_zero() {
+        let a = pack_u8x8([10, 20, 0, 0, 0, 0, 0, 0]);
+        let b = pack_u8x8([20, 10, 0, 0, 0, 0, 0, 0]);
+        let r = psub(Elem::B, Sat::Unsigned, a, b);
+        assert_eq!(unpack_u8x8(r)[0], 0);
+        assert_eq!(unpack_u8x8(r)[1], 10);
+    }
+
+    #[test]
+    fn pmul_lo_hi_h() {
+        let a = pack_i16x4([300, -300, 2, 1000]);
+        let b = pack_i16x4([300, 300, -2, 1000]);
+        let lo = pmul_lo(Elem::H, a, b);
+        let hi = pmul_hi(Elem::H, a, b);
+        // 300*300 = 90000 = 0x15F90 → lo 0x5F90 (24464 unsigned → as i16 24464), hi 0x1.
+        assert_eq!(lane_u(lo, Elem::H, 0), 0x5F90);
+        assert_eq!(lane_u(hi, Elem::H, 0), 0x1);
+        // -300*300 = -90000 → hi = -2 (0xFFFE)
+        assert_eq!(lane_s(hi, Elem::H, 1), -2);
+        assert_eq!(lane_s(lo, Elem::H, 2), -4);
+        // 1000*1000 = 1_000_000; hi = 15
+        assert_eq!(lane_s(hi, Elem::H, 3), 15);
+    }
+
+    #[test]
+    fn pmadd_pairs() {
+        let a = pack_i16x4([1, 2, 3, 4]);
+        let b = pack_i16x4([5, 6, 7, 8]);
+        let r = pmadd_h(a, b);
+        assert_eq!(unpack_i32x2(r), [1 * 5 + 2 * 6, 3 * 7 + 4 * 8]);
+    }
+
+    #[test]
+    fn pavg_rounds_up() {
+        let a = pack_u8x8([1, 2, 255, 0, 0, 0, 0, 0]);
+        let b = pack_u8x8([2, 2, 255, 0, 0, 0, 0, 0]);
+        let r = pavg_u(Elem::B, a, b);
+        assert_eq!(unpack_u8x8(r)[0], 2);
+        assert_eq!(unpack_u8x8(r)[1], 2);
+        assert_eq!(unpack_u8x8(r)[2], 255);
+    }
+
+    #[test]
+    fn psad_matches_scalar() {
+        let a = pack_u8x8([10, 0, 255, 7, 1, 2, 3, 4]);
+        let b = pack_u8x8([0, 10, 0, 7, 4, 3, 2, 1]);
+        let expect: u64 = [10u64, 10, 255, 0, 3, 1, 1, 3].iter().sum();
+        assert_eq!(psad_u8(a, b), expect);
+    }
+
+    #[test]
+    fn min_max_signed_unsigned() {
+        let a = pack_u8x8([0, 255, 128, 1, 0, 0, 0, 0]);
+        let b = pack_u8x8([255, 0, 127, 2, 0, 0, 0, 0]);
+        let minu = pmin(Elem::B, Sign::Unsigned, a, b);
+        let maxs = pmax(Elem::B, Sign::Signed, a, b);
+        assert_eq!(unpack_u8x8(minu)[0], 0);
+        assert_eq!(unpack_u8x8(minu)[2], 127);
+        // signed: 128 is -128, 127 is max
+        assert_eq!(unpack_u8x8(maxs)[2], 127);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = pack_i16x4([-4, 4, 1024, -1024]);
+        assert_eq!(unpack_i16x4(pshr_a(Elem::H, a, 1)), [-2, 2, 512, -512]);
+        assert_eq!(unpack_i16x4(pshl(Elem::H, a, 2)), [-16, 16, 4096, -4096]);
+        let u = pshr_l(Elem::H, pack_i16x4([-4, 4, 0, 0]), 1);
+        assert_eq!(lane_u(u, Elem::H, 0), 0x7FFE);
+    }
+
+    #[test]
+    fn pack_saturates() {
+        let a = pack_i16x4([300, -300, 100, -100]);
+        let b = pack_i16x4([0, 255, 256, -1]);
+        let packed_u = ppack(Elem::H, Sign::Unsigned, a, b);
+        assert_eq!(
+            unpack_u8x8(packed_u),
+            [255, 0, 100, 0, 0, 255, 255, 0]
+        );
+        let packed_s = ppack(Elem::H, Sign::Signed, a, b);
+        assert_eq!(lane_s(packed_s, Elem::B, 0), 127);
+        assert_eq!(lane_s(packed_s, Elem::B, 1), -128);
+    }
+
+    #[test]
+    fn unpack_interleaves() {
+        let a = pack_u8x8([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = pack_u8x8([11, 12, 13, 14, 15, 16, 17, 18]);
+        let lo = punpack_lo(Elem::B, a, b);
+        assert_eq!(unpack_u8x8(lo), [1, 11, 2, 12, 3, 13, 4, 14]);
+        let hi = punpack_hi(Elem::B, a, b);
+        assert_eq!(unpack_u8x8(hi), [5, 15, 6, 16, 7, 17, 8, 18]);
+    }
+
+    #[test]
+    fn widen_lanes() {
+        let a = pack_u8x8([1, 2, 3, 4, 250, 251, 252, 253]);
+        let lo = pwiden_lo_u(Elem::B, a);
+        assert_eq!(unpack_i16x4(lo), [1, 2, 3, 4]);
+        let hi = pwiden_hi_u(Elem::B, a);
+        assert_eq!(unpack_i16x4(hi), [250, 251, 252, 253]);
+        let s = pwiden_lo_s(Elem::B, pack_u8x8([255, 1, 128, 0, 0, 0, 0, 0]));
+        assert_eq!(unpack_i16x4(s), [-1, 1, -128, 0]);
+    }
+
+    #[test]
+    fn compare_masks() {
+        let a = pack_i16x4([1, 5, -3, 0]);
+        let b = pack_i16x4([1, 2, -1, 0]);
+        let eq = pcmp_eq(Elem::H, a, b);
+        assert_eq!(unpack_i16x4(eq), [-1, 0, 0, -1]);
+        let gt = pcmp_gt(Elem::H, a, b);
+        assert_eq!(unpack_i16x4(gt), [0, -1, 0, 0]);
+    }
+
+    #[test]
+    fn splat_broadcasts() {
+        assert_eq!(splat(Elem::B, 0xAB), 0xABABABABABABABAB);
+        assert_eq!(splat(Elem::H, 0x1234), 0x1234123412341234);
+        assert_eq!(splat(Elem::W, 0x89ABCDEF), 0x89ABCDEF89ABCDEF);
+    }
+
+    #[test]
+    fn absdiff_unsigned() {
+        let a = pack_u8x8([10, 250, 0, 0, 0, 0, 0, 0]);
+        let b = pack_u8x8([250, 10, 0, 0, 0, 0, 0, 0]);
+        let r = pabsdiff_u(Elem::B, a, b);
+        assert_eq!(unpack_u8x8(r)[0], 240);
+        assert_eq!(unpack_u8x8(r)[1], 240);
+    }
+}

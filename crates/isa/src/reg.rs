@@ -1,0 +1,175 @@
+//! Register files and register identifiers.
+//!
+//! The architecture (paper §3.2, Table 2) has five architecturally visible
+//! register classes:
+//!
+//! * **Int** — 64-bit general purpose integer registers (addresses, scalars,
+//!   loop counters).
+//! * **Simd** — 64-bit µSIMD registers holding packed sub-word data
+//!   (eight 8-bit / four 16-bit / two 32-bit elements).
+//! * **Vec** — vector registers of 16 × 64-bit words; each word is itself a
+//!   packed µSIMD word, so a vector register holds a matrix of up to 16 × 8
+//!   elements.
+//! * **Acc** — 192-bit packed accumulators used by reductions (SAD,
+//!   multiply-accumulate).
+//! * **Ctrl** — the two control registers: the vector-length register `VL`
+//!   and the vector-stride register `VS`.
+
+use std::fmt;
+
+/// Maximum architectural vector length (number of 64-bit words per vector
+/// register), fixed at 16 by the ISA (paper §3.1).
+pub const MAX_VL: u32 = 16;
+
+/// Register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit integer registers.
+    Int,
+    /// 64-bit packed µSIMD registers.
+    Simd,
+    /// Vector registers (16 × 64-bit words).
+    Vec,
+    /// 192-bit packed accumulators.
+    Acc,
+    /// Control registers (`VL`, `VS`).
+    Ctrl,
+}
+
+impl RegClass {
+    /// All register classes, in a fixed order (useful for iteration in the
+    /// register allocator and the simulator).
+    pub const ALL: [RegClass; 5] =
+        [RegClass::Int, RegClass::Simd, RegClass::Vec, RegClass::Acc, RegClass::Ctrl];
+
+    /// Short prefix used when printing registers (`r`, `s`, `v`, `a`, `c`).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            RegClass::Int => "r",
+            RegClass::Simd => "s",
+            RegClass::Vec => "v",
+            RegClass::Acc => "a",
+            RegClass::Ctrl => "c",
+        }
+    }
+}
+
+/// Index of the vector-length control register.
+pub const CTRL_VL: u32 = 0;
+/// Index of the vector-stride control register.
+pub const CTRL_VS: u32 = 1;
+
+/// A register identifier.  Before register allocation the index is a
+/// *virtual* register number (unbounded); after allocation it is a physical
+/// register number within the class's architectural register file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    pub class: RegClass,
+    pub index: u32,
+}
+
+impl Reg {
+    pub const fn new(class: RegClass, index: u32) -> Self {
+        Reg { class, index }
+    }
+
+    pub const fn int(index: u32) -> Self {
+        Reg::new(RegClass::Int, index)
+    }
+
+    pub const fn simd(index: u32) -> Self {
+        Reg::new(RegClass::Simd, index)
+    }
+
+    pub const fn vec(index: u32) -> Self {
+        Reg::new(RegClass::Vec, index)
+    }
+
+    pub const fn acc(index: u32) -> Self {
+        Reg::new(RegClass::Acc, index)
+    }
+
+    /// The vector-length control register.
+    pub const fn vl() -> Self {
+        Reg::new(RegClass::Ctrl, CTRL_VL)
+    }
+
+    /// The vector-stride control register.
+    pub const fn vs() -> Self {
+        Reg::new(RegClass::Ctrl, CTRL_VS)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.class.prefix(), self.index)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.class == RegClass::Ctrl {
+            match self.index {
+                CTRL_VL => write!(f, "vl"),
+                CTRL_VS => write!(f, "vs"),
+                i => write!(f, "c{i}"),
+            }
+        } else {
+            write!(f, "{}{}", self.class.prefix(), self.index)
+        }
+    }
+}
+
+/// Architectural register file sizes for one machine configuration
+/// (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFileSizes {
+    pub int: u32,
+    pub simd: u32,
+    pub vec: u32,
+    pub acc: u32,
+}
+
+impl RegFileSizes {
+    /// Number of physical registers available for a class.  Control
+    /// registers always exist (VL and VS).
+    pub fn count(&self, class: RegClass) -> u32 {
+        match class {
+            RegClass::Int => self.int,
+            RegClass::Simd => self.simd,
+            RegClass::Vec => self.vec,
+            RegClass::Acc => self.acc,
+            RegClass::Ctrl => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::int(3).to_string(), "r3");
+        assert_eq!(Reg::simd(12).to_string(), "s12");
+        assert_eq!(Reg::vec(0).to_string(), "v0");
+        assert_eq!(Reg::acc(1).to_string(), "a1");
+        assert_eq!(Reg::vl().to_string(), "vl");
+        assert_eq!(Reg::vs().to_string(), "vs");
+    }
+
+    #[test]
+    fn regfile_counts() {
+        let sizes = RegFileSizes { int: 64, simd: 0, vec: 20, acc: 4 };
+        assert_eq!(sizes.count(RegClass::Int), 64);
+        assert_eq!(sizes.count(RegClass::Vec), 20);
+        assert_eq!(sizes.count(RegClass::Ctrl), 2);
+    }
+
+    #[test]
+    fn reg_equality_and_ordering() {
+        assert_eq!(Reg::int(1), Reg::int(1));
+        assert_ne!(Reg::int(1), Reg::simd(1));
+        assert!(Reg::int(1) < Reg::int(2));
+    }
+}

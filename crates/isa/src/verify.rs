@@ -1,0 +1,229 @@
+//! Static well-formedness checks for programs.
+//!
+//! The builder API makes it easy to construct malformed programs (branches to
+//! missing labels, operands of the wrong register class, operations after a
+//! block terminator).  `verify_program` catches these mistakes before the
+//! scheduler or the simulator trip over them, and is run by the kernel test
+//! suite on every generated program.
+
+use std::collections::HashSet;
+
+use crate::opcode::Opcode;
+use crate::program::{Program, RegionId};
+use crate::reg::RegClass;
+
+/// A single verification problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub block: String,
+    pub op_index: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} @ {}] {}", self.block, self.op_index, self.message)
+    }
+}
+
+/// Verify a program, returning every problem found (empty = well-formed).
+pub fn verify_program(program: &Program) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    let labels: HashSet<&str> = program.blocks.iter().map(|b| b.label.as_str()).collect();
+
+    // Duplicate labels.
+    {
+        let mut seen = HashSet::new();
+        for block in &program.blocks {
+            if !seen.insert(block.label.as_str()) {
+                errors.push(VerifyError {
+                    block: block.label.clone(),
+                    op_index: 0,
+                    message: format!("duplicate block label '{}'", block.label),
+                });
+            }
+        }
+    }
+
+    // Region metadata.
+    for block in &program.blocks {
+        if block.region != RegionId::SCALAR && program.region_info(block.region).is_none() {
+            errors.push(VerifyError {
+                block: block.label.clone(),
+                op_index: 0,
+                message: format!("block references undeclared region {}", block.region.0),
+            });
+        }
+    }
+
+    for block in &program.blocks {
+        for (i, op) in block.ops.iter().enumerate() {
+            let mut err = |message: String| {
+                errors.push(VerifyError { block: block.label.clone(), op_index: i, message });
+            };
+
+            // Control operations may only appear as the last operation of a
+            // block (blocks are the scheduling unit).
+            if i + 1 < block.ops.len() && (op.opcode.is_branch() || op.opcode == Opcode::Halt) {
+                err(format!(
+                    "control operation {} is not the last in its block",
+                    op.opcode.mnemonic()
+                ));
+            }
+
+            // Branch targets must exist.
+            if op.opcode.is_branch() {
+                match &op.target {
+                    Some(t) if labels.contains(t.as_str()) => {}
+                    Some(t) => err(format!("branch target '{t}' does not exist")),
+                    None => err("branch without a target".to_string()),
+                }
+            }
+
+            // Destination register class must match the opcode.
+            match (op.opcode.dst_class(), op.dst) {
+                (Some(expected), Some(reg)) => {
+                    if reg.class != expected {
+                        err(format!(
+                            "destination {reg} has class {:?}, expected {:?}",
+                            reg.class, expected
+                        ));
+                    }
+                }
+                (Some(_), None) => err("missing destination register".to_string()),
+                (None, Some(reg)) => err(format!("unexpected destination register {reg}")),
+                (None, None) => {}
+            }
+
+            // Source sanity for a few structurally important opcodes.
+            match op.opcode {
+                Opcode::Load(..) | Opcode::PLoad | Opcode::VLoad => {
+                    if op.srcs.first().map(|r| r.class) != Some(RegClass::Int) {
+                        err("memory operation needs an integer base address register".into());
+                    }
+                }
+                Opcode::Store(..) | Opcode::PStore | Opcode::VStore => {
+                    if op.srcs.first().map(|r| r.class) != Some(RegClass::Int) {
+                        err("memory operation needs an integer base address register".into());
+                    }
+                    if op.srcs.len() < 2 {
+                        err("store needs a value register".into());
+                    }
+                }
+                Opcode::MovI => {
+                    if op.imm.is_none() {
+                        err("movi needs an immediate".into());
+                    }
+                }
+                Opcode::SetVL | Opcode::SetVS => {
+                    if op.imm.is_none() && op.srcs.is_empty() {
+                        err("setvl/setvs needs an immediate or a source register".into());
+                    }
+                }
+                Opcode::VSadAcc | Opcode::VMacAcc => {
+                    if op.srcs.len() != 3 || op.srcs[0].class != RegClass::Acc {
+                        err("accumulator op needs (acc, vec, vec) sources".into());
+                    }
+                }
+                _ => {}
+            }
+
+            // Vector lengths must never exceed the architectural maximum.
+            if let Some(vl) = op.vl_hint {
+                if vl == 0 || vl > crate::reg::MAX_VL {
+                    err(format!("vl hint {vl} outside 1..={}", crate::reg::MAX_VL));
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+/// Convenience wrapper: panic with a readable message if the program is
+/// malformed.  Used by tests and by the kernel constructors in debug builds.
+pub fn assert_well_formed(program: &Program) {
+    let errors = verify_program(program);
+    if !errors.is_empty() {
+        let mut msg = format!("program '{}' failed verification:\n", program.name);
+        for e in &errors {
+            msg.push_str(&format!("  {e}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::opcode::{BrCond, Opcode};
+    use crate::program::{BasicBlock, Op};
+    use crate::reg::Reg;
+
+    #[test]
+    fn well_formed_program_passes() {
+        let mut b = ProgramBuilder::new("ok");
+        let x = b.imm(3);
+        b.counted_loop("l", 4, |b, _| {
+            b.addi(x, x, 1);
+        });
+        b.halt();
+        let p = b.finish();
+        assert!(verify_program(&p).is_empty());
+    }
+
+    #[test]
+    fn missing_branch_target_is_reported() {
+        let mut p = Program::new("bad");
+        let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
+        blk.ops.push(
+            Op::new(Opcode::Br(BrCond::Eq))
+                .with_srcs(&[Reg::int(0), Reg::int(1)])
+                .with_target("nowhere"),
+        );
+        p.blocks.push(blk);
+        let errs = verify_program(&p);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("nowhere"));
+    }
+
+    #[test]
+    fn wrong_dst_class_is_reported() {
+        let mut p = Program::new("bad");
+        let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
+        blk.ops.push(Op::new(Opcode::IAdd).with_dst(Reg::simd(0)).with_srcs(&[Reg::int(0), Reg::int(1)]));
+        p.blocks.push(blk);
+        let errs = verify_program(&p);
+        assert!(errs.iter().any(|e| e.message.contains("expected")));
+    }
+
+    #[test]
+    fn store_without_value_is_reported() {
+        let mut p = Program::new("bad");
+        let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
+        blk.ops.push(Op::new(Opcode::Store(crate::opcode::MemWidth::B4)).with_srcs(&[Reg::int(0)]));
+        p.blocks.push(blk);
+        let errs = verify_program(&p);
+        assert!(errs.iter().any(|e| e.message.contains("value register")));
+    }
+
+    #[test]
+    fn undeclared_region_is_reported() {
+        let mut p = Program::new("bad");
+        p.blocks.push(BasicBlock::new("entry", RegionId(7)));
+        let errs = verify_program(&p);
+        assert!(errs.iter().any(|e| e.message.contains("undeclared region")));
+    }
+
+    #[test]
+    fn misplaced_branch_is_reported() {
+        let mut p = Program::new("bad");
+        let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
+        blk.ops.push(Op::new(Opcode::Jump).with_target("entry"));
+        blk.ops.push(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(1));
+        p.blocks.push(blk);
+        let errs = verify_program(&p);
+        assert!(errs.iter().any(|e| e.message.contains("not the last")));
+    }
+}

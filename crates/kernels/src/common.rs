@@ -1,0 +1,201 @@
+//! Shared infrastructure for the benchmark kernels: ISA variants, memory
+//! layout management, and the `BenchmarkBuild` bundle handed to the
+//! experiment driver (program + initial memory image + output checks).
+
+use vmv_isa::Program;
+
+/// Which ISA a benchmark program is written in.  Each benchmark has three
+/// versions of its *vector regions* (paper §4.1: the applications were
+/// hand-written with µSIMD and Vector-µSIMD emulation libraries); the scalar
+/// regions are identical across the three versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsaVariant {
+    /// Plain scalar VLIW code.
+    Scalar,
+    /// µSIMD (MMX/SSE-like packed) code.
+    Usimd,
+    /// Vector-µSIMD (MOM-like) code.
+    Vector,
+}
+
+impl IsaVariant {
+    pub const ALL: [IsaVariant; 3] = [IsaVariant::Scalar, IsaVariant::Usimd, IsaVariant::Vector];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaVariant::Scalar => "scalar",
+            IsaVariant::Usimd => "usimd",
+            IsaVariant::Vector => "vector",
+        }
+    }
+}
+
+/// A simple bump allocator for laying benchmark data out in the simulator's
+/// flat memory.  Every allocation is aligned and recorded by name so tests
+/// and output checks can find it again.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    next: u64,
+    symbols: Vec<(String, u64, usize)>,
+}
+
+impl Layout {
+    /// Create a layout starting at a small offset (address 0 is kept
+    /// unmapped to catch stray null-pointer style bugs in kernels).
+    pub fn new() -> Self {
+        Layout { next: 0x1000, symbols: Vec::new() }
+    }
+
+    /// Allocate `size` bytes aligned to `align` and record it under `name`.
+    pub fn alloc(&mut self, name: &str, size: usize, align: u64) -> u64 {
+        let align = align.max(1);
+        let addr = self.next.div_ceil(align) * align;
+        self.next = addr + size as u64;
+        self.symbols.push((name.to_string(), addr, size));
+        addr
+    }
+
+    /// Allocate with the default 64-byte (cache line) alignment.
+    pub fn alloc_bytes(&mut self, name: &str, size: usize) -> u64 {
+        self.alloc(name, size, 64)
+    }
+
+    /// Address of a previously allocated symbol.
+    pub fn addr(&self, name: &str) -> u64 {
+        self.symbols
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, a, _)| *a)
+            .unwrap_or_else(|| panic!("unknown layout symbol '{name}'"))
+    }
+
+    /// Size of a previously allocated symbol.
+    pub fn size(&self, name: &str) -> usize {
+        self.symbols
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, s)| *s)
+            .unwrap_or_else(|| panic!("unknown layout symbol '{name}'"))
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.next
+    }
+}
+
+/// Expected contents of an output buffer after the program has run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputCheck {
+    /// The bytes at `addr` must equal `expect` exactly.
+    Bytes { name: String, addr: u64, expect: Vec<u8> },
+    /// The little-endian u32 at `addr` must equal `expect`.
+    Word { name: String, addr: u64, expect: u32 },
+}
+
+impl OutputCheck {
+    pub fn name(&self) -> &str {
+        match self {
+            OutputCheck::Bytes { name, .. } | OutputCheck::Word { name, .. } => name,
+        }
+    }
+}
+
+/// Everything needed to run one benchmark variant on the simulator.
+#[derive(Debug, Clone)]
+pub struct BenchmarkBuild {
+    /// The (unscheduled) program; the experiment driver compiles it for each
+    /// machine configuration.
+    pub program: Program,
+    /// Initial memory contents: (address, bytes).
+    pub init: Vec<(u64, Vec<u8>)>,
+    /// Output checks evaluated after the run.
+    pub checks: Vec<OutputCheck>,
+    /// Total memory footprint required.
+    pub mem_size: usize,
+}
+
+impl BenchmarkBuild {
+    /// Verify `checks` against a memory-reading closure, returning the names
+    /// of the checks that failed.
+    pub fn failed_checks(&self, read: impl Fn(u64, usize) -> Vec<u8>) -> Vec<String> {
+        let mut failed = Vec::new();
+        for check in &self.checks {
+            let ok = match check {
+                OutputCheck::Bytes { addr, expect, .. } => read(*addr, expect.len()) == *expect,
+                OutputCheck::Word { addr, expect, .. } => {
+                    let b = read(*addr, 4);
+                    u32::from_le_bytes([b[0], b[1], b[2], b[3]]) == *expect
+                }
+            };
+            if !ok {
+                failed.push(check.name().to_string());
+            }
+        }
+        failed
+    }
+}
+
+/// Convert a slice of i16 to little-endian bytes (layout helper used by the
+/// kernels and the reference implementations).
+pub fn i16s_to_bytes(v: &[i16]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Convert a slice of i32 to little-endian bytes.
+pub fn i32s_to_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_alignment_and_lookup() {
+        let mut l = Layout::new();
+        let a = l.alloc_bytes("a", 100);
+        let b = l.alloc_bytes("b", 10);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+        assert_eq!(l.addr("a"), a);
+        assert_eq!(l.size("b"), 10);
+        assert!(l.footprint() >= b + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown layout symbol")]
+    fn unknown_symbol_panics() {
+        Layout::new().addr("nope");
+    }
+
+    #[test]
+    fn output_checks_detect_mismatches() {
+        let build = BenchmarkBuild {
+            program: Program::new("t"),
+            init: vec![],
+            checks: vec![
+                OutputCheck::Word { name: "sum".into(), addr: 0, expect: 42 },
+                OutputCheck::Bytes { name: "buf".into(), addr: 8, expect: vec![1, 2, 3] },
+            ],
+            mem_size: 64,
+        };
+        let mem = |addr: u64, len: usize| -> Vec<u8> {
+            let mut m = vec![0u8; 64];
+            m[0] = 42;
+            m[8] = 1;
+            m[9] = 2;
+            m[10] = 9; // wrong
+            m[addr as usize..addr as usize + len].to_vec()
+        };
+        let failed = build.failed_checks(mem);
+        assert_eq!(failed, vec!["buf".to_string()]);
+    }
+
+    #[test]
+    fn byte_conversions() {
+        assert_eq!(i16s_to_bytes(&[-1, 2]), vec![0xFF, 0xFF, 2, 0]);
+        assert_eq!(i32s_to_bytes(&[1]), vec![1, 0, 0, 0]);
+    }
+}

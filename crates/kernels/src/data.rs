@@ -1,0 +1,192 @@
+//! Synthetic workload generation.
+//!
+//! The original Mediabench inputs (Lena-style photographs, video clips and
+//! recorded speech) are not redistributable, so the workloads are generated
+//! synthetically with statistics that exercise the same code paths: smooth
+//! image gradients plus texture noise (so DCT coefficients are non-trivial),
+//! translated frames with noise (so motion estimation finds real matches),
+//! and band-limited speech-like waveforms (so LPC/LTP analysis has realistic
+//! correlation structure).  All generators are deterministic (fixed seeds)
+//! so every experiment is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic planar image (one byte per sample).
+#[derive(Debug, Clone)]
+pub struct Plane {
+    pub width: usize,
+    pub height: usize,
+    pub data: Vec<u8>,
+}
+
+impl Plane {
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+}
+
+/// Generate a smooth gradient plus texture noise image plane.
+pub fn synth_plane(width: usize, height: usize, seed: u64) -> Plane {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let gradient = (x * 200 / width.max(1) + y * 55 / height.max(1)) as i32;
+            let texture = ((x / 4 + y / 4) % 2) as i32 * 24;
+            let noise: i32 = rng.gen_range(-8..=8);
+            data.push((gradient + texture + noise).clamp(0, 255) as u8);
+        }
+    }
+    Plane { width, height, data }
+}
+
+/// Generate the three planes of an RGB image (stored planar, R then G then B).
+pub fn synth_rgb(width: usize, height: usize, seed: u64) -> [Plane; 3] {
+    [
+        synth_plane(width, height, seed),
+        synth_plane(width, height, seed.wrapping_add(1)),
+        synth_plane(width, height, seed.wrapping_add(2)),
+    ]
+}
+
+/// Generate a "reference frame / current frame" pair for motion estimation:
+/// the current frame is the reference shifted by (`dx`, `dy`) plus noise, so
+/// a block-matching search has a well-defined best match.
+pub fn synth_frame_pair(
+    width: usize,
+    height: usize,
+    dx: isize,
+    dy: isize,
+    seed: u64,
+) -> (Plane, Plane) {
+    let reference = synth_plane(width, height, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut cur = vec![0u8; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let sx = (x as isize + dx).clamp(0, width as isize - 1) as usize;
+            let sy = (y as isize + dy).clamp(0, height as isize - 1) as usize;
+            let noise: i32 = rng.gen_range(-3..=3);
+            cur[y * width + x] = (reference.at(sx, sy) as i32 + noise).clamp(0, 255) as u8;
+        }
+    }
+    (reference, Plane { width, height, data: cur })
+}
+
+/// Generate `n` 16-bit speech-like samples: a sum of a few low-frequency
+/// sinusoids (approximated with integer arithmetic) plus noise, scaled to the
+/// given amplitude.
+pub fn synth_speech(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    // Integer sine approximation via a second-order resonator.
+    let mut s1: i64 = 0;
+    let mut s2: i64 = amplitude as i64 / 2;
+    let mut t1: i64 = amplitude as i64 / 3;
+    let mut t2: i64 = 0;
+    for _ in 0..n {
+        // resonator 1 (slow), resonator 2 (faster)
+        let next1 = (2 * 985 * s1) / 1000 - s2;
+        s2 = s1;
+        s1 = next1;
+        let next2 = (2 * 870 * t1) / 1000 - t2;
+        t2 = t1;
+        t1 = next2;
+        let noise: i64 = rng.gen_range(-(amplitude as i64) / 16..=(amplitude as i64) / 16);
+        let v = (s1 / 2 + t1 / 3 + noise).clamp(-(amplitude as i64), amplitude as i64);
+        out.push(v as i16);
+    }
+    out
+}
+
+/// Generate pseudo-random 16-bit residual coefficients for decoder add-block
+/// style kernels (small values centred on zero, as after dequantisation).
+pub fn synth_residual(n: usize, max_mag: i16, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-max_mag..=max_mag)).collect()
+}
+
+/// Generate a JPEG-style quantisation reciprocal table: `recip[i] = 65536 /
+/// q[i]` for a typical luminance quality table scaled by `quality_scale`.
+pub fn quant_reciprocals(quality_scale: u32) -> [i16; 64] {
+    // The standard JPEG luminance quantisation table.
+    const BASE: [u16; 64] = [
+        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57,
+        69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64,
+        81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    ];
+    let mut out = [0i16; 64];
+    for (i, &b) in BASE.iter().enumerate() {
+        let q = ((b as u32 * quality_scale.max(1)) / 50).clamp(1, 255);
+        out[i] = (65536 / (q as i32 * 2)).min(i16::MAX as i32) as i16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_are_deterministic_and_in_range() {
+        let a = synth_plane(32, 24, 7);
+        let b = synth_plane(32, 24, 7);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.len(), 32 * 24);
+        let c = synth_plane(32, 24, 8);
+        assert_ne!(a.data, c.data, "different seeds give different images");
+    }
+
+    #[test]
+    fn frame_pair_has_a_true_motion_vector() {
+        let (reference, cur) = synth_frame_pair(48, 48, 2, 1, 99);
+        // The SAD at the true displacement should be much smaller than at a
+        // wrong displacement (for an interior block).
+        let sad = |dx: usize, dy: usize| -> u32 {
+            let mut s = 0u32;
+            for y in 0..16 {
+                for x in 0..16 {
+                    let c = cur.at(16 + x, 16 + y) as i32;
+                    let r = reference.at(16 + x + dx, 16 + y + dy) as i32;
+                    s += (c - r).unsigned_abs();
+                }
+            }
+            s
+        };
+        assert!(sad(2, 1) < sad(0, 0));
+        assert!(sad(2, 1) < sad(4, 3));
+    }
+
+    #[test]
+    fn speech_is_bounded_and_correlated() {
+        let s = synth_speech(320, 512, 3);
+        assert_eq!(s.len(), 320);
+        assert!(s.iter().all(|&x| x.abs() <= 512));
+        // Lag-1 autocorrelation should be strongly positive for a
+        // band-limited signal.
+        let c0: i64 = s.iter().map(|&x| x as i64 * x as i64).sum();
+        let c1: i64 = s.windows(2).map(|w| w[0] as i64 * w[1] as i64).sum();
+        assert!(c1 > c0 / 2, "c0={c0} c1={c1}");
+    }
+
+    #[test]
+    fn quant_reciprocals_are_positive() {
+        let r = quant_reciprocals(50);
+        assert!(r.iter().all(|&x| x > 0));
+        let finer = quant_reciprocals(25);
+        assert!(finer[0] >= r[0]);
+    }
+
+    #[test]
+    fn residuals_respect_magnitude() {
+        let r = synth_residual(100, 64, 1);
+        assert!(r.iter().all(|&x| x.abs() <= 64));
+    }
+}

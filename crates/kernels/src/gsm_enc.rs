@@ -1,0 +1,131 @@
+//! GSM full-rate encoder benchmark (gsm toast).
+//!
+//! Vector regions (Table 1): R1 long-term-prediction (LTP) parameter search
+//! (cross-correlation against the reconstructed residual history), R2
+//! autocorrelation of the windowed speech segment.  The scalar region runs
+//! the Schur recursion (LPC reflection coefficients), which is a serial
+//! first-order recurrence.
+
+use vmv_isa::{BrCond, ProgramBuilder};
+
+use crate::common::{i16s_to_bytes, i32s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::data;
+use crate::patterns::correlate::{emit_correlate, CorrelateParams};
+use crate::patterns::scalar_regions::{emit_recurrence, ref_recurrence};
+use crate::reference;
+
+/// Speech window length for the autocorrelation (multiple of 64).
+const WINDOW: usize = 128;
+/// Autocorrelation lags (GSM computes 9).
+const ACF_LAGS: usize = 9;
+/// LTP sub-segment length (multiple of 64).
+const LTP_WINDOW: usize = 64;
+/// LTP search lags.
+const LTP_LAGS: usize = 32;
+/// Schur recursion passes over the window.
+const SCHUR_PASSES: usize = 8;
+
+/// Build the GSM encoder benchmark in the requested ISA variant.
+pub fn build(variant: IsaVariant) -> BenchmarkBuild {
+    let mut layout = Layout::new();
+    let speech_addr = layout.alloc_bytes("speech", 2 * (WINDOW + 16));
+    let history_addr = layout.alloc_bytes("history", 2 * (LTP_WINDOW + LTP_LAGS + 16));
+    let acf_addr = layout.alloc_bytes("acf", 4 * ACF_LAGS);
+    let ltp_addr = layout.alloc_bytes("ltp_corr", 4 * LTP_LAGS);
+    let best_lag_addr = layout.alloc_bytes("best_lag", 8);
+    let schur_addr = layout.alloc_bytes("schur_checksum", 16);
+
+    // ------------------------------------------------------------ workload
+    let speech = data::synth_speech(WINDOW + 16, 500, 0x5001);
+    let history = data::synth_speech(LTP_WINDOW + LTP_LAGS + 16, 500, 0x5002);
+
+    // ----------------------------------------------------------- reference
+    let ref_acf = reference::correlate(&speech, &speech, WINDOW, ACF_LAGS);
+    let ref_ltp = reference::correlate(&speech, &history, LTP_WINDOW, LTP_LAGS);
+    let ref_best = ref_ltp
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &v)| v)
+        .map(|(i, _)| i)
+        .unwrap_or(0) as u32;
+    let ref_schur = ref_recurrence(&speech[..WINDOW], SCHUR_PASSES);
+
+    // ------------------------------------------------------------- program
+    let mut b = ProgramBuilder::new(format!("gsm_enc_{}", variant.name()));
+    b.label("start");
+
+    b.begin_region(2, "Autocorrelation");
+    emit_correlate(
+        &mut b,
+        variant,
+        &CorrelateParams {
+            a_addr: speech_addr,
+            b_addr: speech_addr,
+            n: WINDOW,
+            lags: ACF_LAGS,
+            out_addr: acf_addr,
+        },
+    );
+    b.end_region();
+
+    b.begin_region(1, "LTP parameters");
+    emit_correlate(
+        &mut b,
+        variant,
+        &CorrelateParams {
+            a_addr: speech_addr,
+            b_addr: history_addr,
+            n: LTP_WINDOW,
+            lags: LTP_LAGS,
+            out_addr: ltp_addr,
+        },
+    );
+    // Scalar max-search over the lags is part of the LTP region (it is a
+    // tiny loop compared with the correlations).
+    {
+        let best_val = b.imm(i32::MIN as i64);
+        let best_idx = b.imm(0);
+        let idx = b.ri();
+        b.li(idx, 0);
+        let ptr = b.imm(ltp_addr as i64);
+        b.counted_loop("ltp_max", LTP_LAGS as i64, |b, _| {
+            let v = b.ri();
+            b.ld32s(v, ptr, 0);
+            let skip = b.fresh_label("ltp_skip");
+            b.br(BrCond::Le, v, best_val, skip.clone());
+            b.auto_label("ltp_take");
+            b.mov(best_val, v);
+            b.mov(best_idx, idx);
+            b.label(skip);
+            b.addi(ptr, ptr, 4);
+            b.addi(idx, idx, 1);
+        });
+        let out = b.imm(best_lag_addr as i64);
+        b.st32(out, 0, best_idx);
+    }
+    b.end_region();
+
+    // Scalar region: Schur recursion (LPC analysis).
+    emit_recurrence(&mut b, speech_addr, WINDOW, SCHUR_PASSES, schur_addr);
+    b.halt();
+
+    // ------------------------------------------------------- initial memory
+    let init = vec![
+        (speech_addr, i16s_to_bytes(&speech)),
+        (history_addr, i16s_to_bytes(&history)),
+    ];
+
+    let checks = vec![
+        OutputCheck::Bytes { name: "autocorrelation".into(), addr: acf_addr, expect: i32s_to_bytes(&ref_acf) },
+        OutputCheck::Bytes { name: "ltp correlations".into(), addr: ltp_addr, expect: i32s_to_bytes(&ref_ltp) },
+        OutputCheck::Word { name: "best ltp lag".into(), addr: best_lag_addr, expect: ref_best },
+        OutputCheck::Word { name: "schur checksum".into(), addr: schur_addr, expect: ref_schur },
+    ];
+
+    BenchmarkBuild {
+        program: b.finish(),
+        init,
+        checks,
+        mem_size: (layout.footprint() as usize + 0xFFF) & !0xFFF,
+    }
+}

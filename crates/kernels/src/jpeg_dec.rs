@@ -1,0 +1,178 @@
+//! JPEG decoder benchmark (djpeg).
+//!
+//! Vector regions (Table 1): R1 YCbCr→RGB colour conversion, R2 h2v2 chroma
+//! up-sampling.  The scalar region contains a Huffman/bit-stream parser and
+//! the (non-vectorised in this benchmark, per Table 1) inverse DCT.
+
+use vmv_isa::ProgramBuilder;
+
+use crate::common::{i16s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::data;
+use crate::patterns::dct::{coef_pattern_tables, effective_coef_table, emit_dct, DctParams};
+use crate::patterns::pixel::{emit_color_mac3, Mac3Params};
+use crate::patterns::scalar_regions::{emit_bitstream_parse, ref_bitstream_parse};
+use crate::reference;
+
+/// Luminance pixels; must be a multiple of 128.
+const PIXELS: usize = 64 * 32;
+/// Chroma samples up-sampled by the h2v2 region.
+const CHROMA: usize = 512;
+/// 8×8 blocks pushed through the scalar inverse DCT.
+const IDCT_BLOCKS: usize = 8;
+/// Symbols parsed by the scalar bit-stream region.
+const SYMBOLS: usize = 2048;
+
+const R_COEF: ([i32; 3], i32, u32) = ([256, 359, 0], 128 - 359 * 128, 8);
+const G_COEF: ([i32; 3], i32, u32) = ([256, -88, -183], 128 + (88 + 183) * 128, 8);
+const B_COEF: ([i32; 3], i32, u32) = ([256, 454, 0], 128 - 454 * 128, 8);
+/// h2v2 up-sampling: out = (3·near + far + 2) >> 2.
+const UP_COEF: ([i32; 3], i32, u32) = ([3, 1, 0], 2, 2);
+
+fn vld_table() -> [u16; 16] {
+    std::array::from_fn(|i| 0x0200u16.wrapping_add((i as u16) * 13))
+}
+
+/// Build the JPEG decoder benchmark in the requested ISA variant.
+pub fn build(variant: IsaVariant) -> BenchmarkBuild {
+    let mut layout = Layout::new();
+    let y_addr = layout.alloc_bytes("y", PIXELS);
+    let cb_addr = layout.alloc_bytes("cb", PIXELS + 64);
+    let cr_addr = layout.alloc_bytes("cr", PIXELS + 64);
+    let r_addr = layout.alloc_bytes("r", PIXELS);
+    let g_addr = layout.alloc_bytes("g", PIXELS);
+    let b_addr = layout.alloc_bytes("b", PIXELS);
+    let up_out = layout.alloc_bytes("upsampled", CHROMA);
+    let idct_in = layout.alloc_bytes("idct_in", IDCT_BLOCKS * 128);
+    let idct_out = layout.alloc_bytes("idct_out", IDCT_BLOCKS * 128);
+    let idct_tmp = layout.alloc_bytes("idct_tmp", 128);
+    let coef_addr = layout.alloc_bytes("idct_coef", 128);
+    let pat_even = layout.alloc_bytes("pat_even", 1024);
+    let pat_odd = layout.alloc_bytes("pat_odd", 1024);
+    let bits_addr = layout.alloc_bytes("bitstream", SYMBOLS);
+    let table_addr = layout.alloc_bytes("vld_table", 32);
+    let checksum_addr = layout.alloc_bytes("checksum", 16);
+
+    // ------------------------------------------------------------ workload
+    let y = data::synth_plane(64, 32, 0x2001);
+    let cb = data::synth_plane(64, 33, 0x2002);
+    let cr = data::synth_plane(64, 33, 0x2003);
+    let resid = data::synth_residual(IDCT_BLOCKS * 64, 400, 0x2004);
+    let bitstream = data::synth_plane(SYMBOLS, 1, 0x2005).data;
+    let table = vld_table();
+
+    // ----------------------------------------------------------- reference
+    let cbp = &cb.data[..PIXELS];
+    let crp = &cr.data[..PIXELS];
+    let ref_r = reference::color_mac3(&y.data, crp, crp, R_COEF.0, R_COEF.1, R_COEF.2);
+    let ref_g = reference::color_mac3(&y.data, cbp, crp, G_COEF.0, G_COEF.1, G_COEF.2);
+    let ref_b = reference::color_mac3(&y.data, cbp, cbp, B_COEF.0, B_COEF.1, B_COEF.2);
+    let ref_up = reference::color_mac3(
+        &cb.data[..CHROMA],
+        &cb.data[1..CHROMA + 1],
+        &cb.data[..CHROMA],
+        UP_COEF.0,
+        UP_COEF.1,
+        UP_COEF.2,
+    );
+    let ref_idct = reference::dct_blocks(&resid, true);
+    let ref_cs = ref_bitstream_parse(&bitstream, SYMBOLS, &table);
+
+    // ------------------------------------------------------------- program
+    let mut b = ProgramBuilder::new(format!("jpeg_dec_{}", variant.name()));
+    b.label("start");
+
+    // Scalar region: bit-stream parsing (entropy decoding).
+    emit_bitstream_parse(&mut b, bits_addr, SYMBOLS, table_addr, checksum_addr);
+
+    // Scalar region: inverse DCT (not one of this benchmark's vector
+    // regions, Table 1 — always the scalar implementation).
+    emit_dct(
+        &mut b,
+        IsaVariant::Scalar,
+        &DctParams {
+            in_addr: idct_in,
+            out_addr: idct_out,
+            tmp_addr: idct_tmp,
+            coef_addr,
+            pat_even_addr: pat_even,
+            pat_odd_addr: pat_odd,
+            blocks: IDCT_BLOCKS,
+            inverse: true,
+        },
+    );
+
+    b.begin_region(1, "YCC to RGB color conversion");
+    for (out, srcs, (coef, bias, shift)) in [
+        (r_addr, (y_addr, cr_addr, cr_addr), R_COEF),
+        (g_addr, (y_addr, cb_addr, cr_addr), G_COEF),
+        (b_addr, (y_addr, cb_addr, cb_addr), B_COEF),
+    ] {
+        emit_color_mac3(
+            &mut b,
+            variant,
+            &Mac3Params {
+                a_addr: srcs.0,
+                b_addr: srcs.1,
+                c_addr: srcs.2,
+                out_addr: out,
+                n: PIXELS,
+                coef,
+                bias,
+                shift,
+            },
+        );
+    }
+    b.end_region();
+
+    b.begin_region(2, "H2v2 up-sample");
+    emit_color_mac3(
+        &mut b,
+        variant,
+        &Mac3Params {
+            a_addr: cb_addr,
+            b_addr: cb_addr + 1,
+            c_addr: cb_addr,
+            out_addr: up_out,
+            n: CHROMA,
+            coef: UP_COEF.0,
+            bias: UP_COEF.1,
+            shift: UP_COEF.2,
+        },
+    );
+    b.end_region();
+    b.halt();
+
+    // ------------------------------------------------------- initial memory
+    let (pat_even_bytes, pat_odd_bytes) = coef_pattern_tables(true);
+    let init = vec![
+        (y_addr, y.data.clone()),
+        (cb_addr, cb.data.clone()),
+        (cr_addr, cr.data.clone()),
+        (idct_in, i16s_to_bytes(&resid)),
+        (coef_addr, effective_coef_table(true)),
+        (pat_even, pat_even_bytes),
+        (pat_odd, pat_odd_bytes),
+        (bits_addr, bitstream),
+        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+    ];
+
+    let checks = vec![
+        OutputCheck::Bytes { name: "red plane".into(), addr: r_addr, expect: ref_r },
+        OutputCheck::Bytes { name: "green plane".into(), addr: g_addr, expect: ref_g },
+        OutputCheck::Bytes { name: "blue plane".into(), addr: b_addr, expect: ref_b },
+        OutputCheck::Bytes { name: "upsampled chroma".into(), addr: up_out, expect: ref_up },
+        OutputCheck::Bytes {
+            name: "inverse dct".into(),
+            addr: idct_out,
+            expect: i16s_to_bytes(&ref_idct),
+        },
+        OutputCheck::Word { name: "vld checksum".into(), addr: checksum_addr, expect: ref_cs },
+    ];
+
+    BenchmarkBuild {
+        program: b.finish(),
+        init,
+        checks,
+        mem_size: (layout.footprint() as usize + 0xFFF) & !0xFFF,
+    }
+}

@@ -1,0 +1,177 @@
+//! JPEG encoder benchmark (cjpeg).
+//!
+//! Vector regions (Table 1): R1 RGB→YCbCr colour conversion, R2 forward DCT,
+//! R3 quantisation.  The scalar region contains the level-shift glue and a
+//! Huffman-style entropy encoder over the quantised coefficients.
+
+use vmv_isa::ProgramBuilder;
+
+use crate::common::{i16s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::data;
+use crate::patterns::dct::{coef_pattern_tables, effective_coef_table, emit_dct, DctParams};
+use crate::patterns::pixel::{emit_color_mac3, emit_quantize, Mac3Params, QuantParams};
+use crate::patterns::scalar_regions::{emit_entropy_encode, ref_entropy_encode};
+use crate::reference;
+
+/// Image size (pixels); must be a multiple of 128.
+const PIXELS: usize = 64 * 32;
+/// Number of 8×8 luminance blocks pushed through the DCT and quantiser.
+const BLOCKS: usize = 16;
+
+/// Colour-conversion coefficient sets: (coef, bias, shift).
+const Y_COEF: ([i32; 3], i32, u32) = ([77, 150, 29], 128, 8);
+const CB_COEF: ([i32; 3], i32, u32) = ([-43, -85, 128], 128 + (128 << 8), 8);
+const CR_COEF: ([i32; 3], i32, u32) = ([128, -107, -21], 128 + (128 << 8), 8);
+
+/// Huffman-style code table used by the scalar entropy encoder.
+fn huff_table() -> [u16; 16] {
+    std::array::from_fn(|i| (0x0100u16).wrapping_add((i as u16) * 37))
+}
+
+/// Build the JPEG encoder benchmark in the requested ISA variant.
+pub fn build(variant: IsaVariant) -> BenchmarkBuild {
+    let mut layout = Layout::new();
+    let r_addr = layout.alloc_bytes("r", PIXELS);
+    let g_addr = layout.alloc_bytes("g", PIXELS);
+    let bl_addr = layout.alloc_bytes("b", PIXELS);
+    let y_addr = layout.alloc_bytes("y", PIXELS);
+    let cb_addr = layout.alloc_bytes("cb", PIXELS);
+    let cr_addr = layout.alloc_bytes("cr", PIXELS);
+    let dct_in = layout.alloc_bytes("dct_in", BLOCKS * 128);
+    let dct_out = layout.alloc_bytes("dct_out", BLOCKS * 128);
+    let dct_tmp = layout.alloc_bytes("dct_tmp", 128);
+    let quant_out = layout.alloc_bytes("quant_out", BLOCKS * 128);
+    let coef_addr = layout.alloc_bytes("dct_coef", 128);
+    let pat_even = layout.alloc_bytes("pat_even", 1024);
+    let pat_odd = layout.alloc_bytes("pat_odd", 1024);
+    let recip_addr = layout.alloc_bytes("recips", 128);
+    let table_addr = layout.alloc_bytes("huff_table", 32);
+    let checksum_addr = layout.alloc_bytes("checksum", 16);
+
+    // ------------------------------------------------------------ workload
+    let [r, g, bp] = data::synth_rgb(64, 32, 0x1001);
+    let recips = data::quant_reciprocals(50);
+    let table = huff_table();
+
+    // ----------------------------------------------------------- reference
+    let ref_y = reference::color_mac3(&r.data, &g.data, &bp.data, Y_COEF.0, Y_COEF.1, Y_COEF.2);
+    let ref_cb = reference::color_mac3(&r.data, &g.data, &bp.data, CB_COEF.0, CB_COEF.1, CB_COEF.2);
+    let ref_cr = reference::color_mac3(&r.data, &g.data, &bp.data, CR_COEF.0, CR_COEF.1, CR_COEF.2);
+    let ref_dct_in: Vec<i16> =
+        ref_y[..BLOCKS * 64].iter().map(|&v| v as i16 - 128).collect();
+    let ref_dct_out = reference::dct_blocks(&ref_dct_in, false);
+    let ref_quant = reference::quantize(&ref_dct_out, &recips);
+    let (ref_cs, ref_bits) = ref_entropy_encode(&ref_quant, &table);
+
+    // ------------------------------------------------------------- program
+    let mut b = ProgramBuilder::new(format!("jpeg_enc_{}", variant.name()));
+    b.label("start");
+
+    b.begin_region(1, "RGB to YCC color conversion");
+    for (out, (coef, bias, shift)) in
+        [(y_addr, Y_COEF), (cb_addr, CB_COEF), (cr_addr, CR_COEF)]
+    {
+        emit_color_mac3(
+            &mut b,
+            variant,
+            &Mac3Params {
+                a_addr: r_addr,
+                b_addr: g_addr,
+                c_addr: bl_addr,
+                out_addr: out,
+                n: PIXELS,
+                coef,
+                bias,
+                shift,
+            },
+        );
+    }
+    b.end_region();
+
+    // Scalar glue: level-shift the first BLOCKS*64 luminance samples into
+    // the 16-bit DCT input buffer.
+    {
+        let y_ptr = b.imm(y_addr as i64);
+        let d_ptr = b.imm(dct_in as i64);
+        b.counted_loop("level_shift", (BLOCKS * 64) as i64, |b, _| {
+            let t = b.ri();
+            b.ld8u(t, y_ptr, 0);
+            b.subi(t, t, 128);
+            b.st16(d_ptr, 0, t);
+            b.addi(y_ptr, y_ptr, 1);
+            b.addi(d_ptr, d_ptr, 2);
+        });
+    }
+
+    b.begin_region(2, "Forward DCT");
+    emit_dct(
+        &mut b,
+        variant,
+        &DctParams {
+            in_addr: dct_in,
+            out_addr: dct_out,
+            tmp_addr: dct_tmp,
+            coef_addr,
+            pat_even_addr: pat_even,
+            pat_odd_addr: pat_odd,
+            blocks: BLOCKS,
+            inverse: false,
+        },
+    );
+    b.end_region();
+
+    b.begin_region(3, "Quantification");
+    emit_quantize(
+        &mut b,
+        variant,
+        &QuantParams {
+            coef_addr: dct_out,
+            recip_addr: recip_addr,
+            out_addr: quant_out,
+            n: BLOCKS * 64,
+        },
+    );
+    b.end_region();
+
+    // Scalar region: entropy encoding of the quantised coefficients.
+    emit_entropy_encode(&mut b, quant_out, BLOCKS * 64, table_addr, checksum_addr);
+    b.halt();
+
+    // ------------------------------------------------------- initial memory
+    let (pat_even_bytes, pat_odd_bytes) = coef_pattern_tables(false);
+    let init = vec![
+        (r_addr, r.data.clone()),
+        (g_addr, g.data.clone()),
+        (bl_addr, bp.data.clone()),
+        (coef_addr, effective_coef_table(false)),
+        (pat_even, pat_even_bytes),
+        (pat_odd, pat_odd_bytes),
+        (recip_addr, i16s_to_bytes(&recips)),
+        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+    ];
+
+    let checks = vec![
+        OutputCheck::Bytes { name: "luma plane".into(), addr: y_addr, expect: ref_y },
+        OutputCheck::Bytes { name: "cb plane".into(), addr: cb_addr, expect: ref_cb },
+        OutputCheck::Bytes { name: "cr plane".into(), addr: cr_addr, expect: ref_cr },
+        OutputCheck::Bytes {
+            name: "forward dct".into(),
+            addr: dct_out,
+            expect: i16s_to_bytes(&ref_dct_out),
+        },
+        OutputCheck::Bytes {
+            name: "quantised coefficients".into(),
+            addr: quant_out,
+            expect: i16s_to_bytes(&ref_quant),
+        },
+        OutputCheck::Word { name: "entropy checksum".into(), addr: checksum_addr, expect: ref_cs },
+        OutputCheck::Word { name: "entropy bit count".into(), addr: checksum_addr + 4, expect: ref_bits },
+    ];
+
+    BenchmarkBuild {
+        program: b.finish(),
+        init,
+        checks,
+        mem_size: (layout.footprint() as usize + 0xFFF) & !0xFFF,
+    }
+}

@@ -1,0 +1,86 @@
+//! # vmv-kernels — the Mediabench-style media workloads
+//!
+//! The six benchmark programs of the paper's evaluation (Table 1): JPEG
+//! encoder/decoder, MPEG-2 encoder/decoder and GSM encoder/decoder.  Every
+//! *vector region* (colour conversion, DCT/IDCT, quantisation, up-sampling,
+//! motion estimation, form-component prediction, add-block, autocorrelation,
+//! LTP search, long-term filtering) is hand-written in three ISA variants —
+//! scalar VLIW, µSIMD and Vector-µSIMD — over the `vmv-isa` builder, playing
+//! the role of the paper's emulation libraries.  The scalar regions
+//! (entropy coding, bit-stream parsing, LPC recurrences, ...) are shared by
+//! all three variants.  Golden reference implementations and synthetic
+//! workload generators allow every run to be checked bit-for-bit.
+
+pub mod common;
+pub mod data;
+pub mod patterns;
+pub mod reference;
+
+pub mod gsm_dec;
+pub mod gsm_enc;
+pub mod jpeg_dec;
+pub mod jpeg_enc;
+pub mod mpeg2_dec;
+pub mod mpeg2_enc;
+
+pub use common::{BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+
+/// The six benchmarks of Table 1, in the order the paper lists them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    JpegEnc,
+    JpegDec,
+    Mpeg2Enc,
+    Mpeg2Dec,
+    GsmEnc,
+    GsmDec,
+}
+
+impl Benchmark {
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::JpegEnc,
+        Benchmark::JpegDec,
+        Benchmark::Mpeg2Enc,
+        Benchmark::Mpeg2Dec,
+        Benchmark::GsmEnc,
+        Benchmark::GsmDec,
+    ];
+
+    /// Name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::JpegEnc => "JPEG_ENC",
+            Benchmark::JpegDec => "JPEG_DEC",
+            Benchmark::Mpeg2Enc => "MPEG2_ENC",
+            Benchmark::Mpeg2Dec => "MPEG2_DEC",
+            Benchmark::GsmEnc => "GSM_ENC",
+            Benchmark::GsmDec => "GSM_DEC",
+        }
+    }
+
+    /// Human-readable names of the vector regions (Table 1), in region-id
+    /// order (R1, R2, R3).
+    pub fn vector_region_names(self) -> &'static [&'static str] {
+        match self {
+            Benchmark::JpegEnc => &["RGB to YCC color conversion", "Forward DCT", "Quantification"],
+            Benchmark::JpegDec => &["YCC to RGB color conversion", "H2v2 up-sample"],
+            Benchmark::Mpeg2Enc => &["Motion estimation", "Forward DCT", "Inverse DCT"],
+            Benchmark::Mpeg2Dec => &["Form component prediction", "Inverse DCT", "Add block"],
+            Benchmark::GsmEnc => &["LTP parameters", "Autocorrelation"],
+            Benchmark::GsmDec => &["Long term filtering"],
+        }
+    }
+
+    /// Build the benchmark program in the requested ISA variant, together
+    /// with its initial memory image and output checks.
+    pub fn build(self, variant: IsaVariant) -> BenchmarkBuild {
+        match self {
+            Benchmark::JpegEnc => jpeg_enc::build(variant),
+            Benchmark::JpegDec => jpeg_dec::build(variant),
+            Benchmark::Mpeg2Enc => mpeg2_enc::build(variant),
+            Benchmark::Mpeg2Dec => mpeg2_dec::build(variant),
+            Benchmark::GsmEnc => gsm_enc::build(variant),
+            Benchmark::GsmDec => gsm_dec::build(variant),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! MPEG-2 decoder benchmark (mpeg2dec).
+//!
+//! Vector regions (Table 1): R1 form-component prediction (motion
+//! -compensated half-pel averaging), R2 inverse DCT, R3 add-block.  The
+//! scalar region runs variable-length decoding of the input bit-stream.
+
+use vmv_isa::ProgramBuilder;
+
+use crate::common::{i16s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::data;
+use crate::patterns::dct::{coef_pattern_tables, effective_coef_table, emit_dct, DctParams};
+use crate::patterns::pixel::{emit_add_block, emit_average_u8};
+use crate::patterns::scalar_regions::{emit_bitstream_parse, ref_bitstream_parse};
+use crate::reference;
+
+/// Pixels processed by the form-component prediction (multiple of 128).
+const PRED_PIXELS: usize = 768;
+/// 8×8 residual blocks pushed through the inverse DCT.
+const BLOCKS: usize = 6;
+/// Pixels reconstructed by the add-block region (multiple of 128, and equal
+/// to the number of IDCT output samples so the residuals line up).
+const ADD_PIXELS: usize = BLOCKS * 64;
+/// Symbols parsed by the scalar VLD region.
+const SYMBOLS: usize = 3072;
+
+fn vld_table() -> [u16; 16] {
+    std::array::from_fn(|i| 0x0400u16.wrapping_add((i as u16) * 17))
+}
+
+/// Build the MPEG-2 decoder benchmark in the requested ISA variant.
+pub fn build(variant: IsaVariant) -> BenchmarkBuild {
+    let mut layout = Layout::new();
+    let ref1_addr = layout.alloc_bytes("ref_fwd", PRED_PIXELS);
+    let ref2_addr = layout.alloc_bytes("ref_bwd", PRED_PIXELS);
+    let pred_addr = layout.alloc_bytes("prediction", PRED_PIXELS);
+    let coef_in = layout.alloc_bytes("coef_in", BLOCKS * 128);
+    let idct_out = layout.alloc_bytes("idct_out", BLOCKS * 128);
+    let dct_tmp = layout.alloc_bytes("dct_tmp", 128);
+    let recon_addr = layout.alloc_bytes("reconstructed", ADD_PIXELS);
+    let icoef_addr = layout.alloc_bytes("idct_coef", 128);
+    let ipat_even = layout.alloc_bytes("ipat_even", 1024);
+    let ipat_odd = layout.alloc_bytes("ipat_odd", 1024);
+    let bits_addr = layout.alloc_bytes("bitstream", SYMBOLS);
+    let table_addr = layout.alloc_bytes("vld_table", 32);
+    let checksum_addr = layout.alloc_bytes("checksum", 16);
+
+    // ------------------------------------------------------------ workload
+    let fwd = data::synth_plane(PRED_PIXELS, 1, 0x4001);
+    let bwd = data::synth_plane(PRED_PIXELS, 1, 0x4002);
+    let coefs = data::synth_residual(BLOCKS * 64, 300, 0x4003);
+    let bitstream = data::synth_plane(SYMBOLS, 1, 0x4004).data;
+    let table = vld_table();
+
+    // ----------------------------------------------------------- reference
+    let ref_pred = reference::average_u8(&fwd.data, &bwd.data);
+    let ref_idct = reference::dct_blocks(&coefs, true);
+    let ref_recon = reference::add_block(&ref_pred[..ADD_PIXELS], &ref_idct[..ADD_PIXELS]);
+    let ref_cs = ref_bitstream_parse(&bitstream, SYMBOLS, &table);
+
+    // ------------------------------------------------------------- program
+    let mut b = ProgramBuilder::new(format!("mpeg2_dec_{}", variant.name()));
+    b.label("start");
+
+    // Scalar region: variable-length decoding of the bit-stream.
+    emit_bitstream_parse(&mut b, bits_addr, SYMBOLS, table_addr, checksum_addr);
+
+    b.begin_region(1, "Form component prediction");
+    emit_average_u8(&mut b, variant, ref1_addr, ref2_addr, pred_addr, PRED_PIXELS);
+    b.end_region();
+
+    b.begin_region(2, "Inverse DCT");
+    emit_dct(
+        &mut b,
+        variant,
+        &DctParams {
+            in_addr: coef_in,
+            out_addr: idct_out,
+            tmp_addr: dct_tmp,
+            coef_addr: icoef_addr,
+            pat_even_addr: ipat_even,
+            pat_odd_addr: ipat_odd,
+            blocks: BLOCKS,
+            inverse: true,
+        },
+    );
+    b.end_region();
+
+    b.begin_region(3, "Add block");
+    emit_add_block(&mut b, variant, pred_addr, idct_out, recon_addr, ADD_PIXELS);
+    b.end_region();
+    b.halt();
+
+    // ------------------------------------------------------- initial memory
+    let (ipe, ipo) = coef_pattern_tables(true);
+    let init = vec![
+        (ref1_addr, fwd.data.clone()),
+        (ref2_addr, bwd.data.clone()),
+        (coef_in, i16s_to_bytes(&coefs)),
+        (icoef_addr, effective_coef_table(true)),
+        (ipat_even, ipe),
+        (ipat_odd, ipo),
+        (bits_addr, bitstream),
+        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+    ];
+
+    let checks = vec![
+        OutputCheck::Bytes { name: "prediction".into(), addr: pred_addr, expect: ref_pred },
+        OutputCheck::Bytes {
+            name: "inverse dct".into(),
+            addr: idct_out,
+            expect: i16s_to_bytes(&ref_idct),
+        },
+        OutputCheck::Bytes { name: "reconstructed block".into(), addr: recon_addr, expect: ref_recon },
+        OutputCheck::Word { name: "vld checksum".into(), addr: checksum_addr, expect: ref_cs },
+    ];
+
+    BenchmarkBuild {
+        program: b.finish(),
+        init,
+        checks,
+        mem_size: (layout.footprint() as usize + 0xFFF) & !0xFFF,
+    }
+}

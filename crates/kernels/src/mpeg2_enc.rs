@@ -1,0 +1,182 @@
+//! MPEG-2 encoder benchmark (mpeg2enc).
+//!
+//! Vector regions (Table 1): R1 motion estimation (the `dist1` SAD kernel of
+//! Fig. 4, with the image-width stride that causes the non-unit-stride
+//! degradation of Fig. 5b), R2 forward DCT, R3 inverse DCT.  The scalar
+//! region runs VLC entropy encoding and a rate-control recurrence.
+
+use vmv_isa::ProgramBuilder;
+
+use crate::common::{i16s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::data;
+use crate::patterns::dct::{coef_pattern_tables, effective_coef_table, emit_dct, DctParams};
+use crate::patterns::sad::{emit_motion_search, SadParams};
+use crate::patterns::scalar_regions::{emit_entropy_encode, emit_recurrence, ref_entropy_encode, ref_recurrence};
+use crate::reference;
+
+/// Frame dimensions for the motion-estimation search.
+const WIDTH: usize = 48;
+const HEIGHT: usize = 48;
+/// Top-left corner of the current macroblock.
+const MB_X: usize = 16;
+const MB_Y: usize = 16;
+/// Search range (±RANGE pixels in both directions).
+const RANGE: isize = 2;
+/// 8×8 residual blocks pushed through the forward and inverse DCT.
+const BLOCKS: usize = 4;
+
+fn vlc_table() -> [u16; 16] {
+    std::array::from_fn(|i| 0x0300u16.wrapping_add((i as u16) * 29))
+}
+
+/// Build the MPEG-2 encoder benchmark in the requested ISA variant.
+pub fn build(variant: IsaVariant) -> BenchmarkBuild {
+    let mut layout = Layout::new();
+    let ref_addr = layout.alloc_bytes("ref_frame", WIDTH * HEIGHT);
+    let cur_addr = layout.alloc_bytes("cur_frame", WIDTH * HEIGHT);
+    let sads_addr = layout.alloc_bytes("sads", 4 * 32);
+    let best_addr = layout.alloc_bytes("best", 8);
+    let fdct_in = layout.alloc_bytes("fdct_in", BLOCKS * 128);
+    let fdct_out = layout.alloc_bytes("fdct_out", BLOCKS * 128);
+    let idct_out = layout.alloc_bytes("idct_out", BLOCKS * 128);
+    let dct_tmp = layout.alloc_bytes("dct_tmp", 128);
+    let fcoef_addr = layout.alloc_bytes("fdct_coef", 128);
+    let icoef_addr = layout.alloc_bytes("idct_coef", 128);
+    let fpat_even = layout.alloc_bytes("fpat_even", 1024);
+    let fpat_odd = layout.alloc_bytes("fpat_odd", 1024);
+    let ipat_even = layout.alloc_bytes("ipat_even", 1024);
+    let ipat_odd = layout.alloc_bytes("ipat_odd", 1024);
+    let vlc_addr = layout.alloc_bytes("vlc_table", 32);
+    let checksum_addr = layout.alloc_bytes("checksum", 16);
+    let rc_checksum_addr = layout.alloc_bytes("rc_checksum", 16);
+
+    // ------------------------------------------------------------ workload
+    let (reference_frame, current_frame) = data::synth_frame_pair(WIDTH, HEIGHT, 1, 1, 0x3001);
+    let residual = data::synth_residual(BLOCKS * 64, 200, 0x3002);
+    let table = vlc_table();
+
+    // Candidate displacements: a (2·RANGE+1)² full search window.
+    let mut candidates = Vec::new();
+    for dy in -RANGE..=RANGE {
+        for dx in -RANGE..=RANGE {
+            let off = (MB_Y as isize + dy) * WIDTH as isize + (MB_X as isize + dx);
+            candidates.push(off as u64);
+        }
+    }
+    let cur_off = MB_Y * WIDTH + MB_X;
+
+    // ----------------------------------------------------------- reference
+    let cand_usize: Vec<usize> = candidates.iter().map(|&c| c as usize).collect();
+    let (ref_sads, ref_best) = reference::motion_search(
+        &current_frame.data,
+        &reference_frame.data,
+        WIDTH,
+        cur_off,
+        &cand_usize,
+    );
+    let ref_fdct = reference::dct_blocks(&residual, false);
+    let ref_idct = reference::dct_blocks(&ref_fdct, true);
+    let (ref_cs, ref_bits) = ref_entropy_encode(&ref_fdct, &table);
+    let ref_rc = ref_recurrence(&residual[..128], 4);
+
+    // ------------------------------------------------------------- program
+    let mut b = ProgramBuilder::new(format!("mpeg2_enc_{}", variant.name()));
+    b.label("start");
+
+    b.begin_region(1, "Motion estimation");
+    emit_motion_search(
+        &mut b,
+        variant,
+        &SadParams {
+            cur_addr: cur_addr + cur_off as u64,
+            ref_addr,
+            stride: WIDTH,
+            candidates,
+            sads_addr,
+            best_addr,
+        },
+    );
+    b.end_region();
+
+    b.begin_region(2, "Forward DCT");
+    emit_dct(
+        &mut b,
+        variant,
+        &DctParams {
+            in_addr: fdct_in,
+            out_addr: fdct_out,
+            tmp_addr: dct_tmp,
+            coef_addr: fcoef_addr,
+            pat_even_addr: fpat_even,
+            pat_odd_addr: fpat_odd,
+            blocks: BLOCKS,
+            inverse: false,
+        },
+    );
+    b.end_region();
+
+    b.begin_region(3, "Inverse DCT");
+    emit_dct(
+        &mut b,
+        variant,
+        &DctParams {
+            in_addr: fdct_out,
+            out_addr: idct_out,
+            tmp_addr: dct_tmp,
+            coef_addr: icoef_addr,
+            pat_even_addr: ipat_even,
+            pat_odd_addr: ipat_odd,
+            blocks: BLOCKS,
+            inverse: true,
+        },
+    );
+    b.end_region();
+
+    // Scalar region: VLC entropy coding of the transform coefficients and a
+    // rate-control style recurrence.
+    emit_entropy_encode(&mut b, fdct_out, BLOCKS * 64, vlc_addr, checksum_addr);
+    emit_recurrence(&mut b, fdct_in, 128, 4, rc_checksum_addr);
+    b.halt();
+
+    // ------------------------------------------------------- initial memory
+    let (fpe, fpo) = coef_pattern_tables(false);
+    let (ipe, ipo) = coef_pattern_tables(true);
+    let init = vec![
+        (ref_addr, reference_frame.data.clone()),
+        (cur_addr, current_frame.data.clone()),
+        (fdct_in, i16s_to_bytes(&residual)),
+        (fcoef_addr, effective_coef_table(false)),
+        (icoef_addr, effective_coef_table(true)),
+        (fpat_even, fpe),
+        (fpat_odd, fpo),
+        (ipat_even, ipe),
+        (ipat_odd, ipo),
+        (vlc_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+    ];
+
+    let sad_bytes: Vec<u8> = ref_sads.iter().flat_map(|s| s.to_le_bytes()).collect();
+    let checks = vec![
+        OutputCheck::Bytes { name: "sad values".into(), addr: sads_addr, expect: sad_bytes },
+        OutputCheck::Word { name: "best candidate".into(), addr: best_addr, expect: ref_best as u32 },
+        OutputCheck::Bytes {
+            name: "forward dct".into(),
+            addr: fdct_out,
+            expect: i16s_to_bytes(&ref_fdct),
+        },
+        OutputCheck::Bytes {
+            name: "inverse dct".into(),
+            addr: idct_out,
+            expect: i16s_to_bytes(&ref_idct),
+        },
+        OutputCheck::Word { name: "vlc checksum".into(), addr: checksum_addr, expect: ref_cs },
+        OutputCheck::Word { name: "vlc bit count".into(), addr: checksum_addr + 4, expect: ref_bits },
+        OutputCheck::Word { name: "rate control checksum".into(), addr: rc_checksum_addr, expect: ref_rc },
+    ];
+
+    BenchmarkBuild {
+        program: b.finish(),
+        init,
+        checks,
+        mem_size: (layout.footprint() as usize + 0xFFF) & !0xFFF,
+    }
+}

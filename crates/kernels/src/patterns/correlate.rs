@@ -1,0 +1,139 @@
+//! Correlation patterns: the GSM encoder's autocorrelation (`a == b`) and
+//! long-term-prediction (LTP) parameter search (cross-correlation of the
+//! current sub-segment against the reconstructed short-term residual
+//! history), see Table 1.
+//!
+//! `out[k] = Σ_{i<n} a[i] · b[i+k]` for `k` in `0..lags`, with exact 32-bit
+//! results (the workloads keep samples small enough that no intermediate
+//! overflows in any variant).
+
+use vmv_isa::{Elem, ProgramBuilder, Sat};
+
+use crate::common::IsaVariant;
+
+/// Parameters of the correlation pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelateParams {
+    pub a_addr: u64,
+    pub b_addr: u64,
+    /// Window length in samples; must be a multiple of 64.
+    pub n: usize,
+    /// Number of lags to evaluate.
+    pub lags: usize,
+    /// Output: `lags` 32-bit results.
+    pub out_addr: u64,
+}
+
+/// Emit the correlation pattern.
+pub fn emit_correlate(b: &mut ProgramBuilder, variant: IsaVariant, p: &CorrelateParams) {
+    assert!(p.n % 64 == 0, "window must be a multiple of 64 samples");
+    match variant {
+        IsaVariant::Scalar => scalar_correlate(b, p),
+        IsaVariant::Usimd => usimd_correlate(b, p),
+        IsaVariant::Vector => vector_correlate(b, p),
+    }
+}
+
+fn scalar_correlate(b: &mut ProgramBuilder, p: &CorrelateParams) {
+    let a_base = b.imm(p.a_addr as i64);
+    let b_base = b.imm(p.b_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let lag_off = b.ri();
+    b.li(lag_off, 0);
+    b.counted_loop("corr_lag", p.lags as i64, |b, _| {
+        let a_ptr = b.ri();
+        let b_ptr = b.ri();
+        b.mov(a_ptr, a_base);
+        b.add(b_ptr, b_base, lag_off);
+        let sum = b.ri();
+        b.li(sum, 0);
+        b.counted_loop("corr", p.n as i64, |b, _| {
+            let x = b.ri();
+            let y = b.ri();
+            b.ld16s(x, a_ptr, 0);
+            b.ld16s(y, b_ptr, 0);
+            let prod = b.ri();
+            b.mul(prod, x, y);
+            b.add(sum, sum, prod);
+            b.addi(a_ptr, a_ptr, 2);
+            b.addi(b_ptr, b_ptr, 2);
+        });
+        b.st32(out_ptr, 0, sum);
+        b.addi(out_ptr, out_ptr, 4);
+        b.addi(lag_off, lag_off, 2);
+    });
+}
+
+fn usimd_correlate(b: &mut ProgramBuilder, p: &CorrelateParams) {
+    let a_base = b.imm(p.a_addr as i64);
+    let b_base = b.imm(p.b_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let lag_off = b.ri();
+    b.li(lag_off, 0);
+    b.counted_loop("corr_lag", p.lags as i64, |b, _| {
+        let a_ptr = b.ri();
+        let b_ptr = b.ri();
+        b.mov(a_ptr, a_base);
+        b.add(b_ptr, b_base, lag_off);
+        let acc = b.rs();
+        let zero = b.imm(0);
+        b.int_to_simd(acc, zero);
+        b.counted_loop("corr", (p.n / 4) as i64, |b, _| {
+            let x = b.rs();
+            let y = b.rs();
+            b.pload(x, a_ptr, 0);
+            b.pload(y, b_ptr, 0);
+            let prod = b.rs();
+            b.pmadd(prod, x, y);
+            b.padd(Elem::W, Sat::Wrap, acc, acc, prod);
+            b.addi(a_ptr, a_ptr, 8);
+            b.addi(b_ptr, b_ptr, 8);
+        });
+        let e0 = b.ri();
+        let e1 = b.ri();
+        b.pextract(Elem::W, e0, acc, 0);
+        b.pextract(Elem::W, e1, acc, 1);
+        // Sign-extend the extracted 32-bit lanes before the final add.
+        b.shli(e0, e0, 32);
+        b.srai(e0, e0, 32);
+        b.shli(e1, e1, 32);
+        b.srai(e1, e1, 32);
+        let sum = b.ri();
+        b.add(sum, e0, e1);
+        b.st32(out_ptr, 0, sum);
+        b.addi(out_ptr, out_ptr, 4);
+        b.addi(lag_off, lag_off, 2);
+    });
+}
+
+fn vector_correlate(b: &mut ProgramBuilder, p: &CorrelateParams) {
+    let a_base = b.imm(p.a_addr as i64);
+    let b_base = b.imm(p.b_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let lag_off = b.ri();
+    b.li(lag_off, 0);
+    b.setvl(16);
+    b.setvs(8);
+    b.counted_loop("vcorr_lag", p.lags as i64, |b, _| {
+        let a_ptr = b.ri();
+        let b_ptr = b.ri();
+        b.mov(a_ptr, a_base);
+        b.add(b_ptr, b_base, lag_off);
+        let acc = b.ra();
+        b.acc_clear(acc);
+        b.counted_loop("vcorr", (p.n / 64) as i64, |b, _| {
+            let x = b.rv();
+            let y = b.rv();
+            b.vload(x, a_ptr, 0);
+            b.vload(y, b_ptr, 0);
+            b.vmac_acc(acc, x, y);
+            b.addi(a_ptr, a_ptr, 128);
+            b.addi(b_ptr, b_ptr, 128);
+        });
+        let sum = b.ri();
+        b.acc_reduce(sum, acc);
+        b.st32(out_ptr, 0, sum);
+        b.addi(out_ptr, out_ptr, 4);
+        b.addi(lag_off, lag_off, 2);
+    });
+}

@@ -1,0 +1,290 @@
+//! The 8×8 two-pass integer DCT / IDCT pattern, shared by the JPEG encoder
+//! (forward DCT), the MPEG-2 encoder (forward + inverse DCT) and the MPEG-2
+//! decoder (inverse DCT).
+//!
+//! The transform is `out = clamp16((E · in) >> 7)` applied twice (rows then
+//! columns), where `E` is the effective 7-bit coefficient matrix (`C` for
+//! the forward transform, `Cᵀ` for the inverse; see
+//! [`crate::reference::dct_8x8`]).  Blocks are stored back to back, row
+//! -major, as signed 16-bit samples (128 bytes per block), which lets the
+//! Vector-µSIMD variant hold an entire block in a single vector register
+//! (16 words of 4 samples) and reduce over the rows with packed-accumulator
+//! multiply-accumulates — the MOM-style two-dimensional vectorisation the
+//! paper builds on.
+
+use vmv_isa::{Elem, ProgramBuilder, Sat, Sign};
+
+use crate::common::{i16s_to_bytes, IsaVariant};
+use crate::reference::dct_coefficients;
+
+/// Parameters of the DCT pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct DctParams {
+    /// Input blocks (i16, 128 bytes per block).
+    pub in_addr: u64,
+    /// Output blocks (i16, 128 bytes per block).
+    pub out_addr: u64,
+    /// Scratch buffer for the intermediate pass (128 bytes).
+    pub tmp_addr: u64,
+    /// Effective coefficient matrix (8×8 i16, row major, 128 bytes).
+    pub coef_addr: u64,
+    /// Per-row even-word coefficient patterns for the vector variant
+    /// (8 × 128 bytes).
+    pub pat_even_addr: u64,
+    /// Per-row odd-word coefficient patterns (8 × 128 bytes).
+    pub pat_odd_addr: u64,
+    /// Number of 8×8 blocks to transform.
+    pub blocks: usize,
+    /// `false` = forward DCT, `true` = inverse DCT.
+    pub inverse: bool,
+}
+
+/// The effective coefficient matrix (row-major bytes) for the given
+/// direction: `C` for the forward DCT, `Cᵀ` for the inverse.
+pub fn effective_coef_table(inverse: bool) -> Vec<u8> {
+    let c = dct_coefficients();
+    let mut eff = Vec::with_capacity(64);
+    for u in 0..8 {
+        for k in 0..8 {
+            eff.push(if inverse { c[k][u] } else { c[u][k] });
+        }
+    }
+    i16s_to_bytes(&eff)
+}
+
+/// The per-output-row coefficient *pattern vectors* used by the vector
+/// variant's first pass: for output row `u`, the even pattern has
+/// `splat16(E[u][k])` in word `2k` and zero in word `2k+1`; the odd pattern
+/// is the complement.  Multiply-accumulating a whole block (16 words) with
+/// these patterns reduces over the 8 input rows while keeping the four
+/// column lanes separate.
+pub fn coef_pattern_tables(inverse: bool) -> (Vec<u8>, Vec<u8>) {
+    let c = dct_coefficients();
+    let eff = |u: usize, k: usize| if inverse { c[k][u] } else { c[u][k] };
+    let mut even = Vec::with_capacity(8 * 64);
+    let mut odd = Vec::with_capacity(8 * 64);
+    for u in 0..8 {
+        let mut even_words: Vec<i16> = Vec::with_capacity(64);
+        let mut odd_words: Vec<i16> = Vec::with_capacity(64);
+        for k in 0..8 {
+            let coef = eff(u, k);
+            even_words.extend_from_slice(&[coef; 4]);
+            even_words.extend_from_slice(&[0; 4]);
+            odd_words.extend_from_slice(&[0; 4]);
+            odd_words.extend_from_slice(&[coef; 4]);
+        }
+        even.extend_from_slice(&i16s_to_bytes(&even_words));
+        odd.extend_from_slice(&i16s_to_bytes(&odd_words));
+    }
+    (even, odd)
+}
+
+/// Emit the DCT pattern for `p.blocks` consecutive blocks.
+pub fn emit_dct(b: &mut ProgramBuilder, variant: IsaVariant, p: &DctParams) {
+    match variant {
+        IsaVariant::Scalar => scalar_dct(b, p),
+        IsaVariant::Usimd => usimd_dct(b, p),
+        IsaVariant::Vector => vector_dct(b, p),
+    }
+}
+
+fn scalar_dct(b: &mut ProgramBuilder, p: &DctParams) {
+    let in_ptr = b.imm(p.in_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let tmp = b.imm(p.tmp_addr as i64);
+    let coef = b.imm(p.coef_addr as i64);
+    let min16 = b.imm(i16::MIN as i64);
+    let max16 = b.imm(i16::MAX as i64);
+    b.counted_loop("dct_blk", p.blocks as i64, |b, _| {
+        // Pass 1: tmp[u][x] = clamp16((Σ_k E[u][k] · in[k][x]) >> 7).
+        for u in 0..8 {
+            for x in 0..8 {
+                let sum = b.ri();
+                b.li(sum, 0);
+                for k in 0..8 {
+                    let cv = b.ri();
+                    let iv = b.ri();
+                    b.ld16s(cv, coef, (u * 16 + k * 2) as i64);
+                    b.ld16s(iv, in_ptr, (k * 16 + x * 2) as i64);
+                    let prod = b.ri();
+                    b.mul(prod, cv, iv);
+                    b.add(sum, sum, prod);
+                }
+                b.srai(sum, sum, 7);
+                b.imax(sum, sum, min16);
+                b.imin(sum, sum, max16);
+                b.st16(tmp, (u * 16 + x * 2) as i64, sum);
+            }
+        }
+        // Pass 2: out[u][v] = clamp16((Σ_x tmp[u][x] · E[v][x]) >> 7).
+        for u in 0..8 {
+            for v in 0..8 {
+                let sum = b.ri();
+                b.li(sum, 0);
+                for x in 0..8 {
+                    let tv = b.ri();
+                    let cv = b.ri();
+                    b.ld16s(tv, tmp, (u * 16 + x * 2) as i64);
+                    b.ld16s(cv, coef, (v * 16 + x * 2) as i64);
+                    let prod = b.ri();
+                    b.mul(prod, tv, cv);
+                    b.add(sum, sum, prod);
+                }
+                b.srai(sum, sum, 7);
+                b.imax(sum, sum, min16);
+                b.imin(sum, sum, max16);
+                b.st16(out_ptr, (u * 16 + v * 2) as i64, sum);
+            }
+        }
+        b.addi(in_ptr, in_ptr, 128);
+        b.addi(out_ptr, out_ptr, 128);
+    });
+}
+
+fn usimd_dct(b: &mut ProgramBuilder, p: &DctParams) {
+    let in_ptr = b.imm(p.in_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let tmp = b.imm(p.tmp_addr as i64);
+    let coef = b.imm(p.coef_addr as i64);
+    let min16 = b.imm(i16::MIN as i64);
+    let max16 = b.imm(i16::MAX as i64);
+    b.counted_loop("dct_blk", p.blocks as i64, |b, _| {
+        // Pass 1: four columns at a time with widening multiplies.
+        for u in 0..8 {
+            // Broadcast the eight coefficients of output row u once.
+            let coef_splats: Vec<_> = (0..8)
+                .map(|k| {
+                    let cv = b.ri();
+                    b.ld16s(cv, coef, (u * 16 + k * 2) as i64);
+                    let s = b.rs();
+                    b.psplat(Elem::H, s, cv);
+                    s
+                })
+                .collect();
+            for xw in 0..2 {
+                let acc_e = b.rs();
+                let acc_o = b.rs();
+                for (k, ck) in coef_splats.iter().enumerate() {
+                    let row = b.rs();
+                    b.pload(row, in_ptr, (k * 16 + xw * 8) as i64);
+                    if k == 0 {
+                        b.pmul_widen_even(Sign::Signed, acc_e, row, *ck);
+                        b.pmul_widen_odd(Sign::Signed, acc_o, row, *ck);
+                    } else {
+                        let te = b.rs();
+                        let to = b.rs();
+                        b.pmul_widen_even(Sign::Signed, te, row, *ck);
+                        b.pmul_widen_odd(Sign::Signed, to, row, *ck);
+                        b.padd(Elem::W, Sat::Wrap, acc_e, acc_e, te);
+                        b.padd(Elem::W, Sat::Wrap, acc_o, acc_o, to);
+                    }
+                }
+                b.pshra(Elem::W, acc_e, acc_e, 7);
+                b.pshra(Elem::W, acc_o, acc_o, 7);
+                let lo = b.rs();
+                let hi = b.rs();
+                b.punpack_lo(Elem::W, lo, acc_e, acc_o);
+                b.punpack_hi(Elem::W, hi, acc_e, acc_o);
+                let packed = b.rs();
+                b.ppack(Elem::W, Sign::Signed, packed, lo, hi);
+                b.pstore(tmp, (u * 16 + xw * 8) as i64, packed);
+            }
+        }
+        // Pass 2: per-output dot products over the row with pmadd.
+        for u in 0..8 {
+            let t0 = b.rs();
+            let t1 = b.rs();
+            b.pload(t0, tmp, (u * 16) as i64);
+            b.pload(t1, tmp, (u * 16 + 8) as i64);
+            for v in 0..8 {
+                let c0 = b.rs();
+                let c1 = b.rs();
+                b.pload(c0, coef, (v * 16) as i64);
+                b.pload(c1, coef, (v * 16 + 8) as i64);
+                let s0 = b.rs();
+                let s1 = b.rs();
+                b.pmadd(s0, t0, c0);
+                b.pmadd(s1, t1, c1);
+                let s = b.rs();
+                b.padd(Elem::W, Sat::Wrap, s, s0, s1);
+                let e0 = b.ri();
+                let e1 = b.ri();
+                b.pextract(Elem::W, e0, s, 0);
+                b.pextract(Elem::W, e1, s, 1);
+                // pextract zero-extends; recover the signed 32-bit values.
+                b.shli(e0, e0, 32);
+                b.srai(e0, e0, 32);
+                b.shli(e1, e1, 32);
+                b.srai(e1, e1, 32);
+                let sum = b.ri();
+                b.add(sum, e0, e1);
+                b.srai(sum, sum, 7);
+                b.imax(sum, sum, min16);
+                b.imin(sum, sum, max16);
+                b.st16(out_ptr, (u * 16 + v * 2) as i64, sum);
+            }
+        }
+        b.addi(in_ptr, in_ptr, 128);
+        b.addi(out_ptr, out_ptr, 128);
+    });
+}
+
+fn vector_dct(b: &mut ProgramBuilder, p: &DctParams) {
+    let in_ptr = b.imm(p.in_addr as i64);
+    let out_ptr = b.imm(p.out_addr as i64);
+    let tmp = b.imm(p.tmp_addr as i64);
+    let coef = b.imm(p.coef_addr as i64);
+    let pat_even = b.imm(p.pat_even_addr as i64);
+    let pat_odd = b.imm(p.pat_odd_addr as i64);
+    let min16 = b.imm(i16::MIN as i64);
+    let max16 = b.imm(i16::MAX as i64);
+    b.counted_loop("vdct_blk", p.blocks as i64, |b, _| {
+        // Pass 1: the whole 8×8 block lives in one vector register
+        // (16 words); two packed-accumulator MACs per output row reduce
+        // over the input rows while keeping four column lanes apart.
+        b.setvl(16);
+        b.setvs(8);
+        let block = b.rv();
+        b.vload(block, in_ptr, 0);
+        for u in 0..8 {
+            let pe = b.rv();
+            let po = b.rv();
+            b.vload(pe, pat_even, (u * 128) as i64);
+            b.vload(po, pat_odd, (u * 128) as i64);
+            let acc_lo = b.ra();
+            let acc_hi = b.ra();
+            b.acc_clear(acc_lo);
+            b.acc_clear(acc_hi);
+            b.vmac_acc(acc_lo, block, pe);
+            b.vmac_acc(acc_hi, block, po);
+            let w_lo = b.rs();
+            let w_hi = b.rs();
+            b.acc_pack_shr_h(w_lo, acc_lo, 7);
+            b.acc_pack_shr_h(w_hi, acc_hi, 7);
+            b.pstore(tmp, (u * 16) as i64, w_lo);
+            b.pstore(tmp, (u * 16 + 8) as i64, w_hi);
+        }
+        // Pass 2: short-vector (VL=2) dot products of tmp rows against
+        // coefficient rows, reduced through the packed accumulator.
+        b.setvl(2);
+        for u in 0..8 {
+            let trow = b.rv();
+            b.vload(trow, tmp, (u * 16) as i64);
+            for v in 0..8 {
+                let crow = b.rv();
+                b.vload(crow, coef, (v * 16) as i64);
+                let acc = b.ra();
+                b.acc_clear(acc);
+                b.vmac_acc(acc, trow, crow);
+                let sum = b.ri();
+                b.acc_reduce(sum, acc);
+                b.srai(sum, sum, 7);
+                b.imax(sum, sum, min16);
+                b.imin(sum, sum, max16);
+                b.st16(out_ptr, (u * 16 + v * 2) as i64, sum);
+            }
+        }
+        b.addi(in_ptr, in_ptr, 128);
+        b.addi(out_ptr, out_ptr, 128);
+    });
+}

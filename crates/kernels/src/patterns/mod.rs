@@ -1,0 +1,17 @@
+//! Reusable kernel patterns.
+//!
+//! The vector regions of the six Mediabench programs (Table 1) decompose
+//! into a small number of computational patterns — per-pixel multiply
+//! -accumulate, 8×8 transforms, block matching, correlations, element-wise
+//! saturating arithmetic — plus a handful of inherently scalar patterns
+//! (entropy coding, bit-stream parsing, first-order recurrences).  Each
+//! pattern here provides three emitters (scalar VLIW, µSIMD, Vector-µSIMD)
+//! that generate *bit-identical* results, so the benchmark compositions in
+//! `jpeg_enc`, `mpeg2_dec`, … are thin wrappers that pick region boundaries,
+//! workload sizes and memory layout.
+
+pub mod correlate;
+pub mod dct;
+pub mod pixel;
+pub mod sad;
+pub mod scalar_regions;

@@ -1,0 +1,543 @@
+//! Per-pixel / per-sample element-wise patterns:
+//!
+//! * `emit_color_mac3` — `out[i] = clamp_u8((c0·a + c1·b + c2·c + bias) >> s)`
+//!   (RGB↔YCC colour conversion, h2v2 up-sampling);
+//! * `emit_quantize`   — `q[i] = (coef[i] · recip[i mod 64]) >> 16`;
+//! * `emit_average_u8` — `out[i] = (a[i] + b[i] + 1) >> 1` (form component
+//!   prediction);
+//! * `emit_add_block`  — `out[i] = clamp_u8(pred[i] + resid[i])`;
+//! * `emit_ltp_filter` — `out[i] = sat16(err[i] + (gain·past[i]) >> 16)`.
+//!
+//! Every emitter produces bit-identical results across the three ISA
+//! variants (see `crate::reference`).
+
+use vmv_isa::{Elem, ProgramBuilder, Sat, Sign};
+
+use crate::common::IsaVariant;
+
+/// Parameters of the 3-input multiply-accumulate pixel pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct Mac3Params {
+    pub a_addr: u64,
+    pub b_addr: u64,
+    pub c_addr: u64,
+    pub out_addr: u64,
+    /// Number of pixels; must be a multiple of 128 so all three variants
+    /// process whole iterations.
+    pub n: usize,
+    pub coef: [i32; 3],
+    pub bias: i32,
+    pub shift: u32,
+}
+
+/// Emit the colour-conversion / up-sampling pattern.
+pub fn emit_color_mac3(b: &mut ProgramBuilder, variant: IsaVariant, p: &Mac3Params) {
+    assert!(p.n % 128 == 0, "pixel count must be a multiple of 128");
+    match variant {
+        IsaVariant::Scalar => scalar_mac3(b, p),
+        IsaVariant::Usimd => usimd_mac3(b, p),
+        IsaVariant::Vector => vector_mac3(b, p),
+    }
+}
+
+fn scalar_mac3(b: &mut ProgramBuilder, p: &Mac3Params) {
+    let a_ptr = b.imm(p.a_addr as i64);
+    let b_ptr = b.imm(p.b_addr as i64);
+    let c_ptr = b.imm(p.c_addr as i64);
+    let o_ptr = b.imm(p.out_addr as i64);
+    let zero = b.imm(0);
+    let max255 = b.imm(255);
+    b.counted_loop("mac3", p.n as i64, |b, _| {
+        let x = b.ri();
+        let y = b.ri();
+        let z = b.ri();
+        b.ld8u(x, a_ptr, 0);
+        b.ld8u(y, b_ptr, 0);
+        b.ld8u(z, c_ptr, 0);
+        b.muli(x, x, p.coef[0] as i64);
+        b.muli(y, y, p.coef[1] as i64);
+        b.muli(z, z, p.coef[2] as i64);
+        let s = b.ri();
+        b.add(s, x, y);
+        b.add(s, s, z);
+        b.addi(s, s, p.bias as i64);
+        b.srai(s, s, p.shift as i64);
+        b.imax(s, s, zero);
+        b.imin(s, s, max255);
+        b.st8(o_ptr, 0, s);
+        b.addi(a_ptr, a_ptr, 1);
+        b.addi(b_ptr, b_ptr, 1);
+        b.addi(c_ptr, c_ptr, 1);
+        b.addi(o_ptr, o_ptr, 1);
+    });
+}
+
+fn usimd_mac3(b: &mut ProgramBuilder, p: &Mac3Params) {
+    let a_ptr = b.imm(p.a_addr as i64);
+    let b_ptr = b.imm(p.b_addr as i64);
+    let c_ptr = b.imm(p.c_addr as i64);
+    let o_ptr = b.imm(p.out_addr as i64);
+    let c0 = b.psplat_imm(Elem::H, p.coef[0] as i64);
+    let c1 = b.psplat_imm(Elem::H, p.coef[1] as i64);
+    let c2 = b.psplat_imm(Elem::H, p.coef[2] as i64);
+    let bias = b.psplat_imm(Elem::W, p.bias as i64);
+    let iterations = (p.n / 8) as i64;
+    b.counted_loop("mac3", iterations, |b, _| {
+        let wa = b.rs();
+        let wb = b.rs();
+        let wc = b.rs();
+        b.pload(wa, a_ptr, 0);
+        b.pload(wb, b_ptr, 0);
+        b.pload(wc, c_ptr, 0);
+        let mut halves = Vec::new();
+        for hi in [false, true] {
+            // Widen 4 pixels of each plane to 16 bits.
+            let a16 = b.rs();
+            let b16 = b.rs();
+            let c16 = b.rs();
+            if hi {
+                b.pwiden_hi(Elem::B, Sign::Unsigned, a16, wa);
+                b.pwiden_hi(Elem::B, Sign::Unsigned, b16, wb);
+                b.pwiden_hi(Elem::B, Sign::Unsigned, c16, wc);
+            } else {
+                b.pwiden_lo(Elem::B, Sign::Unsigned, a16, wa);
+                b.pwiden_lo(Elem::B, Sign::Unsigned, b16, wb);
+                b.pwiden_lo(Elem::B, Sign::Unsigned, c16, wc);
+            }
+            // 32-bit products: even and odd 16-bit lanes separately.
+            let acc_e = b.rs();
+            let acc_o = b.rs();
+            b.pmul_widen_even(Sign::Signed, acc_e, a16, c0);
+            b.pmul_widen_odd(Sign::Signed, acc_o, a16, c0);
+            for (plane, coef) in [(b16, c1), (c16, c2)] {
+                let te = b.rs();
+                let to = b.rs();
+                b.pmul_widen_even(Sign::Signed, te, plane, coef);
+                b.pmul_widen_odd(Sign::Signed, to, plane, coef);
+                b.padd(Elem::W, Sat::Wrap, acc_e, acc_e, te);
+                b.padd(Elem::W, Sat::Wrap, acc_o, acc_o, to);
+            }
+            b.padd(Elem::W, Sat::Wrap, acc_e, acc_e, bias);
+            b.padd(Elem::W, Sat::Wrap, acc_o, acc_o, bias);
+            b.pshra(Elem::W, acc_e, acc_e, p.shift as i64);
+            b.pshra(Elem::W, acc_o, acc_o, p.shift as i64);
+            // Restore pixel order: even/odd 32-bit lanes → 4 ordered 16-bit.
+            let lo = b.rs();
+            let hi32 = b.rs();
+            b.punpack_lo(Elem::W, lo, acc_e, acc_o);
+            b.punpack_hi(Elem::W, hi32, acc_e, acc_o);
+            let h16 = b.rs();
+            b.ppack(Elem::W, Sign::Signed, h16, lo, hi32);
+            halves.push(h16);
+        }
+        let out = b.rs();
+        b.ppack(Elem::H, Sign::Unsigned, out, halves[0], halves[1]);
+        b.pstore(o_ptr, 0, out);
+        b.addi(a_ptr, a_ptr, 8);
+        b.addi(b_ptr, b_ptr, 8);
+        b.addi(c_ptr, c_ptr, 8);
+        b.addi(o_ptr, o_ptr, 8);
+    });
+}
+
+fn vector_mac3(b: &mut ProgramBuilder, p: &Mac3Params) {
+    let a_ptr = b.imm(p.a_addr as i64);
+    let b_ptr = b.imm(p.b_addr as i64);
+    let c_ptr = b.imm(p.c_addr as i64);
+    let o_ptr = b.imm(p.out_addr as i64);
+    b.setvl(16);
+    b.setvs(8);
+    let c0 = b.vsplat_imm(Elem::H, p.coef[0] as i64);
+    let c1 = b.vsplat_imm(Elem::H, p.coef[1] as i64);
+    let c2 = b.vsplat_imm(Elem::H, p.coef[2] as i64);
+    let bias = b.vsplat_imm(Elem::W, p.bias as i64);
+    // 16 words × 8 bytes = 128 pixels per iteration.
+    let iterations = (p.n / 128) as i64;
+    b.counted_loop("vmac3", iterations, |b, _| {
+        let wa = b.rv();
+        let wb = b.rv();
+        let wc = b.rv();
+        b.vload(wa, a_ptr, 0);
+        b.vload(wb, b_ptr, 0);
+        b.vload(wc, c_ptr, 0);
+        let mut halves = Vec::new();
+        for hi in [false, true] {
+            let a16 = b.rv();
+            let b16 = b.rv();
+            let c16 = b.rv();
+            if hi {
+                b.vwiden_hi(Elem::B, Sign::Unsigned, a16, wa);
+                b.vwiden_hi(Elem::B, Sign::Unsigned, b16, wb);
+                b.vwiden_hi(Elem::B, Sign::Unsigned, c16, wc);
+            } else {
+                b.vwiden_lo(Elem::B, Sign::Unsigned, a16, wa);
+                b.vwiden_lo(Elem::B, Sign::Unsigned, b16, wb);
+                b.vwiden_lo(Elem::B, Sign::Unsigned, c16, wc);
+            }
+            let acc_e = b.rv();
+            let acc_o = b.rv();
+            b.vmul_widen_even(Sign::Signed, acc_e, a16, c0);
+            b.vmul_widen_odd(Sign::Signed, acc_o, a16, c0);
+            for (plane, coef) in [(b16, c1), (c16, c2)] {
+                let te = b.rv();
+                let to = b.rv();
+                b.vmul_widen_even(Sign::Signed, te, plane, coef);
+                b.vmul_widen_odd(Sign::Signed, to, plane, coef);
+                b.vadd(Elem::W, Sat::Wrap, acc_e, acc_e, te);
+                b.vadd(Elem::W, Sat::Wrap, acc_o, acc_o, to);
+            }
+            b.vadd(Elem::W, Sat::Wrap, acc_e, acc_e, bias);
+            b.vadd(Elem::W, Sat::Wrap, acc_o, acc_o, bias);
+            b.vshra(Elem::W, acc_e, acc_e, p.shift as i64);
+            b.vshra(Elem::W, acc_o, acc_o, p.shift as i64);
+            let lo = b.rv();
+            let hi32 = b.rv();
+            b.vunpack_lo(Elem::W, lo, acc_e, acc_o);
+            b.vunpack_hi(Elem::W, hi32, acc_e, acc_o);
+            let h16 = b.rv();
+            b.vpack(Elem::W, Sign::Signed, h16, lo, hi32);
+            halves.push(h16);
+        }
+        let out = b.rv();
+        b.vpack(Elem::H, Sign::Unsigned, out, halves[0], halves[1]);
+        b.vstore(o_ptr, 0, out);
+        b.addi(a_ptr, a_ptr, 128);
+        b.addi(b_ptr, b_ptr, 128);
+        b.addi(c_ptr, c_ptr, 128);
+        b.addi(o_ptr, o_ptr, 128);
+    });
+}
+
+/// Parameters of the reciprocal-multiply quantisation pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantParams {
+    pub coef_addr: u64,
+    pub recip_addr: u64,
+    pub out_addr: u64,
+    /// Number of 16-bit coefficients; multiple of 64 (whole blocks).
+    pub n: usize,
+}
+
+/// Emit the quantisation pattern: `q[i] = (coef[i]·recip[i mod 64]) >> 16`.
+pub fn emit_quantize(b: &mut ProgramBuilder, variant: IsaVariant, p: &QuantParams) {
+    assert!(p.n % 64 == 0);
+    match variant {
+        IsaVariant::Scalar => {
+            let c_ptr = b.imm(p.coef_addr as i64);
+            let o_ptr = b.imm(p.out_addr as i64);
+            let r_base = b.imm(p.recip_addr as i64);
+            let blocks = (p.n / 64) as i64;
+            b.counted_loop("quant_blk", blocks, |b, _| {
+                let r_ptr = b.ri();
+                b.mov(r_ptr, r_base);
+                b.counted_loop("quant", 64, |b, _| {
+                    let c = b.ri();
+                    let r = b.ri();
+                    b.ld16s(c, c_ptr, 0);
+                    b.ld16s(r, r_ptr, 0);
+                    let prod = b.ri();
+                    b.mul(prod, c, r);
+                    b.srai(prod, prod, 16);
+                    b.st16(o_ptr, 0, prod);
+                    b.addi(c_ptr, c_ptr, 2);
+                    b.addi(r_ptr, r_ptr, 2);
+                    b.addi(o_ptr, o_ptr, 2);
+                });
+            });
+        }
+        IsaVariant::Usimd => {
+            let c_ptr = b.imm(p.coef_addr as i64);
+            let o_ptr = b.imm(p.out_addr as i64);
+            let r_base = b.imm(p.recip_addr as i64);
+            let blocks = (p.n / 64) as i64;
+            b.counted_loop("quant_blk", blocks, |b, _| {
+                let r_ptr = b.ri();
+                b.mov(r_ptr, r_base);
+                b.counted_loop("quant", 16, |b, _| {
+                    let c = b.rs();
+                    let r = b.rs();
+                    b.pload(c, c_ptr, 0);
+                    b.pload(r, r_ptr, 0);
+                    let q = b.rs();
+                    b.pmulhi(Elem::H, q, c, r);
+                    b.pstore(o_ptr, 0, q);
+                    b.addi(c_ptr, c_ptr, 8);
+                    b.addi(r_ptr, r_ptr, 8);
+                    b.addi(o_ptr, o_ptr, 8);
+                });
+            });
+        }
+        IsaVariant::Vector => {
+            let c_ptr = b.imm(p.coef_addr as i64);
+            let o_ptr = b.imm(p.out_addr as i64);
+            let r_base = b.imm(p.recip_addr as i64);
+            b.setvl(16);
+            b.setvs(8);
+            let recips = b.rv();
+            b.vload(recips, r_base, 0);
+            let blocks = (p.n / 64) as i64;
+            b.counted_loop("vquant", blocks, |b, _| {
+                let c = b.rv();
+                b.vload(c, c_ptr, 0);
+                let q = b.rv();
+                b.vmulhi(Elem::H, q, c, recips);
+                b.vstore(o_ptr, 0, q);
+                b.addi(c_ptr, c_ptr, 128);
+                b.addi(o_ptr, o_ptr, 128);
+            });
+        }
+    }
+}
+
+/// Element-wise rounded byte average of two buffers of `n` bytes
+/// (`n` multiple of 128).
+pub fn emit_average_u8(
+    b: &mut ProgramBuilder,
+    variant: IsaVariant,
+    a_addr: u64,
+    b_addr: u64,
+    out_addr: u64,
+    n: usize,
+) {
+    assert!(n % 128 == 0);
+    match variant {
+        IsaVariant::Scalar => {
+            let a_ptr = b.imm(a_addr as i64);
+            let b_ptr = b.imm(b_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.counted_loop("avg", n as i64, |b, _| {
+                let x = b.ri();
+                let y = b.ri();
+                b.ld8u(x, a_ptr, 0);
+                b.ld8u(y, b_ptr, 0);
+                let s = b.ri();
+                b.add(s, x, y);
+                b.addi(s, s, 1);
+                b.srai(s, s, 1);
+                b.st8(o_ptr, 0, s);
+                b.addi(a_ptr, a_ptr, 1);
+                b.addi(b_ptr, b_ptr, 1);
+                b.addi(o_ptr, o_ptr, 1);
+            });
+        }
+        IsaVariant::Usimd => {
+            let a_ptr = b.imm(a_addr as i64);
+            let b_ptr = b.imm(b_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.counted_loop("avg", (n / 8) as i64, |b, _| {
+                let x = b.rs();
+                let y = b.rs();
+                b.pload(x, a_ptr, 0);
+                b.pload(y, b_ptr, 0);
+                let s = b.rs();
+                b.pavg(Elem::B, s, x, y);
+                b.pstore(o_ptr, 0, s);
+                b.addi(a_ptr, a_ptr, 8);
+                b.addi(b_ptr, b_ptr, 8);
+                b.addi(o_ptr, o_ptr, 8);
+            });
+        }
+        IsaVariant::Vector => {
+            let a_ptr = b.imm(a_addr as i64);
+            let b_ptr = b.imm(b_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.setvl(16);
+            b.setvs(8);
+            b.counted_loop("vavg", (n / 128) as i64, |b, _| {
+                let x = b.rv();
+                let y = b.rv();
+                b.vload(x, a_ptr, 0);
+                b.vload(y, b_ptr, 0);
+                let s = b.rv();
+                b.vavg(Elem::B, s, x, y);
+                b.vstore(o_ptr, 0, s);
+                b.addi(a_ptr, a_ptr, 128);
+                b.addi(b_ptr, b_ptr, 128);
+                b.addi(o_ptr, o_ptr, 128);
+            });
+        }
+    }
+}
+
+/// MPEG-2 add-block: `out[i] = clamp_u8(pred[i] + resid[i])` where `pred` is
+/// bytes and `resid` is 16-bit signed.  `n` must be a multiple of 128.
+pub fn emit_add_block(
+    b: &mut ProgramBuilder,
+    variant: IsaVariant,
+    pred_addr: u64,
+    resid_addr: u64,
+    out_addr: u64,
+    n: usize,
+) {
+    assert!(n % 128 == 0);
+    match variant {
+        IsaVariant::Scalar => {
+            let p_ptr = b.imm(pred_addr as i64);
+            let r_ptr = b.imm(resid_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            let zero = b.imm(0);
+            let max255 = b.imm(255);
+            b.counted_loop("addblk", n as i64, |b, _| {
+                let p = b.ri();
+                let r = b.ri();
+                b.ld8u(p, p_ptr, 0);
+                b.ld16s(r, r_ptr, 0);
+                let s = b.ri();
+                b.add(s, p, r);
+                b.imax(s, s, zero);
+                b.imin(s, s, max255);
+                b.st8(o_ptr, 0, s);
+                b.addi(p_ptr, p_ptr, 1);
+                b.addi(r_ptr, r_ptr, 2);
+                b.addi(o_ptr, o_ptr, 1);
+            });
+        }
+        IsaVariant::Usimd => {
+            let p_ptr = b.imm(pred_addr as i64);
+            let r_ptr = b.imm(resid_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.counted_loop("addblk", (n / 8) as i64, |b, _| {
+                let pred = b.rs();
+                b.pload(pred, p_ptr, 0);
+                let r_lo = b.rs();
+                let r_hi = b.rs();
+                b.pload(r_lo, r_ptr, 0);
+                b.pload(r_hi, r_ptr, 8);
+                let p_lo = b.rs();
+                let p_hi = b.rs();
+                b.pwiden_lo(Elem::B, Sign::Unsigned, p_lo, pred);
+                b.pwiden_hi(Elem::B, Sign::Unsigned, p_hi, pred);
+                let s_lo = b.rs();
+                let s_hi = b.rs();
+                b.padd(Elem::H, Sat::Signed, s_lo, p_lo, r_lo);
+                b.padd(Elem::H, Sat::Signed, s_hi, p_hi, r_hi);
+                let out = b.rs();
+                b.ppack(Elem::H, Sign::Unsigned, out, s_lo, s_hi);
+                b.pstore(o_ptr, 0, out);
+                b.addi(p_ptr, p_ptr, 8);
+                b.addi(r_ptr, r_ptr, 16);
+                b.addi(o_ptr, o_ptr, 8);
+            });
+        }
+        IsaVariant::Vector => {
+            let p_ptr = b.imm(pred_addr as i64);
+            let r_ptr = b.imm(resid_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.setvl(16);
+            b.setvs(8);
+            b.counted_loop("vaddblk", (n / 128) as i64, |b, _| {
+                let pred = b.rv();
+                b.vload(pred, p_ptr, 0);
+                // The 16-bit residuals for the 8 pixels of prediction word w
+                // live in residual words 2w (low 4 pixels) and 2w+1 (high 4
+                // pixels), so gathering them into two vector registers needs
+                // a 16-byte stride — one of the non-unit-stride accesses the
+                // vector cache serves at one element per cycle (§3.2).
+                let r_lo = b.rv();
+                let r_hi = b.rv();
+                b.setvs(16);
+                b.vload(r_lo, r_ptr, 0);
+                b.vload(r_hi, r_ptr, 8);
+                b.setvs(8);
+                let p_lo = b.rv();
+                let p_hi = b.rv();
+                b.vwiden_lo(Elem::B, Sign::Unsigned, p_lo, pred);
+                b.vwiden_hi(Elem::B, Sign::Unsigned, p_hi, pred);
+                let s_lo = b.rv();
+                let s_hi = b.rv();
+                b.vadd(Elem::H, Sat::Signed, s_lo, p_lo, r_lo);
+                b.vadd(Elem::H, Sat::Signed, s_hi, p_hi, r_hi);
+                let out = b.rv();
+                b.vpack(Elem::H, Sign::Unsigned, out, s_lo, s_hi);
+                b.vstore(o_ptr, 0, out);
+                b.addi(p_ptr, p_ptr, 128);
+                b.addi(r_ptr, r_ptr, 256);
+                b.addi(o_ptr, o_ptr, 128);
+            });
+        }
+    }
+}
+
+/// GSM long-term filter: `out[i] = sat16(err[i] + (gain·past[i]) >> 16)` over
+/// `n` 16-bit samples (`n` multiple of 64).
+pub fn emit_ltp_filter(
+    b: &mut ProgramBuilder,
+    variant: IsaVariant,
+    err_addr: u64,
+    past_addr: u64,
+    out_addr: u64,
+    gain: i16,
+    n: usize,
+) {
+    assert!(n % 64 == 0);
+    match variant {
+        IsaVariant::Scalar => {
+            let e_ptr = b.imm(err_addr as i64);
+            let p_ptr = b.imm(past_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            let min16 = b.imm(i16::MIN as i64);
+            let max16 = b.imm(i16::MAX as i64);
+            b.counted_loop("ltp", n as i64, |b, _| {
+                let e = b.ri();
+                let p = b.ri();
+                b.ld16s(e, e_ptr, 0);
+                b.ld16s(p, p_ptr, 0);
+                let contrib = b.ri();
+                b.muli(contrib, p, gain as i64);
+                b.srai(contrib, contrib, 16);
+                let s = b.ri();
+                b.add(s, e, contrib);
+                b.imax(s, s, min16);
+                b.imin(s, s, max16);
+                b.st16(o_ptr, 0, s);
+                b.addi(e_ptr, e_ptr, 2);
+                b.addi(p_ptr, p_ptr, 2);
+                b.addi(o_ptr, o_ptr, 2);
+            });
+        }
+        IsaVariant::Usimd => {
+            let e_ptr = b.imm(err_addr as i64);
+            let p_ptr = b.imm(past_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            let gain_s = b.psplat_imm(Elem::H, gain as i64);
+            b.counted_loop("ltp", (n / 4) as i64, |b, _| {
+                let e = b.rs();
+                let p = b.rs();
+                b.pload(e, e_ptr, 0);
+                b.pload(p, p_ptr, 0);
+                let contrib = b.rs();
+                b.pmulhi(Elem::H, contrib, p, gain_s);
+                let s = b.rs();
+                b.padd(Elem::H, Sat::Signed, s, e, contrib);
+                b.pstore(o_ptr, 0, s);
+                b.addi(e_ptr, e_ptr, 8);
+                b.addi(p_ptr, p_ptr, 8);
+                b.addi(o_ptr, o_ptr, 8);
+            });
+        }
+        IsaVariant::Vector => {
+            let e_ptr = b.imm(err_addr as i64);
+            let p_ptr = b.imm(past_addr as i64);
+            let o_ptr = b.imm(out_addr as i64);
+            b.setvl(16);
+            b.setvs(8);
+            let gain_i = b.imm(gain as i64);
+            let gain_v = b.rv();
+            b.vsplat(Elem::H, gain_v, gain_i);
+            b.counted_loop("vltp", (n / 64) as i64, |b, _| {
+                let e = b.rv();
+                let p = b.rv();
+                b.vload(e, e_ptr, 0);
+                b.vload(p, p_ptr, 0);
+                let contrib = b.rv();
+                b.vmulhi(Elem::H, contrib, p, gain_v);
+                let s = b.rv();
+                b.vadd(Elem::H, Sat::Signed, s, e, contrib);
+                b.vstore(o_ptr, 0, s);
+                b.addi(e_ptr, e_ptr, 128);
+                b.addi(p_ptr, p_ptr, 128);
+                b.addi(o_ptr, o_ptr, 128);
+            });
+        }
+    }
+}

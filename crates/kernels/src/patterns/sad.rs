@@ -1,0 +1,141 @@
+//! Block-matching motion estimation (the `dist1` kernel of the MPEG-2
+//! encoder, used as the running example of paper §3.3.1 / Fig. 4).
+//!
+//! For every candidate displacement the kernel computes the sum of absolute
+//! differences between the current 16×16 macroblock and the corresponding
+//! reference block, then the (scalar) search loop keeps the minimum.  Rows
+//! are `stride` bytes apart, so the vector variant issues vector loads with
+//! a non-unit stride — exactly the access pattern that makes `mpeg2_enc`
+//! degrade under the realistic memory system (Fig. 5b).
+
+use vmv_isa::{BrCond, Elem, ProgramBuilder, Sat};
+
+use crate::common::IsaVariant;
+
+/// Parameters of the motion-estimation pattern.
+#[derive(Debug, Clone)]
+pub struct SadParams {
+    /// Address of the current macroblock's top-left pixel.
+    pub cur_addr: u64,
+    /// Base address of the reference frame.
+    pub ref_addr: u64,
+    /// Row stride (frame width) in bytes.
+    pub stride: usize,
+    /// Byte offsets (into the reference frame) of each candidate block's
+    /// top-left pixel.
+    pub candidates: Vec<u64>,
+    /// Output: one u32 SAD per candidate.
+    pub sads_addr: u64,
+    /// Output: index of the best (minimum-SAD) candidate, as u32.
+    pub best_addr: u64,
+}
+
+/// Emit the motion-estimation pattern.
+pub fn emit_motion_search(b: &mut ProgramBuilder, variant: IsaVariant, p: &SadParams) {
+    // The candidate offsets are materialised as a table in the instruction
+    // stream (one iteration per candidate with immediate offsets), matching
+    // the unrolled search loops of the hand-optimised encoder.
+    let best_sad = b.imm(i32::MAX as i64);
+    let best_idx = b.imm(0);
+    let sads_ptr = b.imm(p.sads_addr as i64);
+
+    for (idx, &cand) in p.candidates.iter().enumerate() {
+        let sad = emit_sad_16x16(b, variant, p.cur_addr, p.ref_addr + cand, p.stride);
+        b.st32(sads_ptr, (4 * idx) as i64, sad);
+        // Scalar min-tracking (identical in every variant).
+        let skip = b.fresh_label("sad_skip");
+        b.br(BrCond::Ge, sad, best_sad, skip.clone());
+        b.auto_label("sad_take");
+        b.mov(best_sad, sad);
+        b.li(best_idx, idx as i64);
+        b.label(skip);
+    }
+    let best_ptr = b.imm(p.best_addr as i64);
+    b.st32(best_ptr, 0, best_idx);
+}
+
+/// Emit one 16×16 SAD and return the integer register holding the result.
+pub fn emit_sad_16x16(
+    b: &mut ProgramBuilder,
+    variant: IsaVariant,
+    cur_addr: u64,
+    ref_addr: u64,
+    stride: usize,
+) -> vmv_isa::Reg {
+    match variant {
+        IsaVariant::Scalar => {
+            let total = b.ri();
+            b.li(total, 0);
+            let cur_row = b.imm(cur_addr as i64);
+            let ref_row = b.imm(ref_addr as i64);
+            b.counted_loop("sad_row", 16, |b, _| {
+                for col in 0..16 {
+                    let c = b.ri();
+                    let r = b.ri();
+                    b.ld8u(c, cur_row, col);
+                    b.ld8u(r, ref_row, col);
+                    let d = b.ri();
+                    b.sub(d, c, r);
+                    b.iabs(d, d);
+                    b.add(total, total, d);
+                }
+                b.addi(cur_row, cur_row, stride as i64);
+                b.addi(ref_row, ref_row, stride as i64);
+            });
+            total
+        }
+        IsaVariant::Usimd => {
+            let acc = b.rs();
+            let zero = b.imm(0);
+            b.int_to_simd(acc, zero);
+            let cur_row = b.imm(cur_addr as i64);
+            let ref_row = b.imm(ref_addr as i64);
+            b.counted_loop("sad_row", 16, |b, _| {
+                for half in 0..2 {
+                    let c = b.rs();
+                    let r = b.rs();
+                    b.pload(c, cur_row, 8 * half);
+                    b.pload(r, ref_row, 8 * half);
+                    let s = b.rs();
+                    b.psad(s, c, r);
+                    b.padd(Elem::W, Sat::Wrap, acc, acc, s);
+                }
+                b.addi(cur_row, cur_row, stride as i64);
+                b.addi(ref_row, ref_row, stride as i64);
+            });
+            let total = b.ri();
+            b.simd_to_int(total, acc);
+            total
+        }
+        IsaVariant::Vector => {
+            // Fig. 4: two vector registers per block (left and right 8-pixel
+            // columns), vector length 16 (one word per row), stride = the
+            // image width.
+            b.setvl(16);
+            b.setvs(stride as i64);
+            let cur_base = b.imm(cur_addr as i64);
+            let ref_base = b.imm(ref_addr as i64);
+            let v1 = b.rv();
+            let v3 = b.rv();
+            let v2 = b.rv();
+            let v4 = b.rv();
+            b.vload(v1, cur_base, 0);
+            b.vload(v3, cur_base, 8);
+            b.vload(v2, ref_base, 0);
+            b.vload(v4, ref_base, 8);
+            let a1 = b.ra();
+            let a2 = b.ra();
+            b.acc_clear(a1);
+            b.acc_clear(a2);
+            b.vsad_acc(a1, v1, v2);
+            b.vsad_acc(a2, v3, v4);
+            let s1 = b.ri();
+            let s2 = b.ri();
+            b.acc_reduce(s1, a1);
+            b.acc_reduce(s2, a2);
+            let total = b.ri();
+            b.add(total, s1, s2);
+            total
+        }
+    }
+}

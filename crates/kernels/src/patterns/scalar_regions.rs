@@ -1,0 +1,250 @@
+//! The inherently scalar regions of the benchmarks (paper §2): entropy
+//! coding, bit-stream parsing and first-order recurrences.  These regions
+//! are identical across the three ISA variants — they carry the modest ILP
+//! that limits whole-application speed-up once the DLP regions have been
+//! accelerated (Amdahl's law, §5.2).
+//!
+//! Each emitter produces a 32-bit checksum in memory; the matching `ref_*`
+//! function computes the same checksum in Rust so that every run can be
+//! checked for functional correctness.
+
+use vmv_isa::{BrCond, ProgramBuilder};
+
+/// Emit a Huffman-style entropy encoder over `n` 16-bit coefficients:
+/// for each coefficient, compute its magnitude category with a bit-length
+/// loop, look up a code in `table` (16 entries of 16 bits), accumulate the
+/// emitted bit count and mix everything into a running checksum.
+pub fn emit_entropy_encode(
+    b: &mut ProgramBuilder,
+    coef_addr: u64,
+    n: usize,
+    table_addr: u64,
+    checksum_addr: u64,
+) {
+    let coef_ptr = b.imm(coef_addr as i64);
+    let table = b.imm(table_addr as i64);
+    let checksum = b.ri();
+    b.li(checksum, 0);
+    let bitcount = b.ri();
+    b.li(bitcount, 0);
+    b.counted_loop("huff", n as i64, |b, _| {
+        let v = b.ri();
+        b.ld16s(v, coef_ptr, 0);
+        let mag = b.ri();
+        b.iabs(mag, v);
+        // Magnitude category: number of bits needed to represent |v|.
+        let size = b.ri();
+        b.li(size, 0);
+        let work = b.ri();
+        b.mov(work, mag);
+        let size_done = b.fresh_label("size_done");
+        let size_head = b.fresh_label("size_head");
+        b.label(size_head.clone());
+        b.br_imm(BrCond::Eq, work, 0, size_done.clone());
+        b.auto_label("size_body");
+        b.srai(work, work, 1);
+        b.addi(size, size, 1);
+        b.jump(size_head);
+        b.label(size_done);
+        // Table lookup: code = table[size], length = size + 1.
+        let entry_off = b.ri();
+        b.shli(entry_off, size, 1);
+        let entry_addr = b.ri();
+        b.add(entry_addr, table, entry_off);
+        let code = b.ri();
+        b.ld16u(code, entry_addr, 0);
+        let len = b.ri();
+        b.addi(len, size, 1);
+        b.add(bitcount, bitcount, len);
+        b.add(bitcount, bitcount, size);
+        // Mix into the checksum: checksum = checksum * 33 + code + size.
+        let t = b.ri();
+        b.muli(t, checksum, 33);
+        b.add(t, t, code);
+        b.add(t, t, size);
+        b.andi(checksum, t, 0xFFFF_FFFF);
+        b.addi(coef_ptr, coef_ptr, 2);
+    });
+    let out = b.imm(checksum_addr as i64);
+    b.st32(out, 0, checksum);
+    b.st32(out, 4, bitcount);
+}
+
+/// Rust reference of [`emit_entropy_encode`]: returns `(checksum, bitcount)`.
+pub fn ref_entropy_encode(coefs: &[i16], table: &[u16; 16]) -> (u32, u32) {
+    let mut checksum: i64 = 0;
+    let mut bitcount: i64 = 0;
+    for &v in coefs {
+        let mag = (v as i64).abs();
+        let mut size = 0i64;
+        let mut work = mag;
+        while work != 0 {
+            work >>= 1;
+            size += 1;
+        }
+        let code = table[size as usize] as i64;
+        bitcount += size + 1 + size;
+        checksum = (checksum * 33 + code + size) & 0xFFFF_FFFF;
+    }
+    (checksum as u32, bitcount as u32)
+}
+
+/// Emit a variable-length-decoder style bit-stream parser over `n_symbols`
+/// nibbles of the byte buffer at `bits_addr`, with a 16-entry lookup table.
+pub fn emit_bitstream_parse(
+    b: &mut ProgramBuilder,
+    bits_addr: u64,
+    n_symbols: usize,
+    table_addr: u64,
+    checksum_addr: u64,
+) {
+    let bits_ptr = b.imm(bits_addr as i64);
+    let table = b.imm(table_addr as i64);
+    let checksum = b.ri();
+    b.li(checksum, 0);
+    let bitbuf = b.ri();
+    b.li(bitbuf, 0);
+    let bitcnt = b.ri();
+    b.li(bitcnt, 0);
+    b.counted_loop("vld", n_symbols as i64, |b, _| {
+        // Refill the bit buffer when fewer than 4 bits remain.
+        let have = b.fresh_label("have_bits");
+        b.br_imm(BrCond::Ge, bitcnt, 4, have.clone());
+        b.auto_label("refill");
+        let byte = b.ri();
+        b.ld8u(byte, bits_ptr, 0);
+        b.addi(bits_ptr, bits_ptr, 1);
+        b.shli(bitbuf, bitbuf, 8);
+        b.or(bitbuf, bitbuf, byte);
+        b.andi(bitbuf, bitbuf, 0xFFFF_FFFF);
+        b.addi(bitcnt, bitcnt, 8);
+        b.label(have);
+        // Take 4 bits, look them up, fold into the checksum.
+        b.subi(bitcnt, bitcnt, 4);
+        let sym = b.ri();
+        b.shr(sym, bitbuf, bitcnt);
+        b.andi(sym, sym, 0xF);
+        let off = b.ri();
+        b.shli(off, sym, 1);
+        let addr = b.ri();
+        b.add(addr, table, off);
+        let decoded = b.ri();
+        b.ld16u(decoded, addr, 0);
+        let t = b.ri();
+        b.muli(t, checksum, 31);
+        b.add(t, t, decoded);
+        b.andi(checksum, t, 0xFFFF_FFFF);
+    });
+    let out = b.imm(checksum_addr as i64);
+    b.st32(out, 0, checksum);
+}
+
+/// Rust reference of [`emit_bitstream_parse`].
+pub fn ref_bitstream_parse(bits: &[u8], n_symbols: usize, table: &[u16; 16]) -> u32 {
+    let mut checksum: i64 = 0;
+    let mut bitbuf: i64 = 0;
+    let mut bitcnt: i64 = 0;
+    let mut pos = 0usize;
+    for _ in 0..n_symbols {
+        if bitcnt < 4 {
+            let byte = bits[pos] as i64;
+            pos += 1;
+            bitbuf = ((bitbuf << 8) | byte) & 0xFFFF_FFFF;
+            bitcnt += 8;
+        }
+        bitcnt -= 4;
+        let sym = (bitbuf >> bitcnt) & 0xF;
+        let decoded = table[sym as usize] as i64;
+        checksum = (checksum * 31 + decoded) & 0xFFFF_FFFF;
+    }
+    checksum as u32
+}
+
+/// Emit a first-order recurrence (Schur recursion / short-term synthesis
+/// filter style): `state = ((state * a) >> 15) + in[i]`, clamped to 16 bits,
+/// repeated over `n` samples for `passes` passes with a different
+/// coefficient per pass (`a = 29491 - 1024 * pass`).  The final state and a
+/// running checksum are stored.
+pub fn emit_recurrence(
+    b: &mut ProgramBuilder,
+    in_addr: u64,
+    n: usize,
+    passes: usize,
+    checksum_addr: u64,
+) {
+    let checksum = b.ri();
+    b.li(checksum, 0);
+    let min16 = b.imm(i16::MIN as i64);
+    let max16 = b.imm(i16::MAX as i64);
+    for pass in 0..passes {
+        let in_ptr = b.imm(in_addr as i64);
+        let state = b.ri();
+        b.li(state, 0);
+        let coef = 29491 - 1024 * pass as i64;
+        b.counted_loop("rec", n as i64, |b, _| {
+            let x = b.ri();
+            b.ld16s(x, in_ptr, 0);
+            let t = b.ri();
+            b.muli(t, state, coef);
+            b.srai(t, t, 15);
+            b.add(t, t, x);
+            b.imax(t, t, min16);
+            b.imin(t, t, max16);
+            b.mov(state, t);
+            b.addi(in_ptr, in_ptr, 2);
+        });
+        let folded = b.ri();
+        b.muli(folded, checksum, 37);
+        b.add(folded, folded, state);
+        b.andi(checksum, folded, 0xFFFF_FFFF);
+    }
+    let out = b.imm(checksum_addr as i64);
+    b.st32(out, 0, checksum);
+}
+
+/// Rust reference of [`emit_recurrence`].
+pub fn ref_recurrence(input: &[i16], passes: usize) -> u32 {
+    let mut checksum: i64 = 0;
+    for pass in 0..passes {
+        let coef = 29491 - 1024 * pass as i64;
+        let mut state: i64 = 0;
+        for &x in input {
+            let t = ((state * coef) >> 15) + x as i64;
+            state = t.clamp(i16::MIN as i64, i16::MAX as i64);
+        }
+        checksum = (checksum * 37 + state) & 0xFFFF_FFFF;
+    }
+    checksum as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_reference_is_order_sensitive() {
+        let table: [u16; 16] = std::array::from_fn(|i| (i as u16) * 3 + 1);
+        let a = ref_entropy_encode(&[1, -2, 300, 0], &table);
+        let b = ref_entropy_encode(&[0, 300, -2, 1], &table);
+        assert_ne!(a.0, b.0);
+        assert_eq!(a.1, b.1, "bit count does not depend on order");
+    }
+
+    #[test]
+    fn bitstream_reference_consumes_nibbles() {
+        let table: [u16; 16] = std::array::from_fn(|i| (i as u16) << 2);
+        let bits = vec![0xAB, 0xCD, 0xEF, 0x01];
+        let one = ref_bitstream_parse(&bits, 2, &table);
+        let two = ref_bitstream_parse(&bits, 4, &table);
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn recurrence_reference_saturates() {
+        let big = vec![i16::MAX; 64];
+        let cs = ref_recurrence(&big, 2);
+        // The state saturates at i16::MAX in both passes.
+        let expect = ((i16::MAX as i64 * 37 + i16::MAX as i64) & 0xFFFF_FFFF) as u32;
+        assert_eq!(cs, expect);
+    }
+}

@@ -1,0 +1,266 @@
+//! Golden reference implementations of every vector-region kernel.
+//!
+//! Each function defines the *exact* integer arithmetic the scalar, µSIMD and
+//! Vector-µSIMD program variants must reproduce bit-for-bit; the kernel test
+//! suite and the experiment driver compare the simulator's memory contents
+//! against these results after every run.
+
+/// `out[i] = clamp_u8((c0*a[i] + c1*b[i] + c2*c[i] + bias) >> shift)`.
+///
+/// This is the shape of the JPEG colour conversions (RGB→YCbCr and
+/// YCbCr→RGB, with the ±128 chroma offset folded into `bias`) and of the
+/// h2v2 chroma up-sampling filter.
+pub fn color_mac3(a: &[u8], b: &[u8], c: &[u8], coef: [i32; 3], bias: i32, shift: u32) -> Vec<u8> {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    a.iter()
+        .zip(b)
+        .zip(c)
+        .map(|((&x, &y), &z)| {
+            let v = (coef[0] * x as i32 + coef[1] * y as i32 + coef[2] * z as i32 + bias) >> shift;
+            v.clamp(0, 255) as u8
+        })
+        .collect()
+}
+
+/// Sum of absolute differences between a 16×16 block of `cur` starting at
+/// `cur_off` and a 16×16 block of `reference` starting at `ref_off`, both
+/// stored row-major with row stride `stride`.
+pub fn sad_16x16(cur: &[u8], reference: &[u8], stride: usize, cur_off: usize, ref_off: usize) -> u32 {
+    let mut sum = 0u32;
+    for row in 0..16 {
+        for col in 0..16 {
+            let c = cur[cur_off + row * stride + col] as i32;
+            let r = reference[ref_off + row * stride + col] as i32;
+            sum += (c - r).unsigned_abs();
+        }
+    }
+    sum
+}
+
+/// Full-search motion estimation: SADs of the current block against every
+/// candidate displacement in `candidates` (offsets into the reference
+/// frame), plus the index of the best candidate.
+pub fn motion_search(
+    cur: &[u8],
+    reference: &[u8],
+    stride: usize,
+    cur_off: usize,
+    candidates: &[usize],
+) -> (Vec<u32>, usize) {
+    let sads: Vec<u32> =
+        candidates.iter().map(|&r| sad_16x16(cur, reference, stride, cur_off, r)).collect();
+    let best = sads.iter().enumerate().min_by_key(|(_, &s)| s).map(|(i, _)| i).unwrap_or(0);
+    (sads, best)
+}
+
+/// The 8×8 integer transform coefficient matrix used by the DCT kernels:
+/// `C[u][k] = round(128 · c_u · cos((2k+1)uπ/16))` with `c_0 = √(1/8)` and
+/// `c_u = 1/2` otherwise.
+pub fn dct_coefficients() -> [[i16; 8]; 8] {
+    let mut c = [[0i16; 8]; 8];
+    for (u, row) in c.iter_mut().enumerate() {
+        for (k, v) in row.iter_mut().enumerate() {
+            let cu = if u == 0 { (1.0f64 / 8.0).sqrt() } else { 0.5 };
+            let angle = (2.0 * k as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (128.0 * cu * angle.cos()).round() as i16;
+        }
+    }
+    c
+}
+
+fn clamp16(v: i32) -> i16 {
+    v.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+}
+
+/// Two-pass 8×8 integer DCT (forward) or IDCT (inverse) on one block of 64
+/// signed 16-bit samples with 7-bit coefficient precision (truncating
+/// arithmetic shift after each pass): the exact arithmetic every ISA variant
+/// implements.
+pub fn dct_8x8(input: &[i16], inverse: bool) -> [i16; 64] {
+    assert_eq!(input.len(), 64);
+    let c = dct_coefficients();
+    let coef = |u: usize, k: usize| -> i32 {
+        if inverse {
+            c[k][u] as i32
+        } else {
+            c[u][k] as i32
+        }
+    };
+    // Pass 1: tmp[u][x] = (Σ_k coef(u,k) · in[k][x]) >> 7.
+    let mut tmp = [0i16; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let mut s = 0i32;
+            for k in 0..8 {
+                s += coef(u, k) * input[k * 8 + x] as i32;
+            }
+            tmp[u * 8 + x] = clamp16(s >> 7);
+        }
+    }
+    // Pass 2: out[u][v] = (Σ_x tmp[u][x] · coef(v,x)) >> 7.
+    let mut out = [0i16; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut s = 0i32;
+            for x in 0..8 {
+                s += tmp[u * 8 + x] as i32 * coef(v, x);
+            }
+            out[u * 8 + v] = clamp16(s >> 7);
+        }
+    }
+    out
+}
+
+/// Apply [`dct_8x8`] to `n` consecutive blocks stored back to back.
+pub fn dct_blocks(input: &[i16], inverse: bool) -> Vec<i16> {
+    assert_eq!(input.len() % 64, 0);
+    input.chunks(64).flat_map(|blk| dct_8x8(blk, inverse)).collect()
+}
+
+/// JPEG-style quantisation by reciprocal multiplication:
+/// `q[i] = (coef[i] · recip[i mod 64]) >> 16` (arithmetic shift).
+pub fn quantize(coefs: &[i16], recips: &[i16; 64]) -> Vec<i16> {
+    coefs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| ((c as i32 * recips[i % 64] as i32) >> 16) as i16)
+        .collect()
+}
+
+/// Cross-correlation: `out[k] = Σ_{i=0}^{n-1} a[i] · b[i+k]` for `k` in
+/// `0..lags`.  With `a == b` this is the GSM autocorrelation; with `a` the
+/// target window and `b` the reconstructed history it is the LTP search.
+pub fn correlate(a: &[i16], b: &[i16], n: usize, lags: usize) -> Vec<i32> {
+    assert!(a.len() >= n);
+    assert!(b.len() >= n + lags - 1);
+    (0..lags)
+        .map(|k| (0..n).map(|i| a[i] as i32 * b[i + k] as i32).sum::<i32>())
+        .collect()
+}
+
+/// Rounded unsigned byte average: `(a[i] + b[i] + 1) >> 1` — the MPEG-2
+/// form-component prediction with half-pel interpolation.
+pub fn average_u8(a: &[u8], b: &[u8]) -> Vec<u8> {
+    a.iter().zip(b).map(|(&x, &y)| ((x as u16 + y as u16 + 1) >> 1) as u8).collect()
+}
+
+/// MPEG-2 "add block": prediction (unsigned bytes) plus residual (signed
+/// 16-bit), saturated to 0..255.
+pub fn add_block(pred: &[u8], resid: &[i16]) -> Vec<u8> {
+    pred.iter()
+        .zip(resid)
+        .map(|(&p, &r)| (p as i32 + r as i32).clamp(0, 255) as u8)
+        .collect()
+}
+
+/// GSM long-term filtering: `out[i] = sat16(err[i] + (gain · past[i]) >> 16)`.
+pub fn long_term_filter(err: &[i16], past: &[i16], gain: i16) -> Vec<i16> {
+    err.iter()
+        .zip(past)
+        .map(|(&e, &p)| {
+            let contrib = (gain as i32 * p as i32) >> 16;
+            (e as i32 + contrib).clamp(i16::MIN as i32, i16::MAX as i32) as i16
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_mac3_matches_manual_pixel() {
+        let out = color_mac3(&[100], &[150], &[200], [77, 150, 29], 128, 8);
+        let expect = ((77 * 100 + 150 * 150 + 29 * 200 + 128) >> 8).clamp(0, 255) as u8;
+        assert_eq!(out, vec![expect]);
+        // Saturation at both ends.
+        assert_eq!(color_mac3(&[255], &[255], &[255], [200, 200, 200], 0, 0), vec![255]);
+        assert_eq!(color_mac3(&[10], &[10], &[10], [-100, 0, 0], 0, 0), vec![0]);
+    }
+
+    #[test]
+    fn dct_of_constant_block_concentrates_energy_in_dc() {
+        let input = [100i16; 64];
+        let out = dct_8x8(&input, false);
+        assert!(out[0].abs() > 300, "DC term carries the energy: {}", out[0]);
+        let ac_energy: i32 = out[1..].iter().map(|&x| (x as i32).abs()).sum();
+        assert!(ac_energy < 64, "AC terms are nearly zero: {ac_energy}");
+    }
+
+    #[test]
+    fn idct_approximately_inverts_dct() {
+        let mut input = [0i16; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i as i16 * 7) % 200) - 100;
+        }
+        let freq = dct_8x8(&input, false);
+        let back = dct_8x8(&freq, true);
+        for i in 0..64 {
+            let err = (back[i] as i32 - input[i] as i32).abs();
+            assert!(err <= 8, "sample {i}: {} vs {} (err {err})", back[i], input[i]);
+        }
+    }
+
+    #[test]
+    fn dct_coefficient_table_is_symmetric_in_magnitude() {
+        let c = dct_coefficients();
+        // Row 0 is flat (all equal), row 4 alternates in sign.
+        assert!(c[0].iter().all(|&v| v == c[0][0]));
+        assert_eq!(c[4][0], -c[4][1]);
+        assert!(c[1][0] > 0 && c[1][7] < 0);
+    }
+
+    #[test]
+    fn quantize_shrinks_magnitudes() {
+        let recips = crate::data::quant_reciprocals(50);
+        let coefs: Vec<i16> = (0..64).map(|i| (i as i16 - 32) * 30).collect();
+        let q = quantize(&coefs, &recips);
+        for (i, (&c, &qv)) in coefs.iter().zip(&q).enumerate() {
+            assert!(qv.abs() <= c.abs(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn correlate_peaks_at_true_lag() {
+        // b is a delayed copy of a: correlation peaks at that lag.
+        let a: Vec<i16> = (0..64).map(|i| ((i * 37) % 101) as i16 - 50).collect();
+        let mut b = vec![0i16; 80];
+        b[5..5 + 64].copy_from_slice(&a);
+        let c = correlate(&a, &b, 60, 10);
+        let best = c.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
+        assert_eq!(best, 5);
+    }
+
+    #[test]
+    fn average_and_add_block_saturate() {
+        assert_eq!(average_u8(&[10, 255], &[11, 255]), vec![11, 255]);
+        assert_eq!(add_block(&[250, 5], &[100, -100]), vec![255, 0]);
+        assert_eq!(add_block(&[100], &[17]), vec![117]);
+    }
+
+    #[test]
+    fn long_term_filter_matches_manual() {
+        let out = long_term_filter(&[1000, -1000], &[20000, 20000], 16384);
+        // (16384 * 20000) >> 16 = 5000
+        assert_eq!(out, vec![6000, 4000]);
+    }
+
+    #[test]
+    fn sad_is_zero_for_identical_blocks() {
+        let frame: Vec<u8> = (0..48 * 48).map(|i| (i % 251) as u8).collect();
+        assert_eq!(sad_16x16(&frame, &frame, 48, 100, 100), 0);
+        assert!(sad_16x16(&frame, &frame, 48, 100, 101) > 0);
+    }
+
+    #[test]
+    fn motion_search_finds_exact_match() {
+        let reference: Vec<u8> = (0..48 * 48).map(|i| (i * 7 % 253) as u8).collect();
+        let cur = reference.clone();
+        let cur_off = 10 * 48 + 10;
+        let candidates = vec![9 * 48 + 9, cur_off, 11 * 48 + 12];
+        let (sads, best) = motion_search(&cur, &reference, 48, cur_off, &candidates);
+        assert_eq!(best, 1);
+        assert_eq!(sads[1], 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # vmv-machine — processor configurations
+//!
+//! The ten processor configurations evaluated in the paper (Table 2): 2-, 4-
+//! and 8-issue VLIW and µSIMD-VLIW machines, and 2- and 4-issue
+//! Vector-µSIMD-VLIW machines with one/two ("Vector1") or two/four
+//! ("Vector2") vector units of four lanes each.
+//!
+//! A [`MachineConfig`] bundles everything the static scheduler and the
+//! simulator need to know about a processor: issue width, functional-unit
+//! counts, register-file sizes, cache-port counts, operation latencies and
+//! memory-hierarchy parameters.
+
+pub mod config;
+pub mod presets;
+
+pub use config::{IsaSupport, LatencyTable, MachineConfig, MemoryParams};
+pub use presets::{all_configs, reference_config, usimd, vector1, vector2, vliw};

@@ -1,0 +1,210 @@
+//! The ten processor configurations of Table 2.
+//!
+//! | Resource    | VLIW 2/4/8w | +µSIMD 2/4/8w | +Vector1 2/4w | +Vector2 2/4w |
+//! |-------------|-------------|---------------|---------------|---------------|
+//! | Int regs    | 64/96/128   | 64/96/128     | 64/96         | 64/96         |
+//! | SIMD regs   | –           | 64/96/128     | 20/32 ×16     | 20/32 ×16     |
+//! | Acc regs    | –           | –             | 4/6           | 4/6           |
+//! | Int units   | 2/4/8       | 2/4/8         | 2/4           | 2/4           |
+//! | SIMD units  | –           | 2/4/8         | 1/2 ×4 lanes  | 2/4 ×4 lanes  |
+//! | L1 ports    | 1/2/3       | 1/2/3         | 1             | 1/2           |
+//! | L2 ports    | –           | –             | 1 ×4 elems    | 1 ×4 elems    |
+//!
+//! The vector configurations are deliberately *not* balanced against the same
+//! issue-width µSIMD configurations: they are an alternative to wider-issue
+//! processors (the arithmetic capability of the 2-issue Vector2 and 4-issue
+//! Vector1 is comparable to the 8-issue µSIMD, paper §4.2).
+
+use crate::config::{IsaSupport, LatencyTable, MachineConfig, MemoryParams};
+use vmv_isa::RegFileSizes;
+
+fn scale_index(issue_width: usize) -> usize {
+    match issue_width {
+        2 => 0,
+        4 => 1,
+        8 => 2,
+        other => panic!("unsupported issue width {other} (expected 2, 4 or 8)"),
+    }
+}
+
+/// Base VLIW configuration of the given issue width (2, 4 or 8).
+pub fn vliw(issue_width: usize) -> MachineConfig {
+    let i = scale_index(issue_width);
+    MachineConfig {
+        name: format!("{issue_width}w VLIW"),
+        isa: IsaSupport::Vliw,
+        issue_width,
+        int_units: issue_width,
+        simd_units: 0,
+        vector_units: 0,
+        vector_lanes: 0,
+        l1_ports: [1, 2, 3][i],
+        l2_ports: 0,
+        l2_port_elems: 0,
+        regs: RegFileSizes { int: [64, 96, 128][i], simd: 0, vec: 0, acc: 0 },
+        latencies: LatencyTable::default(),
+        memory: MemoryParams::default(),
+        chaining: false,
+    }
+}
+
+/// µSIMD-VLIW configuration of the given issue width (2, 4 or 8).
+pub fn usimd(issue_width: usize) -> MachineConfig {
+    let i = scale_index(issue_width);
+    MachineConfig {
+        name: format!("{issue_width}w +uSIMD"),
+        isa: IsaSupport::Usimd,
+        issue_width,
+        int_units: issue_width,
+        simd_units: issue_width,
+        vector_units: 0,
+        vector_lanes: 0,
+        l1_ports: [1, 2, 3][i],
+        l2_ports: 0,
+        l2_port_elems: 0,
+        regs: RegFileSizes { int: [64, 96, 128][i], simd: [64, 96, 128][i], vec: 0, acc: 0 },
+        latencies: LatencyTable::default(),
+        memory: MemoryParams::default(),
+        chaining: false,
+    }
+}
+
+/// Vector-µSIMD-VLIW configuration with one (2-issue) or two (4-issue)
+/// vector units ("+Vector1" in the paper).  Only 2- and 4-issue widths exist.
+pub fn vector1(issue_width: usize) -> MachineConfig {
+    let i = scale_index(issue_width);
+    assert!(i < 2, "Vector configurations only exist for 2- and 4-issue widths");
+    MachineConfig {
+        name: format!("{issue_width}w +Vector1"),
+        isa: IsaSupport::Vector,
+        issue_width,
+        int_units: issue_width,
+        simd_units: 0,
+        vector_units: [1, 2][i],
+        vector_lanes: 4,
+        l1_ports: 1,
+        l2_ports: 1,
+        l2_port_elems: 4,
+        regs: RegFileSizes { int: [64, 96][i], simd: 16, vec: [20, 32][i], acc: [4, 6][i] },
+        latencies: LatencyTable::default(),
+        memory: MemoryParams::default(),
+        chaining: true,
+    }
+}
+
+/// Vector-µSIMD-VLIW configuration with two (2-issue) or four (4-issue)
+/// vector units ("+Vector2" in the paper).
+pub fn vector2(issue_width: usize) -> MachineConfig {
+    let i = scale_index(issue_width);
+    assert!(i < 2, "Vector configurations only exist for 2- and 4-issue widths");
+    MachineConfig {
+        name: format!("{issue_width}w +Vector2"),
+        isa: IsaSupport::Vector,
+        issue_width,
+        int_units: issue_width,
+        simd_units: 0,
+        vector_units: [2, 4][i],
+        vector_lanes: 4,
+        l1_ports: [1, 2][i],
+        l2_ports: 1,
+        l2_port_elems: 4,
+        regs: RegFileSizes { int: [64, 96][i], simd: 16, vec: [20, 32][i], acc: [4, 6][i] },
+        latencies: LatencyTable::default(),
+        memory: MemoryParams::default(),
+        chaining: true,
+    }
+}
+
+/// The complete set of ten configurations evaluated in the paper, in the
+/// order they appear in the figures: 2/4/8-wide VLIW, 2/4/8-wide µSIMD,
+/// 2/4-wide Vector1, 2/4-wide Vector2.
+pub fn all_configs() -> Vec<MachineConfig> {
+    vec![
+        vliw(2),
+        vliw(4),
+        vliw(8),
+        usimd(2),
+        usimd(4),
+        usimd(8),
+        vector1(2),
+        vector1(4),
+        vector2(2),
+        vector2(4),
+    ]
+}
+
+/// The reference configuration every speed-up in the paper's figures is
+/// normalised to: the 2-issue base VLIW.
+pub fn reference_config() -> MachineConfig {
+    vliw(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_isa::RegClass;
+
+    #[test]
+    fn table2_register_files() {
+        assert_eq!(vliw(2).regs.int, 64);
+        assert_eq!(vliw(8).regs.int, 128);
+        assert_eq!(usimd(4).regs.simd, 96);
+        assert_eq!(vector1(2).regs.vec, 20);
+        assert_eq!(vector1(4).regs.vec, 32);
+        assert_eq!(vector2(2).regs.acc, 4);
+        assert_eq!(vector2(4).regs.acc, 6);
+        assert_eq!(vector2(4).regs.count(RegClass::Ctrl), 2);
+    }
+
+    #[test]
+    fn table2_functional_units() {
+        assert_eq!(vliw(8).int_units, 8);
+        assert_eq!(usimd(8).simd_units, 8);
+        assert_eq!(vector1(2).vector_units, 1);
+        assert_eq!(vector1(4).vector_units, 2);
+        assert_eq!(vector2(2).vector_units, 2);
+        assert_eq!(vector2(4).vector_units, 4);
+        assert_eq!(vector2(2).vector_lanes, 4);
+    }
+
+    #[test]
+    fn table2_cache_ports() {
+        assert_eq!(vliw(2).l1_ports, 1);
+        assert_eq!(vliw(8).l1_ports, 3);
+        assert_eq!(vector1(4).l1_ports, 1);
+        assert_eq!(vector2(4).l1_ports, 2);
+        assert_eq!(vector2(2).l2_ports, 1);
+        assert_eq!(vector2(2).l2_port_elems, 4);
+        assert_eq!(vliw(2).l2_ports, 0);
+    }
+
+    #[test]
+    fn all_configs_has_ten_entries_with_unique_names() {
+        let cfgs = all_configs();
+        assert_eq!(cfgs.len(), 10);
+        let mut names: Vec<_> = cfgs.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vector_configs_reject_8_issue() {
+        vector1(8);
+    }
+
+    #[test]
+    fn memory_parameters_match_section_4_2() {
+        let m = MemoryParams::default();
+        assert_eq!(m.l1_size, 16 * 1024);
+        assert_eq!(m.l1_assoc, 4);
+        assert_eq!(m.l2_size, 256 * 1024);
+        assert_eq!(m.l3_size, 1024 * 1024);
+        assert_eq!(m.l1_latency, 1);
+        assert_eq!(m.l2_latency, 5);
+        assert_eq!(m.l3_latency, 12);
+        assert_eq!(m.mem_latency, 500);
+        assert_eq!(m.l2_banks, 2);
+    }
+}

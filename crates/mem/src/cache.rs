@@ -1,0 +1,311 @@
+//! A set-associative, write-back, write-allocate cache *timing* model.
+//!
+//! The model tracks tags, valid and dirty bits only; the actual data lives in
+//! the simulator's flat memory image (functional correctness never depends on
+//! the cache contents, only timing does).  Replacement is true LRU within a
+//! set, which matches the level of detail of the paper's simulator.
+
+/// Result of looking a block up in a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    Hit,
+    Miss,
+}
+
+/// Information returned by a fill (allocation) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// Block address of a dirty line that had to be written back, if any.
+    pub writeback: Option<u64>,
+    /// Block address of a clean line that was evicted, if any.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp (higher = more recently used).
+    lru: u64,
+}
+
+/// A set-associative cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    line_bytes: usize,
+    num_sets: usize,
+    assoc: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    pub stats: CacheStats,
+}
+
+/// Per-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub writebacks: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl Cache {
+    /// Create a cache of `size_bytes` capacity with the given associativity
+    /// and line size.  Panics if the geometry is inconsistent.
+    pub fn new(name: &'static str, size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1);
+        assert!(size_bytes % (assoc * line_bytes) == 0, "inconsistent cache geometry");
+        let num_sets = size_bytes / (assoc * line_bytes);
+        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        Cache {
+            name,
+            line_bytes,
+            num_sets,
+            assoc,
+            lines: vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; num_sets * assoc],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// Block (line) address of a byte address.
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64 * self.line_bytes as u64
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes as u64) % self.num_sets as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_bytes as u64 / self.num_sets as u64
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Probe the cache without modifying LRU state or statistics.
+    pub fn probe(&self, addr: u64) -> LookupResult {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        for line in &self.lines[self.set_range(set)] {
+            if line.valid && line.tag == tag {
+                return LookupResult::Hit;
+            }
+        }
+        LookupResult::Miss
+    }
+
+    /// Access the cache (updating LRU and statistics).  `write` marks the
+    /// line dirty on a hit; allocation on a miss is done separately with
+    /// [`Cache::fill`] so the caller controls the write-allocate policy.
+    pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let range = self.set_range(set);
+        let tick = self.tick;
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                if write {
+                    line.dirty = true;
+                }
+                self.stats.hits += 1;
+                return LookupResult::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Allocate a line for `addr`, evicting the LRU line of the set if
+    /// necessary.  `write` marks the new line dirty (write-allocate).
+    pub fn fill(&mut self, addr: u64, write: bool) -> FillOutcome {
+        self.tick += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let line_bytes = self.line_bytes as u64;
+        let num_sets = self.num_sets as u64;
+        let range = self.set_range(set);
+        let tick = self.tick;
+
+        // If the block is already present just update it.
+        for line in &mut self.lines[range.clone()] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                if write {
+                    line.dirty = true;
+                }
+                return FillOutcome::default();
+            }
+        }
+
+        // Choose a victim: an invalid way if available, otherwise LRU.
+        let victim_idx = {
+            let lines = &self.lines[range.clone()];
+            match lines.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => {
+                    let (i, _) =
+                        lines.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("assoc >= 1");
+                    i
+                }
+            }
+        };
+        let victim = &mut self.lines[range.start + victim_idx];
+        let mut outcome = FillOutcome::default();
+        if victim.valid {
+            let victim_addr = (victim.tag * num_sets + set as u64) * line_bytes;
+            if victim.dirty {
+                outcome.writeback = Some(victim_addr);
+                self.stats.writebacks += 1;
+            } else {
+                outcome.evicted = Some(victim_addr);
+            }
+        }
+        *victim = Line { tag, valid: true, dirty: write, lru: tick };
+        outcome
+    }
+
+    /// Invalidate the line containing `addr` if present.  Returns the block
+    /// address if the line was dirty (the caller is responsible for pushing
+    /// the data to the next level, as required by the exclusive-bit +
+    /// inclusion coherence policy of paper §3.2).
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let line_bytes = self.line_bytes as u64;
+        let num_sets = self.num_sets as u64;
+        let range = self.set_range(set);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                self.stats.invalidations += 1;
+                if line.dirty {
+                    line.dirty = false;
+                    return Some((tag * num_sets + set as u64) * line_bytes);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently held (used by tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        // 4 sets x 2 ways x 32-byte lines = 256 bytes.
+        Cache::new("test", 256, 2, 32)
+    }
+
+    #[test]
+    fn miss_then_hit_after_fill() {
+        let mut c = small_cache();
+        assert_eq!(c.access(0x100, false), LookupResult::Miss);
+        c.fill(0x100, false);
+        assert_eq!(c.access(0x100, false), LookupResult::Hit);
+        assert_eq!(c.access(0x11f, false), LookupResult::Hit, "same 32-byte line");
+        assert_eq!(c.access(0x120, false), LookupResult::Miss, "next line");
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache();
+        // Three blocks mapping to the same set (set stride = 4 lines * 32 B = 128 B).
+        let a = 0x0;
+        let b = 0x80;
+        let d = 0x100;
+        c.fill(a, false);
+        c.fill(b, false);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(c.access(a, false), LookupResult::Hit);
+        c.fill(d, false);
+        assert_eq!(c.probe(a), LookupResult::Hit);
+        assert_eq!(c.probe(b), LookupResult::Miss);
+        assert_eq!(c.probe(d), LookupResult::Hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.fill(0x0, true); // dirty
+        c.fill(0x80, false);
+        let out = c.fill(0x100, false); // evicts LRU = 0x0 (dirty)
+        assert_eq!(out.writeback, Some(0x0));
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_address() {
+        let mut c = small_cache();
+        c.fill(0x40, true);
+        assert_eq!(c.invalidate(0x40), Some(0x40));
+        assert_eq!(c.probe(0x40), LookupResult::Miss);
+        // Invalidating a clean or absent line returns None.
+        c.fill(0x40, false);
+        assert_eq!(c.invalidate(0x40), None);
+        assert_eq!(c.invalidate(0xF00), None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small_cache();
+        c.fill(0x200, false);
+        assert_eq!(c.access(0x200, true), LookupResult::Hit);
+        // Eviction of that line must now report a writeback.
+        c.fill(0x280, false);
+        let out = c.fill(0x300, false);
+        assert!(out.writeback == Some(0x200) || out.evicted == Some(0x200) || out.writeback.is_some());
+    }
+
+    #[test]
+    fn hit_rate_computation() {
+        let mut c = small_cache();
+        assert_eq!(c.stats.hit_rate(), 1.0);
+        c.access(0x0, false);
+        c.fill(0x0, false);
+        c.access(0x0, false);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_is_rejected() {
+        Cache::new("bad", 100, 3, 24);
+    }
+}

@@ -1,0 +1,409 @@
+//! The three-level memory hierarchy of paper §4.2:
+//!
+//! * L1: 16 KB, 4-way data cache, 1-cycle latency, scalar / µSIMD accesses;
+//! * L2: 256 KB two-bank interleaved *vector cache*, 5 cycles; vector
+//!   accesses bypass the L1 and go straight to this level through one wide
+//!   (4 × 64-bit) port;
+//! * L3: 1 MB cache, 12 cycles;
+//! * main memory: 500 cycles.
+//!
+//! Coherence between the L1 and the vector cache uses an exclusive-bit plus
+//! inclusion policy: a vector access invalidates any overlapping L1 lines
+//! (pushing dirty data down), and a scalar miss naturally finds
+//! vector-written data in the L2.
+//!
+//! The hierarchy is a *timing* model — data contents live in the simulator's
+//! flat memory.  Two modes exist: `Perfect` (every access hits, paper §5.1)
+//! and `Realistic` (tags are simulated and misses pay the full latency).
+
+use crate::cache::{Cache, LookupResult};
+use crate::vector_cache::VectorCache;
+use vmv_machine::MemoryParams;
+
+/// Memory simulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// All accesses hit in their target cache level, but still pay that
+    /// level's latency (and vector accesses still pay the element-transfer
+    /// time through the L2 port).
+    Perfect,
+    /// Full tag simulation of the three cache levels.
+    Realistic,
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Load,
+    Store,
+}
+
+/// Timing outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Total latency in cycles until the last element is available.
+    pub latency: u32,
+    /// Cycles beyond what the compiler assumed when scheduling (the
+    /// processor stalls for this long, paper §3.3/§4.2).
+    pub stall_cycles: u32,
+}
+
+/// Aggregate statistics of the hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemStats {
+    pub scalar_loads: u64,
+    pub scalar_stores: u64,
+    pub vector_loads: u64,
+    pub vector_stores: u64,
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub l3_hits: u64,
+    pub l3_misses: u64,
+    pub coherence_invalidations: u64,
+    pub unit_stride_vector_accesses: u64,
+    pub strided_vector_accesses: u64,
+    pub total_stall_cycles: u64,
+}
+
+impl MemStats {
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    model: MemoryModel,
+    params: MemoryParams,
+    l1: Cache,
+    l2: VectorCache,
+    l3: Cache,
+    /// Width of the L2 vector port in 64-bit elements.
+    port_elems: u32,
+    pub stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    pub fn new(model: MemoryModel, params: MemoryParams, l2_port_elems: u32) -> Self {
+        MemoryHierarchy {
+            model,
+            params,
+            l1: Cache::new("L1", params.l1_size, params.l1_assoc, params.l1_line),
+            l2: VectorCache::new(
+                params.l2_size,
+                params.l2_assoc,
+                params.l2_line,
+                params.l2_banks,
+                l2_port_elems.max(1),
+            ),
+            l3: Cache::new("L3", params.l3_size, params.l3_assoc, params.l3_line),
+            port_elems: l2_port_elems.max(1),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Construct a hierarchy straight from a machine configuration.
+    pub fn for_machine(model: MemoryModel, machine: &vmv_machine::MachineConfig) -> Self {
+        Self::new(model, machine.memory, machine.l2_port_elems.max(1))
+    }
+
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Latency the *compiler* assumes for a scalar access: an L1 hit.
+    pub fn scheduled_scalar_latency(&self) -> u32 {
+        self.params.l1_latency
+    }
+
+    /// Latency the *compiler* assumes for a vector access of `elems`
+    /// elements: an L2 hit with unit stride (paper §3.3: the compiler
+    /// schedules all vector memory operations as stride-one L2 hits).
+    pub fn scheduled_vector_latency(&self, elems: u32) -> u32 {
+        self.params.l2_latency + elems.div_ceil(self.port_elems).saturating_sub(1)
+    }
+
+    // ----------------------------------------------------------- accesses
+
+    /// Simulate a scalar (or µSIMD 64-bit) access of `size` bytes.
+    pub fn scalar_access(&mut self, addr: u64, size: usize, kind: AccessKind) -> AccessTiming {
+        match kind {
+            AccessKind::Load => self.stats.scalar_loads += 1,
+            AccessKind::Store => self.stats.scalar_stores += 1,
+        }
+        let scheduled = self.scheduled_scalar_latency();
+        if self.model == MemoryModel::Perfect {
+            self.stats.l1_hits += 1;
+            return AccessTiming { latency: scheduled, stall_cycles: 0 };
+        }
+
+        let write = kind == AccessKind::Store;
+        // An access can straddle a line boundary; charge the worst line.
+        let mut latency = 0;
+        let last = addr + size.max(1) as u64 - 1;
+        let mut lines = vec![self.l1.block_addr(addr)];
+        let last_block = self.l1.block_addr(last);
+        if last_block != lines[0] {
+            lines.push(last_block);
+        }
+        for blk in lines {
+            latency = latency.max(self.scalar_line_access(blk, write));
+        }
+        let stall = latency.saturating_sub(scheduled);
+        self.stats.total_stall_cycles += stall as u64;
+        AccessTiming { latency, stall_cycles: stall }
+    }
+
+    fn scalar_line_access(&mut self, blk: u64, write: bool) -> u32 {
+        match self.l1.access(blk, write) {
+            LookupResult::Hit => {
+                self.stats.l1_hits += 1;
+                self.params.l1_latency
+            }
+            LookupResult::Miss => {
+                self.stats.l1_misses += 1;
+                // Miss in L1: look up the L2 (the vector cache also serves
+                // scalar refills), then the L3, then main memory.
+                let below = match self.l2.scalar_access(blk, false) {
+                    LookupResult::Hit => {
+                        self.stats.l2_hits += 1;
+                        self.params.l2_latency
+                    }
+                    LookupResult::Miss => {
+                        self.stats.l2_misses += 1;
+                        let l3lat = match self.l3.access(blk, false) {
+                            LookupResult::Hit => {
+                                self.stats.l3_hits += 1;
+                                self.params.l3_latency
+                            }
+                            LookupResult::Miss => {
+                                self.stats.l3_misses += 1;
+                                self.l3.fill(blk, false);
+                                self.params.mem_latency
+                            }
+                        };
+                        self.l2.fill(blk, false);
+                        l3lat
+                    }
+                };
+                let out = self.l1.fill(blk, write);
+                if out.writeback.is_some() {
+                    // Write-back of a dirty L1 line into the (inclusive) L2.
+                    self.l2.fill(out.writeback.unwrap(), true);
+                }
+                self.params.l1_latency + below
+            }
+        }
+    }
+
+    /// Simulate a vector access of `elems` 64-bit elements starting at
+    /// `base`, separated by `stride_bytes`.  Vector accesses bypass the L1
+    /// and access the L2 vector cache directly.
+    pub fn vector_access(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        elems: u32,
+        kind: AccessKind,
+    ) -> AccessTiming {
+        match kind {
+            AccessKind::Load => self.stats.vector_loads += 1,
+            AccessKind::Store => self.stats.vector_stores += 1,
+        }
+        let elems = elems.max(1);
+        let scheduled = self.scheduled_vector_latency(elems);
+        if stride_bytes == 8 {
+            self.stats.unit_stride_vector_accesses += 1;
+        } else {
+            self.stats.strided_vector_accesses += 1;
+        }
+
+        if self.model == MemoryModel::Perfect {
+            // All vector accesses hit in the L2 but still pay the transfer
+            // time (paper §5.1); non-unit strides still transfer one element
+            // per cycle.
+            let transfer =
+                if stride_bytes == 8 { elems.div_ceil(self.port_elems) } else { elems };
+            let latency = self.params.l2_latency + transfer - 1;
+            let stall = latency.saturating_sub(scheduled);
+            self.stats.total_stall_cycles += stall as u64;
+            self.stats.l2_hits += 1;
+            return AccessTiming { latency, stall_cycles: stall };
+        }
+
+        // Coherence: invalidate overlapping L1 lines (exclusive-bit policy).
+        let write = kind == AccessKind::Store;
+        let line = self.params.l1_line as u64;
+        let span_first = base;
+        let span_last = (base as i64 + stride_bytes * (elems as i64 - 1)) as u64 + 7;
+        let (lo, hi) = if span_first <= span_last { (span_first, span_last) } else { (span_last, span_first) };
+        // Only walk the span when it is reasonably small (strided accesses
+        // over a whole image would otherwise invalidate line by line over a
+        // huge range; restrict to the lines actually touched).
+        let mut touched = Vec::new();
+        for i in 0..elems {
+            let a = (base as i64 + stride_bytes * i as i64) as u64;
+            for cand in [a / line * line, (a + 7) / line * line] {
+                if !touched.contains(&cand) {
+                    touched.push(cand);
+                }
+            }
+        }
+        let _ = (lo, hi);
+        for blk in touched {
+            if let Some(dirty) = self.l1.invalidate(blk) {
+                self.l2.fill(dirty, true);
+            }
+            self.stats.coherence_invalidations += 1;
+        }
+
+        let outcome = self.l2.vector_access(base, stride_bytes, elems, write);
+        let miss_penalty: u32 = if outcome.lines_missed > 0 {
+            // Fetch the missed lines from the L3 / memory.  Lines are fetched
+            // back to back; each missing line pays the L3 latency (or the
+            // memory latency when it also misses in L3).
+            let mut penalty = 0;
+            for i in 0..outcome.lines_missed {
+                let blk = base + i as u64 * self.params.l2_line as u64;
+                penalty += match self.l3.access(blk, false) {
+                    LookupResult::Hit => {
+                        self.stats.l3_hits += 1;
+                        self.params.l3_latency
+                    }
+                    LookupResult::Miss => {
+                        self.stats.l3_misses += 1;
+                        self.l3.fill(blk, false);
+                        self.params.mem_latency
+                    }
+                };
+            }
+            penalty
+        } else {
+            0
+        };
+        if outcome.lines_missed > 0 {
+            self.stats.l2_misses += 1;
+        } else {
+            self.stats.l2_hits += 1;
+        }
+
+        let latency = self.params.l2_latency + outcome.transfer_cycles - 1 + miss_penalty;
+        let stall = latency.saturating_sub(scheduled);
+        self.stats.total_stall_cycles += stall as u64;
+        AccessTiming { latency, stall_cycles: stall }
+    }
+
+    /// Statistics of the three cache levels (L1, L2, L3).
+    pub fn cache_stats(&self) -> [crate::cache::CacheStats; 3] {
+        [self.l1.stats, self.l2.stats(), self.l3.stats]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn realistic() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemoryModel::Realistic, MemoryParams::default(), 4)
+    }
+
+    #[test]
+    fn perfect_scalar_access_is_one_cycle() {
+        let mut m = MemoryHierarchy::new(MemoryModel::Perfect, MemoryParams::default(), 4);
+        let t = m.scalar_access(0x1234, 4, AccessKind::Load);
+        assert_eq!(t.latency, 1);
+        assert_eq!(t.stall_cycles, 0);
+    }
+
+    #[test]
+    fn realistic_scalar_cold_miss_then_hit() {
+        let mut m = realistic();
+        let miss = m.scalar_access(0x1000, 4, AccessKind::Load);
+        assert!(miss.latency >= 500, "cold miss goes to main memory: {}", miss.latency);
+        assert!(miss.stall_cycles > 0);
+        let hit = m.scalar_access(0x1004, 4, AccessKind::Load);
+        assert_eq!(hit.latency, 1);
+        assert_eq!(hit.stall_cycles, 0);
+        assert_eq!(m.stats.l1_misses, 1);
+        assert_eq!(m.stats.l1_hits, 1);
+    }
+
+    #[test]
+    fn perfect_vector_access_pays_transfer_time() {
+        let mut m = MemoryHierarchy::new(MemoryModel::Perfect, MemoryParams::default(), 4);
+        // 16 elements, unit stride: 5 + 16/4 - 1 = 8 cycles, no stall (the
+        // compiler assumed the same).
+        let t = m.vector_access(0x0, 8, 16, AccessKind::Load);
+        assert_eq!(t.latency, 8);
+        assert_eq!(t.stall_cycles, 0);
+        // Non-unit stride: 5 + 16 - 1 = 20 cycles, 12 cycles of stall.
+        let t = m.vector_access(0x0, 640, 16, AccessKind::Load);
+        assert_eq!(t.latency, 20);
+        assert_eq!(t.stall_cycles, 12);
+    }
+
+    #[test]
+    fn realistic_vector_access_hits_after_warmup() {
+        let mut m = realistic();
+        let cold = m.vector_access(0x4000, 8, 16, AccessKind::Load);
+        assert!(cold.stall_cycles > 0);
+        let warm = m.vector_access(0x4000, 8, 16, AccessKind::Load);
+        assert_eq!(warm.stall_cycles, 0);
+        assert_eq!(warm.latency, m.scheduled_vector_latency(16));
+    }
+
+    #[test]
+    fn vector_access_invalidates_l1_for_coherence() {
+        let mut m = realistic();
+        // Bring a line into L1 with a scalar store (dirty).
+        m.scalar_access(0x8000, 8, AccessKind::Store);
+        assert_eq!(m.stats.l1_misses, 1);
+        // A vector load overlapping that line must invalidate it.
+        m.vector_access(0x8000, 8, 8, AccessKind::Load);
+        assert!(m.stats.coherence_invalidations > 0);
+        // The next scalar access to the line misses again in L1.
+        let t = m.scalar_access(0x8000, 8, AccessKind::Load);
+        assert!(t.latency > 1);
+    }
+
+    #[test]
+    fn scheduled_latencies_match_compiler_assumptions() {
+        let m = realistic();
+        assert_eq!(m.scheduled_scalar_latency(), 1);
+        assert_eq!(m.scheduled_vector_latency(16), 5 + 3);
+        assert_eq!(m.scheduled_vector_latency(8), 5 + 1);
+        assert_eq!(m.scheduled_vector_latency(4), 5);
+        assert_eq!(m.scheduled_vector_latency(1), 5);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = realistic();
+        m.scalar_access(0x0, 4, AccessKind::Load);
+        m.scalar_access(0x100, 4, AccessKind::Store);
+        m.vector_access(0x200, 8, 8, AccessKind::Load);
+        m.vector_access(0x300, 8, 8, AccessKind::Store);
+        assert_eq!(m.stats.scalar_loads, 1);
+        assert_eq!(m.stats.scalar_stores, 1);
+        assert_eq!(m.stats.vector_loads, 1);
+        assert_eq!(m.stats.vector_stores, 1);
+        assert!(m.stats.total_stall_cycles > 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Data-dependence graph (DDG) construction for one basic block.
+//!
+//! The scheduler operates per basic block (the hand-written kernels unroll
+//! their hot loops, which plays the role of the superblock formation used by
+//! the paper's Trimaran tool-chain).  Edges carry the minimum issue distance
+//! between the two operations, derived from the HPL-PD latency descriptors
+//! of Fig. 3 and, for vector RAW dependences, from the chaining rule of
+//! §3.3.
+
+use vmv_isa::{Op, Reg, RegClass};
+use vmv_machine::MachineConfig;
+
+/// Why two operations are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write (true / flow dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+    /// Conservative memory ordering (store↔store, store↔load).
+    Mem,
+    /// Ordering edge keeping control transfers at the end of the block.
+    Control,
+}
+
+/// One dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    pub from: usize,
+    pub to: usize,
+    pub kind: DepKind,
+    /// Minimum number of cycles between the issue of `from` and the issue of
+    /// `to`.
+    pub latency: u32,
+}
+
+/// The dependence graph of one basic block.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    pub num_ops: usize,
+    pub edges: Vec<DepEdge>,
+    /// `preds[i]` lists the indices of edges ending at op `i`.
+    pub preds: Vec<Vec<usize>>,
+    /// `succs[i]` lists the indices of edges starting at op `i`.
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl DepGraph {
+    /// Build the dependence graph of `ops` for the given machine.
+    pub fn build(ops: &[Op], machine: &MachineConfig) -> Self {
+        let mut edges: Vec<DepEdge> = Vec::new();
+
+        // For RAW edges we need, for every register, the index of the last
+        // writer; for WAR/WAW edges the last readers / writer as well.
+        use std::collections::HashMap;
+        let mut last_writer: HashMap<Reg, usize> = HashMap::new();
+        let mut last_readers: HashMap<Reg, Vec<usize>> = HashMap::new();
+        let mut last_store: Option<usize> = None;
+        let mut loads_since_store: Vec<usize> = Vec::new();
+
+        for (i, op) in ops.iter().enumerate() {
+            let reads = op.reads();
+            let writes = op.writes();
+
+            // RAW: this op reads a register written earlier in the block.
+            for r in &reads {
+                if let Some(&w) = last_writer.get(r) {
+                    let producer = &ops[w];
+                    let latency = raw_latency(producer, op, *r, machine);
+                    edges.push(DepEdge { from: w, to: i, kind: DepKind::Raw, latency });
+                }
+            }
+
+            if let Some(dst) = writes {
+                // WAW: ordered after the previous writer.
+                if let Some(&w) = last_writer.get(&dst) {
+                    edges.push(DepEdge { from: w, to: i, kind: DepKind::Waw, latency: 1 });
+                }
+                // WAR: ordered after previous readers.
+                if let Some(readers) = last_readers.get(&dst) {
+                    for &r in readers {
+                        if r != i {
+                            edges.push(DepEdge { from: r, to: i, kind: DepKind::War, latency: 0 });
+                        }
+                    }
+                }
+            }
+
+            // Memory ordering: conservative (no alias analysis inside a
+            // block; the kernels' memory disambiguation is achieved by
+            // keeping independent accesses in separate registers/blocks).
+            if op.opcode.is_store() {
+                if let Some(s) = last_store {
+                    edges.push(DepEdge { from: s, to: i, kind: DepKind::Mem, latency: 1 });
+                }
+                for &l in &loads_since_store {
+                    edges.push(DepEdge { from: l, to: i, kind: DepKind::Mem, latency: 0 });
+                }
+                last_store = Some(i);
+                loads_since_store.clear();
+            } else if op.opcode.is_load() {
+                if let Some(s) = last_store {
+                    edges.push(DepEdge { from: s, to: i, kind: DepKind::Mem, latency: 1 });
+                }
+                loads_since_store.push(i);
+            }
+
+            // Control transfers stay at the end of the block: every earlier
+            // operation must issue no later than the branch.
+            if op.opcode.is_branch() || op.opcode == vmv_isa::Opcode::Halt {
+                for j in 0..i {
+                    edges.push(DepEdge { from: j, to: i, kind: DepKind::Control, latency: 0 });
+                }
+            }
+
+            // Update bookkeeping.
+            for r in &reads {
+                last_readers.entry(*r).or_default().push(i);
+            }
+            if let Some(dst) = writes {
+                last_writer.insert(dst, i);
+                last_readers.entry(dst).or_default().clear();
+            }
+        }
+
+        let mut preds = vec![Vec::new(); ops.len()];
+        let mut succs = vec![Vec::new(); ops.len()];
+        for (idx, e) in edges.iter().enumerate() {
+            preds[e.to].push(idx);
+            succs[e.from].push(idx);
+        }
+        DepGraph { num_ops: ops.len(), edges, preds, succs }
+    }
+
+    /// Critical-path height of every operation: the longest latency path
+    /// from the operation to the end of the block.  Used as the list
+    /// scheduler's priority.
+    pub fn heights(&self) -> Vec<u32> {
+        let mut heights = vec![0u32; self.num_ops];
+        // Operations are in program order, so a reverse sweep sees all
+        // successors (edges always point forward) before their predecessors.
+        for i in (0..self.num_ops).rev() {
+            let mut h = 0;
+            for &eidx in &self.succs[i] {
+                let e = &self.edges[eidx];
+                h = h.max(e.latency + heights[e.to]);
+            }
+            heights[i] = h;
+        }
+        heights
+    }
+
+    /// Number of unscheduled predecessors of each op (used to seed the ready
+    /// list).
+    pub fn pred_counts(&self) -> Vec<usize> {
+        self.preds.iter().map(|p| p.len()).collect()
+    }
+}
+
+/// Issue-to-issue latency of a RAW dependence from `producer` to `consumer`
+/// through register `reg`.
+fn raw_latency(producer: &Op, consumer: &Op, reg: Reg, machine: &MachineConfig) -> u32 {
+    let desc = machine.latency_descriptor(producer);
+    // Chaining (paper §3.3): a vector operation that reads a *vector
+    // register* produced by another vector operation may be scheduled as
+    // soon as the first elements are available, i.e. after the producer's
+    // sub-operation flow latency rather than its full completion.
+    let vector_chain = machine.chaining
+        && reg.class == RegClass::Vec
+        && producer.opcode.is_vector_op()
+        && consumer.opcode.is_vector_op();
+    if vector_chain {
+        desc.chained_latency().max(1)
+    } else {
+        desc.result_latency().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_isa::{Op, Opcode, Reg};
+    use vmv_machine::presets;
+
+    fn op_movi(dst: Reg, imm: i64) -> Op {
+        Op::new(Opcode::MovI).with_dst(dst).with_imm(imm)
+    }
+
+    fn op_add(dst: Reg, a: Reg, b: Reg) -> Op {
+        Op::new(Opcode::IAdd).with_dst(dst).with_srcs(&[a, b])
+    }
+
+    #[test]
+    fn raw_dependence_has_producer_latency() {
+        let machine = presets::vliw(2);
+        let ops = vec![
+            Op::new(Opcode::IMul).with_dst(Reg::int(0)).with_srcs(&[Reg::int(1), Reg::int(2)]),
+            op_add(Reg::int(3), Reg::int(0), Reg::int(1)),
+        ];
+        let g = DepGraph::build(&ops, &machine);
+        let raw: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::Raw).collect();
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].latency, machine.latencies.int_mul);
+    }
+
+    #[test]
+    fn war_and_waw_edges_are_created() {
+        let machine = presets::vliw(2);
+        let ops = vec![
+            op_add(Reg::int(2), Reg::int(0), Reg::int(1)), // reads r0
+            op_movi(Reg::int(0), 5),                       // writes r0 -> WAR with op0
+            op_movi(Reg::int(0), 6),                       // writes r0 -> WAW with op1
+        ];
+        let g = DepGraph::build(&ops, &machine);
+        assert!(g.edges.iter().any(|e| e.kind == DepKind::War && e.from == 0 && e.to == 1));
+        assert!(g.edges.iter().any(|e| e.kind == DepKind::Waw && e.from == 1 && e.to == 2));
+    }
+
+    #[test]
+    fn loads_may_reorder_but_not_across_stores() {
+        let machine = presets::vliw(2);
+        let addr = Reg::int(0);
+        let ops = vec![
+            Op::new(Opcode::Load(vmv_isa::MemWidth::B4, vmv_isa::Sign::Signed))
+                .with_dst(Reg::int(1))
+                .with_srcs(&[addr])
+                .with_imm(0),
+            Op::new(Opcode::Load(vmv_isa::MemWidth::B4, vmv_isa::Sign::Signed))
+                .with_dst(Reg::int(2))
+                .with_srcs(&[addr])
+                .with_imm(4),
+            Op::new(Opcode::Store(vmv_isa::MemWidth::B4)).with_srcs(&[addr, Reg::int(1)]).with_imm(8),
+        ];
+        let g = DepGraph::build(&ops, &machine);
+        // no edge between the two loads
+        assert!(!g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 1));
+        // both loads are ordered before the store
+        assert!(g.edges.iter().any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 2));
+        assert!(g.edges.iter().any(|e| e.kind == DepKind::Mem && e.from == 1 && e.to == 2));
+    }
+
+    #[test]
+    fn chaining_reduces_vector_raw_latency() {
+        let chained = presets::vector2(2);
+        let mut unchained = chained.clone();
+        unchained.chaining = false;
+
+        let mut vload = Op::new(Opcode::VLoad).with_dst(Reg::vec(0)).with_srcs(&[Reg::int(0)]);
+        vload.vl_hint = Some(16);
+        let mut vsad = Op::new(Opcode::VSadAcc)
+            .with_dst(Reg::acc(0))
+            .with_srcs(&[Reg::acc(0), Reg::vec(0), Reg::vec(1)]);
+        vsad.vl_hint = Some(16);
+        let ops = vec![vload, vsad];
+
+        let lat_chained = DepGraph::build(&ops, &chained)
+            .edges
+            .iter()
+            .find(|e| e.kind == DepKind::Raw)
+            .unwrap()
+            .latency;
+        let lat_unchained = DepGraph::build(&ops, &unchained)
+            .edges
+            .iter()
+            .find(|e| e.kind == DepKind::Raw)
+            .unwrap()
+            .latency;
+        assert!(lat_chained < lat_unchained, "{lat_chained} vs {lat_unchained}");
+        // Chained: the consumer waits only the 5-cycle flow latency of the
+        // load, not 5 + (16-1)/4.
+        assert_eq!(lat_chained, chained.latencies.vec_mem);
+        assert_eq!(lat_unchained, chained.latencies.vec_mem + 3);
+    }
+
+    #[test]
+    fn branch_is_ordered_after_every_op() {
+        let machine = presets::vliw(2);
+        let ops = vec![
+            op_movi(Reg::int(0), 1),
+            op_movi(Reg::int(1), 2),
+            Op::new(Opcode::Br(vmv_isa::BrCond::Ne))
+                .with_srcs(&[Reg::int(0), Reg::int(1)])
+                .with_target("x"),
+        ];
+        let g = DepGraph::build(&ops, &machine);
+        let ctrl: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::Control).collect();
+        assert_eq!(ctrl.len(), 2);
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        let machine = presets::vliw(2);
+        let ops = vec![
+            Op::new(Opcode::IMul).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0), Reg::int(0)]),
+            op_add(Reg::int(2), Reg::int(1), Reg::int(0)),
+            op_movi(Reg::int(3), 1),
+        ];
+        let g = DepGraph::build(&ops, &machine);
+        let h = g.heights();
+        assert!(h[0] > h[1]);
+        assert_eq!(h[2], 0);
+    }
+}

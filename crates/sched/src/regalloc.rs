@@ -1,0 +1,365 @@
+//! Register allocation: mapping the builder's virtual registers onto the
+//! architectural register files of Table 2.
+//!
+//! The allocator performs a control-flow aware liveness analysis followed by
+//! a linear scan over live intervals, one register class at a time.  The
+//! hand-written kernels are sized to fit the (large) register files of the
+//! modeled machines, so spilling is not implemented; over-pressure is
+//! reported as a structured error naming the class and the demand, which the
+//! kernel test-suite turns into a hard failure.
+
+use std::collections::{HashMap, HashSet};
+
+use vmv_isa::{Program, Reg, RegClass};
+use vmv_machine::MachineConfig;
+
+/// Error returned when a program needs more registers of some class than the
+/// machine provides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegAllocError {
+    pub class: RegClass,
+    pub required: usize,
+    pub available: usize,
+    pub program: String,
+}
+
+impl std::fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "program '{}' needs {} live {:?} registers but the machine provides {}",
+            self.program, self.required, self.class, self.available
+        )
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Result of a successful allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Virtual register → physical register.
+    pub mapping: HashMap<Reg, Reg>,
+    /// Peak number of simultaneously live registers per class
+    /// (int, simd, vec, acc) — reported in diagnostics and tests.
+    pub peak_pressure: HashMap<RegClass, usize>,
+}
+
+/// Allocate the virtual registers of `program` onto the register files of
+/// `machine`, returning a new program with every register renamed.
+pub fn allocate(program: &Program, machine: &MachineConfig) -> Result<(Program, Allocation), RegAllocError> {
+    let intervals = live_intervals(program);
+
+    let mut mapping: HashMap<Reg, Reg> = HashMap::new();
+    let mut peak_pressure: HashMap<RegClass, usize> = HashMap::new();
+
+    for class in [RegClass::Int, RegClass::Simd, RegClass::Vec, RegClass::Acc] {
+        let available = machine.regs.count(class) as usize;
+        let mut class_intervals: Vec<(Reg, (usize, usize))> = intervals
+            .iter()
+            .filter(|(r, _)| r.class == class)
+            .map(|(r, iv)| (*r, *iv))
+            .collect();
+        class_intervals.sort_by_key(|(r, (start, _))| (*start, r.index));
+
+        // Linear scan.  The free list is a FIFO so that a just-released
+        // physical register is not immediately reused: immediate reuse would
+        // introduce tight WAR/WAW dependences that needlessly serialise the
+        // schedule (the classic allocate-before-schedule phase-ordering
+        // hazard); cycling round-robin through the large Table 2 register
+        // files keeps the reuse distance long.
+        let mut active: Vec<(usize, u32)> = Vec::new(); // (end, phys index)
+        let mut free: std::collections::VecDeque<u32> = (0..available as u32).collect();
+        let mut peak = 0usize;
+
+        for (vreg, (start, end)) in &class_intervals {
+            // Expire finished intervals.
+            active.retain(|&(e, phys)| {
+                if e < *start {
+                    free.push_back(phys);
+                    false
+                } else {
+                    true
+                }
+            });
+            let phys = match free.pop_front() {
+                Some(p) => p,
+                None => {
+                    return Err(RegAllocError {
+                        class,
+                        required: active.len() + 1,
+                        available,
+                        program: program.name.clone(),
+                    })
+                }
+            };
+            active.push((*end, phys));
+            peak = peak.max(active.len());
+            mapping.insert(*vreg, Reg::new(class, phys));
+        }
+        peak_pressure.insert(class, peak);
+    }
+
+    // Rewrite the program with the mapping (control registers unchanged).
+    let mut out = program.clone();
+    for block in &mut out.blocks {
+        for op in &mut block.ops {
+            if let Some(dst) = op.dst {
+                if dst.class != RegClass::Ctrl {
+                    op.dst = Some(mapping[&dst]);
+                }
+            }
+            for src in &mut op.srcs {
+                if src.class != RegClass::Ctrl {
+                    *src = mapping[src];
+                }
+            }
+        }
+    }
+
+    Ok((out, Allocation { mapping, peak_pressure }))
+}
+
+/// Compute a conservative live interval (over a linearisation of the blocks
+/// in program order) for every virtual register.
+///
+/// The interval of a register spans from its first definition/use to its last
+/// use, extended to cover every block in which the register is live-in or
+/// live-out (which correctly handles values that live around loop back
+/// edges).
+fn live_intervals(program: &Program) -> HashMap<Reg, (usize, usize)> {
+    // Block boundaries in the linearisation.
+    let mut block_start = Vec::with_capacity(program.blocks.len());
+    let mut block_end = Vec::with_capacity(program.blocks.len());
+    let mut pos = 0usize;
+    for block in &program.blocks {
+        block_start.push(pos);
+        pos += block.ops.len().max(1);
+        block_end.push(pos - 1);
+    }
+
+    // Per-block use/def sets (uses before defs).
+    let nblocks = program.blocks.len();
+    let mut uses: Vec<HashSet<Reg>> = vec![HashSet::new(); nblocks];
+    let mut defs: Vec<HashSet<Reg>> = vec![HashSet::new(); nblocks];
+    for (b, block) in program.blocks.iter().enumerate() {
+        for op in &block.ops {
+            for r in op.reads() {
+                if r.class != RegClass::Ctrl && !defs[b].contains(&r) {
+                    uses[b].insert(r);
+                }
+            }
+            if let Some(d) = op.writes() {
+                if d.class != RegClass::Ctrl {
+                    defs[b].insert(d);
+                }
+            }
+        }
+    }
+
+    // CFG successors.
+    let labels = program.label_map();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (b, block) in program.blocks.iter().enumerate() {
+        let mut falls_through = true;
+        if let Some(term) = block.ops.last() {
+            if term.opcode.is_branch() {
+                if let Some(target) = &term.target {
+                    if let Some(&t) = labels.get(target.as_str()) {
+                        succs[b].push(t);
+                    }
+                }
+                falls_through = term.opcode.is_cond_branch();
+            } else if term.opcode == vmv_isa::Opcode::Halt {
+                falls_through = false;
+            }
+        }
+        if falls_through && b + 1 < nblocks {
+            succs[b].push(b + 1);
+        }
+    }
+
+    // Iterative backward liveness.
+    let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); nblocks];
+    let mut live_out: Vec<HashSet<Reg>> = vec![HashSet::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nblocks).rev() {
+            let mut out: HashSet<Reg> = HashSet::new();
+            for &s in &succs[b] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<Reg> = out.difference(&defs[b]).copied().collect();
+            inn.extend(uses[b].iter().copied());
+            if inn != live_in[b] || out != live_out[b] {
+                live_in[b] = inn;
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Build intervals.
+    let mut intervals: HashMap<Reg, (usize, usize)> = HashMap::new();
+    let touch = |r: Reg, at: usize, map: &mut HashMap<Reg, (usize, usize)>| {
+        map.entry(r).and_modify(|iv| {
+            iv.0 = iv.0.min(at);
+            iv.1 = iv.1.max(at);
+        }).or_insert((at, at));
+    };
+    for (b, block) in program.blocks.iter().enumerate() {
+        for (i, op) in block.ops.iter().enumerate() {
+            let at = block_start[b] + i;
+            for r in op.reads() {
+                if r.class != RegClass::Ctrl {
+                    touch(r, at, &mut intervals);
+                }
+            }
+            if let Some(d) = op.writes() {
+                if d.class != RegClass::Ctrl {
+                    touch(d, at, &mut intervals);
+                }
+            }
+        }
+        for &r in &live_in[b] {
+            touch(r, block_start[b], &mut intervals);
+        }
+        for &r in &live_out[b] {
+            touch(r, block_end[b], &mut intervals);
+        }
+    }
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_isa::ProgramBuilder;
+    use vmv_machine::presets;
+
+    #[test]
+    fn simple_program_allocates_within_file_size() {
+        let mut b = ProgramBuilder::new("simple");
+        let x = b.imm(1);
+        let y = b.imm(2);
+        let z = b.ri();
+        b.add(z, x, y);
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vliw(2);
+        let (alloc_p, alloc) = allocate(&p, &machine).unwrap();
+        // All registers are now physical (index < 64).
+        for (_, op) in alloc_p.iter_ops() {
+            for r in op.srcs.iter().chain(op.dst.iter()) {
+                if r.class == RegClass::Int {
+                    assert!(r.index < 64);
+                }
+            }
+        }
+        assert!(alloc.peak_pressure[&RegClass::Int] <= 3);
+    }
+
+    #[test]
+    fn registers_are_reused_after_death() {
+        // 100 short-lived temporaries must fit in 64 registers.
+        let mut b = ProgramBuilder::new("reuse");
+        let base = b.imm(0x1000);
+        for i in 0..100 {
+            let t = b.ri();
+            b.ld32s(t, base, 4 * i);
+            b.st32(base, 4 * i, t);
+        }
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vliw(2);
+        let (_, alloc) = allocate(&p, &machine).expect("temporaries die immediately");
+        assert!(alloc.peak_pressure[&RegClass::Int] < 10);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_allocated_across_the_loop() {
+        let mut b = ProgramBuilder::new("loop");
+        let acc = b.ri();
+        b.li(acc, 0);
+        let step = b.imm(3);
+        b.counted_loop("l", 10, |b, _cnt| {
+            b.add(acc, acc, step);
+        });
+        let out = b.imm(0x2000);
+        b.st32(out, 0, acc);
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vliw(2);
+        let (alloc_p, alloc) = allocate(&p, &machine).unwrap();
+        // acc and step must have distinct physical registers (both live
+        // across the loop body).
+        let acc_phys = alloc.mapping[&acc];
+        let step_phys = alloc.mapping[&step];
+        assert_ne!(acc_phys, step_phys);
+        assert!(vmv_isa::verify_program(&alloc_p).is_empty());
+    }
+
+    #[test]
+    fn over_pressure_is_reported_as_error() {
+        // 70 registers all live at the same time cannot fit in a 64-entry file.
+        let mut b = ProgramBuilder::new("pressure");
+        let regs: Vec<_> = (0..70).map(|i| b.imm(i)).collect();
+        let sum = b.ri();
+        b.li(sum, 0);
+        for r in &regs {
+            b.add(sum, sum, *r);
+        }
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vliw(2);
+        let err = allocate(&p, &machine).unwrap_err();
+        assert_eq!(err.class, RegClass::Int);
+        assert!(err.required > 64);
+        assert_eq!(err.available, 64);
+    }
+
+    #[test]
+    fn vector_registers_fit_the_smaller_vector_file() {
+        let mut b = ProgramBuilder::new("vec");
+        let base = b.imm(0x1000);
+        b.setvl(8);
+        b.setvs(8);
+        let vs: Vec<_> = (0..10).map(|_| b.rv()).collect();
+        for (i, v) in vs.iter().enumerate() {
+            b.vload(*v, base, (i * 64) as i64);
+        }
+        let acc = b.ra();
+        b.acc_clear(acc);
+        for pair in vs.chunks(2) {
+            if pair.len() == 2 {
+                b.vsad_acc(acc, pair[0], pair[1]);
+            }
+        }
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vector1(2); // 20 vector registers
+        let (_, alloc) = allocate(&p, &machine).unwrap();
+        assert!(alloc.peak_pressure[&RegClass::Vec] <= 20);
+    }
+
+    #[test]
+    fn control_registers_are_left_untouched() {
+        let mut b = ProgramBuilder::new("ctrl");
+        b.setvl(4);
+        b.setvs(8);
+        let base = b.imm(0);
+        let v = b.rv();
+        b.vload(v, base, 0);
+        b.halt();
+        let p = b.finish();
+        let machine = presets::vector2(2);
+        let (alloc_p, _) = allocate(&p, &machine).unwrap();
+        let setvl = alloc_p
+            .iter_ops()
+            .map(|(_, o)| o)
+            .find(|o| o.opcode == vmv_isa::Opcode::SetVL)
+            .unwrap();
+        assert_eq!(setvl.dst, Some(Reg::vl()));
+    }
+}

@@ -1,0 +1,830 @@
+//! Functional execution of every operation of the three ISAs.
+//!
+//! Execution is exact: packed arithmetic uses the lane-level routines of
+//! `vmv_isa::packed`, vector operations apply them word-by-word under the
+//! current vector length, and accumulator operations use the 192-bit packed
+//! accumulator model.  The engine (`engine.rs`) separately accounts for
+//! *timing*; this module only computes values, memory effects and control
+//! flow.
+
+use vmv_isa::packed::{self, Elem, Sign};
+use vmv_isa::{BrCond, MemWidth, Op, Opcode, Reg, MAX_VL};
+
+use crate::memimage::MemImage;
+use crate::regfile::{RegFiles, VectorValue};
+
+/// Control-flow outcome of one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Fall through to the next operation.
+    Normal,
+    /// A taken branch to the given label.
+    BranchTaken(String),
+    /// Program termination.
+    Halt,
+}
+
+/// Description of the memory traffic of one executed operation, consumed by
+/// the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    pub base: u64,
+    /// Stride in bytes between consecutive 64-bit elements (vector accesses
+    /// only; scalar accesses use stride 0 and one element).
+    pub stride: i64,
+    /// Number of 64-bit elements (vector accesses) or 1.
+    pub elems: u32,
+    /// Bytes accessed per element.
+    pub bytes: usize,
+    pub is_store: bool,
+    pub is_vector: bool,
+}
+
+/// Result of executing one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    pub outcome: ExecOutcome,
+    pub mem: Option<MemAccess>,
+}
+
+impl ExecResult {
+    fn normal() -> Self {
+        ExecResult { outcome: ExecOutcome::Normal, mem: None }
+    }
+    fn with_mem(mem: MemAccess) -> Self {
+        ExecResult { outcome: ExecOutcome::Normal, mem: Some(mem) }
+    }
+}
+
+/// Execution error (malformed operation reaching the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+impl std::error::Error for ExecError {}
+
+fn src(op: &Op, i: usize) -> Result<Reg, ExecError> {
+    op.srcs.get(i).copied().ok_or_else(|| ExecError(format!("operand {i} missing in {op}")))
+}
+
+fn dst(op: &Op) -> Result<Reg, ExecError> {
+    op.dst.ok_or_else(|| ExecError(format!("destination missing in {op}")))
+}
+
+fn imm(op: &Op) -> i64 {
+    op.imm.unwrap_or(0)
+}
+
+/// Second integer operand of a scalar binary operation: either a register or
+/// the immediate (register-immediate form).
+fn scalar_rhs(op: &Op, rf: &RegFiles) -> Result<i64, ExecError> {
+    if op.srcs.len() >= 2 {
+        Ok(rf.read_int(src(op, 1)?))
+    } else {
+        Ok(imm(op))
+    }
+}
+
+/// Execute one operation.
+pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<ExecResult, ExecError> {
+    use Opcode::*;
+    let oc = op.opcode;
+    match oc {
+        Nop => Ok(ExecResult::normal()),
+        Halt => Ok(ExecResult { outcome: ExecOutcome::Halt, mem: None }),
+
+        // ------------------------------------------------------------ scalar
+        MovI => {
+            rf.write_int(dst(op)?, imm(op));
+            Ok(ExecResult::normal())
+        }
+        Mov => {
+            let v = rf.read_int(src(op, 0)?);
+            rf.write_int(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | ISra | ISlt
+        | ISltu | ISeq | IMin | IMax => {
+            let a = rf.read_int(src(op, 0)?);
+            let b = scalar_rhs(op, rf)?;
+            let v = match oc {
+                IAdd => a.wrapping_add(b),
+                ISub => a.wrapping_sub(b),
+                IMul => a.wrapping_mul(b),
+                IDiv => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(b)
+                    }
+                }
+                IRem => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_rem(b)
+                    }
+                }
+                IAnd => a & b,
+                IOr => a | b,
+                IXor => a ^ b,
+                IShl => a.wrapping_shl(b as u32 & 63),
+                IShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                ISra => a.wrapping_shr(b as u32 & 63),
+                ISlt => (a < b) as i64,
+                ISltu => ((a as u64) < (b as u64)) as i64,
+                ISeq => (a == b) as i64,
+                IMin => a.min(b),
+                IMax => a.max(b),
+                _ => unreachable!(),
+            };
+            rf.write_int(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        IAbs => {
+            let a = rf.read_int(src(op, 0)?);
+            rf.write_int(dst(op)?, a.wrapping_abs());
+            Ok(ExecResult::normal())
+        }
+
+        Load(width, sign) => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let raw: u64 = match width {
+                MemWidth::B1 => mem.read_u8(addr) as u64,
+                MemWidth::B2 => mem.read_u16(addr) as u64,
+                MemWidth::B4 => mem.read_u32(addr) as u64,
+                MemWidth::B8 => mem.read_u64(addr),
+            };
+            let v = match sign {
+                Sign::Unsigned => raw as i64,
+                Sign::Signed => packed::sign_extend(raw, 8 * width.bytes() as u32),
+            };
+            rf.write_int(dst(op)?, v);
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride: 0,
+                elems: 1,
+                bytes: width.bytes(),
+                is_store: false,
+                is_vector: false,
+            }))
+        }
+        Store(width) => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let v = rf.read_int(src(op, 1)?) as u64;
+            match width {
+                MemWidth::B1 => mem.write_u8(addr, v as u8),
+                MemWidth::B2 => mem.write_u16(addr, v as u16),
+                MemWidth::B4 => mem.write_u32(addr, v as u32),
+                MemWidth::B8 => mem.write_u64(addr, v),
+            }
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride: 0,
+                elems: 1,
+                bytes: width.bytes(),
+                is_store: true,
+                is_vector: false,
+            }))
+        }
+
+        Br(cond) => {
+            let a = rf.read_int(src(op, 0)?);
+            let b = scalar_rhs(op, rf)?;
+            let taken = match cond {
+                BrCond::Eq => a == b,
+                BrCond::Ne => a != b,
+                BrCond::Lt => a < b,
+                BrCond::Ge => a >= b,
+                BrCond::Le => a <= b,
+                BrCond::Gt => a > b,
+            };
+            if taken {
+                let t = op.target.clone().ok_or_else(|| ExecError("branch without target".into()))?;
+                Ok(ExecResult { outcome: ExecOutcome::BranchTaken(t), mem: None })
+            } else {
+                Ok(ExecResult::normal())
+            }
+        }
+        Jump => {
+            let t = op.target.clone().ok_or_else(|| ExecError("jump without target".into()))?;
+            Ok(ExecResult { outcome: ExecOutcome::BranchTaken(t), mem: None })
+        }
+
+        // ------------------------------------------------------------ µSIMD
+        PLoad => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let v = mem.read_u64(addr);
+            rf.write_simd(dst(op)?, v);
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride: 0,
+                elems: 1,
+                bytes: 8,
+                is_store: false,
+                is_vector: false,
+            }))
+        }
+        PStore => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let v = rf.read_simd(src(op, 1)?);
+            mem.write_u64(addr, v);
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride: 0,
+                elems: 1,
+                bytes: 8,
+                is_store: true,
+                is_vector: false,
+            }))
+        }
+        PMov => {
+            let v = rf.read_simd(src(op, 0)?);
+            rf.write_simd(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        MovIntToSimd => {
+            let v = rf.read_int(src(op, 0)?) as u64;
+            rf.write_simd(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        MovSimdToInt => {
+            let v = rf.read_simd(src(op, 0)?) as i64;
+            rf.write_int(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        PSplat(e) => {
+            let v = rf.read_int(src(op, 0)?) as u64;
+            rf.write_simd(dst(op)?, packed::splat(e, v));
+            Ok(ExecResult::normal())
+        }
+        PExtract(e) => {
+            let v = rf.read_simd(src(op, 0)?);
+            let lane = imm(op) as usize % e.lanes();
+            rf.write_int(dst(op)?, packed::lane_u(v, e, lane) as i64);
+            Ok(ExecResult::normal())
+        }
+        PInsert(e) => {
+            let old = rf.read_simd(src(op, 0)?);
+            let v = rf.read_int(src(op, 1)?) as u64;
+            let lane = imm(op) as usize % e.lanes();
+            rf.write_simd(dst(op)?, packed::set_lane(old, e, lane, v));
+            Ok(ExecResult::normal())
+        }
+        // Packed two-operand arithmetic.
+        PAdd(..) | PSub(..) | PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_)
+        | PMulWidenOdd(_) | PAvg(_) | PMin(..) | PMax(..) | PAbsDiff(_) | PAnd | POr | PXor
+        | PAndNot | PPack(..) | PUnpackLo(_) | PUnpackHi(_) | PCmpEq(_) | PCmpGt(_) => {
+            let a = rf.read_simd(src(op, 0)?);
+            let b = rf.read_simd(src(op, 1)?);
+            rf.write_simd(dst(op)?, packed_binary(oc, a, b)?);
+            Ok(ExecResult::normal())
+        }
+        PSad => {
+            let a = rf.read_simd(src(op, 0)?);
+            let b = rf.read_simd(src(op, 1)?);
+            rf.write_simd(dst(op)?, packed::psad_u8(a, b));
+            Ok(ExecResult::normal())
+        }
+        PShl(e) | PShrL(e) | PShrA(e) => {
+            let a = rf.read_simd(src(op, 0)?);
+            let amount = imm(op) as u32;
+            let v = match oc {
+                PShl(_) => packed::pshl(e, a, amount),
+                PShrL(_) => packed::pshr_l(e, a, amount),
+                PShrA(_) => packed::pshr_a(e, a, amount),
+                _ => unreachable!(),
+            };
+            rf.write_simd(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        PWidenLo(e, s) | PWidenHi(e, s) => {
+            let a = rf.read_simd(src(op, 0)?);
+            let hi = matches!(oc, PWidenHi(..));
+            rf.write_simd(dst(op)?, widen(a, e, s, hi));
+            Ok(ExecResult::normal())
+        }
+
+        // ------------------------------------------------------------ vector
+        SetVL => {
+            let v = if op.srcs.is_empty() { imm(op) } else { rf.read_int(src(op, 0)?) };
+            rf.vl = (v.max(1) as u32).min(MAX_VL);
+            Ok(ExecResult::normal())
+        }
+        SetVS => {
+            let v = if op.srcs.is_empty() { imm(op) } else { rf.read_int(src(op, 0)?) };
+            rf.vs = v;
+            Ok(ExecResult::normal())
+        }
+        VLoad => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let vl = rf.effective_vl();
+            let stride = rf.vs;
+            let mut v: VectorValue = [0; MAX_VL as usize];
+            for (i, w) in v.iter_mut().enumerate().take(vl as usize) {
+                let a = (addr as i64 + stride * i as i64) as u64;
+                *w = mem.read_u64(a);
+            }
+            rf.write_vec(dst(op)?, v);
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride,
+                elems: vl,
+                bytes: 8,
+                is_store: false,
+                is_vector: true,
+            }))
+        }
+        VStore => {
+            let base = rf.read_int(src(op, 0)?);
+            let addr = (base + imm(op)) as u64;
+            let vl = rf.effective_vl();
+            let stride = rf.vs;
+            let v = rf.read_vec(src(op, 1)?);
+            for (i, w) in v.iter().enumerate().take(vl as usize) {
+                let a = (addr as i64 + stride * i as i64) as u64;
+                mem.write_u64(a, *w);
+            }
+            Ok(ExecResult::with_mem(MemAccess {
+                base: addr,
+                stride,
+                elems: vl,
+                bytes: 8,
+                is_store: true,
+                is_vector: true,
+            }))
+        }
+        VMov => {
+            let v = rf.read_vec(src(op, 0)?);
+            rf.write_vec(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        VSplat(e) => {
+            let s = rf.read_int(src(op, 0)?) as u64;
+            let word = packed::splat(e, s);
+            let vl = rf.effective_vl();
+            let mut v: VectorValue = [0; MAX_VL as usize];
+            for w in v.iter_mut().take(vl as usize) {
+                *w = word;
+            }
+            rf.write_vec(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        VExtract => {
+            let v = rf.read_vec(src(op, 0)?);
+            let w = imm(op) as usize % MAX_VL as usize;
+            rf.write_simd(dst(op)?, v[w]);
+            Ok(ExecResult::normal())
+        }
+        VInsert => {
+            let mut v = rf.read_vec(src(op, 0)?);
+            let s = rf.read_simd(src(op, 1)?);
+            let w = imm(op) as usize % MAX_VL as usize;
+            v[w] = s;
+            rf.write_vec(dst(op)?, v);
+            Ok(ExecResult::normal())
+        }
+        // Element-wise vector arithmetic: apply the packed word operation to
+        // the first VL words.
+        VAdd(..) | VSub(..) | VMulLo(_) | VMulHi(_) | VMAdd | VMulWidenEven(_)
+        | VMulWidenOdd(_) | VAvg(_) | VMin(..) | VMax(..) | VAbsDiff(_) | VAnd | VOr | VXor
+        | VPack(..) | VUnpackLo(_) | VUnpackHi(_) | VCmpEq(_) | VCmpGt(_) => {
+            let a = rf.read_vec(src(op, 0)?);
+            let b = rf.read_vec(src(op, 1)?);
+            let vl = rf.effective_vl();
+            let scalar_oc = vector_to_packed_opcode(oc);
+            let mut out: VectorValue = [0; MAX_VL as usize];
+            for i in 0..vl as usize {
+                out[i] = packed_binary(scalar_oc, a[i], b[i])?;
+            }
+            rf.write_vec(dst(op)?, out);
+            Ok(ExecResult::normal())
+        }
+        VShl(e) | VShrL(e) | VShrA(e) => {
+            let a = rf.read_vec(src(op, 0)?);
+            let amount = imm(op) as u32;
+            let vl = rf.effective_vl();
+            let mut out: VectorValue = [0; MAX_VL as usize];
+            for i in 0..vl as usize {
+                out[i] = match oc {
+                    VShl(_) => packed::pshl(e, a[i], amount),
+                    VShrL(_) => packed::pshr_l(e, a[i], amount),
+                    VShrA(_) => packed::pshr_a(e, a[i], amount),
+                    _ => unreachable!(),
+                };
+            }
+            rf.write_vec(dst(op)?, out);
+            Ok(ExecResult::normal())
+        }
+        VWidenLo(e, s) | VWidenHi(e, s) => {
+            let a = rf.read_vec(src(op, 0)?);
+            let hi = matches!(oc, VWidenHi(..));
+            let vl = rf.effective_vl();
+            let mut out: VectorValue = [0; MAX_VL as usize];
+            for i in 0..vl as usize {
+                out[i] = widen(a[i], e, s, hi);
+            }
+            rf.write_vec(dst(op)?, out);
+            Ok(ExecResult::normal())
+        }
+
+        // ------------------------------------------------------ accumulators
+        AccClear => {
+            rf.write_acc(dst(op)?, vmv_isa::Accumulator::zero());
+            Ok(ExecResult::normal())
+        }
+        VSadAcc | VMacAcc => {
+            let mut acc = rf.read_acc(src(op, 0)?);
+            let a = rf.read_vec(src(op, 1)?);
+            let b = rf.read_vec(src(op, 2)?);
+            let vl = rf.effective_vl();
+            for i in 0..vl as usize {
+                if oc == VSadAcc {
+                    acc.sad_accumulate_u8(a[i], b[i]);
+                } else {
+                    acc.mac_i16(a[i], b[i]);
+                }
+            }
+            rf.write_acc(dst(op)?, acc);
+            Ok(ExecResult::normal())
+        }
+        VAddAcc => {
+            let mut acc = rf.read_acc(src(op, 0)?);
+            let a = rf.read_vec(src(op, 1)?);
+            let vl = rf.effective_vl();
+            for i in 0..vl as usize {
+                acc.add_i16(a[i]);
+            }
+            rf.write_acc(dst(op)?, acc);
+            Ok(ExecResult::normal())
+        }
+        AccReduce => {
+            let acc = rf.read_acc(src(op, 0)?);
+            rf.write_int(dst(op)?, acc.reduce());
+            Ok(ExecResult::normal())
+        }
+        AccPackShrH => {
+            let acc = rf.read_acc(src(op, 0)?);
+            let shift = imm(op).max(0) as u32;
+            let mut out = 0u64;
+            for lane in 0..4 {
+                let v = acc.lane(lane) >> shift;
+                out = packed::set_lane(out, Elem::H, lane, packed::sat_s(v, Elem::H));
+            }
+            rf.write_simd(dst(op)?, out);
+            Ok(ExecResult::normal())
+        }
+    }
+}
+
+/// Map a vector element-wise opcode to the packed opcode applied per word.
+fn vector_to_packed_opcode(oc: Opcode) -> Opcode {
+    use Opcode::*;
+    match oc {
+        VAdd(e, s) => PAdd(e, s),
+        VSub(e, s) => PSub(e, s),
+        VMulLo(e) => PMulLo(e),
+        VMulHi(e) => PMulHi(e),
+        VMAdd => PMAdd,
+        VMulWidenEven(s) => PMulWidenEven(s),
+        VMulWidenOdd(s) => PMulWidenOdd(s),
+        VAvg(e) => PAvg(e),
+        VMin(e, s) => PMin(e, s),
+        VMax(e, s) => PMax(e, s),
+        VAbsDiff(e) => PAbsDiff(e),
+        VAnd => PAnd,
+        VOr => POr,
+        VXor => PXor,
+        VPack(e, s) => PPack(e, s),
+        VUnpackLo(e) => PUnpackLo(e),
+        VUnpackHi(e) => PUnpackHi(e),
+        VCmpEq(e) => PCmpEq(e),
+        VCmpGt(e) => PCmpGt(e),
+        other => other,
+    }
+}
+
+/// Semantics of the packed two-operand operations on a single 64-bit word.
+fn packed_binary(oc: Opcode, a: u64, b: u64) -> Result<u64, ExecError> {
+    use Opcode::*;
+    Ok(match oc {
+        PAdd(e, s) => packed::padd(e, s, a, b),
+        PSub(e, s) => packed::psub(e, s, a, b),
+        PMulLo(e) => packed::pmul_lo(e, a, b),
+        PMulHi(e) => packed::pmul_hi(e, a, b),
+        PMAdd => packed::pmadd_h(a, b),
+        PMulWidenEven(s) => mul_widen(a, b, s, false),
+        PMulWidenOdd(s) => mul_widen(a, b, s, true),
+        PAvg(e) => packed::pavg_u(e, a, b),
+        PMin(e, s) => packed::pmin(e, s, a, b),
+        PMax(e, s) => packed::pmax(e, s, a, b),
+        PAbsDiff(e) => packed::pabsdiff_u(e, a, b),
+        PAnd => a & b,
+        POr => a | b,
+        PXor => a ^ b,
+        PAndNot => !a & b,
+        PPack(e, s) => packed::ppack(e, s, a, b),
+        PUnpackLo(e) => packed::punpack_lo(e, a, b),
+        PUnpackHi(e) => packed::punpack_hi(e, a, b),
+        PCmpEq(e) => packed::pcmp_eq(e, a, b),
+        PCmpGt(e) => packed::pcmp_gt(e, a, b),
+        other => return Err(ExecError(format!("{other:?} is not a packed binary op"))),
+    })
+}
+
+/// Multiply the even (or odd) 16-bit lanes of `a` and `b` into two full
+/// 32-bit products.
+fn mul_widen(a: u64, b: u64, sign: Sign, odd: bool) -> u64 {
+    let mut out = 0u64;
+    for i in 0..2 {
+        let lane = 2 * i + if odd { 1 } else { 0 };
+        let p = match sign {
+            Sign::Signed => {
+                packed::lane_s(a, Elem::H, lane) * packed::lane_s(b, Elem::H, lane)
+            }
+            Sign::Unsigned => {
+                (packed::lane_u(a, Elem::H, lane) * packed::lane_u(b, Elem::H, lane)) as i64
+            }
+        };
+        out = packed::set_lane(out, Elem::W, i, p as u64);
+    }
+    out
+}
+
+/// Widen the low or high half of the lanes of `a` to the next wider width.
+fn widen(a: u64, e: Elem, s: Sign, hi: bool) -> u64 {
+    match (s, hi) {
+        (Sign::Unsigned, false) => packed::pwiden_lo_u(e, a),
+        (Sign::Unsigned, true) => packed::pwiden_hi_u(e, a),
+        (Sign::Signed, false) => packed::pwiden_lo_s(e, a),
+        (Sign::Signed, true) => packed::pwiden_hi_s(e, a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_isa::packed::{pack_i16x4, pack_u8x8};
+    use vmv_machine::presets;
+
+    fn setup() -> (RegFiles, MemImage) {
+        (RegFiles::for_machine(&presets::vector2(4)), MemImage::new(4096))
+    }
+
+    fn exec(op: Op, rf: &mut RegFiles, mem: &mut MemImage) -> ExecResult {
+        execute_op(&op, rf, mem).unwrap()
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_immediates() {
+        let (mut rf, mut mem) = setup();
+        exec(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(10), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::IAdd).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0)]).with_imm(5),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_int(Reg::int(1)), 15);
+        exec(
+            Op::new(Opcode::IMul).with_dst(Reg::int(2)).with_srcs(&[Reg::int(1), Reg::int(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_int(Reg::int(2)), 150);
+        exec(
+            Op::new(Opcode::IDiv).with_dst(Reg::int(3)).with_srcs(&[Reg::int(2)]).with_imm(0),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_int(Reg::int(3)), 0, "division by zero yields zero");
+    }
+
+    #[test]
+    fn loads_sign_extend_and_stores_truncate() {
+        let (mut rf, mut mem) = setup();
+        mem.write_u8(100, 0xFF);
+        rf.write_int(Reg::int(0), 100);
+        exec(
+            Op::new(Opcode::Load(MemWidth::B1, Sign::Signed)).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_int(Reg::int(1)), -1);
+        exec(
+            Op::new(Opcode::Load(MemWidth::B1, Sign::Unsigned)).with_dst(Reg::int(2)).with_srcs(&[Reg::int(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_int(Reg::int(2)), 255);
+        rf.write_int(Reg::int(3), 0x1_0000_00FF);
+        exec(
+            Op::new(Opcode::Store(MemWidth::B2)).with_srcs(&[Reg::int(0), Reg::int(3)]).with_imm(8),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(mem.read_u16(108), 0x00FF);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let (mut rf, mut mem) = setup();
+        rf.write_int(Reg::int(0), 3);
+        rf.write_int(Reg::int(1), 3);
+        let r = exec(
+            Op::new(Opcode::Br(BrCond::Eq)).with_srcs(&[Reg::int(0), Reg::int(1)]).with_target("t"),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(r.outcome, ExecOutcome::BranchTaken("t".into()));
+        let r = exec(
+            Op::new(Opcode::Br(BrCond::Gt)).with_srcs(&[Reg::int(0)]).with_imm(5).with_target("t"),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(r.outcome, ExecOutcome::Normal);
+    }
+
+    #[test]
+    fn packed_and_vector_add_agree() {
+        let (mut rf, mut mem) = setup();
+        let a = pack_u8x8([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = pack_u8x8([10, 20, 30, 40, 50, 60, 70, 80]);
+        rf.write_simd(Reg::simd(0), a);
+        rf.write_simd(Reg::simd(1), b);
+        exec(
+            Op::new(Opcode::PAdd(Elem::B, vmv_isa::Sat::Wrap))
+                .with_dst(Reg::simd(2))
+                .with_srcs(&[Reg::simd(0), Reg::simd(1)]),
+            &mut rf,
+            &mut mem,
+        );
+        let expect = packed::padd(Elem::B, vmv_isa::Sat::Wrap, a, b);
+        assert_eq!(rf.read_simd(Reg::simd(2)), expect);
+
+        // Vector version over 4 words.
+        rf.vl = 4;
+        let mut va = [0u64; 16];
+        let mut vb = [0u64; 16];
+        for i in 0..4 {
+            va[i] = a.wrapping_add(i as u64);
+            vb[i] = b;
+        }
+        rf.write_vec(Reg::vec(0), va);
+        rf.write_vec(Reg::vec(1), vb);
+        exec(
+            Op::new(Opcode::VAdd(Elem::B, vmv_isa::Sat::Wrap))
+                .with_dst(Reg::vec(2))
+                .with_srcs(&[Reg::vec(0), Reg::vec(1)]),
+            &mut rf,
+            &mut mem,
+        );
+        let out = rf.read_vec(Reg::vec(2));
+        for i in 0..4 {
+            assert_eq!(out[i], packed::padd(Elem::B, vmv_isa::Sat::Wrap, va[i], vb[i]));
+        }
+        assert_eq!(out[4], 0, "words beyond VL are untouched");
+    }
+
+    #[test]
+    fn vector_load_store_with_stride() {
+        let (mut rf, mut mem) = setup();
+        // Write 4 rows of 8 bytes with a 64-byte row stride.
+        for row in 0..4u64 {
+            mem.write_u64(512 + row * 64, 0x0101010101010101 * (row + 1));
+        }
+        rf.write_int(Reg::int(0), 512);
+        rf.vl = 4;
+        rf.vs = 64;
+        let r = exec(
+            Op::new(Opcode::VLoad).with_dst(Reg::vec(0)).with_srcs(&[Reg::int(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        let access = r.mem.unwrap();
+        assert!(access.is_vector);
+        assert_eq!(access.stride, 64);
+        assert_eq!(access.elems, 4);
+        let v = rf.read_vec(Reg::vec(0));
+        assert_eq!(v[0], 0x0101010101010101);
+        assert_eq!(v[3], 0x0404040404040404);
+
+        // Store it back contiguously.
+        rf.vs = 8;
+        rf.write_int(Reg::int(1), 1024);
+        exec(
+            Op::new(Opcode::VStore).with_srcs(&[Reg::int(1), Reg::vec(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(mem.read_u64(1024 + 24), 0x0404040404040404);
+    }
+
+    #[test]
+    fn sad_accumulator_matches_reference() {
+        let (mut rf, mut mem) = setup();
+        rf.vl = 2;
+        let a0 = pack_u8x8([10, 20, 30, 40, 50, 60, 70, 80]);
+        let a1 = pack_u8x8([1, 1, 1, 1, 1, 1, 1, 1]);
+        let b0 = pack_u8x8([5, 25, 30, 35, 55, 55, 75, 75]);
+        let b1 = pack_u8x8([2, 0, 2, 0, 2, 0, 2, 0]);
+        let mut va = [0u64; 16];
+        va[0] = a0;
+        va[1] = a1;
+        let mut vb = [0u64; 16];
+        vb[0] = b0;
+        vb[1] = b1;
+        rf.write_vec(Reg::vec(0), va);
+        rf.write_vec(Reg::vec(1), vb);
+        exec(Op::new(Opcode::AccClear).with_dst(Reg::acc(0)), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::VSadAcc)
+                .with_dst(Reg::acc(0))
+                .with_srcs(&[Reg::acc(0), Reg::vec(0), Reg::vec(1)]),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::AccReduce).with_dst(Reg::int(5)).with_srcs(&[Reg::acc(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        let expect: i64 = packed::psad_u8(a0, b0) as i64 + packed::psad_u8(a1, b1) as i64;
+        assert_eq!(rf.read_int(Reg::int(5)), expect);
+    }
+
+    #[test]
+    fn mac_accumulator_and_pack() {
+        let (mut rf, mut mem) = setup();
+        rf.vl = 2;
+        let mut va = [0u64; 16];
+        va[0] = pack_i16x4([10, 20, 30, 40]);
+        va[1] = pack_i16x4([1, 2, 3, 4]);
+        let mut vb = [0u64; 16];
+        vb[0] = pack_i16x4([2, 2, 2, 2]);
+        vb[1] = pack_i16x4([100, 100, 100, 100]);
+        rf.write_vec(Reg::vec(0), va);
+        rf.write_vec(Reg::vec(1), vb);
+        exec(Op::new(Opcode::AccClear).with_dst(Reg::acc(1)), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::VMacAcc)
+                .with_dst(Reg::acc(1))
+                .with_srcs(&[Reg::acc(1), Reg::vec(0), Reg::vec(1)]),
+            &mut rf,
+            &mut mem,
+        );
+        // lane0: 10*2 + 1*100 = 120, lane1: 40+200=240, lane2: 60+300=360, lane3: 80+400=480
+        exec(
+            Op::new(Opcode::AccPackShrH).with_dst(Reg::simd(7)).with_srcs(&[Reg::acc(1)]).with_imm(2),
+            &mut rf,
+            &mut mem,
+        );
+        let packed_out = rf.read_simd(Reg::simd(7));
+        assert_eq!(packed::unpack_i16x4(packed_out), [30, 60, 90, 120]);
+    }
+
+    #[test]
+    fn setvl_clamps_and_setvs_sets_stride() {
+        let (mut rf, mut mem) = setup();
+        exec(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(99), &mut rf, &mut mem);
+        assert_eq!(rf.vl, 16);
+        exec(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(6), &mut rf, &mut mem);
+        assert_eq!(rf.vl, 6);
+        rf.write_int(Reg::int(9), 640);
+        exec(Op::new(Opcode::SetVS).with_dst(Reg::vs()).with_srcs(&[Reg::int(9)]), &mut rf, &mut mem);
+        assert_eq!(rf.vs, 640);
+    }
+
+    #[test]
+    fn widen_and_pack_roundtrip() {
+        let (mut rf, mut mem) = setup();
+        let bytes = pack_u8x8([1, 2, 3, 4, 250, 251, 252, 253]);
+        rf.write_simd(Reg::simd(0), bytes);
+        exec(
+            Op::new(Opcode::PWidenLo(Elem::B, Sign::Unsigned)).with_dst(Reg::simd(1)).with_srcs(&[Reg::simd(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::PWidenHi(Elem::B, Sign::Unsigned)).with_dst(Reg::simd(2)).with_srcs(&[Reg::simd(0)]),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::PPack(Elem::H, Sign::Unsigned))
+                .with_dst(Reg::simd(3))
+                .with_srcs(&[Reg::simd(1), Reg::simd(2)]),
+            &mut rf,
+            &mut mem,
+        );
+        assert_eq!(rf.read_simd(Reg::simd(3)), bytes);
+    }
+}

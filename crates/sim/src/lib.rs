@@ -1,0 +1,22 @@
+//! # vmv-sim — cycle-level simulator of the Vector-µSIMD-VLIW processor
+//!
+//! Executes statically scheduled programs (`vmv-sched`) on a machine
+//! configuration (`vmv-machine`, Table 2) both *functionally* — every
+//! operation computes real values over a flat memory image, so kernel
+//! outputs can be checked against golden reference implementations — and
+//! *temporally*: one VLIW instruction issues per cycle, and the machine
+//! stalls whenever run-time latencies exceed what the compiler assumed
+//! (cache misses, non-unit-stride vector accesses, cross-block dependences),
+//! exactly the stall-on-miss model of the paper.
+
+pub mod engine;
+pub mod exec;
+pub mod memimage;
+pub mod regfile;
+pub mod stats;
+
+pub use engine::{SimError, SimOptions, Simulator};
+pub use exec::{execute_op, ExecOutcome, ExecResult, MemAccess};
+pub use memimage::MemImage;
+pub use regfile::{RegFiles, VectorValue};
+pub use stats::{RegionStats, RunStats};

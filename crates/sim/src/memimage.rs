@@ -1,0 +1,142 @@
+//! The flat, byte-addressable data memory image of the simulated machine.
+//!
+//! The memory *hierarchy* (`vmv-mem`) only models timing; the actual data is
+//! held here so that every kernel executes functionally and its outputs can
+//! be checked against the pure-Rust reference implementations.
+
+/// Flat little-endian memory image.
+#[derive(Debug, Clone)]
+pub struct MemImage {
+    bytes: Vec<u8>,
+}
+
+impl MemImage {
+    /// Create a zero-initialised memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        MemImage { bytes: vec![0; size] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn check(&self, addr: u64, len: usize) {
+        assert!(
+            (addr as usize).checked_add(len).is_some_and(|end| end <= self.bytes.len()),
+            "memory access out of bounds: addr={addr:#x} len={len} size={:#x}",
+            self.bytes.len()
+        );
+    }
+
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        self.check(addr, len);
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.check(addr, data.len());
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.read_bytes(addr, 1)[0]
+    }
+
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr, 2).try_into().unwrap())
+    }
+
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr, 4).try_into().unwrap())
+    }
+
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr, 8).try_into().unwrap())
+    }
+
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        self.write_bytes(addr, &[v]);
+    }
+
+    pub fn write_u16(&mut self, addr: u64, v: u16) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    // Typed slice helpers used by the workload loaders and the output
+    // checkers of the kernel crate.
+
+    pub fn write_i16_slice(&mut self, addr: u64, data: &[i16]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_u16(addr + 2 * i as u64, *v as u16);
+        }
+    }
+
+    pub fn read_i16_slice(&self, addr: u64, count: usize) -> Vec<i16> {
+        (0..count).map(|i| self.read_u16(addr + 2 * i as u64) as i16).collect()
+    }
+
+    pub fn write_i32_slice(&mut self, addr: u64, data: &[i32]) {
+        for (i, v) in data.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *v as u32);
+        }
+    }
+
+    pub fn read_i32_slice(&self, addr: u64, count: usize) -> Vec<i32> {
+        (0..count).map(|i| self.read_u32(addr + 4 * i as u64) as i32).collect()
+    }
+
+    pub fn write_u8_slice(&mut self, addr: u64, data: &[u8]) {
+        self.write_bytes(addr, data);
+    }
+
+    pub fn read_u8_slice(&self, addr: u64, count: usize) -> Vec<u8> {
+        self.read_bytes(addr, count).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut m = MemImage::new(64);
+        m.write_u32(4, 0xAABBCCDD);
+        assert_eq!(m.read_u32(4), 0xAABBCCDD);
+        assert_eq!(m.read_u8(4), 0xDD, "little endian");
+        m.write_u64(8, u64::MAX - 1);
+        assert_eq!(m.read_u64(8), u64::MAX - 1);
+        m.write_u16(20, 0x1234);
+        assert_eq!(m.read_u16(20), 0x1234);
+    }
+
+    #[test]
+    fn slice_roundtrips() {
+        let mut m = MemImage::new(256);
+        m.write_i16_slice(0, &[-1, 2, -3, 4]);
+        assert_eq!(m.read_i16_slice(0, 4), vec![-1, 2, -3, 4]);
+        m.write_i32_slice(32, &[i32::MIN, 0, i32::MAX]);
+        assert_eq!(m.read_i32_slice(32, 3), vec![i32::MIN, 0, i32::MAX]);
+        m.write_u8_slice(100, &[9, 8, 7]);
+        assert_eq!(m.read_u8_slice(100, 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_is_detected() {
+        let m = MemImage::new(16);
+        m.read_u64(12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Architectural register state of the simulated processor.
+
+use vmv_isa::{Accumulator, Reg, RegClass, MAX_VL};
+use vmv_machine::MachineConfig;
+
+/// A vector register: 16 × 64-bit words (paper §3.1).
+pub type VectorValue = [u64; MAX_VL as usize];
+
+/// All architectural register files plus the two control registers.
+#[derive(Debug, Clone)]
+pub struct RegFiles {
+    pub int: Vec<i64>,
+    pub simd: Vec<u64>,
+    pub vec: Vec<VectorValue>,
+    pub acc: Vec<Accumulator>,
+    /// Vector length register (1..=16).
+    pub vl: u32,
+    /// Vector stride register, in bytes between consecutive 64-bit words.
+    pub vs: i64,
+}
+
+impl RegFiles {
+    /// Create register files sized for a machine configuration.  µSIMD and
+    /// vector files are always given at least a few entries so that programs
+    /// compiled for richer machines can still be *inspected* (they will have
+    /// been rejected earlier by the compile pipeline if the machine truly
+    /// lacks the ISA support).
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        RegFiles {
+            int: vec![0; machine.regs.int.max(1) as usize],
+            simd: vec![0; machine.regs.simd.max(1) as usize],
+            vec: vec![[0; MAX_VL as usize]; machine.regs.vec.max(1) as usize],
+            acc: vec![Accumulator::zero(); machine.regs.acc.max(1) as usize],
+            vl: MAX_VL,
+            vs: 8,
+        }
+    }
+
+    pub fn read_int(&self, r: Reg) -> i64 {
+        debug_assert_eq!(r.class, RegClass::Int);
+        self.int[r.index as usize]
+    }
+
+    pub fn write_int(&mut self, r: Reg, v: i64) {
+        debug_assert_eq!(r.class, RegClass::Int);
+        self.int[r.index as usize] = v;
+    }
+
+    pub fn read_simd(&self, r: Reg) -> u64 {
+        debug_assert_eq!(r.class, RegClass::Simd);
+        self.simd[r.index as usize]
+    }
+
+    pub fn write_simd(&mut self, r: Reg, v: u64) {
+        debug_assert_eq!(r.class, RegClass::Simd);
+        self.simd[r.index as usize] = v;
+    }
+
+    pub fn read_vec(&self, r: Reg) -> VectorValue {
+        debug_assert_eq!(r.class, RegClass::Vec);
+        self.vec[r.index as usize]
+    }
+
+    pub fn write_vec(&mut self, r: Reg, v: VectorValue) {
+        debug_assert_eq!(r.class, RegClass::Vec);
+        self.vec[r.index as usize] = v;
+    }
+
+    pub fn read_acc(&self, r: Reg) -> Accumulator {
+        debug_assert_eq!(r.class, RegClass::Acc);
+        self.acc[r.index as usize]
+    }
+
+    pub fn write_acc(&mut self, r: Reg, v: Accumulator) {
+        debug_assert_eq!(r.class, RegClass::Acc);
+        self.acc[r.index as usize] = v;
+    }
+
+    /// Effective vector length, clamped to the architectural maximum.
+    pub fn effective_vl(&self) -> u32 {
+        self.vl.clamp(1, MAX_VL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_machine::presets;
+
+    #[test]
+    fn sizes_follow_machine_config() {
+        let rf = RegFiles::for_machine(&presets::vector1(2));
+        assert_eq!(rf.int.len(), 64);
+        assert_eq!(rf.vec.len(), 20);
+        assert_eq!(rf.acc.len(), 4);
+        let rf = RegFiles::for_machine(&presets::usimd(8));
+        assert_eq!(rf.simd.len(), 128);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut rf = RegFiles::for_machine(&presets::vector2(2));
+        rf.write_int(Reg::int(3), -7);
+        assert_eq!(rf.read_int(Reg::int(3)), -7);
+        rf.write_simd(Reg::simd(2), 0xDEADBEEF);
+        assert_eq!(rf.read_simd(Reg::simd(2)), 0xDEADBEEF);
+        let mut v = [0u64; 16];
+        v[5] = 99;
+        rf.write_vec(Reg::vec(1), v);
+        assert_eq!(rf.read_vec(Reg::vec(1))[5], 99);
+    }
+
+    #[test]
+    fn vl_is_clamped() {
+        let mut rf = RegFiles::for_machine(&presets::vector2(2));
+        rf.vl = 0;
+        assert_eq!(rf.effective_vl(), 1);
+        rf.vl = 99;
+        assert_eq!(rf.effective_vl(), 16);
+        rf.vl = 8;
+        assert_eq!(rf.effective_vl(), 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution statistics: cycles, operations and micro-operations, accounted
+//! separately for the scalar region and each vector region of a program —
+//! the measurements behind every figure and table of the paper's evaluation.
+
+use std::collections::BTreeMap;
+
+use vmv_isa::RegionId;
+use vmv_mem::MemStats;
+
+/// Statistics of one region (or of the whole program).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionStats {
+    /// Cycles spent executing blocks of this region (including stalls).
+    pub cycles: u64,
+    /// Cycles lost to run-time stalls (cache misses, non-unit strides,
+    /// cross-block latency) within this region.
+    pub stall_cycles: u64,
+    /// Dynamic VLIW instructions (bundles) issued, including empty ones.
+    pub instructions: u64,
+    /// Dynamic operations executed (paper terminology: each machine
+    /// operation coded into a VLIW instruction).
+    pub operations: u64,
+    /// Dynamic micro-operations: sub-word element operations (paper §3.1).
+    pub micro_ops: u64,
+}
+
+impl RegionStats {
+    pub fn add(&mut self, other: &RegionStats) {
+        self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.instructions += other.instructions;
+        self.operations += other.operations;
+        self.micro_ops += other.micro_ops;
+    }
+
+    /// Operations per cycle.
+    pub fn opc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.operations as f64 / self.cycles as f64
+        }
+    }
+
+    /// Micro-operations per cycle.
+    pub fn micro_opc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.micro_ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Statistics of one complete program run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-region breakdown (region 0 = scalar region).
+    pub regions: BTreeMap<RegionId, RegionStats>,
+    /// Memory-system statistics.
+    pub memory: MemStats,
+}
+
+impl RunStats {
+    /// Totals over every region.
+    pub fn total(&self) -> RegionStats {
+        let mut t = RegionStats::default();
+        for r in self.regions.values() {
+            t.add(r);
+        }
+        t
+    }
+
+    /// Aggregate statistics of the scalar region (region 0).
+    pub fn scalar(&self) -> RegionStats {
+        self.regions.get(&RegionId::SCALAR).copied().unwrap_or_default()
+    }
+
+    /// Aggregate statistics over every *vector* region (regions 1..).
+    pub fn vector(&self) -> RegionStats {
+        let mut t = RegionStats::default();
+        for (id, r) in &self.regions {
+            if id.is_vector() {
+                t.add(r);
+            }
+        }
+        t
+    }
+
+    /// Total cycle count of the run.
+    pub fn cycles(&self) -> u64 {
+        self.total().cycles
+    }
+
+    /// Fraction of the execution time spent in vector regions
+    /// (the "%Vect" column of Table 1).
+    pub fn vectorization_fraction(&self) -> f64 {
+        let total = self.total().cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.vector().cycles as f64 / total as f64
+        }
+    }
+
+    /// Record statistics for one region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut RegionStats {
+        self.regions.entry(id).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_aggregation() {
+        let mut rs = RunStats::default();
+        rs.region_mut(RegionId(0)).cycles = 600;
+        rs.region_mut(RegionId(0)).operations = 900;
+        rs.region_mut(RegionId(1)).cycles = 300;
+        rs.region_mut(RegionId(1)).operations = 300;
+        rs.region_mut(RegionId(1)).micro_ops = 3000;
+        rs.region_mut(RegionId(2)).cycles = 100;
+
+        assert_eq!(rs.total().cycles, 1000);
+        assert_eq!(rs.scalar().cycles, 600);
+        assert_eq!(rs.vector().cycles, 400);
+        assert!((rs.vectorization_fraction() - 0.4).abs() < 1e-12);
+        assert!((rs.scalar().opc() - 1.5).abs() < 1e-12);
+        assert!((rs.regions[&RegionId(1)].micro_opc() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let rs = RunStats::default();
+        assert_eq!(rs.cycles(), 0);
+        assert_eq!(rs.vectorization_fraction(), 0.0);
+        assert_eq!(rs.scalar().opc(), 0.0);
+    }
+}

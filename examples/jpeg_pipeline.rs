@@ -1,0 +1,57 @@
+//! Run the complete JPEG encoder benchmark (colour conversion → forward DCT
+//! → quantisation → entropy coding) on several processor configurations and
+//! print a per-region cycle breakdown — a miniature version of the paper's
+//! Figure 6 for one application.
+//!
+//! ```text
+//! cargo run --release --example jpeg_pipeline
+//! ```
+
+use vector_usimd_vliw as vmv;
+use vmv::core::run_one;
+use vmv::kernels::Benchmark;
+use vmv::mem::MemoryModel;
+
+fn main() {
+    let machines = vmv::machine::all_configs();
+    let baseline = run_one(Benchmark::JpegEnc, &machines[0], MemoryModel::Realistic)
+        .expect("baseline run succeeds");
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>8} {:>7}",
+        "config", "cycles", "scalar", "vector", "speedup", "%vect"
+    );
+    for machine in &machines {
+        let outcome =
+            run_one(Benchmark::JpegEnc, machine, MemoryModel::Realistic).expect("run succeeds");
+        assert!(
+            outcome.check_failures.is_empty(),
+            "functional checks failed on {}: {:?}",
+            machine.name,
+            outcome.check_failures
+        );
+        let s = &outcome.stats;
+        println!(
+            "{:<14} {:>10} {:>9} {:>9} {:>8.2} {:>6.1}%",
+            machine.name,
+            s.cycles(),
+            s.scalar().cycles,
+            s.vector().cycles,
+            baseline.stats.cycles() as f64 / s.cycles() as f64,
+            100.0 * s.vectorization_fraction()
+        );
+    }
+    println!("\nPer-region breakdown on the 4-issue +Vector2 machine:");
+    let outcome = run_one(Benchmark::JpegEnc, &vmv::machine::presets::vector2(4), MemoryModel::Realistic)
+        .expect("run succeeds");
+    for (region, stats) in &outcome.stats.regions {
+        let name = Benchmark::JpegEnc
+            .vector_region_names()
+            .get(region.0.wrapping_sub(1) as usize)
+            .copied()
+            .unwrap_or("scalar region");
+        println!(
+            "  R{} {:<32} {:>8} cycles  {:>8} ops  {:>9} micro-ops",
+            region.0, name, stats.cycles, stats.operations, stats.micro_ops
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # vector-usimd-vliw
+//!
+//! A from-scratch Rust reproduction of *"A Vector-µSIMD-VLIW Architecture
+//! for Multimedia Applications"* (Salamí & Valero, ICPP 2005): the three
+//! instruction sets (scalar VLIW, µSIMD, MOM-style Vector-µSIMD), the static
+//! VLIW scheduler with vector-aware latency descriptors and chaining, the
+//! cycle-level stall-on-miss simulator, the memory hierarchy with the
+//! two-bank interleaved L2 vector cache, the six Mediabench-style workloads
+//! hand-written in all three ISAs, and the experiment driver that rebuilds
+//! every table and figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the individual crates under convenient
+//! names; see the `examples/` directory for end-to-end usage.
+//!
+//! ```
+//! use vector_usimd_vliw as vmv;
+//!
+//! // Compile and run the GSM decoder on a 2-issue Vector-µSIMD-VLIW machine.
+//! let machine = vmv::machine::presets::vector2(2);
+//! let outcome = vmv::core::run_one(
+//!     vmv::kernels::Benchmark::GsmDec,
+//!     &machine,
+//!     vmv::mem::MemoryModel::Perfect,
+//! )
+//! .unwrap();
+//! assert!(outcome.check_failures.is_empty());
+//! assert!(outcome.stats.cycles() > 0);
+//! ```
+
+pub use vmv_core as core;
+pub use vmv_isa as isa;
+pub use vmv_kernels as kernels;
+pub use vmv_machine as machine;
+pub use vmv_mem as mem;
+pub use vmv_sched as sched;
+pub use vmv_sim as sim;

@@ -1,0 +1,116 @@
+//! Workspace-level integration tests: every benchmark, compiled and executed
+//! on representative machines of each ISA family, must be functionally
+//! bit-exact and must show the performance ordering the paper reports.
+
+use vector_usimd_vliw as vmv;
+use vmv::core::{run_one, variant_for};
+use vmv::kernels::{Benchmark, IsaVariant};
+use vmv::machine::presets;
+use vmv::mem::MemoryModel;
+
+#[test]
+fn every_benchmark_is_bit_exact_on_every_isa_family() {
+    for bench in Benchmark::ALL {
+        for machine in [presets::vliw(2), presets::usimd(2), presets::vector1(2)] {
+            let outcome = run_one(bench, &machine, MemoryModel::Perfect)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+            assert!(
+                outcome.check_failures.is_empty(),
+                "{} on {} failed checks: {:?}",
+                bench.name(),
+                machine.name,
+                outcome.check_failures
+            );
+        }
+    }
+}
+
+#[test]
+fn realistic_memory_never_beats_perfect_memory() {
+    for bench in [Benchmark::JpegEnc, Benchmark::GsmEnc] {
+        let machine = presets::vector2(2);
+        let perfect = run_one(bench, &machine, MemoryModel::Perfect).unwrap();
+        let realistic = run_one(bench, &machine, MemoryModel::Realistic).unwrap();
+        assert!(
+            realistic.stats.cycles() >= perfect.stats.cycles(),
+            "{}: realistic {} < perfect {}",
+            bench.name(),
+            realistic.stats.cycles(),
+            perfect.stats.cycles()
+        );
+    }
+}
+
+#[test]
+fn vector_isa_outperforms_usimd_in_the_vector_regions() {
+    // Paper §5.1: the 2-issue Vector2 outperforms the 2-issue µSIMD in the
+    // vector regions by large factors on every benchmark.
+    for bench in Benchmark::ALL {
+        let usimd = run_one(bench, &presets::usimd(2), MemoryModel::Perfect).unwrap();
+        let vector = run_one(bench, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+        assert!(
+            vector.stats.vector().cycles < usimd.stats.vector().cycles,
+            "{}: vector regions {} vs {}",
+            bench.name(),
+            vector.stats.vector().cycles,
+            usimd.stats.vector().cycles
+        );
+    }
+}
+
+#[test]
+fn vector_isa_fetches_far_fewer_operations() {
+    // Paper §5.3: the vector versions execute much fewer operations in the
+    // vector regions than the µSIMD versions.
+    for bench in Benchmark::ALL {
+        let usimd = run_one(bench, &presets::usimd(2), MemoryModel::Perfect).unwrap();
+        let vector = run_one(bench, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+        let u = usimd.stats.vector().operations as f64;
+        let v = vector.stats.vector().operations as f64;
+        assert!(v < 0.6 * u, "{}: {} vs {} vector-region operations", bench.name(), v, u);
+    }
+}
+
+#[test]
+fn scalar_regions_are_insensitive_to_the_isa_extension() {
+    // The scalar regions are the same code in every variant; on machines
+    // with the same issue width their cycle counts should be very close
+    // (they only differ through cache interactions).
+    for bench in [Benchmark::JpegDec, Benchmark::GsmDec] {
+        let usimd = run_one(bench, &presets::usimd(2), MemoryModel::Perfect).unwrap();
+        let vector = run_one(bench, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+        let a = usimd.stats.scalar().cycles as f64;
+        let b = vector.stats.scalar().cycles as f64;
+        assert!((a - b).abs() / a.max(b) < 0.05, "{}: {} vs {}", bench.name(), a, b);
+    }
+}
+
+#[test]
+fn configurations_pick_the_matching_kernel_variant() {
+    assert_eq!(variant_for(&presets::vliw(8)), IsaVariant::Scalar);
+    assert_eq!(variant_for(&presets::usimd(4)), IsaVariant::Usimd);
+    assert_eq!(variant_for(&presets::vector1(2)), IsaVariant::Vector);
+}
+
+#[test]
+fn mpeg2_encoder_suffers_most_from_realistic_memory_on_the_vector_machine() {
+    // Paper §5.1 / Fig. 5b: the motion-estimation strides make mpeg2_enc the
+    // benchmark with the highest degradation when the memory hierarchy is
+    // simulated.
+    let machine = presets::vector2(2);
+    let mut degradations = Vec::new();
+    for bench in [Benchmark::Mpeg2Enc, Benchmark::JpegEnc, Benchmark::GsmEnc] {
+        let perfect = run_one(bench, &machine, MemoryModel::Perfect).unwrap();
+        let realistic = run_one(bench, &machine, MemoryModel::Realistic).unwrap();
+        degradations.push((
+            bench,
+            realistic.stats.vector().cycles as f64 / perfect.stats.vector().cycles.max(1) as f64,
+        ));
+    }
+    let worst = degradations
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(b, _)| *b)
+        .unwrap();
+    assert_eq!(worst, Benchmark::Mpeg2Enc, "degradations: {degradations:?}");
+}

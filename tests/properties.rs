@@ -1,0 +1,126 @@
+//! Property-based tests across the crate boundaries: the packed arithmetic,
+//! the accumulators and small generated Vector-µSIMD programs must agree
+//! with straightforward Rust computations for arbitrary inputs.
+
+use proptest::prelude::*;
+use vector_usimd_vliw as vmv;
+use vmv::isa::packed::{self, Elem, Sat};
+use vmv::isa::{Accumulator, ProgramBuilder};
+use vmv::mem::MemoryModel;
+use vmv::sim::Simulator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_saturating_add_matches_lane_wise_model(a: u64, b: u64) {
+        let r = packed::padd(Elem::B, Sat::Unsigned, a, b);
+        for i in 0..8 {
+            let x = packed::lane_u(a, Elem::B, i) as u16;
+            let y = packed::lane_u(b, Elem::B, i) as u16;
+            prop_assert_eq!(packed::lane_u(r, Elem::B, i), (x + y).min(255) as u64);
+        }
+    }
+
+    #[test]
+    fn packed_sad_matches_scalar_sum(a: u64, b: u64) {
+        let expect: u64 = (0..8)
+            .map(|i| {
+                let x = packed::lane_u(a, Elem::B, i) as i64;
+                let y = packed::lane_u(b, Elem::B, i) as i64;
+                (x - y).unsigned_abs()
+            })
+            .sum();
+        prop_assert_eq!(packed::psad_u8(a, b), expect);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip(words in prop::array::uniform2(any::<u64>())) {
+        // Widening the low and high halves and packing them back must be the
+        // identity on unsigned bytes.
+        for w in words {
+            let lo = packed::pwiden_lo_u(Elem::B, w);
+            let hi = packed::pwiden_hi_u(Elem::B, w);
+            prop_assert_eq!(packed::ppack(Elem::H, packed::Sign::Unsigned, lo, hi), w);
+        }
+    }
+
+    #[test]
+    fn accumulator_mac_matches_i64_model(
+        a in prop::collection::vec(any::<i16>(), 4),
+        b in prop::collection::vec(any::<i16>(), 4),
+    ) {
+        let wa = packed::pack_i16x4([a[0], a[1], a[2], a[3]]);
+        let wb = packed::pack_i16x4([b[0], b[1], b[2], b[3]]);
+        let mut acc = Accumulator::zero();
+        acc.mac_i16(wa, wb);
+        let expect: i64 = (0..4).map(|i| a[i] as i64 * b[i] as i64).sum();
+        prop_assert_eq!(acc.reduce(), expect);
+    }
+
+    #[test]
+    fn simulated_vector_add_matches_rust(
+        data_a in prop::collection::vec(any::<u8>(), 128),
+        data_b in prop::collection::vec(any::<u8>(), 128),
+    ) {
+        let mut b = ProgramBuilder::new("prop_vadd");
+        let a_ptr = b.imm(0x1000);
+        let b_ptr = b.imm(0x2000);
+        let o_ptr = b.imm(0x3000);
+        b.setvl(16);
+        b.setvs(8);
+        let x = b.rv();
+        let y = b.rv();
+        b.vload(x, a_ptr, 0);
+        b.vload(y, b_ptr, 0);
+        let s = b.rv();
+        b.vadd(Elem::B, Sat::Unsigned, s, x, y);
+        b.vstore(o_ptr, 0, s);
+        b.halt();
+        let program = b.finish();
+
+        let machine = vmv::machine::presets::vector2(2);
+        let compiled = vmv::sched::compile(&program, &machine).unwrap();
+        let mut sim = Simulator::with_model(&machine, MemoryModel::Perfect);
+        sim.mem.write_u8_slice(0x1000, &data_a);
+        sim.mem.write_u8_slice(0x2000, &data_b);
+        sim.run(&compiled.program).unwrap();
+        let out = sim.mem.read_u8_slice(0x3000, 128);
+        let expect: Vec<u8> =
+            data_a.iter().zip(&data_b).map(|(&p, &q)| p.saturating_add(q)).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn quantisation_is_exact_for_random_coefficients(
+        coefs in prop::collection::vec(-2000i16..2000, 64),
+    ) {
+        // The same reciprocal-multiplication quantisation through the
+        // reference implementation and through the simulated µSIMD kernel.
+        let recips = vmv::kernels::data::quant_reciprocals(50);
+        let expect = vmv::kernels::reference::quantize(&coefs, &recips);
+
+        let mut b = ProgramBuilder::new("prop_quant");
+        b.begin_region(1, "quant");
+        vmv::kernels::patterns::pixel::emit_quantize(
+            &mut b,
+            vmv::kernels::IsaVariant::Usimd,
+            &vmv::kernels::patterns::pixel::QuantParams {
+                coef_addr: 0x1000,
+                recip_addr: 0x2000,
+                out_addr: 0x3000,
+                n: 64,
+            },
+        );
+        b.end_region();
+        b.halt();
+        let program = b.finish();
+        let machine = vmv::machine::presets::usimd(2);
+        let compiled = vmv::sched::compile(&program, &machine).unwrap();
+        let mut sim = Simulator::with_model(&machine, MemoryModel::Perfect);
+        sim.mem.write_i16_slice(0x1000, &coefs);
+        sim.mem.write_i16_slice(0x2000, &recips);
+        sim.run(&compiled.program).unwrap();
+        prop_assert_eq!(sim.mem.read_i16_slice(0x3000, 64), expect);
+    }
+}

@@ -1,0 +1,84 @@
+//! Cross-crate timing invariants: the interaction between the static
+//! scheduler, the machine configurations and the simulator must reproduce
+//! the architectural behaviours the paper relies on.
+
+use vector_usimd_vliw as vmv;
+use vmv::core::run_one;
+use vmv::kernels::Benchmark;
+use vmv::machine::presets;
+use vmv::mem::MemoryModel;
+
+#[test]
+fn wider_usimd_machines_are_never_slower() {
+    for bench in [Benchmark::JpegEnc, Benchmark::Mpeg2Dec] {
+        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Perfect).unwrap().stats.cycles();
+        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Perfect).unwrap().stats.cycles();
+        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Perfect).unwrap().stats.cycles();
+        assert!(c4 <= c2, "{}: 4w {} vs 2w {}", bench.name(), c4, c2);
+        assert!(c8 <= c4, "{}: 8w {} vs 4w {}", bench.name(), c8, c4);
+    }
+}
+
+#[test]
+fn scalar_regions_stop_scaling_beyond_4_issue() {
+    // Paper §2: the scalar regions gain little from 4→8 issue.  Average the
+    // gains across benchmarks and require the 4→8 gain to be clearly smaller
+    // than the 2→4 gain.
+    let mut gain_24 = Vec::new();
+    let mut gain_48 = Vec::new();
+    for bench in Benchmark::ALL {
+        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
+        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
+        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
+        gain_24.push(c2 / c4);
+        gain_48.push(c4 / c8);
+    }
+    let avg24 = gain_24.iter().sum::<f64>() / gain_24.len() as f64;
+    let avg48 = gain_48.iter().sum::<f64>() / gain_48.len() as f64;
+    assert!(
+        avg48 < avg24 && avg48 < 1.15,
+        "scalar regions should saturate: 2->4w {avg24:.3}, 4->8w {avg48:.3}"
+    );
+}
+
+#[test]
+fn more_vector_units_help_dct_heavy_benchmarks() {
+    // Paper §5.1: benchmarks with larger vector lengths / loop bodies (the
+    // JPEG codecs) benefit from doubling the number of vector units.
+    let v1 = run_one(Benchmark::JpegEnc, &presets::vector1(2), MemoryModel::Perfect).unwrap();
+    let v2 = run_one(Benchmark::JpegEnc, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+    assert!(
+        v2.stats.vector().cycles <= v1.stats.vector().cycles,
+        "Vector2 {} should not be slower than Vector1 {}",
+        v2.stats.vector().cycles,
+        v1.stats.vector().cycles
+    );
+}
+
+#[test]
+fn four_issue_vector_machine_rivals_eight_issue_usimd() {
+    // The headline claim of the paper (§5.2): a 4-issue Vector-µSIMD-VLIW
+    // achieves comparable whole-application performance to the 8-issue
+    // µSIMD-VLIW.  Allow a generous band — the claim is about parity, not
+    // dominance on every single benchmark.
+    let mut ratios = Vec::new();
+    for bench in Benchmark::ALL {
+        let v = run_one(bench, &presets::vector2(4), MemoryModel::Realistic).unwrap().stats.cycles() as f64;
+        let u = run_one(bench, &presets::usimd(8), MemoryModel::Realistic).unwrap().stats.cycles() as f64;
+        ratios.push(u / v);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg > 0.9, "4-issue Vector2 should be within 10% of 8-issue uSIMD on average, got {avg:.3} ({ratios:?})");
+}
+
+#[test]
+fn chaining_does_not_hurt() {
+    let mut chained = presets::vector2(2);
+    chained.name = "chained".into();
+    let mut unchained = chained.clone();
+    unchained.chaining = false;
+    unchained.name = "unchained".into();
+    let with = run_one(Benchmark::Mpeg2Enc, &chained, MemoryModel::Perfect).unwrap().stats.cycles();
+    let without = run_one(Benchmark::Mpeg2Enc, &unchained, MemoryModel::Perfect).unwrap().stats.cycles();
+    assert!(with <= without, "chaining should never slow the code down: {with} vs {without}");
+}
