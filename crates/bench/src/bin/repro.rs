@@ -3,27 +3,88 @@
 //! ```text
 //! cargo run --release -p vmv-bench --bin repro            # everything
 //! cargo run --release -p vmv-bench --bin repro -- fig6    # one artefact
+//! cargo run --release -p vmv-bench --bin repro -- all --json BENCH_repro.json
 //! ```
 //!
 //! Valid selectors: `table1`, `fig1`, `fig5a`, `fig5b`, `fig6`, `fig7`,
-//! `table3`, `all` (default).
+//! `table3`, `all` (default).  With `--json PATH`, a BENCH-style artifact
+//! (suite wall-clock seconds plus per-run cycle counts) is also written.
+
+use std::time::Instant;
 
 use vmv_core::Suite;
 use vmv_mem::MemoryModel;
+use vmv_sweep::Json;
+
+fn suite_json(label: &str, suite: &Suite, wall_seconds: f64) -> Json {
+    Json::Obj(vec![
+        ("model".into(), Json::str(label)),
+        ("wall_seconds".into(), Json::Num(wall_seconds)),
+        (
+            "per_run".into(),
+            Json::Arr(
+                suite
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::Obj(vec![
+                            ("config".into(), Json::str(&o.config)),
+                            ("benchmark".into(), Json::str(o.benchmark.name())),
+                            ("cycles".into(), Json::u64(o.stats.cycles())),
+                            ("vector_cycles".into(), Json::u64(o.stats.vector().cycles)),
+                            ("check_ok".into(), Json::Bool(o.check_failures.is_empty())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
 
 fn main() {
-    let selector = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut selector: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(1);
+                }))
+            }
+            other => selector = Some(other.to_string()),
+        }
+    }
+    let selector = selector.unwrap_or_else(|| "all".to_string());
+    const SELECTORS: &[&str] = &[
+        "all", "table1", "fig1", "fig5a", "fig5b", "fig6", "fig7", "table3",
+    ];
+    // Validate before running the (expensive) measurement matrix.
+    if !SELECTORS.contains(&selector.as_str()) {
+        eprintln!(
+            "unknown selector '{selector}' (use table1|fig1|fig5a|fig5b|fig6|fig7|table3|all)"
+        );
+        std::process::exit(1);
+    }
 
-    let need_perfect = matches!(selector.as_str(), "all" | "fig5a");
-    let need_realistic = selector != "fig5a";
+    let need_perfect = matches!(selector.as_str(), "all" | "fig5a") || json_path.is_some();
+    let need_realistic = selector != "fig5a" || json_path.is_some();
 
+    let mut suites_json: Vec<Json> = Vec::new();
     let perfect = if need_perfect {
-        Some(Suite::run_all_configs(MemoryModel::Perfect).expect("perfect-memory suite"))
+        let t = Instant::now();
+        let suite = Suite::run_all_configs(MemoryModel::Perfect).expect("perfect-memory suite");
+        suites_json.push(suite_json("perfect", &suite, t.elapsed().as_secs_f64()));
+        Some(suite)
     } else {
         None
     };
     let realistic = if need_realistic {
-        Some(Suite::run_all_configs(MemoryModel::Realistic).expect("realistic-memory suite"))
+        let t = Instant::now();
+        let suite = Suite::run_all_configs(MemoryModel::Realistic).expect("realistic-memory suite");
+        suites_json.push(suite_json("realistic", &suite, t.elapsed().as_secs_f64()));
+        Some(suite)
     } else {
         None
     };
@@ -33,7 +94,13 @@ fn main() {
         if !failed.is_empty() {
             eprintln!("WARNING: {} runs failed their output checks", failed.len());
             for f in failed {
-                eprintln!("  {} / {} / {:?}: {:?}", f.config, f.benchmark.name(), f.variant, f.check_failures);
+                eprintln!(
+                    "  {} / {} / {:?}: {:?}",
+                    f.config,
+                    f.benchmark.name(),
+                    f.variant,
+                    f.check_failures
+                );
             }
         }
     }
@@ -88,9 +155,18 @@ fn main() {
             let r = realistic.as_ref().unwrap();
             println!("{}", vmv_core::render_table3(&vmv_core::table3(r)));
         }
-        other => {
-            eprintln!("unknown selector '{other}' (use table1|fig1|fig5a|fig5b|fig6|fig7|table3|all)");
+        _ => unreachable!("selector validated above"),
+    }
+
+    if let Some(path) = json_path {
+        let artifact = Json::Obj(vec![
+            ("name".into(), Json::str("repro_table2_matrix")),
+            ("suites".into(), Json::Arr(suites_json)),
+        ]);
+        if let Err(e) = std::fs::write(&path, artifact.render() + "\n") {
+            eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         }
+        eprintln!("wrote benchmark artifact to {path}");
     }
 }

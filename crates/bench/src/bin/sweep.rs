@@ -1,0 +1,198 @@
+//! Design-space exploration driver.
+//!
+//! ```text
+//! cargo run --release -p vmv-bench --bin sweep -- --demo
+//! cargo run --release -p vmv-bench --bin sweep -- --demo --threads 4 \
+//!     --out sweep_results.jsonl --json BENCH_sweep.json
+//! ```
+//!
+//! `--demo` expands a built-in specification of well over 100 distinct
+//! machine configurations (issue width × vector units × lanes × L2 size ×
+//! memory latency, under a lane-budget constraint), runs the GSM pair on
+//! every point in parallel, streams results to a JSONL store and prints the
+//! cost/cycles Pareto frontier plus a per-axis sensitivity summary.
+//! Re-running with the same `--out` file skips every completed run key.
+
+use vmv_kernels::Benchmark;
+use vmv_sweep::{
+    pareto_report, render_pareto, render_sensitivity, schedule_fingerprint, sensitivity, Axis,
+    ExecOptions, Json, ResultStore, SweepSpec,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep --demo [--threads N] [--out RESULTS.jsonl] [--json BENCH.json]\n\
+         \n\
+         --demo          run the built-in demonstration sweep\n\
+         --threads N     worker threads (default: one per core, max 16)\n\
+         --out PATH      JSONL result store (default: sweep_results.jsonl);\n\
+         \x20               completed run keys found there are skipped\n\
+         --json PATH     also write a BENCH-style JSON artifact (wall clock,\n\
+         \x20               cache counters, per-run cycles)"
+    );
+    std::process::exit(1)
+}
+
+/// The built-in demonstration sweep: 2 × 3 × 5 × 2 × 2 = 120 raw points,
+/// 112 after the lane-budget constraint, all distinct.
+fn demo_spec() -> SweepSpec {
+    SweepSpec::new()
+        .axis(Axis::issue_width(&[2, 4]))
+        .axis(Axis::vector_units(&[1, 2, 4]))
+        .axis(Axis::vector_lanes(&[1, 2, 4, 8, 16]))
+        .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
+        .axis(Axis::mem_latency(&[100, 500]))
+        .constraint("lane budget: units x lanes <= 32", |m, _| {
+            m.vector_units as u32 * m.vector_lanes <= 32
+        })
+}
+
+fn main() {
+    let mut demo = false;
+    let mut threads = 0usize;
+    let mut out_path = "sweep_results.jsonl".to_string();
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--demo" => demo = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if !demo {
+        usage();
+    }
+
+    let spec = demo_spec();
+    let expansion = spec.expand();
+    let benchmarks = vec![Benchmark::GsmDec, Benchmark::GsmEnc];
+    println!(
+        "expanded {} design points ({} raw, {} rejected by constraints, {} duplicates)",
+        expansion.points.len(),
+        expansion.raw,
+        expansion.rejected,
+        expansion.duplicates
+    );
+
+    // How many schedules the compile cache should perform if it memoizes
+    // perfectly: one per (benchmark, distinct schedule fingerprint).
+    let distinct_schedule_keys: std::collections::HashSet<String> = expansion
+        .points
+        .iter()
+        .map(|p| schedule_fingerprint(&p.machine))
+        .collect();
+    let expected_schedules = distinct_schedule_keys.len() * benchmarks.len();
+
+    let store = ResultStore::open(&out_path);
+    let opts = ExecOptions {
+        benchmarks: benchmarks.clone(),
+        workers: threads,
+    };
+    let report = match vmv_sweep::run_sweep(&expansion.points, &opts, Some(&store)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "ran {} simulations in {:.2}s ({} skipped as already completed in {})",
+        report.records.len(),
+        report.wall_seconds,
+        report.skipped,
+        out_path
+    );
+    println!(
+        "compile cache: {} schedules, {} hits (expected at most {} schedules = \
+         benchmarks x distinct schedule keys)",
+        report.cache.misses, report.cache.hits, expected_schedules
+    );
+    if report.skipped == 0 && report.cache.misses as usize != expected_schedules {
+        eprintln!(
+            "WARNING: schedule count {} != expected {} — compile memoization regressed",
+            report.cache.misses, expected_schedules
+        );
+    }
+    for (job, err) in &report.errors {
+        eprintln!("FAILED: {job}: {err}");
+    }
+
+    // Analyses run over the *whole* store, so an incremental invocation
+    // still reports the full picture.  Filter by the expansion's run keys:
+    // the store may also hold runs from other sweeps (or from older
+    // parameter defaults) whose design points merely share a display name.
+    let expected_keys: std::collections::HashSet<String> =
+        vmv_sweep::store::point_key_index(&expansion.points, &benchmarks)
+            .into_keys()
+            .collect();
+    let all_records: Vec<_> = match store.load() {
+        Ok(r) => r
+            .into_iter()
+            .filter(|r| expected_keys.contains(&r.key))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot re-read {out_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let failed = all_records.iter().filter(|r| !r.check_ok).count();
+    if failed > 0 {
+        eprintln!("WARNING: {failed} stored runs failed their output checks");
+    }
+
+    println!(
+        "\nPareto frontier (total cycles over {} benchmarks vs. hardware cost):",
+        benchmarks.len()
+    );
+    let entries = pareto_report(&expansion.points, &all_records);
+    print!("{}", render_pareto(&entries, 20));
+
+    println!("\nPer-axis sensitivity (cycle swing with all other axes held fixed):");
+    print!(
+        "{}",
+        render_sensitivity(&sensitivity(&expansion.points, &all_records))
+    );
+
+    if let Some(path) = json_path {
+        let artifact = Json::Obj(vec![
+            ("name".into(), Json::str("sweep_demo")),
+            ("wall_seconds".into(), Json::Num(report.wall_seconds)),
+            ("points".into(), Json::u64(expansion.points.len() as u64)),
+            ("runs".into(), Json::u64(report.records.len() as u64)),
+            ("skipped".into(), Json::u64(report.skipped as u64)),
+            ("schedules".into(), Json::u64(report.cache.misses)),
+            ("cache_hits".into(), Json::u64(report.cache.hits)),
+            (
+                "per_run".into(),
+                Json::Arr(
+                    all_records
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::str(&r.key)),
+                                ("config".into(), Json::str(&r.config)),
+                                ("benchmark".into(), Json::str(&r.benchmark)),
+                                ("cycles".into(), Json::u64(r.cycles)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(&path, artifact.render() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote benchmark artifact to {path}");
+    }
+}

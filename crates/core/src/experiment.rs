@@ -8,8 +8,14 @@
 //! configurations the Vector-µSIMD code.  Every run is checked against the
 //! golden reference outputs, so a timing result is only reported for a
 //! functionally correct execution.
+//!
+//! Compilation and simulation are exposed as *separate* steps ([`prepare`]
+//! and [`simulate`]): the static schedule depends only on the
+//! schedule-relevant machine parameters, so a design-space sweep (the
+//! `vmv-sweep` crate) can schedule a program once and re-simulate it across
+//! many memory-system variations.
 
-use vmv_kernels::{Benchmark, IsaVariant};
+use vmv_kernels::{Benchmark, BenchmarkBuild, IsaVariant};
 use vmv_machine::{IsaSupport, MachineConfig};
 use vmv_mem::MemoryModel;
 use vmv_sim::{RunStats, SimOptions, Simulator};
@@ -53,39 +59,77 @@ pub fn variant_for(machine: &MachineConfig) -> IsaVariant {
     }
 }
 
+/// A benchmark compiled for one machine: the static schedule plus the
+/// initial memory image and output checks.  Immutable once built, so it can
+/// be shared (e.g. behind an `Arc`) and re-simulated under many memory
+/// models without rescheduling.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub benchmark: Benchmark,
+    pub variant: IsaVariant,
+    pub build: BenchmarkBuild,
+    pub compiled: vmv_sched::Compiled,
+}
+
+/// Build the benchmark program and compile (schedule) it for `machine`.
+pub fn prepare(benchmark: Benchmark, machine: &MachineConfig) -> Result<Prepared, ExperimentError> {
+    let variant = variant_for(machine);
+    let build = benchmark.build(variant);
+    let compiled = vmv_sched::compile(&build.program, machine)
+        .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
+    Ok(Prepared {
+        benchmark,
+        variant,
+        build,
+        compiled,
+    })
+}
+
+/// Simulate an already-compiled benchmark on `machine` under `model`.
+///
+/// `machine` must agree with the configuration the program was scheduled
+/// for in every schedule-relevant parameter; the memory-hierarchy
+/// parameters (`machine.memory`) and the memory `model` are free to vary.
+pub fn simulate(
+    prepared: &Prepared,
+    machine: &MachineConfig,
+    model: MemoryModel,
+) -> Result<RunOutcome, ExperimentError> {
+    let mut sim = Simulator::new(
+        machine,
+        SimOptions {
+            memory_model: model,
+            mem_size: prepared.build.mem_size.max(1 << 20),
+            max_cycles: 2_000_000_000,
+        },
+    );
+    for (addr, bytes) in &prepared.build.init {
+        sim.mem.write_bytes(*addr, bytes);
+    }
+    let stats = sim
+        .run(&prepared.compiled.program)
+        .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
+    let check_failures = prepared
+        .build
+        .failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len));
+    Ok(RunOutcome {
+        config: machine.name.clone(),
+        benchmark: prepared.benchmark,
+        variant: prepared.variant,
+        memory_model: model,
+        stats,
+        check_failures,
+    })
+}
+
 /// Compile and simulate one benchmark on one machine configuration.
 pub fn run_one(
     benchmark: Benchmark,
     machine: &MachineConfig,
     model: MemoryModel,
 ) -> Result<RunOutcome, ExperimentError> {
-    let variant = variant_for(machine);
-    let build = benchmark.build(variant);
-    let compiled = vmv_sched::compile(&build.program, machine)
-        .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
-    let mut sim = Simulator::new(
-        machine,
-        SimOptions {
-            memory_model: model,
-            mem_size: build.mem_size.max(1 << 20),
-            max_cycles: 2_000_000_000,
-        },
-    );
-    for (addr, bytes) in &build.init {
-        sim.mem.write_bytes(*addr, bytes);
-    }
-    let stats = sim
-        .run(&compiled.program)
-        .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
-    let check_failures = build.failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len));
-    Ok(RunOutcome {
-        config: machine.name.clone(),
-        benchmark,
-        variant,
-        memory_model: model,
-        stats,
-        check_failures,
-    })
+    let prepared = prepare(benchmark, machine)?;
+    simulate(&prepared, machine, model)
 }
 
 /// The complete measurement matrix for one memory model: every benchmark on
@@ -97,41 +141,59 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Run all benchmarks on all configurations.  Benchmarks are distributed
-    /// across worker threads (the simulator is single-threaded per run).
+    /// Run all benchmarks on all configurations with an automatically chosen
+    /// worker count.
     pub fn run(machines: &[MachineConfig], model: MemoryModel) -> Result<Suite, ExperimentError> {
-        let mut jobs: Vec<(Benchmark, MachineConfig)> = Vec::new();
+        Suite::run_with_threads(machines, model, default_workers())
+    }
+
+    /// Run all benchmarks on all configurations, distributing the runs over
+    /// `workers` threads (the simulator is single-threaded per run).
+    ///
+    /// The outcome order is deterministic and independent of the worker
+    /// count: benchmark-major, then by position in `machines` (i.e. by
+    /// Table 2 machine index when called with [`vmv_machine::all_configs`]),
+    /// never by configuration-name string.
+    pub fn run_with_threads(
+        machines: &[MachineConfig],
+        model: MemoryModel,
+        workers: usize,
+    ) -> Result<Suite, ExperimentError> {
+        let mut jobs: Vec<(Benchmark, &MachineConfig)> = Vec::new();
         for &bench in &Benchmark::ALL {
             for m in machines {
-                jobs.push((bench, m.clone()));
+                jobs.push((bench, m));
             }
         }
-        let results: std::sync::Mutex<Vec<RunOutcome>> = std::sync::Mutex::new(Vec::new());
-        let errors: std::sync::Mutex<Vec<ExperimentError>> = std::sync::Mutex::new(Vec::new());
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-        crossbeam::scope(|scope| {
+        // One pre-assigned slot per job: the collected results are ordered
+        // by construction, no post-hoc sort needed.
+        let slots: Vec<std::sync::Mutex<Option<Result<RunOutcome, ExperimentError>>>> =
+            jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = workers.max(1);
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    let (bench, machine) = &jobs[i];
-                    match run_one(*bench, machine, model) {
-                        Ok(outcome) => results.lock().unwrap().push(outcome),
-                        Err(e) => errors.lock().unwrap().push(e),
-                    }
+                    let (bench, machine) = jobs[i];
+                    *slots[i].lock().unwrap() = Some(run_one(bench, machine, model));
                 });
             }
-        })
-        .expect("worker thread panicked");
-        let errors = errors.into_inner().unwrap();
-        if let Some(e) = errors.into_iter().next() {
-            return Err(e);
+        });
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        for slot in slots {
+            match slot
+                .into_inner()
+                .unwrap()
+                .expect("every job slot is filled")
+            {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(e) => return Err(e),
+            }
         }
-        let mut outcomes = results.into_inner().unwrap();
-        outcomes.sort_by(|a, b| (a.benchmark, a.config.clone()).cmp(&(b.benchmark, b.config.clone())));
         Ok(Suite { model, outcomes })
     }
 
@@ -142,11 +204,32 @@ impl Suite {
 
     /// Look up the outcome for a configuration (by name) and benchmark.
     pub fn get(&self, config: &str, benchmark: Benchmark) -> Option<&RunOutcome> {
-        self.outcomes.iter().find(|o| o.config == config && o.benchmark == benchmark)
+        self.outcomes
+            .iter()
+            .find(|o| o.config == config && o.benchmark == benchmark)
     }
 
     /// All outcomes with failed correctness checks.
     pub fn failed(&self) -> Vec<&RunOutcome> {
-        self.outcomes.iter().filter(|o| !o.check_failures.is_empty()).collect()
+        self.outcomes
+            .iter()
+            .filter(|o| !o.check_failures.is_empty())
+            .collect()
     }
+}
+
+/// Available parallelism clamped to `cap` (fallback 4 when the parallelism
+/// cannot be queried).  Shared by every worker pool in the workspace.
+pub fn workers_capped(cap: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cap.max(1))
+}
+
+/// Worker-thread count used by [`Suite::run`]: the available parallelism,
+/// capped at 8 (the matrix has at most 60 jobs; more threads only add
+/// contention).
+pub fn default_workers() -> usize {
+    workers_capped(8)
 }

@@ -16,12 +16,12 @@
 
 use std::collections::BTreeMap;
 
-use vmv_kernels::Benchmark;
 use vmv_isa::RegionId;
+use vmv_kernels::Benchmark;
 
 use crate::experiment::Suite;
 
-/// Geometric helpers -------------------------------------------------------
+// Geometric helpers --------------------------------------------------------
 
 fn ratio(reference: u64, value: u64) -> f64 {
     if value == 0 {
@@ -59,8 +59,14 @@ pub fn table1(suite: &Suite) -> Vec<Table1Row> {
             let outcome = suite.get("2w +uSIMD", bench);
             Table1Row {
                 benchmark: bench,
-                vectorization: outcome.map(|o| o.stats.vectorization_fraction()).unwrap_or(0.0),
-                regions: bench.vector_region_names().iter().map(|s| s.to_string()).collect(),
+                vectorization: outcome
+                    .map(|o| o.stats.vectorization_fraction())
+                    .unwrap_or(0.0),
+                regions: bench
+                    .vector_region_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
             }
         })
         .collect()
@@ -68,8 +74,12 @@ pub fn table1(suite: &Suite) -> Vec<Table1Row> {
 
 /// Render Table 1 as text.
 pub fn render_table1(rows: &[Table1Row]) -> String {
-    let mut out = String::from("Table 1: vector regions and % of execution time (2-issue +uSIMD)\n");
-    out.push_str(&format!("{:<12} {:>8}  {}\n", "Benchmark", "%Vect", "Vector regions"));
+    let mut out =
+        String::from("Table 1: vector regions and % of execution time (2-issue +uSIMD)\n");
+    out.push_str(&format!(
+        "{:<12} {:>8}  {}\n",
+        "Benchmark", "%Vect", "Vector regions"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<12} {:>7.2}%  {}\n",
@@ -100,7 +110,9 @@ pub fn fig1(suite: &Suite) -> Vec<Fig1Series> {
     Benchmark::ALL
         .iter()
         .map(|&bench| {
-            let base = suite.get(widths[0], bench).expect("2-issue µSIMD run present");
+            let base = suite
+                .get(widths[0], bench)
+                .expect("2-issue µSIMD run present");
             let mut series = Fig1Series {
                 benchmark: bench,
                 application: Vec::new(),
@@ -109,7 +121,9 @@ pub fn fig1(suite: &Suite) -> Vec<Fig1Series> {
             };
             for w in widths {
                 let o = suite.get(w, bench).expect("µSIMD run present");
-                series.application.push(ratio(base.stats.cycles(), o.stats.cycles()));
+                series
+                    .application
+                    .push(ratio(base.stats.cycles(), o.stats.cycles()));
                 series
                     .scalar_regions
                     .push(ratio(base.stats.scalar().cycles, o.stats.scalar().cycles));
@@ -137,8 +151,14 @@ pub struct Fig1Summary {
 
 /// Compute the §2 aggregate numbers from Figure 1 data plus Table 1.
 pub fn fig1_summary(series: &[Fig1Series], t1: &[Table1Row]) -> Fig1Summary {
-    let s24: Vec<f64> = series.iter().map(|s| s.scalar_regions[1] / s.scalar_regions[0]).collect();
-    let s48: Vec<f64> = series.iter().map(|s| s.scalar_regions[2] / s.scalar_regions[1]).collect();
+    let s24: Vec<f64> = series
+        .iter()
+        .map(|s| s.scalar_regions[1] / s.scalar_regions[0])
+        .collect();
+    let s48: Vec<f64> = series
+        .iter()
+        .map(|s| s.scalar_regions[2] / s.scalar_regions[1])
+        .collect();
     let v8: Vec<f64> = series.iter().map(|s| s.vector_regions[2]).collect();
     Fig1Summary {
         scalar_2_to_4: mean(&s24),
@@ -184,21 +204,35 @@ pub struct SpeedupChart {
 }
 
 fn speedup_chart(suite: &Suite, scope: &'static str, vector_only: bool) -> SpeedupChart {
-    let configs: Vec<String> = vmv_machine::all_configs().iter().map(|c| c.name.clone()).collect();
+    let configs: Vec<String> = vmv_machine::all_configs()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     let mut values = BTreeMap::new();
     for &bench in &Benchmark::ALL {
         let base = suite.get("2w VLIW", bench).expect("baseline run present");
-        let base_cycles =
-            if vector_only { base.stats.vector().cycles } else { base.stats.cycles() };
+        let base_cycles = if vector_only {
+            base.stats.vector().cycles
+        } else {
+            base.stats.cycles()
+        };
         let mut row = Vec::new();
         for cfg in &configs {
             let o = suite.get(cfg, bench).expect("configuration run present");
-            let cycles = if vector_only { o.stats.vector().cycles } else { o.stats.cycles() };
+            let cycles = if vector_only {
+                o.stats.vector().cycles
+            } else {
+                o.stats.cycles()
+            };
             row.push(ratio(base_cycles, cycles));
         }
         values.insert(bench, row);
     }
-    SpeedupChart { scope, configs, values }
+    SpeedupChart {
+        scope,
+        configs,
+        values,
+    }
 }
 
 /// Figure 5 (a or b depending on the suite's memory model): speed-up of the
@@ -262,7 +296,12 @@ pub fn fig7(suite: &Suite) -> Vec<Fig7Row> {
     Benchmark::ALL
         .iter()
         .map(|&bench| {
-            let base_ops = suite.get("2w VLIW", bench).expect("baseline").stats.total().operations;
+            let base_ops = suite
+                .get("2w VLIW", bench)
+                .expect("baseline")
+                .stats
+                .total()
+                .operations;
             let per_isa = isas
                 .iter()
                 .map(|cfg| {
@@ -276,7 +315,10 @@ pub fn fig7(suite: &Suite) -> Vec<Fig7Row> {
                     (cfg.to_string(), regions)
                 })
                 .collect();
-            Fig7Row { benchmark: bench, per_isa }
+            Fig7Row {
+                benchmark: bench,
+                per_isa,
+            }
         })
         .collect()
 }
@@ -318,9 +360,16 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
         out.push_str(&format!("{}\n", row.benchmark.name()));
         for (isa, regions) in &row.per_isa {
             let total: f64 = regions.iter().map(|(_, v)| v).sum();
-            let detail: Vec<String> =
-                regions.iter().map(|(id, v)| format!("R{}={:.3}", id.0, v)).collect();
-            out.push_str(&format!("  {:<12} total={:.3}  {}\n", isa, total, detail.join(" ")));
+            let detail: Vec<String> = regions
+                .iter()
+                .map(|(id, v)| format!("R{}={:.3}", id.0, v))
+                .collect();
+            out.push_str(&format!(
+                "  {:<12} total={:.3}  {}\n",
+                isa,
+                total,
+                detail.join(" ")
+            ));
         }
     }
     out
@@ -345,7 +394,10 @@ pub struct Table3Row {
 /// Compute Table 3: averages across the six benchmarks for every
 /// configuration, with speed-ups relative to the 2-issue VLIW.
 pub fn table3(suite: &Suite) -> Vec<Table3Row> {
-    let configs: Vec<String> = vmv_machine::all_configs().iter().map(|c| c.name.clone()).collect();
+    let configs: Vec<String> = vmv_machine::all_configs()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
     configs
         .iter()
         .map(|cfg| {
@@ -386,7 +438,9 @@ pub fn table3(suite: &Suite) -> Vec<Table3Row> {
 
 /// Render Table 3 as text.
 pub fn render_table3(rows: &[Table3Row]) -> String {
-    let mut out = String::from("Table 3: OPC / uOPC / speed-up per region class (averages over the six benchmarks)\n");
+    let mut out = String::from(
+        "Table 3: OPC / uOPC / speed-up per region class (averages over the six benchmarks)\n",
+    );
     out.push_str(&format!(
         "{:<14} | {:>6} {:>6} | {:>6} {:>7} {:>6} | {:>6} {:>7} {:>6}\n",
         "Config", "s.OPC", "s.SP", "v.OPC", "v.uOPC", "v.SP", "a.OPC", "a.uOPC", "a.SP"

@@ -12,7 +12,10 @@
 pub mod experiment;
 pub mod figures;
 
-pub use experiment::{run_one, variant_for, ExperimentError, RunOutcome, Suite};
+pub use experiment::{
+    default_workers, prepare, run_one, simulate, variant_for, workers_capped, ExperimentError,
+    Prepared, RunOutcome, Suite,
+};
 pub use figures::{
     chart_average, fig1, fig1_summary, fig5, fig6, fig7, fig7_summary, render_chart, render_fig1,
     render_fig7, render_table1, render_table3, table1, table3, Fig1Series, Fig1Summary, Fig7Row,
@@ -44,7 +47,12 @@ mod tests {
     fn usimd_and_vector_outperform_the_same_width_vliw() {
         let vliw = run_one(Benchmark::GsmEnc, &presets::vliw(2), MemoryModel::Perfect).unwrap();
         let usimd = run_one(Benchmark::GsmEnc, &presets::usimd(2), MemoryModel::Perfect).unwrap();
-        let vector = run_one(Benchmark::GsmEnc, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+        let vector = run_one(
+            Benchmark::GsmEnc,
+            &presets::vector2(2),
+            MemoryModel::Perfect,
+        )
+        .unwrap();
         assert!(usimd.stats.cycles() < vliw.stats.cycles());
         assert!(vector.stats.cycles() < usimd.stats.cycles());
         // and the vector ISA fetches fewer operations (paper §5.3)

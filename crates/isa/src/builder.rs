@@ -57,7 +57,10 @@ impl ProgramBuilder {
     pub fn begin_region(&mut self, id: u32, name: impl Into<String>) {
         let id = RegionId(id);
         if self.program.region_info(id).is_none() {
-            self.program.regions.push(RegionInfo { id, name: name.into() });
+            self.program.regions.push(RegionInfo {
+                id,
+                name: name.into(),
+            });
         }
         self.region = id;
         // Region boundaries always start a fresh block so cycle accounting
@@ -155,7 +158,9 @@ impl ProgramBuilder {
         if self.current.is_none() {
             self.label("entry");
         }
-        let idx = self.current.expect("a current block always exists after label()");
+        let idx = self
+            .current
+            .expect("a current block always exists after label()");
         self.program.blocks[idx].ops.push(op);
     }
 
@@ -270,7 +275,12 @@ impl ProgramBuilder {
     // ------------------------------------------------------- scalar memory
 
     pub fn load(&mut self, width: MemWidth, sign: Sign, dst: Reg, base: Reg, off: i64) {
-        self.emit(Op::new(Opcode::Load(width, sign)).with_dst(dst).with_srcs(&[base]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::Load(width, sign))
+                .with_dst(dst)
+                .with_srcs(&[base])
+                .with_imm(off),
+        );
     }
     pub fn ld8u(&mut self, dst: Reg, base: Reg, off: i64) {
         self.load(MemWidth::B1, Sign::Unsigned, dst, base, off);
@@ -295,7 +305,11 @@ impl ProgramBuilder {
     }
 
     pub fn store(&mut self, width: MemWidth, base: Reg, off: i64, val: Reg) {
-        self.emit(Op::new(Opcode::Store(width)).with_srcs(&[base, val]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::Store(width))
+                .with_srcs(&[base, val])
+                .with_imm(off),
+        );
     }
     pub fn st8(&mut self, base: Reg, off: i64, val: Reg) {
         self.store(MemWidth::B1, base, off, val);
@@ -314,12 +328,21 @@ impl ProgramBuilder {
 
     /// Conditional branch comparing two registers.
     pub fn br(&mut self, cond: BrCond, a: Reg, b: Reg, target: impl Into<String>) {
-        self.emit(Op::new(Opcode::Br(cond)).with_srcs(&[a, b]).with_target(target));
+        self.emit(
+            Op::new(Opcode::Br(cond))
+                .with_srcs(&[a, b])
+                .with_target(target),
+        );
     }
 
     /// Conditional branch comparing a register against an immediate.
     pub fn br_imm(&mut self, cond: BrCond, a: Reg, imm: i64, target: impl Into<String>) {
-        self.emit(Op::new(Opcode::Br(cond)).with_srcs(&[a]).with_imm(imm).with_target(target));
+        self.emit(
+            Op::new(Opcode::Br(cond))
+                .with_srcs(&[a])
+                .with_imm(imm)
+                .with_target(target),
+        );
     }
 
     pub fn beq(&mut self, a: Reg, b: Reg, target: impl Into<String>) {
@@ -369,19 +392,36 @@ impl ProgramBuilder {
     // ------------------------------------------------------------- µSIMD
 
     pub fn pload(&mut self, dst: Reg, base: Reg, off: i64) {
-        self.emit(Op::new(Opcode::PLoad).with_dst(dst).with_srcs(&[base]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::PLoad)
+                .with_dst(dst)
+                .with_srcs(&[base])
+                .with_imm(off),
+        );
     }
     pub fn pstore(&mut self, base: Reg, off: i64, val: Reg) {
-        self.emit(Op::new(Opcode::PStore).with_srcs(&[base, val]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::PStore)
+                .with_srcs(&[base, val])
+                .with_imm(off),
+        );
     }
     pub fn pmov(&mut self, dst: Reg, src: Reg) {
         self.emit(Op::new(Opcode::PMov).with_dst(dst).with_srcs(&[src]));
     }
     pub fn int_to_simd(&mut self, dst: Reg, src: Reg) {
-        self.emit(Op::new(Opcode::MovIntToSimd).with_dst(dst).with_srcs(&[src]));
+        self.emit(
+            Op::new(Opcode::MovIntToSimd)
+                .with_dst(dst)
+                .with_srcs(&[src]),
+        );
     }
     pub fn simd_to_int(&mut self, dst: Reg, src: Reg) {
-        self.emit(Op::new(Opcode::MovSimdToInt).with_dst(dst).with_srcs(&[src]));
+        self.emit(
+            Op::new(Opcode::MovSimdToInt)
+                .with_dst(dst)
+                .with_srcs(&[src]),
+        );
     }
     pub fn psplat(&mut self, e: Elem, dst: Reg, src: Reg) {
         self.emit(Op::new(Opcode::PSplat(e)).with_dst(dst).with_srcs(&[src]));
@@ -458,10 +498,18 @@ impl ProgramBuilder {
         self.bin(Opcode::PUnpackHi(e), dst, a, b);
     }
     pub fn pwiden_lo(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
-        self.emit(Op::new(Opcode::PWidenLo(e, sign)).with_dst(dst).with_srcs(&[a]));
+        self.emit(
+            Op::new(Opcode::PWidenLo(e, sign))
+                .with_dst(dst)
+                .with_srcs(&[a]),
+        );
     }
     pub fn pwiden_hi(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
-        self.emit(Op::new(Opcode::PWidenHi(e, sign)).with_dst(dst).with_srcs(&[a]));
+        self.emit(
+            Op::new(Opcode::PWidenHi(e, sign))
+                .with_dst(dst)
+                .with_srcs(&[a]),
+        );
     }
     pub fn pcmp_eq(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
         self.bin(Opcode::PCmpEq(e), dst, a, b);
@@ -475,7 +523,10 @@ impl ProgramBuilder {
     pub fn pinsert(&mut self, e: Elem, dst: Reg, src: Reg, lane: i64) {
         // dst is read-modify-write: the untouched lanes are preserved.
         self.emit(
-            Op::new(Opcode::PInsert(e)).with_dst(dst).with_srcs(&[dst, src]).with_imm(lane),
+            Op::new(Opcode::PInsert(e))
+                .with_dst(dst)
+                .with_srcs(&[dst, src])
+                .with_imm(lane),
         );
     }
 
@@ -485,7 +536,11 @@ impl ProgramBuilder {
     /// vector operations carry an exact `vl_hint`).
     pub fn setvl(&mut self, vl: u32) {
         self.known_vl = Some(vl);
-        self.emit(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(vl as i64));
+        self.emit(
+            Op::new(Opcode::SetVL)
+                .with_dst(Reg::vl())
+                .with_imm(vl as i64),
+        );
     }
     /// Set the vector length from a register (the scheduler will assume the
     /// maximum vector length, paper §3.3).
@@ -497,7 +552,11 @@ impl ProgramBuilder {
     /// vector memory access) from an immediate.
     pub fn setvs(&mut self, stride_bytes: i64) {
         self.known_vs = Some(stride_bytes);
-        self.emit(Op::new(Opcode::SetVS).with_dst(Reg::vs()).with_imm(stride_bytes));
+        self.emit(
+            Op::new(Opcode::SetVS)
+                .with_dst(Reg::vs())
+                .with_imm(stride_bytes),
+        );
     }
     /// Set the vector stride from a register.
     pub fn setvs_reg(&mut self, src: Reg) {
@@ -506,10 +565,19 @@ impl ProgramBuilder {
     }
 
     pub fn vload(&mut self, dst: Reg, base: Reg, off: i64) {
-        self.emit(Op::new(Opcode::VLoad).with_dst(dst).with_srcs(&[base]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::VLoad)
+                .with_dst(dst)
+                .with_srcs(&[base])
+                .with_imm(off),
+        );
     }
     pub fn vstore(&mut self, base: Reg, off: i64, val: Reg) {
-        self.emit(Op::new(Opcode::VStore).with_srcs(&[base, val]).with_imm(off));
+        self.emit(
+            Op::new(Opcode::VStore)
+                .with_srcs(&[base, val])
+                .with_imm(off),
+        );
     }
     pub fn vmov(&mut self, dst: Reg, src: Reg) {
         self.emit(Op::new(Opcode::VMov).with_dst(dst).with_srcs(&[src]));
@@ -587,10 +655,18 @@ impl ProgramBuilder {
         self.bin(Opcode::VUnpackHi(e), dst, a, b);
     }
     pub fn vwiden_lo(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
-        self.emit(Op::new(Opcode::VWidenLo(e, sign)).with_dst(dst).with_srcs(&[a]));
+        self.emit(
+            Op::new(Opcode::VWidenLo(e, sign))
+                .with_dst(dst)
+                .with_srcs(&[a]),
+        );
     }
     pub fn vwiden_hi(&mut self, e: Elem, sign: Sign, dst: Reg, a: Reg) {
-        self.emit(Op::new(Opcode::VWidenHi(e, sign)).with_dst(dst).with_srcs(&[a]));
+        self.emit(
+            Op::new(Opcode::VWidenHi(e, sign))
+                .with_dst(dst)
+                .with_srcs(&[a]),
+        );
     }
     pub fn vcmp_eq(&mut self, e: Elem, dst: Reg, a: Reg, b: Reg) {
         self.bin(Opcode::VCmpEq(e), dst, a, b);
@@ -602,7 +678,12 @@ impl ProgramBuilder {
         self.bin_imm(Opcode::VExtract, dst, v, word);
     }
     pub fn vinsert(&mut self, dst: Reg, src: Reg, word: i64) {
-        self.emit(Op::new(Opcode::VInsert).with_dst(dst).with_srcs(&[dst, src]).with_imm(word));
+        self.emit(
+            Op::new(Opcode::VInsert)
+                .with_dst(dst)
+                .with_srcs(&[dst, src])
+                .with_imm(word),
+        );
     }
 
     // -------------------------------------------------------- accumulators
@@ -611,10 +692,18 @@ impl ProgramBuilder {
         self.emit(Op::new(Opcode::AccClear).with_dst(acc));
     }
     pub fn vsad_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
-        self.emit(Op::new(Opcode::VSadAcc).with_dst(acc).with_srcs(&[acc, a, b]));
+        self.emit(
+            Op::new(Opcode::VSadAcc)
+                .with_dst(acc)
+                .with_srcs(&[acc, a, b]),
+        );
     }
     pub fn vmac_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
-        self.emit(Op::new(Opcode::VMacAcc).with_dst(acc).with_srcs(&[acc, a, b]));
+        self.emit(
+            Op::new(Opcode::VMacAcc)
+                .with_dst(acc)
+                .with_srcs(&[acc, a, b]),
+        );
     }
     pub fn vadd_acc(&mut self, acc: Reg, a: Reg) {
         self.emit(Op::new(Opcode::VAddAcc).with_dst(acc).with_srcs(&[acc, a]));
@@ -623,7 +712,12 @@ impl ProgramBuilder {
         self.emit(Op::new(Opcode::AccReduce).with_dst(dst).with_srcs(&[acc]));
     }
     pub fn acc_pack_shr_h(&mut self, dst: Reg, acc: Reg, shift: i64) {
-        self.emit(Op::new(Opcode::AccPackShrH).with_dst(dst).with_srcs(&[acc]).with_imm(shift));
+        self.emit(
+            Op::new(Opcode::AccPackShrH)
+                .with_dst(dst)
+                .with_srcs(&[acc])
+                .with_imm(shift),
+        );
     }
 }
 
@@ -655,7 +749,11 @@ mod tests {
         let p = b.finish();
         // entry + loop head + exit blocks
         assert!(p.blocks.len() >= 3);
-        let head = p.blocks.iter().find(|blk| blk.label.starts_with("sum_head")).unwrap();
+        let head = p
+            .blocks
+            .iter()
+            .find(|blk| blk.label.starts_with("sum_head"))
+            .unwrap();
         assert!(head.terminator().is_some());
     }
 
@@ -668,7 +766,11 @@ mod tests {
         b.setvs(8);
         b.vload(v, base, 0);
         let p = b.finish();
-        let vload = p.iter_ops().map(|(_, o)| o).find(|o| o.opcode == Opcode::VLoad).unwrap();
+        let vload = p
+            .iter_ops()
+            .map(|(_, o)| o)
+            .find(|o| o.opcode == Opcode::VLoad)
+            .unwrap();
         assert_eq!(vload.vl_hint, Some(8));
         assert_eq!(vload.vs_hint, Some(8));
     }
@@ -683,7 +785,11 @@ mod tests {
         let v = b.rv();
         b.vload(v, base, 0);
         let p = b.finish();
-        let vload = p.iter_ops().map(|(_, o)| o).find(|o| o.opcode == Opcode::VLoad).unwrap();
+        let vload = p
+            .iter_ops()
+            .map(|(_, o)| o)
+            .find(|o| o.opcode == Opcode::VLoad)
+            .unwrap();
         assert_eq!(vload.vl_hint, None);
     }
 
@@ -700,7 +806,11 @@ mod tests {
         let region_ids = p.region_ids();
         assert!(region_ids.contains(&crate::program::RegionId(1)));
         // the op inside the region must be in a block tagged with region 1
-        let blk = p.blocks.iter().find(|blk| blk.region == crate::program::RegionId(1)).unwrap();
+        let blk = p
+            .blocks
+            .iter()
+            .find(|blk| blk.region == crate::program::RegionId(1))
+            .unwrap();
         assert_eq!(blk.ops.len(), 1);
     }
 
@@ -727,7 +837,10 @@ mod tests {
         b.vinsert(v, s, 3);
         let p = b.finish();
         let ops: Vec<_> = p.iter_ops().map(|(_, o)| o.clone()).collect();
-        let pins = ops.iter().find(|o| matches!(o.opcode, Opcode::PInsert(_))).unwrap();
+        let pins = ops
+            .iter()
+            .find(|o| matches!(o.opcode, Opcode::PInsert(_)))
+            .unwrap();
         assert!(pins.srcs.contains(&s));
         let vins = ops.iter().find(|o| o.opcode == Opcode::VInsert).unwrap();
         assert!(vins.srcs.contains(&v));

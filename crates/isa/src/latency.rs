@@ -27,7 +27,12 @@ impl LatencyDescriptor {
     /// Descriptor of a fully pipelined scalar operation with flow latency
     /// `l` (Fig. 3a: `Ter = Tlr = Tew = 0`, `Tlw = L`).
     pub fn scalar(l: u32) -> Self {
-        LatencyDescriptor { earliest_read: 0, latest_read: 0, earliest_write: 0, latest_write: l }
+        LatencyDescriptor {
+            earliest_read: 0,
+            latest_read: 0,
+            earliest_write: 0,
+            latest_write: l,
+        }
     }
 
     /// Descriptor of a vector operation with sub-operation flow latency `l`,

@@ -294,9 +294,7 @@ impl Opcode {
             Store(..) | PStore => LatClass::Store,
             Br(_) | Jump => LatClass::Branch,
             SetVL | SetVS => LatClass::Ctrl,
-            PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) => {
-                LatClass::SimdMul
-            }
+            PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) => LatClass::SimdMul,
             PMov | MovIntToSimd | MovSimdToInt | PSplat(_) | PAdd(..) | PSub(..) | PAvg(_)
             | PMin(..) | PMax(..) | PAbsDiff(_) | PSad | PAnd | POr | PXor | PAndNot | PShl(_)
             | PShrL(_) | PShrA(_) | PPack(..) | PUnpackLo(_) | PUnpackHi(_) | PWidenLo(..)
@@ -307,9 +305,10 @@ impl Opcode {
             }
             VMov | VSplat(_) | VAdd(..) | VSub(..) | VAvg(_) | VMin(..) | VMax(..)
             | VAbsDiff(_) | VAnd | VOr | VXor | VShl(_) | VShrL(_) | VShrA(_) | VPack(..)
-            | VUnpackLo(_) | VUnpackHi(_) | VWidenLo(..) | VWidenHi(..) | VCmpEq(_)
-            | VCmpGt(_) | VExtract | VInsert | AccClear | VSadAcc | VAddAcc | AccReduce
-            | AccPackShrH => LatClass::VecAlu,
+            | VUnpackLo(_) | VUnpackHi(_) | VWidenLo(..) | VWidenHi(..) | VCmpEq(_) | VCmpGt(_)
+            | VExtract | VInsert | AccClear | VSadAcc | VAddAcc | AccReduce | AccPackShrH => {
+                LatClass::VecAlu
+            }
         }
     }
 
@@ -443,17 +442,47 @@ impl Opcode {
         let vl = vl.max(1) as u64;
         match self {
             // µSIMD packed arithmetic: lanes of the element width.
-            PAdd(e, _) | PSub(e, _) | PMulLo(e) | PMulHi(e) | PAvg(e) | PMin(e, _)
-            | PMax(e, _) | PAbsDiff(e) | PShl(e) | PShrL(e) | PShrA(e) | PPack(e, _)
-            | PUnpackLo(e) | PUnpackHi(e) | PWidenLo(e, _) | PWidenHi(e, _) | PCmpEq(e)
-            | PCmpGt(e) | PSplat(e) => e.lanes() as u64,
+            PAdd(e, _)
+            | PSub(e, _)
+            | PMulLo(e)
+            | PMulHi(e)
+            | PAvg(e)
+            | PMin(e, _)
+            | PMax(e, _)
+            | PAbsDiff(e)
+            | PShl(e)
+            | PShrL(e)
+            | PShrA(e)
+            | PPack(e, _)
+            | PUnpackLo(e)
+            | PUnpackHi(e)
+            | PWidenLo(e, _)
+            | PWidenHi(e, _)
+            | PCmpEq(e)
+            | PCmpGt(e)
+            | PSplat(e) => e.lanes() as u64,
             PMAdd | PMulWidenEven(_) | PMulWidenOdd(_) => 4,
             PSad | PAnd | POr | PXor | PAndNot => 8,
             // Vector packed arithmetic: vl × lanes.
-            VAdd(e, _) | VSub(e, _) | VMulLo(e) | VMulHi(e) | VAvg(e) | VMin(e, _)
-            | VMax(e, _) | VAbsDiff(e) | VShl(e) | VShrL(e) | VShrA(e) | VPack(e, _)
-            | VUnpackLo(e) | VUnpackHi(e) | VWidenLo(e, _) | VWidenHi(e, _) | VCmpEq(e)
-            | VCmpGt(e) | VSplat(e) => vl * e.lanes() as u64,
+            VAdd(e, _)
+            | VSub(e, _)
+            | VMulLo(e)
+            | VMulHi(e)
+            | VAvg(e)
+            | VMin(e, _)
+            | VMax(e, _)
+            | VAbsDiff(e)
+            | VShl(e)
+            | VShrL(e)
+            | VShrA(e)
+            | VPack(e, _)
+            | VUnpackLo(e)
+            | VUnpackHi(e)
+            | VWidenLo(e, _)
+            | VWidenHi(e, _)
+            | VCmpEq(e)
+            | VCmpGt(e)
+            | VSplat(e) => vl * e.lanes() as u64,
             VMAdd | VMulWidenEven(_) | VMulWidenOdd(_) => vl * 4,
             VAnd | VOr | VXor | VMov => vl,
             VSadAcc => vl * 8,
@@ -521,7 +550,10 @@ mod tests {
     #[test]
     fn dst_classes() {
         assert_eq!(Opcode::IAdd.dst_class(), Some(RegClass::Int));
-        assert_eq!(Opcode::PAdd(Elem::B, Sat::Wrap).dst_class(), Some(RegClass::Simd));
+        assert_eq!(
+            Opcode::PAdd(Elem::B, Sat::Wrap).dst_class(),
+            Some(RegClass::Simd)
+        );
         assert_eq!(Opcode::VLoad.dst_class(), Some(RegClass::Vec));
         assert_eq!(Opcode::VSadAcc.dst_class(), Some(RegClass::Acc));
         assert_eq!(Opcode::AccReduce.dst_class(), Some(RegClass::Int));

@@ -379,7 +379,9 @@ pub fn pwiden_hi_s(e: Elem, a: u64) -> u64 {
         Elem::W => panic!("cannot widen 32-bit elements"),
     };
     let half = e.lanes() / 2;
-    from_lanes(wide, |i| (lane_s(a, e, half + i) as u64) & mask(wide.bits()))
+    from_lanes(wide, |i| {
+        (lane_s(a, e, half + i) as u64) & mask(wide.bits())
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -426,7 +428,10 @@ pub fn pack_i32x2(v: [i32; 2]) -> u64 {
 
 /// Unpack a 64-bit word into two signed 32-bit values.
 pub fn unpack_i32x2(x: u64) -> [i32; 2] {
-    [lane_u(x, Elem::W, 0) as u32 as i32, lane_u(x, Elem::W, 1) as u32 as i32]
+    [
+        lane_u(x, Elem::W, 0) as u32 as i32,
+        lane_u(x, Elem::W, 1) as u32 as i32,
+    ]
 }
 
 #[cfg(test)]
@@ -508,7 +513,7 @@ mod tests {
         let a = pack_i16x4([1, 2, 3, 4]);
         let b = pack_i16x4([5, 6, 7, 8]);
         let r = pmadd_h(a, b);
-        assert_eq!(unpack_i32x2(r), [1 * 5 + 2 * 6, 3 * 7 + 4 * 8]);
+        assert_eq!(unpack_i32x2(r), [5 + 2 * 6, 3 * 7 + 4 * 8]);
     }
 
     #[test]
@@ -555,10 +560,7 @@ mod tests {
         let a = pack_i16x4([300, -300, 100, -100]);
         let b = pack_i16x4([0, 255, 256, -1]);
         let packed_u = ppack(Elem::H, Sign::Unsigned, a, b);
-        assert_eq!(
-            unpack_u8x8(packed_u),
-            [255, 0, 100, 0, 0, 255, 255, 0]
-        );
+        assert_eq!(unpack_u8x8(packed_u), [255, 0, 100, 0, 0, 255, 255, 0]);
         let packed_s = ppack(Elem::H, Sign::Signed, a, b);
         assert_eq!(lane_s(packed_s, Elem::B, 0), 127);
         assert_eq!(lane_s(packed_s, Elem::B, 1), -128);

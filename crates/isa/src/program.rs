@@ -151,12 +151,18 @@ pub struct BasicBlock {
 
 impl BasicBlock {
     pub fn new(label: impl Into<String>, region: RegionId) -> Self {
-        BasicBlock { label: label.into(), region, ops: Vec::new() }
+        BasicBlock {
+            label: label.into(),
+            region,
+            ops: Vec::new(),
+        }
     }
 
     /// The terminating branch of the block, if it ends in one.
     pub fn terminator(&self) -> Option<&Op> {
-        self.ops.last().filter(|op| op.opcode.is_branch() || op.opcode == Opcode::Halt)
+        self.ops
+            .last()
+            .filter(|op| op.opcode.is_branch() || op.opcode == Opcode::Halt)
     }
 }
 
@@ -174,13 +180,20 @@ impl Program {
         Program {
             name: name.into(),
             blocks: Vec::new(),
-            regions: vec![RegionInfo { id: RegionId::SCALAR, name: "scalar".to_string() }],
+            regions: vec![RegionInfo {
+                id: RegionId::SCALAR,
+                name: "scalar".to_string(),
+            }],
         }
     }
 
     /// Map from label to block id.
     pub fn label_map(&self) -> HashMap<&str, BlockId> {
-        self.blocks.iter().enumerate().map(|(i, b)| (b.label.as_str(), i)).collect()
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.label.as_str(), i))
+            .collect()
     }
 
     /// Find the block with the given label.
@@ -211,7 +224,10 @@ impl Program {
 
     /// Iterate over every operation in the program together with its block.
     pub fn iter_ops(&self) -> impl Iterator<Item = (BlockId, &Op)> {
-        self.blocks.iter().enumerate().flat_map(|(i, b)| b.ops.iter().map(move |o| (i, o)))
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| b.ops.iter().map(move |o| (i, o)))
     }
 }
 
@@ -237,8 +253,10 @@ mod tests {
     fn tiny_program() -> Program {
         let mut p = Program::new("tiny");
         let mut b0 = BasicBlock::new("entry", RegionId::SCALAR);
-        b0.ops.push(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(5));
-        b0.ops.push(Op::new(Opcode::MovI).with_dst(Reg::int(1)).with_imm(0));
+        b0.ops
+            .push(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(5));
+        b0.ops
+            .push(Op::new(Opcode::MovI).with_dst(Reg::int(1)).with_imm(0));
         let mut b1 = BasicBlock::new("loop", RegionId(1));
         b1.ops.push(
             Op::new(Opcode::IAdd)
@@ -253,7 +271,10 @@ mod tests {
         let mut b2 = BasicBlock::new("exit", RegionId::SCALAR);
         b2.ops.push(Op::new(Opcode::Halt));
         p.blocks = vec![b0, b1, b2];
-        p.regions.push(RegionInfo { id: RegionId(1), name: "loop region".into() });
+        p.regions.push(RegionInfo {
+            id: RegionId(1),
+            name: "loop region".into(),
+        });
         p
     }
 
@@ -273,7 +294,9 @@ mod tests {
         assert_eq!(op.reads(), vec![Reg::int(0), Reg::int(1)]);
         assert_eq!(op.writes(), Some(Reg::int(2)));
 
-        let vop = Op::new(Opcode::VLoad).with_dst(Reg::vec(0)).with_srcs(&[Reg::int(3)]);
+        let vop = Op::new(Opcode::VLoad)
+            .with_dst(Reg::vec(0))
+            .with_srcs(&[Reg::int(3)]);
         let reads = vop.reads();
         assert!(reads.contains(&Reg::vl()));
         assert!(reads.contains(&Reg::vs()));

@@ -39,8 +39,13 @@ pub enum RegClass {
 impl RegClass {
     /// All register classes, in a fixed order (useful for iteration in the
     /// register allocator and the simulator).
-    pub const ALL: [RegClass; 5] =
-        [RegClass::Int, RegClass::Simd, RegClass::Vec, RegClass::Acc, RegClass::Ctrl];
+    pub const ALL: [RegClass; 5] = [
+        RegClass::Int,
+        RegClass::Simd,
+        RegClass::Vec,
+        RegClass::Acc,
+        RegClass::Ctrl,
+    ];
 
     /// Short prefix used when printing registers (`r`, `s`, `v`, `a`, `c`).
     pub fn prefix(self) -> &'static str {
@@ -160,7 +165,12 @@ mod tests {
 
     #[test]
     fn regfile_counts() {
-        let sizes = RegFileSizes { int: 64, simd: 0, vec: 20, acc: 4 };
+        let sizes = RegFileSizes {
+            int: 64,
+            simd: 0,
+            vec: 20,
+            acc: 4,
+        };
         assert_eq!(sizes.count(RegClass::Int), 64);
         assert_eq!(sizes.count(RegClass::Vec), 20);
         assert_eq!(sizes.count(RegClass::Ctrl), 2);

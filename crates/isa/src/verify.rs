@@ -59,7 +59,11 @@ pub fn verify_program(program: &Program) -> Vec<VerifyError> {
     for block in &program.blocks {
         for (i, op) in block.ops.iter().enumerate() {
             let mut err = |message: String| {
-                errors.push(VerifyError { block: block.label.clone(), op_index: i, message });
+                errors.push(VerifyError {
+                    block: block.label.clone(),
+                    op_index: i,
+                    message,
+                });
             };
 
             // Control operations may only appear as the last operation of a
@@ -97,10 +101,10 @@ pub fn verify_program(program: &Program) -> Vec<VerifyError> {
 
             // Source sanity for a few structurally important opcodes.
             match op.opcode {
-                Opcode::Load(..) | Opcode::PLoad | Opcode::VLoad => {
-                    if op.srcs.first().map(|r| r.class) != Some(RegClass::Int) {
-                        err("memory operation needs an integer base address register".into());
-                    }
+                Opcode::Load(..) | Opcode::PLoad | Opcode::VLoad
+                    if op.srcs.first().map(|r| r.class) != Some(RegClass::Int) =>
+                {
+                    err("memory operation needs an integer base address register".into());
                 }
                 Opcode::Store(..) | Opcode::PStore | Opcode::VStore => {
                     if op.srcs.first().map(|r| r.class) != Some(RegClass::Int) {
@@ -110,20 +114,16 @@ pub fn verify_program(program: &Program) -> Vec<VerifyError> {
                         err("store needs a value register".into());
                     }
                 }
-                Opcode::MovI => {
-                    if op.imm.is_none() {
-                        err("movi needs an immediate".into());
-                    }
+                Opcode::MovI if op.imm.is_none() => {
+                    err("movi needs an immediate".into());
                 }
-                Opcode::SetVL | Opcode::SetVS => {
-                    if op.imm.is_none() && op.srcs.is_empty() {
-                        err("setvl/setvs needs an immediate or a source register".into());
-                    }
+                Opcode::SetVL | Opcode::SetVS if op.imm.is_none() && op.srcs.is_empty() => {
+                    err("setvl/setvs needs an immediate or a source register".into());
                 }
-                Opcode::VSadAcc | Opcode::VMacAcc => {
-                    if op.srcs.len() != 3 || op.srcs[0].class != RegClass::Acc {
-                        err("accumulator op needs (acc, vec, vec) sources".into());
-                    }
+                Opcode::VSadAcc | Opcode::VMacAcc
+                    if (op.srcs.len() != 3 || op.srcs[0].class != RegClass::Acc) =>
+                {
+                    err("accumulator op needs (acc, vec, vec) sources".into());
                 }
                 _ => {}
             }
@@ -192,7 +192,11 @@ mod tests {
     fn wrong_dst_class_is_reported() {
         let mut p = Program::new("bad");
         let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
-        blk.ops.push(Op::new(Opcode::IAdd).with_dst(Reg::simd(0)).with_srcs(&[Reg::int(0), Reg::int(1)]));
+        blk.ops.push(
+            Op::new(Opcode::IAdd)
+                .with_dst(Reg::simd(0))
+                .with_srcs(&[Reg::int(0), Reg::int(1)]),
+        );
         p.blocks.push(blk);
         let errs = verify_program(&p);
         assert!(errs.iter().any(|e| e.message.contains("expected")));
@@ -202,7 +206,8 @@ mod tests {
     fn store_without_value_is_reported() {
         let mut p = Program::new("bad");
         let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
-        blk.ops.push(Op::new(Opcode::Store(crate::opcode::MemWidth::B4)).with_srcs(&[Reg::int(0)]));
+        blk.ops
+            .push(Op::new(Opcode::Store(crate::opcode::MemWidth::B4)).with_srcs(&[Reg::int(0)]));
         p.blocks.push(blk);
         let errs = verify_program(&p);
         assert!(errs.iter().any(|e| e.message.contains("value register")));
@@ -221,7 +226,8 @@ mod tests {
         let mut p = Program::new("bad");
         let mut blk = BasicBlock::new("entry", RegionId::SCALAR);
         blk.ops.push(Op::new(Opcode::Jump).with_target("entry"));
-        blk.ops.push(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(1));
+        blk.ops
+            .push(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(1));
         p.blocks.push(blk);
         let errs = verify_program(&p);
         assert!(errs.iter().any(|e| e.message.contains("not the last")));

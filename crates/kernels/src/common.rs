@@ -43,7 +43,10 @@ impl Layout {
     /// Create a layout starting at a small offset (address 0 is kept
     /// unmapped to catch stray null-pointer style bugs in kernels).
     pub fn new() -> Self {
-        Layout { next: 0x1000, symbols: Vec::new() }
+        Layout {
+            next: 0x1000,
+            symbols: Vec::new(),
+        }
     }
 
     /// Allocate `size` bytes aligned to `align` and record it under `name`.
@@ -88,9 +91,17 @@ impl Layout {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OutputCheck {
     /// The bytes at `addr` must equal `expect` exactly.
-    Bytes { name: String, addr: u64, expect: Vec<u8> },
+    Bytes {
+        name: String,
+        addr: u64,
+        expect: Vec<u8>,
+    },
     /// The little-endian u32 at `addr` must equal `expect`.
-    Word { name: String, addr: u64, expect: u32 },
+    Word {
+        name: String,
+        addr: u64,
+        expect: u32,
+    },
 }
 
 impl OutputCheck {
@@ -176,13 +187,21 @@ mod tests {
             program: Program::new("t"),
             init: vec![],
             checks: vec![
-                OutputCheck::Word { name: "sum".into(), addr: 0, expect: 42 },
-                OutputCheck::Bytes { name: "buf".into(), addr: 8, expect: vec![1, 2, 3] },
+                OutputCheck::Word {
+                    name: "sum".into(),
+                    addr: 0,
+                    expect: 42,
+                },
+                OutputCheck::Bytes {
+                    name: "buf".into(),
+                    addr: 8,
+                    expect: vec![1, 2, 3],
+                },
             ],
             mem_size: 64,
         };
         let mem = |addr: u64, len: usize| -> Vec<u8> {
-            let mut m = vec![0u8; 64];
+            let mut m = [0u8; 64];
             m[0] = 42;
             m[8] = 1;
             m[9] = 2;

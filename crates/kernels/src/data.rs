@@ -9,8 +9,7 @@
 //! correlation structure).  All generators are deterministic (fixed seeds)
 //! so every experiment is exactly reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A synthetic planar image (one byte per sample).
 #[derive(Debug, Clone)]
@@ -34,17 +33,21 @@ impl Plane {
 
 /// Generate a smooth gradient plus texture noise image plane.
 pub fn synth_plane(width: usize, height: usize, seed: u64) -> Plane {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut data = Vec::with_capacity(width * height);
     for y in 0..height {
         for x in 0..width {
             let gradient = (x * 200 / width.max(1) + y * 55 / height.max(1)) as i32;
             let texture = ((x / 4 + y / 4) % 2) as i32 * 24;
-            let noise: i32 = rng.gen_range(-8..=8);
+            let noise: i32 = rng.gen_range_i64(-8, 8) as i32;
             data.push((gradient + texture + noise).clamp(0, 255) as u8);
         }
     }
-    Plane { width, height, data }
+    Plane {
+        width,
+        height,
+        data,
+    }
 }
 
 /// Generate the three planes of an RGB image (stored planar, R then G then B).
@@ -67,24 +70,31 @@ pub fn synth_frame_pair(
     seed: u64,
 ) -> (Plane, Plane) {
     let reference = synth_plane(width, height, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
     let mut cur = vec![0u8; width * height];
     for y in 0..height {
         for x in 0..width {
             let sx = (x as isize + dx).clamp(0, width as isize - 1) as usize;
             let sy = (y as isize + dy).clamp(0, height as isize - 1) as usize;
-            let noise: i32 = rng.gen_range(-3..=3);
+            let noise: i32 = rng.gen_range_i64(-3, 3) as i32;
             cur[y * width + x] = (reference.at(sx, sy) as i32 + noise).clamp(0, 255) as u8;
         }
     }
-    (reference, Plane { width, height, data: cur })
+    (
+        reference,
+        Plane {
+            width,
+            height,
+            data: cur,
+        },
+    )
 }
 
 /// Generate `n` 16-bit speech-like samples: a sum of a few low-frequency
 /// sinusoids (approximated with integer arithmetic) plus noise, scaled to the
 /// given amplitude.
 pub fn synth_speech(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     // Integer sine approximation via a second-order resonator.
     let mut s1: i64 = 0;
@@ -99,7 +109,7 @@ pub fn synth_speech(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
         let next2 = (2 * 870 * t1) / 1000 - t2;
         t2 = t1;
         t1 = next2;
-        let noise: i64 = rng.gen_range(-(amplitude as i64) / 16..=(amplitude as i64) / 16);
+        let noise: i64 = rng.gen_range_i64(-(amplitude as i64) / 16, (amplitude as i64) / 16);
         let v = (s1 / 2 + t1 / 3 + noise).clamp(-(amplitude as i64), amplitude as i64);
         out.push(v as i16);
     }
@@ -109,8 +119,10 @@ pub fn synth_speech(n: usize, amplitude: i16, seed: u64) -> Vec<i16> {
 /// Generate pseudo-random 16-bit residual coefficients for decoder add-block
 /// style kernels (small values centred on zero, as after dequantisation).
 pub fn synth_residual(n: usize, max_mag: i16, seed: u64) -> Vec<i16> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-max_mag..=max_mag)).collect()
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.gen_range_i64(-max_mag as i64, max_mag as i64) as i16)
+        .collect()
 }
 
 /// Generate a JPEG-style quantisation reciprocal table: `recip[i] = 65536 /
@@ -118,9 +130,9 @@ pub fn synth_residual(n: usize, max_mag: i16, seed: u64) -> Vec<i16> {
 pub fn quant_reciprocals(quality_scale: u32) -> [i16; 64] {
     // The standard JPEG luminance quantisation table.
     const BASE: [u16; 64] = [
-        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57,
-        69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64,
-        81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+        16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+        56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+        104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
     ];
     let mut out = [0i16; 64];
     for (i, &b) in BASE.iter().enumerate() {

@@ -46,11 +46,19 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
     b.label("start");
 
     b.begin_region(1, "Long term filtering");
-    emit_ltp_filter(&mut b, variant, err_addr, past_addr, out_addr, GAIN, SAMPLES);
+    emit_ltp_filter(
+        &mut b, variant, err_addr, past_addr, out_addr, GAIN, SAMPLES,
+    );
     b.end_region();
 
     // Scalar region: short-term synthesis filter (serial recurrence).
-    emit_recurrence(&mut b, synth_in_addr, SYNTH_SAMPLES, SYNTH_PASSES, synth_addr);
+    emit_recurrence(
+        &mut b,
+        synth_in_addr,
+        SYNTH_SAMPLES,
+        SYNTH_PASSES,
+        synth_addr,
+    );
     b.halt();
 
     // ------------------------------------------------------- initial memory
@@ -66,7 +74,11 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
             addr: out_addr,
             expect: i16s_to_bytes(&ref_filtered),
         },
-        OutputCheck::Word { name: "synthesis checksum".into(), addr: synth_addr, expect: ref_synth },
+        OutputCheck::Word {
+            name: "synthesis checksum".into(),
+            addr: synth_addr,
+            expect: ref_synth,
+        },
     ];
 
     BenchmarkBuild {

@@ -8,7 +8,9 @@
 
 use vmv_isa::{BrCond, ProgramBuilder};
 
-use crate::common::{i16s_to_bytes, i32s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck};
+use crate::common::{
+    i16s_to_bytes, i32s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputCheck,
+};
 use crate::data;
 use crate::patterns::correlate::{emit_correlate, CorrelateParams};
 use crate::patterns::scalar_regions::{emit_recurrence, ref_recurrence};
@@ -116,10 +118,26 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
     ];
 
     let checks = vec![
-        OutputCheck::Bytes { name: "autocorrelation".into(), addr: acf_addr, expect: i32s_to_bytes(&ref_acf) },
-        OutputCheck::Bytes { name: "ltp correlations".into(), addr: ltp_addr, expect: i32s_to_bytes(&ref_ltp) },
-        OutputCheck::Word { name: "best ltp lag".into(), addr: best_lag_addr, expect: ref_best },
-        OutputCheck::Word { name: "schur checksum".into(), addr: schur_addr, expect: ref_schur },
+        OutputCheck::Bytes {
+            name: "autocorrelation".into(),
+            addr: acf_addr,
+            expect: i32s_to_bytes(&ref_acf),
+        },
+        OutputCheck::Bytes {
+            name: "ltp correlations".into(),
+            addr: ltp_addr,
+            expect: i32s_to_bytes(&ref_ltp),
+        },
+        OutputCheck::Word {
+            name: "best ltp lag".into(),
+            addr: best_lag_addr,
+            expect: ref_best,
+        },
+        OutputCheck::Word {
+            name: "schur checksum".into(),
+            addr: schur_addr,
+            expect: ref_schur,
+        },
     ];
 
     BenchmarkBuild {

@@ -153,20 +153,43 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
         (pat_even, pat_even_bytes),
         (pat_odd, pat_odd_bytes),
         (bits_addr, bitstream),
-        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+        (
+            table_addr,
+            table.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        ),
     ];
 
     let checks = vec![
-        OutputCheck::Bytes { name: "red plane".into(), addr: r_addr, expect: ref_r },
-        OutputCheck::Bytes { name: "green plane".into(), addr: g_addr, expect: ref_g },
-        OutputCheck::Bytes { name: "blue plane".into(), addr: b_addr, expect: ref_b },
-        OutputCheck::Bytes { name: "upsampled chroma".into(), addr: up_out, expect: ref_up },
+        OutputCheck::Bytes {
+            name: "red plane".into(),
+            addr: r_addr,
+            expect: ref_r,
+        },
+        OutputCheck::Bytes {
+            name: "green plane".into(),
+            addr: g_addr,
+            expect: ref_g,
+        },
+        OutputCheck::Bytes {
+            name: "blue plane".into(),
+            addr: b_addr,
+            expect: ref_b,
+        },
+        OutputCheck::Bytes {
+            name: "upsampled chroma".into(),
+            addr: up_out,
+            expect: ref_up,
+        },
         OutputCheck::Bytes {
             name: "inverse dct".into(),
             addr: idct_out,
             expect: i16s_to_bytes(&ref_idct),
         },
-        OutputCheck::Word { name: "vld checksum".into(), addr: checksum_addr, expect: ref_cs },
+        OutputCheck::Word {
+            name: "vld checksum".into(),
+            addr: checksum_addr,
+            expect: ref_cs,
+        },
     ];
 
     BenchmarkBuild {

@@ -57,8 +57,10 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
     let ref_y = reference::color_mac3(&r.data, &g.data, &bp.data, Y_COEF.0, Y_COEF.1, Y_COEF.2);
     let ref_cb = reference::color_mac3(&r.data, &g.data, &bp.data, CB_COEF.0, CB_COEF.1, CB_COEF.2);
     let ref_cr = reference::color_mac3(&r.data, &g.data, &bp.data, CR_COEF.0, CR_COEF.1, CR_COEF.2);
-    let ref_dct_in: Vec<i16> =
-        ref_y[..BLOCKS * 64].iter().map(|&v| v as i16 - 128).collect();
+    let ref_dct_in: Vec<i16> = ref_y[..BLOCKS * 64]
+        .iter()
+        .map(|&v| v as i16 - 128)
+        .collect();
     let ref_dct_out = reference::dct_blocks(&ref_dct_in, false);
     let ref_quant = reference::quantize(&ref_dct_out, &recips);
     let (ref_cs, ref_bits) = ref_entropy_encode(&ref_quant, &table);
@@ -68,9 +70,7 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
     b.label("start");
 
     b.begin_region(1, "RGB to YCC color conversion");
-    for (out, (coef, bias, shift)) in
-        [(y_addr, Y_COEF), (cb_addr, CB_COEF), (cr_addr, CR_COEF)]
-    {
+    for (out, (coef, bias, shift)) in [(y_addr, Y_COEF), (cb_addr, CB_COEF), (cr_addr, CR_COEF)] {
         emit_color_mac3(
             &mut b,
             variant,
@@ -126,7 +126,7 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
         variant,
         &QuantParams {
             coef_addr: dct_out,
-            recip_addr: recip_addr,
+            recip_addr,
             out_addr: quant_out,
             n: BLOCKS * 64,
         },
@@ -147,13 +147,28 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
         (pat_even, pat_even_bytes),
         (pat_odd, pat_odd_bytes),
         (recip_addr, i16s_to_bytes(&recips)),
-        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+        (
+            table_addr,
+            table.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        ),
     ];
 
     let checks = vec![
-        OutputCheck::Bytes { name: "luma plane".into(), addr: y_addr, expect: ref_y },
-        OutputCheck::Bytes { name: "cb plane".into(), addr: cb_addr, expect: ref_cb },
-        OutputCheck::Bytes { name: "cr plane".into(), addr: cr_addr, expect: ref_cr },
+        OutputCheck::Bytes {
+            name: "luma plane".into(),
+            addr: y_addr,
+            expect: ref_y,
+        },
+        OutputCheck::Bytes {
+            name: "cb plane".into(),
+            addr: cb_addr,
+            expect: ref_cb,
+        },
+        OutputCheck::Bytes {
+            name: "cr plane".into(),
+            addr: cr_addr,
+            expect: ref_cr,
+        },
         OutputCheck::Bytes {
             name: "forward dct".into(),
             addr: dct_out,
@@ -164,8 +179,16 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
             addr: quant_out,
             expect: i16s_to_bytes(&ref_quant),
         },
-        OutputCheck::Word { name: "entropy checksum".into(), addr: checksum_addr, expect: ref_cs },
-        OutputCheck::Word { name: "entropy bit count".into(), addr: checksum_addr + 4, expect: ref_bits },
+        OutputCheck::Word {
+            name: "entropy checksum".into(),
+            addr: checksum_addr,
+            expect: ref_cs,
+        },
+        OutputCheck::Word {
+            name: "entropy bit count".into(),
+            addr: checksum_addr + 4,
+            expect: ref_bits,
+        },
     ];
 
     BenchmarkBuild {

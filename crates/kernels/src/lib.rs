@@ -15,6 +15,7 @@ pub mod common;
 pub mod data;
 pub mod patterns;
 pub mod reference;
+pub mod rng;
 
 pub mod gsm_dec;
 pub mod gsm_enc;
@@ -62,7 +63,11 @@ impl Benchmark {
     /// order (R1, R2, R3).
     pub fn vector_region_names(self) -> &'static [&'static str] {
         match self {
-            Benchmark::JpegEnc => &["RGB to YCC color conversion", "Forward DCT", "Quantification"],
+            Benchmark::JpegEnc => &[
+                "RGB to YCC color conversion",
+                "Forward DCT",
+                "Quantification",
+            ],
             Benchmark::JpegDec => &["YCC to RGB color conversion", "H2v2 up-sample"],
             Benchmark::Mpeg2Enc => &["Motion estimation", "Forward DCT", "Inverse DCT"],
             Benchmark::Mpeg2Dec => &["Form component prediction", "Inverse DCT", "Add block"],

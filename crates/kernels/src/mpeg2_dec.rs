@@ -65,7 +65,14 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
     emit_bitstream_parse(&mut b, bits_addr, SYMBOLS, table_addr, checksum_addr);
 
     b.begin_region(1, "Form component prediction");
-    emit_average_u8(&mut b, variant, ref1_addr, ref2_addr, pred_addr, PRED_PIXELS);
+    emit_average_u8(
+        &mut b,
+        variant,
+        ref1_addr,
+        ref2_addr,
+        pred_addr,
+        PRED_PIXELS,
+    );
     b.end_region();
 
     b.begin_region(2, "Inverse DCT");
@@ -100,18 +107,33 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
         (ipat_even, ipe),
         (ipat_odd, ipo),
         (bits_addr, bitstream),
-        (table_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+        (
+            table_addr,
+            table.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        ),
     ];
 
     let checks = vec![
-        OutputCheck::Bytes { name: "prediction".into(), addr: pred_addr, expect: ref_pred },
+        OutputCheck::Bytes {
+            name: "prediction".into(),
+            addr: pred_addr,
+            expect: ref_pred,
+        },
         OutputCheck::Bytes {
             name: "inverse dct".into(),
             addr: idct_out,
             expect: i16s_to_bytes(&ref_idct),
         },
-        OutputCheck::Bytes { name: "reconstructed block".into(), addr: recon_addr, expect: ref_recon },
-        OutputCheck::Word { name: "vld checksum".into(), addr: checksum_addr, expect: ref_cs },
+        OutputCheck::Bytes {
+            name: "reconstructed block".into(),
+            addr: recon_addr,
+            expect: ref_recon,
+        },
+        OutputCheck::Word {
+            name: "vld checksum".into(),
+            addr: checksum_addr,
+            expect: ref_cs,
+        },
     ];
 
     BenchmarkBuild {

@@ -11,7 +11,9 @@ use crate::common::{i16s_to_bytes, BenchmarkBuild, IsaVariant, Layout, OutputChe
 use crate::data;
 use crate::patterns::dct::{coef_pattern_tables, effective_coef_table, emit_dct, DctParams};
 use crate::patterns::sad::{emit_motion_search, SadParams};
-use crate::patterns::scalar_regions::{emit_entropy_encode, emit_recurrence, ref_entropy_encode, ref_recurrence};
+use crate::patterns::scalar_regions::{
+    emit_entropy_encode, emit_recurrence, ref_entropy_encode, ref_recurrence,
+};
 use crate::reference;
 
 /// Frame dimensions for the motion-estimation search.
@@ -151,13 +153,24 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
         (fpat_odd, fpo),
         (ipat_even, ipe),
         (ipat_odd, ipo),
-        (vlc_addr, table.iter().flat_map(|v| v.to_le_bytes()).collect()),
+        (
+            vlc_addr,
+            table.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        ),
     ];
 
     let sad_bytes: Vec<u8> = ref_sads.iter().flat_map(|s| s.to_le_bytes()).collect();
     let checks = vec![
-        OutputCheck::Bytes { name: "sad values".into(), addr: sads_addr, expect: sad_bytes },
-        OutputCheck::Word { name: "best candidate".into(), addr: best_addr, expect: ref_best as u32 },
+        OutputCheck::Bytes {
+            name: "sad values".into(),
+            addr: sads_addr,
+            expect: sad_bytes,
+        },
+        OutputCheck::Word {
+            name: "best candidate".into(),
+            addr: best_addr,
+            expect: ref_best as u32,
+        },
         OutputCheck::Bytes {
             name: "forward dct".into(),
             addr: fdct_out,
@@ -168,9 +181,21 @@ pub fn build(variant: IsaVariant) -> BenchmarkBuild {
             addr: idct_out,
             expect: i16s_to_bytes(&ref_idct),
         },
-        OutputCheck::Word { name: "vlc checksum".into(), addr: checksum_addr, expect: ref_cs },
-        OutputCheck::Word { name: "vlc bit count".into(), addr: checksum_addr + 4, expect: ref_bits },
-        OutputCheck::Word { name: "rate control checksum".into(), addr: rc_checksum_addr, expect: ref_rc },
+        OutputCheck::Word {
+            name: "vlc checksum".into(),
+            addr: checksum_addr,
+            expect: ref_cs,
+        },
+        OutputCheck::Word {
+            name: "vlc bit count".into(),
+            addr: checksum_addr + 4,
+            expect: ref_bits,
+        },
+        OutputCheck::Word {
+            name: "rate control checksum".into(),
+            addr: rc_checksum_addr,
+            expect: ref_rc,
+        },
     ];
 
     BenchmarkBuild {

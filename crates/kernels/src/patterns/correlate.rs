@@ -26,7 +26,10 @@ pub struct CorrelateParams {
 
 /// Emit the correlation pattern.
 pub fn emit_correlate(b: &mut ProgramBuilder, variant: IsaVariant, p: &CorrelateParams) {
-    assert!(p.n % 64 == 0, "window must be a multiple of 64 samples");
+    assert!(
+        p.n.is_multiple_of(64),
+        "window must be a multiple of 64 samples"
+    );
     match variant {
         IsaVariant::Scalar => scalar_correlate(b, p),
         IsaVariant::Usimd => usimd_correlate(b, p),

@@ -41,6 +41,7 @@ pub struct DctParams {
 
 /// The effective coefficient matrix (row-major bytes) for the given
 /// direction: `C` for the forward DCT, `Cᵀ` for the inverse.
+#[allow(clippy::needless_range_loop)] // indexes c[k][u] or c[u][k] by direction
 pub fn effective_coef_table(inverse: bool) -> Vec<u8> {
     let c = dct_coefficients();
     let mut eff = Vec::with_capacity(64);

@@ -32,7 +32,10 @@ pub struct Mac3Params {
 
 /// Emit the colour-conversion / up-sampling pattern.
 pub fn emit_color_mac3(b: &mut ProgramBuilder, variant: IsaVariant, p: &Mac3Params) {
-    assert!(p.n % 128 == 0, "pixel count must be a multiple of 128");
+    assert!(
+        p.n.is_multiple_of(128),
+        "pixel count must be a multiple of 128"
+    );
     match variant {
         IsaVariant::Scalar => scalar_mac3(b, p),
         IsaVariant::Usimd => usimd_mac3(b, p),
@@ -220,7 +223,7 @@ pub struct QuantParams {
 
 /// Emit the quantisation pattern: `q[i] = (coef[i]·recip[i mod 64]) >> 16`.
 pub fn emit_quantize(b: &mut ProgramBuilder, variant: IsaVariant, p: &QuantParams) {
-    assert!(p.n % 64 == 0);
+    assert!(p.n.is_multiple_of(64));
     match variant {
         IsaVariant::Scalar => {
             let c_ptr = b.imm(p.coef_addr as i64);
@@ -299,7 +302,7 @@ pub fn emit_average_u8(
     out_addr: u64,
     n: usize,
 ) {
-    assert!(n % 128 == 0);
+    assert!(n.is_multiple_of(128));
     match variant {
         IsaVariant::Scalar => {
             let a_ptr = b.imm(a_addr as i64);
@@ -369,7 +372,7 @@ pub fn emit_add_block(
     out_addr: u64,
     n: usize,
 ) {
-    assert!(n % 128 == 0);
+    assert!(n.is_multiple_of(128));
     match variant {
         IsaVariant::Scalar => {
             let p_ptr = b.imm(pred_addr as i64);
@@ -469,7 +472,7 @@ pub fn emit_ltp_filter(
     gain: i16,
     n: usize,
 ) {
-    assert!(n % 64 == 0);
+    assert!(n.is_multiple_of(64));
     match variant {
         IsaVariant::Scalar => {
             let e_ptr = b.imm(err_addr as i64);

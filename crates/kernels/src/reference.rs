@@ -26,7 +26,13 @@ pub fn color_mac3(a: &[u8], b: &[u8], c: &[u8], coef: [i32; 3], bias: i32, shift
 /// Sum of absolute differences between a 16×16 block of `cur` starting at
 /// `cur_off` and a 16×16 block of `reference` starting at `ref_off`, both
 /// stored row-major with row stride `stride`.
-pub fn sad_16x16(cur: &[u8], reference: &[u8], stride: usize, cur_off: usize, ref_off: usize) -> u32 {
+pub fn sad_16x16(
+    cur: &[u8],
+    reference: &[u8],
+    stride: usize,
+    cur_off: usize,
+    ref_off: usize,
+) -> u32 {
     let mut sum = 0u32;
     for row in 0..16 {
         for col in 0..16 {
@@ -48,9 +54,16 @@ pub fn motion_search(
     cur_off: usize,
     candidates: &[usize],
 ) -> (Vec<u32>, usize) {
-    let sads: Vec<u32> =
-        candidates.iter().map(|&r| sad_16x16(cur, reference, stride, cur_off, r)).collect();
-    let best = sads.iter().enumerate().min_by_key(|(_, &s)| s).map(|(i, _)| i).unwrap_or(0);
+    let sads: Vec<u32> = candidates
+        .iter()
+        .map(|&r| sad_16x16(cur, reference, stride, cur_off, r))
+        .collect();
+    let best = sads
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
     (sads, best)
 }
 
@@ -115,7 +128,10 @@ pub fn dct_8x8(input: &[i16], inverse: bool) -> [i16; 64] {
 /// Apply [`dct_8x8`] to `n` consecutive blocks stored back to back.
 pub fn dct_blocks(input: &[i16], inverse: bool) -> Vec<i16> {
     assert_eq!(input.len() % 64, 0);
-    input.chunks(64).flat_map(|blk| dct_8x8(blk, inverse)).collect()
+    input
+        .chunks(64)
+        .flat_map(|blk| dct_8x8(blk, inverse))
+        .collect()
 }
 
 /// JPEG-style quantisation by reciprocal multiplication:
@@ -142,7 +158,10 @@ pub fn correlate(a: &[i16], b: &[i16], n: usize, lags: usize) -> Vec<i32> {
 /// Rounded unsigned byte average: `(a[i] + b[i] + 1) >> 1` — the MPEG-2
 /// form-component prediction with half-pel interpolation.
 pub fn average_u8(a: &[u8], b: &[u8]) -> Vec<u8> {
-    a.iter().zip(b).map(|(&x, &y)| ((x as u16 + y as u16 + 1) >> 1) as u8).collect()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x as u16 + y as u16 + 1) >> 1) as u8)
+        .collect()
 }
 
 /// MPEG-2 "add block": prediction (unsigned bytes) plus residual (signed
@@ -175,7 +194,10 @@ mod tests {
         let expect = ((77 * 100 + 150 * 150 + 29 * 200 + 128) >> 8).clamp(0, 255) as u8;
         assert_eq!(out, vec![expect]);
         // Saturation at both ends.
-        assert_eq!(color_mac3(&[255], &[255], &[255], [200, 200, 200], 0, 0), vec![255]);
+        assert_eq!(
+            color_mac3(&[255], &[255], &[255], [200, 200, 200], 0, 0),
+            vec![255]
+        );
         assert_eq!(color_mac3(&[10], &[10], &[10], [-100, 0, 0], 0, 0), vec![0]);
     }
 
@@ -198,7 +220,12 @@ mod tests {
         let back = dct_8x8(&freq, true);
         for i in 0..64 {
             let err = (back[i] as i32 - input[i] as i32).abs();
-            assert!(err <= 8, "sample {i}: {} vs {} (err {err})", back[i], input[i]);
+            assert!(
+                err <= 8,
+                "sample {i}: {} vs {} (err {err})",
+                back[i],
+                input[i]
+            );
         }
     }
 

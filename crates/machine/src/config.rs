@@ -285,7 +285,10 @@ mod tests {
     fn vector_memory_lanes_use_port_width() {
         let cfg = presets::vector2(2);
         assert_eq!(cfg.effective_lanes(Opcode::VLoad), cfg.l2_port_elems);
-        assert_eq!(cfg.effective_lanes(Opcode::VAdd(Elem::B, Sat::Wrap)), cfg.vector_lanes);
+        assert_eq!(
+            cfg.effective_lanes(Opcode::VAdd(Elem::B, Sat::Wrap)),
+            cfg.vector_lanes
+        );
         assert_eq!(cfg.effective_lanes(Opcode::IAdd), 1);
     }
 }

@@ -11,7 +11,9 @@
 //! memory-hierarchy parameters.
 
 pub mod config;
+pub mod gen;
 pub mod presets;
 
 pub use config::{IsaSupport, LatencyTable, MachineConfig, MemoryParams};
+pub use gen::{generate, GenParams, GEN_WIDTHS};
 pub use presets::{all_configs, reference_config, usimd, vector1, vector2, vliw};

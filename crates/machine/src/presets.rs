@@ -41,7 +41,12 @@ pub fn vliw(issue_width: usize) -> MachineConfig {
         l1_ports: [1, 2, 3][i],
         l2_ports: 0,
         l2_port_elems: 0,
-        regs: RegFileSizes { int: [64, 96, 128][i], simd: 0, vec: 0, acc: 0 },
+        regs: RegFileSizes {
+            int: [64, 96, 128][i],
+            simd: 0,
+            vec: 0,
+            acc: 0,
+        },
         latencies: LatencyTable::default(),
         memory: MemoryParams::default(),
         chaining: false,
@@ -62,7 +67,12 @@ pub fn usimd(issue_width: usize) -> MachineConfig {
         l1_ports: [1, 2, 3][i],
         l2_ports: 0,
         l2_port_elems: 0,
-        regs: RegFileSizes { int: [64, 96, 128][i], simd: [64, 96, 128][i], vec: 0, acc: 0 },
+        regs: RegFileSizes {
+            int: [64, 96, 128][i],
+            simd: [64, 96, 128][i],
+            vec: 0,
+            acc: 0,
+        },
         latencies: LatencyTable::default(),
         memory: MemoryParams::default(),
         chaining: false,
@@ -73,7 +83,10 @@ pub fn usimd(issue_width: usize) -> MachineConfig {
 /// vector units ("+Vector1" in the paper).  Only 2- and 4-issue widths exist.
 pub fn vector1(issue_width: usize) -> MachineConfig {
     let i = scale_index(issue_width);
-    assert!(i < 2, "Vector configurations only exist for 2- and 4-issue widths");
+    assert!(
+        i < 2,
+        "Vector configurations only exist for 2- and 4-issue widths"
+    );
     MachineConfig {
         name: format!("{issue_width}w +Vector1"),
         isa: IsaSupport::Vector,
@@ -85,7 +98,12 @@ pub fn vector1(issue_width: usize) -> MachineConfig {
         l1_ports: 1,
         l2_ports: 1,
         l2_port_elems: 4,
-        regs: RegFileSizes { int: [64, 96][i], simd: 16, vec: [20, 32][i], acc: [4, 6][i] },
+        regs: RegFileSizes {
+            int: [64, 96][i],
+            simd: 16,
+            vec: [20, 32][i],
+            acc: [4, 6][i],
+        },
         latencies: LatencyTable::default(),
         memory: MemoryParams::default(),
         chaining: true,
@@ -96,7 +114,10 @@ pub fn vector1(issue_width: usize) -> MachineConfig {
 /// vector units ("+Vector2" in the paper).
 pub fn vector2(issue_width: usize) -> MachineConfig {
     let i = scale_index(issue_width);
-    assert!(i < 2, "Vector configurations only exist for 2- and 4-issue widths");
+    assert!(
+        i < 2,
+        "Vector configurations only exist for 2- and 4-issue widths"
+    );
     MachineConfig {
         name: format!("{issue_width}w +Vector2"),
         isa: IsaSupport::Vector,
@@ -108,7 +129,12 @@ pub fn vector2(issue_width: usize) -> MachineConfig {
         l1_ports: [1, 2][i],
         l2_ports: 1,
         l2_port_elems: 4,
-        regs: RegFileSizes { int: [64, 96][i], simd: 16, vec: [20, 32][i], acc: [4, 6][i] },
+        regs: RegFileSizes {
+            int: [64, 96][i],
+            simd: 16,
+            vec: [20, 32][i],
+            acc: [4, 6][i],
+        },
         latencies: LatencyTable::default(),
         memory: MemoryParams::default(),
         chaining: true,

@@ -66,17 +66,34 @@ impl Cache {
     /// Create a cache of `size_bytes` capacity with the given associativity
     /// and line size.  Panics if the geometry is inconsistent.
     pub fn new(name: &'static str, size_bytes: usize, assoc: usize, line_bytes: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1);
-        assert!(size_bytes % (assoc * line_bytes) == 0, "inconsistent cache geometry");
+        assert!(
+            size_bytes.is_multiple_of(assoc * line_bytes),
+            "inconsistent cache geometry"
+        );
         let num_sets = size_bytes / (assoc * line_bytes);
-        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         Cache {
             name,
             line_bytes,
             num_sets,
             assoc,
-            lines: vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; num_sets * assoc],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    lru: 0
+                };
+                num_sets * assoc
+            ],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -171,8 +188,11 @@ impl Cache {
             match lines.iter().position(|l| !l.valid) {
                 Some(i) => i,
                 None => {
-                    let (i, _) =
-                        lines.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("assoc >= 1");
+                    let (i, _) = lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.lru)
+                        .expect("assoc >= 1");
                     i
                 }
             }
@@ -188,7 +208,12 @@ impl Cache {
                 outcome.evicted = Some(victim_addr);
             }
         }
-        *victim = Line { tag, valid: true, dirty: write, lru: tick };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: tick,
+        };
         outcome
     }
 
@@ -237,7 +262,11 @@ mod tests {
         assert_eq!(c.access(0x100, false), LookupResult::Miss);
         c.fill(0x100, false);
         assert_eq!(c.access(0x100, false), LookupResult::Hit);
-        assert_eq!(c.access(0x11f, false), LookupResult::Hit, "same 32-byte line");
+        assert_eq!(
+            c.access(0x11f, false),
+            LookupResult::Hit,
+            "same 32-byte line"
+        );
         assert_eq!(c.access(0x120, false), LookupResult::Miss, "next line");
         assert_eq!(c.stats.hits, 2);
         assert_eq!(c.stats.misses, 2);
@@ -290,7 +319,9 @@ mod tests {
         // Eviction of that line must now report a writeback.
         c.fill(0x280, false);
         let out = c.fill(0x300, false);
-        assert!(out.writeback == Some(0x200) || out.evicted == Some(0x200) || out.writeback.is_some());
+        assert!(
+            out.writeback == Some(0x200) || out.evicted == Some(0x200) || out.writeback.is_some()
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ impl MemoryHierarchy {
         let scheduled = self.scheduled_scalar_latency();
         if self.model == MemoryModel::Perfect {
             self.stats.l1_hits += 1;
-            return AccessTiming { latency: scheduled, stall_cycles: 0 };
+            return AccessTiming {
+                latency: scheduled,
+                stall_cycles: 0,
+            };
         }
 
         let write = kind == AccessKind::Store;
@@ -168,7 +171,10 @@ impl MemoryHierarchy {
         }
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
-        AccessTiming { latency, stall_cycles: stall }
+        AccessTiming {
+            latency,
+            stall_cycles: stall,
+        }
     }
 
     fn scalar_line_access(&mut self, blk: u64, write: bool) -> u32 {
@@ -204,9 +210,9 @@ impl MemoryHierarchy {
                     }
                 };
                 let out = self.l1.fill(blk, write);
-                if out.writeback.is_some() {
+                if let Some(wb) = out.writeback {
                     // Write-back of a dirty L1 line into the (inclusive) L2.
-                    self.l2.fill(out.writeback.unwrap(), true);
+                    self.l2.fill(wb, true);
                 }
                 self.params.l1_latency + below
             }
@@ -239,13 +245,19 @@ impl MemoryHierarchy {
             // All vector accesses hit in the L2 but still pay the transfer
             // time (paper §5.1); non-unit strides still transfer one element
             // per cycle.
-            let transfer =
-                if stride_bytes == 8 { elems.div_ceil(self.port_elems) } else { elems };
+            let transfer = if stride_bytes == 8 {
+                elems.div_ceil(self.port_elems)
+            } else {
+                elems
+            };
             let latency = self.params.l2_latency + transfer - 1;
             let stall = latency.saturating_sub(scheduled);
             self.stats.total_stall_cycles += stall as u64;
             self.stats.l2_hits += 1;
-            return AccessTiming { latency, stall_cycles: stall };
+            return AccessTiming {
+                latency,
+                stall_cycles: stall,
+            };
         }
 
         // Coherence: invalidate overlapping L1 lines (exclusive-bit policy).
@@ -253,7 +265,11 @@ impl MemoryHierarchy {
         let line = self.params.l1_line as u64;
         let span_first = base;
         let span_last = (base as i64 + stride_bytes * (elems as i64 - 1)) as u64 + 7;
-        let (lo, hi) = if span_first <= span_last { (span_first, span_last) } else { (span_last, span_first) };
+        let (lo, hi) = if span_first <= span_last {
+            (span_first, span_last)
+        } else {
+            (span_last, span_first)
+        };
         // Only walk the span when it is reasonably small (strided accesses
         // over a whole image would otherwise invalidate line by line over a
         // huge range; restrict to the lines actually touched).
@@ -307,7 +323,10 @@ impl MemoryHierarchy {
         let latency = self.params.l2_latency + outcome.transfer_cycles - 1 + miss_penalty;
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
-        AccessTiming { latency, stall_cycles: stall }
+        AccessTiming {
+            latency,
+            stall_cycles: stall,
+        }
     }
 
     /// Statistics of the three cache levels (L1, L2, L3).
@@ -336,7 +355,11 @@ mod tests {
     fn realistic_scalar_cold_miss_then_hit() {
         let mut m = realistic();
         let miss = m.scalar_access(0x1000, 4, AccessKind::Load);
-        assert!(miss.latency >= 500, "cold miss goes to main memory: {}", miss.latency);
+        assert!(
+            miss.latency >= 500,
+            "cold miss goes to main memory: {}",
+            miss.latency
+        );
         assert!(miss.stall_cycles > 0);
         let hit = m.scalar_access(0x1004, 4, AccessKind::Load);
         assert_eq!(hit.latency, 1);

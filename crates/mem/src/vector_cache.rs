@@ -42,7 +42,13 @@ pub struct VectorCache {
 }
 
 impl VectorCache {
-    pub fn new(size_bytes: usize, assoc: usize, line_bytes: usize, banks: usize, port_elems: u32) -> Self {
+    pub fn new(
+        size_bytes: usize,
+        assoc: usize,
+        line_bytes: usize,
+        banks: usize,
+        port_elems: u32,
+    ) -> Self {
         assert!(banks >= 1);
         VectorCache {
             cache: Cache::new("L2-vector", size_bytes, assoc, line_bytes),
@@ -158,7 +164,7 @@ mod tests {
         let out = c.vector_access(0x1000, 8, 16, false);
         assert!(out.unit_stride);
         assert_eq!(out.transfer_cycles, 4); // 16 elements / 4 per cycle
-        // 16 * 8 = 128 bytes = 2 lines of 64 bytes (aligned base).
+                                            // 16 * 8 = 128 bytes = 2 lines of 64 bytes (aligned base).
         assert_eq!(out.lines_touched, 2);
         assert_eq!(out.lines_missed, 2);
 

@@ -40,7 +40,11 @@ impl ScheduledBlock {
     pub fn op_count(&self) -> usize {
         self.bundles
             .iter()
-            .map(|b| b.iter().filter(|o| o.opcode != vmv_isa::Opcode::Nop).count())
+            .map(|b| {
+                b.iter()
+                    .filter(|o| o.opcode != vmv_isa::Opcode::Nop)
+                    .count()
+            })
             .sum()
     }
 }
@@ -56,7 +60,11 @@ pub struct ScheduledProgram {
 impl ScheduledProgram {
     /// Label → block index map.
     pub fn label_map(&self) -> HashMap<&str, usize> {
-        self.blocks.iter().enumerate().map(|(i, b)| (b.label.as_str(), i)).collect()
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.label.as_str(), i))
+            .collect()
     }
 
     pub fn block_by_label(&self, label: &str) -> Option<usize> {
@@ -118,11 +126,19 @@ mod tests {
             .iter()
             .map(|&n| {
                 (0..n)
-                    .map(|i| Op::new(Opcode::MovI).with_dst(Reg::int(i as u32)).with_imm(0))
+                    .map(|i| {
+                        Op::new(Opcode::MovI)
+                            .with_dst(Reg::int(i as u32))
+                            .with_imm(0)
+                    })
                     .collect()
             })
             .collect();
-        ScheduledBlock { label: "b".into(), region: RegionId::SCALAR, bundles }
+        ScheduledBlock {
+            label: "b".into(),
+            region: RegionId::SCALAR,
+            bundles,
+        }
     }
 
     #[test]
@@ -130,7 +146,11 @@ mod tests {
         let b = block_with(&[2, 0, 1]);
         assert_eq!(b.length(), 3);
         assert_eq!(b.op_count(), 3);
-        let empty = ScheduledBlock { label: "e".into(), region: RegionId::SCALAR, bundles: vec![] };
+        let empty = ScheduledBlock {
+            label: "e".into(),
+            region: RegionId::SCALAR,
+            bundles: vec![],
+        };
         assert_eq!(empty.length(), 1);
     }
 
@@ -139,7 +159,10 @@ mod tests {
         let p = ScheduledProgram {
             name: "p".into(),
             blocks: vec![block_with(&[1, 1]), block_with(&[3])],
-            regions: vec![RegionInfo { id: RegionId::SCALAR, name: "scalar".into() }],
+            regions: vec![RegionInfo {
+                id: RegionId::SCALAR,
+                name: "scalar".into(),
+            }],
         };
         assert_eq!(p.static_op_count(), 5);
         assert_eq!(p.static_schedule_length(), 3);

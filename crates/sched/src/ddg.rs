@@ -69,20 +69,35 @@ impl DepGraph {
                 if let Some(&w) = last_writer.get(r) {
                     let producer = &ops[w];
                     let latency = raw_latency(producer, op, *r, machine);
-                    edges.push(DepEdge { from: w, to: i, kind: DepKind::Raw, latency });
+                    edges.push(DepEdge {
+                        from: w,
+                        to: i,
+                        kind: DepKind::Raw,
+                        latency,
+                    });
                 }
             }
 
             if let Some(dst) = writes {
                 // WAW: ordered after the previous writer.
                 if let Some(&w) = last_writer.get(&dst) {
-                    edges.push(DepEdge { from: w, to: i, kind: DepKind::Waw, latency: 1 });
+                    edges.push(DepEdge {
+                        from: w,
+                        to: i,
+                        kind: DepKind::Waw,
+                        latency: 1,
+                    });
                 }
                 // WAR: ordered after previous readers.
                 if let Some(readers) = last_readers.get(&dst) {
                     for &r in readers {
                         if r != i {
-                            edges.push(DepEdge { from: r, to: i, kind: DepKind::War, latency: 0 });
+                            edges.push(DepEdge {
+                                from: r,
+                                to: i,
+                                kind: DepKind::War,
+                                latency: 0,
+                            });
                         }
                     }
                 }
@@ -93,16 +108,31 @@ impl DepGraph {
             // keeping independent accesses in separate registers/blocks).
             if op.opcode.is_store() {
                 if let Some(s) = last_store {
-                    edges.push(DepEdge { from: s, to: i, kind: DepKind::Mem, latency: 1 });
+                    edges.push(DepEdge {
+                        from: s,
+                        to: i,
+                        kind: DepKind::Mem,
+                        latency: 1,
+                    });
                 }
                 for &l in &loads_since_store {
-                    edges.push(DepEdge { from: l, to: i, kind: DepKind::Mem, latency: 0 });
+                    edges.push(DepEdge {
+                        from: l,
+                        to: i,
+                        kind: DepKind::Mem,
+                        latency: 0,
+                    });
                 }
                 last_store = Some(i);
                 loads_since_store.clear();
             } else if op.opcode.is_load() {
                 if let Some(s) = last_store {
-                    edges.push(DepEdge { from: s, to: i, kind: DepKind::Mem, latency: 1 });
+                    edges.push(DepEdge {
+                        from: s,
+                        to: i,
+                        kind: DepKind::Mem,
+                        latency: 1,
+                    });
                 }
                 loads_since_store.push(i);
             }
@@ -111,7 +141,12 @@ impl DepGraph {
             // operation must issue no later than the branch.
             if op.opcode.is_branch() || op.opcode == vmv_isa::Opcode::Halt {
                 for j in 0..i {
-                    edges.push(DepEdge { from: j, to: i, kind: DepKind::Control, latency: 0 });
+                    edges.push(DepEdge {
+                        from: j,
+                        to: i,
+                        kind: DepKind::Control,
+                        latency: 0,
+                    });
                 }
             }
 
@@ -131,7 +166,12 @@ impl DepGraph {
             preds[e.to].push(idx);
             succs[e.from].push(idx);
         }
-        DepGraph { num_ops: ops.len(), edges, preds, succs }
+        DepGraph {
+            num_ops: ops.len(),
+            edges,
+            preds,
+            succs,
+        }
     }
 
     /// Critical-path height of every operation: the longest latency path
@@ -196,7 +236,9 @@ mod tests {
     fn raw_dependence_has_producer_latency() {
         let machine = presets::vliw(2);
         let ops = vec![
-            Op::new(Opcode::IMul).with_dst(Reg::int(0)).with_srcs(&[Reg::int(1), Reg::int(2)]),
+            Op::new(Opcode::IMul)
+                .with_dst(Reg::int(0))
+                .with_srcs(&[Reg::int(1), Reg::int(2)]),
             op_add(Reg::int(3), Reg::int(0), Reg::int(1)),
         ];
         let g = DepGraph::build(&ops, &machine);
@@ -214,8 +256,14 @@ mod tests {
             op_movi(Reg::int(0), 6),                       // writes r0 -> WAW with op1
         ];
         let g = DepGraph::build(&ops, &machine);
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::War && e.from == 0 && e.to == 1));
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::Waw && e.from == 1 && e.to == 2));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::War && e.from == 0 && e.to == 1));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Waw && e.from == 1 && e.to == 2));
     }
 
     #[test]
@@ -231,7 +279,9 @@ mod tests {
                 .with_dst(Reg::int(2))
                 .with_srcs(&[addr])
                 .with_imm(4),
-            Op::new(Opcode::Store(vmv_isa::MemWidth::B4)).with_srcs(&[addr, Reg::int(1)]).with_imm(8),
+            Op::new(Opcode::Store(vmv_isa::MemWidth::B4))
+                .with_srcs(&[addr, Reg::int(1)])
+                .with_imm(8),
         ];
         let g = DepGraph::build(&ops, &machine);
         // no edge between the two loads
@@ -240,8 +290,14 @@ mod tests {
             .iter()
             .any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 1));
         // both loads are ordered before the store
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 2));
-        assert!(g.edges.iter().any(|e| e.kind == DepKind::Mem && e.from == 1 && e.to == 2));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.from == 0 && e.to == 2));
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.from == 1 && e.to == 2));
     }
 
     #[test]
@@ -250,11 +306,15 @@ mod tests {
         let mut unchained = chained.clone();
         unchained.chaining = false;
 
-        let mut vload = Op::new(Opcode::VLoad).with_dst(Reg::vec(0)).with_srcs(&[Reg::int(0)]);
+        let mut vload = Op::new(Opcode::VLoad)
+            .with_dst(Reg::vec(0))
+            .with_srcs(&[Reg::int(0)]);
         vload.vl_hint = Some(16);
-        let mut vsad = Op::new(Opcode::VSadAcc)
-            .with_dst(Reg::acc(0))
-            .with_srcs(&[Reg::acc(0), Reg::vec(0), Reg::vec(1)]);
+        let mut vsad = Op::new(Opcode::VSadAcc).with_dst(Reg::acc(0)).with_srcs(&[
+            Reg::acc(0),
+            Reg::vec(0),
+            Reg::vec(1),
+        ]);
         vsad.vl_hint = Some(16);
         let ops = vec![vload, vsad];
 
@@ -270,7 +330,10 @@ mod tests {
             .find(|e| e.kind == DepKind::Raw)
             .unwrap()
             .latency;
-        assert!(lat_chained < lat_unchained, "{lat_chained} vs {lat_unchained}");
+        assert!(
+            lat_chained < lat_unchained,
+            "{lat_chained} vs {lat_unchained}"
+        );
         // Chained: the consumer waits only the 5-cycle flow latency of the
         // load, not 5 + (16-1)/4.
         assert_eq!(lat_chained, chained.latencies.vec_mem);
@@ -288,7 +351,11 @@ mod tests {
                 .with_target("x"),
         ];
         let g = DepGraph::build(&ops, &machine);
-        let ctrl: Vec<_> = g.edges.iter().filter(|e| e.kind == DepKind::Control).collect();
+        let ctrl: Vec<_> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == DepKind::Control)
+            .collect();
         assert_eq!(ctrl.len(), 2);
     }
 
@@ -296,7 +363,9 @@ mod tests {
     fn heights_reflect_critical_path() {
         let machine = presets::vliw(2);
         let ops = vec![
-            Op::new(Opcode::IMul).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0), Reg::int(0)]),
+            Op::new(Opcode::IMul)
+                .with_dst(Reg::int(1))
+                .with_srcs(&[Reg::int(0), Reg::int(0)]),
             op_add(Reg::int(2), Reg::int(1), Reg::int(0)),
             op_movi(Reg::int(3), 1),
         ];

@@ -20,6 +20,6 @@ pub mod restable;
 
 pub use bundle::{ScheduledBlock, ScheduledOp, ScheduledProgram};
 pub use ddg::{DepEdge, DepGraph, DepKind};
-pub use pipeline::{compile, Compiled, CompileError};
+pub use pipeline::{compile, CompileError, Compiled};
 pub use regalloc::{allocate, Allocation, RegAllocError};
 pub use restable::ReservationTable;

@@ -82,7 +82,9 @@ mod tests {
     }
 
     fn add(dst: u32, a: u32, b: u32) -> Op {
-        Op::new(Opcode::IAdd).with_dst(Reg::int(dst)).with_srcs(&[Reg::int(a), Reg::int(b)])
+        Op::new(Opcode::IAdd)
+            .with_dst(Reg::int(dst))
+            .with_srcs(&[Reg::int(a), Reg::int(b)])
     }
 
     #[test]
@@ -90,7 +92,11 @@ mod tests {
         let machine = presets::vliw(4);
         let ops: Vec<Op> = (0..8).map(|i| movi(i, i as i64)).collect();
         let bundles = schedule_block(&ops, &machine);
-        assert_eq!(bundles.len(), 2, "8 independent ops on a 4-wide machine take 2 cycles");
+        assert_eq!(
+            bundles.len(),
+            2,
+            "8 independent ops on a 4-wide machine take 2 cycles"
+        );
         assert_eq!(bundles[0].len(), 4);
         assert_eq!(bundles[1].len(), 4);
     }
@@ -100,7 +106,9 @@ mod tests {
         let machine = presets::vliw(4);
         // r1 = r0 * r0 (3 cycles); r2 = r1 + r0 (1 cycle); r3 = r2 + r0.
         let ops = vec![
-            Op::new(Opcode::IMul).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0), Reg::int(0)]),
+            Op::new(Opcode::IMul)
+                .with_dst(Reg::int(1))
+                .with_srcs(&[Reg::int(0), Reg::int(0)]),
             add(2, 1, 0),
             add(3, 2, 0),
         ];
@@ -131,7 +139,11 @@ mod tests {
             })
             .collect();
         let bundles = schedule_block(&ops, &machine);
-        assert_eq!(bundles.len(), 4, "one load per cycle through a single L1 port");
+        assert_eq!(
+            bundles.len(),
+            4,
+            "one load per cycle through a single L1 port"
+        );
     }
 
     #[test]
@@ -141,7 +153,9 @@ mod tests {
             movi(0, 1),
             movi(1, 2),
             add(2, 0, 1),
-            Op::new(Opcode::Br(BrCond::Ne)).with_srcs(&[Reg::int(2), Reg::int(0)]).with_target("x"),
+            Op::new(Opcode::Br(BrCond::Ne))
+                .with_srcs(&[Reg::int(2), Reg::int(0)])
+                .with_target("x"),
         ];
         let bundles = schedule_block(&ops, &machine);
         let last_nonempty = bundles.iter().rev().find(|b| !b.is_empty()).unwrap();

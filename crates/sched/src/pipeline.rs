@@ -33,7 +33,10 @@ impl std::fmt::Display for CompileError {
                 write!(f, "program failed verification ({} problems)", errs.len())
             }
             CompileError::UnsupportedOp { opcode, machine } => {
-                write!(f, "operation '{opcode}' is not supported by machine '{machine}'")
+                write!(
+                    f,
+                    "operation '{opcode}' is not supported by machine '{machine}'"
+                )
             }
             CompileError::RegAlloc(e) => write!(f, "{e}"),
         }
@@ -81,7 +84,10 @@ pub fn compile(program: &Program, machine: &MachineConfig) -> Result<Compiled, C
         });
     }
 
-    Ok(Compiled { program: scheduled, allocation })
+    Ok(Compiled {
+        program: scheduled,
+        allocation,
+    })
 }
 
 #[cfg(test)]
@@ -166,8 +172,17 @@ mod tests {
         b.halt();
         let p = b.finish();
 
-        let narrow = compile(&p, &presets::vliw(2)).unwrap().program.static_schedule_length();
-        let wide = compile(&p, &presets::vliw(8)).unwrap().program.static_schedule_length();
-        assert!(wide < narrow, "8-wide should be shorter: {wide} vs {narrow}");
+        let narrow = compile(&p, &presets::vliw(2))
+            .unwrap()
+            .program
+            .static_schedule_length();
+        let wide = compile(&p, &presets::vliw(8))
+            .unwrap()
+            .program
+            .static_schedule_length();
+        assert!(
+            wide < narrow,
+            "8-wide should be shorter: {wide} vs {narrow}"
+        );
     }
 }

@@ -47,7 +47,10 @@ pub struct Allocation {
 
 /// Allocate the virtual registers of `program` onto the register files of
 /// `machine`, returning a new program with every register renamed.
-pub fn allocate(program: &Program, machine: &MachineConfig) -> Result<(Program, Allocation), RegAllocError> {
+pub fn allocate(
+    program: &Program,
+    machine: &MachineConfig,
+) -> Result<(Program, Allocation), RegAllocError> {
     let intervals = live_intervals(program);
 
     let mut mapping: HashMap<Reg, Reg> = HashMap::new();
@@ -117,7 +120,13 @@ pub fn allocate(program: &Program, machine: &MachineConfig) -> Result<(Program, 
         }
     }
 
-    Ok((out, Allocation { mapping, peak_pressure }))
+    Ok((
+        out,
+        Allocation {
+            mapping,
+            peak_pressure,
+        },
+    ))
 }
 
 /// Compute a conservative live interval (over a linearisation of the blocks
@@ -203,10 +212,12 @@ fn live_intervals(program: &Program) -> HashMap<Reg, (usize, usize)> {
     // Build intervals.
     let mut intervals: HashMap<Reg, (usize, usize)> = HashMap::new();
     let touch = |r: Reg, at: usize, map: &mut HashMap<Reg, (usize, usize)>| {
-        map.entry(r).and_modify(|iv| {
-            iv.0 = iv.0.min(at);
-            iv.1 = iv.1.max(at);
-        }).or_insert((at, at));
+        map.entry(r)
+            .and_modify(|iv| {
+                iv.0 = iv.0.min(at);
+                iv.1 = iv.1.max(at);
+            })
+            .or_insert((at, at));
     };
     for (b, block) in program.blocks.iter().enumerate() {
         for (i, op) in block.ops.iter().enumerate() {

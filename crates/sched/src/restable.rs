@@ -78,7 +78,10 @@ pub struct ReservationTable<'m> {
 
 impl<'m> ReservationTable<'m> {
     pub fn new(machine: &'m MachineConfig) -> Self {
-        ReservationTable { machine, usage: Vec::new() }
+        ReservationTable {
+            machine,
+            usage: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, cycle: usize) {
@@ -113,7 +116,11 @@ impl<'m> ReservationTable<'m> {
         // Functional unit / port for the whole occupancy window.
         let occ = self.occupancy(op);
         for c in cycle..cycle + occ {
-            let used = self.usage.get(c as usize).map(|u| u[pool_index(pool)]).unwrap_or(0);
+            let used = self
+                .usage
+                .get(c as usize)
+                .map(|u| u[pool_index(pool)])
+                .unwrap_or(0);
             if used >= unit_cap {
                 return false;
             }
@@ -124,7 +131,10 @@ impl<'m> ReservationTable<'m> {
     /// Reserve the resources for `op` issued at `cycle`.  Panics if the
     /// placement is infeasible (callers check with [`Self::can_place`]).
     pub fn place(&mut self, op: &Op, cycle: u32) {
-        assert!(self.can_place(op, cycle), "resource oversubscription placing {op}");
+        assert!(
+            self.can_place(op, cycle),
+            "resource oversubscription placing {op}"
+        );
         let pool = unit_pool(op, self.machine);
         let occ = self.occupancy(op);
         self.ensure((cycle + occ) as usize);
@@ -136,7 +146,10 @@ impl<'m> ReservationTable<'m> {
 
     /// Number of operations issued in `cycle` (used by tests).
     pub fn issued_in(&self, cycle: u32) -> usize {
-        self.usage.get(cycle as usize).map(|u| u[pool_index(Pool::Issue)]).unwrap_or(0)
+        self.usage
+            .get(cycle as usize)
+            .map(|u| u[pool_index(Pool::Issue)])
+            .unwrap_or(0)
     }
 }
 
@@ -147,7 +160,9 @@ mod tests {
     use vmv_machine::presets;
 
     fn int_op() -> Op {
-        Op::new(Opcode::IAdd).with_dst(Reg::int(0)).with_srcs(&[Reg::int(1), Reg::int(2)])
+        Op::new(Opcode::IAdd)
+            .with_dst(Reg::int(0))
+            .with_srcs(&[Reg::int(1), Reg::int(2)])
     }
 
     fn vec_op(vl: u32) -> Op {
@@ -221,7 +236,10 @@ mod tests {
             .with_srcs(&[Reg::int(0)])
             .with_imm(0);
         t.place(&ld, 0);
-        assert!(!t.can_place(&ld, 0), "only one L1 port on the 2-issue machine");
+        assert!(
+            !t.can_place(&ld, 0),
+            "only one L1 port on the 2-issue machine"
+        );
         assert!(t.can_place(&ld, 1));
     }
 }

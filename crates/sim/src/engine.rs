@@ -93,7 +93,13 @@ impl Simulator {
 
     /// Convenience constructor with default options and the given memory model.
     pub fn with_model(machine: &MachineConfig, model: MemoryModel) -> Self {
-        Simulator::new(machine, SimOptions { memory_model: model, ..SimOptions::default() })
+        Simulator::new(
+            machine,
+            SimOptions {
+                memory_model: model,
+                ..SimOptions::default()
+            },
+        )
     }
 
     /// The machine configuration being simulated.
@@ -169,7 +175,11 @@ impl Simulator {
                         }
                     }
 
-                    let vl = if op.opcode.reads_vl() { self.regs.effective_vl() } else { 1 };
+                    let vl = if op.opcode.reads_vl() {
+                        self.regs.effective_vl()
+                    } else {
+                        1
+                    };
                     ops_executed += 1;
                     micro_ops += op.opcode.micro_ops(vl);
 
@@ -233,11 +243,19 @@ impl Simulator {
     /// Completion latency of a memory operation, as reported by the memory
     /// hierarchy timing model.
     fn memory_latency(&mut self, access: &MemAccess) -> u32 {
-        let kind = if access.is_store { AccessKind::Store } else { AccessKind::Load };
-        if access.is_vector {
-            self.hierarchy.vector_access(access.base, access.stride, access.elems, kind).latency
+        let kind = if access.is_store {
+            AccessKind::Store
         } else {
-            self.hierarchy.scalar_access(access.base, access.bytes, kind).latency
+            AccessKind::Load
+        };
+        if access.is_vector {
+            self.hierarchy
+                .vector_access(access.base, access.stride, access.elems, kind)
+                .latency
+        } else {
+            self.hierarchy
+                .scalar_access(access.base, access.bytes, kind)
+                .latency
         }
     }
 
@@ -421,7 +439,9 @@ mod tests {
             blocks: vec![ScheduledBlock {
                 label: "entry".into(),
                 region: vmv_isa::RegionId::SCALAR,
-                bundles: vec![vec![vmv_isa::Op::new(vmv_isa::Opcode::Jump).with_target("nowhere")]],
+                bundles: vec![vec![
+                    vmv_isa::Op::new(vmv_isa::Opcode::Jump).with_target("nowhere")
+                ]],
             }],
             regions: vec![],
         };
@@ -437,7 +457,10 @@ mod tests {
         let machine = presets::vliw(2);
         let compiled = compile(&p, &machine).unwrap();
         let mut sim = Simulator::with_model(&machine, MemoryModel::Perfect);
-        assert!(matches!(sim.run(&compiled.program), Err(SimError::FellOffEnd)));
+        assert!(matches!(
+            sim.run(&compiled.program),
+            Err(SimError::FellOffEnd)
+        ));
     }
 
     #[test]

@@ -49,10 +49,16 @@ pub struct ExecResult {
 
 impl ExecResult {
     fn normal() -> Self {
-        ExecResult { outcome: ExecOutcome::Normal, mem: None }
+        ExecResult {
+            outcome: ExecOutcome::Normal,
+            mem: None,
+        }
     }
     fn with_mem(mem: MemAccess) -> Self {
-        ExecResult { outcome: ExecOutcome::Normal, mem: Some(mem) }
+        ExecResult {
+            outcome: ExecOutcome::Normal,
+            mem: Some(mem),
+        }
     }
 }
 
@@ -68,11 +74,15 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 fn src(op: &Op, i: usize) -> Result<Reg, ExecError> {
-    op.srcs.get(i).copied().ok_or_else(|| ExecError(format!("operand {i} missing in {op}")))
+    op.srcs
+        .get(i)
+        .copied()
+        .ok_or_else(|| ExecError(format!("operand {i} missing in {op}")))
 }
 
 fn dst(op: &Op) -> Result<Reg, ExecError> {
-    op.dst.ok_or_else(|| ExecError(format!("destination missing in {op}")))
+    op.dst
+        .ok_or_else(|| ExecError(format!("destination missing in {op}")))
 }
 
 fn imm(op: &Op) -> i64 {
@@ -95,7 +105,10 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
     let oc = op.opcode;
     match oc {
         Nop => Ok(ExecResult::normal()),
-        Halt => Ok(ExecResult { outcome: ExecOutcome::Halt, mem: None }),
+        Halt => Ok(ExecResult {
+            outcome: ExecOutcome::Halt,
+            mem: None,
+        }),
 
         // ------------------------------------------------------------ scalar
         MovI => {
@@ -206,15 +219,27 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 BrCond::Gt => a > b,
             };
             if taken {
-                let t = op.target.clone().ok_or_else(|| ExecError("branch without target".into()))?;
-                Ok(ExecResult { outcome: ExecOutcome::BranchTaken(t), mem: None })
+                let t = op
+                    .target
+                    .clone()
+                    .ok_or_else(|| ExecError("branch without target".into()))?;
+                Ok(ExecResult {
+                    outcome: ExecOutcome::BranchTaken(t),
+                    mem: None,
+                })
             } else {
                 Ok(ExecResult::normal())
             }
         }
         Jump => {
-            let t = op.target.clone().ok_or_else(|| ExecError("jump without target".into()))?;
-            Ok(ExecResult { outcome: ExecOutcome::BranchTaken(t), mem: None })
+            let t = op
+                .target
+                .clone()
+                .ok_or_else(|| ExecError("jump without target".into()))?;
+            Ok(ExecResult {
+                outcome: ExecOutcome::BranchTaken(t),
+                mem: None,
+            })
         }
 
         // ------------------------------------------------------------ µSIMD
@@ -315,12 +340,20 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
 
         // ------------------------------------------------------------ vector
         SetVL => {
-            let v = if op.srcs.is_empty() { imm(op) } else { rf.read_int(src(op, 0)?) };
+            let v = if op.srcs.is_empty() {
+                imm(op)
+            } else {
+                rf.read_int(src(op, 0)?)
+            };
             rf.vl = (v.max(1) as u32).min(MAX_VL);
             Ok(ExecResult::normal())
         }
         SetVS => {
-            let v = if op.srcs.is_empty() { imm(op) } else { rf.read_int(src(op, 0)?) };
+            let v = if op.srcs.is_empty() {
+                imm(op)
+            } else {
+                rf.read_int(src(op, 0)?)
+            };
             rf.vs = v;
             Ok(ExecResult::normal())
         }
@@ -461,8 +494,8 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
             let mut acc = rf.read_acc(src(op, 0)?);
             let a = rf.read_vec(src(op, 1)?);
             let vl = rf.effective_vl();
-            for i in 0..vl as usize {
-                acc.add_i16(a[i]);
+            for &word in a.iter().take(vl as usize) {
+                acc.add_i16(word);
             }
             rf.write_acc(dst(op)?, acc);
             Ok(ExecResult::normal())
@@ -548,9 +581,7 @@ fn mul_widen(a: u64, b: u64, sign: Sign, odd: bool) -> u64 {
     for i in 0..2 {
         let lane = 2 * i + if odd { 1 } else { 0 };
         let p = match sign {
-            Sign::Signed => {
-                packed::lane_s(a, Elem::H, lane) * packed::lane_s(b, Elem::H, lane)
-            }
+            Sign::Signed => packed::lane_s(a, Elem::H, lane) * packed::lane_s(b, Elem::H, lane),
             Sign::Unsigned => {
                 (packed::lane_u(a, Elem::H, lane) * packed::lane_u(b, Elem::H, lane)) as i64
             }
@@ -577,7 +608,10 @@ mod tests {
     use vmv_machine::presets;
 
     fn setup() -> (RegFiles, MemImage) {
-        (RegFiles::for_machine(&presets::vector2(4)), MemImage::new(4096))
+        (
+            RegFiles::for_machine(&presets::vector2(4)),
+            MemImage::new(4096),
+        )
     }
 
     fn exec(op: Op, rf: &mut RegFiles, mem: &mut MemImage) -> ExecResult {
@@ -587,21 +621,33 @@ mod tests {
     #[test]
     fn scalar_arithmetic_and_immediates() {
         let (mut rf, mut mem) = setup();
-        exec(Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(10), &mut rf, &mut mem);
         exec(
-            Op::new(Opcode::IAdd).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0)]).with_imm(5),
+            Op::new(Opcode::MovI).with_dst(Reg::int(0)).with_imm(10),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::IAdd)
+                .with_dst(Reg::int(1))
+                .with_srcs(&[Reg::int(0)])
+                .with_imm(5),
             &mut rf,
             &mut mem,
         );
         assert_eq!(rf.read_int(Reg::int(1)), 15);
         exec(
-            Op::new(Opcode::IMul).with_dst(Reg::int(2)).with_srcs(&[Reg::int(1), Reg::int(0)]),
+            Op::new(Opcode::IMul)
+                .with_dst(Reg::int(2))
+                .with_srcs(&[Reg::int(1), Reg::int(0)]),
             &mut rf,
             &mut mem,
         );
         assert_eq!(rf.read_int(Reg::int(2)), 150);
         exec(
-            Op::new(Opcode::IDiv).with_dst(Reg::int(3)).with_srcs(&[Reg::int(2)]).with_imm(0),
+            Op::new(Opcode::IDiv)
+                .with_dst(Reg::int(3))
+                .with_srcs(&[Reg::int(2)])
+                .with_imm(0),
             &mut rf,
             &mut mem,
         );
@@ -614,20 +660,26 @@ mod tests {
         mem.write_u8(100, 0xFF);
         rf.write_int(Reg::int(0), 100);
         exec(
-            Op::new(Opcode::Load(MemWidth::B1, Sign::Signed)).with_dst(Reg::int(1)).with_srcs(&[Reg::int(0)]),
+            Op::new(Opcode::Load(MemWidth::B1, Sign::Signed))
+                .with_dst(Reg::int(1))
+                .with_srcs(&[Reg::int(0)]),
             &mut rf,
             &mut mem,
         );
         assert_eq!(rf.read_int(Reg::int(1)), -1);
         exec(
-            Op::new(Opcode::Load(MemWidth::B1, Sign::Unsigned)).with_dst(Reg::int(2)).with_srcs(&[Reg::int(0)]),
+            Op::new(Opcode::Load(MemWidth::B1, Sign::Unsigned))
+                .with_dst(Reg::int(2))
+                .with_srcs(&[Reg::int(0)]),
             &mut rf,
             &mut mem,
         );
         assert_eq!(rf.read_int(Reg::int(2)), 255);
         rf.write_int(Reg::int(3), 0x1_0000_00FF);
         exec(
-            Op::new(Opcode::Store(MemWidth::B2)).with_srcs(&[Reg::int(0), Reg::int(3)]).with_imm(8),
+            Op::new(Opcode::Store(MemWidth::B2))
+                .with_srcs(&[Reg::int(0), Reg::int(3)])
+                .with_imm(8),
             &mut rf,
             &mut mem,
         );
@@ -640,13 +692,18 @@ mod tests {
         rf.write_int(Reg::int(0), 3);
         rf.write_int(Reg::int(1), 3);
         let r = exec(
-            Op::new(Opcode::Br(BrCond::Eq)).with_srcs(&[Reg::int(0), Reg::int(1)]).with_target("t"),
+            Op::new(Opcode::Br(BrCond::Eq))
+                .with_srcs(&[Reg::int(0), Reg::int(1)])
+                .with_target("t"),
             &mut rf,
             &mut mem,
         );
         assert_eq!(r.outcome, ExecOutcome::BranchTaken("t".into()));
         let r = exec(
-            Op::new(Opcode::Br(BrCond::Gt)).with_srcs(&[Reg::int(0)]).with_imm(5).with_target("t"),
+            Op::new(Opcode::Br(BrCond::Gt))
+                .with_srcs(&[Reg::int(0)])
+                .with_imm(5)
+                .with_target("t"),
             &mut rf,
             &mut mem,
         );
@@ -689,7 +746,10 @@ mod tests {
         );
         let out = rf.read_vec(Reg::vec(2));
         for i in 0..4 {
-            assert_eq!(out[i], packed::padd(Elem::B, vmv_isa::Sat::Wrap, va[i], vb[i]));
+            assert_eq!(
+                out[i],
+                packed::padd(Elem::B, vmv_isa::Sat::Wrap, va[i], vb[i])
+            );
         }
         assert_eq!(out[4], 0, "words beyond VL are untouched");
     }
@@ -705,7 +765,9 @@ mod tests {
         rf.vl = 4;
         rf.vs = 64;
         let r = exec(
-            Op::new(Opcode::VLoad).with_dst(Reg::vec(0)).with_srcs(&[Reg::int(0)]),
+            Op::new(Opcode::VLoad)
+                .with_dst(Reg::vec(0))
+                .with_srcs(&[Reg::int(0)]),
             &mut rf,
             &mut mem,
         );
@@ -744,16 +806,24 @@ mod tests {
         vb[1] = b1;
         rf.write_vec(Reg::vec(0), va);
         rf.write_vec(Reg::vec(1), vb);
-        exec(Op::new(Opcode::AccClear).with_dst(Reg::acc(0)), &mut rf, &mut mem);
         exec(
-            Op::new(Opcode::VSadAcc)
-                .with_dst(Reg::acc(0))
-                .with_srcs(&[Reg::acc(0), Reg::vec(0), Reg::vec(1)]),
+            Op::new(Opcode::AccClear).with_dst(Reg::acc(0)),
             &mut rf,
             &mut mem,
         );
         exec(
-            Op::new(Opcode::AccReduce).with_dst(Reg::int(5)).with_srcs(&[Reg::acc(0)]),
+            Op::new(Opcode::VSadAcc).with_dst(Reg::acc(0)).with_srcs(&[
+                Reg::acc(0),
+                Reg::vec(0),
+                Reg::vec(1),
+            ]),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::AccReduce)
+                .with_dst(Reg::int(5))
+                .with_srcs(&[Reg::acc(0)]),
             &mut rf,
             &mut mem,
         );
@@ -773,17 +843,26 @@ mod tests {
         vb[1] = pack_i16x4([100, 100, 100, 100]);
         rf.write_vec(Reg::vec(0), va);
         rf.write_vec(Reg::vec(1), vb);
-        exec(Op::new(Opcode::AccClear).with_dst(Reg::acc(1)), &mut rf, &mut mem);
         exec(
-            Op::new(Opcode::VMacAcc)
-                .with_dst(Reg::acc(1))
-                .with_srcs(&[Reg::acc(1), Reg::vec(0), Reg::vec(1)]),
+            Op::new(Opcode::AccClear).with_dst(Reg::acc(1)),
+            &mut rf,
+            &mut mem,
+        );
+        exec(
+            Op::new(Opcode::VMacAcc).with_dst(Reg::acc(1)).with_srcs(&[
+                Reg::acc(1),
+                Reg::vec(0),
+                Reg::vec(1),
+            ]),
             &mut rf,
             &mut mem,
         );
         // lane0: 10*2 + 1*100 = 120, lane1: 40+200=240, lane2: 60+300=360, lane3: 80+400=480
         exec(
-            Op::new(Opcode::AccPackShrH).with_dst(Reg::simd(7)).with_srcs(&[Reg::acc(1)]).with_imm(2),
+            Op::new(Opcode::AccPackShrH)
+                .with_dst(Reg::simd(7))
+                .with_srcs(&[Reg::acc(1)])
+                .with_imm(2),
             &mut rf,
             &mut mem,
         );
@@ -794,12 +873,26 @@ mod tests {
     #[test]
     fn setvl_clamps_and_setvs_sets_stride() {
         let (mut rf, mut mem) = setup();
-        exec(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(99), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(99),
+            &mut rf,
+            &mut mem,
+        );
         assert_eq!(rf.vl, 16);
-        exec(Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(6), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::SetVL).with_dst(Reg::vl()).with_imm(6),
+            &mut rf,
+            &mut mem,
+        );
         assert_eq!(rf.vl, 6);
         rf.write_int(Reg::int(9), 640);
-        exec(Op::new(Opcode::SetVS).with_dst(Reg::vs()).with_srcs(&[Reg::int(9)]), &mut rf, &mut mem);
+        exec(
+            Op::new(Opcode::SetVS)
+                .with_dst(Reg::vs())
+                .with_srcs(&[Reg::int(9)]),
+            &mut rf,
+            &mut mem,
+        );
         assert_eq!(rf.vs, 640);
     }
 
@@ -809,12 +902,16 @@ mod tests {
         let bytes = pack_u8x8([1, 2, 3, 4, 250, 251, 252, 253]);
         rf.write_simd(Reg::simd(0), bytes);
         exec(
-            Op::new(Opcode::PWidenLo(Elem::B, Sign::Unsigned)).with_dst(Reg::simd(1)).with_srcs(&[Reg::simd(0)]),
+            Op::new(Opcode::PWidenLo(Elem::B, Sign::Unsigned))
+                .with_dst(Reg::simd(1))
+                .with_srcs(&[Reg::simd(0)]),
             &mut rf,
             &mut mem,
         );
         exec(
-            Op::new(Opcode::PWidenHi(Elem::B, Sign::Unsigned)).with_dst(Reg::simd(2)).with_srcs(&[Reg::simd(0)]),
+            Op::new(Opcode::PWidenHi(Elem::B, Sign::Unsigned))
+                .with_dst(Reg::simd(2))
+                .with_srcs(&[Reg::simd(0)]),
             &mut rf,
             &mut mem,
         );

@@ -13,7 +13,9 @@ pub struct MemImage {
 impl MemImage {
     /// Create a zero-initialised memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        MemImage { bytes: vec![0; size] }
+        MemImage {
+            bytes: vec![0; size],
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -26,7 +28,9 @@ impl MemImage {
 
     fn check(&self, addr: u64, len: usize) {
         assert!(
-            (addr as usize).checked_add(len).is_some_and(|end| end <= self.bytes.len()),
+            (addr as usize)
+                .checked_add(len)
+                .is_some_and(|end| end <= self.bytes.len()),
             "memory access out of bounds: addr={addr:#x} len={len} size={:#x}",
             self.bytes.len()
         );
@@ -84,7 +88,9 @@ impl MemImage {
     }
 
     pub fn read_i16_slice(&self, addr: u64, count: usize) -> Vec<i16> {
-        (0..count).map(|i| self.read_u16(addr + 2 * i as u64) as i16).collect()
+        (0..count)
+            .map(|i| self.read_u16(addr + 2 * i as u64) as i16)
+            .collect()
     }
 
     pub fn write_i32_slice(&mut self, addr: u64, data: &[i32]) {
@@ -94,7 +100,9 @@ impl MemImage {
     }
 
     pub fn read_i32_slice(&self, addr: u64, count: usize) -> Vec<i32> {
-        (0..count).map(|i| self.read_u32(addr + 4 * i as u64) as i32).collect()
+        (0..count)
+            .map(|i| self.read_u32(addr + 4 * i as u64) as i32)
+            .collect()
     }
 
     pub fn write_u8_slice(&mut self, addr: u64, data: &[u8]) {

@@ -73,7 +73,10 @@ impl RunStats {
 
     /// Aggregate statistics of the scalar region (region 0).
     pub fn scalar(&self) -> RegionStats {
-        self.regions.get(&RegionId::SCALAR).copied().unwrap_or_default()
+        self.regions
+            .get(&RegionId::SCALAR)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Aggregate statistics over every *vector* region (regions 1..).

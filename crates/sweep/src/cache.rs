@@ -1,0 +1,165 @@
+//! Compile memoization: each benchmark program is scheduled **once** per
+//! unique `(benchmark, ISA variant, schedule-relevant machine fields)` and
+//! the resulting [`Prepared`] (static schedule + memory image + checks) is
+//! shared across every run that only varies memory-system parameters or the
+//! memory model.
+//!
+//! A sweep over cache geometries or memory latencies therefore pays the
+//! scheduler exactly once per architecture point, no matter how many memory
+//! variants it simulates.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vmv_core::{prepare, ExperimentError, Prepared};
+use vmv_kernels::{Benchmark, IsaVariant};
+use vmv_machine::MachineConfig;
+
+use crate::fingerprint::schedule_fingerprint;
+
+/// Cache key: benchmark, the ISA variant it is compiled in, and the
+/// schedule-relevant machine fields.
+pub type CacheKey = (Benchmark, IsaVariant, String);
+
+/// One cache slot.  The per-slot mutex serialises compilation of the *same*
+/// key (so a key is scheduled exactly once even under contention) while
+/// distinct keys compile fully in parallel.
+type Slot = Arc<Mutex<Option<Result<Arc<Prepared>, String>>>>;
+
+/// Thread-safe compile cache.
+#[derive(Default)]
+pub struct CompileCache {
+    slots: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counters exposed for reporting and for the exactly-one-schedule tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from an already-compiled entry.
+    pub hits: u64,
+    /// Lookups that had to run the scheduler (== number of schedules).
+    pub misses: u64,
+}
+
+impl CompileCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The key this cache files `(benchmark, machine)` under.
+    pub fn key_for(benchmark: Benchmark, machine: &MachineConfig) -> CacheKey {
+        (
+            benchmark,
+            vmv_core::variant_for(machine),
+            schedule_fingerprint(machine),
+        )
+    }
+
+    /// Fetch the compiled program for `(benchmark, machine)`, scheduling it
+    /// on a miss.  Concurrent requests for the same key block until the
+    /// first finishes; errors are cached too (a machine that cannot compile
+    /// a benchmark fails fast on every retry).
+    pub fn get_or_compile(
+        &self,
+        benchmark: Benchmark,
+        machine: &MachineConfig,
+    ) -> Result<Arc<Prepared>, ExperimentError> {
+        let key = Self::key_for(benchmark, machine);
+        let slot: Slot = {
+            let mut slots = self.slots.lock().unwrap();
+            slots.entry(key).or_default().clone()
+        };
+        let mut guard = slot.lock().unwrap();
+        match &*guard {
+            Some(Ok(prepared)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(prepared))
+            }
+            Some(Err(msg)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Err(ExperimentError::Compile(msg.clone()))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let result = prepare(benchmark, machine).map(Arc::new);
+                *guard = Some(match &result {
+                    Ok(prepared) => Ok(Arc::clone(prepared)),
+                    Err(e) => Err(e.to_string()),
+                });
+                result
+            }
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys ever compiled (or attempted).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_machine::presets;
+
+    #[test]
+    fn memory_variants_share_one_schedule() {
+        let cache = CompileCache::new();
+        let base = presets::vector2(2);
+        let mut big_l2 = base.clone();
+        big_l2.memory.l2_size *= 4;
+        let mut slow_dram = base.clone();
+        slow_dram.memory.mem_latency = 100;
+
+        for machine in [&base, &big_l2, &slow_dram, &base] {
+            cache.get_or_compile(Benchmark::GsmDec, machine).unwrap();
+        }
+        let c = cache.counters();
+        assert_eq!(c.misses, 1, "one schedule for four memory-variant lookups");
+        assert_eq!(c.hits, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn schedule_relevant_changes_recompile() {
+        let cache = CompileCache::new();
+        let base = presets::vector2(2);
+        let mut wide = base.clone();
+        wide.vector_lanes = 8;
+        cache.get_or_compile(Benchmark::GsmDec, &base).unwrap();
+        cache.get_or_compile(Benchmark::GsmDec, &wide).unwrap();
+        cache.get_or_compile(Benchmark::GsmEnc, &base).unwrap();
+        assert_eq!(cache.counters().misses, 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_schedule_exactly_once() {
+        let cache = CompileCache::new();
+        let machine = presets::usimd(2);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_compile(Benchmark::GsmDec, &machine).unwrap();
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.misses, 1, "eight concurrent lookups, one schedule");
+        assert_eq!(c.hits, 7);
+    }
+}

@@ -1,0 +1,313 @@
+//! The parallel sweep executor: a work-stealing pool over
+//! `std::thread::scope` that runs every `(design point, benchmark)` job,
+//! sharing one [`CompileCache`] so each program is scheduled once per
+//! unique schedule key, and skipping jobs whose run keys are already in the
+//! result store.
+//!
+//! Results are collected into pre-assigned slots, so the report order is
+//! deterministic (point-major, benchmark-minor) regardless of the worker
+//! count or scheduling jitter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use vmv_core::simulate;
+use vmv_kernels::Benchmark;
+
+use crate::cache::{CacheCounters, CompileCache};
+use crate::spec::SweepPoint;
+use crate::store::{run_key, ResultStore, RunRecord};
+
+/// Executor options.
+#[derive(Clone)]
+pub struct ExecOptions {
+    /// Benchmarks to run at every design point.
+    pub benchmarks: Vec<Benchmark>,
+    /// Worker threads (0 = one per available core, capped at 16).
+    pub workers: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            benchmarks: Benchmark::ALL.to_vec(),
+            workers: 0,
+        }
+    }
+}
+
+impl ExecOptions {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            vmv_core::workers_capped(16)
+        }
+    }
+}
+
+/// Outcome of one sweep invocation.
+pub struct SweepReport {
+    /// Records completed *this* invocation, in deterministic job order.
+    pub records: Vec<RunRecord>,
+    /// Jobs skipped because their key was already in the store.
+    pub skipped: usize,
+    /// Failed jobs as `(job description, error)` — a failing extreme point
+    /// does not abort the rest of the sweep.
+    pub errors: Vec<(String, String)>,
+    /// Compile-cache counters (misses == schedules performed).
+    pub cache: CacheCounters,
+    /// Wall-clock seconds of the parallel phase.
+    pub wall_seconds: f64,
+}
+
+/// Run `benchmarks × points` in parallel.  When `store` is given, jobs whose
+/// run keys are already persisted are skipped and new records are **streamed**
+/// to it while the sweep runs: the main thread commits the completed prefix
+/// of the job list as workers finish, so an interrupted sweep keeps
+/// everything up to the first still-running job, and the file content stays
+/// deterministic (job order) regardless of the worker count.
+///
+/// A job that panics (e.g. a generated configuration the simulator's memory
+/// model rejects) is caught and reported in `errors` like any other failed
+/// job — it never aborts the rest of the sweep.
+pub fn run_sweep(
+    points: &[SweepPoint],
+    opts: &ExecOptions,
+    store: Option<&ResultStore>,
+) -> std::io::Result<SweepReport> {
+    let cache = CompileCache::new();
+    let done = match store {
+        Some(s) => s.completed_keys()?,
+        None => Default::default(),
+    };
+
+    // Point-major job list so every job has a stable index.
+    struct Job<'a> {
+        point: &'a SweepPoint,
+        benchmark: Benchmark,
+        key: String,
+    }
+    let mut jobs = Vec::with_capacity(points.len() * opts.benchmarks.len());
+    let mut skipped = 0usize;
+    for point in points {
+        for &benchmark in &opts.benchmarks {
+            let variant = vmv_core::variant_for(&point.machine);
+            let key = run_key(benchmark, variant, &point.machine, point.model);
+            if done.contains(&key) {
+                skipped += 1;
+            } else {
+                jobs.push(Job {
+                    point,
+                    benchmark,
+                    key,
+                });
+            }
+        }
+    }
+
+    let slots: Vec<Mutex<Option<Result<RunRecord, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Raised by the committer when the store breaks: simulating jobs whose
+    // results could never be persisted or reported would be wasted work.
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let start = Instant::now();
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut errors = Vec::new();
+    let mut append_error: Option<std::io::Error> = None;
+    std::thread::scope(|scope| {
+        for _ in 0..opts.effective_workers() {
+            scope.spawn(|| loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache
+                        .get_or_compile(job.benchmark, &job.point.machine)
+                        .and_then(|prepared| {
+                            simulate(&prepared, &job.point.machine, job.point.model)
+                        })
+                        .map(|outcome| RunRecord {
+                            key: job.key.clone(),
+                            config: job.point.name.clone(),
+                            benchmark: job.benchmark.name().to_string(),
+                            variant: outcome.variant.name().to_string(),
+                            model: format!("{:?}", job.point.model),
+                            cycles: outcome.stats.cycles(),
+                            stall_cycles: outcome.stats.total().stall_cycles,
+                            operations: outcome.stats.total().operations,
+                            micro_ops: outcome.stats.total().micro_ops,
+                            vector_cycles: outcome.stats.vector().cycles,
+                            check_ok: outcome.check_failures.is_empty(),
+                        })
+                        .map_err(|e| e.to_string())
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(&panic)));
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+
+        // The main thread is the committer: persist the completed prefix of
+        // the job list as it grows.
+        let mut committed = 0usize;
+        while committed < jobs.len() {
+            let mut batch = Vec::new();
+            while committed < jobs.len() {
+                let taken = slots[committed].lock().unwrap().take();
+                match taken {
+                    Some(Ok(record)) => batch.push(record),
+                    Some(Err(e)) => {
+                        let job = &jobs[committed];
+                        errors.push((format!("{} on {}", job.benchmark.name(), job.point.name), e));
+                    }
+                    None => break,
+                }
+                committed += 1;
+            }
+            if !batch.is_empty() {
+                if let Some(s) = store {
+                    if let Err(e) = s.append(&batch) {
+                        append_error = Some(e);
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                records.extend(batch);
+            }
+            if committed < jobs.len() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    });
+    if let Some(e) = append_error {
+        return Err(e);
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    Ok(SweepReport {
+        records,
+        skipped,
+        errors,
+        cache: cache.counters(),
+        wall_seconds,
+    })
+}
+
+/// Best-effort text of a worker panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Axis, SweepSpec};
+
+    fn small_points() -> Vec<SweepPoint> {
+        SweepSpec::new()
+            .axis(Axis::vector_lanes(&[1, 2, 4]))
+            .axis(Axis::mem_latency(&[100, 500]))
+            .expand()
+            .points
+    }
+
+    #[test]
+    fn executor_is_deterministic_across_worker_counts() {
+        let points = small_points();
+        let mut reports = Vec::new();
+        for workers in [1, 4] {
+            let opts = ExecOptions {
+                benchmarks: vec![Benchmark::GsmDec],
+                workers,
+            };
+            reports.push(run_sweep(&points, &opts, None).unwrap());
+        }
+        let a = &reports[0];
+        let b = &reports[1];
+        assert_eq!(
+            a.records, b.records,
+            "1-thread and 4-thread runs must agree exactly"
+        );
+        assert_eq!(a.records.len(), points.len());
+        assert!(a.errors.is_empty(), "{:?}", a.errors);
+        assert!(a.records.iter().all(|r| r.check_ok));
+    }
+
+    #[test]
+    fn compile_cache_schedules_once_per_schedule_key() {
+        let points = small_points();
+        let opts = ExecOptions {
+            benchmarks: vec![Benchmark::GsmDec],
+            workers: 4,
+        };
+        let report = run_sweep(&points, &opts, None).unwrap();
+        // 3 lane values × 2 memory latencies = 6 points, but only the 3
+        // lane values differ in schedule-relevant fields.
+        assert_eq!(
+            report.cache.misses, 3,
+            "one schedule per (benchmark, schedule key)"
+        );
+        assert_eq!(report.cache.hits, 3);
+    }
+
+    #[test]
+    fn panicking_points_are_reported_not_fatal() {
+        // 48 KB with the default 4-way/32-byte geometry gives 384 sets —
+        // not a power of two, so the cache model panics on construction.
+        let points = SweepSpec::new()
+            .axis(Axis::l1_size(&[48 * 1024, 16 * 1024]))
+            .expand()
+            .points;
+        let opts = ExecOptions {
+            benchmarks: vec![Benchmark::GsmDec],
+            workers: 2,
+        };
+        let report = run_sweep(&points, &opts, None).unwrap();
+        assert_eq!(report.records.len(), 1, "the healthy point still completes");
+        assert_eq!(report.errors.len(), 1);
+        assert!(
+            report.errors[0].1.contains("panicked"),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn store_skips_already_completed_runs() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("vmv_sweep_exec_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store = ResultStore::open(&path);
+
+        let points = small_points();
+        let opts = ExecOptions {
+            benchmarks: vec![Benchmark::GsmDec],
+            workers: 2,
+        };
+        let first = run_sweep(&points, &opts, Some(&store)).unwrap();
+        assert_eq!(first.records.len(), points.len());
+        assert_eq!(first.skipped, 0);
+
+        let second = run_sweep(&points, &opts, Some(&store)).unwrap();
+        assert_eq!(second.records.len(), 0, "everything already persisted");
+        assert_eq!(second.skipped, points.len());
+        assert_eq!(second.cache.misses, 0, "skipped jobs never compile");
+
+        // The store still holds exactly one record per job.
+        assert_eq!(store.load().unwrap().len(), points.len());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,53 @@
+//! # vmv-sweep — parallel design-space exploration
+//!
+//! The paper evaluates ten hand-picked configurations (Table 2).  This
+//! crate turns the reproduction into an exploration engine:
+//!
+//! * [`SweepSpec`] declares parameter **axes** over
+//!   [`vmv_machine::MachineConfig`] (issue width, vector units, lanes, port
+//!   widths, cache geometry, latencies, memory model) plus constraint
+//!   predicates, and expands the cartesian product into named, deduplicated
+//!   design points — structural axes go through the Table 2 scaling rules
+//!   of `vmv_machine::gen`, so every point is a plausible machine;
+//! * [`run_sweep`] executes `points × benchmarks` on a work-stealing thread
+//!   pool, with a [`CompileCache`] keyed by `(benchmark, ISA variant,
+//!   schedule-relevant machine fields)` so each program is **scheduled once**
+//!   and re-simulated across every memory variation;
+//! * [`ResultStore`] streams each run as a JSON Line with a stable
+//!   content-derived [`run_key`], so re-invocations **skip completed runs**
+//!   and extend the same file;
+//! * [`pareto_report`] (cycles vs. an abstract hardware-cost model) and
+//!   [`sensitivity`] (per-axis performance swing) summarise the result set.
+//!
+//! ```no_run
+//! use vmv_sweep::{Axis, ExecOptions, ResultStore, SweepSpec};
+//!
+//! let expansion = SweepSpec::new()
+//!     .axis(Axis::issue_width(&[2, 4]))
+//!     .axis(Axis::vector_lanes(&[2, 4, 8]))
+//!     .axis(Axis::mem_latency(&[100, 500]))
+//!     .constraint("lanes fit the port", |m, _| m.vector_lanes >= m.l2_port_elems / 2)
+//!     .expand();
+//! let store = ResultStore::open("sweep_results.jsonl");
+//! let report =
+//!     vmv_sweep::run_sweep(&expansion.points, &ExecOptions::default(), Some(&store)).unwrap();
+//! println!("{} runs, {} schedules", report.records.len(), report.cache.misses);
+//! ```
+
+pub mod cache;
+pub mod executor;
+pub mod fingerprint;
+pub mod json;
+pub mod pareto;
+pub mod sensitivity;
+pub mod spec;
+pub mod store;
+
+pub use cache::{CacheCounters, CompileCache};
+pub use executor::{run_sweep, ExecOptions, SweepReport};
+pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
+pub use json::{Json, JsonError};
+pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
+pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
+pub use spec::{Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec};
+pub use store::{matched_records, point_key_index, run_key, ResultStore, RunRecord};

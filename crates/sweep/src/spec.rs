@@ -1,0 +1,452 @@
+//! Declarative sweep specifications: parameter axes over [`MachineConfig`]
+//! (and the memory model), constraint predicates, and expansion of the
+//! cartesian product into named, deduplicated design points.
+//!
+//! An axis mutates a [`Draft`] — the structural machine parameters
+//! ([`GenParams`]), the memory-hierarchy parameters, the latency table and
+//! the memory model.  Structural axes (ISA, issue width, vector units,
+//! lanes, port width) feed the Table 2 scaling rules of
+//! [`vmv_machine::gen`], so dependent resources (register files, cache
+//! ports, functional units) stay consistent at every point — the sweep
+//! explores *plausible* machines, not arbitrary field combinations.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use vmv_machine::{gen, GenParams, IsaSupport, LatencyTable, MachineConfig, MemoryParams};
+use vmv_mem::MemoryModel;
+
+use crate::fingerprint::full_fingerprint;
+
+/// The mutable state an axis value applies itself to.
+#[derive(Debug, Clone, Copy)]
+pub struct Draft {
+    pub gen: GenParams,
+    pub memory: MemoryParams,
+    pub latencies: LatencyTable,
+    pub model: MemoryModel,
+}
+
+impl Default for Draft {
+    fn default() -> Self {
+        Draft {
+            gen: GenParams::default(),
+            memory: MemoryParams::default(),
+            latencies: LatencyTable::default(),
+            model: MemoryModel::Realistic,
+        }
+    }
+}
+
+/// The mutation an axis value applies to a [`Draft`].
+pub type Apply = Arc<dyn Fn(&mut Draft) + Send + Sync>;
+type Predicate = Arc<dyn Fn(&MachineConfig, MemoryModel) -> bool + Send + Sync>;
+
+/// One value of an axis: a short label (used in point names and sensitivity
+/// reports) plus the mutation it applies.
+#[derive(Clone)]
+pub struct AxisValue {
+    pub label: String,
+    apply: Apply,
+}
+
+/// A named sweep axis.
+#[derive(Clone)]
+pub struct Axis {
+    pub name: String,
+    pub values: Vec<AxisValue>,
+}
+
+impl Axis {
+    /// A custom axis from `(label, mutation)` pairs.
+    pub fn custom(name: &str, values: Vec<(String, Apply)>) -> Axis {
+        Axis {
+            name: name.to_string(),
+            values: values
+                .into_iter()
+                .map(|(label, apply)| AxisValue { label, apply })
+                .collect(),
+        }
+    }
+
+    fn from_fn<T: Copy + Send + Sync + 'static>(
+        name: &str,
+        values: &[T],
+        label: impl Fn(T) -> String,
+        apply: impl Fn(T, &mut Draft) + Send + Sync + Copy + 'static,
+    ) -> Axis {
+        Axis {
+            name: name.to_string(),
+            values: values
+                .iter()
+                .map(|&v| AxisValue {
+                    label: label(v),
+                    apply: Arc::new(move |d: &mut Draft| apply(v, d)),
+                })
+                .collect(),
+        }
+    }
+
+    /// ISA family (`vliw`, `usimd`, `vector`).
+    pub fn isa(values: &[IsaSupport]) -> Axis {
+        Axis::from_fn(
+            "isa",
+            values,
+            |v| {
+                match v {
+                    IsaSupport::Vliw => "vliw",
+                    IsaSupport::Usimd => "usimd",
+                    IsaSupport::Vector => "vector",
+                }
+                .to_string()
+            },
+            |v, d| d.gen.isa = v,
+        )
+    }
+
+    /// Issue width (power of two, 2–16).
+    pub fn issue_width(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "issue_width",
+            values,
+            |v| format!("{v}w"),
+            |v, d| d.gen.issue_width = v,
+        )
+    }
+
+    /// Number of vector functional units.
+    pub fn vector_units(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "vector_units",
+            values,
+            |v| format!("vu{v}"),
+            |v, d| d.gen.vector_units = v,
+        )
+    }
+
+    /// Parallel lanes per vector unit.
+    pub fn vector_lanes(values: &[u32]) -> Axis {
+        Axis::from_fn(
+            "vector_lanes",
+            values,
+            |v| format!("ln{v}"),
+            |v, d| d.gen.vector_lanes = v,
+        )
+    }
+
+    /// Width of the L2 vector-cache port in 64-bit elements.
+    pub fn l2_port_elems(values: &[u32]) -> Axis {
+        Axis::from_fn(
+            "l2_port_elems",
+            values,
+            |v| format!("pe{v}"),
+            |v, d| d.gen.l2_port_elems = v,
+        )
+    }
+
+    /// L1 data-cache size in bytes.
+    pub fn l1_size(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l1_size",
+            values,
+            |v| format!("l1:{}K", v / 1024),
+            |v, d| d.memory.l1_size = v,
+        )
+    }
+
+    /// L2 vector-cache size in bytes.
+    pub fn l2_size(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l2_size",
+            values,
+            |v| format!("l2:{}K", v / 1024),
+            |v, d| d.memory.l2_size = v,
+        )
+    }
+
+    /// L2 hit latency in cycles (kept in lock-step with the scheduler's
+    /// assumed vector-memory latency, as in the paper's Fig. 4 example).
+    pub fn l2_latency(values: &[u32]) -> Axis {
+        Axis::from_fn(
+            "l2_latency",
+            values,
+            |v| format!("l2lat{v}"),
+            |v, d| {
+                d.memory.l2_latency = v;
+                d.latencies.vec_mem = v;
+            },
+        )
+    }
+
+    /// Main-memory latency in cycles.
+    pub fn mem_latency(values: &[u32]) -> Axis {
+        Axis::from_fn(
+            "mem_latency",
+            values,
+            |v| format!("dram{v}"),
+            |v, d| d.memory.mem_latency = v,
+        )
+    }
+
+    /// Memory model (perfect / realistic).
+    pub fn memory_model(values: &[MemoryModel]) -> Axis {
+        Axis::from_fn(
+            "memory_model",
+            values,
+            |v| {
+                match v {
+                    MemoryModel::Perfect => "perfect",
+                    MemoryModel::Realistic => "realistic",
+                }
+                .to_string()
+            },
+            |v, d| d.model = v,
+        )
+    }
+}
+
+/// One expanded design point: a concrete machine, a memory model, and the
+/// axis labels it was built from.
+#[derive(Clone)]
+pub struct SweepPoint {
+    /// Stable human-readable name ("vector/4w/vu2/ln4/…").
+    pub name: String,
+    pub machine: MachineConfig,
+    pub model: MemoryModel,
+    /// `(axis name, value label)` in axis order, for sensitivity analysis.
+    pub labels: Vec<(String, String)>,
+}
+
+/// Summary of an expansion: the surviving points plus what was filtered.
+pub struct Expansion {
+    pub points: Vec<SweepPoint>,
+    /// Raw cartesian-product size before constraints and deduplication.
+    pub raw: usize,
+    /// Points rejected by a constraint predicate.
+    pub rejected: usize,
+    /// Points dropped because an identical (machine, model) already existed.
+    pub duplicates: usize,
+}
+
+/// A declarative sweep specification.
+#[derive(Clone, Default)]
+pub struct SweepSpec {
+    axes: Vec<Axis>,
+    constraints: Vec<(String, Predicate)>,
+}
+
+impl SweepSpec {
+    /// A sweep starting from the paper's 2-issue Vector1 draft; every axis
+    /// not declared keeps its default value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an axis.  Axes apply in declaration order; later axes win when
+    /// two touch the same field.
+    pub fn axis(mut self, axis: Axis) -> Self {
+        assert!(
+            !axis.values.is_empty(),
+            "axis '{}' has no values",
+            axis.name
+        );
+        assert!(
+            !self.axes.iter().any(|a| a.name == axis.name),
+            "duplicate axis '{}'",
+            axis.name
+        );
+        self.axes.push(axis);
+        self
+    }
+
+    /// Add a named constraint; points where the predicate returns `false`
+    /// are dropped during expansion.
+    pub fn constraint(
+        mut self,
+        name: &str,
+        pred: impl Fn(&MachineConfig, MemoryModel) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.constraints.push((name.to_string(), Arc::new(pred)));
+        self
+    }
+
+    /// Number of points the cartesian product would produce before
+    /// constraints and deduplication.
+    pub fn raw_size(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Expand the cartesian product into named, deduplicated, constraint-
+    /// filtered design points.  Expansion is deterministic: points appear in
+    /// odometer order over the axes as declared.
+    pub fn expand(&self) -> Expansion {
+        let raw = self.raw_size();
+        let mut points = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut rejected = 0usize;
+        let mut duplicates = 0usize;
+
+        // Odometer over axis value indices (last axis spins fastest).
+        let mut idx = vec![0usize; self.axes.len()];
+        'outer: loop {
+            let mut draft = Draft::default();
+            let mut labels = Vec::with_capacity(self.axes.len());
+            for (axis, &i) in self.axes.iter().zip(&idx) {
+                let value = &axis.values[i];
+                (value.apply)(&mut draft);
+                labels.push((axis.name.clone(), value.label.clone()));
+            }
+
+            let mut machine = gen::generate(&draft.gen);
+            machine.memory = draft.memory;
+            machine.latencies = draft.latencies;
+            let name = if labels.is_empty() {
+                machine.name.clone()
+            } else {
+                labels
+                    .iter()
+                    .map(|(_, l)| l.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            };
+            machine.name = name.clone();
+
+            if self
+                .constraints
+                .iter()
+                .all(|(_, pred)| pred(&machine, draft.model))
+            {
+                let fingerprint = format!("{}|{:?}", full_fingerprint(&machine), draft.model);
+                if seen.insert(fingerprint) {
+                    points.push(SweepPoint {
+                        name,
+                        machine,
+                        model: draft.model,
+                        labels,
+                    });
+                } else {
+                    duplicates += 1;
+                }
+            } else {
+                rejected += 1;
+            }
+
+            // Advance the odometer.
+            for pos in (0..idx.len()).rev() {
+                idx[pos] += 1;
+                if idx[pos] < self.axes[pos].values.len() {
+                    continue 'outer;
+                }
+                idx[pos] = 0;
+            }
+            break;
+        }
+        Expansion {
+            points,
+            raw,
+            rejected,
+            duplicates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane_spec() -> SweepSpec {
+        SweepSpec::new()
+            .axis(Axis::issue_width(&[2, 4]))
+            .axis(Axis::vector_units(&[1, 2]))
+            .axis(Axis::vector_lanes(&[2, 4, 8]))
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product() {
+        let e = lane_spec().expand();
+        assert_eq!(e.raw, 2 * 2 * 3);
+        assert_eq!(e.points.len(), 12);
+        assert_eq!(e.rejected, 0);
+        assert_eq!(e.duplicates, 0);
+        // Odometer order: last axis fastest.
+        assert_eq!(e.points[0].name, "2w/vu1/ln2");
+        assert_eq!(e.points[1].name, "2w/vu1/ln4");
+        assert_eq!(e.points[11].name, "4w/vu2/ln8");
+        // Structural scaling applied: the 4-issue points get Table 2's
+        // larger register files.
+        assert_eq!(e.points[0].machine.regs.vec, 20);
+        assert_eq!(e.points[11].machine.regs.vec, 32);
+    }
+
+    #[test]
+    fn names_are_unique_and_labels_match_axes() {
+        let e = lane_spec().expand();
+        let names: HashSet<_> = e.points.iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names.len(), e.points.len());
+        for p in &e.points {
+            assert_eq!(p.labels.len(), 3);
+            assert_eq!(p.labels[0].0, "issue_width");
+            assert_eq!(p.labels[2].0, "vector_lanes");
+        }
+    }
+
+    #[test]
+    fn constraints_filter_points() {
+        let e = lane_spec()
+            .constraint("at most 4 total lane-units", |m, _| {
+                m.vector_units as u32 * m.vector_lanes <= 4
+            })
+            .expand();
+        // Surviving combos: vu1×{2,4}, vu2×{2} per width.
+        assert_eq!(e.points.len(), 2 * 3);
+        assert_eq!(e.rejected, 12 - 6);
+        assert!(e
+            .points
+            .iter()
+            .all(|p| p.machine.vector_units as u32 * p.machine.vector_lanes <= 4));
+    }
+
+    #[test]
+    fn identical_configurations_are_deduplicated() {
+        // Two axes that produce the same machine for every combination:
+        // lanes {4, 4} via different labels.
+        let spec = SweepSpec::new().axis(Axis::custom(
+            "lanes",
+            vec![
+                (
+                    "a".to_string(),
+                    Arc::new(|d: &mut Draft| d.gen.vector_lanes = 4) as _,
+                ),
+                (
+                    "b".to_string(),
+                    Arc::new(|d: &mut Draft| d.gen.vector_lanes = 4) as _,
+                ),
+            ],
+        ));
+        let e = spec.expand();
+        assert_eq!(e.raw, 2);
+        assert_eq!(e.points.len(), 1);
+        assert_eq!(e.duplicates, 1);
+    }
+
+    #[test]
+    fn memory_axes_do_not_change_the_schedule_relevant_fields() {
+        let e = SweepSpec::new()
+            .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
+            .axis(Axis::mem_latency(&[100, 500]))
+            .expand();
+        assert_eq!(e.points.len(), 4);
+        let first = crate::fingerprint::schedule_fingerprint(&e.points[0].machine);
+        for p in &e.points {
+            assert_eq!(crate::fingerprint::schedule_fingerprint(&p.machine), first);
+        }
+    }
+
+    #[test]
+    fn empty_spec_expands_to_the_default_draft() {
+        let e = SweepSpec::new().expand();
+        assert_eq!(e.points.len(), 1);
+        assert_eq!(e.points[0].model, MemoryModel::Realistic);
+        assert_eq!(e.points[0].machine.vector_units, 1);
+    }
+}

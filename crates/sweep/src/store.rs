@@ -1,0 +1,361 @@
+//! The JSONL result store: one run per line, each with a stable
+//! content-derived key, so interrupted or extended sweeps resume
+//! incrementally — runs whose keys are already on disk are skipped.
+//!
+//! The key hashes the benchmark, ISA variant, memory model and the *full*
+//! machine fingerprint (every architectural and memory parameter, but not
+//! the display name): the same design point always maps to the same key, on
+//! any machine, in any session.
+
+use std::collections::HashSet;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use vmv_kernels::{Benchmark, IsaVariant};
+use vmv_machine::MachineConfig;
+use vmv_mem::MemoryModel;
+
+use crate::fingerprint::{fnv1a64, full_fingerprint};
+use crate::json::Json;
+
+/// Stable content-derived key of one run (16 hex digits).
+pub fn run_key(
+    benchmark: Benchmark,
+    variant: IsaVariant,
+    machine: &MachineConfig,
+    model: MemoryModel,
+) -> String {
+    let canonical = format!(
+        "{}|{}|{:?}|{}",
+        benchmark.name(),
+        variant.name(),
+        model,
+        full_fingerprint(machine)
+    );
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+/// One persisted run: the measurement columns every analysis pass needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    pub key: String,
+    /// Design-point name (display only; never part of the key).
+    pub config: String,
+    pub benchmark: String,
+    pub variant: String,
+    pub model: String,
+    pub cycles: u64,
+    pub stall_cycles: u64,
+    pub operations: u64,
+    pub micro_ops: u64,
+    /// Cycles spent in the vector regions.
+    pub vector_cycles: u64,
+    /// Whether every golden-output check passed.
+    pub check_ok: bool,
+}
+
+impl RunRecord {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("key".into(), Json::str(&self.key)),
+            ("config".into(), Json::str(&self.config)),
+            ("benchmark".into(), Json::str(&self.benchmark)),
+            ("variant".into(), Json::str(&self.variant)),
+            ("model".into(), Json::str(&self.model)),
+            ("cycles".into(), Json::u64(self.cycles)),
+            ("stall_cycles".into(), Json::u64(self.stall_cycles)),
+            ("operations".into(), Json::u64(self.operations)),
+            ("micro_ops".into(), Json::u64(self.micro_ops)),
+            ("vector_cycles".into(), Json::u64(self.vector_cycles)),
+            ("check_ok".into(), Json::Bool(self.check_ok)),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<RunRecord> {
+        Some(RunRecord {
+            key: v.get("key")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            benchmark: v.get("benchmark")?.as_str()?.to_string(),
+            variant: v.get("variant")?.as_str()?.to_string(),
+            model: v.get("model")?.as_str()?.to_string(),
+            cycles: v.get("cycles")?.as_u64()?,
+            stall_cycles: v.get("stall_cycles")?.as_u64()?,
+            operations: v.get("operations")?.as_u64()?,
+            micro_ops: v.get("micro_ops")?.as_u64()?,
+            vector_cycles: v.get("vector_cycles")?.as_u64()?,
+            check_ok: v.get("check_ok")?.as_bool()?,
+        })
+    }
+}
+
+/// Map every run key of `points × benchmarks` to the index of its design
+/// point.  The analyses use this to join stored records to points by
+/// *content* — display names can change between sweeps without orphaning
+/// records.
+pub fn point_key_index(
+    points: &[crate::spec::SweepPoint],
+    benchmarks: &[Benchmark],
+) -> std::collections::HashMap<String, usize> {
+    let mut map = std::collections::HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let variant = vmv_core::variant_for(&p.machine);
+        for &benchmark in benchmarks {
+            map.insert(run_key(benchmark, variant, &p.machine, p.model), i);
+        }
+    }
+    map
+}
+
+/// Join `records` to `points` by content-derived run key (over all six
+/// benchmarks): failed-check records are dropped, duplicate keys (e.g.
+/// `cat`-merged shard files) count once (first occurrence wins), and
+/// records matching none of `points` are ignored.  Returns `(point index,
+/// record)` pairs — the single join policy shared by the Pareto and
+/// sensitivity analyses.
+pub fn matched_records<'r>(
+    points: &[crate::spec::SweepPoint],
+    records: &'r [RunRecord],
+) -> Vec<(usize, &'r RunRecord)> {
+    let key_index = point_key_index(points, &Benchmark::ALL);
+    let mut seen = std::collections::HashSet::new();
+    records
+        .iter()
+        .filter(|r| r.check_ok)
+        .filter_map(|r| key_index.get(&r.key).map(|&i| (i, r)))
+        .filter(|(_, r)| seen.insert(r.key.as_str()))
+        .collect()
+}
+
+/// An append-only JSON Lines file of [`RunRecord`]s.
+pub struct ResultStore {
+    path: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (or lazily create on first append) the store at `path`.
+    pub fn open(path: impl AsRef<Path>) -> ResultStore {
+        ResultStore {
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All run keys already persisted.  A missing file is an empty store;
+    /// unparsable lines are skipped (a torn final line from an interrupted
+    /// run must not poison the store).
+    pub fn completed_keys(&self) -> std::io::Result<HashSet<String>> {
+        Ok(self.load()?.into_iter().map(|r| r.key).collect())
+    }
+
+    /// Load every well-formed record.
+    pub fn load(&self) -> std::io::Result<Vec<RunRecord>> {
+        let file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut records = Vec::new();
+        for line in std::io::BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(v) = Json::parse(&line) {
+                if let Some(r) = RunRecord::from_json(&v) {
+                    records.push(r);
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    /// Append records as JSON Lines (one `write` per batch, flushed).
+    pub fn append(&self, records: &[RunRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut buf = String::new();
+        // A torn final line (interrupted earlier run) must not swallow the
+        // first new record: re-open on a fresh line.
+        if !ends_with_newline(&file)? {
+            buf.push('\n');
+        }
+        for r in records {
+            buf.push_str(&r.to_json().render());
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())?;
+        file.flush()
+    }
+}
+
+/// Whether the file is empty or its last byte is `\n`.
+fn ends_with_newline(file: &std::fs::File) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file;
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::Start(len - 1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] == b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_machine::presets;
+
+    fn record(key: &str, cycles: u64) -> RunRecord {
+        RunRecord {
+            key: key.to_string(),
+            config: "2w +Vector2".to_string(),
+            benchmark: "GSM_DEC".to_string(),
+            variant: "vector".to_string(),
+            model: "Realistic".to_string(),
+            cycles,
+            stall_cycles: 17,
+            operations: 1000,
+            micro_ops: 4000,
+            vector_cycles: cycles / 2,
+            check_ok: true,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "vmv_sweep_store_{tag}_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn run_keys_are_stable_and_content_derived() {
+        let m = presets::vector2(2);
+        let k1 = run_key(
+            Benchmark::GsmDec,
+            IsaVariant::Vector,
+            &m,
+            MemoryModel::Realistic,
+        );
+        let k2 = run_key(
+            Benchmark::GsmDec,
+            IsaVariant::Vector,
+            &m,
+            MemoryModel::Realistic,
+        );
+        assert_eq!(k1, k2);
+        assert_eq!(k1.len(), 16);
+
+        // The display name must not matter; real parameters must.
+        let mut renamed = m.clone();
+        renamed.name = "anything".to_string();
+        assert_eq!(
+            run_key(
+                Benchmark::GsmDec,
+                IsaVariant::Vector,
+                &renamed,
+                MemoryModel::Realistic
+            ),
+            k1
+        );
+        let mut bigger = m.clone();
+        bigger.memory.l2_size *= 2;
+        assert_ne!(
+            run_key(
+                Benchmark::GsmDec,
+                IsaVariant::Vector,
+                &bigger,
+                MemoryModel::Realistic
+            ),
+            k1
+        );
+        assert_ne!(
+            run_key(
+                Benchmark::GsmDec,
+                IsaVariant::Vector,
+                &m,
+                MemoryModel::Perfect
+            ),
+            k1
+        );
+        assert_ne!(
+            run_key(
+                Benchmark::GsmEnc,
+                IsaVariant::Vector,
+                &m,
+                MemoryModel::Realistic
+            ),
+            k1
+        );
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_records_and_keys() {
+        let path = temp_path("roundtrip");
+        let store = ResultStore::open(&path);
+        assert!(
+            store.completed_keys().unwrap().is_empty(),
+            "missing file = empty store"
+        );
+
+        let records = vec![
+            record("aaaa000011112222", 123),
+            record("bbbb000011112222", 456),
+        ];
+        store.append(&records).unwrap();
+        store.append(&[record("cccc000011112222", 789)]).unwrap();
+
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[0], records[0]);
+        assert_eq!(loaded[2].cycles, 789);
+
+        let keys = store.completed_keys().unwrap();
+        assert!(keys.contains("aaaa000011112222"));
+        assert!(keys.contains("cccc000011112222"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_and_do_not_swallow_appends() {
+        let path = temp_path("torn");
+        let store = ResultStore::open(&path);
+        store.append(&[record("aaaa000011112222", 1)]).unwrap();
+        // Simulate a crash mid-write.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"key\":\"trunc").unwrap();
+        }
+        assert_eq!(store.load().unwrap().len(), 1);
+        // An append after the torn line must start on a fresh line, so the
+        // new record is recognised as completed on the next load.
+        store.append(&[record("bbbb000011112222", 2)]).unwrap();
+        let keys = store.completed_keys().unwrap();
+        assert!(keys.contains("aaaa000011112222"));
+        assert!(keys.contains("bbbb000011112222"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,34 +1,70 @@
-//! Sweep an architectural parameter (the number of vector lanes) and watch
-//! its effect on the vector regions of every benchmark — the kind of design
-//! -space exploration the library is meant for beyond reproducing the paper.
+//! Design-space exploration with the `vmv-sweep` engine: declare axes over
+//! the machine configuration, expand the cartesian product under a
+//! constraint, run every point in parallel (with compile memoization), and
+//! summarise the result as a cost/cycles Pareto frontier and a per-axis
+//! sensitivity ranking.
 //!
 //! ```text
 //! cargo run --release --example arch_sweep
 //! ```
 
 use vector_usimd_vliw as vmv;
-use vmv::core::run_one;
 use vmv::kernels::Benchmark;
 use vmv::mem::MemoryModel;
+use vmv::sweep::{
+    pareto_report, render_pareto, render_sensitivity, sensitivity, Axis, ExecOptions, SweepSpec,
+};
 
 fn main() {
-    println!("vector-region cycles on a 2-issue +Vector2 machine, varying the number of vector lanes\n");
-    print!("{:<12}", "benchmark");
-    let lane_counts = [1u32, 2, 4, 8];
-    for lanes in lane_counts {
-        print!("{:>12}", format!("{lanes} lanes"));
-    }
-    println!();
-    for bench in Benchmark::ALL {
-        print!("{:<12}", bench.name());
-        for lanes in lane_counts {
-            let mut machine = vmv::machine::presets::vector2(2);
-            machine.vector_lanes = lanes;
-            let outcome = run_one(bench, &machine, MemoryModel::Perfect).expect("run succeeds");
-            assert!(outcome.check_failures.is_empty());
-            print!("{:>12}", outcome.stats.vector().cycles);
-        }
-        println!();
-    }
-    println!("\n(The paper fixes four lanes: with the short vector lengths of these kernels,\n more lanes give diminishing returns, §3.2.)");
+    // The question the paper answers with four fixed lanes (§3.2): how do
+    // lane count and vector-unit count trade off against each other, under
+    // both memory models, if the total lane budget is capped?
+    let expansion = SweepSpec::new()
+        .axis(Axis::vector_units(&[1, 2, 4]))
+        .axis(Axis::vector_lanes(&[1, 2, 4, 8]))
+        .axis(Axis::memory_model(&[
+            MemoryModel::Perfect,
+            MemoryModel::Realistic,
+        ]))
+        .constraint("lane budget: units x lanes <= 16", |m, _| {
+            m.vector_units as u32 * m.vector_lanes <= 16
+        })
+        .expand();
+    println!(
+        "{} design points ({} raw, {} rejected by the lane-budget constraint)\n",
+        expansion.points.len(),
+        expansion.raw,
+        expansion.rejected
+    );
+
+    let opts = ExecOptions {
+        benchmarks: Benchmark::ALL.to_vec(),
+        workers: 0,
+    };
+    let report = vmv::sweep::run_sweep(&expansion.points, &opts, None).expect("sweep runs");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    println!(
+        "ran {} simulations in {:.2}s — {} schedules, {} compile-cache hits\n",
+        report.records.len(),
+        report.wall_seconds,
+        report.cache.misses,
+        report.cache.hits
+    );
+
+    println!("Pareto frontier (total cycles over all six benchmarks vs. hardware cost):");
+    print!(
+        "{}",
+        render_pareto(&pareto_report(&expansion.points, &report.records), 12)
+    );
+
+    println!("\nWhich axis moves performance the most?");
+    print!(
+        "{}",
+        render_sensitivity(&sensitivity(&expansion.points, &report.records))
+    );
+
+    println!(
+        "\n(The paper fixes four lanes: with the short vector lengths of these kernels,\n\
+         more lanes give diminishing returns, §3.2 — the sensitivity table shows it.)"
+    );
 }

@@ -41,8 +41,12 @@ fn main() {
         );
     }
     println!("\nPer-region breakdown on the 4-issue +Vector2 machine:");
-    let outcome = run_one(Benchmark::JpegEnc, &vmv::machine::presets::vector2(4), MemoryModel::Realistic)
-        .expect("run succeeds");
+    let outcome = run_one(
+        Benchmark::JpegEnc,
+        &vmv::machine::presets::vector2(4),
+        MemoryModel::Realistic,
+    )
+    .expect("run succeeds");
     for (region, stats) in &outcome.stats.regions {
         let name = Benchmark::JpegEnc
             .vector_region_names()

@@ -9,7 +9,7 @@
 
 use vector_usimd_vliw as vmv;
 use vmv::isa::ProgramBuilder;
-use vmv::kernels::patterns::sad::{emit_sad_16x16, emit_motion_search, SadParams};
+use vmv::kernels::patterns::sad::{emit_motion_search, emit_sad_16x16, SadParams};
 use vmv::kernels::IsaVariant;
 use vmv::mem::MemoryModel;
 use vmv::sim::Simulator;
@@ -20,8 +20,9 @@ fn build(variant: IsaVariant, with_search: bool) -> vmv::isa::Program {
     let mut b = ProgramBuilder::new(format!("dist1_{}", variant.name()));
     b.begin_region(1, "motion estimation");
     if with_search {
-        let candidates: Vec<u64> =
-            (0..9).map(|i| ((8 + i / 3) * WIDTH + 8 + i % 3) as u64).collect();
+        let candidates: Vec<u64> = (0..9)
+            .map(|i| ((8 + i / 3) * WIDTH + 8 + i % 3) as u64)
+            .collect();
         emit_motion_search(
             &mut b,
             variant,

@@ -53,8 +53,15 @@ fn main() {
 
     // Check the result against plain Rust.
     let out = sim.mem.read_u8_slice(0x3000, 256);
-    let expect: Vec<u8> = a.iter().zip(&bb).map(|(&x, &y)| x.saturating_add(y)).collect();
-    assert_eq!(out, expect, "the simulated kernel must match the Rust reference");
+    let expect: Vec<u8> = a
+        .iter()
+        .zip(&bb)
+        .map(|(&x, &y)| x.saturating_add(y))
+        .collect();
+    assert_eq!(
+        out, expect,
+        "the simulated kernel must match the Rust reference"
+    );
 
     println!(
         "ran {} operations ({} micro-operations) in {} cycles ({} stall cycles)",
@@ -63,5 +70,8 @@ fn main() {
         stats.cycles(),
         stats.total().stall_cycles,
     );
-    println!("vector regions account for {:.1}% of the cycles", 100.0 * stats.vectorization_fraction());
+    println!(
+        "vector regions account for {:.1}% of the cycles",
+        100.0 * stats.vectorization_fraction()
+    );
 }

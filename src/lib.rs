@@ -34,3 +34,4 @@ pub use vmv_machine as machine;
 pub use vmv_mem as mem;
 pub use vmv_sched as sched;
 pub use vmv_sim as sim;
+pub use vmv_sweep as sweep;

@@ -67,7 +67,13 @@ fn vector_isa_fetches_far_fewer_operations() {
         let vector = run_one(bench, &presets::vector2(2), MemoryModel::Perfect).unwrap();
         let u = usimd.stats.vector().operations as f64;
         let v = vector.stats.vector().operations as f64;
-        assert!(v < 0.6 * u, "{}: {} vs {} vector-region operations", bench.name(), v, u);
+        assert!(
+            v < 0.6 * u,
+            "{}: {} vs {} vector-region operations",
+            bench.name(),
+            v,
+            u
+        );
     }
 }
 
@@ -81,7 +87,13 @@ fn scalar_regions_are_insensitive_to_the_isa_extension() {
         let vector = run_one(bench, &presets::vector2(2), MemoryModel::Perfect).unwrap();
         let a = usimd.stats.scalar().cycles as f64;
         let b = vector.stats.scalar().cycles as f64;
-        assert!((a - b).abs() / a.max(b) < 0.05, "{}: {} vs {}", bench.name(), a, b);
+        assert!(
+            (a - b).abs() / a.max(b) < 0.05,
+            "{}: {} vs {}",
+            bench.name(),
+            a,
+            b
+        );
     }
 }
 

@@ -1,29 +1,58 @@
-//! Property-based tests across the crate boundaries: the packed arithmetic,
+//! Property-style tests across the crate boundaries: the packed arithmetic,
 //! the accumulators and small generated Vector-µSIMD programs must agree
 //! with straightforward Rust computations for arbitrary inputs.
+//!
+//! The inputs are drawn from the workspace's own deterministic PRNG
+//! (`vmv_kernels::rng::SmallRng`) instead of an external property-testing
+//! crate, so the workspace stays dependency-free.  Every case is seeded, so
+//! a failure reproduces exactly.
 
-use proptest::prelude::*;
 use vector_usimd_vliw as vmv;
 use vmv::isa::packed::{self, Elem, Sat};
 use vmv::isa::{Accumulator, ProgramBuilder};
+use vmv::kernels::rng::SmallRng;
 use vmv::mem::MemoryModel;
 use vmv::sim::Simulator;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn packed_saturating_add_matches_lane_wise_model(a: u64, b: u64) {
+fn rand_u64(rng: &mut SmallRng) -> u64 {
+    rng.next_u64()
+}
+
+fn rand_vec_u8(rng: &mut SmallRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn rand_vec_i16(rng: &mut SmallRng, n: usize, lo: i64, hi: i64) -> Vec<i16> {
+    (0..n).map(|_| rng.gen_range_i64(lo, hi) as i16).collect()
+}
+
+#[test]
+fn packed_saturating_add_matches_lane_wise_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5AD0);
+    for case in 0..CASES {
+        let a = rand_u64(&mut rng);
+        let b = rand_u64(&mut rng);
         let r = packed::padd(Elem::B, Sat::Unsigned, a, b);
         for i in 0..8 {
             let x = packed::lane_u(a, Elem::B, i) as u16;
             let y = packed::lane_u(b, Elem::B, i) as u16;
-            prop_assert_eq!(packed::lane_u(r, Elem::B, i), (x + y).min(255) as u64);
+            assert_eq!(
+                packed::lane_u(r, Elem::B, i),
+                (x + y).min(255) as u64,
+                "case {case}: a={a:#x} b={b:#x} lane {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn packed_sad_matches_scalar_sum(a: u64, b: u64) {
+#[test]
+fn packed_sad_matches_scalar_sum() {
+    let mut rng = SmallRng::seed_from_u64(0x5AD1);
+    for case in 0..CASES {
+        let a = rand_u64(&mut rng);
+        let b = rand_u64(&mut rng);
         let expect: u64 = (0..8)
             .map(|i| {
                 let x = packed::lane_u(a, Elem::B, i) as i64;
@@ -31,38 +60,54 @@ proptest! {
                 (x - y).unsigned_abs()
             })
             .sum();
-        prop_assert_eq!(packed::psad_u8(a, b), expect);
+        assert_eq!(
+            packed::psad_u8(a, b),
+            expect,
+            "case {case}: a={a:#x} b={b:#x}"
+        );
     }
+}
 
-    #[test]
-    fn pack_unpack_roundtrip(words in prop::array::uniform2(any::<u64>())) {
-        // Widening the low and high halves and packing them back must be the
-        // identity on unsigned bytes.
-        for w in words {
+#[test]
+fn pack_unpack_roundtrip() {
+    // Widening the low and high halves and packing them back must be the
+    // identity on unsigned bytes.
+    let mut rng = SmallRng::seed_from_u64(0x5AD2);
+    for case in 0..CASES {
+        for w in [rand_u64(&mut rng), rand_u64(&mut rng)] {
             let lo = packed::pwiden_lo_u(Elem::B, w);
             let hi = packed::pwiden_hi_u(Elem::B, w);
-            prop_assert_eq!(packed::ppack(Elem::H, packed::Sign::Unsigned, lo, hi), w);
+            assert_eq!(
+                packed::ppack(Elem::H, packed::Sign::Unsigned, lo, hi),
+                w,
+                "case {case}: w={w:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn accumulator_mac_matches_i64_model(
-        a in prop::collection::vec(any::<i16>(), 4),
-        b in prop::collection::vec(any::<i16>(), 4),
-    ) {
+#[test]
+fn accumulator_mac_matches_i64_model() {
+    let mut rng = SmallRng::seed_from_u64(0x5AD3);
+    for case in 0..CASES {
+        let a = rand_vec_i16(&mut rng, 4, i16::MIN as i64, i16::MAX as i64);
+        let b = rand_vec_i16(&mut rng, 4, i16::MIN as i64, i16::MAX as i64);
         let wa = packed::pack_i16x4([a[0], a[1], a[2], a[3]]);
         let wb = packed::pack_i16x4([b[0], b[1], b[2], b[3]]);
         let mut acc = Accumulator::zero();
         acc.mac_i16(wa, wb);
         let expect: i64 = (0..4).map(|i| a[i] as i64 * b[i] as i64).sum();
-        prop_assert_eq!(acc.reduce(), expect);
+        assert_eq!(acc.reduce(), expect, "case {case}: a={a:?} b={b:?}");
     }
+}
 
-    #[test]
-    fn simulated_vector_add_matches_rust(
-        data_a in prop::collection::vec(any::<u8>(), 128),
-        data_b in prop::collection::vec(any::<u8>(), 128),
-    ) {
+#[test]
+fn simulated_vector_add_matches_rust() {
+    let mut rng = SmallRng::seed_from_u64(0x5AD4);
+    for case in 0..8 {
+        let data_a = rand_vec_u8(&mut rng, 128);
+        let data_b = rand_vec_u8(&mut rng, 128);
+
         let mut b = ProgramBuilder::new("prop_vadd");
         let a_ptr = b.imm(0x1000);
         let b_ptr = b.imm(0x2000);
@@ -86,17 +131,22 @@ proptest! {
         sim.mem.write_u8_slice(0x2000, &data_b);
         sim.run(&compiled.program).unwrap();
         let out = sim.mem.read_u8_slice(0x3000, 128);
-        let expect: Vec<u8> =
-            data_a.iter().zip(&data_b).map(|(&p, &q)| p.saturating_add(q)).collect();
-        prop_assert_eq!(out, expect);
+        let expect: Vec<u8> = data_a
+            .iter()
+            .zip(&data_b)
+            .map(|(&p, &q)| p.saturating_add(q))
+            .collect();
+        assert_eq!(out, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn quantisation_is_exact_for_random_coefficients(
-        coefs in prop::collection::vec(-2000i16..2000, 64),
-    ) {
-        // The same reciprocal-multiplication quantisation through the
-        // reference implementation and through the simulated µSIMD kernel.
+#[test]
+fn quantisation_is_exact_for_random_coefficients() {
+    // The same reciprocal-multiplication quantisation through the
+    // reference implementation and through the simulated µSIMD kernel.
+    let mut rng = SmallRng::seed_from_u64(0x5AD5);
+    for case in 0..8 {
+        let coefs = rand_vec_i16(&mut rng, 64, -2000, 1999);
         let recips = vmv::kernels::data::quant_reciprocals(50);
         let expect = vmv::kernels::reference::quantize(&coefs, &recips);
 
@@ -121,6 +171,6 @@ proptest! {
         sim.mem.write_i16_slice(0x1000, &coefs);
         sim.mem.write_i16_slice(0x2000, &recips);
         sim.run(&compiled.program).unwrap();
-        prop_assert_eq!(sim.mem.read_i16_slice(0x3000, 64), expect);
+        assert_eq!(sim.mem.read_i16_slice(0x3000, 64), expect, "case {case}");
     }
 }

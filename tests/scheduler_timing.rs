@@ -11,9 +11,18 @@ use vmv::mem::MemoryModel;
 #[test]
 fn wider_usimd_machines_are_never_slower() {
     for bench in [Benchmark::JpegEnc, Benchmark::Mpeg2Dec] {
-        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Perfect).unwrap().stats.cycles();
-        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Perfect).unwrap().stats.cycles();
-        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Perfect).unwrap().stats.cycles();
+        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Perfect)
+            .unwrap()
+            .stats
+            .cycles();
+        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Perfect)
+            .unwrap()
+            .stats
+            .cycles();
+        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Perfect)
+            .unwrap()
+            .stats
+            .cycles();
         assert!(c4 <= c2, "{}: 4w {} vs 2w {}", bench.name(), c4, c2);
         assert!(c8 <= c4, "{}: 8w {} vs 4w {}", bench.name(), c8, c4);
     }
@@ -27,9 +36,21 @@ fn scalar_regions_stop_scaling_beyond_4_issue() {
     let mut gain_24 = Vec::new();
     let mut gain_48 = Vec::new();
     for bench in Benchmark::ALL {
-        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
-        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
-        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Realistic).unwrap().stats.scalar().cycles as f64;
+        let c2 = run_one(bench, &presets::usimd(2), MemoryModel::Realistic)
+            .unwrap()
+            .stats
+            .scalar()
+            .cycles as f64;
+        let c4 = run_one(bench, &presets::usimd(4), MemoryModel::Realistic)
+            .unwrap()
+            .stats
+            .scalar()
+            .cycles as f64;
+        let c8 = run_one(bench, &presets::usimd(8), MemoryModel::Realistic)
+            .unwrap()
+            .stats
+            .scalar()
+            .cycles as f64;
         gain_24.push(c2 / c4);
         gain_48.push(c4 / c8);
     }
@@ -45,8 +66,18 @@ fn scalar_regions_stop_scaling_beyond_4_issue() {
 fn more_vector_units_help_dct_heavy_benchmarks() {
     // Paper §5.1: benchmarks with larger vector lengths / loop bodies (the
     // JPEG codecs) benefit from doubling the number of vector units.
-    let v1 = run_one(Benchmark::JpegEnc, &presets::vector1(2), MemoryModel::Perfect).unwrap();
-    let v2 = run_one(Benchmark::JpegEnc, &presets::vector2(2), MemoryModel::Perfect).unwrap();
+    let v1 = run_one(
+        Benchmark::JpegEnc,
+        &presets::vector1(2),
+        MemoryModel::Perfect,
+    )
+    .unwrap();
+    let v2 = run_one(
+        Benchmark::JpegEnc,
+        &presets::vector2(2),
+        MemoryModel::Perfect,
+    )
+    .unwrap();
     assert!(
         v2.stats.vector().cycles <= v1.stats.vector().cycles,
         "Vector2 {} should not be slower than Vector1 {}",
@@ -63,8 +94,14 @@ fn four_issue_vector_machine_rivals_eight_issue_usimd() {
     // dominance on every single benchmark.
     let mut ratios = Vec::new();
     for bench in Benchmark::ALL {
-        let v = run_one(bench, &presets::vector2(4), MemoryModel::Realistic).unwrap().stats.cycles() as f64;
-        let u = run_one(bench, &presets::usimd(8), MemoryModel::Realistic).unwrap().stats.cycles() as f64;
+        let v = run_one(bench, &presets::vector2(4), MemoryModel::Realistic)
+            .unwrap()
+            .stats
+            .cycles() as f64;
+        let u = run_one(bench, &presets::usimd(8), MemoryModel::Realistic)
+            .unwrap()
+            .stats
+            .cycles() as f64;
         ratios.push(u / v);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -78,7 +115,16 @@ fn chaining_does_not_hurt() {
     let mut unchained = chained.clone();
     unchained.chaining = false;
     unchained.name = "unchained".into();
-    let with = run_one(Benchmark::Mpeg2Enc, &chained, MemoryModel::Perfect).unwrap().stats.cycles();
-    let without = run_one(Benchmark::Mpeg2Enc, &unchained, MemoryModel::Perfect).unwrap().stats.cycles();
-    assert!(with <= without, "chaining should never slow the code down: {with} vs {without}");
+    let with = run_one(Benchmark::Mpeg2Enc, &chained, MemoryModel::Perfect)
+        .unwrap()
+        .stats
+        .cycles();
+    let without = run_one(Benchmark::Mpeg2Enc, &unchained, MemoryModel::Perfect)
+        .unwrap()
+        .stats
+        .cycles();
+    assert!(
+        with <= without,
+        "chaining should never slow the code down: {with} vs {without}"
+    );
 }

@@ -1,0 +1,60 @@
+//! Workspace-level determinism guarantees: the experiment driver and the
+//! sweep executor must produce byte-identical, identically-ordered results
+//! no matter how many worker threads run the matrix.
+
+use vector_usimd_vliw as vmv;
+use vmv::core::Suite;
+use vmv::kernels::Benchmark;
+use vmv::machine::presets;
+use vmv::mem::MemoryModel;
+
+/// Reduced Table 2 matrix at 1 and N worker threads: the outcome *order*
+/// (benchmark-major, then Table 2 machine index) and every statistic must
+/// match exactly.
+#[test]
+fn suite_run_is_deterministic_across_thread_counts() {
+    // Deliberately ordered so that name-ordering would differ from machine
+    // indexing ("8w VLIW" sorts before "2w +uSIMD" by neither criterion).
+    let machines = vec![presets::usimd(2), presets::vliw(8), presets::vector2(2)];
+    let one = Suite::run_with_threads(&machines, MemoryModel::Perfect, 1).unwrap();
+    let many = Suite::run_with_threads(&machines, MemoryModel::Perfect, 4).unwrap();
+
+    assert_eq!(one.outcomes.len(), 3 * Benchmark::ALL.len());
+    assert_eq!(one.outcomes.len(), many.outcomes.len());
+    for (a, b) in one.outcomes.iter().zip(&many.outcomes) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.stats.cycles(), b.stats.cycles());
+        assert_eq!(a.stats.total().operations, b.stats.total().operations);
+        assert_eq!(a.check_failures, b.check_failures);
+    }
+
+    // Ordering contract: benchmark-major, machines in input (Table 2) order.
+    let expected: Vec<(Benchmark, String)> = Benchmark::ALL
+        .iter()
+        .flat_map(|&bench| machines.iter().map(move |m| (bench, m.name.clone())))
+        .collect();
+    let actual: Vec<(Benchmark, String)> = one
+        .outcomes
+        .iter()
+        .map(|o| (o.benchmark, o.config.clone()))
+        .collect();
+    assert_eq!(actual, expected);
+}
+
+/// The same outcomes must come out of the suite regardless of the memory
+/// model plumbing — a smoke check that the deterministic ordering also
+/// holds under realistic memory where run times differ wildly per job.
+#[test]
+fn realistic_suite_ordering_matches_perfect_suite_ordering() {
+    let machines = vec![presets::vliw(2), presets::vector1(2)];
+    let perfect = Suite::run_with_threads(&machines, MemoryModel::Perfect, 3).unwrap();
+    let realistic = Suite::run_with_threads(&machines, MemoryModel::Realistic, 3).unwrap();
+    let order = |s: &Suite| {
+        s.outcomes
+            .iter()
+            .map(|o| (o.benchmark, o.config.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(order(&perfect), order(&realistic));
+}
