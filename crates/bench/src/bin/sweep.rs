@@ -4,6 +4,9 @@
 //! cargo run --release -p vmv-bench --bin sweep -- --demo
 //! cargo run --release -p vmv-bench --bin sweep -- --demo --threads 4 \
 //!     --out sweep_results.jsonl --json BENCH_sweep.json
+//! cargo run --release -p vmv-bench --bin sweep -- --merge shard1.jsonl \
+//!     shard2.jsonl --out merged.jsonl
+//! cargo run --release -p vmv-bench --bin sweep -- --compact --out merged.jsonl
 //! ```
 //!
 //! `--demo` expands a built-in specification of well over 100 distinct
@@ -12,6 +15,10 @@
 //! every point in parallel, streams results to a JSONL store and prints the
 //! cost/cycles Pareto frontier plus a per-axis sensitivity summary.
 //! Re-running with the same `--out` file skips every completed run key.
+//!
+//! `--merge` unions JSONL shard files (e.g. from per-machine distributed
+//! sweeps) into `--out` by content-derived run key; `--compact` drops
+//! superseded duplicate keys from `--out` and rewrites it sorted by key.
 
 use vmv_kernels::Benchmark;
 use vmv_sweep::{
@@ -22,8 +29,14 @@ use vmv_sweep::{
 fn usage() -> ! {
     eprintln!(
         "usage: sweep --demo [--threads N] [--out RESULTS.jsonl] [--json BENCH.json]\n\
+         \x20      sweep --merge SHARD.jsonl [SHARD.jsonl ...] --out RESULTS.jsonl\n\
+         \x20      sweep --compact --out RESULTS.jsonl\n\
          \n\
          --demo          run the built-in demonstration sweep\n\
+         --merge SHARDS  union shard files into --out by content-derived\n\
+         \x20               run key (first occurrence of a key wins)\n\
+         --compact       drop superseded duplicate keys from --out and\n\
+         \x20               rewrite it sorted by key\n\
          --threads N     worker threads (default: one per core, max 16)\n\
          --out PATH      JSONL result store (default: sweep_results.jsonl);\n\
          \x20               completed run keys found there are skipped\n\
@@ -49,14 +62,30 @@ fn demo_spec() -> SweepSpec {
 
 fn main() {
     let mut demo = false;
+    let mut compact = false;
+    let mut merge_shards: Option<Vec<String>> = None;
     let mut threads = 0usize;
     let mut out_path = "sweep_results.jsonl".to_string();
     let mut json_path: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--demo" => demo = true,
+            "--compact" => compact = true,
+            "--merge" => {
+                let mut shards = Vec::new();
+                while let Some(next) = args.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    shards.push(args.next().unwrap());
+                }
+                if shards.is_empty() {
+                    usage();
+                }
+                merge_shards = Some(shards);
+            }
             "--threads" => {
                 threads = args
                     .next()
@@ -66,6 +95,47 @@ fn main() {
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
+        }
+    }
+
+    if let Some(shards) = merge_shards {
+        let store = ResultStore::open(&out_path);
+        match store.merge_from(&shards) {
+            Ok(stats) => {
+                println!(
+                    "merged {} shard files into {out_path}: {} records appended, \
+                     {} duplicate keys skipped ({} scanned, {} already present)",
+                    shards.len(),
+                    stats.merged,
+                    stats.duplicates,
+                    stats.scanned,
+                    stats.existing
+                );
+            }
+            Err(e) => {
+                eprintln!("merge failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !demo && !compact {
+            return;
+        }
+    }
+    if compact {
+        let store = ResultStore::open(&out_path);
+        match store.compact() {
+            Ok(stats) => println!(
+                "compacted {out_path}: {} records kept (sorted by key), {} superseded \
+                 duplicates dropped",
+                stats.kept, stats.dropped
+            ),
+            Err(e) => {
+                eprintln!("compact failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !demo {
+            return;
         }
     }
     if !demo {
@@ -117,6 +187,18 @@ fn main() {
          benchmarks x distinct schedule keys)",
         report.cache.misses, report.cache.hits, expected_schedules
     );
+    if !report.records.is_empty() && report.wall_seconds > 0.0 {
+        // Simulator throughput over this invocation's parallel phase: the
+        // CI smoke step surfaces this line so hot-path regressions are
+        // visible in plain build logs.
+        let simulated: u64 = report.records.iter().map(|r| r.cycles).sum();
+        println!(
+            "sim throughput: {simulated} simulated cycles / {:.3} s = {:.0} \
+             simulated-cycles-per-second",
+            report.wall_seconds,
+            simulated as f64 / report.wall_seconds
+        );
+    }
     if report.skipped == 0 && report.cache.misses as usize != expected_schedules {
         eprintln!(
             "WARNING: schedule count {} != expected {} — compile memoization regressed",

@@ -59,29 +59,38 @@ pub fn variant_for(machine: &MachineConfig) -> IsaVariant {
     }
 }
 
-/// A benchmark compiled for one machine: the static schedule plus the
-/// initial memory image and output checks.  Immutable once built, so it can
-/// be shared (e.g. behind an `Arc`) and re-simulated under many memory
-/// models without rescheduling.
+/// A benchmark compiled for one machine: the static schedule, its lowered
+/// executable form, and the initial memory image and output checks.
+/// Immutable once built, so it can be shared (e.g. behind an `Arc`) and
+/// re-simulated under many memory models without rescheduling *or*
+/// re-lowering — the sweep crate's compile cache holds exactly this.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     pub benchmark: Benchmark,
     pub variant: IsaVariant,
     pub build: BenchmarkBuild,
     pub compiled: vmv_sched::Compiled,
+    /// Pre-resolved executable form consumed by the simulator's hot loop.
+    /// Lowering depends only on schedule-relevant machine fields, so one
+    /// lowered program serves every memory-system variant.
+    pub lowered: vmv_sched::LoweredProgram,
 }
 
-/// Build the benchmark program and compile (schedule) it for `machine`.
+/// Build the benchmark program, compile (schedule) it for `machine`, and
+/// lower the schedule to its executable form.
 pub fn prepare(benchmark: Benchmark, machine: &MachineConfig) -> Result<Prepared, ExperimentError> {
     let variant = variant_for(machine);
     let build = benchmark.build(variant);
     let compiled = vmv_sched::compile(&build.program, machine)
+        .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
+    let lowered = vmv_sched::lower(&compiled.program, machine)
         .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
     Ok(Prepared {
         benchmark,
         variant,
         build,
         compiled,
+        lowered,
     })
 }
 
@@ -107,7 +116,7 @@ pub fn simulate(
         sim.mem.write_bytes(*addr, bytes);
     }
     let stats = sim
-        .run(&prepared.compiled.program)
+        .run_lowered(&prepared.lowered)
         .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
     let check_failures = prepared
         .build

@@ -149,6 +149,88 @@ impl RegFileSizes {
     }
 }
 
+/// Sentinel slot value meaning "no slot" (e.g. an operation without a
+/// destination register).  Kept out of the valid range by [`SlotLayout`].
+pub const NO_SLOT: u16 = u16::MAX;
+
+/// Flat slot indexing of every architectural register of one machine.
+///
+/// The five register classes are laid out back to back in a single dense
+/// index space — `[int | simd | vec | acc | ctrl]` — so run-time structures
+/// keyed by register (most importantly the simulator's ready-time
+/// scoreboard) can be plain arrays indexed by slot instead of hash maps
+/// keyed by `Reg`.  The layout mirrors the simulator's register files: a
+/// class with zero architectural registers still gets one slot, matching
+/// the one spare entry `RegFiles` allocates for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Per-class register counts (each at least 1, ctrl fixed at 2).
+    counts: [u32; 5],
+    /// Base slot of each class, in `RegClass::ALL` order.
+    bases: [u16; 5],
+    /// Total number of slots.
+    total: u16,
+}
+
+impl SlotLayout {
+    /// Build the layout for one machine's register files.
+    pub fn new(sizes: &RegFileSizes) -> SlotLayout {
+        let mut counts = [0u32; 5];
+        let mut bases = [0u16; 5];
+        let mut next: u32 = 0;
+        for (i, class) in RegClass::ALL.iter().enumerate() {
+            counts[i] = sizes.count(*class).max(1);
+            bases[i] = next as u16;
+            next += counts[i];
+        }
+        assert!(
+            next < NO_SLOT as u32,
+            "register files too large for u16 slot indices ({next} slots)"
+        );
+        SlotLayout {
+            counts,
+            bases,
+            total: next as u16,
+        }
+    }
+
+    /// Total number of slots (the scoreboard length).
+    pub fn total_slots(&self) -> usize {
+        self.total as usize
+    }
+
+    fn class_pos(class: RegClass) -> usize {
+        match class {
+            RegClass::Int => 0,
+            RegClass::Simd => 1,
+            RegClass::Vec => 2,
+            RegClass::Acc => 3,
+            RegClass::Ctrl => 4,
+        }
+    }
+
+    /// Slot of a register, or `None` when its index exceeds the class's
+    /// architectural register count.
+    pub fn slot_of(&self, r: Reg) -> Option<u16> {
+        let pos = Self::class_pos(r.class);
+        if r.index < self.counts[pos] {
+            Some(self.bases[pos] + r.index as u16)
+        } else {
+            None
+        }
+    }
+
+    /// Slot of the vector-length control register.
+    pub fn vl_slot(&self) -> u16 {
+        self.bases[4] + CTRL_VL as u16
+    }
+
+    /// Slot of the vector-stride control register.
+    pub fn vs_slot(&self) -> u16 {
+        self.bases[4] + CTRL_VS as u16
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +263,51 @@ mod tests {
         assert_eq!(Reg::int(1), Reg::int(1));
         assert_ne!(Reg::int(1), Reg::simd(1));
         assert!(Reg::int(1) < Reg::int(2));
+    }
+
+    #[test]
+    fn slot_layout_is_dense_and_injective() {
+        let sizes = RegFileSizes {
+            int: 64,
+            simd: 16,
+            vec: 20,
+            acc: 4,
+        };
+        let layout = SlotLayout::new(&sizes);
+        assert_eq!(layout.total_slots(), 64 + 16 + 20 + 4 + 2);
+        let mut seen = std::collections::HashSet::new();
+        for (class, count) in [
+            (RegClass::Int, 64),
+            (RegClass::Simd, 16),
+            (RegClass::Vec, 20),
+            (RegClass::Acc, 4),
+            (RegClass::Ctrl, 2),
+        ] {
+            for i in 0..count {
+                let slot = layout.slot_of(Reg::new(class, i)).unwrap();
+                assert!((slot as usize) < layout.total_slots());
+                assert!(seen.insert(slot), "slot {slot} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), layout.total_slots());
+        assert_eq!(layout.slot_of(Reg::vl()), Some(layout.vl_slot()));
+        assert_eq!(layout.slot_of(Reg::vs()), Some(layout.vs_slot()));
+    }
+
+    #[test]
+    fn slot_layout_rejects_out_of_range_registers() {
+        let sizes = RegFileSizes {
+            int: 8,
+            simd: 0,
+            vec: 4,
+            acc: 2,
+        };
+        let layout = SlotLayout::new(&sizes);
+        assert!(layout.slot_of(Reg::int(7)).is_some());
+        assert!(layout.slot_of(Reg::int(8)).is_none());
+        assert!(layout.slot_of(Reg::vec(4)).is_none());
+        // A zero-sized class still gets the one spare slot RegFiles keeps.
+        assert!(layout.slot_of(Reg::simd(0)).is_some());
+        assert!(layout.slot_of(Reg::simd(1)).is_none());
     }
 }

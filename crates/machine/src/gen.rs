@@ -36,6 +36,10 @@ pub struct GenParams {
     pub vector_lanes: u32,
     /// Width of the L2 vector-cache port in 64-bit elements.
     pub l2_port_elems: u32,
+    /// Memory-hierarchy parameters (sizes, associativity, line sizes, bank
+    /// count, latencies).  Defaults to the paper's §4.2 hierarchy; the sweep
+    /// crate's cache-geometry axes mutate this before generation.
+    pub memory: MemoryParams,
 }
 
 impl Default for GenParams {
@@ -46,6 +50,7 @@ impl Default for GenParams {
             vector_units: 1,
             vector_lanes: 4,
             l2_port_elems: 4,
+            memory: MemoryParams::default(),
         }
     }
 }
@@ -81,7 +86,7 @@ pub fn generate(p: &GenParams) -> MachineConfig {
                 acc: 0,
             },
             latencies: LatencyTable::default(),
-            memory: MemoryParams::default(),
+            memory: p.memory,
             chaining: false,
         },
         IsaSupport::Usimd => MachineConfig {
@@ -102,7 +107,7 @@ pub fn generate(p: &GenParams) -> MachineConfig {
                 acc: 0,
             },
             latencies: LatencyTable::default(),
-            memory: MemoryParams::default(),
+            memory: p.memory,
             chaining: false,
         },
         IsaSupport::Vector => {
@@ -129,7 +134,7 @@ pub fn generate(p: &GenParams) -> MachineConfig {
                     acc: 4 + 2 * (s as u32 - 1),
                 },
                 latencies: LatencyTable::default(),
-                memory: MemoryParams::default(),
+                memory: p.memory,
                 chaining: true,
             }
         }
@@ -171,6 +176,7 @@ mod tests {
                     vector_units: 1,
                     vector_lanes: 4,
                     l2_port_elems: 4,
+                    ..Default::default()
                 }),
             ),
             (
@@ -181,6 +187,7 @@ mod tests {
                     vector_units: 2,
                     vector_lanes: 4,
                     l2_port_elems: 4,
+                    ..Default::default()
                 }),
             ),
             (
@@ -191,6 +198,7 @@ mod tests {
                     vector_units: 2,
                     vector_lanes: 4,
                     l2_port_elems: 4,
+                    ..Default::default()
                 }),
             ),
             (
@@ -201,6 +209,7 @@ mod tests {
                     vector_units: 4,
                     vector_lanes: 4,
                     l2_port_elems: 4,
+                    ..Default::default()
                 }),
             ),
         ];
@@ -226,6 +235,7 @@ mod tests {
             vector_units: 8,
             vector_lanes: 8,
             l2_port_elems: 8,
+            ..Default::default()
         });
         assert_eq!(v.regs.vec, 44);
         assert_eq!(v.regs.acc, 8);
@@ -254,6 +264,7 @@ mod tests {
                         vector_units: units,
                         vector_lanes: lanes,
                         l2_port_elems: 4,
+                        ..Default::default()
                     });
                     names.insert(m.name);
                 }

@@ -49,7 +49,7 @@ pub struct AccessTiming {
 }
 
 /// Aggregate statistics of the hierarchy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     pub scalar_loads: u64,
     pub scalar_stores: u64,

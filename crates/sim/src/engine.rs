@@ -10,15 +10,29 @@
 //! the whole machine stalls until the hazard clears, which is precisely the
 //! "processor is stalled at run-time" behaviour the paper describes and the
 //! reason VLIW is so sensitive to non-deterministic latencies (§5.1).
+//!
+//! Two entry points exist:
+//!
+//! * [`Simulator::run_lowered`] — the hot path.  It consumes the
+//!   pre-resolved [`LoweredProgram`] of `vmv_sched::lower`: the scoreboard
+//!   is a plain `Vec<u64>` indexed by register slot, branch targets are
+//!   block indices, read/write sets and latency metadata are baked into
+//!   each operation, and bundles are contiguous array slices.  Nothing is
+//!   hashed, allocated or string-compared per dynamic operation.
+//! * [`Simulator::run`] — convenience wrapper that lowers a
+//!   [`ScheduledProgram`] and runs it.  [`Simulator::run_reference`] keeps
+//!   the original string-keyed interpretation loop as the differential
+//!   oracle: `tests/lowered_differential.rs` proves both produce identical
+//!   [`RunStats`] cycle for cycle.
 
 use std::collections::HashMap;
 
-use vmv_isa::{LatencyDescriptor, Op, Reg};
+use vmv_isa::{LatencyDescriptor, Op, Reg, NO_SLOT};
 use vmv_machine::MachineConfig;
 use vmv_mem::{AccessKind, MemoryHierarchy, MemoryModel};
-use vmv_sched::ScheduledProgram;
+use vmv_sched::{lower, LoweredOp, LoweredProgram, ScheduledProgram};
 
-use crate::exec::{execute_op, ExecOutcome, MemAccess};
+use crate::exec::{execute_lowered, execute_op, ExecOutcome, LoweredOutcome, MemAccess};
 use crate::memimage::MemImage;
 use crate::regfile::RegFiles;
 use crate::stats::RunStats;
@@ -49,6 +63,9 @@ impl Default for SimOptions {
 pub enum SimError {
     /// The program branched to a label that does not exist.
     UnknownLabel(String),
+    /// The program could not be lowered to executable form (bad register
+    /// indices, malformed branches, ... — caught before execution starts).
+    Lower(String),
     /// The cycle limit was exceeded.
     CycleLimit(u64),
     /// A malformed operation reached the simulator.
@@ -61,6 +78,7 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::UnknownLabel(l) => write!(f, "branch to unknown label '{l}'"),
+            SimError::Lower(e) => write!(f, "lowering failed: {e}"),
             SimError::CycleLimit(c) => write!(f, "cycle limit of {c} exceeded"),
             SimError::Exec(e) => write!(f, "{e}"),
             SimError::FellOffEnd => write!(f, "program ended without executing halt"),
@@ -68,6 +86,15 @@ impl std::fmt::Display for SimError {
     }
 }
 impl std::error::Error for SimError {}
+
+impl From<vmv_sched::LowerError> for SimError {
+    fn from(e: vmv_sched::LowerError) -> SimError {
+        match e {
+            vmv_sched::LowerError::UnknownLabel { label, .. } => SimError::UnknownLabel(label),
+            other => SimError::Lower(other.to_string()),
+        }
+    }
+}
 
 /// The simulator: machine state plus timing state.
 pub struct Simulator {
@@ -108,7 +135,139 @@ impl Simulator {
     }
 
     /// Run a scheduled program to completion and return the statistics.
+    ///
+    /// Lowers the program (pre-resolving labels, register slots and latency
+    /// metadata) and executes the lowered form.  Callers running the same
+    /// schedule many times should lower once with [`vmv_sched::lower`] and
+    /// call [`Simulator::run_lowered`] directly.
     pub fn run(&mut self, program: &ScheduledProgram) -> Result<RunStats, SimError> {
+        let lowered = lower(program, &self.machine)?;
+        self.run_lowered(&lowered)
+    }
+
+    /// Run a lowered program to completion: the array-indexed hot path.
+    pub fn run_lowered(&mut self, program: &LoweredProgram) -> Result<RunStats, SimError> {
+        let mut stats = RunStats::default();
+        // Make sure every declared region appears in the statistics, even if
+        // it executes zero cycles.
+        for region in &program.regions {
+            stats.region_mut(region.id);
+        }
+
+        // Scoreboard: cycle at which each register slot's latest value is
+        // ready.  A plain array — slots were resolved at lowering time.
+        let mut ready: Vec<u64> = vec![0; program.total_slots()];
+        // Cycle at which the single L2 vector-cache port becomes free.
+        let mut l2_port_free: u64 = 0;
+
+        let mut cycle: u64 = 0;
+        let mut block_idx = 0usize;
+
+        'blocks: while block_idx < program.blocks.len() {
+            let block = &program.blocks[block_idx];
+            let region = block.region;
+            let block_start_cycle = cycle;
+            let mut ops_executed = 0u64;
+            let mut micro_ops = 0u64;
+            let mut stall_cycles = 0u64;
+            let mut next_block = block_idx + 1;
+            let mut halted = false;
+
+            for b in block.first_bundle..block.first_bundle + block.bundle_count {
+                let bundle = program.bundle_ops(b);
+                // In-order issue: the bundle stalls until every source
+                // operand of every operation in it is ready.
+                let mut issue = cycle;
+                for op in bundle {
+                    for &slot in op.read_slots() {
+                        issue = issue.max(ready[slot as usize]);
+                    }
+                    if op.is_vector_memory {
+                        issue = issue.max(l2_port_free);
+                    }
+                }
+                stall_cycles += issue - cycle;
+
+                for op in bundle {
+                    let result = execute_lowered(op, &mut self.regs, &mut self.mem)
+                        .map_err(|e| SimError::Exec(e.to_string()))?;
+
+                    // Determine the actual completion latency.
+                    let latency = match &result.mem {
+                        Some(access) => self.memory_latency(access),
+                        None => self.lowered_compute_latency(op),
+                    } as u64;
+
+                    if op.dst_slot != NO_SLOT {
+                        ready[op.dst_slot as usize] = issue + latency;
+                    }
+                    if let Some(access) = &result.mem {
+                        if access.is_vector {
+                            let occupancy = if access.stride == 8 {
+                                access.elems.div_ceil(self.machine.l2_port_elems.max(1))
+                            } else {
+                                access.elems
+                            };
+                            l2_port_free = issue + occupancy.max(1) as u64;
+                        }
+                    }
+
+                    let vl = if op.reads_vl {
+                        self.regs.effective_vl()
+                    } else {
+                        1
+                    };
+                    ops_executed += 1;
+                    micro_ops += op.opcode.micro_ops(vl);
+
+                    match result.outcome {
+                        LoweredOutcome::Normal => {}
+                        LoweredOutcome::BranchTaken(target) => next_block = target as usize,
+                        LoweredOutcome::Halt => halted = true,
+                    }
+                }
+
+                cycle = issue + 1;
+                if cycle - block_start_cycle > self.options.max_cycles
+                    || cycle > self.options.max_cycles
+                {
+                    return Err(SimError::CycleLimit(self.options.max_cycles));
+                }
+            }
+
+            // Even an empty block consumes a fetch cycle.
+            if block.bundle_count == 0 {
+                cycle += 1;
+            }
+
+            let r = stats.region_mut(region);
+            r.cycles += cycle - block_start_cycle;
+            r.stall_cycles += stall_cycles;
+            r.instructions += (block.bundle_count as u64).max(1);
+            r.operations += ops_executed;
+            r.micro_ops += micro_ops;
+
+            if halted {
+                stats.memory = self.hierarchy.stats;
+                return Ok(stats);
+            }
+            if next_block >= program.blocks.len() {
+                break 'blocks;
+            }
+            block_idx = next_block;
+        }
+
+        Err(SimError::FellOffEnd)
+    }
+
+    /// Run a scheduled program through the original string-keyed
+    /// interpretation loop (hash-map scoreboard, label-map branch
+    /// resolution, per-operation metadata re-derivation).
+    ///
+    /// Retained as the differential oracle for the lowered engine — the
+    /// semantics the hot path must reproduce cycle for cycle — and for
+    /// inspecting schedules that deliberately fail lowering.
+    pub fn run_reference(&mut self, program: &ScheduledProgram) -> Result<RunStats, SimError> {
         let labels = program.label_map();
         let mut stats = RunStats::default();
         // Make sure every declared region appears in the statistics, even if
@@ -225,6 +384,19 @@ impl Simulator {
         }
 
         Err(SimError::FellOffEnd)
+    }
+
+    /// Completion latency of a non-memory lowered operation: the flow
+    /// latency and lane count were baked in at lowering time, only the
+    /// *actual* vector length is read at run time.
+    #[inline]
+    fn lowered_compute_latency(&self, op: &LoweredOp) -> u32 {
+        if op.reads_vl {
+            LatencyDescriptor::vector(op.flow, self.regs.effective_vl(), op.lanes).result_latency()
+        } else {
+            // LatencyDescriptor::scalar(flow).result_latency() == flow.
+            op.flow
+        }
     }
 
     /// Completion latency of a non-memory operation, using the *actual*

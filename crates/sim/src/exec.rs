@@ -9,6 +9,7 @@
 
 use vmv_isa::packed::{self, Elem, Sign};
 use vmv_isa::{BrCond, MemWidth, Op, Opcode, Reg, MAX_VL};
+use vmv_sched::LoweredOp;
 
 use crate::memimage::MemImage;
 use crate::regfile::{RegFiles, VectorValue};
@@ -20,6 +21,18 @@ pub enum ExecOutcome {
     Normal,
     /// A taken branch to the given label.
     BranchTaken(String),
+    /// Program termination.
+    Halt,
+}
+
+/// Control-flow outcome of one *lowered* operation: branch targets are
+/// pre-resolved block indices, so no label strings exist on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoweredOutcome {
+    /// Fall through to the next operation.
+    Normal,
+    /// A taken branch to the given block index.
+    BranchTaken(u32),
     /// Program termination.
     Halt,
 }
@@ -47,19 +60,38 @@ pub struct ExecResult {
     pub mem: Option<MemAccess>,
 }
 
-impl ExecResult {
-    fn normal() -> Self {
-        ExecResult {
-            outcome: ExecOutcome::Normal,
-            mem: None,
-        }
-    }
-    fn with_mem(mem: MemAccess) -> Self {
-        ExecResult {
-            outcome: ExecOutcome::Normal,
-            mem: Some(mem),
-        }
-    }
+/// Result of executing one lowered operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredExecResult {
+    pub outcome: LoweredOutcome,
+    pub mem: Option<MemAccess>,
+}
+
+/// Control-flow outcome of the shared execution core: whether a branch was
+/// taken, with target resolution left to the caller (label for the legacy
+/// path, pre-resolved block index for the lowered path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreOutcome {
+    Normal,
+    Taken,
+    Halt,
+}
+
+type CoreResult = (CoreOutcome, Option<MemAccess>);
+
+const NORMAL: CoreResult = (CoreOutcome::Normal, None);
+
+fn with_mem(mem: MemAccess) -> CoreResult {
+    (CoreOutcome::Normal, Some(mem))
+}
+
+/// Borrowed operand view shared by both execution entry points.
+#[derive(Clone, Copy)]
+struct OpView<'a> {
+    opcode: Opcode,
+    dst: Option<Reg>,
+    srcs: &'a [Reg],
+    imm: i64,
 }
 
 /// Execution error (malformed operation reaching the simulator).
@@ -73,25 +105,38 @@ impl std::fmt::Display for ExecError {
 }
 impl std::error::Error for ExecError {}
 
-fn src(op: &Op, i: usize) -> Result<Reg, ExecError> {
+impl std::fmt::Display for OpView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.opcode.mnemonic())?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.srcs {
+            write!(f, " {s}")?;
+        }
+        write!(f, " #{}", self.imm)
+    }
+}
+
+fn src(op: OpView<'_>, i: usize) -> Result<Reg, ExecError> {
     op.srcs
         .get(i)
         .copied()
         .ok_or_else(|| ExecError(format!("operand {i} missing in {op}")))
 }
 
-fn dst(op: &Op) -> Result<Reg, ExecError> {
+fn dst(op: OpView<'_>) -> Result<Reg, ExecError> {
     op.dst
         .ok_or_else(|| ExecError(format!("destination missing in {op}")))
 }
 
-fn imm(op: &Op) -> i64 {
-    op.imm.unwrap_or(0)
+fn imm(op: OpView<'_>) -> i64 {
+    op.imm
 }
 
 /// Second integer operand of a scalar binary operation: either a register or
 /// the immediate (register-immediate form).
-fn scalar_rhs(op: &Op, rf: &RegFiles) -> Result<i64, ExecError> {
+fn scalar_rhs(op: OpView<'_>, rf: &RegFiles) -> Result<i64, ExecError> {
     if op.srcs.len() >= 2 {
         Ok(rf.read_int(src(op, 1)?))
     } else {
@@ -99,26 +144,79 @@ fn scalar_rhs(op: &Op, rf: &RegFiles) -> Result<i64, ExecError> {
     }
 }
 
-/// Execute one operation.
+/// Execute one operation (legacy string-keyed form, used by the lowering
+/// oracle and unit tests; the simulator's hot loop uses [`execute_lowered`]).
 pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<ExecResult, ExecError> {
+    let view = OpView {
+        opcode: op.opcode,
+        dst: op.dst,
+        srcs: &op.srcs,
+        imm: op.imm.unwrap_or(0),
+    };
+    let (outcome, mem_access) = exec_core(view, rf, mem)?;
+    let outcome = match outcome {
+        CoreOutcome::Normal => ExecOutcome::Normal,
+        CoreOutcome::Halt => ExecOutcome::Halt,
+        CoreOutcome::Taken => ExecOutcome::BranchTaken(
+            op.target
+                .clone()
+                .ok_or_else(|| ExecError(format!("branch without target in {op}")))?,
+        ),
+    };
+    Ok(ExecResult {
+        outcome,
+        mem: mem_access,
+    })
+}
+
+/// Execute one lowered operation: operands and branch targets are already
+/// resolved, so no allocation or label lookup happens here.
+#[inline]
+pub fn execute_lowered(
+    op: &LoweredOp,
+    rf: &mut RegFiles,
+    mem: &mut MemImage,
+) -> Result<LoweredExecResult, ExecError> {
+    let view = OpView {
+        opcode: op.opcode,
+        dst: op.dst,
+        srcs: op.srcs(),
+        imm: op.imm,
+    };
+    let (outcome, mem_access) = exec_core(view, rf, mem)?;
+    let outcome = match outcome {
+        CoreOutcome::Normal => LoweredOutcome::Normal,
+        CoreOutcome::Halt => LoweredOutcome::Halt,
+        CoreOutcome::Taken => LoweredOutcome::BranchTaken(op.target),
+    };
+    Ok(LoweredExecResult {
+        outcome,
+        mem: mem_access,
+    })
+}
+
+/// Shared execution core: computes values, memory effects and the taken /
+/// not-taken control decision of one operation.
+fn exec_core(
+    op: OpView<'_>,
+    rf: &mut RegFiles,
+    mem: &mut MemImage,
+) -> Result<CoreResult, ExecError> {
     use Opcode::*;
     let oc = op.opcode;
     match oc {
-        Nop => Ok(ExecResult::normal()),
-        Halt => Ok(ExecResult {
-            outcome: ExecOutcome::Halt,
-            mem: None,
-        }),
+        Nop => Ok(NORMAL),
+        Halt => Ok((CoreOutcome::Halt, None)),
 
         // ------------------------------------------------------------ scalar
         MovI => {
             rf.write_int(dst(op)?, imm(op));
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         Mov => {
             let v = rf.read_int(src(op, 0)?);
             rf.write_int(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | ISra | ISlt
         | ISltu | ISeq | IMin | IMax => {
@@ -156,12 +254,12 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 _ => unreachable!(),
             };
             rf.write_int(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         IAbs => {
             let a = rf.read_int(src(op, 0)?);
             rf.write_int(dst(op)?, a.wrapping_abs());
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
 
         Load(width, sign) => {
@@ -178,7 +276,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 Sign::Signed => packed::sign_extend(raw, 8 * width.bytes() as u32),
             };
             rf.write_int(dst(op)?, v);
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
@@ -197,7 +295,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 MemWidth::B4 => mem.write_u32(addr, v as u32),
                 MemWidth::B8 => mem.write_u64(addr, v),
             }
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
@@ -219,28 +317,12 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 BrCond::Gt => a > b,
             };
             if taken {
-                let t = op
-                    .target
-                    .clone()
-                    .ok_or_else(|| ExecError("branch without target".into()))?;
-                Ok(ExecResult {
-                    outcome: ExecOutcome::BranchTaken(t),
-                    mem: None,
-                })
+                Ok((CoreOutcome::Taken, None))
             } else {
-                Ok(ExecResult::normal())
+                Ok(NORMAL)
             }
         }
-        Jump => {
-            let t = op
-                .target
-                .clone()
-                .ok_or_else(|| ExecError("jump without target".into()))?;
-            Ok(ExecResult {
-                outcome: ExecOutcome::BranchTaken(t),
-                mem: None,
-            })
-        }
+        Jump => Ok((CoreOutcome::Taken, None)),
 
         // ------------------------------------------------------------ µSIMD
         PLoad => {
@@ -248,7 +330,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
             let addr = (base + imm(op)) as u64;
             let v = mem.read_u64(addr);
             rf.write_simd(dst(op)?, v);
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
@@ -262,7 +344,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
             let addr = (base + imm(op)) as u64;
             let v = rf.read_simd(src(op, 1)?);
             mem.write_u64(addr, v);
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
@@ -274,35 +356,35 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
         PMov => {
             let v = rf.read_simd(src(op, 0)?);
             rf.write_simd(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         MovIntToSimd => {
             let v = rf.read_int(src(op, 0)?) as u64;
             rf.write_simd(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         MovSimdToInt => {
             let v = rf.read_simd(src(op, 0)?) as i64;
             rf.write_int(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PSplat(e) => {
             let v = rf.read_int(src(op, 0)?) as u64;
             rf.write_simd(dst(op)?, packed::splat(e, v));
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PExtract(e) => {
             let v = rf.read_simd(src(op, 0)?);
             let lane = imm(op) as usize % e.lanes();
             rf.write_int(dst(op)?, packed::lane_u(v, e, lane) as i64);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PInsert(e) => {
             let old = rf.read_simd(src(op, 0)?);
             let v = rf.read_int(src(op, 1)?) as u64;
             let lane = imm(op) as usize % e.lanes();
             rf.write_simd(dst(op)?, packed::set_lane(old, e, lane, v));
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         // Packed two-operand arithmetic.
         PAdd(..) | PSub(..) | PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_)
@@ -311,13 +393,13 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
             let a = rf.read_simd(src(op, 0)?);
             let b = rf.read_simd(src(op, 1)?);
             rf.write_simd(dst(op)?, packed_binary(oc, a, b)?);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PSad => {
             let a = rf.read_simd(src(op, 0)?);
             let b = rf.read_simd(src(op, 1)?);
             rf.write_simd(dst(op)?, packed::psad_u8(a, b));
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PShl(e) | PShrL(e) | PShrA(e) => {
             let a = rf.read_simd(src(op, 0)?);
@@ -329,13 +411,13 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 _ => unreachable!(),
             };
             rf.write_simd(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         PWidenLo(e, s) | PWidenHi(e, s) => {
             let a = rf.read_simd(src(op, 0)?);
             let hi = matches!(oc, PWidenHi(..));
             rf.write_simd(dst(op)?, widen(a, e, s, hi));
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
 
         // ------------------------------------------------------------ vector
@@ -346,7 +428,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 rf.read_int(src(op, 0)?)
             };
             rf.vl = (v.max(1) as u32).min(MAX_VL);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         SetVS => {
             let v = if op.srcs.is_empty() {
@@ -355,7 +437,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 rf.read_int(src(op, 0)?)
             };
             rf.vs = v;
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VLoad => {
             let base = rf.read_int(src(op, 0)?);
@@ -368,7 +450,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 *w = mem.read_u64(a);
             }
             rf.write_vec(dst(op)?, v);
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride,
                 elems: vl,
@@ -387,7 +469,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 let a = (addr as i64 + stride * i as i64) as u64;
                 mem.write_u64(a, *w);
             }
-            Ok(ExecResult::with_mem(MemAccess {
+            Ok(with_mem(MemAccess {
                 base: addr,
                 stride,
                 elems: vl,
@@ -399,7 +481,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
         VMov => {
             let v = rf.read_vec(src(op, 0)?);
             rf.write_vec(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VSplat(e) => {
             let s = rf.read_int(src(op, 0)?) as u64;
@@ -410,13 +492,13 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 *w = word;
             }
             rf.write_vec(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VExtract => {
             let v = rf.read_vec(src(op, 0)?);
             let w = imm(op) as usize % MAX_VL as usize;
             rf.write_simd(dst(op)?, v[w]);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VInsert => {
             let mut v = rf.read_vec(src(op, 0)?);
@@ -424,7 +506,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
             let w = imm(op) as usize % MAX_VL as usize;
             v[w] = s;
             rf.write_vec(dst(op)?, v);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         // Element-wise vector arithmetic: apply the packed word operation to
         // the first VL words.
@@ -440,7 +522,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 out[i] = packed_binary(scalar_oc, a[i], b[i])?;
             }
             rf.write_vec(dst(op)?, out);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VShl(e) | VShrL(e) | VShrA(e) => {
             let a = rf.read_vec(src(op, 0)?);
@@ -456,7 +538,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 };
             }
             rf.write_vec(dst(op)?, out);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VWidenLo(e, s) | VWidenHi(e, s) => {
             let a = rf.read_vec(src(op, 0)?);
@@ -467,13 +549,13 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 out[i] = widen(a[i], e, s, hi);
             }
             rf.write_vec(dst(op)?, out);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
 
         // ------------------------------------------------------ accumulators
         AccClear => {
             rf.write_acc(dst(op)?, vmv_isa::Accumulator::zero());
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VSadAcc | VMacAcc => {
             let mut acc = rf.read_acc(src(op, 0)?);
@@ -488,7 +570,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 }
             }
             rf.write_acc(dst(op)?, acc);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         VAddAcc => {
             let mut acc = rf.read_acc(src(op, 0)?);
@@ -498,12 +580,12 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 acc.add_i16(word);
             }
             rf.write_acc(dst(op)?, acc);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         AccReduce => {
             let acc = rf.read_acc(src(op, 0)?);
             rf.write_int(dst(op)?, acc.reduce());
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
         AccPackShrH => {
             let acc = rf.read_acc(src(op, 0)?);
@@ -514,7 +596,7 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
                 out = packed::set_lane(out, Elem::H, lane, packed::sat_s(v, Elem::H));
             }
             rf.write_simd(dst(op)?, out);
-            Ok(ExecResult::normal())
+            Ok(NORMAL)
         }
     }
 }

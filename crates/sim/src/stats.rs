@@ -53,7 +53,7 @@ impl RegionStats {
 }
 
 /// Statistics of one complete program run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Per-region breakdown (region 0 = scalar region).
     pub regions: BTreeMap<RegionId, RegionStats>,

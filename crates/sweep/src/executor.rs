@@ -286,6 +286,32 @@ mod tests {
     }
 
     #[test]
+    fn cache_geometry_sweep_runs_and_shares_one_schedule() {
+        // Geometry variations (associativity, line size, bank count) are
+        // memory-only: every point re-simulates the same single schedule.
+        let points = SweepSpec::new()
+            .axis(Axis::l2_assoc(&[4, 8]))
+            .axis(Axis::l2_line(&[64, 128]))
+            .axis(Axis::l2_banks(&[2, 4]))
+            .expand()
+            .points;
+        assert_eq!(points.len(), 8);
+        let opts = ExecOptions {
+            benchmarks: vec![Benchmark::GsmDec],
+            workers: 2,
+        };
+        let report = run_sweep(&points, &opts, None).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.records.len(), 8);
+        assert_eq!(report.cache.misses, 1, "one schedule for all geometries");
+        assert!(report.records.iter().all(|r| r.check_ok));
+        // Geometry must matter: not every point can have identical cycles.
+        let cycles: std::collections::HashSet<u64> =
+            report.records.iter().map(|r| r.cycles).collect();
+        assert!(cycles.len() > 1, "geometry axes had no effect: {cycles:?}");
+    }
+
+    #[test]
     fn store_skips_already_completed_runs() {
         let mut path = std::env::temp_dir();
         path.push(format!("vmv_sweep_exec_{}.jsonl", std::process::id()));

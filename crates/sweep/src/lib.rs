@@ -15,7 +15,9 @@
 //!   and re-simulated across every memory variation;
 //! * [`ResultStore`] streams each run as a JSON Line with a stable
 //!   content-derived [`run_key`], so re-invocations **skip completed runs**
-//!   and extend the same file;
+//!   and extend the same file; shard files from distributed sweeps union by
+//!   key (`merge_from`), and `compact` drops superseded duplicates and
+//!   rewrites the store sorted by key;
 //! * [`pareto_report`] (cycles vs. an abstract hardware-cost model) and
 //!   [`sensitivity`] (per-axis performance swing) summarise the result set.
 //!
@@ -50,4 +52,6 @@ pub use json::{Json, JsonError};
 pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
 pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
 pub use spec::{Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec};
-pub use store::{matched_records, point_key_index, run_key, ResultStore, RunRecord};
+pub use store::{
+    matched_records, point_key_index, run_key, CompactStats, MergeStats, ResultStore, RunRecord,
+};

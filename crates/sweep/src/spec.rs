@@ -164,6 +164,56 @@ impl Axis {
         )
     }
 
+    /// L1 data-cache associativity (ways).
+    pub fn l1_assoc(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l1_assoc",
+            values,
+            |v| format!("l1a{v}"),
+            |v, d| d.memory.l1_assoc = v,
+        )
+    }
+
+    /// L2 vector-cache associativity (ways).
+    pub fn l2_assoc(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l2_assoc",
+            values,
+            |v| format!("l2a{v}"),
+            |v, d| d.memory.l2_assoc = v,
+        )
+    }
+
+    /// L1 line size in bytes.
+    pub fn l1_line(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l1_line",
+            values,
+            |v| format!("l1ln{v}"),
+            |v, d| d.memory.l1_line = v,
+        )
+    }
+
+    /// L2 vector-cache line size in bytes.
+    pub fn l2_line(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l2_line",
+            values,
+            |v| format!("l2ln{v}"),
+            |v, d| d.memory.l2_line = v,
+        )
+    }
+
+    /// Number of interleaved banks in the L2 vector cache.
+    pub fn l2_banks(values: &[usize]) -> Axis {
+        Axis::from_fn(
+            "l2_banks",
+            values,
+            |v| format!("bk{v}"),
+            |v, d| d.memory.l2_banks = v,
+        )
+    }
+
     /// L2 hit latency in cycles (kept in lock-step with the scheduler's
     /// assumed vector-memory latency, as in the paper's Fig. 4 example).
     pub fn l2_latency(values: &[u32]) -> Axis {
@@ -297,8 +347,10 @@ impl SweepSpec {
                 labels.push((axis.name.clone(), value.label.clone()));
             }
 
+            // Memory axes feed the generator so geometry travels with the
+            // structural parameters; latency overrides apply on top.
+            draft.gen.memory = draft.memory;
             let mut machine = gen::generate(&draft.gen);
-            machine.memory = draft.memory;
             machine.latencies = draft.latencies;
             let name = if labels.is_empty() {
                 machine.name.clone()
@@ -440,6 +492,50 @@ mod tests {
         for p in &e.points {
             assert_eq!(crate::fingerprint::schedule_fingerprint(&p.machine), first);
         }
+    }
+
+    #[test]
+    fn cache_geometry_axes_vary_memory_without_touching_the_schedule() {
+        let e = SweepSpec::new()
+            .axis(Axis::l1_assoc(&[2, 4]))
+            .axis(Axis::l2_assoc(&[4, 8]))
+            .axis(Axis::l1_line(&[32, 64]))
+            .axis(Axis::l2_line(&[64, 128]))
+            .axis(Axis::l2_banks(&[2, 4]))
+            .expand();
+        assert_eq!(e.points.len(), 32);
+        assert_eq!(e.duplicates, 0, "every geometry must be a distinct point");
+        let schedule = crate::fingerprint::schedule_fingerprint(&e.points[0].machine);
+        let mut geometries = HashSet::new();
+        for p in &e.points {
+            assert_eq!(
+                crate::fingerprint::schedule_fingerprint(&p.machine),
+                schedule,
+                "geometry axes must never force a reschedule"
+            );
+            let m = &p.machine.memory;
+            geometries.insert((m.l1_assoc, m.l2_assoc, m.l1_line, m.l2_line, m.l2_banks));
+        }
+        assert_eq!(geometries.len(), 32);
+        assert_eq!(e.points[0].labels[0].0, "l1_assoc");
+        assert_eq!(e.points[0].labels[4].0, "l2_banks");
+    }
+
+    #[test]
+    fn geometry_axes_travel_through_the_generator() {
+        // The memory parameters reach gen::generate itself, so a direct
+        // GenParams user sees the same machine as the sweep expansion.
+        let e = SweepSpec::new()
+            .axis(Axis::l2_banks(&[8]))
+            .axis(Axis::l1_line(&[64]))
+            .expand();
+        let from_spec = &e.points[0].machine;
+        let mut params = vmv_machine::GenParams::default();
+        params.memory.l2_banks = 8;
+        params.memory.l1_line = 64;
+        let direct = gen::generate(&params);
+        assert_eq!(direct.memory, from_spec.memory);
+        assert_eq!(direct.memory.l2_banks, 8);
     }
 
     #[test]

@@ -126,6 +126,28 @@ pub fn matched_records<'r>(
         .collect()
 }
 
+/// Outcome of one [`ResultStore::merge_from`] invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Records already in the destination store before the merge.
+    pub existing: usize,
+    /// Shard records examined.
+    pub scanned: usize,
+    /// Records appended to the destination.
+    pub merged: usize,
+    /// Shard records skipped because their key was already present.
+    pub duplicates: usize,
+}
+
+/// Outcome of one [`ResultStore::compact`] invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records surviving compaction (one per distinct key, sorted).
+    pub kept: usize,
+    /// Superseded duplicates dropped.
+    pub dropped: usize,
+}
+
 /// An append-only JSON Lines file of [`RunRecord`]s.
 pub struct ResultStore {
     path: PathBuf,
@@ -170,6 +192,72 @@ impl ResultStore {
             }
         }
         Ok(records)
+    }
+
+    /// Merge shard stores into this one: every record whose run key is not
+    /// yet present (in this store or an earlier shard) is appended, in shard
+    /// order.  The first record seen for a key wins — the same policy as
+    /// [`matched_records`] — so merging is idempotent and order-stable.
+    ///
+    /// This is the multi-machine sharding story: each worker sweeps into its
+    /// own JSONL file, and `merge` unions them by content-derived key.
+    pub fn merge_from(&self, shards: &[impl AsRef<Path>]) -> std::io::Result<MergeStats> {
+        let mut seen = self.completed_keys()?;
+        let existing = seen.len();
+        let mut stats = MergeStats {
+            existing,
+            ..MergeStats::default()
+        };
+        for shard in shards {
+            let shard_store = ResultStore::open(shard.as_ref());
+            let mut fresh = Vec::new();
+            for record in shard_store.load()? {
+                stats.scanned += 1;
+                if seen.insert(record.key.clone()) {
+                    fresh.push(record);
+                } else {
+                    stats.duplicates += 1;
+                }
+            }
+            stats.merged += fresh.len();
+            self.append(&fresh)?;
+        }
+        Ok(stats)
+    }
+
+    /// Compact the store in place: drop superseded duplicate keys (the first
+    /// record for a key is authoritative, matching the [`matched_records`]
+    /// join policy; later duplicates — e.g. from `cat`-merged shards — are
+    /// dropped) and rewrite the file sorted by run key.  The rewrite goes
+    /// through a temporary file and an atomic rename, so a crash mid-compact
+    /// never loses the store.
+    pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let records = self.load()?;
+        let scanned = records.len();
+        let mut seen = HashSet::new();
+        let mut kept: Vec<RunRecord> = records
+            .into_iter()
+            .filter(|r| seen.insert(r.key.clone()))
+            .collect();
+        kept.sort_by(|a, b| a.key.cmp(&b.key));
+
+        let mut buf = String::new();
+        for r in &kept {
+            buf.push_str(&r.to_json().render());
+            buf.push('\n');
+        }
+        let mut tmp = self.path.clone();
+        let file_name = tmp
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string());
+        tmp.set_file_name(format!("{file_name}.compact.tmp"));
+        std::fs::write(&tmp, buf.as_bytes())?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(CompactStats {
+            kept: kept.len(),
+            dropped: scanned - kept.len(),
+        })
     }
 
     /// Append records as JSON Lines (one `write` per batch, flushed).
@@ -332,6 +420,101 @@ mod tests {
         let keys = store.completed_keys().unwrap();
         assert!(keys.contains("aaaa000011112222"));
         assert!(keys.contains("cccc000011112222"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_unions_shards_by_key_first_occurrence_wins() {
+        let dest_path = temp_path("merge_dest");
+        let shard_a = temp_path("merge_a");
+        let shard_b = temp_path("merge_b");
+        let dest = ResultStore::open(&dest_path);
+        dest.append(&[record("aaaa000011112222", 1)]).unwrap();
+        ResultStore::open(&shard_a)
+            .append(&[
+                record("aaaa000011112222", 999), // duplicate of dest: skipped
+                record("bbbb000011112222", 2),
+            ])
+            .unwrap();
+        ResultStore::open(&shard_b)
+            .append(&[
+                record("bbbb000011112222", 888), // duplicate of shard_a: skipped
+                record("cccc000011112222", 3),
+            ])
+            .unwrap();
+
+        let stats = dest.merge_from(&[&shard_a, &shard_b]).unwrap();
+        assert_eq!(stats.existing, 1);
+        assert_eq!(stats.scanned, 4);
+        assert_eq!(stats.merged, 2);
+        assert_eq!(stats.duplicates, 2);
+
+        let records = dest.load().unwrap();
+        assert_eq!(records.len(), 3);
+        // First occurrence won everywhere.
+        assert_eq!(records[0].cycles, 1);
+        assert_eq!(records[1].cycles, 2);
+        assert_eq!(records[2].cycles, 3);
+
+        // Merging again is a no-op.
+        let again = dest.merge_from(&[&shard_a, &shard_b]).unwrap();
+        assert_eq!(again.merged, 0);
+        assert_eq!(again.duplicates, 4);
+        assert_eq!(dest.load().unwrap().len(), 3);
+        for p in [&dest_path, &shard_a, &shard_b] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn compact_drops_duplicates_and_sorts_by_key() {
+        let path = temp_path("compact");
+        let store = ResultStore::open(&path);
+        store
+            .append(&[
+                record("cccc000011112222", 3),
+                record("aaaa000011112222", 1),
+                record("cccc000011112222", 777), // superseded duplicate
+                record("bbbb000011112222", 2),
+            ])
+            .unwrap();
+        let stats = store.compact().unwrap();
+        assert_eq!(stats.kept, 3);
+        assert_eq!(stats.dropped, 1);
+
+        let records = store.load().unwrap();
+        let keys: Vec<_> = records.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec!["aaaa000011112222", "bbbb000011112222", "cccc000011112222"]
+        );
+        // The first record for the duplicate key survived.
+        assert_eq!(records[2].cycles, 3);
+
+        // Compacting an already-compact store changes nothing.
+        let stats = store.compact().unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 3,
+                dropped: 0
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_of_missing_store_is_an_empty_store() {
+        let path = temp_path("compact_missing");
+        let store = ResultStore::open(&path);
+        let stats = store.compact().unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 0,
+                dropped: 0
+            }
+        );
         let _ = std::fs::remove_file(&path);
     }
 

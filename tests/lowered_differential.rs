@@ -1,0 +1,154 @@
+//! Differential harness for the lowered execution engine.
+//!
+//! The simulator has two interpretation loops: the original string-keyed
+//! reference engine (`Simulator::run_reference` — hash-map scoreboard,
+//! label-map branch resolution, per-operation metadata re-derivation) and
+//! the lowered hot path (`Simulator::run_lowered` — slot-indexed scoreboard
+//! over the pre-resolved `LoweredProgram`).  The refactor is only sound if
+//! the two agree *exactly*: same cycles, same stalls, same per-region
+//! breakdown, same memory-system counters, on every workload and machine.
+//!
+//! This harness proves that on all ten Table 2 presets across the complete
+//! kernel suite, under both memory models.
+
+use vector_usimd_vliw as vmv;
+use vmv::core::{prepare, variant_for};
+use vmv::kernels::Benchmark;
+use vmv::machine::all_configs;
+use vmv::mem::MemoryModel;
+use vmv::sim::{SimOptions, Simulator};
+
+/// Run one prepared benchmark through the given engine.
+fn run_with(
+    prepared: &vmv::core::Prepared,
+    machine: &vmv::machine::MachineConfig,
+    model: MemoryModel,
+    lowered: bool,
+) -> vmv::sim::RunStats {
+    let mut sim = Simulator::new(
+        machine,
+        SimOptions {
+            memory_model: model,
+            mem_size: prepared.build.mem_size.max(1 << 20),
+            max_cycles: 2_000_000_000,
+        },
+    );
+    for (addr, bytes) in &prepared.build.init {
+        sim.mem.write_bytes(*addr, bytes);
+    }
+    if lowered {
+        sim.run_lowered(&prepared.lowered).expect("lowered run")
+    } else {
+        sim.run_reference(&prepared.compiled.program)
+            .expect("reference run")
+    }
+}
+
+#[test]
+fn lowered_engine_matches_reference_on_all_table2_presets() {
+    let configs = all_configs();
+    assert_eq!(configs.len(), 10, "Table 2 has ten configurations");
+    let mut compared = 0usize;
+    for machine in &configs {
+        for bench in Benchmark::ALL {
+            for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+                let prepared = prepare(bench, machine)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+                let reference = run_with(&prepared, machine, model, false);
+                let lowered = run_with(&prepared, machine, model, true);
+                assert_eq!(
+                    reference,
+                    lowered,
+                    "RunStats diverged: {} ({}) on {} under {:?}",
+                    bench.name(),
+                    variant_for(machine).name(),
+                    machine.name,
+                    model
+                );
+                compared += 1;
+            }
+        }
+    }
+    // 10 configurations x 6 benchmarks x 2 memory models.
+    assert_eq!(compared, 120);
+}
+
+#[test]
+fn lowered_engine_matches_reference_functionally() {
+    // Beyond timing: the memory image after a run must agree, so the
+    // lowered execution path computes identical values.
+    let machine = vmv::machine::presets::vector2(4);
+    for bench in [Benchmark::GsmDec, Benchmark::JpegEnc] {
+        let prepared = prepare(bench, &machine).unwrap();
+        let mut checks = Vec::new();
+        for lowered in [false, true] {
+            let mut sim = Simulator::new(
+                &machine,
+                SimOptions {
+                    memory_model: MemoryModel::Realistic,
+                    mem_size: prepared.build.mem_size.max(1 << 20),
+                    max_cycles: 2_000_000_000,
+                },
+            );
+            for (addr, bytes) in &prepared.build.init {
+                sim.mem.write_bytes(*addr, bytes);
+            }
+            if lowered {
+                sim.run_lowered(&prepared.lowered).unwrap();
+            } else {
+                sim.run_reference(&prepared.compiled.program).unwrap();
+            }
+            checks.push(
+                prepared
+                    .build
+                    .failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len)),
+            );
+        }
+        assert!(checks[0].is_empty(), "{}: {:?}", bench.name(), checks[0]);
+        assert!(checks[1].is_empty(), "{}: {:?}", bench.name(), checks[1]);
+    }
+}
+
+#[test]
+fn lowering_errors_surface_before_execution() {
+    use vmv::isa::{Op, Opcode, Reg, RegionId};
+    use vmv::sched::{lower, LowerError, ScheduledBlock, ScheduledProgram};
+
+    let machine = vmv::machine::presets::vliw(2);
+    let block = |ops: Vec<Op>| ScheduledProgram {
+        name: "bad".into(),
+        blocks: vec![ScheduledBlock {
+            label: "entry".into(),
+            region: RegionId::SCALAR,
+            bundles: vec![ops],
+        }],
+        regions: vec![],
+    };
+
+    // A branch to a missing label is a lowering error (and `Simulator::run`
+    // reports it as the familiar UnknownLabel before any cycle executes).
+    let bogus = block(vec![Op::new(Opcode::Jump).with_target("nowhere")]);
+    assert!(matches!(
+        lower(&bogus, &machine),
+        Err(LowerError::UnknownLabel { .. })
+    ));
+    let mut sim = Simulator::with_model(&machine, MemoryModel::Perfect);
+    assert!(matches!(
+        sim.run(&bogus),
+        Err(vmv::sim::SimError::UnknownLabel(_))
+    ));
+
+    // A register beyond the machine's register file is caught at lowering
+    // time instead of indexing out of bounds mid-run.
+    let out_of_range = block(vec![Op::new(Opcode::MovI)
+        .with_dst(Reg::int(machine.regs.int + 1))
+        .with_imm(7)]);
+    assert!(matches!(
+        lower(&out_of_range, &machine),
+        Err(LowerError::SlotOutOfRange { .. })
+    ));
+    assert!(matches!(
+        sim.run(&out_of_range),
+        Err(vmv::sim::SimError::Lower(_))
+    ));
+}
