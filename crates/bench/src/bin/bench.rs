@@ -1,0 +1,272 @@
+//! Dependency-free simulator benchmark harness.
+//!
+//! ```text
+//! cargo run --release -p vmv-bench --bin bench
+//! cargo run --release -p vmv-bench --bin bench -- --json BENCH_sim.json \
+//!     --min-scps 5000000
+//! ```
+//!
+//! Times the three pipeline stages — **schedule** (`vmv_sched::compile`),
+//! **lower** (`vmv_sched::lower`) and **simulate** (the lowered engine) —
+//! separately, on two workloads:
+//!
+//! * the Table 2 suite: all ten paper configurations × six benchmarks ×
+//!   both memory models, single-threaded;
+//! * a large synthetic sweep: the `sweep --demo` design points (GSM pair,
+//!   Realistic model), re-simulated from one compile per schedule key the
+//!   same way the sweep executor does.
+//!
+//! Reports simulated-cycles-per-second per stage-adjusted workload and
+//! writes a `BENCH_sim.json` artifact so the perf trajectory of the hot
+//! path is recorded run over run.  `--min-scps` turns the harness into a CI
+//! gate: the process exits non-zero when the synthetic-sweep simulation
+//! throughput falls below the floor.
+
+use std::time::Instant;
+
+use vmv_core::{simulate, variant_for};
+use vmv_kernels::Benchmark;
+use vmv_machine::all_configs;
+use vmv_mem::MemoryModel;
+use vmv_sweep::{schedule_fingerprint, Axis, Json, SweepSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--json BENCH.json] [--min-scps N] [--repeat N]\n\
+         \n\
+         --json PATH     write a BENCH-style JSON artifact (default:\n\
+         \x20               BENCH_sim.json)\n\
+         --min-scps N    exit non-zero when the synthetic-sweep simulation\n\
+         \x20               throughput is below N simulated-cycles-per-second\n\
+         --repeat N      simulate each prepared program N times (default 1;\n\
+         \x20               raises timer resolution on fast machines)"
+    );
+    std::process::exit(1)
+}
+
+/// Wall-clock seconds of one closure invocation.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+struct StageTotals {
+    schedule_s: f64,
+    lower_s: f64,
+    simulate_s: f64,
+    schedules: u64,
+    runs: u64,
+    simulated_cycles: u64,
+}
+
+impl StageTotals {
+    fn new() -> Self {
+        StageTotals {
+            schedule_s: 0.0,
+            lower_s: 0.0,
+            simulate_s: 0.0,
+            schedules: 0,
+            runs: 0,
+            simulated_cycles: 0,
+        }
+    }
+
+    /// Simulated cycles per second of *simulation* wall time.
+    fn scps(&self) -> f64 {
+        if self.simulate_s > 0.0 {
+            self.simulated_cycles as f64 / self.simulate_s
+        } else {
+            0.0
+        }
+    }
+
+    fn report(&self, name: &str) {
+        println!(
+            "{name}: {} schedules, {} runs, {} simulated cycles",
+            self.schedules, self.runs, self.simulated_cycles
+        );
+        println!(
+            "  schedule {:.3}s | lower {:.3}s | simulate {:.3}s | {:.0} simulated-cycles-per-second",
+            self.schedule_s,
+            self.lower_s,
+            self.simulate_s,
+            self.scps()
+        );
+    }
+
+    fn json(&self, name: &str) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(name)),
+            ("schedules".into(), Json::u64(self.schedules)),
+            ("runs".into(), Json::u64(self.runs)),
+            ("simulated_cycles".into(), Json::u64(self.simulated_cycles)),
+            ("schedule_seconds".into(), Json::Num(self.schedule_s)),
+            ("lower_seconds".into(), Json::Num(self.lower_s)),
+            ("simulate_seconds".into(), Json::Num(self.simulate_s)),
+            ("simulated_cycles_per_second".into(), Json::Num(self.scps())),
+        ])
+    }
+}
+
+/// The Table 2 suite: ten paper configurations × six benchmarks × both
+/// memory models, single-threaded, stages timed separately.
+fn bench_table2(repeat: u32) -> StageTotals {
+    let mut t = StageTotals::new();
+    for machine in &all_configs() {
+        for bench in Benchmark::ALL {
+            // prepare() = build + schedule + lower; time the schedule and
+            // lowering stages individually to mirror it.
+            let variant = variant_for(machine);
+            let build = bench.build(variant);
+            let (compiled, schedule_s) =
+                timed(|| vmv_sched::compile(&build.program, machine).expect("schedules"));
+            let (lowered, lower_s) =
+                timed(|| vmv_sched::lower(&compiled.program, machine).expect("lowers"));
+            t.schedule_s += schedule_s;
+            t.lower_s += lower_s;
+            t.schedules += 1;
+            let prepared = vmv_core::Prepared {
+                benchmark: bench,
+                variant,
+                build,
+                compiled,
+                lowered,
+            };
+            for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+                for _ in 0..repeat {
+                    let (outcome, sim_s) =
+                        timed(|| simulate(&prepared, machine, model).expect("simulates"));
+                    assert!(
+                        outcome.check_failures.is_empty(),
+                        "{} on {}: {:?}",
+                        bench.name(),
+                        machine.name,
+                        outcome.check_failures
+                    );
+                    t.simulate_s += sim_s;
+                    t.runs += 1;
+                    t.simulated_cycles += outcome.stats.cycles();
+                }
+            }
+        }
+    }
+    t
+}
+
+/// The synthetic sweep: the `sweep --demo` design points on the GSM pair,
+/// Realistic model, one compile per distinct schedule key (exactly what the
+/// sweep executor's compile cache achieves), re-simulated at every point.
+fn bench_synthetic(repeat: u32) -> StageTotals {
+    let spec = SweepSpec::new()
+        .axis(Axis::issue_width(&[2, 4]))
+        .axis(Axis::vector_units(&[1, 2, 4]))
+        .axis(Axis::vector_lanes(&[1, 2, 4, 8, 16]))
+        .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
+        .axis(Axis::mem_latency(&[100, 500]))
+        .constraint("lane budget: units x lanes <= 32", |m, _| {
+            m.vector_units as u32 * m.vector_lanes <= 32
+        });
+    let points = spec.expand().points;
+    let mut t = StageTotals::new();
+    let mut cache: std::collections::HashMap<String, std::sync::Arc<vmv_core::Prepared>> =
+        std::collections::HashMap::new();
+    for bench in [Benchmark::GsmDec, Benchmark::GsmEnc] {
+        for point in &points {
+            let key = format!("{}|{}", bench.name(), schedule_fingerprint(&point.machine));
+            let prepared = match cache.get(&key) {
+                Some(p) => p.clone(),
+                None => {
+                    let variant = variant_for(&point.machine);
+                    let build = bench.build(variant);
+                    let (compiled, schedule_s) = timed(|| {
+                        vmv_sched::compile(&build.program, &point.machine).expect("schedules")
+                    });
+                    let (lowered, lower_s) = timed(|| {
+                        vmv_sched::lower(&compiled.program, &point.machine).expect("lowers")
+                    });
+                    t.schedule_s += schedule_s;
+                    t.lower_s += lower_s;
+                    t.schedules += 1;
+                    let p = std::sync::Arc::new(vmv_core::Prepared {
+                        benchmark: bench,
+                        variant,
+                        build,
+                        compiled,
+                        lowered,
+                    });
+                    cache.insert(key, p.clone());
+                    p
+                }
+            };
+            for _ in 0..repeat {
+                let (outcome, sim_s) = timed(|| {
+                    simulate(&prepared, &point.machine, MemoryModel::Realistic).expect("simulates")
+                });
+                assert!(outcome.check_failures.is_empty());
+                t.simulate_s += sim_s;
+                t.runs += 1;
+                t.simulated_cycles += outcome.stats.cycles();
+            }
+        }
+    }
+    t
+}
+
+fn main() {
+    let mut json_path = "BENCH_sim.json".to_string();
+    let mut min_scps: Option<f64> = None;
+    let mut repeat = 1u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            "--min-scps" => {
+                min_scps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    let (table2, table2_wall) = timed(|| bench_table2(repeat));
+    table2.report("table2 suite (10 configs x 6 benchmarks x 2 memory models)");
+    let (synthetic, synthetic_wall) = timed(|| bench_synthetic(repeat));
+    synthetic.report("synthetic sweep (demo points, GSM pair, realistic model)");
+
+    let artifact = Json::Obj(vec![
+        ("name".into(), Json::str("bench_sim")),
+        ("repeat".into(), Json::u64(repeat as u64)),
+        ("table2_wall_seconds".into(), Json::Num(table2_wall)),
+        ("synthetic_wall_seconds".into(), Json::Num(synthetic_wall)),
+        ("table2".into(), table2.json("table2")),
+        ("synthetic".into(), synthetic.json("synthetic")),
+    ]);
+    if let Err(e) = std::fs::write(&json_path, artifact.render() + "\n") {
+        eprintln!("cannot write {json_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote benchmark artifact to {json_path}");
+
+    if let Some(floor) = min_scps {
+        let scps = synthetic.scps();
+        if scps < floor {
+            eprintln!(
+                "FAIL: synthetic-sweep simulation throughput {scps:.0} < floor {floor:.0} \
+                 simulated-cycles-per-second"
+            );
+            std::process::exit(1);
+        }
+        println!("throughput floor ok: {scps:.0} >= {floor:.0} simulated-cycles-per-second");
+    }
+}

@@ -22,17 +22,22 @@
 
 use vmv_kernels::Benchmark;
 use vmv_sweep::{
-    pareto_report, render_pareto, render_sensitivity, schedule_fingerprint, sensitivity, Axis,
-    ExecOptions, Json, ResultStore, SweepSpec,
+    pareto_report, render_pareto, render_sensitivity, schedule_fingerprint, sensitivity,
+    shard_points, Axis, ExecOptions, Json, ResultStore, SweepSpec,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep --demo [--threads N] [--out RESULTS.jsonl] [--json BENCH.json]\n\
+        "usage: sweep --demo [--threads N] [--shard I/N] [--out RESULTS.jsonl]\n\
+         \x20            [--json BENCH.json]\n\
          \x20      sweep --merge SHARD.jsonl [SHARD.jsonl ...] --out RESULTS.jsonl\n\
          \x20      sweep --compact --out RESULTS.jsonl\n\
          \n\
          --demo          run the built-in demonstration sweep\n\
+         --shard I/N     run only design points with index = I (mod N) of the\n\
+         \x20               deduplicated expansion (deterministic, so N\n\
+         \x20               machines with I = 0..N-1 partition the sweep; the\n\
+         \x20               per-shard result files compose with --merge)\n\
          --merge SHARDS  union shard files into --out by content-derived\n\
          \x20               run key (first occurrence of a key wins)\n\
          --compact       drop superseded duplicate keys from --out and\n\
@@ -44,6 +49,18 @@ fn usage() -> ! {
          \x20               cache counters, per-run cycles)"
     );
     std::process::exit(1)
+}
+
+/// Parse an `I/N` shard specification.
+fn parse_shard(s: &str) -> Option<(usize, usize)> {
+    let (i, n) = s.split_once('/')?;
+    let i: usize = i.parse().ok()?;
+    let n: usize = n.parse().ok()?;
+    if n >= 1 && i < n {
+        Some((i, n))
+    } else {
+        None
+    }
 }
 
 /// The built-in demonstration sweep: 2 × 3 × 5 × 2 × 2 = 120 raw points,
@@ -64,6 +81,7 @@ fn main() {
     let mut demo = false;
     let mut compact = false;
     let mut merge_shards: Option<Vec<String>> = None;
+    let mut shard: Option<(usize, usize)> = None;
     let mut threads = 0usize;
     let mut out_path = "sweep_results.jsonl".to_string();
     let mut json_path: Option<String> = None;
@@ -85,6 +103,14 @@ fn main() {
                     usage();
                 }
                 merge_shards = Some(shards);
+            }
+            "--shard" => {
+                shard = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(parse_shard)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--threads" => {
                 threads = args
@@ -152,11 +178,22 @@ fn main() {
         expansion.rejected,
         expansion.duplicates
     );
+    let points = match shard {
+        Some((i, n)) => {
+            let part = shard_points(&expansion.points, i, n);
+            println!(
+                "shard {i}/{n}: running {} of {} design points",
+                part.len(),
+                expansion.points.len()
+            );
+            part
+        }
+        None => expansion.points,
+    };
 
     // How many schedules the compile cache should perform if it memoizes
     // perfectly: one per (benchmark, distinct schedule fingerprint).
-    let distinct_schedule_keys: std::collections::HashSet<String> = expansion
-        .points
+    let distinct_schedule_keys: std::collections::HashSet<String> = points
         .iter()
         .map(|p| schedule_fingerprint(&p.machine))
         .collect();
@@ -167,7 +204,7 @@ fn main() {
         benchmarks: benchmarks.clone(),
         workers: threads,
     };
-    let report = match vmv_sweep::run_sweep(&expansion.points, &opts, Some(&store)) {
+    let report = match vmv_sweep::run_sweep(&points, &opts, Some(&store)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -214,7 +251,7 @@ fn main() {
     // the store may also hold runs from other sweeps (or from older
     // parameter defaults) whose design points merely share a display name.
     let expected_keys: std::collections::HashSet<String> =
-        vmv_sweep::store::point_key_index(&expansion.points, &benchmarks)
+        vmv_sweep::store::point_key_index(&points, &benchmarks)
             .into_keys()
             .collect();
     let all_records: Vec<_> = match store.load() {
@@ -236,20 +273,20 @@ fn main() {
         "\nPareto frontier (total cycles over {} benchmarks vs. hardware cost):",
         benchmarks.len()
     );
-    let entries = pareto_report(&expansion.points, &all_records);
+    let entries = pareto_report(&points, &all_records);
     print!("{}", render_pareto(&entries, 20));
 
     println!("\nPer-axis sensitivity (cycle swing with all other axes held fixed):");
     print!(
         "{}",
-        render_sensitivity(&sensitivity(&expansion.points, &all_records))
+        render_sensitivity(&sensitivity(&points, &all_records))
     );
 
     if let Some(path) = json_path {
         let artifact = Json::Obj(vec![
             ("name".into(), Json::str("sweep_demo")),
             ("wall_seconds".into(), Json::Num(report.wall_seconds)),
-            ("points".into(), Json::u64(expansion.points.len() as u64)),
+            ("points".into(), Json::u64(points.len() as u64)),
             ("runs".into(), Json::u64(report.records.len() as u64)),
             ("skipped".into(), Json::u64(report.skipped as u64)),
             ("schedules".into(), Json::u64(report.cache.misses)),

@@ -140,32 +140,130 @@ pub fn from_lanes(e: Elem, mut f: impl FnMut(usize) -> u64) -> u64 {
     out
 }
 
+// ---------------------------------------------------------------------------
+// SWAR helpers: whole-word constants and lane-mask algebra
+// ---------------------------------------------------------------------------
+
+impl Elem {
+    /// Word with the most-significant bit of every lane set
+    /// (`0x80…`, `0x8000…`, `0x80000000…`).
+    #[inline]
+    pub const fn msb_mask(self) -> u64 {
+        match self {
+            Elem::B => 0x8080_8080_8080_8080,
+            Elem::H => 0x8000_8000_8000_8000,
+            Elem::W => 0x8000_0000_8000_0000,
+        }
+    }
+
+    /// Word with the least-significant bit of every lane set
+    /// (`0x01…`, `0x0001…`).  Multiplying a sub-lane value by this
+    /// broadcasts it to every lane.
+    #[inline]
+    pub const fn lsb_mask(self) -> u64 {
+        match self {
+            Elem::B => 0x0101_0101_0101_0101,
+            Elem::H => 0x0001_0001_0001_0001,
+            Elem::W => 0x0000_0001_0000_0001,
+        }
+    }
+}
+
+/// Spread a mask of per-lane MSBs into full lanes: `0x80 → 0xFF`, `0 → 0`.
+#[inline]
+const fn spread_msb(m: u64, e: Elem) -> u64 {
+    // Per lane: 0x80 - 0x01 = 0x7F, OR 0x80 = 0xFF; zero lanes stay zero.
+    // The subtraction never borrows across lanes.
+    m | (m - (m >> (e.bits() - 1)))
+}
+
+/// Per-lane unsigned `x >= y` as a full-lane mask (all-ones / all-zero).
+#[inline]
+fn ge_u_mask(e: Elem, x: u64, y: u64) -> u64 {
+    let h = e.msb_mask();
+    // Compare the low w-1 bits borrow-free, then merge in the MSBs.
+    let low_ge = ((x & !h) | h).wrapping_sub(y & !h) & h;
+    let ge_h = (x & !y & h) | (!(x ^ y) & low_ge);
+    spread_msb(ge_h, e)
+}
+
+/// Per-lane signed `x >= y` as a full-lane mask.
+#[inline]
+fn ge_s_mask(e: Elem, x: u64, y: u64) -> u64 {
+    let h = e.msb_mask();
+    ge_u_mask(e, x ^ h, y ^ h)
+}
+
 /// Broadcast the low bits of `v` to every lane of a packed word.
 #[inline]
 pub fn splat(e: Elem, v: u64) -> u64 {
-    from_lanes(e, |_| v)
+    (v & mask(e.bits())).wrapping_mul(e.lsb_mask())
 }
 
 // ---------------------------------------------------------------------------
-// Element-wise binary operations
+// Element-wise binary operations (SWAR: whole 64-bit words at a time, no
+// per-lane loop; `lanewise` holds the one-lane-at-a-time reference versions)
 // ---------------------------------------------------------------------------
+
+/// Per-lane wrap-around addition (classic SWAR: add the low w-1 bits
+/// carry-free, recompute the MSBs by parity).
+#[inline]
+fn swar_add_wrap(e: Elem, a: u64, b: u64) -> u64 {
+    let h = e.msb_mask();
+    ((a & !h).wrapping_add(b & !h)) ^ ((a ^ b) & h)
+}
+
+/// Per-lane wrap-around subtraction.
+#[inline]
+fn swar_sub_wrap(e: Elem, a: u64, b: u64) -> u64 {
+    let h = e.msb_mask();
+    ((a | h).wrapping_sub(b & !h)) ^ ((a ^ b ^ h) & h)
+}
+
+/// Per-lane saturation bound for signed overflow: `MAX` (0x7F…) when the
+/// first operand is non-negative, `MIN` (0x80…) when it is negative.
+#[inline]
+fn swar_signed_bound(e: Elem, a: u64) -> u64 {
+    // 0x7F + sign-bit = 0x7F or 0x80 per lane, carry-free.
+    !e.msb_mask() + ((a & e.msb_mask()) >> (e.bits() - 1))
+}
 
 /// Packed addition with the requested saturation behaviour.
 pub fn padd(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| match sat {
-        Sat::Wrap => lane_u(a, e, i).wrapping_add(lane_u(b, e, i)),
-        Sat::Signed => sat_s(lane_s(a, e, i) + lane_s(b, e, i), e),
-        Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 + lane_u(b, e, i) as i64, e),
-    })
+    let h = e.msb_mask();
+    let s = swar_add_wrap(e, a, b);
+    match sat {
+        Sat::Wrap => s,
+        Sat::Unsigned => {
+            // Carry out of a lane means the true sum exceeded the lane.
+            let carry = ((a & b) | ((a | b) & !s)) & h;
+            s | spread_msb(carry, e)
+        }
+        Sat::Signed => {
+            // Overflow: operands agree in sign, result disagrees.
+            let ovf = spread_msb(!(a ^ b) & (a ^ s) & h, e);
+            (s & !ovf) | (swar_signed_bound(e, a) & ovf)
+        }
+    }
 }
 
 /// Packed subtraction with the requested saturation behaviour.
 pub fn psub(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| match sat {
-        Sat::Wrap => lane_u(a, e, i).wrapping_sub(lane_u(b, e, i)),
-        Sat::Signed => sat_s(lane_s(a, e, i) - lane_s(b, e, i), e),
-        Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 - lane_u(b, e, i) as i64, e),
-    })
+    let h = e.msb_mask();
+    let d = swar_sub_wrap(e, a, b);
+    match sat {
+        Sat::Wrap => d,
+        Sat::Unsigned => {
+            // Borrow into a lane means the true difference was negative.
+            let borrow = ((!a & b) | ((!a | b) & d)) & h;
+            d & !spread_msb(borrow, e)
+        }
+        Sat::Signed => {
+            // Overflow: operands disagree in sign, result disagrees with a.
+            let ovf = spread_msb((a ^ b) & (a ^ d) & h, e);
+            (d & !ovf) | (swar_signed_bound(e, a) & ovf)
+        }
+    }
 }
 
 /// Packed multiply keeping the low half of each product (signed semantics,
@@ -197,78 +295,64 @@ pub fn pmadd_h(a: u64, b: u64) -> u64 {
     out
 }
 
-/// Packed unsigned average with rounding: `(a + b + 1) >> 1`.
+/// Packed unsigned average with rounding: `(a + b + 1) >> 1`, via the
+/// carry-free identity `avg_ceil(a, b) = (a | b) - ((a ^ b) >> 1)`.
 pub fn pavg_u(e: Elem, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| (lane_u(a, e, i) + lane_u(b, e, i) + 1) >> 1)
+    let h = e.msb_mask();
+    (a | b) - (((a ^ b) >> 1) & !h)
 }
 
 /// Packed minimum.
 pub fn pmin(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| match sign {
-        Sign::Signed => {
-            let v = lane_s(a, e, i).min(lane_s(b, e, i));
-            (v as u64) & mask(e.bits())
-        }
-        Sign::Unsigned => lane_u(a, e, i).min(lane_u(b, e, i)),
-    })
+    let m = match sign {
+        Sign::Unsigned => ge_u_mask(e, a, b),
+        Sign::Signed => ge_s_mask(e, a, b),
+    };
+    (b & m) | (a & !m)
 }
 
 /// Packed maximum.
 pub fn pmax(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| match sign {
-        Sign::Signed => {
-            let v = lane_s(a, e, i).max(lane_s(b, e, i));
-            (v as u64) & mask(e.bits())
-        }
-        Sign::Unsigned => lane_u(a, e, i).max(lane_u(b, e, i)),
-    })
+    let m = match sign {
+        Sign::Unsigned => ge_u_mask(e, a, b),
+        Sign::Signed => ge_s_mask(e, a, b),
+    };
+    (a & m) | (b & !m)
 }
 
-/// Packed absolute difference of unsigned elements.
+/// Packed absolute difference of unsigned elements: exactly one of the two
+/// saturating differences is non-zero per lane.
 pub fn pabsdiff_u(e: Elem, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| {
-        let x = lane_u(a, e, i) as i64;
-        let y = lane_u(b, e, i) as i64;
-        (x - y).unsigned_abs() & mask(e.bits())
-    })
+    psub(e, Sat::Unsigned, a, b) | psub(e, Sat::Unsigned, b, a)
 }
 
 /// Sum of absolute differences of the eight unsigned bytes of `a` and `b`.
 /// Returns the scalar sum (fits in 16 bits: 8 × 255 = 2040).
 pub fn psad_u8(a: u64, b: u64) -> u64 {
-    let mut sum = 0u64;
-    for i in 0..8 {
-        let x = lane_u(a, Elem::B, i) as i64;
-        let y = lane_u(b, Elem::B, i) as i64;
-        sum += (x - y).unsigned_abs();
-    }
-    sum
+    let d = pabsdiff_u(Elem::B, a, b);
+    // Fold byte pairs into 16-bit lanes (each ≤ 510), then sum the four
+    // 16-bit lanes into the top lane of the product (≤ 2040, carry-free).
+    let pairs = (d & 0x00FF_00FF_00FF_00FF) + ((d >> 8) & 0x00FF_00FF_00FF_00FF);
+    pairs.wrapping_mul(Elem::H.lsb_mask()) >> 48
 }
 
 /// Packed compare-equal: each lane becomes all-ones when equal, zero otherwise.
 pub fn pcmp_eq(e: Elem, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| {
-        if lane_u(a, e, i) == lane_u(b, e, i) {
-            mask(e.bits())
-        } else {
-            0
-        }
-    })
+    let h = e.msb_mask();
+    let t = a ^ b;
+    // A lane is non-zero iff its low bits carry into the MSB position when
+    // 0x7F… is added, or its own MSB is set.
+    let nonzero = (((t & !h) + !h) | t) & h;
+    spread_msb(nonzero ^ h, e)
 }
 
-/// Packed signed compare-greater-than.
+/// Packed signed compare-greater-than: `a > b ⟺ !(b >= a)`.
 pub fn pcmp_gt(e: Elem, a: u64, b: u64) -> u64 {
-    from_lanes(e, |i| {
-        if lane_s(a, e, i) > lane_s(b, e, i) {
-            mask(e.bits())
-        } else {
-            0
-        }
-    })
+    !ge_s_mask(e, b, a)
 }
 
 // ---------------------------------------------------------------------------
-// Shifts
+// Shifts (SWAR: one whole-word shift plus a lane-boundary mask)
 // ---------------------------------------------------------------------------
 
 /// Packed logical left shift by `amount` bits.
@@ -277,7 +361,7 @@ pub fn pshl(e: Elem, a: u64, amount: u32) -> u64 {
     if amount >= bits {
         return 0;
     }
-    from_lanes(e, |i| (lane_u(a, e, i) << amount) & mask(bits))
+    (a << amount) & splat(e, mask(bits) << amount)
 }
 
 /// Packed logical right shift by `amount` bits.
@@ -285,14 +369,21 @@ pub fn pshr_l(e: Elem, a: u64, amount: u32) -> u64 {
     if amount >= e.bits() {
         return 0;
     }
-    from_lanes(e, |i| lane_u(a, e, i) >> amount)
+    (a >> amount) & splat(e, mask(e.bits()) >> amount)
 }
 
 /// Packed arithmetic right shift by `amount` bits.
 pub fn pshr_a(e: Elem, a: u64, amount: u32) -> u64 {
     let bits = e.bits();
     let amount = amount.min(bits - 1);
-    from_lanes(e, |i| ((lane_s(a, e, i) >> amount) as u64) & mask(bits))
+    let logical = (a >> amount) & splat(e, mask(bits) >> amount);
+    if amount == 0 {
+        return logical;
+    }
+    // Replicate each sign bit into the `amount` vacated top positions.
+    let sign_lsb = (a & e.msb_mask()) >> (bits - 1);
+    let fill = sign_lsb.wrapping_mul((1 << amount) - 1) << (bits - amount);
+    logical | fill
 }
 
 // ---------------------------------------------------------------------------
@@ -382,6 +473,135 @@ pub fn pwiden_hi_s(e: Elem, a: u64) -> u64 {
     from_lanes(wide, |i| {
         (lane_s(a, e, half + i) as u64) & mask(wide.bits())
     })
+}
+
+// ---------------------------------------------------------------------------
+// Lane-wise reference implementations
+// ---------------------------------------------------------------------------
+
+/// One-lane-at-a-time reference implementations of every operation that has
+/// a SWAR fast path above.  These are the original (obviously correct)
+/// routines; the unit tests here and the seeded property tests in
+/// `tests/properties.rs` check the SWAR versions against them on random
+/// words.  They are not called on any hot path.
+pub mod lanewise {
+    use super::*;
+
+    /// Packed addition with the requested saturation behaviour.
+    pub fn padd(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| match sat {
+            Sat::Wrap => lane_u(a, e, i).wrapping_add(lane_u(b, e, i)),
+            Sat::Signed => sat_s(lane_s(a, e, i) + lane_s(b, e, i), e),
+            Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 + lane_u(b, e, i) as i64, e),
+        })
+    }
+
+    /// Packed subtraction with the requested saturation behaviour.
+    pub fn psub(e: Elem, sat: Sat, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| match sat {
+            Sat::Wrap => lane_u(a, e, i).wrapping_sub(lane_u(b, e, i)),
+            Sat::Signed => sat_s(lane_s(a, e, i) - lane_s(b, e, i), e),
+            Sat::Unsigned => sat_u(lane_u(a, e, i) as i64 - lane_u(b, e, i) as i64, e),
+        })
+    }
+
+    /// Packed unsigned average with rounding.
+    pub fn pavg_u(e: Elem, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| (lane_u(a, e, i) + lane_u(b, e, i) + 1) >> 1)
+    }
+
+    /// Packed minimum.
+    pub fn pmin(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| match sign {
+            Sign::Signed => {
+                let v = lane_s(a, e, i).min(lane_s(b, e, i));
+                (v as u64) & mask(e.bits())
+            }
+            Sign::Unsigned => lane_u(a, e, i).min(lane_u(b, e, i)),
+        })
+    }
+
+    /// Packed maximum.
+    pub fn pmax(e: Elem, sign: Sign, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| match sign {
+            Sign::Signed => {
+                let v = lane_s(a, e, i).max(lane_s(b, e, i));
+                (v as u64) & mask(e.bits())
+            }
+            Sign::Unsigned => lane_u(a, e, i).max(lane_u(b, e, i)),
+        })
+    }
+
+    /// Packed absolute difference of unsigned elements.
+    pub fn pabsdiff_u(e: Elem, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| {
+            let x = lane_u(a, e, i) as i64;
+            let y = lane_u(b, e, i) as i64;
+            (x - y).unsigned_abs() & mask(e.bits())
+        })
+    }
+
+    /// Sum of absolute differences of the eight unsigned bytes.
+    pub fn psad_u8(a: u64, b: u64) -> u64 {
+        let mut sum = 0u64;
+        for i in 0..8 {
+            let x = lane_u(a, Elem::B, i) as i64;
+            let y = lane_u(b, Elem::B, i) as i64;
+            sum += (x - y).unsigned_abs();
+        }
+        sum
+    }
+
+    /// Packed compare-equal.
+    pub fn pcmp_eq(e: Elem, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| {
+            if lane_u(a, e, i) == lane_u(b, e, i) {
+                mask(e.bits())
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Packed signed compare-greater-than.
+    pub fn pcmp_gt(e: Elem, a: u64, b: u64) -> u64 {
+        from_lanes(e, |i| {
+            if lane_s(a, e, i) > lane_s(b, e, i) {
+                mask(e.bits())
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Packed logical left shift by `amount` bits.
+    pub fn pshl(e: Elem, a: u64, amount: u32) -> u64 {
+        let bits = e.bits();
+        if amount >= bits {
+            return 0;
+        }
+        from_lanes(e, |i| (lane_u(a, e, i) << amount) & mask(bits))
+    }
+
+    /// Packed logical right shift by `amount` bits.
+    pub fn pshr_l(e: Elem, a: u64, amount: u32) -> u64 {
+        if amount >= e.bits() {
+            return 0;
+        }
+        from_lanes(e, |i| lane_u(a, e, i) >> amount)
+    }
+
+    /// Packed arithmetic right shift by `amount` bits.
+    pub fn pshr_a(e: Elem, a: u64, amount: u32) -> u64 {
+        let bits = e.bits();
+        let amount = amount.min(bits - 1);
+        from_lanes(e, |i| ((lane_s(a, e, i) >> amount) as u64) & mask(bits))
+    }
+
+    /// Broadcast the low bits of `v` to every lane.
+    pub fn splat(e: Elem, v: u64) -> u64 {
+        from_lanes(e, |_| v)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -602,6 +822,46 @@ mod tests {
         assert_eq!(splat(Elem::B, 0xAB), 0xABABABABABABABAB);
         assert_eq!(splat(Elem::H, 0x1234), 0x1234123412341234);
         assert_eq!(splat(Elem::W, 0x89ABCDEF), 0x89ABCDEF89ABCDEF);
+    }
+
+    #[test]
+    fn swar_matches_lanewise_reference() {
+        // A cheap deterministic word generator (the seeded property tests
+        // in tests/properties.rs add random coverage on top).
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut words: Vec<u64> = (0..64).map(|_| next()).collect();
+        words.extend([0, u64::MAX, 0x8080_8080_8080_8080, 0x7F7F_7F7F_7F7F_7F7F]);
+        for e in [Elem::B, Elem::H, Elem::W] {
+            for &a in &words {
+                for &b in &words[..8] {
+                    for sat in [Sat::Wrap, Sat::Signed, Sat::Unsigned] {
+                        assert_eq!(padd(e, sat, a, b), lanewise::padd(e, sat, a, b));
+                        assert_eq!(psub(e, sat, a, b), lanewise::psub(e, sat, a, b));
+                    }
+                    for sign in [Sign::Signed, Sign::Unsigned] {
+                        assert_eq!(pmin(e, sign, a, b), lanewise::pmin(e, sign, a, b));
+                        assert_eq!(pmax(e, sign, a, b), lanewise::pmax(e, sign, a, b));
+                    }
+                    assert_eq!(pavg_u(e, a, b), lanewise::pavg_u(e, a, b));
+                    assert_eq!(pabsdiff_u(e, a, b), lanewise::pabsdiff_u(e, a, b));
+                    assert_eq!(pcmp_eq(e, a, b), lanewise::pcmp_eq(e, a, b));
+                    assert_eq!(pcmp_gt(e, a, b), lanewise::pcmp_gt(e, a, b));
+                    assert_eq!(psad_u8(a, b), lanewise::psad_u8(a, b));
+                }
+                for amount in 0..=e.bits() {
+                    assert_eq!(pshl(e, a, amount), lanewise::pshl(e, a, amount));
+                    assert_eq!(pshr_l(e, a, amount), lanewise::pshr_l(e, a, amount));
+                    assert_eq!(pshr_a(e, a, amount), lanewise::pshr_a(e, a, amount));
+                }
+                assert_eq!(splat(e, a), lanewise::splat(e, a));
+            }
+        }
     }
 
     #[test]

@@ -21,24 +21,42 @@ pub struct FillOutcome {
     pub evicted: Option<u64>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU timestamp (higher = more recently used).
-    lru: u64,
-}
+/// Per-line state bits (packed into one byte).
+const VALID: u8 = 1;
+const DIRTY: u8 = 2;
 
 /// A set-associative cache.
+///
+/// Line size and set count are powers of two (asserted at construction), so
+/// every block/set/tag computation is a shift or mask — no integer division
+/// on the per-access path.  Line state is stored as three parallel arrays
+/// (tags, state bytes, LRU timestamps) instead of an array of structs: the
+/// all-zero initial state comes straight from the zeroed allocation (no
+/// per-line construction — a simulator is built per run in a sweep), and
+/// the tag scan of a set touches densely packed words.
 #[derive(Debug, Clone)]
 pub struct Cache {
     name: &'static str,
     line_bytes: usize,
-    num_sets: usize,
     assoc: usize,
-    lines: Vec<Line>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `num_sets - 1`.
+    set_mask: u64,
+    /// `log2(line_bytes * num_sets)`.
+    tag_shift: u32,
+    tags: Vec<u64>,
+    /// `VALID` / `DIRTY` bits per line.
+    state: Vec<u8>,
+    /// LRU timestamps (higher = more recently used).
+    lru: Vec<u64>,
     tick: u64,
+    /// Most-recently-hit block and its way index: consecutive accesses to
+    /// the same line (the overwhelmingly common pattern) skip the set scan.
+    /// Reset by any fill or invalidation.  Pure shortcut — statistics, LRU
+    /// and dirty bits evolve exactly as without it.
+    mru_blk: u64,
+    mru_way: usize,
     pub stats: CacheStats,
 }
 
@@ -80,21 +98,21 @@ impl Cache {
             num_sets.is_power_of_two(),
             "number of sets must be a power of two"
         );
+        let line_shift = line_bytes.trailing_zeros();
+        let total = num_sets * assoc;
         Cache {
             name,
             line_bytes,
-            num_sets,
             assoc,
-            lines: vec![
-                Line {
-                    tag: 0,
-                    valid: false,
-                    dirty: false,
-                    lru: 0
-                };
-                num_sets * assoc
-            ],
+            line_shift,
+            set_mask: num_sets as u64 - 1,
+            tag_shift: line_shift + num_sets.trailing_zeros(),
+            tags: vec![0; total],
+            state: vec![0; total],
+            lru: vec![0; total],
             tick: 0,
+            mru_blk: u64::MAX,
+            mru_way: 0,
             stats: CacheStats::default(),
         }
     }
@@ -108,112 +126,135 @@ impl Cache {
     }
 
     /// Block (line) address of a byte address.
+    #[inline]
     pub fn block_addr(&self, addr: u64) -> u64 {
-        addr / self.line_bytes as u64 * self.line_bytes as u64
+        addr >> self.line_shift << self.line_shift
     }
 
+    #[inline]
     fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes as u64) % self.num_sets as u64) as usize
+        ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
+    #[inline]
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.line_bytes as u64 / self.num_sets as u64
+        addr >> self.tag_shift
+    }
+
+    /// Byte address of the first block of (`tag`, `set`).
+    #[inline]
+    fn block_of(&self, tag: u64, set: usize) -> u64 {
+        (tag << self.tag_shift) | ((set as u64) << self.line_shift)
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
         set * self.assoc..(set + 1) * self.assoc
     }
 
-    /// Probe the cache without modifying LRU state or statistics.
-    pub fn probe(&self, addr: u64) -> LookupResult {
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        for line in &self.lines[self.set_range(set)] {
-            if line.valid && line.tag == tag {
-                return LookupResult::Hit;
+    /// Index of the way holding (`set`, `tag`), if any.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let range = self.set_range(set);
+        let tags = &self.tags[range.clone()];
+        let state = &self.state[range.clone()];
+        for (i, (&t, &st)) in tags.iter().zip(state).enumerate() {
+            if st & VALID != 0 && t == tag {
+                return Some(range.start + i);
             }
         }
-        LookupResult::Miss
+        None
+    }
+
+    /// Probe the cache without modifying LRU state or statistics.
+    pub fn probe(&self, addr: u64) -> LookupResult {
+        match self.find(self.set_index(addr), self.tag(addr)) {
+            Some(_) => LookupResult::Hit,
+            None => LookupResult::Miss,
+        }
     }
 
     /// Access the cache (updating LRU and statistics).  `write` marks the
     /// line dirty on a hit; allocation on a miss is done separately with
     /// [`Cache::fill`] so the caller controls the write-allocate policy.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> LookupResult {
         self.tick += 1;
         self.stats.accesses += 1;
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        let range = self.set_range(set);
-        let tick = self.tick;
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == tag {
-                line.lru = tick;
+        if self.block_addr(addr) == self.mru_blk {
+            let i = self.mru_way;
+            self.lru[i] = self.tick;
+            if write {
+                self.state[i] |= DIRTY;
+            }
+            self.stats.hits += 1;
+            return LookupResult::Hit;
+        }
+        match self.find(self.set_index(addr), self.tag(addr)) {
+            Some(i) => {
+                self.lru[i] = self.tick;
                 if write {
-                    line.dirty = true;
+                    self.state[i] |= DIRTY;
                 }
                 self.stats.hits += 1;
-                return LookupResult::Hit;
+                self.mru_blk = self.block_addr(addr);
+                self.mru_way = i;
+                LookupResult::Hit
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupResult::Miss
             }
         }
-        self.stats.misses += 1;
-        LookupResult::Miss
     }
 
     /// Allocate a line for `addr`, evicting the LRU line of the set if
     /// necessary.  `write` marks the new line dirty (write-allocate).
     pub fn fill(&mut self, addr: u64, write: bool) -> FillOutcome {
+        self.mru_blk = u64::MAX;
         self.tick += 1;
         let set = self.set_index(addr);
         let tag = self.tag(addr);
-        let line_bytes = self.line_bytes as u64;
-        let num_sets = self.num_sets as u64;
-        let range = self.set_range(set);
         let tick = self.tick;
 
         // If the block is already present just update it.
-        for line in &mut self.lines[range.clone()] {
-            if line.valid && line.tag == tag {
-                line.lru = tick;
-                if write {
-                    line.dirty = true;
-                }
-                return FillOutcome::default();
+        if let Some(i) = self.find(set, tag) {
+            self.lru[i] = tick;
+            if write {
+                self.state[i] |= DIRTY;
             }
+            return FillOutcome::default();
         }
 
         // Choose a victim: an invalid way if available, otherwise LRU.
-        let victim_idx = {
-            let lines = &self.lines[range.clone()];
-            match lines.iter().position(|l| !l.valid) {
-                Some(i) => i,
-                None => {
-                    let (i, _) = lines
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.lru)
-                        .expect("assoc >= 1");
-                    i
+        let range = self.set_range(set);
+        let victim = match self.state[range.clone()]
+            .iter()
+            .position(|s| s & VALID == 0)
+        {
+            Some(i) => range.start + i,
+            None => {
+                let mut best = range.start;
+                for i in range.clone() {
+                    if self.lru[i] < self.lru[best] {
+                        best = i;
+                    }
                 }
+                best
             }
         };
-        let victim = &mut self.lines[range.start + victim_idx];
         let mut outcome = FillOutcome::default();
-        if victim.valid {
-            let victim_addr = (victim.tag * num_sets + set as u64) * line_bytes;
-            if victim.dirty {
+        if self.state[victim] & VALID != 0 {
+            let victim_addr = self.block_of(self.tags[victim], set);
+            if self.state[victim] & DIRTY != 0 {
                 outcome.writeback = Some(victim_addr);
                 self.stats.writebacks += 1;
             } else {
                 outcome.evicted = Some(victim_addr);
             }
         }
-        *victim = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            lru: tick,
-        };
+        self.tags[victim] = tag;
+        self.state[victim] = if write { VALID | DIRTY } else { VALID };
+        self.lru[victim] = tick;
         outcome
     }
 
@@ -222,28 +263,27 @@ impl Cache {
     /// the data to the next level, as required by the exclusive-bit +
     /// inclusion coherence policy of paper §3.2).
     pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        self.mru_blk = u64::MAX;
         let set = self.set_index(addr);
         let tag = self.tag(addr);
-        let line_bytes = self.line_bytes as u64;
-        let num_sets = self.num_sets as u64;
-        let range = self.set_range(set);
-        for line in &mut self.lines[range] {
-            if line.valid && line.tag == tag {
-                line.valid = false;
+        match self.find(set, tag) {
+            Some(i) => {
+                let was_dirty = self.state[i] & DIRTY != 0;
+                self.state[i] = 0;
                 self.stats.invalidations += 1;
-                if line.dirty {
-                    line.dirty = false;
-                    return Some((tag * num_sets + set as u64) * line_bytes);
+                if was_dirty {
+                    Some(self.block_of(tag, set))
+                } else {
+                    None
                 }
-                return None;
             }
+            None => None,
         }
-        None
     }
 
     /// Number of valid lines currently held (used by tests).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.state.iter().filter(|&&s| s & VALID != 0).count()
     }
 }
 

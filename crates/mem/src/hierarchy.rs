@@ -17,6 +17,7 @@
 //! and `Realistic` (tags are simulated and misses pay the full latency).
 
 use crate::cache::{Cache, LookupResult};
+use crate::lines::{self, LineWalk};
 use crate::vector_cache::VectorCache;
 use vmv_machine::MemoryParams;
 
@@ -97,6 +98,9 @@ pub struct MemoryHierarchy {
     l3: Cache,
     /// Width of the L2 vector port in 64-bit elements.
     port_elems: u32,
+    /// Reusable touched-line scratch for irregular vector strides (cleared
+    /// per access, never reallocated once grown).
+    scratch: Vec<u64>,
     pub stats: MemStats,
 }
 
@@ -115,6 +119,7 @@ impl MemoryHierarchy {
             ),
             l3: Cache::new("L3", params.l3_size, params.l3_assoc, params.l3_line),
             port_elems: l2_port_elems.max(1),
+            scratch: Vec::with_capacity(32),
             stats: MemStats::default(),
         }
     }
@@ -159,15 +164,12 @@ impl MemoryHierarchy {
 
         let write = kind == AccessKind::Store;
         // An access can straddle a line boundary; charge the worst line.
-        let mut latency = 0;
         let last = addr + size.max(1) as u64 - 1;
-        let mut lines = vec![self.l1.block_addr(addr)];
+        let first_block = self.l1.block_addr(addr);
         let last_block = self.l1.block_addr(last);
-        if last_block != lines[0] {
-            lines.push(last_block);
-        }
-        for blk in lines {
-            latency = latency.max(self.scalar_line_access(blk, write));
+        let mut latency = self.scalar_line_access(first_block, write);
+        if last_block != first_block {
+            latency = latency.max(self.scalar_line_access(last_block, write));
         }
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
@@ -219,6 +221,50 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Invalidate one L1 line for vector/scalar coherence (exclusive-bit
+    /// policy): dirty data is pushed down into the inclusive L2.
+    #[inline]
+    fn invalidate_l1(&mut self, blk: u64) {
+        if let Some(dirty) = self.l1.invalidate(blk) {
+            self.l2.fill(dirty, true);
+        }
+        self.stats.coherence_invalidations += 1;
+    }
+
+    /// Probe + fill one L2 line of a vector access.  Returns whether the
+    /// line missed and the L3/memory latency charged for fetching it.
+    #[inline]
+    fn l2_line_access(&mut self, blk: u64, write: bool) -> (bool, u32) {
+        match self.l2.access_line(blk, write) {
+            LookupResult::Hit => (false, 0),
+            LookupResult::Miss => {
+                let below = match self.l3.access(blk, false) {
+                    LookupResult::Hit => {
+                        self.stats.l3_hits += 1;
+                        self.params.l3_latency
+                    }
+                    LookupResult::Miss => {
+                        self.stats.l3_misses += 1;
+                        self.l3.fill(blk, false);
+                        self.params.mem_latency
+                    }
+                };
+                self.l2.fill(blk, write);
+                (true, below)
+            }
+        }
+    }
+
+    /// Probe all three cache levels for `addr` without disturbing LRU state
+    /// or statistics (diagnostics and tests).
+    pub fn probe(&self, addr: u64) -> [LookupResult; 3] {
+        [
+            self.l1.probe(addr),
+            self.l2.probe(addr),
+            self.l3.probe(addr),
+        ]
+    }
+
     /// Simulate a vector access of `elems` 64-bit elements starting at
     /// `base`, separated by `stride_bytes`.  Vector accesses bypass the L1
     /// and access the L2 vector cache directly.
@@ -260,67 +306,103 @@ impl MemoryHierarchy {
             };
         }
 
-        // Coherence: invalidate overlapping L1 lines (exclusive-bit policy).
+        // One fused pass over the touched L2 lines: for each line, first
+        // invalidate the L1 lines of the access span that precede the end of
+        // that L2 line (exclusive-bit coherence, dirty data pushed down),
+        // then probe the L2 tag, and on a miss charge the L3/memory latency
+        // of the *actual* missed line address.  Missed lines are fetched
+        // back to back; each pays the L3 latency (or the memory latency when
+        // it also misses in L3).
         let write = kind == AccessKind::Store;
-        let line = self.params.l1_line as u64;
-        let span_first = base;
-        let span_last = (base as i64 + stride_bytes * (elems as i64 - 1)) as u64 + 7;
-        let (lo, hi) = if span_first <= span_last {
-            (span_first, span_last)
-        } else {
-            (span_last, span_first)
-        };
-        // Only walk the span when it is reasonably small (strided accesses
-        // over a whole image would otherwise invalidate line by line over a
-        // huge range; restrict to the lines actually touched).
-        let mut touched = Vec::new();
-        for i in 0..elems {
-            let a = (base as i64 + stride_bytes * i as i64) as u64;
-            for cand in [a / line * line, (a + 7) / line * line] {
-                if !touched.contains(&cand) {
-                    touched.push(cand);
+        let unit_stride = stride_bytes == 8;
+        let l1_line = self.params.l1_line as u64;
+        let l2_line = self.params.l2_line as u64;
+        let l1_mask = !(l1_line - 1);
+        let mut lines_touched = 0u32;
+        let mut lines_missed = 0u32;
+        let mut miss_penalty = 0u32;
+
+        match lines::classify(base, stride_bytes, elems, l2_line) {
+            // Small stride: both the L1 and the L2 touched-line sets are
+            // contiguous ranges over the same byte span; the L1 walk rides
+            // along on a cursor inside the L2 walk.
+            Some(LineWalk::Contiguous { first, last, .. })
+                if stride_bytes.unsigned_abs() <= l1_line || elems == 1 || stride_bytes == 0 =>
+            {
+                let (lo, hi) = lines::span(base, stride_bytes, elems)
+                    .expect("classify succeeded, span exists");
+                let mut l1_cur = lo & l1_mask;
+                let l1_last = hi & l1_mask;
+                let mut blk = first;
+                loop {
+                    // Saturating: a span ending at the top line of the
+                    // address space must not wrap the segment bound.
+                    let seg_end = blk.saturating_add(l2_line);
+                    while l1_cur < seg_end && l1_cur <= l1_last {
+                        self.invalidate_l1(l1_cur);
+                        l1_cur += l1_line;
+                    }
+                    lines_touched += 1;
+                    let (missed, penalty) = self.l2_line_access(blk, write);
+                    lines_missed += missed as u32;
+                    miss_penalty += penalty;
+                    if blk >= last {
+                        break;
+                    }
+                    blk += l2_line;
                 }
             }
-        }
-        let _ = (lo, hi);
-        for blk in touched {
-            if let Some(dirty) = self.l1.invalidate(blk) {
-                self.l2.fill(dirty, true);
+            // Far line-aligned stride: one L2 line per element; the L1
+            // lines of each 8-byte element span follow a monotone cursor
+            // (elements may share an L1 line when it is larger than the
+            // stride).
+            Some(LineWalk::Arithmetic { step, count, .. }) => {
+                let mut a = base;
+                let mut l1_cur = 0u64;
+                for _ in 0..count {
+                    let mut cur = l1_cur.max(a & l1_mask);
+                    let hi1 = (a + 7) & l1_mask;
+                    while cur <= hi1 {
+                        self.invalidate_l1(cur);
+                        cur += l1_line;
+                    }
+                    l1_cur = l1_cur.max(cur);
+                    lines_touched += 1;
+                    let (missed, penalty) = self.l2_line_access(a & !(l2_line - 1), write);
+                    lines_missed += missed as u32;
+                    miss_penalty += penalty;
+                    a += step;
+                }
             }
-            self.stats.coherence_invalidations += 1;
+            // Irregular (line-straddling odd strides, far negative strides,
+            // address wraparound): two short naive walks through the
+            // reusable scratch buffer.
+            _ => {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                lines::collect_naive(base, stride_bytes, elems, l1_line, &mut scratch);
+                for &blk in &scratch {
+                    self.invalidate_l1(blk);
+                }
+                lines::collect_naive(base, stride_bytes, elems, l2_line, &mut scratch);
+                for &blk in &scratch {
+                    lines_touched += 1;
+                    let (missed, penalty) = self.l2_line_access(blk, write);
+                    lines_missed += missed as u32;
+                    miss_penalty += penalty;
+                }
+                self.scratch = scratch;
+            }
         }
 
-        let outcome = self.l2.vector_access(base, stride_bytes, elems, write);
-        let miss_penalty: u32 = if outcome.lines_missed > 0 {
-            // Fetch the missed lines from the L3 / memory.  Lines are fetched
-            // back to back; each missing line pays the L3 latency (or the
-            // memory latency when it also misses in L3).
-            let mut penalty = 0;
-            for i in 0..outcome.lines_missed {
-                let blk = base + i as u64 * self.params.l2_line as u64;
-                penalty += match self.l3.access(blk, false) {
-                    LookupResult::Hit => {
-                        self.stats.l3_hits += 1;
-                        self.params.l3_latency
-                    }
-                    LookupResult::Miss => {
-                        self.stats.l3_misses += 1;
-                        self.l3.fill(blk, false);
-                        self.params.mem_latency
-                    }
-                };
-            }
-            penalty
-        } else {
-            0
-        };
-        if outcome.lines_missed > 0 {
+        self.l2.record_vector_access(unit_stride, lines_touched);
+        if lines_missed > 0 {
             self.stats.l2_misses += 1;
         } else {
             self.stats.l2_hits += 1;
         }
 
-        let latency = self.params.l2_latency + outcome.transfer_cycles - 1 + miss_penalty;
+        let transfer_cycles = self.l2.transfer_cycles(unit_stride, elems);
+        let latency = self.params.l2_latency + transfer_cycles - 1 + miss_penalty;
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
         AccessTiming {
@@ -414,6 +496,64 @@ mod tests {
         assert_eq!(m.scheduled_vector_latency(8), 5 + 1);
         assert_eq!(m.scheduled_vector_latency(4), 5);
         assert_eq!(m.scheduled_vector_latency(1), 5);
+    }
+
+    #[test]
+    fn strided_miss_penalty_charges_the_actual_missed_lines() {
+        // Regression: the miss-penalty loop used to look up `base + i *
+        // l2_line` in the L3 instead of the addresses of the lines the
+        // strided access actually missed, so the L3 warmed a contiguous
+        // region the access never touched.
+        let mut m = realistic();
+        let stride = 4 * m.params.l2_line as i64; // well beyond one L2 line
+        let elems = 8u32;
+        let cold = m.vector_access(0x40000, stride, elems, AccessKind::Load);
+        // Every element is on its own cold line: each pays the full memory
+        // latency.
+        assert_eq!(m.stats.l3_misses, elems as u64);
+        assert_eq!(
+            cold.latency,
+            m.params.l2_latency + elems - 1 + elems * m.params.mem_latency
+        );
+        // The L3 now holds the *actual* strided lines...
+        for i in 0..elems as u64 {
+            let addr = 0x40000 + i * stride as u64;
+            assert_eq!(
+                m.probe(addr)[2],
+                LookupResult::Hit,
+                "actual line {i} must be in L3"
+            );
+        }
+        // ...and not the contiguous region the old code would have fetched
+        // (lines 1..4 lie strictly between the first two strided lines).
+        for i in 1..4u64 {
+            let addr = 0x40000 + i * m.params.l2_line as u64;
+            assert_eq!(
+                m.probe(addr)[2],
+                LookupResult::Miss,
+                "contiguous line {i} must not be in L3"
+            );
+        }
+        // A re-run hits in the L2 and pays no penalty.
+        let warm = m.vector_access(0x40000, stride, elems, AccessKind::Load);
+        assert_eq!(warm.latency, m.params.l2_latency + elems - 1);
+    }
+
+    #[test]
+    fn line_straddling_odd_stride_uses_the_scratch_fallback() {
+        // Stride 200 with 64-byte lines: neither contiguous nor
+        // line-aligned; the irregular path must behave like the naive walk.
+        let mut m = realistic();
+        let mut expect = Vec::new();
+        crate::lines::collect_naive(0x1003C, 200, 16, m.params.l2_line as u64, &mut expect);
+        m.vector_access(0x1003C, 200, 16, AccessKind::Load);
+        assert_eq!(m.stats.l3_misses, expect.len() as u64);
+        for &blk in &expect {
+            assert_eq!(m.probe(blk)[1], LookupResult::Hit, "L2 holds {blk:#x}");
+        }
+        let warm = m.vector_access(0x1003C, 200, 16, AccessKind::Load);
+        assert_eq!(warm.latency, m.scheduled_vector_latency(16).max(5 + 16 - 1));
+        assert_eq!(m.stats.l2_hits, 1);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 
 pub mod cache;
 pub mod hierarchy;
+pub mod lines;
 pub mod vector_cache;
 
 pub use cache::{Cache, CacheStats, FillOutcome, LookupResult};
 pub use hierarchy::{AccessKind, AccessTiming, MemStats, MemoryHierarchy, MemoryModel};
+pub use lines::LineWalk;
 pub use vector_cache::{VectorAccessOutcome, VectorCache};

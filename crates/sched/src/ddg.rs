@@ -7,8 +7,38 @@
 //! of Fig. 3 and, for vector RAW dependences, from the chaining rule of
 //! §3.3.
 
+use std::hash::BuildHasherDefault;
+
 use vmv_isa::{Op, Reg, RegClass};
 use vmv_machine::MachineConfig;
+
+/// FNV-1a hasher for the small fixed-size `Reg` keys of the dependence
+/// bookkeeping maps — the default SipHash is a measurable share of schedule
+/// time on large blocks.
+#[derive(Default)]
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xCBF2_9CE4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FnvMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FnvHasher>>;
 
 /// Why two operations are ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,9 +84,8 @@ impl DepGraph {
 
         // For RAW edges we need, for every register, the index of the last
         // writer; for WAR/WAW edges the last readers / writer as well.
-        use std::collections::HashMap;
-        let mut last_writer: HashMap<Reg, usize> = HashMap::new();
-        let mut last_readers: HashMap<Reg, Vec<usize>> = HashMap::new();
+        let mut last_writer: FnvMap<Reg, usize> = FnvMap::default();
+        let mut last_readers: FnvMap<Reg, Vec<usize>> = FnvMap::default();
         let mut last_store: Option<usize> = None;
         let mut loads_since_store: Vec<usize> = Vec::new();
 

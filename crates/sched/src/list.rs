@@ -36,6 +36,7 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
     // (ops × worst-case latency × occupancy).
     let safety_limit = (n as u32 + 4) * 64 + 1024;
 
+    let mut ready: Vec<usize> = Vec::with_capacity(n);
     while placed < n {
         assert!(
             cycle < safety_limit,
@@ -44,12 +45,26 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
 
         // Operations whose dependences allow them to issue this cycle,
         // highest critical-path first (ties broken by program order).
-        let mut ready: Vec<usize> = (0..n)
-            .filter(|&i| !scheduled[i] && remaining_preds[i] == 0 && earliest[i] <= cycle)
-            .collect();
+        ready.clear();
+        ready.extend(
+            (0..n).filter(|&i| !scheduled[i] && remaining_preds[i] == 0 && earliest[i] <= cycle),
+        );
+        if ready.is_empty() {
+            // Nothing can issue before the next dependence-release time:
+            // jump straight there instead of probing every empty cycle
+            // (placements only ever happen when something is ready, so the
+            // skipped cycles are provably empty).
+            let next = (0..n)
+                .filter(|&i| !scheduled[i] && remaining_preds[i] == 0)
+                .map(|i| earliest[i])
+                .min()
+                .unwrap_or(cycle + 1);
+            cycle = next.max(cycle + 1);
+            continue;
+        }
         ready.sort_by_key(|&i| (Reverse(heights[i]), i));
 
-        for i in ready {
+        for &i in &ready {
             if table.can_place(&ops[i], cycle) {
                 table.place(&ops[i], cycle);
                 if bundles.len() <= cycle as usize {

@@ -50,6 +50,15 @@ pub enum LowerError {
     SlotOutOfRange { block: String, op: String, reg: Reg },
     /// An operation carries more explicit sources than any opcode defines.
     TooManySources { block: String, op: String },
+    /// A machine parameter exceeds the range of the lowered operation's
+    /// packed metadata fields (latencies are stored as `u16`, lane counts
+    /// as `u8`) — silently saturating would diverge from the reference
+    /// engine, so lowering refuses such machines up front.
+    MachineOutOfRange {
+        what: &'static str,
+        value: u64,
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for LowerError {
@@ -69,6 +78,11 @@ impl std::fmt::Display for LowerError {
             LowerError::TooManySources { block, op } => {
                 write!(f, "block '{block}': operation '{op}' has too many sources")
             }
+            LowerError::MachineOutOfRange { what, value, max } => write!(
+                f,
+                "machine parameter {what} = {value} exceeds the lowered \
+                 representation's maximum of {max}"
+            ),
         }
     }
 }
@@ -93,15 +107,21 @@ pub struct LoweredOp {
     /// `..n_reads` valid.
     read_slots: [u16; MAX_READS],
     n_reads: u8,
-    /// Flow latency of the operation's latency class on this machine.
-    pub flow: u32,
+    /// Flow latency of the operation's latency class on this machine
+    /// (machines with latencies beyond u16 are rejected at lowering time).
+    pub flow: u16,
     /// Effective lane count for the Fig. 3 vector latency formula (the L2
-    /// port width in elements for vector memory operations).
-    pub lanes: u32,
+    /// port width in elements for vector memory operations; machines with
+    /// lane counts beyond u8 are rejected at lowering time).
+    pub lanes: u8,
     /// Whether latency depends on the run-time vector length.
     pub reads_vl: bool,
     /// Whether this operation occupies the single L2 vector-cache port.
     pub is_vector_memory: bool,
+    /// Micro-operations per unit of vector length (`Opcode::micro_ops(1)`,
+    /// at most 8); the dynamic count is `micro_ops_unit * VL` for
+    /// VL-dependent operations and `micro_ops_unit` otherwise.
+    pub micro_ops_unit: u16,
 }
 
 impl LoweredOp {
@@ -164,6 +184,44 @@ pub fn lower(
     program: &ScheduledProgram,
     machine: &MachineConfig,
 ) -> Result<LoweredProgram, LowerError> {
+    // The packed per-op metadata stores latencies as u16 and lane counts as
+    // u8; reject machines whose parameters cannot be represented exactly
+    // (real configurations are orders of magnitude below these limits).
+    let l = &machine.latencies;
+    for (what, value) in [
+        ("latencies.int_alu", l.int_alu),
+        ("latencies.int_mul", l.int_mul),
+        ("latencies.int_div", l.int_div),
+        ("latencies.load_l1", l.load_l1),
+        ("latencies.store", l.store),
+        ("latencies.branch", l.branch),
+        ("latencies.simd_alu", l.simd_alu),
+        ("latencies.simd_mul", l.simd_mul),
+        ("latencies.vec_alu", l.vec_alu),
+        ("latencies.vec_mul", l.vec_mul),
+        ("latencies.vec_mem", l.vec_mem),
+    ] {
+        if value > u16::MAX as u32 {
+            return Err(LowerError::MachineOutOfRange {
+                what,
+                value: value as u64,
+                max: u16::MAX as u64,
+            });
+        }
+    }
+    for (what, value) in [
+        ("vector_lanes", machine.vector_lanes),
+        ("l2_port_elems", machine.l2_port_elems),
+    ] {
+        if value > u8::MAX as u32 {
+            return Err(LowerError::MachineOutOfRange {
+                what,
+                value: value as u64,
+                max: u8::MAX as u64,
+            });
+        }
+    }
+
     let layout = SlotLayout::new(&machine.regs);
     let labels: HashMap<&str, u32> = program
         .blocks
@@ -279,10 +337,11 @@ fn lower_op(
         dst_slot,
         read_slots,
         n_reads: n_reads as u8,
-        flow: machine.latencies.flow_latency(op.opcode.lat_class()),
-        lanes: machine.effective_lanes(op.opcode),
+        flow: machine.latencies.flow_latency(op.opcode.lat_class()) as u16,
+        lanes: machine.effective_lanes(op.opcode) as u8,
         reads_vl: op.opcode.reads_vl(),
         is_vector_memory: op.opcode.is_vector_memory(),
+        micro_ops_unit: op.opcode.micro_ops(1) as u16,
     })
 }
 
@@ -362,6 +421,36 @@ mod tests {
     }
 
     #[test]
+    fn unrepresentable_machine_parameters_are_rejected() {
+        // The packed metadata stores latencies as u16 and lanes as u8:
+        // silently saturating would diverge from the reference engine, so
+        // lowering must refuse such machines with a clear error instead.
+        let p = shell(vec![ScheduledBlock {
+            label: "entry".into(),
+            region: RegionId::SCALAR,
+            bundles: vec![vec![Op::new(Opcode::Halt)]],
+        }]);
+        let mut m = machine();
+        m.latencies.vec_mem = 100_000;
+        assert!(matches!(
+            lower(&p, &m).unwrap_err(),
+            LowerError::MachineOutOfRange {
+                what: "latencies.vec_mem",
+                ..
+            }
+        ));
+        let mut m = machine();
+        m.vector_lanes = 1000;
+        assert!(matches!(
+            lower(&p, &m).unwrap_err(),
+            LowerError::MachineOutOfRange {
+                what: "vector_lanes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn implicit_vl_vs_reads_are_in_the_read_set() {
         let m = machine();
         let p = shell(vec![ScheduledBlock {
@@ -378,8 +467,8 @@ mod tests {
         assert_eq!(op.read_slots().len(), 3);
         assert!(op.is_vector_memory);
         assert!(op.reads_vl);
-        assert_eq!(op.lanes, m.l2_port_elems);
-        assert_eq!(op.flow, m.latencies.vec_mem);
+        assert_eq!(u32::from(op.lanes), m.l2_port_elems);
+        assert_eq!(u32::from(op.flow), m.latencies.vec_mem);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use vmv_isa::{LatencyDescriptor, Op, Reg, NO_SLOT};
 use vmv_machine::MachineConfig;
 use vmv_mem::{AccessKind, MemoryHierarchy, MemoryModel};
-use vmv_sched::{lower, LoweredOp, LoweredProgram, ScheduledProgram};
+use vmv_sched::{lower, LoweredProgram, ScheduledProgram};
 
 use crate::exec::{execute_lowered, execute_op, ExecOutcome, LoweredOutcome, MemAccess};
 use crate::memimage::MemImage;
@@ -153,6 +153,11 @@ impl Simulator {
         for region in &program.regions {
             stats.region_mut(region.id);
         }
+        // Per-region accumulators as a tiny linear-scan table (programs have
+        // a handful of regions): no tree lookup per executed block.  Merged
+        // into the BTreeMap-backed RunStats on exit.
+        let mut region_acc: Vec<(vmv_isa::RegionId, crate::stats::RegionStats)> = Vec::new();
+        let mut region_idx = 0usize;
 
         // Scoreboard: cycle at which each register slot's latest value is
         // ready.  A plain array — slots were resolved at lowering time.
@@ -162,6 +167,19 @@ impl Simulator {
 
         let mut cycle: u64 = 0;
         let mut block_idx = 0usize;
+
+        // Split borrows once: the inner loop works on the individual fields
+        // so the register file, the flat memory and the hierarchy are
+        // independently borrowed locals instead of `&mut self` projections
+        // the optimiser must re-derive per operation.
+        let max_cycles = self.options.max_cycles;
+        let port_elems = self.machine.l2_port_elems.max(1);
+        let Simulator {
+            regs,
+            mem,
+            hierarchy,
+            ..
+        } = self;
 
         'blocks: while block_idx < program.blocks.len() {
             let block = &program.blocks[block_idx];
@@ -173,65 +191,102 @@ impl Simulator {
             let mut next_block = block_idx + 1;
             let mut halted = false;
 
+            // Issue time of one operation's bundle: every source operand
+            // ready, the L2 vector port free.
+            macro_rules! issue_of {
+                ($op:expr, $issue:expr) => {{
+                    for &slot in $op.read_slots() {
+                        $issue = $issue.max(ready[slot as usize]);
+                    }
+                    if $op.is_vector_memory {
+                        $issue = $issue.max(l2_port_free);
+                    }
+                }};
+            }
+            // Execute one operation at its bundle's issue time: functional
+            // effects, completion latency into the scoreboard, port
+            // occupancy, statistics and the control-flow decision.
+            macro_rules! exec_at {
+                ($op:expr, $issue:expr) => {{
+                    let mut mem_access: Option<MemAccess> = None;
+                    let outcome = execute_lowered($op, regs, mem, &mut mem_access)
+                        .map_err(|e| SimError::Exec(e.to_string()))?;
+
+                    // Determine the actual completion latency.
+                    let latency = match &mem_access {
+                        Some(access) => {
+                            if access.is_vector {
+                                let occupancy = if access.stride == 8 {
+                                    access.elems.div_ceil(port_elems)
+                                } else {
+                                    access.elems
+                                };
+                                l2_port_free = $issue + occupancy.max(1) as u64;
+                            }
+                            Self::memory_latency_on(hierarchy, access)
+                        }
+                        None => {
+                            if $op.reads_vl {
+                                // (vl-1)/lanes tail (Fig. 3b); lane counts
+                                // are powers of two on every real machine —
+                                // shift instead of hardware division.
+                                let vl = regs.effective_vl();
+                                let lanes = $op.lanes.max(1) as u32;
+                                let tail = if lanes.is_power_of_two() {
+                                    (vl - 1) >> lanes.trailing_zeros()
+                                } else {
+                                    (vl - 1) / lanes
+                                };
+                                $op.flow as u32 + tail
+                            } else {
+                                $op.flow as u32
+                            }
+                        }
+                    } as u64;
+
+                    if $op.dst_slot != NO_SLOT {
+                        ready[$op.dst_slot as usize] = $issue + latency;
+                    }
+
+                    ops_executed += 1;
+                    micro_ops += if $op.reads_vl {
+                        $op.micro_ops_unit as u64 * regs.effective_vl() as u64
+                    } else {
+                        $op.micro_ops_unit as u64
+                    };
+
+                    match outcome {
+                        LoweredOutcome::Normal => {}
+                        LoweredOutcome::BranchTaken(target) => next_block = target as usize,
+                        LoweredOutcome::Halt => halted = true,
+                    }
+                }};
+            }
+
             for b in block.first_bundle..block.first_bundle + block.bundle_count {
                 let bundle = program.bundle_ops(b);
                 // In-order issue: the bundle stalls until every source
                 // operand of every operation in it is ready.
                 let mut issue = cycle;
-                for op in bundle {
-                    for &slot in op.read_slots() {
-                        issue = issue.max(ready[slot as usize]);
+                if let [op] = bundle {
+                    // The dominant narrow-issue case: one operation — fuse
+                    // the issue scan and the execution into a single pass.
+                    issue_of!(op, issue);
+                    stall_cycles += issue - cycle;
+                    exec_at!(op, issue);
+                } else {
+                    for op in bundle {
+                        issue_of!(op, issue);
                     }
-                    if op.is_vector_memory {
-                        issue = issue.max(l2_port_free);
-                    }
-                }
-                stall_cycles += issue - cycle;
-
-                for op in bundle {
-                    let result = execute_lowered(op, &mut self.regs, &mut self.mem)
-                        .map_err(|e| SimError::Exec(e.to_string()))?;
-
-                    // Determine the actual completion latency.
-                    let latency = match &result.mem {
-                        Some(access) => self.memory_latency(access),
-                        None => self.lowered_compute_latency(op),
-                    } as u64;
-
-                    if op.dst_slot != NO_SLOT {
-                        ready[op.dst_slot as usize] = issue + latency;
-                    }
-                    if let Some(access) = &result.mem {
-                        if access.is_vector {
-                            let occupancy = if access.stride == 8 {
-                                access.elems.div_ceil(self.machine.l2_port_elems.max(1))
-                            } else {
-                                access.elems
-                            };
-                            l2_port_free = issue + occupancy.max(1) as u64;
-                        }
-                    }
-
-                    let vl = if op.reads_vl {
-                        self.regs.effective_vl()
-                    } else {
-                        1
-                    };
-                    ops_executed += 1;
-                    micro_ops += op.opcode.micro_ops(vl);
-
-                    match result.outcome {
-                        LoweredOutcome::Normal => {}
-                        LoweredOutcome::BranchTaken(target) => next_block = target as usize,
-                        LoweredOutcome::Halt => halted = true,
+                    stall_cycles += issue - cycle;
+                    for op in bundle {
+                        exec_at!(op, issue);
                     }
                 }
 
                 cycle = issue + 1;
-                if cycle - block_start_cycle > self.options.max_cycles
-                    || cycle > self.options.max_cycles
-                {
-                    return Err(SimError::CycleLimit(self.options.max_cycles));
+                if cycle - block_start_cycle > max_cycles || cycle > max_cycles {
+                    return Err(SimError::CycleLimit(max_cycles));
                 }
             }
 
@@ -240,7 +295,16 @@ impl Simulator {
                 cycle += 1;
             }
 
-            let r = stats.region_mut(region);
+            if region_idx >= region_acc.len() || region_acc[region_idx].0 != region {
+                region_idx = match region_acc.iter().position(|(id, _)| *id == region) {
+                    Some(i) => i,
+                    None => {
+                        region_acc.push((region, crate::stats::RegionStats::default()));
+                        region_acc.len() - 1
+                    }
+                };
+            }
+            let r = &mut region_acc[region_idx].1;
             r.cycles += cycle - block_start_cycle;
             r.stall_cycles += stall_cycles;
             r.instructions += (block.bundle_count as u64).max(1);
@@ -248,7 +312,10 @@ impl Simulator {
             r.micro_ops += micro_ops;
 
             if halted {
-                stats.memory = self.hierarchy.stats;
+                for (id, acc) in &region_acc {
+                    stats.region_mut(*id).add(acc);
+                }
+                stats.memory = hierarchy.stats;
                 return Ok(stats);
             }
             if next_block >= program.blocks.len() {
@@ -386,19 +453,6 @@ impl Simulator {
         Err(SimError::FellOffEnd)
     }
 
-    /// Completion latency of a non-memory lowered operation: the flow
-    /// latency and lane count were baked in at lowering time, only the
-    /// *actual* vector length is read at run time.
-    #[inline]
-    fn lowered_compute_latency(&self, op: &LoweredOp) -> u32 {
-        if op.reads_vl {
-            LatencyDescriptor::vector(op.flow, self.regs.effective_vl(), op.lanes).result_latency()
-        } else {
-            // LatencyDescriptor::scalar(flow).result_latency() == flow.
-            op.flow
-        }
-    }
-
     /// Completion latency of a non-memory operation, using the *actual*
     /// vector length currently in the VL register.
     fn compute_latency(&self, op: &Op) -> u32 {
@@ -409,6 +463,26 @@ impl Simulator {
                 .result_latency()
         } else {
             LatencyDescriptor::scalar(flow).result_latency()
+        }
+    }
+
+    /// Completion latency of a memory operation against a borrowed
+    /// hierarchy (the lowered engine's split-borrow hot loop).
+    #[inline]
+    fn memory_latency_on(hierarchy: &mut MemoryHierarchy, access: &MemAccess) -> u32 {
+        let kind = if access.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        if access.is_vector {
+            hierarchy
+                .vector_access(access.base, access.stride, access.elems, kind)
+                .latency
+        } else {
+            hierarchy
+                .scalar_access(access.base, access.bytes, kind)
+                .latency
         }
     }
 

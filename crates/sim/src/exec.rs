@@ -12,7 +12,7 @@ use vmv_isa::{BrCond, MemWidth, Op, Opcode, Reg, MAX_VL};
 use vmv_sched::LoweredOp;
 
 use crate::memimage::MemImage;
-use crate::regfile::{RegFiles, VectorValue};
+use crate::regfile::RegFiles;
 
 /// Control-flow outcome of one operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,13 +60,6 @@ pub struct ExecResult {
     pub mem: Option<MemAccess>,
 }
 
-/// Result of executing one lowered operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LoweredExecResult {
-    pub outcome: LoweredOutcome,
-    pub mem: Option<MemAccess>,
-}
-
 /// Control-flow outcome of the shared execution core: whether a branch was
 /// taken, with target resolution left to the caller (label for the legacy
 /// path, pre-resolved block index for the lowered path).
@@ -75,14 +68,6 @@ enum CoreOutcome {
     Normal,
     Taken,
     Halt,
-}
-
-type CoreResult = (CoreOutcome, Option<MemAccess>);
-
-const NORMAL: CoreResult = (CoreOutcome::Normal, None);
-
-fn with_mem(mem: MemAccess) -> CoreResult {
-    (CoreOutcome::Normal, Some(mem))
 }
 
 /// Borrowed operand view shared by both execution entry points.
@@ -94,9 +79,18 @@ struct OpView<'a> {
     imm: i64,
 }
 
-/// Execution error (malformed operation reaching the simulator).
+/// Execution error (malformed operation reaching the simulator).  The
+/// message is boxed so `Result<_, ExecError>` fits in registers — the Ok
+/// path of every dynamic operation pays for the error type's size.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError(pub String);
+pub struct ExecError(pub Box<str>);
+
+impl ExecError {
+    #[cold]
+    fn new(msg: String) -> ExecError {
+        ExecError(msg.into_boxed_str())
+    }
+}
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -118,24 +112,42 @@ impl std::fmt::Display for OpView<'_> {
     }
 }
 
+#[cold]
+#[inline(never)]
+fn missing_operand(op: OpView<'_>, i: usize) -> ExecError {
+    ExecError::new(format!("operand {i} missing in {op}"))
+}
+
+#[cold]
+#[inline(never)]
+fn missing_dst(op: OpView<'_>) -> ExecError {
+    ExecError::new(format!("destination missing in {op}"))
+}
+
+#[inline(always)]
 fn src(op: OpView<'_>, i: usize) -> Result<Reg, ExecError> {
-    op.srcs
-        .get(i)
-        .copied()
-        .ok_or_else(|| ExecError(format!("operand {i} missing in {op}")))
+    match op.srcs.get(i) {
+        Some(&r) => Ok(r),
+        None => Err(missing_operand(op, i)),
+    }
 }
 
+#[inline(always)]
 fn dst(op: OpView<'_>) -> Result<Reg, ExecError> {
-    op.dst
-        .ok_or_else(|| ExecError(format!("destination missing in {op}")))
+    match op.dst {
+        Some(d) => Ok(d),
+        None => Err(missing_dst(op)),
+    }
 }
 
+#[inline(always)]
 fn imm(op: OpView<'_>) -> i64 {
     op.imm
 }
 
 /// Second integer operand of a scalar binary operation: either a register or
 /// the immediate (register-immediate form).
+#[inline(always)]
 fn scalar_rhs(op: OpView<'_>, rf: &RegFiles) -> Result<i64, ExecError> {
     if op.srcs.len() >= 2 {
         Ok(rf.read_int(src(op, 1)?))
@@ -153,14 +165,15 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
         srcs: &op.srcs,
         imm: op.imm.unwrap_or(0),
     };
-    let (outcome, mem_access) = exec_core(view, rf, mem)?;
+    let mut mem_access = None;
+    let outcome = exec_core(view, rf, mem, &mut mem_access)?;
     let outcome = match outcome {
         CoreOutcome::Normal => ExecOutcome::Normal,
         CoreOutcome::Halt => ExecOutcome::Halt,
         CoreOutcome::Taken => ExecOutcome::BranchTaken(
             op.target
                 .clone()
-                .ok_or_else(|| ExecError(format!("branch without target in {op}")))?,
+                .ok_or_else(|| ExecError::new(format!("branch without target in {op}")))?,
         ),
     };
     Ok(ExecResult {
@@ -170,53 +183,55 @@ pub fn execute_op(op: &Op, rf: &mut RegFiles, mem: &mut MemImage) -> Result<Exec
 }
 
 /// Execute one lowered operation: operands and branch targets are already
-/// resolved, so no allocation or label lookup happens here.
+/// resolved, so no allocation or label lookup happens here.  The memory
+/// traffic of the operation (if any) is written to `mem_access`, which the
+/// caller must reset to `None` beforehand — an out-parameter instead of a
+/// by-value result keeps the dominant non-memory operations from shuffling
+/// a 50-byte struct through memory on every dynamic operation.
 #[inline]
 pub fn execute_lowered(
     op: &LoweredOp,
     rf: &mut RegFiles,
     mem: &mut MemImage,
-) -> Result<LoweredExecResult, ExecError> {
+    mem_access: &mut Option<MemAccess>,
+) -> Result<LoweredOutcome, ExecError> {
     let view = OpView {
         opcode: op.opcode,
         dst: op.dst,
         srcs: op.srcs(),
         imm: op.imm,
     };
-    let (outcome, mem_access) = exec_core(view, rf, mem)?;
-    let outcome = match outcome {
+    Ok(match exec_core(view, rf, mem, mem_access)? {
         CoreOutcome::Normal => LoweredOutcome::Normal,
         CoreOutcome::Halt => LoweredOutcome::Halt,
         CoreOutcome::Taken => LoweredOutcome::BranchTaken(op.target),
-    };
-    Ok(LoweredExecResult {
-        outcome,
-        mem: mem_access,
     })
 }
 
 /// Shared execution core: computes values, memory effects and the taken /
-/// not-taken control decision of one operation.
+/// not-taken control decision of one operation.  Memory traffic is reported
+/// through the `mem_access` out-parameter.
 fn exec_core(
     op: OpView<'_>,
     rf: &mut RegFiles,
     mem: &mut MemImage,
-) -> Result<CoreResult, ExecError> {
+    mem_access: &mut Option<MemAccess>,
+) -> Result<CoreOutcome, ExecError> {
     use Opcode::*;
     let oc = op.opcode;
     match oc {
-        Nop => Ok(NORMAL),
-        Halt => Ok((CoreOutcome::Halt, None)),
+        Nop => Ok(CoreOutcome::Normal),
+        Halt => Ok(CoreOutcome::Halt),
 
         // ------------------------------------------------------------ scalar
         MovI => {
             rf.write_int(dst(op)?, imm(op));
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         Mov => {
             let v = rf.read_int(src(op, 0)?);
             rf.write_int(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         IAdd | ISub | IMul | IDiv | IRem | IAnd | IOr | IXor | IShl | IShr | ISra | ISlt
         | ISltu | ISeq | IMin | IMax => {
@@ -254,12 +269,12 @@ fn exec_core(
                 _ => unreachable!(),
             };
             rf.write_int(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         IAbs => {
             let a = rf.read_int(src(op, 0)?);
             rf.write_int(dst(op)?, a.wrapping_abs());
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
 
         Load(width, sign) => {
@@ -276,14 +291,15 @@ fn exec_core(
                 Sign::Signed => packed::sign_extend(raw, 8 * width.bytes() as u32),
             };
             rf.write_int(dst(op)?, v);
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
                 bytes: width.bytes(),
                 is_store: false,
                 is_vector: false,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
         Store(width) => {
             let base = rf.read_int(src(op, 0)?);
@@ -295,14 +311,15 @@ fn exec_core(
                 MemWidth::B4 => mem.write_u32(addr, v as u32),
                 MemWidth::B8 => mem.write_u64(addr, v),
             }
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
                 bytes: width.bytes(),
                 is_store: true,
                 is_vector: false,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
 
         Br(cond) => {
@@ -317,12 +334,12 @@ fn exec_core(
                 BrCond::Gt => a > b,
             };
             if taken {
-                Ok((CoreOutcome::Taken, None))
+                Ok(CoreOutcome::Taken)
             } else {
-                Ok(NORMAL)
+                Ok(CoreOutcome::Normal)
             }
         }
-        Jump => Ok((CoreOutcome::Taken, None)),
+        Jump => Ok(CoreOutcome::Taken),
 
         // ------------------------------------------------------------ µSIMD
         PLoad => {
@@ -330,61 +347,63 @@ fn exec_core(
             let addr = (base + imm(op)) as u64;
             let v = mem.read_u64(addr);
             rf.write_simd(dst(op)?, v);
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
                 bytes: 8,
                 is_store: false,
                 is_vector: false,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
         PStore => {
             let base = rf.read_int(src(op, 0)?);
             let addr = (base + imm(op)) as u64;
             let v = rf.read_simd(src(op, 1)?);
             mem.write_u64(addr, v);
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride: 0,
                 elems: 1,
                 bytes: 8,
                 is_store: true,
                 is_vector: false,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
         PMov => {
             let v = rf.read_simd(src(op, 0)?);
             rf.write_simd(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         MovIntToSimd => {
             let v = rf.read_int(src(op, 0)?) as u64;
             rf.write_simd(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         MovSimdToInt => {
             let v = rf.read_simd(src(op, 0)?) as i64;
             rf.write_int(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PSplat(e) => {
             let v = rf.read_int(src(op, 0)?) as u64;
             rf.write_simd(dst(op)?, packed::splat(e, v));
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PExtract(e) => {
             let v = rf.read_simd(src(op, 0)?);
             let lane = imm(op) as usize % e.lanes();
             rf.write_int(dst(op)?, packed::lane_u(v, e, lane) as i64);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PInsert(e) => {
             let old = rf.read_simd(src(op, 0)?);
             let v = rf.read_int(src(op, 1)?) as u64;
             let lane = imm(op) as usize % e.lanes();
             rf.write_simd(dst(op)?, packed::set_lane(old, e, lane, v));
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         // Packed two-operand arithmetic.
         PAdd(..) | PSub(..) | PMulLo(_) | PMulHi(_) | PMAdd | PMulWidenEven(_)
@@ -393,13 +412,13 @@ fn exec_core(
             let a = rf.read_simd(src(op, 0)?);
             let b = rf.read_simd(src(op, 1)?);
             rf.write_simd(dst(op)?, packed_binary(oc, a, b)?);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PSad => {
             let a = rf.read_simd(src(op, 0)?);
             let b = rf.read_simd(src(op, 1)?);
             rf.write_simd(dst(op)?, packed::psad_u8(a, b));
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PShl(e) | PShrL(e) | PShrA(e) => {
             let a = rf.read_simd(src(op, 0)?);
@@ -411,13 +430,13 @@ fn exec_core(
                 _ => unreachable!(),
             };
             rf.write_simd(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         PWidenLo(e, s) | PWidenHi(e, s) => {
             let a = rf.read_simd(src(op, 0)?);
             let hi = matches!(oc, PWidenHi(..));
             rf.write_simd(dst(op)?, widen(a, e, s, hi));
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
 
         // ------------------------------------------------------------ vector
@@ -428,7 +447,7 @@ fn exec_core(
                 rf.read_int(src(op, 0)?)
             };
             rf.vl = (v.max(1) as u32).min(MAX_VL);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         SetVS => {
             let v = if op.srcs.is_empty() {
@@ -437,68 +456,71 @@ fn exec_core(
                 rf.read_int(src(op, 0)?)
             };
             rf.vs = v;
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         VLoad => {
             let base = rf.read_int(src(op, 0)?);
             let addr = (base + imm(op)) as u64;
             let vl = rf.effective_vl();
             let stride = rf.vs;
-            let mut v: VectorValue = [0; MAX_VL as usize];
-            for (i, w) in v.iter_mut().enumerate().take(vl as usize) {
-                let a = (addr as i64 + stride * i as i64) as u64;
-                *w = mem.read_u64(a);
+            let v = rf.vec_mut(dst(op)?);
+            for (i, w) in v.iter_mut().enumerate() {
+                if i < vl as usize {
+                    let a = (addr as i64 + stride * i as i64) as u64;
+                    *w = mem.read_u64(a);
+                } else {
+                    *w = 0;
+                }
             }
-            rf.write_vec(dst(op)?, v);
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride,
                 elems: vl,
                 bytes: 8,
                 is_store: false,
                 is_vector: true,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
         VStore => {
             let base = rf.read_int(src(op, 0)?);
             let addr = (base + imm(op)) as u64;
             let vl = rf.effective_vl();
             let stride = rf.vs;
-            let v = rf.read_vec(src(op, 1)?);
+            let v = rf.vec_ref(src(op, 1)?);
             for (i, w) in v.iter().enumerate().take(vl as usize) {
                 let a = (addr as i64 + stride * i as i64) as u64;
                 mem.write_u64(a, *w);
             }
-            Ok(with_mem(MemAccess {
+            *mem_access = Some(MemAccess {
                 base: addr,
                 stride,
                 elems: vl,
                 bytes: 8,
                 is_store: true,
                 is_vector: true,
-            }))
+            });
+            Ok(CoreOutcome::Normal)
         }
         VMov => {
             let v = rf.read_vec(src(op, 0)?);
             rf.write_vec(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         VSplat(e) => {
             let s = rf.read_int(src(op, 0)?) as u64;
             let word = packed::splat(e, s);
-            let vl = rf.effective_vl();
-            let mut v: VectorValue = [0; MAX_VL as usize];
-            for w in v.iter_mut().take(vl as usize) {
-                *w = word;
-            }
-            rf.write_vec(dst(op)?, v);
-            Ok(NORMAL)
+            let vl = rf.effective_vl() as usize;
+            let v = rf.vec_mut(dst(op)?);
+            v[..vl].fill(word);
+            v[vl..].fill(0);
+            Ok(CoreOutcome::Normal)
         }
         VExtract => {
-            let v = rf.read_vec(src(op, 0)?);
             let w = imm(op) as usize % MAX_VL as usize;
-            rf.write_simd(dst(op)?, v[w]);
-            Ok(NORMAL)
+            let word = rf.vec_ref(src(op, 0)?)[w];
+            rf.write_simd(dst(op)?, word);
+            Ok(CoreOutcome::Normal)
         }
         VInsert => {
             let mut v = rf.read_vec(src(op, 0)?);
@@ -506,61 +528,64 @@ fn exec_core(
             let w = imm(op) as usize % MAX_VL as usize;
             v[w] = s;
             rf.write_vec(dst(op)?, v);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
-        // Element-wise vector arithmetic: apply the packed word operation to
-        // the first VL words.
+        // Element-wise vector arithmetic: apply the packed word operation
+        // (SWAR over 64-bit words, see `vmv_isa::packed`) to the first VL
+        // words in place — no vector-register copies.
         VAdd(..) | VSub(..) | VMulLo(_) | VMulHi(_) | VMAdd | VMulWidenEven(_)
         | VMulWidenOdd(_) | VAvg(_) | VMin(..) | VMax(..) | VAbsDiff(_) | VAnd | VOr | VXor
         | VPack(..) | VUnpackLo(_) | VUnpackHi(_) | VCmpEq(_) | VCmpGt(_) => {
-            let a = rf.read_vec(src(op, 0)?);
-            let b = rf.read_vec(src(op, 1)?);
             let vl = rf.effective_vl();
             let scalar_oc = vector_to_packed_opcode(oc);
-            let mut out: VectorValue = [0; MAX_VL as usize];
-            for i in 0..vl as usize {
-                out[i] = packed_binary(scalar_oc, a[i], b[i])?;
+            let mut err = None;
+            rf.vec_binop(
+                dst(op)?,
+                src(op, 0)?,
+                src(op, 1)?,
+                vl,
+                |x, y| match packed_binary(scalar_oc, x, y) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        err = Some(e);
+                        0
+                    }
+                },
+            );
+            match err {
+                None => Ok(CoreOutcome::Normal),
+                Some(e) => Err(e),
             }
-            rf.write_vec(dst(op)?, out);
-            Ok(NORMAL)
         }
         VShl(e) | VShrL(e) | VShrA(e) => {
-            let a = rf.read_vec(src(op, 0)?);
             let amount = imm(op) as u32;
             let vl = rf.effective_vl();
-            let mut out: VectorValue = [0; MAX_VL as usize];
-            for i in 0..vl as usize {
-                out[i] = match oc {
-                    VShl(_) => packed::pshl(e, a[i], amount),
-                    VShrL(_) => packed::pshr_l(e, a[i], amount),
-                    VShrA(_) => packed::pshr_a(e, a[i], amount),
-                    _ => unreachable!(),
-                };
+            let d = dst(op)?;
+            let a = src(op, 0)?;
+            match oc {
+                VShl(_) => rf.vec_unop(d, a, vl, |x| packed::pshl(e, x, amount)),
+                VShrL(_) => rf.vec_unop(d, a, vl, |x| packed::pshr_l(e, x, amount)),
+                VShrA(_) => rf.vec_unop(d, a, vl, |x| packed::pshr_a(e, x, amount)),
+                _ => unreachable!(),
             }
-            rf.write_vec(dst(op)?, out);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         VWidenLo(e, s) | VWidenHi(e, s) => {
-            let a = rf.read_vec(src(op, 0)?);
             let hi = matches!(oc, VWidenHi(..));
             let vl = rf.effective_vl();
-            let mut out: VectorValue = [0; MAX_VL as usize];
-            for i in 0..vl as usize {
-                out[i] = widen(a[i], e, s, hi);
-            }
-            rf.write_vec(dst(op)?, out);
-            Ok(NORMAL)
+            rf.vec_unop(dst(op)?, src(op, 0)?, vl, |x| widen(x, e, s, hi));
+            Ok(CoreOutcome::Normal)
         }
 
         // ------------------------------------------------------ accumulators
         AccClear => {
             rf.write_acc(dst(op)?, vmv_isa::Accumulator::zero());
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         VSadAcc | VMacAcc => {
             let mut acc = rf.read_acc(src(op, 0)?);
-            let a = rf.read_vec(src(op, 1)?);
-            let b = rf.read_vec(src(op, 2)?);
+            let a = rf.vec_ref(src(op, 1)?);
+            let b = rf.vec_ref(src(op, 2)?);
             let vl = rf.effective_vl();
             for i in 0..vl as usize {
                 if oc == VSadAcc {
@@ -570,22 +595,22 @@ fn exec_core(
                 }
             }
             rf.write_acc(dst(op)?, acc);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         VAddAcc => {
             let mut acc = rf.read_acc(src(op, 0)?);
-            let a = rf.read_vec(src(op, 1)?);
+            let a = rf.vec_ref(src(op, 1)?);
             let vl = rf.effective_vl();
             for &word in a.iter().take(vl as usize) {
                 acc.add_i16(word);
             }
             rf.write_acc(dst(op)?, acc);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         AccReduce => {
             let acc = rf.read_acc(src(op, 0)?);
             rf.write_int(dst(op)?, acc.reduce());
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
         AccPackShrH => {
             let acc = rf.read_acc(src(op, 0)?);
@@ -596,7 +621,7 @@ fn exec_core(
                 out = packed::set_lane(out, Elem::H, lane, packed::sat_s(v, Elem::H));
             }
             rf.write_simd(dst(op)?, out);
-            Ok(NORMAL)
+            Ok(CoreOutcome::Normal)
         }
     }
 }
@@ -629,6 +654,7 @@ fn vector_to_packed_opcode(oc: Opcode) -> Opcode {
 }
 
 /// Semantics of the packed two-operand operations on a single 64-bit word.
+#[inline]
 fn packed_binary(oc: Opcode, a: u64, b: u64) -> Result<u64, ExecError> {
     use Opcode::*;
     Ok(match oc {
@@ -652,7 +678,11 @@ fn packed_binary(oc: Opcode, a: u64, b: u64) -> Result<u64, ExecError> {
         PUnpackHi(e) => packed::punpack_hi(e, a, b),
         PCmpEq(e) => packed::pcmp_eq(e, a, b),
         PCmpGt(e) => packed::pcmp_gt(e, a, b),
-        other => return Err(ExecError(format!("{other:?} is not a packed binary op"))),
+        other => {
+            return Err(ExecError::new(format!(
+                "{other:?} is not a packed binary op"
+            )))
+        }
     })
 }
 

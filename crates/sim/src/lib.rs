@@ -16,10 +16,7 @@ pub mod regfile;
 pub mod stats;
 
 pub use engine::{SimError, SimOptions, Simulator};
-pub use exec::{
-    execute_lowered, execute_op, ExecOutcome, ExecResult, LoweredExecResult, LoweredOutcome,
-    MemAccess,
-};
+pub use exec::{execute_lowered, execute_op, ExecOutcome, ExecResult, LoweredOutcome, MemAccess};
 pub use memimage::MemImage;
 pub use regfile::{RegFiles, VectorValue};
 pub use stats::{RegionStats, RunStats};

@@ -26,24 +26,35 @@ impl MemImage {
         self.bytes.is_empty()
     }
 
-    fn check(&self, addr: u64, len: usize) {
-        assert!(
-            (addr as usize)
-                .checked_add(len)
-                .is_some_and(|end| end <= self.bytes.len()),
+    #[cold]
+    #[inline(never)]
+    fn out_of_bounds(&self, addr: u64, len: usize) -> ! {
+        panic!(
             "memory access out of bounds: addr={addr:#x} len={len} size={:#x}",
             self.bytes.len()
         );
     }
 
-    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
-        self.check(addr, len);
-        &self.bytes[addr as usize..addr as usize + len]
+    /// One range check per access.
+    #[inline]
+    fn range(&self, addr: u64, len: usize) -> std::ops::Range<usize> {
+        // An address beyond usize saturates and fails the end check below.
+        let start = usize::try_from(addr).unwrap_or(usize::MAX);
+        match start.checked_add(len) {
+            Some(end) if end <= self.bytes.len() => start..end,
+            _ => self.out_of_bounds(addr, len),
+        }
     }
 
+    #[inline]
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[self.range(addr, len)]
+    }
+
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
-        self.check(addr, data.len());
-        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        let range = self.range(addr, data.len());
+        self.bytes[range].copy_from_slice(data);
     }
 
     pub fn read_u8(&self, addr: u64) -> u8 {

@@ -66,6 +66,62 @@ impl RegFiles {
         self.vec[r.index as usize] = v;
     }
 
+    /// Borrow a vector register without copying its 16 words.
+    #[inline]
+    pub fn vec_ref(&self, r: Reg) -> &VectorValue {
+        debug_assert_eq!(r.class, RegClass::Vec);
+        &self.vec[r.index as usize]
+    }
+
+    /// Mutably borrow a vector register without copying its 16 words.
+    #[inline]
+    pub fn vec_mut(&mut self, r: Reg) -> &mut VectorValue {
+        debug_assert_eq!(r.class, RegClass::Vec);
+        &mut self.vec[r.index as usize]
+    }
+
+    /// Apply a word-wise binary operation over the first `vl` words of two
+    /// vector registers into a destination register (sources may alias the
+    /// destination), zeroing the words beyond `vl`.  No 16-word copies are
+    /// made.
+    #[inline]
+    pub fn vec_binop(
+        &mut self,
+        d: Reg,
+        a: Reg,
+        b: Reg,
+        vl: u32,
+        mut f: impl FnMut(u64, u64) -> u64,
+    ) {
+        debug_assert_eq!(d.class, RegClass::Vec);
+        debug_assert_eq!(a.class, RegClass::Vec);
+        debug_assert_eq!(b.class, RegClass::Vec);
+        let (di, ai, bi) = (d.index as usize, a.index as usize, b.index as usize);
+        let vl = vl.min(MAX_VL) as usize;
+        for i in 0..vl {
+            let x = self.vec[ai][i];
+            let y = self.vec[bi][i];
+            self.vec[di][i] = f(x, y);
+        }
+        self.vec[di][vl..].fill(0);
+    }
+
+    /// Apply a word-wise unary operation over the first `vl` words of a
+    /// vector register into a destination register (which may alias the
+    /// source), zeroing the words beyond `vl`.
+    #[inline]
+    pub fn vec_unop(&mut self, d: Reg, a: Reg, vl: u32, mut f: impl FnMut(u64) -> u64) {
+        debug_assert_eq!(d.class, RegClass::Vec);
+        debug_assert_eq!(a.class, RegClass::Vec);
+        let (di, ai) = (d.index as usize, a.index as usize);
+        let vl = vl.min(MAX_VL) as usize;
+        for i in 0..vl {
+            let x = self.vec[ai][i];
+            self.vec[di][i] = f(x);
+        }
+        self.vec[di][vl..].fill(0);
+    }
+
     pub fn read_acc(&self, r: Reg) -> Accumulator {
         debug_assert_eq!(r.class, RegClass::Acc);
         self.acc[r.index as usize]

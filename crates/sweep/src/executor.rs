@@ -107,6 +107,56 @@ pub fn run_sweep(
         }
     }
 
+    // One job body shared by the inline and pooled paths, so the two can
+    // never diverge in cache interaction, record layout or panic handling.
+    let run_job = |job: &Job| -> Result<RunRecord, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache
+                .get_or_compile(job.benchmark, &job.point.machine)
+                .and_then(|prepared| simulate(&prepared, &job.point.machine, job.point.model))
+                .map(|outcome| record_of(job.key.clone(), job.point, job.benchmark, &outcome))
+                .map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|panic| Err(panic_message(&panic)))
+    };
+
+    // Single-worker sweeps run inline on the calling thread: no pool, no
+    // committer polling — on a single-CPU machine the 1 ms poll loop would
+    // otherwise contend with the one worker for the core.
+    if opts.effective_workers() == 1 {
+        const BATCH: usize = 16;
+        let start = Instant::now();
+        let mut records = Vec::with_capacity(jobs.len());
+        let mut errors = Vec::new();
+        let mut committed = 0usize;
+        for job in &jobs {
+            match run_job(job) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    errors.push((format!("{} on {}", job.benchmark.name(), job.point.name), e))
+                }
+            }
+            // Stream completed records in small batches so an interrupted
+            // sweep keeps (almost) everything, without one write per job.
+            if records.len() - committed >= BATCH {
+                if let Some(s) = store {
+                    s.append(&records[committed..])?;
+                }
+                committed = records.len();
+            }
+        }
+        if let Some(s) = store {
+            s.append(&records[committed..])?;
+        }
+        return Ok(SweepReport {
+            records,
+            skipped,
+            errors,
+            cache: cache.counters(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
     let slots: Vec<Mutex<Option<Result<RunRecord, String>>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -128,29 +178,7 @@ pub fn run_sweep(
                     break;
                 }
                 let job = &jobs[i];
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    cache
-                        .get_or_compile(job.benchmark, &job.point.machine)
-                        .and_then(|prepared| {
-                            simulate(&prepared, &job.point.machine, job.point.model)
-                        })
-                        .map(|outcome| RunRecord {
-                            key: job.key.clone(),
-                            config: job.point.name.clone(),
-                            benchmark: job.benchmark.name().to_string(),
-                            variant: outcome.variant.name().to_string(),
-                            model: format!("{:?}", job.point.model),
-                            cycles: outcome.stats.cycles(),
-                            stall_cycles: outcome.stats.total().stall_cycles,
-                            operations: outcome.stats.total().operations,
-                            micro_ops: outcome.stats.total().micro_ops,
-                            vector_cycles: outcome.stats.vector().cycles,
-                            check_ok: outcome.check_failures.is_empty(),
-                        })
-                        .map_err(|e| e.to_string())
-                }))
-                .unwrap_or_else(|panic| Err(panic_message(&panic)));
-                *slots[i].lock().unwrap() = Some(result);
+                *slots[i].lock().unwrap() = Some(run_job(job));
             });
         }
 
@@ -198,6 +226,28 @@ pub fn run_sweep(
         cache: cache.counters(),
         wall_seconds,
     })
+}
+
+/// Build the persisted record of one completed run.
+fn record_of(
+    key: String,
+    point: &SweepPoint,
+    benchmark: Benchmark,
+    outcome: &vmv_core::RunOutcome,
+) -> RunRecord {
+    RunRecord {
+        key,
+        config: point.name.clone(),
+        benchmark: benchmark.name().to_string(),
+        variant: outcome.variant.name().to_string(),
+        model: format!("{:?}", point.model),
+        cycles: outcome.stats.cycles(),
+        stall_cycles: outcome.stats.total().stall_cycles,
+        operations: outcome.stats.total().operations,
+        micro_ops: outcome.stats.total().micro_ops,
+        vector_cycles: outcome.stats.vector().cycles,
+        check_ok: outcome.check_failures.is_empty(),
+    }
 }
 
 /// Best-effort text of a worker panic payload.

@@ -51,7 +51,7 @@ pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
 pub use json::{Json, JsonError};
 pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
 pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
-pub use spec::{Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec};
+pub use spec::{shard_points, Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec};
 pub use store::{
     matched_records, point_key_index, run_key, CompactStats, MergeStats, ResultStore, RunRecord,
 };

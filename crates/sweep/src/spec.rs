@@ -402,6 +402,23 @@ impl SweepSpec {
     }
 }
 
+/// Deterministic shard assignment for distributed sweeps: keep every design
+/// point whose index in the deduplicated expansion is congruent to `shard`
+/// modulo `count`.  Expansion order is deterministic (odometer order), so
+/// separate machines running the same spec with `--shard 0/4 … 3/4` produce
+/// disjoint, collectively exhaustive point sets whose result files compose
+/// with `merge_from` / `sweep --merge`.
+pub fn shard_points(points: &[SweepPoint], shard: usize, count: usize) -> Vec<SweepPoint> {
+    assert!(count >= 1, "shard count must be at least 1");
+    assert!(shard < count, "shard index {shard} out of range 0..{count}");
+    points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % count == shard)
+        .map(|(_, p)| p.clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +553,47 @@ mod tests {
         let direct = gen::generate(&params);
         assert_eq!(direct.memory, from_spec.memory);
         assert_eq!(direct.memory.l2_banks, 8);
+    }
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        let points = lane_spec().expand().points;
+        let n = 3;
+        let mut union: Vec<String> = Vec::new();
+        let mut sizes = Vec::new();
+        for shard in 0..n {
+            let part = shard_points(&points, shard, n);
+            sizes.push(part.len());
+            union.extend(part.iter().map(|p| p.name.clone()));
+        }
+        // Disjoint and collectively exhaustive, in deterministic order.
+        let all: Vec<String> = points.iter().map(|p| p.name.clone()).collect();
+        let mut sorted_union = union.clone();
+        sorted_union.sort();
+        let mut sorted_all = all.clone();
+        sorted_all.sort();
+        assert_eq!(sorted_union, sorted_all);
+        assert_eq!(union.len(), points.len());
+        // Balanced to within one point.
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // Deterministic: same call, same result.
+        assert_eq!(
+            shard_points(&points, 1, n)
+                .iter()
+                .map(|p| p.name.clone())
+                .collect::<Vec<_>>(),
+            shard_points(&points, 1, n)
+                .iter()
+                .map(|p| p.name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn shard_index_out_of_range_panics() {
+        let points = lane_spec().expand().points;
+        shard_points(&points, 2, 2);
     }
 
     #[test]

@@ -141,6 +141,94 @@ fn simulated_vector_add_matches_rust() {
 }
 
 #[test]
+fn touched_line_closed_forms_match_the_naive_walk() {
+    // The memory hierarchy enumerates the cache lines of a constant-stride
+    // vector access through closed forms (contiguous range / arithmetic
+    // sequence); the naive per-element walk is the retained oracle.  For
+    // random base/stride/elems and every realistic line size, the two must
+    // produce the same line *set* (the closed forms emit distinct lines in
+    // a canonical order; the naive walk dedups in first-touch order).
+    use vmv::mem::lines;
+    let mut rng = SmallRng::seed_from_u64(0x11E5);
+    let mut scratch = Vec::new();
+    for case in 0..512 {
+        let line = [32u64, 64, 128][rng.gen_range_i64(0, 2) as usize];
+        let base = rng.gen_range_i64(0, 1 << 20) as u64;
+        let stride = match case % 4 {
+            0 => 8,                                     // unit stride
+            1 => rng.gen_range_i64(-64, 64),            // small strides (and 0)
+            2 => rng.gen_range_i64(1, 8) * line as i64, // line-multiple strides
+            _ => rng.gen_range_i64(-2048, 2048),        // arbitrary odd strides
+        };
+        let elems = rng.gen_range_i64(1, 16) as u32;
+
+        let mut expect = Vec::new();
+        lines::collect_naive(base, stride, elems, line, &mut expect);
+        let n = lines::collect(base, stride, elems, line, &mut scratch);
+        assert_eq!(n as usize, scratch.len());
+
+        let mut got = scratch.clone();
+        got.sort_unstable();
+        got.dedup();
+        let mut want = expect.clone();
+        want.sort_unstable();
+        assert_eq!(
+            got, want,
+            "case {case}: base={base:#x} stride={stride} elems={elems} line={line}"
+        );
+        assert_eq!(
+            scratch.len(),
+            expect.len(),
+            "case {case}: closed form must emit distinct lines only"
+        );
+    }
+}
+
+#[test]
+fn swar_packed_ops_match_the_lanewise_reference() {
+    // Every SWAR fast path in vmv_isa::packed against its retained
+    // one-lane-at-a-time reference, on random words.
+    use vmv::isa::packed::{lanewise, Sign};
+    let mut rng = SmallRng::seed_from_u64(0x57A2);
+    for case in 0..CASES * 4 {
+        let a = rand_u64(&mut rng);
+        let b = rand_u64(&mut rng);
+        for e in [Elem::B, Elem::H, Elem::W] {
+            for sat in [Sat::Wrap, Sat::Signed, Sat::Unsigned] {
+                assert_eq!(
+                    packed::padd(e, sat, a, b),
+                    lanewise::padd(e, sat, a, b),
+                    "case {case}: padd {e:?} {sat:?} a={a:#x} b={b:#x}"
+                );
+                assert_eq!(
+                    packed::psub(e, sat, a, b),
+                    lanewise::psub(e, sat, a, b),
+                    "case {case}: psub {e:?} {sat:?} a={a:#x} b={b:#x}"
+                );
+            }
+            for sign in [Sign::Signed, Sign::Unsigned] {
+                assert_eq!(packed::pmin(e, sign, a, b), lanewise::pmin(e, sign, a, b));
+                assert_eq!(packed::pmax(e, sign, a, b), lanewise::pmax(e, sign, a, b));
+            }
+            assert_eq!(packed::pavg_u(e, a, b), lanewise::pavg_u(e, a, b));
+            assert_eq!(packed::pabsdiff_u(e, a, b), lanewise::pabsdiff_u(e, a, b));
+            assert_eq!(packed::pcmp_eq(e, a, b), lanewise::pcmp_eq(e, a, b));
+            assert_eq!(packed::pcmp_gt(e, a, b), lanewise::pcmp_gt(e, a, b));
+            let amount = (rng.next_u64() % (e.bits() as u64 + 2)) as u32;
+            assert_eq!(
+                packed::pshl(e, a, amount),
+                lanewise::pshl(e, a, amount),
+                "case {case}: pshl {e:?} by {amount}"
+            );
+            assert_eq!(packed::pshr_l(e, a, amount), lanewise::pshr_l(e, a, amount));
+            assert_eq!(packed::pshr_a(e, a, amount), lanewise::pshr_a(e, a, amount));
+            assert_eq!(packed::splat(e, a), lanewise::splat(e, a));
+        }
+        assert_eq!(packed::psad_u8(a, b), lanewise::psad_u8(a, b));
+    }
+}
+
+#[test]
 fn quantisation_is_exact_for_random_coefficients() {
     // The same reciprocal-multiplication quantisation through the
     // reference implementation and through the simulated µSIMD kernel.
