@@ -1,0 +1,117 @@
+//! Minimal shared command-line argument helper for the three binaries.
+//!
+//! Convention: malformed input — a flag missing its value, a non-numeric
+//! `--threads`, a `--shard` that is not `I/N` — prints one precise error
+//! line and exits with status **2** (usage error), distinct from status 1
+//! (runtime failure).  `--help`/`-h` print the binary's usage and exit 0.
+
+use std::fmt::Display;
+
+/// Print `error: <message>` and exit with the usage-error status (2).
+pub fn fail(message: impl Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("(run with --help for usage)");
+    std::process::exit(2)
+}
+
+/// The process arguments (excluding the program name) as a peekable stream
+/// with precise-error extractors.
+pub struct ArgStream {
+    args: std::iter::Peekable<std::vec::IntoIter<String>>,
+}
+
+impl Default for ArgStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArgStream {
+    pub fn new() -> ArgStream {
+        ArgStream {
+            args: std::env::args()
+                .skip(1)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .peekable(),
+        }
+    }
+
+    #[cfg(test)]
+    fn from_vec(args: Vec<String>) -> ArgStream {
+        ArgStream {
+            args: args.into_iter().peekable(),
+        }
+    }
+
+    pub fn peek(&mut self) -> Option<&str> {
+        self.args.peek().map(String::as_str)
+    }
+
+    /// The value following `flag`, or exit 2 with a precise message.
+    pub fn value(&mut self, flag: &str) -> String {
+        match self.args.next() {
+            Some(v) => v,
+            None => fail(format!("{flag} needs a value")),
+        }
+    }
+
+    /// The value following `flag` parsed as `T`, or exit 2 naming the flag,
+    /// what it expects, and what it got.
+    pub fn parsed<T: std::str::FromStr>(&mut self, flag: &str, expects: &str) -> T {
+        let raw = self.value(flag);
+        match raw.parse() {
+            Ok(v) => v,
+            Err(_) => fail(format!("{flag} expects {expects}, got '{raw}'")),
+        }
+    }
+
+    /// The `I/N` shard assignment following `flag`, or exit 2.
+    pub fn shard(&mut self, flag: &str) -> (usize, usize) {
+        let raw = self.value(flag);
+        match parse_shard(&raw) {
+            Ok(s) => s,
+            Err(e) => fail(format!("{flag}: {e}")),
+        }
+    }
+}
+
+impl Iterator for ArgStream {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        self.args.next()
+    }
+}
+
+/// The one `I/N` shard-assignment parser, shared with the spec-file
+/// `defaults.shard` field so the two syntaxes can never drift.
+pub use vmv_sweep::parse_shard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parsing_accepts_exactly_valid_assignments() {
+        assert_eq!(parse_shard("0/1"), Ok((0, 1)));
+        assert_eq!(parse_shard("3/8"), Ok((3, 8)));
+        assert_eq!(parse_shard(" 1 / 2 "), Ok((1, 2)));
+        for bad in [
+            "", "1", "1/", "/2", "a/2", "1/b", "2/2", "3/2", "1/0", "-1/2",
+        ] {
+            let err = parse_shard(bad).expect_err(bad);
+            assert!(err.contains(bad.trim()), "{err} should quote '{bad}'");
+        }
+    }
+
+    #[test]
+    fn stream_walks_values_in_order() {
+        let mut s = ArgStream::from_vec(vec!["--out".into(), "x.jsonl".into(), "--demo".into()]);
+        assert_eq!(s.next().as_deref(), Some("--out"));
+        assert_eq!(s.peek(), Some("x.jsonl"));
+        assert_eq!(s.value("--out"), "x.jsonl");
+        assert_eq!(s.next().as_deref(), Some("--demo"));
+        assert_eq!(s.next(), None);
+    }
+}

@@ -28,9 +28,9 @@ use vmv_core::{simulate, variant_for};
 use vmv_kernels::Benchmark;
 use vmv_machine::all_configs;
 use vmv_mem::MemoryModel;
-use vmv_sweep::{schedule_fingerprint, Axis, Json, SweepSpec};
+use vmv_sweep::{schedule_fingerprint, Json, SpecFile};
 
-fn usage() -> ! {
+fn usage() {
     eprintln!(
         "usage: bench [--json BENCH.json] [--min-scps N] [--repeat N]\n\
          \n\
@@ -41,7 +41,6 @@ fn usage() -> ! {
          --repeat N      simulate each prepared program N times (default 1;\n\
          \x20               raises timer resolution on fast machines)"
     );
-    std::process::exit(1)
 }
 
 /// Wall-clock seconds of one closure invocation.
@@ -158,20 +157,12 @@ fn bench_table2(repeat: u32) -> StageTotals {
 /// Realistic model, one compile per distinct schedule key (exactly what the
 /// sweep executor's compile cache achieves), re-simulated at every point.
 fn bench_synthetic(repeat: u32) -> StageTotals {
-    let spec = SweepSpec::new()
-        .axis(Axis::issue_width(&[2, 4]))
-        .axis(Axis::vector_units(&[1, 2, 4]))
-        .axis(Axis::vector_lanes(&[1, 2, 4, 8, 16]))
-        .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
-        .axis(Axis::mem_latency(&[100, 500]))
-        .constraint("lane budget: units x lanes <= 32", |m, _| {
-            m.vector_units as u32 * m.vector_lanes <= 32
-        });
-    let points = spec.expand().points;
+    let lowered = SpecFile::demo().lower().expect("demo spec lowers");
+    let points = lowered.spec.expand().points;
     let mut t = StageTotals::new();
     let mut cache: std::collections::HashMap<String, std::sync::Arc<vmv_core::Prepared>> =
         std::collections::HashMap::new();
-    for bench in [Benchmark::GsmDec, Benchmark::GsmEnc] {
+    for bench in lowered.benchmarks {
         for point in &points {
             let key = format!("{}|{}", bench.name(), schedule_fingerprint(&point.machine));
             let prepared = match cache.get(&key) {
@@ -217,25 +208,25 @@ fn main() {
     let mut json_path = "BENCH_sim.json".to_string();
     let mut min_scps: Option<f64> = None;
     let mut repeat = 1u32;
-    let mut args = std::env::args().skip(1);
+    let mut args = vmv_bench::args::ArgStream::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json_path = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_path = args.value("--json"),
             "--min-scps" => {
-                min_scps = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                )
+                min_scps = Some(args.parsed("--min-scps", "a throughput floor in cycles/second"))
             }
             "--repeat" => {
-                repeat = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| usage())
+                let n: u32 = args.parsed("--repeat", "a repeat count of at least 1");
+                if n < 1 {
+                    vmv_bench::args::fail("--repeat expects a repeat count of at least 1, got '0'");
+                }
+                repeat = n;
             }
-            _ => usage(),
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => vmv_bench::args::fail(format!("unknown argument '{other}'")),
         }
     }
 

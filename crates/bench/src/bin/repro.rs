@@ -44,14 +44,18 @@ fn suite_json(label: &str, suite: &Suite, wall_seconds: f64) -> Json {
 fn main() {
     let mut selector: Option<String> = None;
     let mut json_path: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = vmv_bench::args::ArgStream::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => {
-                json_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--json needs a path");
-                    std::process::exit(1);
-                }))
+            "--json" => json_path = Some(args.value("--json")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [table1|fig1|fig5a|fig5b|fig6|fig7|table3|all] [--json PATH]"
+                );
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                vmv_bench::args::fail(format!("unknown argument '{flag}'"))
             }
             other => selector = Some(other.to_string()),
         }
@@ -62,10 +66,9 @@ fn main() {
     ];
     // Validate before running the (expensive) measurement matrix.
     if !SELECTORS.contains(&selector.as_str()) {
-        eprintln!(
+        vmv_bench::args::fail(format!(
             "unknown selector '{selector}' (use table1|fig1|fig5a|fig5b|fig6|fig7|table3|all)"
-        );
-        std::process::exit(1);
+        ));
     }
 
     let need_perfect = matches!(selector.as_str(), "all" | "fig5a") || json_path.is_some();

@@ -1,95 +1,96 @@
-//! Design-space exploration driver.
+//! Design-space exploration driver, driven by declarative spec files.
 //!
 //! ```text
 //! cargo run --release -p vmv-bench --bin sweep -- --demo
-//! cargo run --release -p vmv-bench --bin sweep -- --demo --threads 4 \
-//!     --out sweep_results.jsonl --json BENCH_sweep.json
+//! cargo run --release -p vmv-bench --bin sweep -- --print-spec > demo.json
+//! cargo run --release -p vmv-bench --bin sweep -- --spec demo.json \
+//!     --threads 4 --out sweep_results.jsonl --json BENCH_sweep.json
+//! cargo run --release -p vmv-bench --bin sweep -- \
+//!     --spec examples/specs/latency_tolerance.json
 //! cargo run --release -p vmv-bench --bin sweep -- --merge shard1.jsonl \
 //!     shard2.jsonl --out merged.jsonl
 //! cargo run --release -p vmv-bench --bin sweep -- --compact --out merged.jsonl
 //! ```
 //!
-//! `--demo` expands a built-in specification of well over 100 distinct
-//! machine configurations (issue width × vector units × lanes × L2 size ×
-//! memory latency, under a lane-budget constraint), runs the GSM pair on
-//! every point in parallel, streams results to a JSONL store and prints the
-//! cost/cycles Pareto frontier plus a per-axis sensitivity summary.
-//! Re-running with the same `--out` file skips every completed run key.
+//! A sweep is described by a JSON **spec file** (axes, constraints,
+//! execution defaults — see the `vmv_sweep::specfile` docs and
+//! `examples/specs/`), not by Rust code: `--spec FILE` parses, validates and
+//! runs it; `--print-spec` emits the canonical serialization (of `--spec
+//! FILE` when given, of the built-in demo spec otherwise); `--fingerprint`
+//! prints the 16-hex-digit content hash of the experiment definition; and
+//! `--demo` is sugar for running the embedded demo spec (112 distinct
+//! machines, GSM pair, lane-budget constraint).  Every spec-driven result
+//! store opens with a spec-header line naming that fingerprint, so a JSONL
+//! file alone says which experiment it answers; re-running with the same
+//! `--out` skips every completed run key.
 //!
 //! `--merge` unions JSONL shard files (e.g. from per-machine distributed
-//! sweeps) into `--out` by content-derived run key; `--compact` drops
-//! superseded duplicate keys from `--out` and rewrites it sorted by key.
+//! sweeps) into `--out` by content-derived run key, warning when shard
+//! spec headers disagree; `--compact` drops superseded duplicate keys from
+//! `--out` and rewrites it sorted by key, preserving the header.
 
-use vmv_kernels::Benchmark;
+use vmv_bench::args::{fail, ArgStream};
 use vmv_sweep::{
     pareto_report, render_pareto, render_sensitivity, schedule_fingerprint, sensitivity,
-    shard_points, Axis, ExecOptions, Json, ResultStore, SweepSpec,
+    shard_points, ExecOptions, Json, ResultStore, SpecFile,
 };
 
-fn usage() -> ! {
+fn usage() {
     eprintln!(
-        "usage: sweep --demo [--threads N] [--shard I/N] [--out RESULTS.jsonl]\n\
-         \x20            [--json BENCH.json]\n\
+        "usage: sweep --spec FILE.json | --demo  [--threads N] [--shard I/N]\n\
+         \x20            [--out RESULTS.jsonl] [--json BENCH.json]\n\
+         \x20      sweep --print-spec [--spec FILE.json]\n\
+         \x20      sweep --fingerprint [--spec FILE.json]\n\
          \x20      sweep --merge SHARD.jsonl [SHARD.jsonl ...] --out RESULTS.jsonl\n\
          \x20      sweep --compact --out RESULTS.jsonl\n\
          \n\
-         --demo          run the built-in demonstration sweep\n\
+         --spec FILE     run the sweep described by a declarative JSON spec\n\
+         \x20               file (axes + constraints + defaults; see\n\
+         \x20               examples/specs/)\n\
+         --demo          run the built-in demonstration spec\n\
+         --print-spec    print the canonical JSON serialization of the spec\n\
+         \x20               (the demo spec without --spec) and exit\n\
+         --fingerprint   print the spec's 16-hex content fingerprint and exit\n\
          --shard I/N     run only design points with index = I (mod N) of the\n\
          \x20               deduplicated expansion (deterministic, so N\n\
          \x20               machines with I = 0..N-1 partition the sweep; the\n\
          \x20               per-shard result files compose with --merge)\n\
          --merge SHARDS  union shard files into --out by content-derived\n\
-         \x20               run key (first occurrence of a key wins)\n\
+         \x20               run key (first occurrence of a key wins; warns\n\
+         \x20               when shard spec headers disagree)\n\
          --compact       drop superseded duplicate keys from --out and\n\
-         \x20               rewrite it sorted by key\n\
-         --threads N     worker threads (default: one per core, max 16)\n\
-         --out PATH      JSONL result store (default: sweep_results.jsonl);\n\
-         \x20               completed run keys found there are skipped\n\
+         \x20               rewrite it sorted by key (spec header preserved)\n\
+         --threads N     worker threads (default: spec file, else one per\n\
+         \x20               core, max 16)\n\
+         --out PATH      JSONL result store (default: spec file, else\n\
+         \x20               sweep_results.jsonl); completed run keys found\n\
+         \x20               there are skipped\n\
          --json PATH     also write a BENCH-style JSON artifact (wall clock,\n\
          \x20               cache counters, per-run cycles)"
     );
-    std::process::exit(1)
-}
-
-/// Parse an `I/N` shard specification.
-fn parse_shard(s: &str) -> Option<(usize, usize)> {
-    let (i, n) = s.split_once('/')?;
-    let i: usize = i.parse().ok()?;
-    let n: usize = n.parse().ok()?;
-    if n >= 1 && i < n {
-        Some((i, n))
-    } else {
-        None
-    }
-}
-
-/// The built-in demonstration sweep: 2 × 3 × 5 × 2 × 2 = 120 raw points,
-/// 112 after the lane-budget constraint, all distinct.
-fn demo_spec() -> SweepSpec {
-    SweepSpec::new()
-        .axis(Axis::issue_width(&[2, 4]))
-        .axis(Axis::vector_units(&[1, 2, 4]))
-        .axis(Axis::vector_lanes(&[1, 2, 4, 8, 16]))
-        .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
-        .axis(Axis::mem_latency(&[100, 500]))
-        .constraint("lane budget: units x lanes <= 32", |m, _| {
-            m.vector_units as u32 * m.vector_lanes <= 32
-        })
 }
 
 fn main() {
     let mut demo = false;
+    let mut spec_path: Option<String> = None;
+    let mut print_spec = false;
+    let mut print_fingerprint = false;
     let mut compact = false;
     let mut merge_shards: Option<Vec<String>> = None;
     let mut shard: Option<(usize, usize)> = None;
-    let mut threads = 0usize;
-    let mut out_path = "sweep_results.jsonl".to_string();
+    let mut threads: Option<usize> = None;
+    let mut out_flag: Option<String> = None;
     let mut json_path: Option<String> = None;
 
-    let mut args = std::env::args().skip(1).peekable();
+    let mut args = ArgStream::new();
+    let mut any = false;
     while let Some(arg) = args.next() {
+        any = true;
         match arg.as_str() {
             "--demo" => demo = true,
+            "--spec" => spec_path = Some(args.value("--spec")),
+            "--print-spec" => print_spec = true,
+            "--fingerprint" => print_fingerprint = true,
             "--compact" => compact = true,
             "--merge" => {
                 let mut shards = Vec::new();
@@ -100,34 +101,79 @@ fn main() {
                     shards.push(args.next().unwrap());
                 }
                 if shards.is_empty() {
-                    usage();
+                    fail("--merge needs at least one shard file");
                 }
                 merge_shards = Some(shards);
             }
-            "--shard" => {
-                shard = Some(
-                    args.next()
-                        .as_deref()
-                        .and_then(parse_shard)
-                        .unwrap_or_else(|| usage()),
-                )
+            "--shard" => shard = Some(args.shard("--shard")),
+            "--threads" => threads = Some(args.parsed("--threads", "a non-negative thread count")),
+            "--out" => out_flag = Some(args.value("--out")),
+            "--json" => json_path = Some(args.value("--json")),
+            "--help" | "-h" => {
+                usage();
+                return;
             }
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
-            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
-            _ => usage(),
+            other => fail(format!("unknown argument '{other}'")),
         }
     }
+    if !any {
+        usage();
+        std::process::exit(2);
+    }
+
+    // Resolve the spec: --spec and --demo are mutually exclusive; bare
+    // --print-spec / --fingerprint use the embedded demo spec.
+    if demo && spec_path.is_some() {
+        fail("--demo and --spec are mutually exclusive (use one experiment definition)");
+    }
+    let spec: Option<SpecFile> = match &spec_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => fail(format!("cannot read spec file {path}: {e}")),
+            };
+            match SpecFile::parse(&text) {
+                Ok(s) => Some(s),
+                Err(e) => fail(format!("spec file {path}: {e}")),
+            }
+        }
+        None if demo || print_spec || print_fingerprint => Some(SpecFile::demo()),
+        None => None,
+    };
+
+    if print_spec || print_fingerprint {
+        let spec = spec.expect("resolved above");
+        if print_fingerprint {
+            println!("{}", spec.fingerprint());
+        } else {
+            println!("{}", spec.canonical().render_pretty());
+        }
+        return;
+    }
+
+    let out_path = out_flag
+        .or_else(|| spec.as_ref().and_then(|s| s.defaults.out.clone()))
+        .unwrap_or_else(|| "sweep_results.jsonl".to_string());
 
     if let Some(shards) = merge_shards {
         let store = ResultStore::open(&out_path);
         match store.merge_from(&shards) {
             Ok(stats) => {
+                // Name each disagreeing shard precisely: the merge itself
+                // tracked them against the reference header it adopted.
+                if let Some(reference) = &stats.reference_header {
+                    for (path, shard_header) in &stats.mismatched_shards {
+                        eprintln!(
+                            "WARNING: {} was produced by spec '{}' (fingerprint {}), \
+                             not '{}' ({})",
+                            path.display(),
+                            shard_header.name,
+                            shard_header.fingerprint,
+                            reference.name,
+                            reference.fingerprint
+                        );
+                    }
+                }
                 println!(
                     "merged {} shard files into {out_path}: {} records appended, \
                      {} duplicate keys skipped ({} scanned, {} already present)",
@@ -143,7 +189,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if !demo && !compact {
+        if spec.is_none() && !compact {
             return;
         }
     }
@@ -160,17 +206,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        if !demo {
+        if spec.is_none() {
             return;
         }
     }
-    if !demo {
-        usage();
-    }
+    let spec = match spec {
+        Some(s) => s,
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    };
 
-    let spec = demo_spec();
-    let expansion = spec.expand();
-    let benchmarks = vec![Benchmark::GsmDec, Benchmark::GsmEnc];
+    let fingerprint = spec.fingerprint();
+    let lowered = match spec.lower() {
+        Ok(l) => l,
+        Err(e) => fail(format!("spec: {e}")),
+    };
+    let threads = threads.or(spec.defaults.threads).unwrap_or(0);
+    let shard = shard.or(spec.defaults.shard);
+    let benchmarks = lowered.benchmarks.clone();
+
+    println!("spec '{}' (fingerprint {fingerprint})", spec.name);
+    let expansion = lowered.spec.expand();
     println!(
         "expanded {} design points ({} raw, {} rejected by constraints, {} duplicates)",
         expansion.points.len(),
@@ -199,11 +257,16 @@ fn main() {
         .collect();
     let expected_schedules = distinct_schedule_keys.len() * benchmarks.len();
 
-    let store = ResultStore::open(&out_path);
-    let opts = ExecOptions {
-        benchmarks: benchmarks.clone(),
-        workers: threads,
-    };
+    let store = ResultStore::with_header(&out_path, spec.store_header());
+    match store.read_header() {
+        Ok(Some(existing)) if existing.fingerprint != fingerprint => eprintln!(
+            "WARNING: {out_path} was created by spec '{}' (fingerprint {}); runs of both \
+             specs will coexist in it",
+            existing.name, existing.fingerprint
+        ),
+        _ => {}
+    }
+    let opts = ExecOptions::for_spec(&lowered, threads);
     let report = match vmv_sweep::run_sweep(&points, &opts, Some(&store)) {
         Ok(r) => r,
         Err(e) => {
@@ -284,7 +347,8 @@ fn main() {
 
     if let Some(path) = json_path {
         let artifact = Json::Obj(vec![
-            ("name".into(), Json::str("sweep_demo")),
+            ("name".into(), Json::str(format!("sweep_{}", spec.name))),
+            ("spec_fingerprint".into(), Json::str(&fingerprint)),
             ("wall_seconds".into(), Json::Num(report.wall_seconds)),
             ("points".into(), Json::u64(points.len() as u64)),
             ("runs".into(), Json::u64(report.records.len() as u64)),

@@ -1,4 +1,7 @@
-//! Helper routines shared by the `repro` binary and the Criterion benches.
+//! Helper routines shared by the `repro`/`sweep`/`bench` binaries and the
+//! Criterion benches.
+
+pub mod args;
 
 use vmv_core::Suite;
 use vmv_mem::MemoryModel;

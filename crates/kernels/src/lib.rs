@@ -59,6 +59,15 @@ impl Benchmark {
         }
     }
 
+    /// Inverse of [`Benchmark::name`], case-insensitive — the lookup sweep
+    /// spec files and result-store readers use to resolve benchmark names.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
     /// Human-readable names of the vector regions (Table 1), in region-id
     /// order (R1, R2, R3).
     pub fn vector_region_names(self) -> &'static [&'static str] {
@@ -87,5 +96,24 @@ impl Benchmark {
             Benchmark::GsmEnc => gsm_enc::build(variant),
             Benchmark::GsmDec => gsm_dec::build(variant),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(
+                Benchmark::from_name(&b.name().to_ascii_lowercase()),
+                Some(b),
+                "lookup must be case-insensitive"
+            );
+        }
+        assert_eq!(Benchmark::from_name("GSM"), None);
+        assert_eq!(Benchmark::from_name(""), None);
     }
 }

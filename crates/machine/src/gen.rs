@@ -40,6 +40,11 @@ pub struct GenParams {
     /// count, latencies).  Defaults to the paper's §4.2 hierarchy; the sweep
     /// crate's cache-geometry axes mutate this before generation.
     pub memory: MemoryParams,
+    /// Vector-chaining override: `None` keeps the ISA-family default
+    /// (chaining on for Vector machines, meaningless and off otherwise);
+    /// `Some(false)` is the §3.3 chaining ablation the latency-tolerance
+    /// sweeps explore.
+    pub chaining: Option<bool>,
 }
 
 impl Default for GenParams {
@@ -51,6 +56,7 @@ impl Default for GenParams {
             vector_lanes: 4,
             l2_port_elems: 4,
             memory: MemoryParams::default(),
+            chaining: None,
         }
     }
 }
@@ -67,7 +73,7 @@ fn scale(issue_width: usize) -> usize {
 pub fn generate(p: &GenParams) -> MachineConfig {
     let s = scale(p.issue_width);
     let int_regs = 32 * (s as u32 + 1);
-    match p.isa {
+    let mut config = match p.isa {
         IsaSupport::Vliw => MachineConfig {
             name: format!("{}w VLIW", p.issue_width),
             isa: IsaSupport::Vliw,
@@ -138,7 +144,11 @@ pub fn generate(p: &GenParams) -> MachineConfig {
                 chaining: true,
             }
         }
+    };
+    if let Some(chaining) = p.chaining {
+        config.chaining = chaining;
     }
+    config
 }
 
 #[cfg(test)]
@@ -241,6 +251,25 @@ mod tests {
         assert_eq!(v.regs.acc, 8);
         assert_eq!(v.vector_lanes, 8);
         assert!(v.chaining);
+    }
+
+    #[test]
+    fn chaining_override_is_applied_after_the_family_default() {
+        let base = GenParams {
+            isa: IsaSupport::Vector,
+            issue_width: 2,
+            ..Default::default()
+        };
+        assert!(generate(&base).chaining, "vector machines chain by default");
+        let ablated = generate(&GenParams {
+            chaining: Some(false),
+            ..base
+        });
+        assert!(!ablated.chaining);
+        // Everything else is untouched by the override.
+        let mut reference = generate(&base);
+        reference.chaining = false;
+        assert_eq!(ablated, reference);
     }
 
     #[test]

@@ -38,6 +38,14 @@ impl Default for ExecOptions {
 }
 
 impl ExecOptions {
+    /// Options for the benchmark subset a lowered spec file selects.
+    pub fn for_spec(lowered: &crate::specfile::LoweredSpec, workers: usize) -> ExecOptions {
+        ExecOptions {
+            benchmarks: lowered.benchmarks.clone(),
+            workers,
+        }
+    }
+
     fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers

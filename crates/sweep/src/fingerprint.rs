@@ -1,6 +1,6 @@
 //! Canonical, content-derived fingerprints of machine configurations.
 //!
-//! Two textual fingerprints exist:
+//! Three textual fingerprints exist in the crate:
 //!
 //! * the **schedule fingerprint** covers exactly the fields the static
 //!   scheduler reads (ISA family, issue width, functional units, lanes,
@@ -8,7 +8,11 @@
 //!   compile-memoization key;
 //! * the **full fingerprint** additionally covers the memory-hierarchy
 //!   parameters — together with benchmark, variant and memory model it
-//!   derives the stable run key of the result store.
+//!   derives the stable run key of the result store;
+//! * the **spec fingerprint** ([`crate::specfile::SpecFile::fingerprint`])
+//!   hashes a whole experiment definition (canonical axes + constraints)
+//!   via the same [`fnv1a64`] — the identity a result store's header line
+//!   carries.
 //!
 //! The configuration *name* is deliberately excluded from both: renaming a
 //! configuration must never change what is cached or re-run.

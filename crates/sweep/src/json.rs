@@ -111,6 +111,54 @@ impl Json {
         }
     }
 
+    /// Render as indented multi-line JSON (two-space indent).  Human-facing
+    /// output only (`sweep --print-spec`); [`Json::render`] remains the
+    /// canonical single-line form that fingerprints hash.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out
+    }
+
+    fn render_pretty_into(&self, out: &mut String, indent: usize) {
+        fn pad(out: &mut String, indent: usize) {
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+        }
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_pretty_into(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    escape_into(k, out);
+                    out.push_str(": ");
+                    v.render_pretty_into(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+            scalar_or_empty => scalar_or_empty.render_into(out),
+        }
+    }
+
     /// Parse a complete JSON document (trailing whitespace allowed).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
@@ -372,6 +420,25 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::u64(42).render(), "42");
         assert_eq!(Json::Num(1.5).render(), "1.5");
+    }
+
+    #[test]
+    fn pretty_rendering_parses_back_to_the_same_value() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::str("demo")),
+            (
+                "axes".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("axis".into(), Json::str("issue_width")),
+                    ("values".into(), Json::Arr(vec![Json::u64(2), Json::u64(4)])),
+                ])]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains('\n'));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\"empty\": []"), "{pretty}");
     }
 
     #[test]

@@ -5,10 +5,18 @@
 //!
 //! * [`SweepSpec`] declares parameter **axes** over
 //!   [`vmv_machine::MachineConfig`] (issue width, vector units, lanes, port
-//!   widths, cache geometry, latencies, memory model) plus constraint
-//!   predicates, and expands the cartesian product into named, deduplicated
-//!   design points — structural axes go through the Table 2 scaling rules
-//!   of `vmv_machine::gen`, so every point is a plausible machine;
+//!   widths, cache geometry, latencies, chaining, memory model) plus
+//!   constraint predicates, and expands the cartesian product into named,
+//!   deduplicated design points — structural axes go through the Table 2
+//!   scaling rules of `vmv_machine::gen`, so every point is a plausible
+//!   machine;
+//! * [`SpecFile`] is the **declarative** form of the same thing: axes
+//!   ([`AxisSpec`]) and constraints ([`ConstraintSpec`]) as serializable
+//!   values, parsed from (and canonically re-emitted to) JSON, content-
+//!   hashed ([`SpecFile::fingerprint`]) and lowered onto the closure
+//!   machinery — an experiment is a checked-in `.json` file, and every
+//!   spec-driven result store opens with a [`StoreHeader`] line naming the
+//!   spec that produced it;
 //! * [`run_sweep`] executes `points × benchmarks` on a work-stealing thread
 //!   pool, with a [`CompileCache`] keyed by `(benchmark, ISA variant,
 //!   schedule-relevant machine fields)` so each program is **scheduled once**
@@ -43,6 +51,7 @@ pub mod json;
 pub mod pareto;
 pub mod sensitivity;
 pub mod spec;
+pub mod specfile;
 pub mod store;
 
 pub use cache::{CacheCounters, CompileCache};
@@ -51,7 +60,11 @@ pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
 pub use json::{Json, JsonError};
 pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
 pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
-pub use spec::{shard_points, Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec};
+pub use spec::{
+    parse_shard, shard_points, Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec,
+};
+pub use specfile::{AxisSpec, ConstraintSpec, LoweredSpec, SpecDefaults, SpecError, SpecFile};
 pub use store::{
     matched_records, point_key_index, run_key, CompactStats, MergeStats, ResultStore, RunRecord,
+    StoreHeader,
 };

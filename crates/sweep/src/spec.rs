@@ -238,6 +238,17 @@ impl Axis {
         )
     }
 
+    /// Vector chaining on/off (the §3.3 ablation; overrides the ISA-family
+    /// default via [`GenParams::chaining`]).
+    pub fn chaining(values: &[bool]) -> Axis {
+        Axis::from_fn(
+            "chaining",
+            values,
+            |v| if v { "chain" } else { "nochain" }.to_string(),
+            |v, d| d.gen.chaining = Some(v),
+        )
+    }
+
     /// Memory model (perfect / realistic).
     pub fn memory_model(values: &[MemoryModel]) -> Axis {
         Axis::from_fn(
@@ -419,6 +430,20 @@ pub fn shard_points(points: &[SweepPoint], shard: usize, count: usize) -> Vec<Sw
         .collect()
 }
 
+/// Parse an `I/N` shard assignment with `0 <= I < N` — the one parser behind
+/// the CLI `--shard` flag and the spec-file `defaults.shard` field.
+pub fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let err = || format!("expected a shard assignment I/N with 0 <= I < N, got '{s}'");
+    let (i, n) = s.split_once('/').ok_or_else(err)?;
+    let i: usize = i.trim().parse().map_err(|_| err())?;
+    let n: usize = n.trim().parse().map_err(|_| err())?;
+    if n >= 1 && i < n {
+        Ok((i, n))
+    } else {
+        Err(err())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +578,24 @@ mod tests {
         let direct = gen::generate(&params);
         assert_eq!(direct.memory, from_spec.memory);
         assert_eq!(direct.memory.l2_banks, 8);
+    }
+
+    #[test]
+    fn chaining_axis_toggles_the_schedule_relevant_flag() {
+        let e = SweepSpec::new()
+            .axis(Axis::chaining(&[true, false]))
+            .expand();
+        assert_eq!(e.points.len(), 2);
+        assert!(e.points[0].machine.chaining);
+        assert!(!e.points[1].machine.chaining);
+        assert_eq!(e.points[0].name, "chain");
+        assert_eq!(e.points[1].name, "nochain");
+        // Chaining changes what the scheduler may overlap, so the two points
+        // must not share a compile-cache entry.
+        assert_ne!(
+            crate::fingerprint::schedule_fingerprint(&e.points[0].machine),
+            crate::fingerprint::schedule_fingerprint(&e.points[1].machine)
+        );
     }
 
     #[test]

@@ -126,8 +126,51 @@ pub fn matched_records<'r>(
         .collect()
 }
 
+/// The self-describing first line of a spec-driven JSONL store: the name,
+/// content fingerprint and full canonical serialization of the spec that
+/// produced the records.  Readers that only want records can ignore it (it
+/// has no `key` field, so [`RunRecord::from_json`] rejects it), but any tool
+/// holding just the file can recover *what experiment it answers*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreHeader {
+    /// Spec display name.
+    pub name: String,
+    /// Semantic content hash of the spec (16 hex digits).
+    pub fingerprint: String,
+    /// Canonical JSON of the spec itself.
+    pub spec: Json,
+}
+
+/// Schema version tag of the header line.
+const SPEC_HEADER_VERSION: u64 = 1;
+
+impl StoreHeader {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("spec_header".into(), Json::u64(SPEC_HEADER_VERSION)),
+            ("name".into(), Json::str(&self.name)),
+            ("fingerprint".into(), Json::str(&self.fingerprint)),
+            ("spec".into(), self.spec.clone()),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Option<StoreHeader> {
+        // An unknown version tag means unknown field semantics: treat the
+        // line as opaque (the store reads as header-less) rather than
+        // mis-parsing it as v1.
+        v.get("spec_header")?
+            .as_u64()
+            .filter(|&version| version == SPEC_HEADER_VERSION)?;
+        Some(StoreHeader {
+            name: v.get("name")?.as_str()?.to_string(),
+            fingerprint: v.get("fingerprint")?.as_str()?.to_string(),
+            spec: v.get("spec")?.clone(),
+        })
+    }
+}
+
 /// Outcome of one [`ResultStore::merge_from`] invocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MergeStats {
     /// Records already in the destination store before the merge.
     pub existing: usize,
@@ -137,6 +180,13 @@ pub struct MergeStats {
     pub merged: usize,
     /// Shard records skipped because their key was already present.
     pub duplicates: usize,
+    /// The spec header the destination ended up carrying: its own
+    /// (configured or on disk), else the first shard header seen.
+    pub reference_header: Option<StoreHeader>,
+    /// `(shard path, its header)` for every shard whose spec fingerprint
+    /// disagrees with the reference (records are still merged — keys are
+    /// content-derived — but the mixture is worth a warning).
+    pub mismatched_shards: Vec<(PathBuf, StoreHeader)>,
 }
 
 /// Outcome of one [`ResultStore::compact`] invocation.
@@ -148,9 +198,12 @@ pub struct CompactStats {
     pub dropped: usize,
 }
 
-/// An append-only JSON Lines file of [`RunRecord`]s.
+/// An append-only JSON Lines file of [`RunRecord`]s, optionally prefixed by
+/// a [`StoreHeader`] line describing the spec that produced it.
 pub struct ResultStore {
     path: PathBuf,
+    /// Header written as the first line when this store creates its file.
+    header: Option<StoreHeader>,
 }
 
 impl ResultStore {
@@ -158,11 +211,38 @@ impl ResultStore {
     pub fn open(path: impl AsRef<Path>) -> ResultStore {
         ResultStore {
             path: path.as_ref().to_path_buf(),
+            header: None,
+        }
+    }
+
+    /// Open a store that will stamp `header` as its first line when it
+    /// creates (or first writes into an empty) file — the self-describing
+    /// form every spec-driven sweep uses.
+    pub fn with_header(path: impl AsRef<Path>, header: StoreHeader) -> ResultStore {
+        ResultStore {
+            path: path.as_ref().to_path_buf(),
+            header: Some(header),
         }
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The spec header on disk, if the file exists and starts with one.
+    /// Only the first line is read.
+    pub fn read_header(&self) -> std::io::Result<Option<StoreHeader>> {
+        let file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut first = String::new();
+        std::io::BufReader::new(file).read_line(&mut first)?;
+        Ok(Json::parse(first.trim())
+            .ok()
+            .as_ref()
+            .and_then(StoreHeader::from_json))
     }
 
     /// All run keys already persisted.  A missing file is an empty store;
@@ -201,6 +281,12 @@ impl ResultStore {
     ///
     /// This is the multi-machine sharding story: each worker sweeps into its
     /// own JSONL file, and `merge` unions them by content-derived key.
+    /// Spec headers travel with the merge: the destination's own header wins
+    /// (configured via [`ResultStore::with_header`] or already on disk);
+    /// an empty destination adopts the first shard header it sees; every
+    /// shard whose header fingerprint disagrees with that reference is
+    /// listed in [`MergeStats::mismatched_shards`] (its records still merge —
+    /// keys are content-derived — but the mixture deserves a warning).
     pub fn merge_from(&self, shards: &[impl AsRef<Path>]) -> std::io::Result<MergeStats> {
         let mut seen = self.completed_keys()?;
         let existing = seen.len();
@@ -208,8 +294,21 @@ impl ResultStore {
             existing,
             ..MergeStats::default()
         };
+        stats.reference_header = match self.read_header()? {
+            Some(on_disk) => Some(on_disk),
+            None => self.header.clone(),
+        };
         for shard in shards {
             let shard_store = ResultStore::open(shard.as_ref());
+            if let Some(shard_header) = shard_store.read_header()? {
+                match &stats.reference_header {
+                    Some(r) if r.fingerprint != shard_header.fingerprint => stats
+                        .mismatched_shards
+                        .push((shard.as_ref().to_path_buf(), shard_header)),
+                    Some(_) => {}
+                    None => stats.reference_header = Some(shard_header),
+                }
+            }
             let mut fresh = Vec::new();
             for record in shard_store.load()? {
                 stats.scanned += 1;
@@ -220,7 +319,13 @@ impl ResultStore {
                 }
             }
             stats.merged += fresh.len();
-            self.append(&fresh)?;
+            // Append through a store carrying the reference header, so an
+            // empty destination is stamped before its first record.
+            ResultStore {
+                path: self.path.clone(),
+                header: stats.reference_header.clone(),
+            }
+            .append(&fresh)?;
         }
         Ok(stats)
     }
@@ -228,10 +333,15 @@ impl ResultStore {
     /// Compact the store in place: drop superseded duplicate keys (the first
     /// record for a key is authoritative, matching the [`matched_records`]
     /// join policy; later duplicates — e.g. from `cat`-merged shards — are
-    /// dropped) and rewrite the file sorted by run key.  The rewrite goes
-    /// through a temporary file and an atomic rename, so a crash mid-compact
-    /// never loses the store.
+    /// dropped) and rewrite the file sorted by run key.  A spec header on
+    /// disk (or configured on this store) is preserved as the first line.
+    /// The rewrite goes through a temporary file and an atomic rename, so a
+    /// crash mid-compact never loses the store.
     pub fn compact(&self) -> std::io::Result<CompactStats> {
+        let header = match self.read_header()? {
+            Some(on_disk) => Some(on_disk),
+            None => self.header.clone(),
+        };
         let records = self.load()?;
         let scanned = records.len();
         let mut seen = HashSet::new();
@@ -242,6 +352,10 @@ impl ResultStore {
         kept.sort_by(|a, b| a.key.cmp(&b.key));
 
         let mut buf = String::new();
+        if let Some(h) = &header {
+            buf.push_str(&h.to_json().render());
+            buf.push('\n');
+        }
         for r in &kept {
             buf.push_str(&r.to_json().render());
             buf.push('\n');
@@ -276,9 +390,15 @@ impl ResultStore {
             .append(true)
             .open(&self.path)?;
         let mut buf = String::new();
-        // A torn final line (interrupted earlier run) must not swallow the
-        // first new record: re-open on a fresh line.
-        if !ends_with_newline(&file)? {
+        if file.metadata()?.len() == 0 {
+            // First write into this file: stamp the spec header line.
+            if let Some(h) = &self.header {
+                buf.push_str(&h.to_json().render());
+                buf.push('\n');
+            }
+        } else if !ends_with_newline(&file)? {
+            // A torn final line (interrupted earlier run) must not swallow
+            // the first new record: re-open on a fresh line.
             buf.push('\n');
         }
         for r in records {
@@ -516,6 +636,139 @@ mod tests {
             }
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn header(fingerprint: &str) -> StoreHeader {
+        StoreHeader {
+            name: "test_spec".to_string(),
+            fingerprint: fingerprint.to_string(),
+            spec: Json::Obj(vec![("axes".into(), Json::Arr(vec![]))]),
+        }
+    }
+
+    #[test]
+    fn header_is_stamped_once_and_invisible_to_record_readers() {
+        let path = temp_path("header");
+        let store = ResultStore::with_header(&path, header("00ff00ff00ff00ff"));
+        assert_eq!(
+            store.read_header().unwrap(),
+            None,
+            "missing file: no header"
+        );
+        store.append(&[record("aaaa000011112222", 1)]).unwrap();
+        store.append(&[record("bbbb000011112222", 2)]).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + two records");
+        assert!(text.starts_with("{\"spec_header\":1,"));
+        assert_eq!(
+            text.matches("spec_header").count(),
+            1,
+            "the header is stamped exactly once"
+        );
+
+        // Record readers never see it; header readers round-trip it.
+        assert_eq!(store.load().unwrap().len(), 2);
+        assert_eq!(store.completed_keys().unwrap().len(), 2);
+        let back = store.read_header().unwrap().unwrap();
+        assert_eq!(back, header("00ff00ff00ff00ff"));
+        // A header-less open of the same path still reads everything.
+        let plain = ResultStore::open(&path);
+        assert_eq!(plain.load().unwrap().len(), 2);
+        assert_eq!(plain.read_header().unwrap().unwrap().name, "test_spec");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_header_versions_read_as_headerless() {
+        let path = temp_path("header_version");
+        std::fs::write(
+            &path,
+            "{\"spec_header\":2,\"name\":\"future\",\"fingerprint\":\"00\",\"spec\":{}}\n",
+        )
+        .unwrap();
+        let store = ResultStore::open(&path);
+        assert_eq!(
+            store.read_header().unwrap(),
+            None,
+            "a future header version must not be mis-parsed as v1"
+        );
+        assert!(store.load().unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_preserves_the_header() {
+        let path = temp_path("compact_header");
+        let store = ResultStore::with_header(&path, header("1111222233334444"));
+        store
+            .append(&[
+                record("cccc000011112222", 3),
+                record("aaaa000011112222", 1),
+                record("cccc000011112222", 777),
+            ])
+            .unwrap();
+        // Compact through a plain open: the on-disk header must survive.
+        let stats = ResultStore::open(&path).compact().unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 2,
+                dropped: 1
+            }
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"spec_header\":1,"), "{text}");
+        assert_eq!(
+            ResultStore::open(&path).read_header().unwrap().unwrap(),
+            header("1111222233334444")
+        );
+        assert_eq!(ResultStore::open(&path).load().unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_adopts_headers_and_counts_spec_mismatches() {
+        let dest_path = temp_path("merge_header_dest");
+        let shard_a = temp_path("merge_header_a");
+        let shard_b = temp_path("merge_header_b");
+        ResultStore::with_header(&shard_a, header("aaaaaaaaaaaaaaaa"))
+            .append(&[record("aaaa000011112222", 1)])
+            .unwrap();
+        ResultStore::with_header(&shard_b, header("bbbbbbbbbbbbbbbb"))
+            .append(&[record("bbbb000011112222", 2)])
+            .unwrap();
+
+        // An empty destination adopts the first shard's header; the second
+        // shard then disagrees with it.
+        let dest = ResultStore::open(&dest_path);
+        let stats = dest.merge_from(&[&shard_a, &shard_b]).unwrap();
+        assert_eq!(stats.merged, 2);
+        assert_eq!(
+            stats.reference_header.as_ref().unwrap().fingerprint,
+            "aaaaaaaaaaaaaaaa"
+        );
+        assert_eq!(stats.mismatched_shards.len(), 1);
+        assert_eq!(stats.mismatched_shards[0].0, shard_b);
+        assert_eq!(stats.mismatched_shards[0].1.fingerprint, "bbbbbbbbbbbbbbbb");
+        assert_eq!(
+            dest.read_header().unwrap().unwrap().fingerprint,
+            "aaaaaaaaaaaaaaaa"
+        );
+        assert_eq!(dest.load().unwrap().len(), 2);
+
+        // Same-spec shards merge silently.
+        let clean_path = temp_path("merge_header_clean");
+        let clean = ResultStore::with_header(&clean_path, header("aaaaaaaaaaaaaaaa"));
+        let stats = clean.merge_from(&[&shard_a]).unwrap();
+        assert!(stats.mismatched_shards.is_empty());
+        assert_eq!(
+            clean.read_header().unwrap().unwrap().fingerprint,
+            "aaaaaaaaaaaaaaaa"
+        );
+        for p in [&dest_path, &shard_a, &shard_b, &clean_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

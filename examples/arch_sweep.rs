@@ -1,35 +1,46 @@
-//! Design-space exploration with the `vmv-sweep` engine: declare axes over
-//! the machine configuration, expand the cartesian product under a
-//! constraint, run every point in parallel (with compile memoization), and
-//! summarise the result as a cost/cycles Pareto frontier and a per-axis
-//! sensitivity ranking.
+//! Design-space exploration with the declarative `vmv-sweep` spec API:
+//! describe the experiment as data (a [`SpecFile`] — the same form the
+//! checked-in `examples/specs/*.json` files take), lower it onto the
+//! expansion machinery, run every point in parallel (with compile
+//! memoization), and summarise the result as a cost/cycles Pareto frontier
+//! and a per-axis sensitivity ranking.
 //!
 //! ```text
 //! cargo run --release --example arch_sweep
 //! ```
 
 use vector_usimd_vliw as vmv;
-use vmv::kernels::Benchmark;
 use vmv::mem::MemoryModel;
 use vmv::sweep::{
-    pareto_report, render_pareto, render_sensitivity, sensitivity, Axis, ExecOptions, SweepSpec,
+    pareto_report, render_pareto, render_sensitivity, sensitivity, AxisSpec, ConstraintSpec,
+    ExecOptions, SpecDefaults, SpecFile,
 };
 
 fn main() {
     // The question the paper answers with four fixed lanes (§3.2): how do
     // lane count and vector-unit count trade off against each other, under
-    // both memory models, if the total lane budget is capped?
-    let expansion = SweepSpec::new()
-        .axis(Axis::vector_units(&[1, 2, 4]))
-        .axis(Axis::vector_lanes(&[1, 2, 4, 8]))
-        .axis(Axis::memory_model(&[
-            MemoryModel::Perfect,
-            MemoryModel::Realistic,
-        ]))
-        .constraint("lane budget: units x lanes <= 16", |m, _| {
-            m.vector_units as u32 * m.vector_lanes <= 16
-        })
-        .expand();
+    // both memory models, if the total lane budget is capped?  As data the
+    // experiment is serializable: dump it with `canonical()`, check it in,
+    // and `sweep --spec` reruns it bit-for-bit.
+    let spec = SpecFile {
+        name: "lane_tradeoff".to_string(),
+        axes: vec![
+            AxisSpec::VectorUnits(vec![1, 2, 4]),
+            AxisSpec::VectorLanes(vec![1, 2, 4, 8]),
+            AxisSpec::MemoryModel(vec![MemoryModel::Perfect, MemoryModel::Realistic]),
+        ],
+        constraints: vec![ConstraintSpec::LaneBudget { max: 16 }],
+        defaults: SpecDefaults::default(),
+    };
+    println!(
+        "spec '{}' (fingerprint {}):\n{}\n",
+        spec.name,
+        spec.fingerprint(),
+        spec.canonical().render_pretty()
+    );
+
+    let lowered = spec.lower().expect("spec is valid");
+    let expansion = lowered.spec.expand();
     println!(
         "{} design points ({} raw, {} rejected by the lane-budget constraint)\n",
         expansion.points.len(),
@@ -37,10 +48,7 @@ fn main() {
         expansion.rejected
     );
 
-    let opts = ExecOptions {
-        benchmarks: Benchmark::ALL.to_vec(),
-        workers: 0,
-    };
+    let opts = ExecOptions::for_spec(&lowered, 0);
     let report = vmv::sweep::run_sweep(&expansion.points, &opts, None).expect("sweep runs");
     assert!(report.errors.is_empty(), "{:?}", report.errors);
     println!(

@@ -1,0 +1,222 @@
+//! Round-trip guarantees of the declarative sweep API: a spec file that is
+//! serialized, re-parsed and lowered must describe *exactly* the same
+//! experiment — same point count, same point names, same content-derived
+//! run keys — as the original (and as the legacy closure-built spec it
+//! replaced), and malformed spec files must fail with actionable messages.
+
+use vector_usimd_vliw as vmv;
+use vmv::kernels::Benchmark;
+use vmv::sweep::specfile::{AxisSpec, ConstraintSpec, SpecDefaults, SpecFile};
+use vmv::sweep::{run_key, Axis, LoweredSpec, SweepSpec};
+
+/// Every `(point, benchmark)` run key of a lowered spec, in job order.
+fn run_keys(lowered: &LoweredSpec) -> Vec<String> {
+    let points = lowered.spec.expand().points;
+    points
+        .iter()
+        .flat_map(|p| {
+            let variant = vmv::core::variant_for(&p.machine);
+            lowered
+                .benchmarks
+                .iter()
+                .map(move |&b| run_key(b, variant, &p.machine, p.model))
+        })
+        .collect()
+}
+
+/// The demo spec file must be indistinguishable — run key for run key —
+/// from the closure-built spec the pre-declarative sweep binary hardcoded.
+/// This is the "--demo results are bit-identical" guarantee: same keys mean
+/// the same machines, models and benchmarks, so the simulator produces the
+/// same records.
+#[test]
+fn demo_spec_file_reproduces_the_legacy_hardcoded_sweep() {
+    let legacy = SweepSpec::new()
+        .axis(Axis::issue_width(&[2, 4]))
+        .axis(Axis::vector_units(&[1, 2, 4]))
+        .axis(Axis::vector_lanes(&[1, 2, 4, 8, 16]))
+        .axis(Axis::l2_size(&[128 * 1024, 256 * 1024]))
+        .axis(Axis::mem_latency(&[100, 500]))
+        .constraint("lane budget: units x lanes <= 32", |m, _| {
+            m.vector_units as u32 * m.vector_lanes <= 32
+        });
+    let legacy_lowered = LoweredSpec {
+        spec: legacy,
+        benchmarks: vec![Benchmark::GsmDec, Benchmark::GsmEnc],
+    };
+
+    let demo = SpecFile::demo();
+    let lowered = demo.lower().expect("demo spec lowers");
+    assert_eq!(run_keys(&lowered), run_keys(&legacy_lowered));
+    assert_eq!(lowered.spec.expand().points.len(), 112);
+
+    // ... and serialization round-trips preserve all of it.
+    let reparsed = SpecFile::parse(&demo.canonical().render()).unwrap();
+    assert_eq!(reparsed, demo);
+    assert_eq!(reparsed.fingerprint(), demo.fingerprint());
+    assert_eq!(run_keys(&reparsed.lower().unwrap()), run_keys(&lowered));
+}
+
+/// The committed example specs must stay parseable, non-trivial and cheap
+/// enough for CI to run end-to-end.
+#[test]
+fn committed_example_specs_parse_and_expand() {
+    for (path, min_points) in [
+        ("examples/specs/latency_tolerance.json", 18),
+        ("examples/specs/wider_issue.json", 10),
+    ] {
+        let text = std::fs::read_to_string(path).expect(path);
+        let spec = SpecFile::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let lowered = spec.lower().unwrap();
+        let expansion = lowered.spec.expand();
+        assert!(
+            expansion.points.len() >= min_points,
+            "{path}: only {} points",
+            expansion.points.len()
+        );
+        assert!(
+            expansion.points.len() * lowered.benchmarks.len() <= 100,
+            "{path}: too big for a CI smoke run"
+        );
+        // Canonicalization is whitespace-insensitive: the pretty-printed
+        // committed file and its compact form describe the same experiment.
+        let compact = SpecFile::parse(&spec.canonical().render()).unwrap();
+        assert_eq!(compact.fingerprint(), spec.fingerprint());
+    }
+}
+
+/// xorshift64* — the same seeded-PRNG idiom the other property tests use.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn pick<'a, T>(&mut self, pool: &'a [T]) -> &'a T {
+        &pool[(self.next() % pool.len() as u64) as usize]
+    }
+    /// 1..=max distinct values sampled from a pool.
+    fn subset<T: Copy + PartialEq>(&mut self, pool: &[T], max: usize) -> Vec<T> {
+        let want = 1 + (self.next() as usize) % max.min(pool.len());
+        let mut out: Vec<T> = Vec::new();
+        while out.len() < want {
+            let v = *self.pick(pool);
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+fn random_spec(rng: &mut Rng) -> SpecFile {
+    let mut axes: Vec<AxisSpec> = Vec::new();
+    // Small value pools keep expansion cheap (≤ a few dozen points).
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::IssueWidth(rng.subset(&[2usize, 4, 8, 16], 2)));
+    }
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::VectorLanes(rng.subset(&[1u32, 2, 4, 8, 16], 2)));
+    }
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::L2Size(rng.subset(&[128 * 1024, 256 * 1024], 2)));
+    }
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::MemLatency(rng.subset(&[100u32, 300, 500], 2)));
+    }
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::Chaining(rng.subset(&[true, false], 2)));
+    }
+    if rng.next().is_multiple_of(2) {
+        axes.push(AxisSpec::Benchmarks(rng.subset(&Benchmark::ALL, 3)));
+    }
+    let mut constraints = Vec::new();
+    if rng.next().is_multiple_of(3) {
+        constraints.push(ConstraintSpec::LaneBudget {
+            max: *rng.pick(&[4u32, 16, 32]),
+        });
+    }
+    SpecFile {
+        name: format!("prop_{}", rng.next() % 1000),
+        axes,
+        constraints,
+        defaults: SpecDefaults {
+            threads: (rng.next().is_multiple_of(2)).then_some((rng.next() % 8) as usize),
+            shard: (rng.next().is_multiple_of(4)).then_some((0, 2)),
+            out: (rng.next().is_multiple_of(2)).then(|| "prop.jsonl".to_string()),
+        },
+    }
+}
+
+/// Seeded property test: for 64 random spec files, canonical JSON →
+/// parse → lower → expand is lossless (same canonical form, same
+/// fingerprint, same point count and names), through both the compact and
+/// the pretty renderer.
+#[test]
+fn random_specs_round_trip_losslessly() {
+    let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+    for case in 0..64 {
+        let spec = random_spec(&mut rng);
+        let compact = spec.canonical().render();
+        let pretty = spec.canonical().render_pretty();
+        for text in [&compact, &pretty] {
+            let back = SpecFile::parse(text)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\nspec: {compact}"));
+            assert_eq!(back, spec, "case {case}");
+            assert_eq!(back.canonical().render(), compact, "case {case}");
+            assert_eq!(back.fingerprint(), spec.fingerprint(), "case {case}");
+        }
+        let original = spec.lower().unwrap();
+        let reparsed = SpecFile::parse(&compact).unwrap().lower().unwrap();
+        assert_eq!(reparsed.benchmarks, original.benchmarks, "case {case}");
+        let a = original.spec.expand();
+        let b = reparsed.spec.expand();
+        assert_eq!(a.points.len(), b.points.len(), "case {case}");
+        assert_eq!(a.rejected, b.rejected, "case {case}");
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.name, pb.name, "case {case}");
+        }
+        assert_eq!(run_keys(&original), run_keys(&reparsed), "case {case}");
+    }
+}
+
+/// Golden parse errors at the public API surface: the messages a user sees
+/// must name the offending construct and the accepted alternatives.
+#[test]
+fn malformed_spec_files_fail_with_actionable_messages() {
+    let unknown_axis =
+        SpecFile::parse(r#"{"axes": [{"axis": "l9_size", "values": [8]}]}"#).unwrap_err();
+    assert!(unknown_axis.message.contains("unknown axis 'l9_size'"));
+    assert!(
+        unknown_axis.message.contains("mem_latency"),
+        "should list the known axes: {}",
+        unknown_axis.message
+    );
+
+    let bad_type = SpecFile::parse(r#"{"axes": [{"axis": "mem_latency", "values": [100, true]}]}"#)
+        .unwrap_err();
+    assert!(
+        bad_type.message.contains("'mem_latency', value 2") && bad_type.message.contains("true"),
+        "should pinpoint the bad value: {}",
+        bad_type.message
+    );
+
+    let duplicate = SpecFile::parse(
+        r#"{"axes": [{"axis": "chaining", "values": [true]},
+                     {"axis": "chaining", "values": [false]}]}"#,
+    )
+    .unwrap_err();
+    assert!(duplicate.message.contains("duplicate axis 'chaining'"));
+
+    let bad_bench =
+        SpecFile::parse(r#"{"axes": [{"axis": "benchmarks", "values": ["JPEG"]}]}"#).unwrap_err();
+    assert!(
+        bad_bench.message.contains("unknown benchmark") && bad_bench.message.contains("JPEG_ENC"),
+        "should list the known benchmarks: {}",
+        bad_bench.message
+    );
+}
