@@ -17,10 +17,13 @@
 //!   same way the sweep executor does.
 //!
 //! Reports simulated-cycles-per-second per stage-adjusted workload and
-//! writes a `BENCH_sim.json` artifact so the perf trajectory of the hot
-//! path is recorded run over run.  `--min-scps` turns the harness into a CI
-//! gate: the process exits non-zero when the synthetic-sweep simulation
-//! throughput falls below the floor.
+//! **appends** a host- and commit-stamped entry to the `BENCH_sim.json`
+//! trajectory (a JSON array, newest last), so the perf history of the hot
+//! path actually accumulates run over run instead of each run overwriting
+//! the previous one.  A legacy single-object file is adopted as the first
+//! trajectory entry.  `--min-scps` turns the harness into a CI gate: the
+//! process exits non-zero when the synthetic-sweep simulation throughput
+//! falls below the floor.
 
 use std::time::Instant;
 
@@ -48,6 +51,52 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// Best-effort host name for trajectory entries (the history spans
+/// machines, and a 2x "regression" is usually just a slower host).
+fn host_name() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Best-effort commit id: CI env var first, then `git rev-parse`.
+fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.trim().is_empty() {
+            return sha.trim().chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append `entry` to the JSON-array trajectory at `path`.  A legacy
+/// single-object file (the pre-trajectory format) becomes the first entry;
+/// an unreadable or unparsable file starts a fresh trajectory.
+fn append_to_trajectory(path: &str, entry: Json) -> Vec<Json> {
+    let mut entries = match std::fs::read_to_string(path).map(|text| Json::parse(&text)) {
+        Ok(Ok(Json::Arr(entries))) => entries,
+        Ok(Ok(legacy @ Json::Obj(_))) => vec![legacy],
+        _ => Vec::new(),
+    };
+    entries.push(entry);
+    entries
 }
 
 struct StageTotals {
@@ -235,19 +284,34 @@ fn main() {
     let (synthetic, synthetic_wall) = timed(|| bench_synthetic(repeat));
     synthetic.report("synthetic sweep (demo points, GSM pair, realistic model)");
 
-    let artifact = Json::Obj(vec![
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = Json::Obj(vec![
         ("name".into(), Json::str("bench_sim")),
+        ("host".into(), Json::str(host_name())),
+        ("commit".into(), Json::str(commit_id())),
+        ("unix_time".into(), Json::u64(unix_time)),
         ("repeat".into(), Json::u64(repeat as u64)),
         ("table2_wall_seconds".into(), Json::Num(table2_wall)),
         ("synthetic_wall_seconds".into(), Json::Num(synthetic_wall)),
         ("table2".into(), table2.json("table2")),
         ("synthetic".into(), synthetic.json("synthetic")),
     ]);
-    if let Err(e) = std::fs::write(&json_path, artifact.render() + "\n") {
+    let trajectory = append_to_trajectory(&json_path, entry);
+    // One entry per line between the array brackets: appends produce
+    // one-line diffs, and the history stays greppable.
+    let lines: Vec<String> = trajectory.iter().map(Json::render).collect();
+    let rendered = format!("[\n{}\n]\n", lines.join(",\n"));
+    if let Err(e) = std::fs::write(&json_path, rendered) {
         eprintln!("cannot write {json_path}: {e}");
         std::process::exit(1);
     }
-    println!("\nwrote benchmark artifact to {json_path}");
+    println!(
+        "\nappended trajectory entry {} to {json_path}",
+        trajectory.len()
+    );
 
     if let Some(floor) = min_scps {
         let scps = synthetic.scps();

@@ -1,0 +1,317 @@
+//! Analysis & reporting driver over JSONL result stores.
+//!
+//! ```text
+//! cargo run --release -p vmv-bench --bin report -- pareto \
+//!     --store sweep_results.jsonl --md > pareto.md
+//! cargo run --release -p vmv-bench --bin report -- sensitivity \
+//!     --store sweep_results.jsonl --svg --out sensitivity.svg
+//! cargo run --release -p vmv-bench --bin report -- compare \
+//!     --store new.jsonl --baseline old.jsonl --max-regress 5
+//! ```
+//!
+//! A headered store (written by `sweep --spec`/`--demo`) is self-contained:
+//! the embedded spec is re-expanded into design points and every record is
+//! decoded back to its axes by content-derived run key, so `pareto` and
+//! `sensitivity` need nothing but the JSONL file.  `compare` joins two
+//! stores by run key (works on legacy headerless stores too) and renders
+//! the Table-2-style baseline-vs-variant view; `--max-regress PCT` turns it
+//! into a CI gate that fails when any matched run is more than PCT percent
+//! slower than the baseline.
+//!
+//! The report itself goes to stdout (or `--out`); diagnostics — malformed
+//! store lines with line numbers, unmatched records, header warnings — go
+//! to stderr, so redirected reports stay clean artifacts.
+
+use std::collections::BTreeMap;
+
+use vmv_bench::args::{fail, ArgStream};
+use vmv_report::{
+    compare, is_record_field, markdown, pareto_report, parse_filter, record_field, sensitivity,
+    svg, CompareRow, Filter, LoadedStore, ResolvedStore,
+};
+
+fn usage() {
+    eprintln!(
+        "usage: report pareto      --store X.jsonl [--md|--svg] [--filter axis=value ...]\n\
+         \x20                       [--out PATH]\n\
+         \x20      report sensitivity --store X.jsonl [--md|--svg] [--filter axis=value ...]\n\
+         \x20                       [--out PATH]\n\
+         \x20      report compare  --store X.jsonl --baseline Y.jsonl [--md]\n\
+         \x20                       [--filter axis=value ...] [--group-by AXIS]\n\
+         \x20                       [--max-regress PCT] [--out PATH]\n\
+         \n\
+         pareto          cost/cycles table (or scatter chart) with the Pareto\n\
+         \x20               frontier marked; needs a headered store\n\
+         sensitivity     per-axis cycle-swing table (or bar chart); needs a\n\
+         \x20               headered store\n\
+         compare         join --store against --baseline by content-derived\n\
+         \x20               run key and report per-run speedups (headerless\n\
+         \x20               stores work too)\n\
+         --md / --svg    output format (default Markdown; compare is\n\
+         \x20               Markdown-only)\n\
+         --filter a=v    keep only runs whose axis label or record field\n\
+         \x20               matches (e.g. issue_width=2w, benchmark=GSM_DEC);\n\
+         \x20               repeatable, conjunctive\n\
+         --group-by AXIS group the compare summary by an axis instead of by\n\
+         \x20               benchmark\n\
+         --max-regress P exit 1 when any matched run is more than P percent\n\
+         \x20               slower than the baseline\n\
+         --out PATH      write the report to PATH instead of stdout"
+    );
+}
+
+/// Load a store, printing its line diagnostics to stderr.
+fn load(path: &str) -> LoadedStore {
+    let loaded = match LoadedStore::from_path(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    for d in &loaded.diagnostics {
+        eprintln!("{path}:{d}");
+    }
+    loaded
+}
+
+/// Resolve a loaded store, printing warnings; exit 1 with the loader's
+/// actionable message otherwise.
+fn resolve(loaded: &LoadedStore) -> ResolvedStore {
+    match ResolvedStore::resolve(loaded) {
+        Ok(r) => {
+            for w in &r.warnings {
+                eprintln!("WARNING: {}: {w}", loaded.path.display());
+            }
+            if r.unmatched > 0 {
+                eprintln!(
+                    "WARNING: {}: {} records match no run of the header spec \
+                     (merged from another experiment?); excluded",
+                    loaded.path.display(),
+                    r.unmatched
+                );
+            }
+            r
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn emit(out_path: &Option<String>, content: &str) {
+    match out_path {
+        None => print!("{content}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Md,
+    Svg,
+}
+
+fn main() {
+    let mut args = ArgStream::new();
+    let command = match args.next() {
+        Some(c) => c,
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    };
+    match command.as_str() {
+        "--help" | "-h" => {
+            usage();
+            return;
+        }
+        "pareto" | "sensitivity" | "compare" => {}
+        other => fail(format!(
+            "unknown command '{other}' (expected pareto, sensitivity or compare)"
+        )),
+    }
+
+    let mut store_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut format: Option<Format> = None;
+    let mut filters: Vec<Filter> = Vec::new();
+    let mut group_by: Option<String> = None;
+    let mut max_regress: Option<f64> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store_path = Some(args.value("--store")),
+            "--baseline" => baseline_path = Some(args.value("--baseline")),
+            "--md" => format = Some(Format::Md),
+            "--svg" => format = Some(Format::Svg),
+            "--filter" => {
+                let raw = args.value("--filter");
+                match parse_filter(&raw) {
+                    Ok(f) => filters.push(f),
+                    Err(e) => fail(e.message),
+                }
+            }
+            "--group-by" => group_by = Some(args.value("--group-by")),
+            "--max-regress" => {
+                let pct: f64 = args.parsed("--max-regress", "a regression budget in percent");
+                if !(0.0..=100.0).contains(&pct) {
+                    fail(format!(
+                        "--max-regress expects a percentage in 0..=100, got '{pct}'"
+                    ));
+                }
+                max_regress = Some(pct);
+            }
+            "--out" => out_path = Some(args.value("--out")),
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => fail(format!("unknown argument '{other}'")),
+        }
+    }
+    let store_path = store_path.unwrap_or_else(|| fail("--store is required"));
+
+    match command.as_str() {
+        "pareto" | "sensitivity" => {
+            if baseline_path.is_some() || max_regress.is_some() || group_by.is_some() {
+                fail("--baseline/--max-regress/--group-by only apply to `report compare`");
+            }
+            let loaded = load(&store_path);
+            let resolved = resolve(&loaded);
+            let records = match resolved.filter_records(&filters) {
+                Ok(r) => r,
+                Err(e) => fail(e.message),
+            };
+            let name = resolved.spec.name.clone();
+            let fingerprint = resolved.spec.fingerprint();
+            let content = match (command.as_str(), format.unwrap_or(Format::Md)) {
+                ("pareto", Format::Md) => markdown::pareto_md(
+                    &name,
+                    &fingerprint,
+                    &pareto_report(&resolved.points, &records),
+                ),
+                ("pareto", Format::Svg) => svg::pareto_svg(
+                    &format!("{name} — cost vs cycles"),
+                    &pareto_report(&resolved.points, &records),
+                ),
+                ("sensitivity", Format::Md) => markdown::sensitivity_md(
+                    &name,
+                    &fingerprint,
+                    &sensitivity(&resolved.points, &records),
+                ),
+                ("sensitivity", Format::Svg) => svg::sensitivity_svg(
+                    &format!("{name} — per-axis swing"),
+                    &sensitivity(&resolved.points, &records),
+                ),
+                _ => unreachable!(),
+            };
+            emit(&out_path, &content);
+        }
+        "compare" => {
+            if format == Some(Format::Svg) {
+                fail("`report compare` renders Markdown only");
+            }
+            let baseline_path =
+                baseline_path.unwrap_or_else(|| fail("compare needs --baseline Y.jsonl"));
+            let loaded = load(&store_path);
+            let baseline = load(&baseline_path);
+            let mut records = loaded.records.clone();
+            let mut baseline_records = baseline.records.clone();
+
+            // Record-field filters and group-bys (benchmark/variant/model/
+            // config are right on the records and rows) keep working on
+            // legacy headerless stores; spec-axis filters and group-bys
+            // decode run keys, which needs the store's header spec.
+            let needs_resolve = filters.iter().any(|f| !is_record_field(&f.axis))
+                || group_by.as_deref().is_some_and(|g| !is_record_field(g));
+            let resolved = needs_resolve.then(|| resolve(&loaded));
+            if let Some(resolved) = &resolved {
+                for f in &filters {
+                    if let Err(e) = resolved.check_axis(&f.axis) {
+                        fail(e.message);
+                    }
+                }
+            }
+            if !filters.is_empty() {
+                let keep = |r: &vmv_sweep::RunRecord| {
+                    filters.iter().all(|f| {
+                        if is_record_field(&f.axis) {
+                            record_field(r, &f.axis) == Some(f.value.as_str())
+                        } else {
+                            resolved
+                                .as_ref()
+                                .and_then(|res| res.key_axis_value(&r.key, &f.axis))
+                                .as_deref()
+                                == Some(f.value.as_str())
+                        }
+                    })
+                };
+                records.retain(|r| keep(r));
+                baseline_records.retain(|r| keep(r));
+            }
+
+            let report = compare(&records, &baseline_records);
+            let group_axis = group_by.unwrap_or_else(|| "benchmark".to_string());
+            let groups: BTreeMap<String, Vec<CompareRow>> =
+                match markdown::rows_by_field(&report.rows, &group_axis) {
+                    Some(groups) => groups,
+                    None => {
+                        let resolved = resolved.as_ref().expect("resolved above for axis group-by");
+                        if let Err(e) = resolved.check_axis(&group_axis) {
+                            fail(e.message);
+                        }
+                        let mut groups: BTreeMap<String, Vec<CompareRow>> = BTreeMap::new();
+                        for row in &report.rows {
+                            if let Some(v) = resolved.key_axis_value(&row.key, &group_axis) {
+                                groups.entry(v).or_default().push(row.clone());
+                            }
+                        }
+                        groups
+                    }
+                };
+            let display_name = |loaded: &LoadedStore| match &loaded.header {
+                Some(h) => h.name.clone(),
+                None => loaded
+                    .path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "store".to_string()),
+            };
+            let content = markdown::compare_md(
+                &display_name(&loaded),
+                &display_name(&baseline),
+                &report,
+                &group_axis,
+                &groups,
+            );
+            emit(&out_path, &content);
+
+            if let Some(budget) = max_regress {
+                let worst = report.worst_regression_pct();
+                if worst > budget {
+                    eprintln!(
+                        "FAIL: worst regression {worst:.2}% exceeds --max-regress {budget:.2}% \
+                         ({} of {} matched runs regressed)",
+                        report.regressions,
+                        report.rows.len()
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "regression gate ok: worst {worst:.2}% within --max-regress {budget:.2}% \
+                     ({} matched runs)",
+                    report.rows.len()
+                );
+            }
+        }
+        _ => unreachable!(),
+    }
+}

@@ -59,6 +59,17 @@ pub fn variant_for(machine: &MachineConfig) -> IsaVariant {
     }
 }
 
+/// Case-insensitive inverse of [`IsaVariant::name`]: decode the `variant`
+/// column a result store records back to the enum.  Consumers that only
+/// hold a JSONL file (e.g. the report loader) use this to validate that a
+/// record's declared variant is one the stack can actually execute.
+pub fn variant_from_name(name: &str) -> Option<IsaVariant> {
+    IsaVariant::ALL
+        .iter()
+        .copied()
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+}
+
 /// A benchmark compiled for one machine: the static schedule, its lowered
 /// executable form, and the initial memory image and output checks.
 /// Immutable once built, so it can be shared (e.g. behind an `Arc`) and

@@ -13,8 +13,8 @@ pub mod experiment;
 pub mod figures;
 
 pub use experiment::{
-    default_workers, prepare, run_one, simulate, variant_for, workers_capped, ExperimentError,
-    Prepared, RunOutcome, Suite,
+    default_workers, prepare, run_one, simulate, variant_for, variant_from_name, workers_capped,
+    ExperimentError, Prepared, RunOutcome, Suite,
 };
 pub use figures::{
     chart_average, fig1, fig1_summary, fig5, fig6, fig7, fig7_summary, render_chart, render_fig1,
@@ -57,6 +57,17 @@ mod tests {
         assert!(vector.stats.cycles() < usimd.stats.cycles());
         // and the vector ISA fetches fewer operations (paper §5.3)
         assert!(vector.stats.total().operations < usimd.stats.total().operations);
+    }
+
+    #[test]
+    fn variant_names_round_trip_through_the_decoder() {
+        use vmv_kernels::IsaVariant;
+        for v in IsaVariant::ALL {
+            assert_eq!(variant_from_name(v.name()), Some(v));
+            assert_eq!(variant_from_name(&v.name().to_ascii_uppercase()), Some(v));
+        }
+        assert_eq!(variant_from_name("mmx"), None);
+        assert_eq!(variant_from_name(""), None);
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Baseline-vs-variant comparison: join two stores by content-derived run
+//! key and report per-run speedups — the Table-2-style view the paper uses
+//! to argue one machine against another, plus a CI regression gate.
+//!
+//! The join needs no spec header: run keys are content-derived, so any two
+//! stores that measured the same `(benchmark, variant, machine, model)`
+//! runs — different sessions, different hosts, different store formats —
+//! compare exactly.
+
+use std::collections::HashMap;
+
+use vmv_sweep::store::RunRecord;
+
+/// One run measured in both stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    pub key: String,
+    pub config: String,
+    pub benchmark: String,
+    pub variant: String,
+    pub model: String,
+    pub baseline_cycles: u64,
+    pub cycles: u64,
+    /// `baseline_cycles / cycles`: above 1 the store under report is
+    /// faster than the baseline, below 1 it regressed.
+    pub speedup: f64,
+}
+
+impl CompareRow {
+    /// The row's value on a record pseudo-axis (`None` for spec axes,
+    /// which need the resolved store to decode).
+    pub fn field(&self, axis: &str) -> Option<&str> {
+        match axis {
+            "benchmark" => Some(&self.benchmark),
+            "variant" => Some(&self.variant),
+            "model" => Some(&self.model),
+            "config" => Some(&self.config),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of joining a store against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Matched runs, worst speedup first (ties broken by config, then
+    /// benchmark, then key — fully deterministic).
+    pub rows: Vec<CompareRow>,
+    /// Runs only the baseline has.
+    pub only_in_baseline: usize,
+    /// Runs only the store under report has.
+    pub only_in_store: usize,
+    /// Matched runs skipped because a side failed its output checks.
+    pub failed_checks: usize,
+    /// Geometric mean of the matched speedups (1.0 when nothing matched).
+    pub geomean_speedup: f64,
+    /// Matched runs with `speedup < 1`.
+    pub regressions: usize,
+}
+
+impl CompareReport {
+    /// The worst regression as a percentage (0.0 when nothing regressed):
+    /// a run 5% slower than baseline reports 5.0.
+    pub fn worst_regression_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| (1.0 - r.speedup) * 100.0)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Geometric mean of the rows' speedups — the one speedup aggregation used
+/// everywhere (report summary, per-group tables).  1.0 when empty.
+pub fn geomean(rows: &[CompareRow]) -> f64 {
+    if rows.is_empty() {
+        1.0
+    } else {
+        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp()
+    }
+}
+
+/// Join `records` (the store under report) against `baseline` by run key.
+/// Duplicate keys on either side count once (first occurrence wins, the
+/// store-wide policy); runs failing their output checks on either side are
+/// excluded from the speedup rows but counted.
+pub fn compare(records: &[RunRecord], baseline: &[RunRecord]) -> CompareReport {
+    let mut base: HashMap<&str, &RunRecord> = HashMap::new();
+    for r in baseline {
+        base.entry(r.key.as_str()).or_insert(r);
+    }
+    let mut seen: std::collections::HashSet<&str> = Default::default();
+    let mut rows = Vec::new();
+    let mut only_in_store = 0usize;
+    let mut failed_checks = 0usize;
+    let mut matched_keys = 0usize;
+    for r in records {
+        if !seen.insert(r.key.as_str()) {
+            continue;
+        }
+        match base.get(r.key.as_str()) {
+            None => only_in_store += 1,
+            Some(b) => {
+                matched_keys += 1;
+                // Zero cycles on either side is as unusable as a failed
+                // check: a 0-cycle baseline would otherwise yield a 0.0
+                // speedup that collapses the geomean and trips any gate.
+                if !r.check_ok || !b.check_ok || r.cycles == 0 || b.cycles == 0 {
+                    failed_checks += 1;
+                    continue;
+                }
+                rows.push(CompareRow {
+                    key: r.key.clone(),
+                    config: r.config.clone(),
+                    benchmark: r.benchmark.clone(),
+                    variant: r.variant.clone(),
+                    model: r.model.clone(),
+                    baseline_cycles: b.cycles,
+                    cycles: r.cycles,
+                    speedup: b.cycles as f64 / r.cycles as f64,
+                });
+            }
+        }
+    }
+    let only_in_baseline = base.len() - matched_keys;
+    rows.sort_by(|a, b| {
+        a.speedup
+            .partial_cmp(&b.speedup)
+            .unwrap()
+            .then_with(|| a.config.cmp(&b.config))
+            .then_with(|| a.benchmark.cmp(&b.benchmark))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    let geomean_speedup = geomean(&rows);
+    let regressions = rows.iter().filter(|r| r.speedup < 1.0).count();
+    CompareReport {
+        rows,
+        only_in_baseline,
+        only_in_store,
+        failed_checks,
+        geomean_speedup,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: &str, benchmark: &str, cycles: u64, check_ok: bool) -> RunRecord {
+        RunRecord {
+            key: key.to_string(),
+            config: format!("cfg-{}", &key[..4]),
+            benchmark: benchmark.to_string(),
+            variant: "vector".to_string(),
+            model: "Realistic".to_string(),
+            cycles,
+            stall_cycles: 0,
+            operations: 1,
+            micro_ops: 1,
+            vector_cycles: 0,
+            check_ok,
+        }
+    }
+
+    #[test]
+    fn join_computes_speedups_and_sorts_worst_first() {
+        let baseline = vec![
+            record("aaaa000011112222", "GSM_DEC", 1000, true),
+            record("bbbb000011112222", "GSM_ENC", 1000, true),
+            record("cccc000011112222", "JPEG_ENC", 1000, true), // baseline only
+        ];
+        let current = vec![
+            record("aaaa000011112222", "GSM_DEC", 500, true), // 2.0x faster
+            record("bbbb000011112222", "GSM_ENC", 1250, true), // 20% regression
+            record("dddd000011112222", "MPEG2_ENC", 10, true), // store only
+        ];
+        let report = compare(&current, &baseline);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.only_in_baseline, 1);
+        assert_eq!(report.only_in_store, 1);
+        // Worst first.
+        assert_eq!(report.rows[0].key, "bbbb000011112222");
+        assert!((report.rows[0].speedup - 0.8).abs() < 1e-12);
+        assert!((report.rows[1].speedup - 2.0).abs() < 1e-12);
+        assert_eq!(report.regressions, 1);
+        assert!((report.worst_regression_pct() - 20.0).abs() < 1e-9);
+        assert!((report.geomean_speedup - (0.8f64 * 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_compare_is_all_ones() {
+        let records = vec![
+            record("aaaa000011112222", "GSM_DEC", 123, true),
+            record("bbbb000011112222", "GSM_ENC", 456, true),
+        ];
+        let report = compare(&records, &records);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.speedup == 1.0));
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.worst_regression_pct(), 0.0);
+        assert_eq!(report.geomean_speedup, 1.0);
+        // Ties sort by config then benchmark.
+        assert_eq!(report.rows[0].key, "aaaa000011112222");
+    }
+
+    #[test]
+    fn failed_checks_and_duplicates_are_excluded() {
+        let baseline = vec![
+            record("aaaa000011112222", "GSM_DEC", 1000, true),
+            record("bbbb000011112222", "GSM_ENC", 1000, false),
+            record("cccc000011112222", "JPEG_ENC", 0, true), // zero-cycle baseline
+        ];
+        let current = vec![
+            record("aaaa000011112222", "GSM_DEC", 500, true),
+            record("aaaa000011112222", "GSM_DEC", 999, true), // duplicate key
+            record("bbbb000011112222", "GSM_ENC", 500, true), // baseline failed
+            record("cccc000011112222", "JPEG_ENC", 500, true),
+        ];
+        let report = compare(&current, &baseline);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].cycles, 500, "first occurrence wins");
+        assert_eq!(
+            report.failed_checks, 2,
+            "a zero-cycle baseline is unusable, not a 0.0 speedup"
+        );
+        assert!(report.geomean_speedup > 0.0);
+        assert_eq!(report.worst_regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let report = compare(&[], &[]);
+        assert!(report.rows.is_empty());
+        assert_eq!(report.geomean_speedup, 1.0);
+        assert_eq!(report.worst_regression_pct(), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Canonical Markdown rendering of the analysis passes.
+//!
+//! Every renderer is byte-deterministic for a given input — fixed column
+//! order, fixed float precision, no timestamps, no paths — so a rendered
+//! report can be committed as a golden file and diffed in CI.
+
+use std::collections::BTreeMap;
+
+use vmv_sweep::{AxisSensitivity, ParetoEntry};
+
+use crate::compare::{CompareReport, CompareRow};
+
+/// Pareto table: one row per measured design point, cost-ascending, `*`
+/// marking the cost/cycles frontier.
+pub fn pareto_md(spec_name: &str, fingerprint: &str, entries: &[ParetoEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Pareto report — {spec_name} (fingerprint {fingerprint})\n\n"
+    ));
+    out.push_str(
+        "Total cycles per design point (summed over its measured benchmarks) \
+         against the abstract hardware-cost model; `*` marks the cost/cycles \
+         Pareto frontier.\n\n",
+    );
+    out.push_str("| frontier | design point | cost | cycles | benchmarks |\n");
+    out.push_str("|:-:|:--|--:|--:|--:|\n");
+    for e in entries {
+        out.push_str(&format!(
+            "| {} | `{}` | {:.1} | {} | {} |\n",
+            if e.on_frontier { "*" } else { "" },
+            e.name,
+            e.cost,
+            e.cycles,
+            e.benchmarks
+        ));
+    }
+    let frontier = entries.iter().filter(|e| e.on_frontier).count();
+    out.push_str(&format!(
+        "\n{} design points measured, {} on the frontier.\n",
+        entries.len(),
+        frontier
+    ));
+    out
+}
+
+/// Sensitivity table: axes sorted by mean swing (as computed), fixed
+/// precision.
+pub fn sensitivity_md(spec_name: &str, fingerprint: &str, rows: &[AxisSensitivity]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Sensitivity report — {spec_name} (fingerprint {fingerprint})\n\n"
+    ));
+    out.push_str(
+        "Per-axis cycle swing: within groups of runs differing *only* on the \
+         axis, the max/min cycle ratio (1.000x = the axis has no effect).\n\n",
+    );
+    out.push_str("| axis | groups | mean swing | max swing |\n");
+    out.push_str("|:--|--:|--:|--:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| `{}` | {} | {:.3}x | {:.3}x |\n",
+            r.axis, r.groups, r.mean_swing, r.max_swing
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("\nNo axis had two comparable runs in any group.\n");
+    }
+    out
+}
+
+/// Compare view: summary, per-group geometric means, then every matched run
+/// worst-first.  `group_axis` names the grouping of the middle table (the
+/// rows of `groups`, typically per benchmark).
+pub fn compare_md(
+    store_name: &str,
+    baseline_name: &str,
+    report: &CompareReport,
+    group_axis: &str,
+    groups: &BTreeMap<String, Vec<CompareRow>>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Compare report — {store_name} vs. baseline {baseline_name}\n\n"
+    ));
+    out.push_str(
+        "Runs joined by content-derived key; speedup = baseline cycles / \
+         store cycles (above 1.000x the store is faster).\n\n",
+    );
+    out.push_str("| metric | value |\n|:--|--:|\n");
+    out.push_str(&format!("| matched runs | {} |\n", report.rows.len()));
+    out.push_str(&format!(
+        "| geometric-mean speedup | {:.3}x |\n",
+        report.geomean_speedup
+    ));
+    out.push_str(&format!(
+        "| regressions (speedup < 1) | {} |\n",
+        report.regressions
+    ));
+    out.push_str(&format!(
+        "| worst regression | {:.2}% |\n",
+        report.worst_regression_pct()
+    ));
+    out.push_str(&format!(
+        "| only in store / only in baseline | {} / {} |\n",
+        report.only_in_store, report.only_in_baseline
+    ));
+    out.push_str(&format!(
+        "| failed checks skipped | {} |\n",
+        report.failed_checks
+    ));
+
+    out.push_str(&format!("\n## Speedup by {group_axis}\n\n"));
+    out.push_str(&format!(
+        "| {group_axis} | runs | geomean speedup | worst speedup |\n"
+    ));
+    out.push_str("|:--|--:|--:|--:|\n");
+    for (value, rows) in groups {
+        let worst = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+        out.push_str(&format!(
+            "| `{}` | {} | {:.3}x | {:.3}x |\n",
+            value,
+            rows.len(),
+            crate::compare::geomean(rows),
+            if worst.is_finite() { worst } else { 1.0 }
+        ));
+    }
+
+    out.push_str("\n## Per-run speedups (worst first)\n\n");
+    out.push_str("| design point | benchmark | model | baseline cycles | cycles | speedup |\n");
+    out.push_str("|:--|:--|:--|--:|--:|--:|\n");
+    for r in &report.rows {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {:.3}x |\n",
+            r.config, r.benchmark, r.model, r.baseline_cycles, r.cycles, r.speedup
+        ));
+    }
+    out
+}
+
+/// Group compare rows by a record pseudo-axis the rows themselves carry
+/// (`benchmark`, `variant`, `model`, `config`) — no spec header needed.
+/// `None` when `axis` is a spec axis, which only a resolved store decodes.
+pub fn rows_by_field(rows: &[CompareRow], axis: &str) -> Option<BTreeMap<String, Vec<CompareRow>>> {
+    // Check the axis name itself, not the rows: an empty report must still
+    // distinguish "groupable, empty" from "needs the spec".
+    if !crate::resolve::is_record_field(axis) {
+        return None;
+    }
+    let mut groups: BTreeMap<String, Vec<CompareRow>> = BTreeMap::new();
+    for r in rows {
+        let value = r.field(axis).expect("axis probed above");
+        groups.entry(value.to_string()).or_default().push(r.clone());
+    }
+    Some(groups)
+}
+
+/// Group compare rows by benchmark — the default grouping.
+pub fn rows_by_benchmark(rows: &[CompareRow]) -> BTreeMap<String, Vec<CompareRow>> {
+    rows_by_field(rows, "benchmark").expect("benchmark is a row field")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, cost: f64, cycles: u64, on_frontier: bool) -> ParetoEntry {
+        ParetoEntry {
+            name: name.to_string(),
+            cost,
+            cycles,
+            benchmarks: 2,
+            on_frontier,
+        }
+    }
+
+    #[test]
+    fn pareto_md_is_deterministic_and_complete() {
+        let entries = vec![
+            entry("2w/vu1", 10.0, 2000, true),
+            entry("4w/vu2", 20.5, 1500, false),
+        ];
+        let a = pareto_md("demo", "0123456789abcdef", &entries);
+        let b = pareto_md("demo", "0123456789abcdef", &entries);
+        assert_eq!(a, b);
+        assert!(a.contains("| * | `2w/vu1` | 10.0 | 2000 | 2 |"), "{a}");
+        assert!(a.contains("|  | `4w/vu2` | 20.5 | 1500 | 2 |"), "{a}");
+        assert!(a.contains("2 design points measured, 1 on the frontier."));
+    }
+
+    #[test]
+    fn sensitivity_md_handles_empty_input() {
+        let empty = sensitivity_md("demo", "00", &[]);
+        assert!(empty.contains("No axis had two comparable runs"));
+        let rows = vec![AxisSensitivity {
+            axis: "vector_lanes".to_string(),
+            groups: 4,
+            mean_swing: 1.5,
+            max_swing: 2.0,
+        }];
+        let md = sensitivity_md("demo", "00", &rows);
+        assert!(
+            md.contains("| `vector_lanes` | 4 | 1.500x | 2.000x |"),
+            "{md}"
+        );
+    }
+
+    #[test]
+    fn compare_md_renders_summary_groups_and_rows() {
+        let rows = vec![
+            CompareRow {
+                key: "aaaa000011112222".to_string(),
+                config: "2w/vu1".to_string(),
+                benchmark: "GSM_DEC".to_string(),
+                variant: "vector".to_string(),
+                model: "Realistic".to_string(),
+                baseline_cycles: 1000,
+                cycles: 1250,
+                speedup: 0.8,
+            },
+            CompareRow {
+                key: "bbbb000011112222".to_string(),
+                config: "2w/vu1".to_string(),
+                benchmark: "GSM_ENC".to_string(),
+                variant: "vector".to_string(),
+                model: "Realistic".to_string(),
+                baseline_cycles: 1000,
+                cycles: 500,
+                speedup: 2.0,
+            },
+        ];
+        let report = CompareReport {
+            rows: rows.clone(),
+            only_in_baseline: 0,
+            only_in_store: 0,
+            failed_checks: 0,
+            geomean_speedup: (0.8f64 * 2.0).sqrt(),
+            regressions: 1,
+        };
+        let md = compare_md(
+            "demo",
+            "demo",
+            &report,
+            "benchmark",
+            &rows_by_benchmark(&rows),
+        );
+        assert!(md.contains("| matched runs | 2 |"), "{md}");
+        assert!(md.contains("| worst regression | 20.00% |"), "{md}");
+        assert!(md.contains("| `GSM_DEC` | 1 | 0.800x | 0.800x |"), "{md}");
+        assert!(
+            md.contains("| `2w/vu1` | GSM_DEC | Realistic | 1000 | 1250 | 0.800x |"),
+            "{md}"
+        );
+        // Worst row first in the per-run table.
+        let dec = md.find("| `2w/vu1` | GSM_DEC").unwrap();
+        let enc = md.find("| `2w/vu1` | GSM_ENC").unwrap();
+        assert!(dec < enc);
+
+        // Every record pseudo-axis groups straight off the rows; spec axes
+        // signal "needs the resolved store" instead of mis-grouping.
+        for axis in ["benchmark", "variant", "model", "config"] {
+            assert!(rows_by_field(&rows, axis).is_some(), "{axis}");
+        }
+        let by_variant = rows_by_field(&rows, "variant").unwrap();
+        assert_eq!(by_variant.len(), 1);
+        assert_eq!(by_variant["vector"].len(), 2);
+        assert!(rows_by_field(&rows, "vector_lanes").is_none());
+        assert!(rows_by_field(&[], "model").is_some(), "empty but groupable");
+    }
+}

@@ -1,0 +1,409 @@
+//! The query layer: recover the experiment from a store's spec header and
+//! decode every record back to the swept axes.
+//!
+//! A headered store carries the full canonical spec, so the design points
+//! can be re-expanded exactly as the sweep ran them and each record joined
+//! to its point by content-derived run key — no spec file, no display-name
+//! matching.  On top of the decode sit [`Filter`] (keep records whose axis
+//! label, benchmark, variant, model or config matches) and
+//! [`ResolvedStore::group_by`] (partition records by an axis), which the
+//! analysis passes then consume unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+
+use vmv_kernels::Benchmark;
+use vmv_sweep::store::RunRecord;
+use vmv_sweep::{run_key, SpecFile, SweepPoint};
+
+use crate::loader::LoadedStore;
+
+/// Error resolving or querying a store, with an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportError {
+    pub message: String,
+}
+
+impl ReportError {
+    fn new(message: impl Into<String>) -> ReportError {
+        ReportError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+impl std::error::Error for ReportError {}
+
+/// Pseudo-axes every record carries regardless of the spec.
+const RECORD_FIELDS: &[&str] = &["benchmark", "variant", "model", "config"];
+
+/// Whether `axis` is a record pseudo-axis — filterable straight off the
+/// record fields, with no spec header needed.
+pub fn is_record_field(axis: &str) -> bool {
+    RECORD_FIELDS.contains(&axis)
+}
+
+/// The record's value on a pseudo-axis (`None` for spec axes).
+pub fn record_field<'r>(record: &'r RunRecord, axis: &str) -> Option<&'r str> {
+    match axis {
+        "benchmark" => Some(&record.benchmark),
+        "variant" => Some(&record.variant),
+        "model" => Some(&record.model),
+        "config" => Some(&record.config),
+        _ => None,
+    }
+}
+
+/// One `axis=value` predicate.  `axis` is a spec axis name (matched against
+/// the point's label for that axis, e.g. `issue_width=2w`,
+/// `mem_latency=dram100`) or one of the record pseudo-axes
+/// (`benchmark=GSM_DEC`, `variant=vector`, `model=Realistic`, `config=...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    pub axis: String,
+    pub value: String,
+}
+
+/// Parse an `axis=value` filter string.
+pub fn parse_filter(s: &str) -> Result<Filter, ReportError> {
+    match s.split_once('=') {
+        Some((axis, value)) if !axis.is_empty() && !value.is_empty() => Ok(Filter {
+            axis: axis.to_string(),
+            value: value.to_string(),
+        }),
+        _ => Err(ReportError::new(format!(
+            "filter '{s}' must have the form axis=value (e.g. issue_width=2w, \
+             benchmark=GSM_DEC)"
+        ))),
+    }
+}
+
+/// A loaded store whose header spec has been re-expanded: the design points
+/// the experiment swept, and an index decoding each run key back to
+/// `(point, benchmark)`.
+pub struct ResolvedStore {
+    /// The spec recovered from the store header.
+    pub spec: SpecFile,
+    /// Design points in expansion (odometer) order.
+    pub points: Vec<SweepPoint>,
+    /// The benchmark subset the spec runs at every point.
+    pub benchmarks: Vec<Benchmark>,
+    /// Records from the store whose key matches the expansion.
+    pub records: Vec<RunRecord>,
+    /// Records whose key matches none of the expansion's runs (e.g. merged
+    /// in from a different experiment, or produced under older parameter
+    /// defaults).  They are excluded from `records`.
+    pub unmatched: usize,
+    /// Non-fatal notes (e.g. a header fingerprint that disagrees with the
+    /// spec it carries).
+    pub warnings: Vec<String>,
+    index: HashMap<String, (usize, Benchmark)>,
+}
+
+impl ResolvedStore {
+    /// Resolve a loaded store.  Fails with an actionable message when the
+    /// store has no spec header (pareto/sensitivity need the design points,
+    /// which only the header can recover) or the embedded spec is invalid.
+    pub fn resolve(loaded: &LoadedStore) -> Result<ResolvedStore, ReportError> {
+        let header = loaded.header.as_ref().ok_or_else(|| {
+            ReportError::new(format!(
+                "{} has no spec header, so the design points cannot be recovered \
+                 (headered stores are written by `sweep --spec FILE` / `sweep --demo`); \
+                 without one, `report compare` works on the record fields only \
+                 (benchmark, variant, model, config) — spec-axis filters and \
+                 group-bys, pareto and sensitivity all need the header",
+                loaded.path.display()
+            ))
+        })?;
+        let spec = SpecFile::from_json(&header.spec)
+            .map_err(|e| ReportError::new(format!("store header carries an invalid spec: {e}")))?;
+        let mut warnings = Vec::new();
+        if spec.fingerprint() != header.fingerprint {
+            warnings.push(format!(
+                "header fingerprint {} disagrees with the spec it carries ({}); \
+                 trusting the spec",
+                header.fingerprint,
+                spec.fingerprint()
+            ));
+        }
+        let lowered = spec
+            .lower()
+            .map_err(|e| ReportError::new(format!("store header spec does not lower: {e}")))?;
+        let points = lowered.spec.expand().points;
+        let mut index = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            let variant = vmv_core::variant_for(&p.machine);
+            for &benchmark in &lowered.benchmarks {
+                index.insert(
+                    run_key(benchmark, variant, &p.machine, p.model),
+                    (i, benchmark),
+                );
+            }
+        }
+        let (records, orphans): (Vec<RunRecord>, Vec<RunRecord>) = loaded
+            .records
+            .iter()
+            .cloned()
+            .partition(|r| index.contains_key(&r.key));
+        Ok(ResolvedStore {
+            spec,
+            points,
+            benchmarks: lowered.benchmarks,
+            records,
+            unmatched: orphans.len(),
+            warnings,
+            index,
+        })
+    }
+
+    /// Decode a record to its design point and benchmark, by run key.
+    pub fn decode(&self, record: &RunRecord) -> Option<(&SweepPoint, Benchmark)> {
+        self.index
+            .get(&record.key)
+            .map(|&(i, b)| (&self.points[i], b))
+    }
+
+    /// Axis names valid in filters and group-bys: the spec's axes plus the
+    /// record pseudo-axes.  The `benchmarks` pseudo-axis is excluded — it
+    /// selects the spec's job subset and labels no point; per-record
+    /// benchmark queries go through the `benchmark` field.
+    pub fn known_axes(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .spec
+            .axes
+            .iter()
+            .map(|a| a.name().to_string())
+            .filter(|a| a != "benchmarks")
+            .collect();
+        names.extend(RECORD_FIELDS.iter().map(|s| s.to_string()));
+        names
+    }
+
+    /// Validate an axis name against this store, erroring with the known
+    /// list otherwise.
+    pub fn check_axis(&self, axis: &str) -> Result<(), ReportError> {
+        if self.known_axes().iter().any(|a| a == axis) {
+            Ok(())
+        } else if axis == "benchmarks" {
+            Err(ReportError::new(
+                "axis 'benchmarks' selects the spec's job subset and labels no \
+                 run; filter with benchmark=NAME instead",
+            ))
+        } else {
+            Err(ReportError::new(format!(
+                "unknown axis '{axis}' (this store's axes: {})",
+                self.known_axes().join(", ")
+            )))
+        }
+    }
+
+    /// The value a record exposes for `axis`: the point label for spec
+    /// axes, the record field for pseudo-axes.  `None` when the record
+    /// cannot be decoded or the point does not label that axis (e.g. the
+    /// `benchmarks` pseudo-axis).
+    fn axis_value<'r>(&'r self, record: &'r RunRecord, axis: &str) -> Option<&'r str> {
+        if is_record_field(axis) {
+            return record_field(record, axis);
+        }
+        let (point, _) = self.decode(record)?;
+        point
+            .labels
+            .iter()
+            .find(|(a, _)| a == axis)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value a *run key* exposes for `axis`, derived purely from the
+    /// decoded design point — usable for rows (e.g. compare joins) that no
+    /// longer carry the full record.
+    pub fn key_axis_value(&self, key: &str, axis: &str) -> Option<String> {
+        let &(i, benchmark) = self.index.get(key)?;
+        let point = &self.points[i];
+        match axis {
+            "benchmark" => Some(benchmark.name().to_string()),
+            "variant" => Some(vmv_core::variant_for(&point.machine).name().to_string()),
+            "model" => Some(format!("{:?}", point.model)),
+            "config" => Some(point.name.clone()),
+            _ => point
+                .labels
+                .iter()
+                .find(|(a, _)| a == axis)
+                .map(|(_, v)| v.clone()),
+        }
+    }
+
+    /// Records passing every filter (conjunction).  Unknown axis names are
+    /// an error naming the axes this store actually has.
+    pub fn filter_records(&self, filters: &[Filter]) -> Result<Vec<RunRecord>, ReportError> {
+        for f in filters {
+            self.check_axis(&f.axis)?;
+        }
+        Ok(self
+            .records
+            .iter()
+            .filter(|r| {
+                filters
+                    .iter()
+                    .all(|f| self.axis_value(r, &f.axis) == Some(f.value.as_str()))
+            })
+            .cloned()
+            .collect())
+    }
+
+    /// Partition `records` by their value on `axis`, in deterministic
+    /// (sorted-by-value) order.  Records without a value on that axis are
+    /// dropped.
+    pub fn group_by(
+        &self,
+        records: &[RunRecord],
+        axis: &str,
+    ) -> Result<BTreeMap<String, Vec<RunRecord>>, ReportError> {
+        self.check_axis(axis)?;
+        let mut groups: BTreeMap<String, Vec<RunRecord>> = BTreeMap::new();
+        for r in records {
+            if let Some(v) = self.axis_value(r, axis) {
+                groups.entry(v.to_string()).or_default().push(r.clone());
+            }
+        }
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_sweep::{run_sweep, ExecOptions};
+
+    /// A tiny spec swept in-memory: 2 lane values × 2 latencies, GSM_DEC.
+    fn resolved_demo() -> ResolvedStore {
+        let spec = SpecFile::parse(
+            r#"{"name": "tiny", "axes": [
+                {"axis": "vector_lanes", "values": [1, 4]},
+                {"axis": "mem_latency", "values": [100, 500]},
+                {"axis": "benchmarks", "values": ["GSM_DEC"]}]}"#,
+        )
+        .unwrap();
+        let lowered = spec.lower().unwrap();
+        let points = lowered.spec.expand().points;
+        let report = run_sweep(&points, &ExecOptions::for_spec(&lowered, 1), None).unwrap();
+        let mut text = format!("{}\n", spec.store_header().to_json().render());
+        for r in &report.records {
+            text.push_str(&r.to_json().render());
+            text.push('\n');
+        }
+        ResolvedStore::resolve(&LoadedStore::from_text(&text)).unwrap()
+    }
+
+    #[test]
+    fn resolve_decodes_every_record_to_its_point() {
+        let resolved = resolved_demo();
+        assert_eq!(resolved.points.len(), 4);
+        assert_eq!(resolved.benchmarks, vec![Benchmark::GsmDec]);
+        assert_eq!(resolved.records.len(), 4);
+        assert_eq!(resolved.unmatched, 0);
+        assert!(resolved.warnings.is_empty());
+        for r in &resolved.records {
+            let (point, benchmark) = resolved.decode(r).expect("every record decodes");
+            assert_eq!(benchmark, Benchmark::GsmDec);
+            assert_eq!(point.name, r.config);
+        }
+    }
+
+    #[test]
+    fn filters_match_axis_labels_and_record_fields() {
+        let resolved = resolved_demo();
+        let ln4 = resolved
+            .filter_records(&[parse_filter("vector_lanes=ln4").unwrap()])
+            .unwrap();
+        assert_eq!(ln4.len(), 2);
+        assert!(ln4.iter().all(|r| r.config.starts_with("ln4/")));
+
+        let both = resolved
+            .filter_records(&[
+                parse_filter("vector_lanes=ln4").unwrap(),
+                parse_filter("mem_latency=dram100").unwrap(),
+            ])
+            .unwrap();
+        assert_eq!(both.len(), 1);
+        assert_eq!(both[0].config, "ln4/dram100");
+
+        let bench = resolved
+            .filter_records(&[parse_filter("benchmark=GSM_DEC").unwrap()])
+            .unwrap();
+        assert_eq!(bench.len(), 4);
+        let none = resolved
+            .filter_records(&[parse_filter("benchmark=GSM_ENC").unwrap()])
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn unknown_filter_axes_error_with_the_known_list() {
+        let resolved = resolved_demo();
+        let err = resolved
+            .filter_records(&[parse_filter("lanes=4").unwrap()])
+            .unwrap_err();
+        assert!(err.message.contains("unknown axis 'lanes'"), "{err}");
+        assert!(err.message.contains("vector_lanes"), "{err}");
+        assert!(err.message.contains("benchmark"), "{err}");
+        assert!(parse_filter("no-equals-sign").is_err());
+        assert!(parse_filter("=x").is_err());
+    }
+
+    #[test]
+    fn benchmarks_pseudo_axis_is_rejected_with_a_hint() {
+        // The spec declares a `benchmarks` axis, but it labels no run: a
+        // filter on it must error towards `benchmark=` instead of silently
+        // matching nothing.
+        let resolved = resolved_demo();
+        assert!(!resolved.known_axes().iter().any(|a| a == "benchmarks"));
+        let err = resolved
+            .filter_records(&[parse_filter("benchmarks=GSM_DEC").unwrap()])
+            .unwrap_err();
+        assert!(err.message.contains("benchmark=NAME"), "{err}");
+        assert!(resolved.group_by(&resolved.records, "benchmarks").is_err());
+    }
+
+    #[test]
+    fn group_by_partitions_deterministically() {
+        let resolved = resolved_demo();
+        let groups = resolved.group_by(&resolved.records, "mem_latency").unwrap();
+        let keys: Vec<&String> = groups.keys().collect();
+        assert_eq!(keys, vec!["dram100", "dram500"]);
+        assert!(groups.values().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn headerless_stores_resolve_to_an_actionable_error() {
+        let loaded = LoadedStore::from_text("");
+        let err = match ResolvedStore::resolve(&loaded) {
+            Err(e) => e,
+            Ok(_) => panic!("headerless store must not resolve"),
+        };
+        assert!(err.message.contains("no spec header"), "{err}");
+        assert!(err.message.contains("report compare"), "{err}");
+    }
+
+    #[test]
+    fn foreign_records_count_as_unmatched() {
+        let spec = SpecFile::parse(
+            r#"{"name": "tiny", "axes": [
+                {"axis": "vector_lanes", "values": [1]},
+                {"axis": "benchmarks", "values": ["GSM_DEC"]}]}"#,
+        )
+        .unwrap();
+        let foreign = crate::loader::tests::record("dead000011112222", "GSM_DEC", 10);
+        let text = format!(
+            "{}\n{}\n",
+            spec.store_header().to_json().render(),
+            foreign.to_json().render()
+        );
+        let resolved = ResolvedStore::resolve(&LoadedStore::from_text(&text)).unwrap();
+        assert_eq!(resolved.unmatched, 1);
+        assert!(resolved.records.is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! Standalone SVG charts — no dependencies, no scripts, byte-deterministic.
+//!
+//! Two shapes cover the analyses: a cost/cycles scatter with the Pareto
+//! frontier traced ([`pareto_svg`]) and a horizontal bar chart of per-axis
+//! sensitivity swings ([`sensitivity_svg`]).  Coordinates are emitted with
+//! fixed precision, so the same input always renders the same bytes.
+
+use vmv_sweep::{AxisSensitivity, ParetoEntry};
+
+const FONT: &str = "font-family=\"monospace\" font-size=\"12\"";
+const TITLE_FONT: &str = "font-family=\"monospace\" font-size=\"16\"";
+const AXIS_COLOR: &str = "#6b7280";
+const POINT_COLOR: &str = "#9ca3af";
+const FRONTIER_COLOR: &str = "#1d4ed8";
+const BAR_COLOR: &str = "#1d4ed8";
+const MARKER_COLOR: &str = "#b91c1c";
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Compact human tick label: 1500000 -> "1.5M", 2300 -> "2.3k".
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1.0e6 {
+        format!("{:.1}M", v / 1.0e6)
+    } else if a >= 1.0e3 {
+        format!("{:.1}k", v / 1.0e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+struct Scale {
+    min: f64,
+    max: f64,
+    lo_px: f64,
+    hi_px: f64,
+}
+
+impl Scale {
+    /// Linear scale from a (5%-padded) data range onto pixels.
+    fn new(values: impl Iterator<Item = f64>, lo_px: f64, hi_px: f64) -> Scale {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            min = 0.0;
+            max = 1.0;
+        }
+        if min == max {
+            // A degenerate range still needs a drawable span.
+            min -= 1.0;
+            max += 1.0;
+        }
+        let pad = (max - min) * 0.05;
+        Scale {
+            min: min - pad,
+            max: max + pad,
+            lo_px,
+            hi_px,
+        }
+    }
+
+    fn px(&self, v: f64) -> f64 {
+        self.lo_px + (v - self.min) / (self.max - self.min) * (self.hi_px - self.lo_px)
+    }
+
+    /// Five evenly spaced tick values.
+    fn ticks(&self) -> Vec<f64> {
+        (0..5)
+            .map(|i| self.min + (self.max - self.min) * i as f64 / 4.0)
+            .collect()
+    }
+}
+
+fn svg_open(out: &mut String, width: u32, height: u32) {
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\">\n"
+    ));
+    out.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{width}\" height=\"{height}\" fill=\"white\"/>\n"
+    ));
+}
+
+/// Cost/cycles scatter: every measured design point, frontier points
+/// highlighted and traced cost-ascending.  Hovering a point (any SVG
+/// viewer) shows its name via `<title>`.
+pub fn pareto_svg(title: &str, entries: &[ParetoEntry]) -> String {
+    const W: u32 = 800;
+    const H: u32 = 500;
+    const LEFT: f64 = 80.0;
+    const RIGHT: f64 = 770.0;
+    const TOP: f64 = 50.0;
+    const BOTTOM: f64 = 440.0;
+
+    let mut out = String::new();
+    svg_open(&mut out, W, H);
+    out.push_str(&format!(
+        "<text x=\"{LEFT}\" y=\"24\" {TITLE_FONT}>{}</text>\n",
+        esc(title)
+    ));
+    if entries.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"{LEFT}\" y=\"{TOP}\" {FONT}>no measured design points</text>\n</svg>\n"
+        ));
+        return out;
+    }
+
+    let x = Scale::new(entries.iter().map(|e| e.cost), LEFT, RIGHT);
+    // Screen y grows downward: map larger cycle counts to smaller y.
+    let y = Scale::new(entries.iter().map(|e| e.cycles as f64), BOTTOM, TOP);
+
+    // Axes with ticks and labels.
+    out.push_str(&format!(
+        "<line x1=\"{LEFT}\" y1=\"{BOTTOM}\" x2=\"{RIGHT}\" y2=\"{BOTTOM}\" \
+         stroke=\"{AXIS_COLOR}\"/>\n\
+         <line x1=\"{LEFT}\" y1=\"{TOP}\" x2=\"{LEFT}\" y2=\"{BOTTOM}\" \
+         stroke=\"{AXIS_COLOR}\"/>\n"
+    ));
+    for t in x.ticks() {
+        let px = x.px(t);
+        out.push_str(&format!(
+            "<line x1=\"{px:.2}\" y1=\"{BOTTOM}\" x2=\"{px:.2}\" y2=\"{:.2}\" \
+             stroke=\"{AXIS_COLOR}\"/>\n\
+             <text x=\"{px:.2}\" y=\"{:.2}\" {FONT} text-anchor=\"middle\">{}</text>\n",
+            BOTTOM + 5.0,
+            BOTTOM + 20.0,
+            human(t)
+        ));
+    }
+    for t in y.ticks() {
+        let py = y.px(t);
+        out.push_str(&format!(
+            "<line x1=\"{:.2}\" y1=\"{py:.2}\" x2=\"{LEFT}\" y2=\"{py:.2}\" \
+             stroke=\"{AXIS_COLOR}\"/>\n\
+             <text x=\"{:.2}\" y=\"{:.2}\" {FONT} text-anchor=\"end\">{}</text>\n",
+            LEFT - 5.0,
+            LEFT - 8.0,
+            py + 4.0,
+            human(t)
+        ));
+    }
+    out.push_str(&format!(
+        "<text x=\"{:.2}\" y=\"{:.2}\" {FONT} text-anchor=\"middle\">hardware cost</text>\n",
+        (LEFT + RIGHT) / 2.0,
+        BOTTOM + 45.0
+    ));
+    out.push_str(&format!(
+        "<text x=\"18\" y=\"{:.2}\" {FONT} text-anchor=\"middle\" \
+         transform=\"rotate(-90 18 {:.2})\">total cycles</text>\n",
+        (TOP + BOTTOM) / 2.0,
+        (TOP + BOTTOM) / 2.0
+    ));
+
+    // Frontier trace, cost-ascending (entries are already cost-sorted).
+    let frontier: Vec<&ParetoEntry> = entries.iter().filter(|e| e.on_frontier).collect();
+    if frontier.len() > 1 {
+        let pts: Vec<String> = frontier
+            .iter()
+            .map(|e| format!("{:.2},{:.2}", x.px(e.cost), y.px(e.cycles as f64)))
+            .collect();
+        out.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{FRONTIER_COLOR}\" \
+             stroke-width=\"1.5\" stroke-dasharray=\"4 3\"/>\n",
+            pts.join(" ")
+        ));
+    }
+    for e in entries {
+        let (fill, r) = if e.on_frontier {
+            (FRONTIER_COLOR, 5.0)
+        } else {
+            (POINT_COLOR, 3.5)
+        };
+        out.push_str(&format!(
+            "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"{r}\" fill=\"{fill}\">\
+             <title>{}: cost {:.1}, {} cycles</title></circle>\n",
+            x.px(e.cost),
+            y.px(e.cycles as f64),
+            esc(&e.name),
+            e.cost,
+            e.cycles
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Horizontal bars of per-axis mean swing, with a tick marking the max
+/// swing seen in any group and a reference line at 1.0x (no effect).
+pub fn sensitivity_svg(title: &str, rows: &[AxisSensitivity]) -> String {
+    const W: u32 = 800;
+    const LEFT: f64 = 150.0;
+    const RIGHT: f64 = 770.0;
+    const TOP: f64 = 50.0;
+    const BAR: f64 = 20.0;
+    const GAP: f64 = 12.0;
+
+    let height = (TOP + rows.len() as f64 * (BAR + GAP) + 50.0).max(140.0) as u32;
+    let mut out = String::new();
+    svg_open(&mut out, W, height);
+    out.push_str(&format!(
+        "<text x=\"20\" y=\"24\" {TITLE_FONT}>{}</text>\n",
+        esc(title)
+    ));
+    if rows.is_empty() {
+        out.push_str(&format!(
+            "<text x=\"20\" y=\"{TOP}\" {FONT}>no comparable axis groups</text>\n</svg>\n"
+        ));
+        return out;
+    }
+
+    // Bars start at 1.0 (no effect); scale spans 1.0 .. max(max_swing).
+    let max = rows.iter().map(|r| r.max_swing).fold(1.0, f64::max);
+    let span = (max - 1.0).max(1.0e-9);
+    let px = |v: f64| LEFT + ((v - 1.0) / span).clamp(0.0, 1.0) * (RIGHT - LEFT);
+
+    let baseline_bottom = TOP + rows.len() as f64 * (BAR + GAP);
+    out.push_str(&format!(
+        "<line x1=\"{LEFT}\" y1=\"{:.2}\" x2=\"{LEFT}\" y2=\"{:.2}\" \
+         stroke=\"{AXIS_COLOR}\"/>\n\
+         <text x=\"{LEFT}\" y=\"{:.2}\" {FONT} text-anchor=\"middle\">1.0x</text>\n\
+         <text x=\"{RIGHT}\" y=\"{:.2}\" {FONT} text-anchor=\"end\">{:.3}x</text>\n",
+        TOP - 10.0,
+        baseline_bottom,
+        baseline_bottom + 20.0,
+        baseline_bottom + 20.0,
+        max
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let top = TOP + i as f64 * (BAR + GAP);
+        let mid = top + BAR / 2.0 + 4.0;
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{mid:.2}\" {FONT} text-anchor=\"end\">{}</text>\n",
+            LEFT - 8.0,
+            esc(&r.axis)
+        ));
+        out.push_str(&format!(
+            "<rect x=\"{LEFT}\" y=\"{top:.2}\" width=\"{:.2}\" height=\"{BAR}\" \
+             fill=\"{BAR_COLOR}\">\
+             <title>{}: mean {:.3}x over {} groups (max {:.3}x)</title></rect>\n",
+            (px(r.mean_swing) - LEFT).max(0.5),
+            esc(&r.axis),
+            r.mean_swing,
+            r.groups,
+            r.max_swing
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{:.2}\" y1=\"{:.2}\" x2=\"{:.2}\" y2=\"{:.2}\" \
+             stroke=\"{MARKER_COLOR}\" stroke-width=\"2\"/>\n",
+            px(r.max_swing),
+            top - 2.0,
+            px(r.max_swing),
+            top + BAR + 2.0
+        ));
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{mid:.2}\" {FONT}>{:.3}x</text>\n",
+            px(r.mean_swing) + 6.0,
+            r.mean_swing
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_sweep::ParetoEntry;
+
+    fn entries() -> Vec<ParetoEntry> {
+        vec![
+            ParetoEntry {
+                name: "2w/vu1 <&>".to_string(),
+                cost: 10.0,
+                cycles: 2_000_000,
+                benchmarks: 2,
+                on_frontier: true,
+            },
+            ParetoEntry {
+                name: "4w/vu2".to_string(),
+                cost: 20.0,
+                cycles: 1_500_000,
+                benchmarks: 2,
+                on_frontier: true,
+            },
+            ParetoEntry {
+                name: "4w/vu1".to_string(),
+                cost: 25.0,
+                cycles: 1_900_000,
+                benchmarks: 2,
+                on_frontier: false,
+            },
+        ]
+    }
+
+    /// Structural validity: one root <svg> with the SVG namespace and a
+    /// properly nested tag tree.  Text and attribute values are escaped by
+    /// `esc`, so a bare `<` only ever starts a tag and a bare `>` only ever
+    /// ends one — a stack walk is a faithful well-formedness check.
+    fn assert_valid(svg: &str) {
+        assert!(svg.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        let mut stack: Vec<&str> = Vec::new();
+        let mut rest = svg;
+        while let Some(i) = rest.find('<') {
+            rest = &rest[i + 1..];
+            let end = rest.find('>').expect("unterminated tag");
+            let tag = &rest[..end];
+            rest = &rest[end + 1..];
+            if let Some(name) = tag.strip_prefix('/') {
+                let open = stack.pop();
+                assert_eq!(
+                    open,
+                    Some(name.trim()),
+                    "closing </{name}> does not match the innermost open tag"
+                );
+            } else if !tag.ends_with('/') {
+                stack.push(tag.split_whitespace().next().expect("empty tag"));
+            }
+        }
+        assert!(stack.is_empty(), "unclosed tags: {stack:?}");
+        assert!(!svg.contains("<&"), "unescaped text made it into the SVG");
+    }
+
+    #[test]
+    fn validity_checker_rejects_broken_documents() {
+        let ok = "<svg xmlns=\"http://www.w3.org/2000/svg\"><g><text>x</text></g></svg>";
+        assert_valid(ok);
+        for broken in [
+            "<svg xmlns=\"http://www.w3.org/2000/svg\"><text>x</svg>",
+            "<svg xmlns=\"http://www.w3.org/2000/svg\"><text>x</text>",
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| assert_valid(broken)).is_err(),
+                "checker must reject: {broken}"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_svg_is_valid_and_deterministic() {
+        let a = pareto_svg("demo pareto", &entries());
+        let b = pareto_svg("demo pareto", &entries());
+        assert_eq!(a, b);
+        assert_valid(&a);
+        assert_eq!(a.matches("<circle").count(), 3);
+        assert!(a.contains("polyline"), "frontier trace present");
+        assert!(a.contains("&lt;&amp;&gt;"), "names are XML-escaped");
+        assert!(
+            a.contains("2.0M") || a.contains("1.9M"),
+            "human tick labels"
+        );
+    }
+
+    #[test]
+    fn sensitivity_svg_is_valid_with_and_without_rows() {
+        let rows = vec![
+            AxisSensitivity {
+                axis: "vector_lanes".to_string(),
+                groups: 4,
+                mean_swing: 1.8,
+                max_swing: 2.9,
+            },
+            AxisSensitivity {
+                axis: "mem_latency".to_string(),
+                groups: 4,
+                mean_swing: 1.1,
+                max_swing: 1.2,
+            },
+        ];
+        let svg = sensitivity_svg("demo sensitivity", &rows);
+        assert_valid(&svg);
+        assert_eq!(svg.matches("<rect").count(), 3, "background + two bars");
+        assert!(svg.contains("vector_lanes"));
+
+        let empty = sensitivity_svg("empty", &[]);
+        assert_valid(&empty);
+        assert!(empty.contains("no comparable axis groups"));
+    }
+
+    #[test]
+    fn degenerate_single_point_still_renders() {
+        let one = vec![ParetoEntry {
+            name: "only".to_string(),
+            cost: 5.0,
+            cycles: 100,
+            benchmarks: 1,
+            on_frontier: true,
+        }];
+        let svg = pareto_svg("one point", &one);
+        assert_valid(&svg);
+        assert!(
+            !svg.contains("NaN"),
+            "degenerate ranges must not divide by zero"
+        );
+        let empty = pareto_svg("none", &[]);
+        assert_valid(&empty);
+    }
+}

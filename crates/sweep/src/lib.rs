@@ -65,6 +65,6 @@ pub use spec::{
 };
 pub use specfile::{AxisSpec, ConstraintSpec, LoweredSpec, SpecDefaults, SpecError, SpecFile};
 pub use store::{
-    matched_records, point_key_index, run_key, CompactStats, MergeStats, ResultStore, RunRecord,
-    StoreHeader,
+    classify_store_line, matched_records, point_key_index, run_key, CompactStats, MergeStats,
+    ResultStore, RunRecord, StoreHeader, StoreLine,
 };

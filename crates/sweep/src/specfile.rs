@@ -197,9 +197,19 @@ impl AxisSpec {
             .get("axis")
             .and_then(Json::as_str)
             .ok_or_else(|| obj_err("expected an object with an \"axis\" name field".into()))?;
-        let values = match v.get("values") {
+        let range_values;
+        let values: &[Json] = match v.get("values") {
             Some(Json::Arr(items)) => items,
-            _ => return Err(obj_err(format!("axis '{name}' needs a \"values\" array"))),
+            Some(range @ Json::Obj(_)) => {
+                range_values = expand_range(name, range)?;
+                &range_values
+            }
+            _ => {
+                return Err(obj_err(format!(
+                    "axis '{name}' needs a \"values\" array or a \
+                     {{\"from\": .., \"to\": .., \"step\": ..}} range"
+                )))
+            }
         };
         let val_err = |i: usize, what: &str, got: &Json| SpecError {
             message: format!(
@@ -340,6 +350,81 @@ impl AxisSpec {
             AxisSpec::Benchmarks(_) => None,
         }
     }
+}
+
+/// Axes whose values are plain positive integers, and therefore accept the
+/// `{"from": .., "to": .., "step": ..}` range shorthand in place of an
+/// explicit `values` array.
+const RANGE_AXES: &[&str] = &[
+    "issue_width",
+    "vector_units",
+    "vector_lanes",
+    "l2_port_elems",
+    "l1_size",
+    "l2_size",
+    "l1_assoc",
+    "l2_assoc",
+    "l1_line",
+    "l2_line",
+    "l2_banks",
+    "l2_latency",
+    "mem_latency",
+];
+
+/// Expand the range shorthand into an explicit ascending value list:
+/// `from, from+step, ...` up to and including `to` when the step lands on
+/// it (`step` defaults to 1).  The canonical serialization always re-emits
+/// the explicit array, so a range spec and its hand-written expansion
+/// canonicalize — and fingerprint — identically.
+fn expand_range(name: &str, range: &Json) -> Result<Vec<Json>, SpecError> {
+    let err = |msg: String| SpecError {
+        message: format!("axis '{name}': {msg}"),
+    };
+    if !RANGE_AXES.contains(&name) {
+        return Err(err(format!(
+            "range values apply only to integer axes ({})",
+            RANGE_AXES.join(", ")
+        )));
+    }
+    let fields = match range {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("caller matched an object"),
+    };
+    for (key, _) in fields {
+        if !matches!(key.as_str(), "from" | "to" | "step") {
+            return Err(err(format!(
+                "unknown range key '{key}' (known: from, to, step)"
+            )));
+        }
+    }
+    let int_field = |key: &str| -> Result<Option<u64>, SpecError> {
+        match range.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().filter(|&n| n > 0).map(Some).ok_or_else(|| {
+                err(format!(
+                    "range \"{key}\" must be a positive integer, got {}",
+                    v.render()
+                ))
+            }),
+        }
+    };
+    let missing =
+        || err("a range needs \"from\" and \"to\" (and an optional \"step\", default 1)".into());
+    let from = int_field("from")?.ok_or_else(missing)?;
+    let to = int_field("to")?.ok_or_else(missing)?;
+    let step = int_field("step")?.unwrap_or(1);
+    if from > to {
+        return Err(err(format!(
+            "range \"from\" ({from}) must not exceed \"to\" ({to})"
+        )));
+    }
+    let count = (to - from) / step + 1;
+    if count > 4096 {
+        return Err(err(format!(
+            "range expands to {count} values (max 4096); raise \"step\""
+        )));
+    }
+    Ok((0..count).map(|i| Json::u64(from + i * step)).collect())
 }
 
 /// One serializable, named constraint.  Lowering produces the same predicate
@@ -936,6 +1021,88 @@ mod tests {
         for p in &e.points {
             assert!(matches!(p.machine.isa, IsaSupport::Vector));
             assert!(p.machine.vector_units as u32 * p.machine.vector_lanes <= 4);
+        }
+    }
+
+    #[test]
+    fn range_sugar_expands_to_the_explicit_list() {
+        let sugared = SpecFile::parse(
+            r#"{"axes": [{"axis": "mem_latency",
+                          "values": {"from": 100, "to": 500, "step": 200}}]}"#,
+        )
+        .unwrap();
+        let explicit =
+            SpecFile::parse(r#"{"axes": [{"axis": "mem_latency", "values": [100, 300, 500]}]}"#)
+                .unwrap();
+        assert_eq!(sugared, explicit);
+        assert_eq!(sugared.fingerprint(), explicit.fingerprint());
+        // Canonicalization re-emits the explicit array, and round-trips.
+        let canonical = sugared.canonical().render();
+        assert!(canonical.contains("[100,300,500]"), "{canonical}");
+        assert_eq!(SpecFile::parse(&canonical).unwrap(), sugared);
+
+        // A step that overshoots `to` stops at the last in-range value;
+        // step defaults to 1.
+        let overshoot = SpecFile::parse(
+            r#"{"axes": [{"axis": "vector_lanes", "values": {"from": 1, "to": 6, "step": 4}}]}"#,
+        )
+        .unwrap();
+        assert_eq!(overshoot.axes[0], AxisSpec::VectorLanes(vec![1, 5]));
+        let dense =
+            SpecFile::parse(r#"{"axes": [{"axis": "l2_banks", "values": {"from": 2, "to": 4}}]}"#)
+                .unwrap();
+        assert_eq!(dense.axes[0], AxisSpec::L2Banks(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn range_sugar_still_applies_per_axis_validation() {
+        // issue_width ranges pass through the supported-width check.
+        let err = SpecFile::parse(
+            r#"{"axes": [{"axis": "issue_width", "values": {"from": 2, "to": 8, "step": 2}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unsupported width 6"), "{err}");
+    }
+
+    #[test]
+    fn range_errors_are_actionable() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"axes": [{"axis": "isa", "values": {"from": 1, "to": 2}}]}"#,
+                "range values apply only to integer axes",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": {"from": 500, "to": 100}}]}"#,
+                "\"from\" (500) must not exceed \"to\" (100)",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": {"from": 1, "to": 9, "step": 0}}]}"#,
+                "range \"step\" must be a positive integer, got 0",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": {"from": 1, "to": 9, "by": 2}}]}"#,
+                "unknown range key 'by' (known: from, to, step)",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": {"from": 1}}]}"#,
+                "a range needs \"from\" and \"to\"",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": {"from": 1, "to": 100000}}]}"#,
+                "max 4096",
+            ),
+            (
+                r#"{"axes": [{"axis": "mem_latency", "values": 7}]}"#,
+                "needs a \"values\" array or a {\"from\"",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = SpecFile::parse(text).expect_err(text);
+            assert!(
+                err.message.contains(needle),
+                "error for {text:?} should mention {needle:?}, got: {}",
+                err.message
+            );
         }
     }
 

@@ -16,7 +16,7 @@ use vmv_machine::MachineConfig;
 use vmv_mem::MemoryModel;
 
 use crate::fingerprint::{fnv1a64, full_fingerprint};
-use crate::json::Json;
+use crate::json::{Json, JsonError};
 
 /// Stable content-derived key of one run (16 hex digits).
 pub fn run_key(
@@ -169,6 +169,50 @@ impl StoreHeader {
     }
 }
 
+/// Classification of one raw store line — the single reader shared by
+/// [`ResultStore`] (whose bulk readers silently skip everything that is not
+/// a record) and diagnosing consumers like `vmv-report`'s loader (which
+/// reports line numbers and reasons for everything else).
+///
+/// A line is tried as a record first, then as a header: the two shapes are
+/// disjoint (records carry `key`, headers carry `spec_header`), so the
+/// order only matters for pathological lines carrying both, which read as
+/// records — the interpretation that keeps data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreLine {
+    /// Empty or whitespace-only.
+    Blank,
+    /// A v1 spec header (meaningful only as the first line of a file).
+    Header(StoreHeader),
+    /// A well-formed run record.
+    Record(RunRecord),
+    /// Valid JSON, but neither a v1 header nor a complete run record
+    /// (e.g. a future header version, or a record missing fields).
+    Unrecognized(Json),
+    /// Not valid JSON at all (e.g. a torn final line from a crash).
+    Malformed(JsonError),
+}
+
+/// Classify one line of a JSONL result store.
+pub fn classify_store_line(line: &str) -> StoreLine {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return StoreLine::Blank;
+    }
+    match Json::parse(trimmed) {
+        Err(e) => StoreLine::Malformed(e),
+        Ok(v) => {
+            if let Some(r) = RunRecord::from_json(&v) {
+                StoreLine::Record(r)
+            } else if let Some(h) = StoreHeader::from_json(&v) {
+                StoreLine::Header(h)
+            } else {
+                StoreLine::Unrecognized(v)
+            }
+        }
+    }
+}
+
 /// Outcome of one [`ResultStore::merge_from`] invocation.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MergeStats {
@@ -239,10 +283,10 @@ impl ResultStore {
         };
         let mut first = String::new();
         std::io::BufReader::new(file).read_line(&mut first)?;
-        Ok(Json::parse(first.trim())
-            .ok()
-            .as_ref()
-            .and_then(StoreHeader::from_json))
+        Ok(match classify_store_line(&first) {
+            StoreLine::Header(h) => Some(h),
+            _ => None,
+        })
     }
 
     /// All run keys already persisted.  A missing file is an empty store;
@@ -261,14 +305,8 @@ impl ResultStore {
         };
         let mut records = Vec::new();
         for line in std::io::BufReader::new(file).lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            if let Ok(v) = Json::parse(&line) {
-                if let Some(r) = RunRecord::from_json(&v) {
-                    records.push(r);
-                }
+            if let StoreLine::Record(r) = classify_store_line(&line?) {
+                records.push(r);
             }
         }
         Ok(records)
@@ -769,6 +807,35 @@ mod tests {
         for p in [&dest_path, &shard_a, &shard_b, &clean_path] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn classify_distinguishes_every_line_shape() {
+        let r = record("aaaa000011112222", 5);
+        assert_eq!(
+            classify_store_line(&r.to_json().render()),
+            StoreLine::Record(r)
+        );
+        let h = header("00ff00ff00ff00ff");
+        assert_eq!(
+            classify_store_line(&h.to_json().render()),
+            StoreLine::Header(h)
+        );
+        assert_eq!(classify_store_line("   \t "), StoreLine::Blank);
+        assert!(matches!(
+            classify_store_line("{\"key\":\"trunc"),
+            StoreLine::Malformed(_)
+        ));
+        // Valid JSON that is neither shape: a future header version and a
+        // record missing its measurement columns.
+        assert!(matches!(
+            classify_store_line("{\"spec_header\":2,\"name\":\"future\"}"),
+            StoreLine::Unrecognized(_)
+        ));
+        assert!(matches!(
+            classify_store_line("{\"key\":\"aaaa000011112222\"}"),
+            StoreLine::Unrecognized(_)
+        ));
     }
 
     #[test]

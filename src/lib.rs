@@ -32,6 +32,7 @@ pub use vmv_isa as isa;
 pub use vmv_kernels as kernels;
 pub use vmv_machine as machine;
 pub use vmv_mem as mem;
+pub use vmv_report as report;
 pub use vmv_sched as sched;
 pub use vmv_sim as sim;
 pub use vmv_sweep as sweep;

@@ -1,0 +1,102 @@
+//! End-to-end determinism of the reporting subsystem: the demo sweep,
+//! rendered through `vmv-report`, must reproduce the committed golden
+//! Markdown byte for byte — the same invariant CI checks through the
+//! `sweep` and `report` binaries.
+
+use vector_usimd_vliw as vmv;
+
+use vmv::report::{compare, markdown, pareto_report, sensitivity, svg, LoadedStore, ResolvedStore};
+use vmv::sweep::{run_sweep, ExecOptions, SpecFile};
+
+/// Run the embedded demo spec in-process and return the store text exactly
+/// as `sweep --demo` writes it: header line, then one record per line in
+/// deterministic job order.
+fn demo_store_text() -> String {
+    let spec = SpecFile::demo();
+    let lowered = spec.lower().expect("demo spec lowers");
+    let points = lowered.spec.expand().points;
+    let report = run_sweep(&points, &ExecOptions::for_spec(&lowered, 0), None).expect("sweep runs");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let mut text = format!("{}\n", spec.store_header().to_json().render());
+    for r in &report.records {
+        text.push_str(&r.to_json().render());
+        text.push('\n');
+    }
+    text
+}
+
+#[test]
+fn demo_reports_match_the_committed_goldens() {
+    let loaded = LoadedStore::from_text(&demo_store_text());
+    assert!(loaded.diagnostics.is_empty(), "{:?}", loaded.diagnostics);
+    let resolved = ResolvedStore::resolve(&loaded).expect("demo store resolves");
+    assert_eq!(resolved.unmatched, 0);
+    assert_eq!(resolved.records.len(), 224, "112 points x GSM pair");
+
+    // Pareto: byte-identical to the committed golden.
+    let entries = pareto_report(&resolved.points, &resolved.records);
+    let pareto = markdown::pareto_md("demo", &resolved.spec.fingerprint(), &entries);
+    assert_eq!(
+        pareto,
+        include_str!("golden/demo_pareto.md"),
+        "pareto report drifted from tests/golden/demo_pareto.md — if the \
+         change is intentional, regenerate the golden with \
+         `sweep --demo --out demo.jsonl && report pareto --store demo.jsonl \
+         --md --out tests/golden/demo_pareto.md`"
+    );
+
+    // Compare (store against itself): all speedups exactly 1.0, and
+    // byte-identical to the committed golden.
+    let report = compare(&resolved.records, &resolved.records);
+    assert_eq!(report.rows.len(), 224);
+    assert!(report.rows.iter().all(|r| r.speedup == 1.0));
+    let compare_md = markdown::compare_md(
+        "demo",
+        "demo",
+        &report,
+        "benchmark",
+        &markdown::rows_by_benchmark(&report.rows),
+    );
+    assert_eq!(
+        compare_md,
+        include_str!("golden/demo_compare.md"),
+        "compare report drifted from tests/golden/demo_compare.md"
+    );
+
+    // Sensitivity renders a valid standalone SVG naming the swept axes.
+    let rows = sensitivity(&resolved.points, &resolved.records);
+    assert!(!rows.is_empty());
+    let chart = svg::sensitivity_svg("demo — per-axis swing", &rows);
+    assert!(chart.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+    assert!(chart.trim_end().ends_with("</svg>"));
+    assert!(chart.contains("mem_latency"), "{chart}");
+    let scatter = svg::pareto_svg("demo — cost vs cycles", &entries);
+    assert!(scatter.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+    assert!(scatter.matches("<circle").count() >= entries.len());
+}
+
+#[test]
+fn legacy_headerless_stores_still_compare() {
+    // Strip the header: the pre-declarative store format.  compare needs no
+    // spec; pareto correctly refuses with an actionable error.
+    let with_header = demo_store_text();
+    let headerless: String = with_header
+        .lines()
+        .skip(1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let loaded = LoadedStore::from_text(&headerless);
+    assert_eq!(loaded.header, None);
+    assert_eq!(loaded.records.len(), 224);
+    assert!(loaded.diagnostics.is_empty());
+
+    let report = compare(&loaded.records, &loaded.records);
+    assert_eq!(report.rows.len(), 224);
+    assert_eq!(report.regressions, 0);
+
+    let err = match ResolvedStore::resolve(&loaded) {
+        Err(e) => e,
+        Ok(_) => panic!("headerless store must not resolve"),
+    };
+    assert!(err.message.contains("no spec header"), "{err}");
+}
