@@ -41,8 +41,9 @@ fn usage() {
          \x20               BENCH_sim.json)\n\
          --min-scps N    exit non-zero when the synthetic-sweep simulation\n\
          \x20               throughput is below N simulated-cycles-per-second\n\
-         --repeat N      simulate each prepared program N times (default 1;\n\
-         \x20               raises timer resolution on fast machines)"
+         --repeat N      run each whole workload N times (default 1); the\n\
+         \x20               trajectory entry carries the median run plus\n\
+         \x20               min/median/max wall seconds per stage"
     );
 }
 
@@ -77,6 +78,20 @@ fn commit_id() -> String {
     }
     std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `rustc -V` of the toolchain that built us, stamped into trajectory
+/// entries: compiler upgrades move throughput as surely as code changes.
+fn rustc_version() -> String {
+    std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string()))
+        .arg("-V")
         .output()
         .ok()
         .filter(|o| o.status.success())
@@ -157,9 +172,69 @@ impl StageTotals {
     }
 }
 
+/// Median of wall-second samples (averages the middle pair when even).
+fn median(vs: &[f64]) -> f64 {
+    let mut s = vs.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        (s[n / 2 - 1] + s[n / 2]) / 2.0
+    }
+}
+
+/// `{"min": .., "median": .., "max": ..}` over wall-second samples.
+fn spread_json(vs: &[f64]) -> Json {
+    let mut s = vs.to_vec();
+    s.sort_by(f64::total_cmp);
+    Json::Obj(vec![
+        ("min".into(), Json::Num(s[0])),
+        ("median".into(), Json::Num(median(vs))),
+        ("max".into(), Json::Num(s[s.len() - 1])),
+    ])
+}
+
+fn walls(runs: &[(StageTotals, f64)]) -> Vec<f64> {
+    runs.iter().map(|(_, w)| *w).collect()
+}
+
+/// The run with the median simulate time: the representative whose stage
+/// totals become the trajectory entry's headline numbers.
+fn median_run(runs: &[(StageTotals, f64)]) -> &StageTotals {
+    let mut idx: Vec<usize> = (0..runs.len()).collect();
+    idx.sort_by(|&a, &b| runs[a].0.simulate_s.total_cmp(&runs[b].0.simulate_s));
+    &runs[idx[(runs.len() - 1) / 2]].0
+}
+
+/// The representative run's totals plus min/median/max wall seconds per
+/// stage over all repeats (the spread collapses to one value at --repeat 1).
+fn workload_json(name: &str, runs: &[(StageTotals, f64)]) -> Json {
+    let mut obj = match median_run(runs).json(name) {
+        Json::Obj(fields) => fields,
+        _ => unreachable!(),
+    };
+    let stage =
+        |f: fn(&StageTotals) -> f64| -> Vec<f64> { runs.iter().map(|(t, _)| f(t)).collect() };
+    obj.push((
+        "schedule_seconds_spread".into(),
+        spread_json(&stage(|t| t.schedule_s)),
+    ));
+    obj.push((
+        "lower_seconds_spread".into(),
+        spread_json(&stage(|t| t.lower_s)),
+    ));
+    obj.push((
+        "simulate_seconds_spread".into(),
+        spread_json(&stage(|t| t.simulate_s)),
+    ));
+    obj.push(("wall_seconds_spread".into(), spread_json(&walls(runs))));
+    Json::Obj(obj)
+}
+
 /// The Table 2 suite: ten paper configurations × six benchmarks × both
 /// memory models, single-threaded, stages timed separately.
-fn bench_table2(repeat: u32) -> StageTotals {
+fn bench_table2() -> StageTotals {
     let mut t = StageTotals::new();
     for machine in &all_configs() {
         for bench in Benchmark::ALL {
@@ -182,20 +257,18 @@ fn bench_table2(repeat: u32) -> StageTotals {
                 lowered,
             };
             for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
-                for _ in 0..repeat {
-                    let (outcome, sim_s) =
-                        timed(|| simulate(&prepared, machine, model).expect("simulates"));
-                    assert!(
-                        outcome.check_failures.is_empty(),
-                        "{} on {}: {:?}",
-                        bench.name(),
-                        machine.name,
-                        outcome.check_failures
-                    );
-                    t.simulate_s += sim_s;
-                    t.runs += 1;
-                    t.simulated_cycles += outcome.stats.cycles();
-                }
+                let (outcome, sim_s) =
+                    timed(|| simulate(&prepared, machine, model).expect("simulates"));
+                assert!(
+                    outcome.check_failures.is_empty(),
+                    "{} on {}: {:?}",
+                    bench.name(),
+                    machine.name,
+                    outcome.check_failures
+                );
+                t.simulate_s += sim_s;
+                t.runs += 1;
+                t.simulated_cycles += outcome.stats.cycles();
             }
         }
     }
@@ -205,7 +278,7 @@ fn bench_table2(repeat: u32) -> StageTotals {
 /// The synthetic sweep: the `sweep --demo` design points on the GSM pair,
 /// Realistic model, one compile per distinct schedule key (exactly what the
 /// sweep executor's compile cache achieves), re-simulated at every point.
-fn bench_synthetic(repeat: u32) -> StageTotals {
+fn bench_synthetic() -> StageTotals {
     let lowered = SpecFile::demo().lower().expect("demo spec lowers");
     let points = lowered.spec.expand().points;
     let mut t = StageTotals::new();
@@ -239,15 +312,13 @@ fn bench_synthetic(repeat: u32) -> StageTotals {
                     p
                 }
             };
-            for _ in 0..repeat {
-                let (outcome, sim_s) = timed(|| {
-                    simulate(&prepared, &point.machine, MemoryModel::Realistic).expect("simulates")
-                });
-                assert!(outcome.check_failures.is_empty());
-                t.simulate_s += sim_s;
-                t.runs += 1;
-                t.simulated_cycles += outcome.stats.cycles();
-            }
+            let (outcome, sim_s) = timed(|| {
+                simulate(&prepared, &point.machine, MemoryModel::Realistic).expect("simulates")
+            });
+            assert!(outcome.check_failures.is_empty());
+            t.simulate_s += sim_s;
+            t.runs += 1;
+            t.simulated_cycles += outcome.stats.cycles();
         }
     }
     t
@@ -279,10 +350,29 @@ fn main() {
         }
     }
 
-    let (table2, table2_wall) = timed(|| bench_table2(repeat));
+    // The recorder is near-free and its compact snapshot rides along in the
+    // trajectory entry, so the history says *what ran*, not just how fast.
+    vmv_obs::reset();
+    vmv_obs::set_enabled(true);
+
+    // Outer repeats: run each whole workload N times and keep every
+    // stage's wall-second samples, so the entry records spread (min/
+    // median/max) instead of a single roll of the scheduler-noise dice.
+    let mut table2_runs: Vec<(StageTotals, f64)> = Vec::new();
+    let mut synthetic_runs: Vec<(StageTotals, f64)> = Vec::new();
+    for i in 0..repeat {
+        if repeat > 1 {
+            println!("repeat {}/{repeat}", i + 1);
+        }
+        table2_runs.push(timed(bench_table2));
+        synthetic_runs.push(timed(bench_synthetic));
+    }
+    let table2 = median_run(&table2_runs);
+    let synthetic = median_run(&synthetic_runs);
     table2.report("table2 suite (10 configs x 6 benchmarks x 2 memory models)");
-    let (synthetic, synthetic_wall) = timed(|| bench_synthetic(repeat));
     synthetic.report("synthetic sweep (demo points, GSM pair, realistic model)");
+    let table2_wall = median(&walls(&table2_runs));
+    let synthetic_wall = median(&walls(&synthetic_runs));
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -292,12 +382,17 @@ fn main() {
         ("name".into(), Json::str("bench_sim")),
         ("host".into(), Json::str(host_name())),
         ("commit".into(), Json::str(commit_id())),
+        ("rustc".into(), Json::str(rustc_version())),
         ("unix_time".into(), Json::u64(unix_time)),
         ("repeat".into(), Json::u64(repeat as u64)),
         ("table2_wall_seconds".into(), Json::Num(table2_wall)),
         ("synthetic_wall_seconds".into(), Json::Num(synthetic_wall)),
-        ("table2".into(), table2.json("table2")),
-        ("synthetic".into(), synthetic.json("synthetic")),
+        ("table2".into(), workload_json("table2", &table2_runs)),
+        (
+            "synthetic".into(),
+            workload_json("synthetic", &synthetic_runs),
+        ),
+        ("metrics".into(), vmv_obs::snapshot().to_json_compact()),
     ]);
     let trajectory = append_to_trajectory(&json_path, entry);
     // One entry per line between the array brackets: appends produce

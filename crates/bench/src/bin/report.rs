@@ -23,11 +23,14 @@
 //! to stderr, so redirected reports stay clean artifacts.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use vmv_bench::args::{fail, ArgStream};
 use vmv_report::{
-    compare, is_record_field, markdown, pareto_report, parse_filter, record_field, sensitivity,
-    svg, CompareRow, Filter, LoadedStore, ResolvedStore,
+    bench_trend_md, bench_trend_svg, compare, diff_specs, diff_specs_md, html, is_record_field,
+    markdown, pareto_report, parse_filter, parse_trajectory, record_field, sensitivity,
+    store_trend, svg, trend_md, trend_svg, BenchPoint, CompareRow, Filter, LoadedStore,
+    ResolvedStore,
 };
 
 fn usage() {
@@ -39,6 +42,11 @@ fn usage() {
          \x20      report compare  --store X.jsonl --baseline Y.jsonl [--md]\n\
          \x20                       [--filter axis=value ...] [--group-by AXIS]\n\
          \x20                       [--max-regress PCT] [--out PATH]\n\
+         \x20      report trend    --store A.jsonl --store B.jsonl ... and/or\n\
+         \x20                       --bench BENCH_sim.json [--md|--svg] [--out PATH]\n\
+         \x20      report diff-specs --store X.jsonl --baseline Y.jsonl [--out PATH]\n\
+         \x20      report html     --store X.jsonl [--store ...] [--baseline Y.jsonl]\n\
+         \x20                       [--bench BENCH_sim.json] --out DIR\n\
          \n\
          pareto          cost/cycles table (or scatter chart) with the Pareto\n\
          \x20               frontier marked; needs a headered store\n\
@@ -47,6 +55,15 @@ fn usage() {
          compare         join --store against --baseline by content-derived\n\
          \x20               run key and report per-run speedups (headerless\n\
          \x20               stores work too)\n\
+         trend           time series: per-run cycles across N stores of one\n\
+         \x20               experiment (--store, repeatable, oldest first)\n\
+         \x20               and/or the bench trajectory (--bench)\n\
+         diff-specs      name the axis values the two store headers don't\n\
+         \x20               share (why doesn't compare match my runs?)\n\
+         html            one self-contained static page bundling pareto,\n\
+         \x20               sensitivity, compare (with --baseline), trend\n\
+         \x20               (with repeated --store / --bench); writes\n\
+         \x20               DIR/index.html\n\
          --md / --svg    output format (default Markdown; compare is\n\
          \x20               Markdown-only)\n\
          --filter a=v    keep only runs whose axis label or record field\n\
@@ -56,7 +73,9 @@ fn usage() {
          \x20               benchmark\n\
          --max-regress P exit 1 when any matched run is more than P percent\n\
          \x20               slower than the baseline\n\
-         --out PATH      write the report to PATH instead of stdout"
+         --bench PATH    bench trajectory JSON (BENCH_sim.json) for trend/html\n\
+         --out PATH      write the report to PATH instead of stdout (a\n\
+         \x20               directory for `report html`)"
     );
 }
 
@@ -100,6 +119,43 @@ fn resolve(loaded: &LoadedStore) -> ResolvedStore {
     }
 }
 
+/// Load and parse a bench trajectory file (`BENCH_sim.json`).
+fn load_bench(path: &str) -> Vec<BenchPoint> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match vmv_sweep::Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match parse_trajectory(&doc) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Header name if the store has one, file name otherwise.
+fn display_name(loaded: &LoadedStore) -> String {
+    match &loaded.header {
+        Some(h) => h.name.clone(),
+        None => loaded
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string()),
+    }
+}
+
 fn emit(out_path: &Option<String>, content: &str) {
     match out_path {
         None => print!("{content}"),
@@ -133,14 +189,16 @@ fn main() {
             usage();
             return;
         }
-        "pareto" | "sensitivity" | "compare" => {}
+        "pareto" | "sensitivity" | "compare" | "trend" | "diff-specs" | "html" => {}
         other => fail(format!(
-            "unknown command '{other}' (expected pareto, sensitivity or compare)"
+            "unknown command '{other}' (expected pareto, sensitivity, compare, \
+             trend, diff-specs or html)"
         )),
     }
 
-    let mut store_path: Option<String> = None;
+    let mut store_paths: Vec<String> = Vec::new();
     let mut baseline_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut format: Option<Format> = None;
     let mut filters: Vec<Filter> = Vec::new();
     let mut group_by: Option<String> = None;
@@ -148,8 +206,9 @@ fn main() {
     let mut out_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--store" => store_path = Some(args.value("--store")),
+            "--store" => store_paths.push(args.value("--store")),
             "--baseline" => baseline_path = Some(args.value("--baseline")),
+            "--bench" => bench_path = Some(args.value("--bench")),
             "--md" => format = Some(Format::Md),
             "--svg" => format = Some(Format::Svg),
             "--filter" => {
@@ -177,10 +236,17 @@ fn main() {
             other => fail(format!("unknown argument '{other}'")),
         }
     }
-    let store_path = store_path.unwrap_or_else(|| fail("--store is required"));
+    let single_store = |paths: &[String]| -> String {
+        match paths {
+            [one] => one.clone(),
+            [] => fail("--store is required"),
+            _ => fail(format!("`report {command}` takes exactly one --store")),
+        }
+    };
 
     match command.as_str() {
         "pareto" | "sensitivity" => {
+            let store_path = single_store(&store_paths);
             if baseline_path.is_some() || max_regress.is_some() || group_by.is_some() {
                 fail("--baseline/--max-regress/--group-by only apply to `report compare`");
             }
@@ -219,6 +285,7 @@ fn main() {
             if format == Some(Format::Svg) {
                 fail("`report compare` renders Markdown only");
             }
+            let store_path = single_store(&store_paths);
             let baseline_path =
                 baseline_path.unwrap_or_else(|| fail("compare needs --baseline Y.jsonl"));
             let loaded = load(&store_path);
@@ -277,14 +344,6 @@ fn main() {
                         groups
                     }
                 };
-            let display_name = |loaded: &LoadedStore| match &loaded.header {
-                Some(h) => h.name.clone(),
-                None => loaded
-                    .path
-                    .file_name()
-                    .map(|n| n.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| "store".to_string()),
-            };
             let content = markdown::compare_md(
                 &display_name(&loaded),
                 &display_name(&baseline),
@@ -311,6 +370,122 @@ fn main() {
                     report.rows.len()
                 );
             }
+        }
+        "trend" => {
+            if baseline_path.is_some() || max_regress.is_some() || group_by.is_some() {
+                fail("--baseline/--max-regress/--group-by only apply to `report compare`");
+            }
+            let points: Option<Vec<BenchPoint>> = bench_path.as_deref().map(load_bench);
+            if store_paths.is_empty() && points.is_none() {
+                fail("trend needs --store (repeatable, oldest first) and/or --bench");
+            }
+            if store_paths.len() == 1 {
+                fail("a trend over stores needs at least two --store flags (oldest first)");
+            }
+            let loaded: Vec<LoadedStore> = store_paths.iter().map(|p| load(p)).collect();
+            let refs: Vec<&LoadedStore> = loaded.iter().collect();
+            let t = (!refs.is_empty()).then(|| store_trend(&refs));
+            let content = match format.unwrap_or(Format::Md) {
+                Format::Md => {
+                    let mut content = String::new();
+                    if let Some(t) = &t {
+                        content.push_str(&trend_md(t));
+                    }
+                    if let Some(p) = &points {
+                        if !content.is_empty() {
+                            content.push('\n');
+                        }
+                        content.push_str(&bench_trend_md(p));
+                    }
+                    content
+                }
+                Format::Svg => match (&t, &points) {
+                    (Some(t), None) => trend_svg(t),
+                    (None, Some(p)) => bench_trend_svg(p),
+                    _ => fail(
+                        "--svg renders one chart: pass either --store flags or \
+                         --bench, not both",
+                    ),
+                },
+            };
+            emit(&out_path, &content);
+        }
+        "diff-specs" => {
+            if format == Some(Format::Svg) {
+                fail("`report diff-specs` renders Markdown only");
+            }
+            let store_path = single_store(&store_paths);
+            let baseline_path =
+                baseline_path.unwrap_or_else(|| fail("diff-specs needs --baseline Y.jsonl"));
+            let loaded = load(&store_path);
+            let baseline = load(&baseline_path);
+            fn header(l: &LoadedStore) -> &vmv_sweep::StoreHeader {
+                l.header.as_ref().unwrap_or_else(|| {
+                    fail(format!(
+                        "{}: headerless store — diff-specs needs the spec header \
+                         (rerun the sweep with --spec/--demo)",
+                        l.path.display()
+                    ))
+                })
+            }
+            let d = diff_specs(header(&loaded), header(&baseline));
+            emit(&out_path, &diff_specs_md(&d));
+        }
+        "html" => {
+            let out_dir = out_path.unwrap_or_else(|| fail("`report html` needs --out DIR"));
+            if store_paths.is_empty() {
+                fail("--store is required");
+            }
+            let loaded: Vec<LoadedStore> = store_paths.iter().map(|p| load(p)).collect();
+            // The newest store (last --store) drives pareto/sensitivity;
+            // the full sequence drives the trend section.
+            let newest = loaded.last().expect("non-empty checked above");
+            let resolved = resolve(newest);
+            let records = match resolved.filter_records(&filters) {
+                Ok(r) => r,
+                Err(e) => fail(e.message),
+            };
+            let name = resolved.spec.name.clone();
+            let mut sections = Vec::new();
+            sections.push(html::pareto_section(
+                &name,
+                &pareto_report(&resolved.points, &records),
+            ));
+            sections.push(html::sensitivity_section(
+                &name,
+                &sensitivity(&resolved.points, &records),
+            ));
+            if let Some(bp) = &baseline_path {
+                let baseline = load(bp);
+                let report = compare(&newest.records, &baseline.records);
+                let groups = markdown::rows_by_field(&report.rows, "benchmark")
+                    .expect("benchmark is a record field");
+                sections.push(html::compare_section(
+                    &display_name(&baseline),
+                    &report,
+                    &groups,
+                ));
+            }
+            if loaded.len() >= 2 {
+                let refs: Vec<&LoadedStore> = loaded.iter().collect();
+                sections.push(html::trend_section(&store_trend(&refs)));
+            }
+            if let Some(bp) = bench_path.as_deref() {
+                sections.push(html::bench_section(&load_bench(bp)));
+            }
+            let subtitle = format!("spec {name} — fingerprint {}", resolved.spec.fingerprint());
+            let page = html::page(&format!("vmv observatory — {name}"), &subtitle, &sections);
+            let dir = Path::new(&out_dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {out_dir}: {e}");
+                std::process::exit(1);
+            }
+            let index = dir.join("index.html");
+            if let Err(e) = std::fs::write(&index, &page) {
+                eprintln!("cannot write {}: {e}", index.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {}", index.display());
         }
         _ => unreachable!(),
     }

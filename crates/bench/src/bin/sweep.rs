@@ -66,7 +66,12 @@ fn usage() {
          \x20               sweep_results.jsonl); completed run keys found\n\
          \x20               there are skipped\n\
          --json PATH     also write a BENCH-style JSON artifact (wall clock,\n\
-         \x20               cache counters, per-run cycles)"
+         \x20               cache counters, per-run cycles)\n\
+         --metrics PATH  enable the pipeline recorder and write its snapshot\n\
+         \x20               (counters, span histograms, per-worker load) as\n\
+         \x20               canonical JSON after the sweep\n\
+         --progress      ~1 Hz heartbeat on stderr: done/total runs, runs/s,\n\
+         \x20               cache hit rate, ETA"
     );
 }
 
@@ -81,6 +86,8 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut out_flag: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut progress = false;
 
     let mut args = ArgStream::new();
     let mut any = false;
@@ -109,6 +116,8 @@ fn main() {
             "--threads" => threads = Some(args.parsed("--threads", "a non-negative thread count")),
             "--out" => out_flag = Some(args.value("--out")),
             "--json" => json_path = Some(args.value("--json")),
+            "--metrics" => metrics_path = Some(args.value("--metrics")),
+            "--progress" => progress = true,
             "--help" | "-h" => {
                 usage();
                 return;
@@ -266,7 +275,14 @@ fn main() {
         ),
         _ => {}
     }
-    let opts = ExecOptions::for_spec(&lowered, threads);
+    // The recorder is process-global and off by default; --metrics turns it
+    // on for the whole sweep so the snapshot covers compile, simulate,
+    // store appends and per-worker load.
+    if metrics_path.is_some() {
+        vmv_obs::set_enabled(true);
+    }
+    let mut opts = ExecOptions::for_spec(&lowered, threads);
+    opts.progress = progress;
     let report = match vmv_sweep::run_sweep(&points, &opts, Some(&store)) {
         Ok(r) => r,
         Err(e) => {
@@ -377,5 +393,20 @@ fn main() {
             std::process::exit(1);
         }
         println!("\nwrote benchmark artifact to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        let snap = vmv_obs::snapshot();
+        if let Err(e) = std::fs::write(&path, snap.to_json().render_pretty() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        match snap.cache_hit_rate() {
+            Some(rate) => println!(
+                "wrote metrics snapshot to {path} (cache hit rate {:.1}%)",
+                rate * 100.0
+            ),
+            None => println!("wrote metrics snapshot to {path}"),
+        }
     }
 }

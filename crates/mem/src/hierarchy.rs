@@ -86,6 +86,30 @@ impl MemStats {
             self.l2_hits as f64 / total as f64
         }
     }
+
+    /// Fold this run's totals into the process-wide telemetry recorder.
+    /// Called once per completed simulation (not per access), so the
+    /// hierarchy's hot path stays atomic-free.
+    pub fn record_obs(&self) {
+        if !vmv_obs::enabled() {
+            return;
+        }
+        use vmv_obs::Counter;
+        vmv_obs::add(Counter::MemScalarLoads, self.scalar_loads);
+        vmv_obs::add(Counter::MemScalarStores, self.scalar_stores);
+        vmv_obs::add(Counter::MemVectorLoads, self.vector_loads);
+        vmv_obs::add(Counter::MemVectorStores, self.vector_stores);
+        vmv_obs::add(Counter::MemL1Hits, self.l1_hits);
+        vmv_obs::add(Counter::MemL1Misses, self.l1_misses);
+        vmv_obs::add(Counter::MemL2Hits, self.l2_hits);
+        vmv_obs::add(Counter::MemL2Misses, self.l2_misses);
+        vmv_obs::add(Counter::MemL3Hits, self.l3_hits);
+        vmv_obs::add(Counter::MemL3Misses, self.l3_misses);
+        vmv_obs::add(
+            Counter::MemCoherenceInvalidations,
+            self.coherence_invalidations,
+        );
+    }
 }
 
 /// The memory hierarchy.

@@ -1,0 +1,183 @@
+//! Fixed-bucket log2 histograms of nanosecond durations.
+//!
+//! Bucket `i` (for `i >= 1`) holds samples whose value `v` satisfies
+//! `2^(i-1) <= v < 2^i`; bucket 0 holds exactly the zero samples.  64
+//! buckets therefore cover the full `u64` range with no configuration and
+//! no allocation, and recording is one relaxed `fetch_add` on a fixed
+//! array slot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: zero + one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index of a sample value: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The smallest value that lands in bucket `i` (the bucket's lower edge).
+pub fn bucket_floor(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A concurrently updatable histogram.  All operations are relaxed — the
+/// totals are exact, but a snapshot taken mid-update may be internally
+/// off by the in-flight sample (acceptable for telemetry).
+pub struct AtomicHist {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+// `AtomicU64::new` is const, but array-repeat needs a const item.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl AtomicHist {
+    pub const fn new() -> AtomicHist {
+        AtomicHist {
+            count: ZERO,
+            sum: ZERO,
+            buckets: [ZERO; BUCKETS],
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for AtomicHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A frozen histogram: totals plus the log2 buckets with trailing zero
+/// buckets trimmed (so JSON snapshots stay short).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    pub count: u64,
+    /// Sum of all recorded values (nanoseconds for span histograms).
+    pub sum: u64,
+    /// `buckets[i]` = samples in bucket `i` (see [`bucket_of`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower edge of the highest non-empty bucket — a cheap "max is at
+    /// least" statistic the buckets preserve exactly.
+    pub fn max_bucket_floor(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_floor)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_agree() {
+        let h = AtomicHist::new();
+        for v in [0, 1, 1, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_001_007);
+        assert_eq!(s.buckets[0], 1, "one zero sample");
+        assert_eq!(s.buckets[1], 2, "two ones");
+        assert_eq!(s.buckets[3], 1, "5 lands in [4,8)");
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+        assert!((s.mean() - 1_001_007.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.max_bucket_floor(), 1 << 19, "1e6 lands in [2^19, 2^20)");
+        h.reset();
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+    }
+
+    #[test]
+    fn trailing_zero_buckets_are_trimmed() {
+        let h = AtomicHist::new();
+        h.record(3);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 3, "buckets 0..=2, rest trimmed");
+        let empty = AtomicHist::new().snapshot();
+        assert!(empty.buckets.is_empty());
+        assert_eq!(empty.max_bucket_floor(), 0);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = AtomicHist::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.sum, 4 * (999 * 1000 / 2));
+    }
+}

@@ -1,0 +1,293 @@
+//! Frozen recorder state and its canonical JSON form.
+//!
+//! A [`Snapshot`] is plain data — no atomics — produced by
+//! [`crate::recorder::Recorder::snapshot`] and rendered with the in-tree
+//! [`crate::json`] value type, so `sweep --metrics`, the bench trajectory
+//! and tests all share one schema:
+//!
+//! ```json
+//! {"schema":"vmv-metrics/1","enabled":true,
+//!  "cache_hit_rate":0.75,
+//!  "counters":{"cache_hits":3,...},
+//!  "spans":{"job_compile_ns":{"count":4,"sum_ns":812345,"buckets":[0,1,...]}},
+//!  "workers":[{"worker":0,"jobs":4,"busy_ns":812345}]}
+//! ```
+//!
+//! `cache_hit_rate` is derived (hits / lookups) and re-derived on parse, so
+//! the schema stays redundancy-free; consumers that only want the headline
+//! number never have to do arithmetic.
+
+use crate::hist::HistSnapshot;
+use crate::json::{Json, JsonError};
+
+/// Identifies the snapshot schema in every rendered document.
+pub const SCHEMA: &str = "vmv-metrics/1";
+
+/// One worker's lifetime totals from the sweep executor pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    pub worker: usize,
+    pub jobs: u64,
+    pub busy_ns: u64,
+}
+
+/// A frozen view of a recorder: every counter (in declaration order),
+/// every span histogram, and the per-worker totals that saw activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub enabled: bool,
+    pub counters: Vec<(String, u64)>,
+    pub spans: Vec<(String, HistSnapshot)>,
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl Snapshot {
+    /// Look up a counter by its snake_case name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a span histogram by name.
+    pub fn span(&self, name: &str) -> Option<&HistSnapshot> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Compile-cache hit rate in [0, 1]; `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter("cache_hits")?;
+        let misses = self.counter("cache_misses")?;
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Full canonical JSON document: every counter (zero or not), every
+    /// span, schema tag first.
+    pub fn to_json(&self) -> Json {
+        self.render(false)
+    }
+
+    /// Compact variant for embedding (bench trajectory entries): zero
+    /// counters and empty spans are omitted, everything else identical.
+    pub fn to_json_compact(&self) -> Json {
+        self.render(true)
+    }
+
+    fn render(&self, compact: bool) -> Json {
+        let mut root = Json::Obj(Vec::new());
+        if let Json::Obj(fields) = &mut root {
+            fields.push(("schema".into(), Json::str(SCHEMA)));
+            fields.push(("enabled".into(), Json::Bool(self.enabled)));
+            if let Some(rate) = self.cache_hit_rate() {
+                fields.push(("cache_hit_rate".into(), Json::Num(rate)));
+            }
+            let counters: Vec<(String, Json)> = self
+                .counters
+                .iter()
+                .filter(|(_, v)| !compact || *v > 0)
+                .map(|(n, v)| (n.clone(), Json::u64(*v)))
+                .collect();
+            fields.push(("counters".into(), Json::Obj(counters)));
+            let spans: Vec<(String, Json)> = self
+                .spans
+                .iter()
+                .filter(|(_, h)| !compact || h.count > 0)
+                .map(|(n, h)| (n.clone(), hist_json(h)))
+                .collect();
+            fields.push(("spans".into(), Json::Obj(spans)));
+            if !compact || !self.workers.is_empty() {
+                fields.push((
+                    "workers".into(),
+                    Json::Arr(
+                        self.workers
+                            .iter()
+                            .map(|w| {
+                                Json::Obj(vec![
+                                    ("worker".into(), Json::u64(w.worker as u64)),
+                                    ("jobs".into(), Json::u64(w.jobs)),
+                                    ("busy_ns".into(), Json::u64(w.busy_ns)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        root
+    }
+
+    /// Parse a snapshot document (full or compact).  Counters or spans the
+    /// document omits are simply absent from the result — compact-rendered
+    /// zeros stay zero-by-omission, and [`Snapshot::counter`] returns
+    /// `None` for them.
+    pub fn from_json(doc: &Json) -> Result<Snapshot, String> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported metrics schema {other:?}")),
+            None => return Err("missing metrics schema tag".into()),
+        }
+        let enabled = doc
+            .get("enabled")
+            .and_then(Json::as_bool)
+            .ok_or("missing enabled flag")?;
+        let mut counters = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("counters") {
+            for (name, v) in fields {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {name} is not a u64"))?;
+                counters.push((name.clone(), v));
+            }
+        }
+        let mut spans = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("spans") {
+            for (name, h) in fields {
+                spans.push((name.clone(), hist_from_json(name, h)?));
+            }
+        }
+        let mut workers = Vec::new();
+        if let Some(Json::Arr(items)) = doc.get("workers") {
+            for item in items {
+                let field = |k: &str| {
+                    item.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("worker entry missing {k}"))
+                };
+                workers.push(WorkerSnapshot {
+                    worker: field("worker")? as usize,
+                    jobs: field("jobs")?,
+                    busy_ns: field("busy_ns")?,
+                });
+            }
+        }
+        Ok(Snapshot {
+            enabled,
+            counters,
+            spans,
+            workers,
+        })
+    }
+
+    /// Parse from JSON text (convenience over [`Snapshot::from_json`]).
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let doc = Json::parse(text).map_err(|JsonError { offset, message }| {
+            format!("metrics JSON invalid at byte {offset}: {message}")
+        })?;
+        Snapshot::from_json(&doc)
+    }
+}
+
+fn hist_json(h: &HistSnapshot) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::u64(h.count)),
+        ("sum_ns".into(), Json::u64(h.sum)),
+        (
+            "buckets".into(),
+            Json::Arr(h.buckets.iter().map(|&b| Json::u64(b)).collect()),
+        ),
+    ])
+}
+
+fn hist_from_json(name: &str, h: &Json) -> Result<HistSnapshot, String> {
+    let count = h
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("span {name} missing count"))?;
+    let sum = h
+        .get("sum_ns")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("span {name} missing sum_ns"))?;
+    let buckets = match h.get("buckets") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|b| {
+                b.as_u64()
+                    .ok_or_else(|| format!("span {name} bucket not a u64"))
+            })
+            .collect::<Result<Vec<u64>, String>>()?,
+        _ => return Err(format!("span {name} missing buckets")),
+    };
+    Ok(HistSnapshot {
+        count,
+        sum,
+        buckets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Counter, Recorder, SpanKind};
+
+    fn busy_recorder() -> Recorder {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.add(Counter::CacheHits, 3);
+        r.incr(Counter::CacheMisses);
+        r.add(Counter::SchedReadyScans, 1234);
+        r.record_ns(SpanKind::JobCompile, 0);
+        r.record_ns(SpanKind::JobCompile, 900);
+        r.record_ns(SpanKind::JobSimulate, 1_500_000);
+        r.worker_record(0, 4, 812_345);
+        r
+    }
+
+    #[test]
+    fn full_json_round_trips_exactly() {
+        let snap = busy_recorder().snapshot();
+        let text = snap.to_json().render();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        // Canonical: re-rendering the parse is byte-identical.
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn schema_and_derived_fields_are_present() {
+        let snap = busy_recorder().snapshot();
+        let doc = snap.to_json();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let rate = doc.get("cache_hit_rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn compact_form_omits_zeros_but_parses_back() {
+        let snap = busy_recorder().snapshot();
+        let compact = snap.to_json_compact().render();
+        assert!(
+            !compact.contains("store_records_appended"),
+            "zero counters omitted"
+        );
+        assert!(!compact.contains("store_append_ns"), "empty spans omitted");
+        let back = Snapshot::parse(&compact).unwrap();
+        assert_eq!(back.counter("cache_hits"), Some(3));
+        assert_eq!(back.counter("store_records_appended"), None);
+        assert_eq!(back.span("job_compile_ns").unwrap().count, 2);
+        assert_eq!(back.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn idle_recorder_has_no_hit_rate_field() {
+        let snap = Recorder::new().snapshot();
+        assert_eq!(snap.cache_hit_rate(), None);
+        assert!(snap.to_json().get("cache_hit_rate").is_none());
+        let back = Snapshot::parse(&snap.to_json().render()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn wrong_or_missing_schema_is_rejected() {
+        assert!(
+            Snapshot::parse("{\"schema\":\"vmv-metrics/999\",\"enabled\":true}")
+                .unwrap_err()
+                .contains("unsupported")
+        );
+        assert!(Snapshot::parse("{\"enabled\":true}")
+            .unwrap_err()
+            .contains("missing metrics schema"));
+    }
+}

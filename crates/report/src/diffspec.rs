@@ -1,0 +1,271 @@
+//! Explain why two stores disagree: diff the canonical specs their headers
+//! carry, axis by axis.
+//!
+//! `report compare`/`report trend` join stores by content-derived run key,
+//! so mixed experiments still "work" — runs simply fail to match.  This
+//! pass names the cause in one command: for every axis either store sweeps,
+//! the values only one of them has; plus axes and constraints present in
+//! only one spec.
+
+use vmv_sweep::{Json, StoreHeader};
+
+/// One axis's disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisDiff {
+    pub axis: String,
+    /// Canonically rendered values only the store sweeps.
+    pub only_in_store: Vec<String>,
+    /// Values only the baseline sweeps.
+    pub only_in_baseline: Vec<String>,
+}
+
+/// The full spec diff between a store and a baseline header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecDiff {
+    pub store_name: String,
+    pub baseline_name: String,
+    pub store_fingerprint: String,
+    pub baseline_fingerprint: String,
+    /// The canonical spec JSON matches byte-for-byte.  Can be false while
+    /// the diff [`is_empty`](SpecDiff::is_empty): the fingerprint hashes
+    /// only axes + constraints, so `defaults`/name changes land here.
+    pub specs_identical: bool,
+    /// Axes with any value disagreement (axes missing from one spec list
+    /// every value of the other side), spec order (store first, then
+    /// baseline-only axes).
+    pub axes: Vec<AxisDiff>,
+    /// Canonically rendered constraints present in exactly one spec.
+    pub only_constraints_in_store: Vec<String>,
+    pub only_constraints_in_baseline: Vec<String>,
+}
+
+impl SpecDiff {
+    /// No disagreement at all (fingerprints may still differ on `defaults`,
+    /// which do not affect the swept points).
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+            && self.only_constraints_in_store.is_empty()
+            && self.only_constraints_in_baseline.is_empty()
+    }
+}
+
+/// Canonically rendered `values` per axis, in spec order.
+fn axis_values(spec: &Json) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    if let Some(Json::Arr(axes)) = spec.get("axes") {
+        for a in axes {
+            let name = a
+                .get("axis")
+                .and_then(Json::as_str)
+                .unwrap_or("(unnamed)")
+                .to_string();
+            let values = match a.get("values") {
+                Some(Json::Arr(vs)) => vs.iter().map(Json::render).collect(),
+                Some(other) => vec![other.render()],
+                None => Vec::new(),
+            };
+            out.push((name, values));
+        }
+    }
+    out
+}
+
+/// Canonically rendered constraint entries.
+fn constraints(spec: &Json) -> Vec<String> {
+    match spec.get("constraints") {
+        Some(Json::Arr(cs)) => cs.iter().map(Json::render).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Diff the canonical specs of two store headers.
+pub fn diff_specs(store: &StoreHeader, baseline: &StoreHeader) -> SpecDiff {
+    let store_axes = axis_values(&store.spec);
+    let baseline_axes = axis_values(&baseline.spec);
+    let mut axes = Vec::new();
+    for (name, values) in &store_axes {
+        let other: &[String] = baseline_axes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[]);
+        let only_in_store: Vec<String> = values
+            .iter()
+            .filter(|v| !other.contains(v))
+            .cloned()
+            .collect();
+        let only_in_baseline: Vec<String> = other
+            .iter()
+            .filter(|v| !values.contains(v))
+            .cloned()
+            .collect();
+        if !only_in_store.is_empty() || !only_in_baseline.is_empty() {
+            axes.push(AxisDiff {
+                axis: name.clone(),
+                only_in_store,
+                only_in_baseline,
+            });
+        }
+    }
+    for (name, values) in &baseline_axes {
+        if !store_axes.iter().any(|(n, _)| n == name) {
+            axes.push(AxisDiff {
+                axis: name.clone(),
+                only_in_store: Vec::new(),
+                only_in_baseline: values.clone(),
+            });
+        }
+    }
+
+    let store_cs = constraints(&store.spec);
+    let baseline_cs = constraints(&baseline.spec);
+    SpecDiff {
+        store_name: store.name.clone(),
+        baseline_name: baseline.name.clone(),
+        store_fingerprint: store.fingerprint.clone(),
+        baseline_fingerprint: baseline.fingerprint.clone(),
+        specs_identical: store.spec.render() == baseline.spec.render(),
+        only_constraints_in_store: store_cs
+            .iter()
+            .filter(|c| !baseline_cs.contains(c))
+            .cloned()
+            .collect(),
+        only_constraints_in_baseline: baseline_cs
+            .iter()
+            .filter(|c| !store_cs.contains(c))
+            .cloned()
+            .collect(),
+        axes,
+    }
+}
+
+/// Markdown rendering of the diff.
+pub fn diff_specs_md(d: &SpecDiff) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Spec diff — {} (fingerprint {}) vs. baseline {} (fingerprint {})\n\n",
+        d.store_name, d.store_fingerprint, d.baseline_name, d.baseline_fingerprint
+    ));
+    if d.is_empty() {
+        out.push_str(if d.specs_identical {
+            "The specs are identical.\n"
+        } else {
+            "The swept axes and constraints agree; the specs differ only on \
+             fields that do not affect the design points (e.g. `defaults` or \
+             the spec name).\n"
+        });
+        return out;
+    }
+    out.push_str("| axis | only in store | only in baseline |\n|:--|:--|:--|\n");
+    for a in &d.axes {
+        let side = |vals: &[String]| {
+            if vals.is_empty() {
+                "-".to_string()
+            } else {
+                vals.iter()
+                    .map(|v| format!("`{v}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} |\n",
+            a.axis,
+            side(&a.only_in_store),
+            side(&a.only_in_baseline)
+        ));
+    }
+    for (label, cs) in [
+        ("store", &d.only_constraints_in_store),
+        ("baseline", &d.only_constraints_in_baseline),
+    ] {
+        if !cs.is_empty() {
+            out.push_str(&format!("\nConstraints only in the {label}:\n"));
+            for c in cs {
+                out.push_str(&format!("- `{c}`\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmv_sweep::SpecFile;
+
+    fn header_of(spec_text: &str) -> StoreHeader {
+        SpecFile::parse(spec_text).unwrap().store_header()
+    }
+
+    #[test]
+    fn value_and_axis_differences_are_named_per_side() {
+        let store = header_of(
+            r#"{"name": "a", "axes": [
+                {"axis": "mem_latency", "values": [100, 300]},
+                {"axis": "vector_lanes", "values": [2, 4]}
+            ]}"#,
+        );
+        let baseline = header_of(
+            r#"{"name": "b", "axes": [
+                {"axis": "mem_latency", "values": [100, 500]},
+                {"axis": "l2_banks", "values": [2]}
+            ]}"#,
+        );
+        let d = diff_specs(&store, &baseline);
+        assert!(!d.is_empty());
+        assert_eq!(d.axes.len(), 3);
+        assert_eq!(d.axes[0].axis, "mem_latency");
+        assert_eq!(d.axes[0].only_in_store, vec!["300"]);
+        assert_eq!(d.axes[0].only_in_baseline, vec!["500"]);
+        assert_eq!(d.axes[1].axis, "vector_lanes");
+        assert_eq!(d.axes[1].only_in_store, vec!["2", "4"]);
+        assert!(d.axes[1].only_in_baseline.is_empty());
+        assert_eq!(d.axes[2].axis, "l2_banks");
+        assert_eq!(d.axes[2].only_in_baseline, vec!["2"]);
+
+        let md = diff_specs_md(&d);
+        assert!(md.contains("| `mem_latency` | `300` | `500` |"), "{md}");
+        assert!(md.contains("| `vector_lanes` | `2`, `4` | - |"), "{md}");
+        assert_eq!(md, diff_specs_md(&d), "byte-deterministic");
+    }
+
+    #[test]
+    fn identical_specs_diff_empty() {
+        let a = header_of(r#"{"axes": [{"axis": "mem_latency", "values": [100]}]}"#);
+        let d = diff_specs(&a, &a);
+        assert!(d.is_empty());
+        assert!(diff_specs_md(&d).contains("identical"));
+    }
+
+    #[test]
+    fn default_only_differences_are_explained_not_listed() {
+        let a = header_of(r#"{"axes": [{"axis": "mem_latency", "values": [100]}]}"#);
+        let b = header_of(
+            r#"{"axes": [{"axis": "mem_latency", "values": [100]}],
+                "defaults": {"threads": 4}}"#,
+        );
+        let d = diff_specs(&a, &b);
+        assert!(d.is_empty());
+        // The fingerprint covers only axes + constraints, so it agrees...
+        assert_eq!(d.store_fingerprint, d.baseline_fingerprint);
+        // ...but the canonical specs differ, and the rendering says why.
+        assert!(!d.specs_identical);
+        assert!(diff_specs_md(&d).contains("do not affect the design points"));
+    }
+
+    #[test]
+    fn constraint_differences_are_listed() {
+        let a = header_of(
+            r#"{"axes": [{"axis": "vector_lanes", "values": [2, 4]}],
+                "constraints": [{"constraint": "lane_budget", "max": 8}]}"#,
+        );
+        let b = header_of(r#"{"axes": [{"axis": "vector_lanes", "values": [2, 4]}]}"#);
+        let d = diff_specs(&a, &b);
+        assert!(!d.is_empty());
+        assert!(d.axes.is_empty());
+        assert_eq!(d.only_constraints_in_store.len(), 1);
+        assert!(d.only_constraints_in_store[0].contains("lane_budget"));
+        assert!(diff_specs_md(&d).contains("Constraints only in the store"));
+    }
+}

@@ -22,19 +22,32 @@
 //!   SVG scatter/bar charts ([`svg`]), both dependency-free and
 //!   byte-deterministic so golden files can be committed.
 //!
+//! * the observatory — [`trend`] tracks one fingerprint across N stores
+//!   (and the committed `BENCH_sim.json` trajectory) as a time series,
+//!   [`diffspec`] names the axis values two store headers don't share, and
+//!   [`html`] bundles every analysis into one self-contained static page;
+//!
 //! The `report` binary in `vmv-bench` wires these into
-//! `report pareto|sensitivity|compare`.
+//! `report pareto|sensitivity|compare|trend|diff-specs|html`.
 
 pub mod compare;
+pub mod diffspec;
+pub mod html;
 pub mod loader;
 pub mod markdown;
 pub mod resolve;
 pub mod svg;
+pub mod trend;
 
 pub use compare::{compare, geomean, CompareReport, CompareRow};
+pub use diffspec::{diff_specs, diff_specs_md, AxisDiff, SpecDiff};
 pub use loader::{LoadedStore, StoreDiagnostic};
 pub use resolve::{
     is_record_field, parse_filter, record_field, Filter, ReportError, ResolvedStore,
+};
+pub use trend::{
+    bench_trend_md, bench_trend_svg, parse_trajectory, store_trend, trend_md, trend_svg,
+    BenchPoint, StoreTrend, TrendRow,
 };
 // The analysis passes live in vmv-sweep (the sweep driver prints them too);
 // re-export them so report consumers need only this crate.

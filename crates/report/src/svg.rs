@@ -1,9 +1,11 @@
 //! Standalone SVG charts — no dependencies, no scripts, byte-deterministic.
 //!
-//! Two shapes cover the analyses: a cost/cycles scatter with the Pareto
-//! frontier traced ([`pareto_svg`]) and a horizontal bar chart of per-axis
-//! sensitivity swings ([`sensitivity_svg`]).  Coordinates are emitted with
-//! fixed precision, so the same input always renders the same bytes.
+//! Three shapes cover the analyses: a cost/cycles scatter with the Pareto
+//! frontier traced ([`pareto_svg`]), a horizontal bar chart of per-axis
+//! sensitivity swings ([`sensitivity_svg`]) and a categorical-x line chart
+//! for time series over stores or commits ([`line_chart`]).  Coordinates
+//! are emitted with fixed precision, so the same input always renders the
+//! same bytes.
 
 use vmv_sweep::{AxisSensitivity, ParetoEntry};
 
@@ -14,6 +16,10 @@ const POINT_COLOR: &str = "#9ca3af";
 const FRONTIER_COLOR: &str = "#1d4ed8";
 const BAR_COLOR: &str = "#1d4ed8";
 const MARKER_COLOR: &str = "#b91c1c";
+/// Series palette for [`line_chart`], cycled by series index.
+const SERIES_COLORS: [&str; 6] = [
+    "#1d4ed8", "#b91c1c", "#047857", "#b45309", "#6d28d9", "#0e7490",
+];
 
 fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
@@ -270,6 +276,152 @@ pub fn sensitivity_svg(title: &str, rows: &[AxisSensitivity]) -> String {
     out
 }
 
+/// One named series of a [`line_chart`]: one optional y value per x
+/// category (a `None` leaves a gap — the polyline splits around it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<Option<f64>>,
+}
+
+/// Categorical-x line chart: `x_labels` name evenly spaced positions (store
+/// files, commits, nights) and each series draws its present values as a
+/// polyline with hoverable points.  Used by `report trend` for cycles over
+/// stores and throughput over commits.
+pub fn line_chart(title: &str, y_label: &str, x_labels: &[String], series: &[Series]) -> String {
+    const W: u32 = 800;
+    const H: u32 = 500;
+    const LEFT: f64 = 80.0;
+    const RIGHT: f64 = 630.0;
+    const TOP: f64 = 50.0;
+    const BOTTOM: f64 = 440.0;
+
+    let mut out = String::new();
+    svg_open(&mut out, W, H);
+    out.push_str(&format!(
+        "<text x=\"{LEFT}\" y=\"24\" {TITLE_FONT}>{}</text>\n",
+        esc(title)
+    ));
+    let has_points = series.iter().any(|s| s.values.iter().any(Option::is_some));
+    if x_labels.is_empty() || !has_points {
+        out.push_str(&format!(
+            "<text x=\"{LEFT}\" y=\"{TOP}\" {FONT}>no data points</text>\n</svg>\n"
+        ));
+        return out;
+    }
+
+    let y = Scale::new(
+        series
+            .iter()
+            .flat_map(|s| s.values.iter().flatten().copied()),
+        BOTTOM,
+        TOP,
+    );
+    // Categories are evenly spaced; a single category sits centred.
+    let xs: Vec<f64> = (0..x_labels.len())
+        .map(|i| {
+            if x_labels.len() == 1 {
+                (LEFT + RIGHT) / 2.0
+            } else {
+                LEFT + (RIGHT - LEFT) * i as f64 / (x_labels.len() - 1) as f64
+            }
+        })
+        .collect();
+
+    // Axes, y ticks, x category labels.
+    out.push_str(&format!(
+        "<line x1=\"{LEFT}\" y1=\"{BOTTOM}\" x2=\"{RIGHT}\" y2=\"{BOTTOM}\" \
+         stroke=\"{AXIS_COLOR}\"/>\n\
+         <line x1=\"{LEFT}\" y1=\"{TOP}\" x2=\"{LEFT}\" y2=\"{BOTTOM}\" \
+         stroke=\"{AXIS_COLOR}\"/>\n"
+    ));
+    for t in y.ticks() {
+        let py = y.px(t);
+        out.push_str(&format!(
+            "<line x1=\"{:.2}\" y1=\"{py:.2}\" x2=\"{LEFT}\" y2=\"{py:.2}\" \
+             stroke=\"{AXIS_COLOR}\"/>\n\
+             <text x=\"{:.2}\" y=\"{:.2}\" {FONT} text-anchor=\"end\">{}</text>\n",
+            LEFT - 5.0,
+            LEFT - 8.0,
+            py + 4.0,
+            human(t)
+        ));
+    }
+    for (i, label) in x_labels.iter().enumerate() {
+        let px = xs[i];
+        out.push_str(&format!(
+            "<line x1=\"{px:.2}\" y1=\"{BOTTOM}\" x2=\"{px:.2}\" y2=\"{:.2}\" \
+             stroke=\"{AXIS_COLOR}\"/>\n\
+             <text x=\"{px:.2}\" y=\"{:.2}\" {FONT} text-anchor=\"end\" \
+             transform=\"rotate(-35 {px:.2} {:.2})\">{}</text>\n",
+            BOTTOM + 5.0,
+            BOTTOM + 20.0,
+            BOTTOM + 20.0,
+            esc(label)
+        ));
+    }
+    out.push_str(&format!(
+        "<text x=\"18\" y=\"{:.2}\" {FONT} text-anchor=\"middle\" \
+         transform=\"rotate(-90 18 {:.2})\">{}</text>\n",
+        (TOP + BOTTOM) / 2.0,
+        (TOP + BOTTOM) / 2.0,
+        esc(y_label)
+    ));
+
+    for (si, s) in series.iter().enumerate() {
+        let color = SERIES_COLORS[si % SERIES_COLORS.len()];
+        // Split the polyline at gaps so a missing value never draws a
+        // misleading bridge segment.
+        let mut runs: Vec<Vec<String>> = vec![Vec::new()];
+        for (i, v) in s.values.iter().enumerate() {
+            match v {
+                Some(v) => runs
+                    .last_mut()
+                    .expect("runs starts non-empty")
+                    .push(format!("{:.2},{:.2}", xs[i], y.px(*v))),
+                None => {
+                    if !runs.last().expect("runs starts non-empty").is_empty() {
+                        runs.push(Vec::new());
+                    }
+                }
+            }
+        }
+        for run in runs.iter().filter(|r| r.len() > 1) {
+            out.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                 stroke-width=\"1.5\"/>\n",
+                run.join(" ")
+            ));
+        }
+        for (i, v) in s.values.iter().enumerate() {
+            if let Some(v) = v {
+                out.push_str(&format!(
+                    "<circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"3.5\" fill=\"{color}\">\
+                     <title>{} @ {}: {}</title></circle>\n",
+                    xs[i],
+                    y.px(*v),
+                    esc(&s.name),
+                    esc(&x_labels[i]),
+                    human(*v)
+                ));
+            }
+        }
+        // Legend down the right edge, one swatch + label per series.
+        let ly = TOP + si as f64 * 18.0;
+        out.push_str(&format!(
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\n\
+             <text x=\"{:.2}\" y=\"{:.2}\" {FONT}>{}</text>\n",
+            RIGHT + 14.0,
+            ly - 9.0,
+            RIGHT + 30.0,
+            ly,
+            esc(&s.name)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +535,64 @@ mod tests {
         let empty = sensitivity_svg("empty", &[]);
         assert_valid(&empty);
         assert!(empty.contains("no comparable axis groups"));
+    }
+
+    #[test]
+    fn line_chart_is_valid_deterministic_and_splits_at_gaps() {
+        let labels: Vec<String> = ["v1", "v2", "v3", "v4"].map(String::from).to_vec();
+        let series = vec![
+            Series {
+                name: "GSM_DEC <&>".to_string(),
+                values: vec![Some(100.0), Some(90.0), None, Some(80.0)],
+            },
+            Series {
+                name: "GSM_ENC".to_string(),
+                values: vec![Some(200.0), Some(210.0), Some(190.0), Some(185.0)],
+            },
+        ];
+        let a = line_chart("trend", "cycles", &labels, &series);
+        let b = line_chart("trend", "cycles", &labels, &series);
+        assert_eq!(a, b);
+        assert_valid(&a);
+        // The gap in GSM_DEC splits it into one 2-point run plus an isolated
+        // point; GSM_ENC is a single 4-point run → 2 polylines, 7 circles.
+        assert_eq!(a.matches("<polyline").count(), 2);
+        assert_eq!(a.matches("<circle").count(), 7);
+        assert!(a.contains("&lt;&amp;&gt;"), "legend names are escaped");
+        assert!(a.contains("rotate(-35"), "x labels are rotated");
+    }
+
+    #[test]
+    fn line_chart_handles_empty_and_single_category_input() {
+        let empty = line_chart("empty", "cycles", &[], &[]);
+        assert_valid(&empty);
+        assert!(empty.contains("no data points"));
+
+        let all_gaps = line_chart(
+            "gaps",
+            "cycles",
+            &["a".to_string()],
+            &[Series {
+                name: "s".to_string(),
+                values: vec![None],
+            }],
+        );
+        assert_valid(&all_gaps);
+        assert!(all_gaps.contains("no data points"));
+
+        let one = line_chart(
+            "one",
+            "cycles",
+            &["a".to_string()],
+            &[Series {
+                name: "s".to_string(),
+                values: vec![Some(5.0)],
+            }],
+        );
+        assert_valid(&one);
+        assert!(!one.contains("NaN"));
+        assert_eq!(one.matches("<polyline").count(), 0, "one point, no line");
+        assert_eq!(one.matches("<circle").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,525 @@
+//! The trend analysis: history rendered as time series.
+//!
+//! Two inputs feed `report trend`:
+//!
+//! * **N result stores of one experiment** (same spec fingerprint, e.g. one
+//!   store per night or per commit) — joined per run key into a cycles-over-
+//!   stores table, regressions first ([`store_trend`]);
+//! * **the `BENCH_sim.json` trajectory** — the bench bin's host- and
+//!   commit-stamped entries as throughput-over-commits series
+//!   ([`parse_trajectory`]).
+//!
+//! Legacy trajectory entries (written before host/commit stamping) are
+//! normalized on load: missing `host`/`commit` render as `"unknown"` and a
+//! missing `unix_time` as 0, so the first line of a grown-in-place history
+//! never breaks the chart.  Renderers are byte-deterministic (fixed order,
+//! fixed precision, no timestamps) so goldens can be committed.
+
+use crate::loader::LoadedStore;
+use crate::svg::{line_chart, Series};
+use vmv_sweep::Json;
+
+/// One run key across every store column: the identifying fields plus one
+/// optional cycle count per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    pub key: String,
+    pub config: String,
+    pub benchmark: String,
+    pub model: String,
+    /// Cycles per store column (`None` = the store has no record for this
+    /// key).
+    pub cycles: Vec<Option<u64>>,
+    /// Last present cycles / first present cycles; `None` with fewer than
+    /// two present values.  Above 1.0 the run got slower over the series.
+    pub ratio: Option<f64>,
+}
+
+/// N stores of one experiment joined per run key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreTrend {
+    /// Column label per store, in CLI order (file stem, made unique by a
+    /// positional prefix).
+    pub columns: Vec<String>,
+    /// Spec name/fingerprint of the first headered store (the reference).
+    pub spec_name: String,
+    pub fingerprint: String,
+    /// Mixed-experiment and headerless-store warnings.
+    pub warnings: Vec<String>,
+    /// One row per run key seen anywhere, worst last/first ratio first.
+    pub rows: Vec<TrendRow>,
+    /// Per-column total cycles over **complete** rows (keys present in every
+    /// column), so the totals are comparable across columns; `None` until at
+    /// least one complete row exists.
+    pub totals: Vec<Option<u64>>,
+}
+
+/// Join stores (CLI order) per run key.
+pub fn store_trend(stores: &[&LoadedStore]) -> StoreTrend {
+    let columns: Vec<String> = stores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let stem = s
+                .path
+                .file_stem()
+                .map(|n| n.to_string_lossy().into_owned())
+                .filter(|n| !n.is_empty())
+                .unwrap_or_else(|| "store".to_string());
+            format!("{}:{}", i + 1, stem)
+        })
+        .collect();
+
+    let mut warnings = Vec::new();
+    let reference = stores.iter().find_map(|s| s.header.as_ref());
+    let (spec_name, fingerprint) = match reference {
+        Some(h) => (h.name.clone(), h.fingerprint.clone()),
+        None => ("(headerless)".to_string(), "unknown".to_string()),
+    };
+    for (i, s) in stores.iter().enumerate() {
+        match (&s.header, reference) {
+            (Some(h), Some(r)) if h.fingerprint != r.fingerprint => warnings.push(format!(
+                "{}: spec fingerprint {} differs from reference {} ('{}' vs '{}') — \
+                 rows join by content key, but the columns answer different experiments",
+                columns[i], h.fingerprint, r.fingerprint, h.name, r.name
+            )),
+            (None, Some(_)) => warnings.push(format!(
+                "{}: store has no spec header; cannot check it ran the same experiment",
+                columns[i]
+            )),
+            _ => {}
+        }
+    }
+
+    // Union of run keys in first-seen order (store order, then file order).
+    let mut rows: Vec<TrendRow> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (col, s) in stores.iter().enumerate() {
+        for r in &s.records {
+            let at = *index.entry(r.key.clone()).or_insert_with(|| {
+                rows.push(TrendRow {
+                    key: r.key.clone(),
+                    config: r.config.clone(),
+                    benchmark: r.benchmark.clone(),
+                    model: r.model.clone(),
+                    cycles: vec![None; stores.len()],
+                    ratio: None,
+                });
+                rows.len() - 1
+            });
+            rows[at].cycles[col] = Some(r.cycles);
+        }
+    }
+    for row in &mut rows {
+        let present: Vec<u64> = row.cycles.iter().flatten().copied().collect();
+        if present.len() >= 2 {
+            row.ratio = Some(*present.last().expect("len >= 2") as f64 / present[0] as f64);
+        }
+    }
+    // Regressions first: highest last/first ratio on top, rows without a
+    // ratio at the bottom; ties broken by the identifying fields so the
+    // order is total and deterministic.
+    rows.sort_by(|a, b| {
+        let ra = a.ratio.unwrap_or(f64::NEG_INFINITY);
+        let rb = b.ratio.unwrap_or(f64::NEG_INFINITY);
+        rb.partial_cmp(&ra)
+            .expect("ratios are finite")
+            .then_with(|| {
+                (&a.config, &a.benchmark, &a.model, &a.key).cmp(&(
+                    &b.config,
+                    &b.benchmark,
+                    &b.model,
+                    &b.key,
+                ))
+            })
+    });
+
+    let complete: Vec<&TrendRow> = rows
+        .iter()
+        .filter(|r| r.cycles.iter().all(Option::is_some))
+        .collect();
+    let totals: Vec<Option<u64>> = (0..stores.len())
+        .map(|col| {
+            if complete.is_empty() {
+                None
+            } else {
+                Some(
+                    complete
+                        .iter()
+                        .map(|r| r.cycles[col].expect("row is complete"))
+                        .sum(),
+                )
+            }
+        })
+        .collect();
+
+    StoreTrend {
+        columns,
+        spec_name,
+        fingerprint,
+        warnings,
+        rows,
+        totals,
+    }
+}
+
+/// Trend table: totals, then one row per run key (regressions first).
+pub fn trend_md(t: &StoreTrend) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Trend report — {} (fingerprint {})\n\n",
+        t.spec_name, t.fingerprint
+    ));
+    out.push_str(
+        "Cycles per run key across the stores (columns in CLI order); \
+         ratio = last present / first present, regressions (above 1.000x) \
+         first.\n",
+    );
+    for w in &t.warnings {
+        out.push_str(&format!("\n> **warning**: {w}\n"));
+    }
+
+    out.push_str("\n## Totals (complete rows only)\n\n");
+    out.push_str("| store | total cycles |\n|:--|--:|\n");
+    for (i, total) in t.totals.iter().enumerate() {
+        out.push_str(&format!(
+            "| `{}` | {} |\n",
+            t.columns[i],
+            total.map_or("-".to_string(), |c| c.to_string())
+        ));
+    }
+
+    out.push_str("\n## Per-run cycles\n\n");
+    out.push_str("| design point | benchmark | model |");
+    for c in &t.columns {
+        out.push_str(&format!(" `{c}` |"));
+    }
+    out.push_str(" ratio |\n|:--|:--|:--|");
+    for _ in &t.columns {
+        out.push_str("--:|");
+    }
+    out.push_str("--:|\n");
+    for r in &t.rows {
+        out.push_str(&format!(
+            "| `{}` | {} | {} |",
+            r.config, r.benchmark, r.model
+        ));
+        for c in &r.cycles {
+            out.push_str(&format!(
+                " {} |",
+                c.map_or("-".to_string(), |c| c.to_string())
+            ));
+        }
+        out.push_str(&format!(
+            " {} |\n",
+            r.ratio.map_or("-".to_string(), |x| format!("{x:.3}x"))
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} run keys over {} stores; {} complete in every store.\n",
+        t.rows.len(),
+        t.columns.len(),
+        t.rows
+            .iter()
+            .filter(|r| r.cycles.iter().all(Option::is_some))
+            .count()
+    ));
+    out
+}
+
+/// Line chart of per-benchmark total cycles (complete rows only) per store.
+pub fn trend_svg(t: &StoreTrend) -> String {
+    let mut benchmarks: Vec<String> = t
+        .rows
+        .iter()
+        .filter(|r| r.cycles.iter().all(Option::is_some))
+        .map(|r| r.benchmark.clone())
+        .collect();
+    benchmarks.sort();
+    benchmarks.dedup();
+    let series: Vec<Series> = benchmarks
+        .into_iter()
+        .map(|b| {
+            let rows: Vec<&TrendRow> = t
+                .rows
+                .iter()
+                .filter(|r| r.benchmark == b && r.cycles.iter().all(Option::is_some))
+                .collect();
+            Series {
+                name: b,
+                values: (0..t.columns.len())
+                    .map(|col| {
+                        Some(
+                            rows.iter()
+                                .map(|r| r.cycles[col].expect("row is complete") as f64)
+                                .sum(),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    line_chart(
+        &format!("trend — {} (complete rows)", t.spec_name),
+        "total cycles",
+        &t.columns,
+        &series,
+    )
+}
+
+/// One entry of the `BENCH_sim.json` trajectory, normalized: legacy entries
+/// without `host`/`commit`/`unix_time` read as `"unknown"`/0 instead of
+/// erroring or being skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    pub host: String,
+    pub commit: String,
+    pub unix_time: u64,
+    pub repeat: u64,
+    pub table2_wall_seconds: Option<f64>,
+    pub synthetic_wall_seconds: Option<f64>,
+    /// Simulated-cycles-per-second of the two workloads.
+    pub table2_scps: Option<f64>,
+    pub synthetic_scps: Option<f64>,
+}
+
+impl BenchPoint {
+    /// X-axis label: ordinal plus commit, unique even when commits repeat.
+    pub fn label(&self, ordinal: usize) -> String {
+        format!("{}:{}", ordinal + 1, self.commit)
+    }
+}
+
+/// Parse a trajectory document: a JSON array of entries, or (oldest form)
+/// one bare entry object.  Entries missing the stamp fields normalize to
+/// `"unknown"`/0; a malformed entry is an error naming its index.
+pub fn parse_trajectory(doc: &Json) -> Result<Vec<BenchPoint>, String> {
+    let entries: Vec<&Json> = match doc {
+        Json::Arr(items) => items.iter().collect(),
+        obj @ Json::Obj(_) => vec![obj],
+        _ => return Err("trajectory is neither a JSON array nor an entry object".into()),
+    };
+    let mut points = Vec::with_capacity(entries.len());
+    for (i, e) in entries.into_iter().enumerate() {
+        if !matches!(e, Json::Obj(_)) {
+            return Err(format!("trajectory entry {} is not an object", i + 1));
+        }
+        let text = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string()
+        };
+        let scps = |k: &str| {
+            e.get(k)
+                .and_then(|w| w.get("simulated_cycles_per_second"))
+                .and_then(Json::as_f64)
+        };
+        points.push(BenchPoint {
+            host: text("host"),
+            commit: text("commit"),
+            unix_time: e.get("unix_time").and_then(Json::as_u64).unwrap_or(0),
+            repeat: e.get("repeat").and_then(Json::as_u64).unwrap_or(1),
+            table2_wall_seconds: e.get("table2_wall_seconds").and_then(Json::as_f64),
+            synthetic_wall_seconds: e.get("synthetic_wall_seconds").and_then(Json::as_f64),
+            table2_scps: scps("table2"),
+            synthetic_scps: scps("synthetic"),
+        });
+    }
+    Ok(points)
+}
+
+/// Throughput-over-commits table of the trajectory.
+pub fn bench_trend_md(points: &[BenchPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("# Bench trajectory\n\n");
+    out.push_str(
+        "Simulated-cycles-per-second per trajectory entry (newest last); \
+         `unknown` marks entries from before host/commit stamping.\n\n",
+    );
+    out.push_str("| entry | host | commit | table2 scps | synthetic scps | table2 wall s | synthetic wall s |\n");
+    out.push_str("|:--|:--|:--|--:|--:|--:|--:|\n");
+    let num = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.0}"));
+    let secs = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.3}"));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | `{}` | {} | {} | {} | {} |\n",
+            i + 1,
+            p.host,
+            p.commit,
+            num(p.table2_scps),
+            num(p.synthetic_scps),
+            secs(p.table2_wall_seconds),
+            secs(p.synthetic_wall_seconds),
+        ));
+    }
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        if points.len() >= 2 {
+            if let (Some(a), Some(b)) = (first.synthetic_scps, last.synthetic_scps) {
+                out.push_str(&format!(
+                    "\nSynthetic throughput last/first: {:.3}x (above 1.000x the \
+                     simulator got faster).\n",
+                    b / a
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Line chart of table2/synthetic throughput over commits.
+pub fn bench_trend_svg(points: &[BenchPoint]) -> String {
+    let labels: Vec<String> = points.iter().enumerate().map(|(i, p)| p.label(i)).collect();
+    let series = vec![
+        Series {
+            name: "table2 scps".to_string(),
+            values: points.iter().map(|p| p.table2_scps).collect(),
+        },
+        Series {
+            name: "synthetic scps".to_string(),
+            values: points.iter().map(|p| p.synthetic_scps).collect(),
+        },
+    ];
+    line_chart(
+        "bench trajectory — simulated cycles per second",
+        "simulated cycles/s",
+        &labels,
+        &series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::tests::record;
+
+    fn store(path: &str, records: &[(&str, &str, u64)]) -> LoadedStore {
+        let text: String = records
+            .iter()
+            .map(|(k, b, c)| format!("{}\n", record(k, b, *c).to_json().render()))
+            .collect();
+        let mut s = LoadedStore::from_text(&text);
+        s.path = std::path::PathBuf::from(path);
+        s
+    }
+
+    #[test]
+    fn store_trend_joins_by_key_and_sorts_regressions_first() {
+        let a = store(
+            "night1.jsonl",
+            &[
+                ("aaaa000011112222", "GSM_DEC", 1000),
+                ("bbbb000011112222", "GSM_ENC", 2000),
+                ("cccc000011112222", "GSM_DEC", 500),
+            ],
+        );
+        let b = store(
+            "night2.jsonl",
+            &[
+                ("aaaa000011112222", "GSM_DEC", 1100), // regressed 1.1x
+                ("bbbb000011112222", "GSM_ENC", 1800), // improved 0.9x
+                ("dddd000011112222", "GSM_ENC", 300),  // new key
+            ],
+        );
+        let t = store_trend(&[&a, &b]);
+        assert_eq!(t.columns, vec!["1:night1", "2:night2"]);
+        assert_eq!(t.rows.len(), 4);
+        // Worst ratio first, single-column rows (no ratio) last.
+        assert_eq!(t.rows[0].key, "aaaa000011112222");
+        assert_eq!(t.rows[0].ratio, Some(1.1));
+        assert_eq!(t.rows[1].ratio, Some(0.9));
+        assert!(t.rows[2].ratio.is_none() && t.rows[3].ratio.is_none());
+        // Totals cover only the two complete rows: 1000+2000 vs 1100+1800.
+        assert_eq!(t.totals, vec![Some(3000), Some(2900)]);
+        // Headerless stores warn once the reference is also headerless —
+        // here there is no headered reference at all, so no warnings.
+        assert!(t.warnings.is_empty());
+        assert_eq!(t.spec_name, "(headerless)");
+
+        let md = trend_md(&t);
+        assert!(md.contains("| `1:night1` | 3000 |"), "{md}");
+        assert!(
+            md.contains("| `2w/vu1/ln2` | GSM_DEC | Realistic | 1000 | 1100 | 1.100x |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| `2w/vu1/ln2` | GSM_ENC | Realistic | - | 300 | - |"),
+            "{md}"
+        );
+        assert!(md.contains("4 run keys over 2 stores; 2 complete in every store."));
+        assert_eq!(md, trend_md(&t), "byte-deterministic");
+
+        let svg = trend_svg(&t);
+        assert!(svg.contains("GSM_DEC") && svg.contains("GSM_ENC"));
+        assert_eq!(svg, trend_svg(&t));
+    }
+
+    #[test]
+    fn fingerprint_mismatches_and_missing_headers_warn() {
+        let header = |name: &str, fp: &str| {
+            vmv_sweep::StoreHeader {
+                name: name.to_string(),
+                fingerprint: fp.to_string(),
+                spec: Json::Obj(vec![]),
+            }
+            .to_json()
+            .render()
+        };
+        let rec = record("aaaa000011112222", "GSM_DEC", 10).to_json().render();
+        let mut a = LoadedStore::from_text(&format!("{}\n{rec}\n", header("exp_a", "aaaa")));
+        a.path = "a.jsonl".into();
+        let mut b = LoadedStore::from_text(&format!("{}\n{rec}\n", header("exp_b", "bbbb")));
+        b.path = "b.jsonl".into();
+        let mut c = LoadedStore::from_text(&format!("{rec}\n"));
+        c.path = "c.jsonl".into();
+
+        let t = store_trend(&[&a, &b, &c]);
+        assert_eq!(t.spec_name, "exp_a");
+        assert_eq!(t.fingerprint, "aaaa");
+        assert_eq!(t.warnings.len(), 2);
+        assert!(t.warnings[0].contains("differs from reference"));
+        assert!(t.warnings[1].contains("no spec header"));
+        assert!(trend_md(&t).contains("**warning**"));
+    }
+
+    #[test]
+    fn committed_trajectory_normalizes_the_legacy_first_entry() {
+        // The repo's own BENCH_sim.json: entry 1 predates host/commit
+        // stamping and must render as "unknown", not be skipped.
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json"))
+                .expect("committed trajectory exists");
+        let points = parse_trajectory(&Json::parse(&text).unwrap()).unwrap();
+        assert!(points.len() >= 2);
+        assert_eq!(points[0].host, "unknown");
+        assert_eq!(points[0].commit, "unknown");
+        assert_eq!(points[0].unix_time, 0);
+        assert!(points[0].synthetic_scps.unwrap() > 0.0);
+        assert_ne!(
+            points[1].host, "unknown",
+            "stamped entries keep their stamp"
+        );
+        assert_ne!(points[1].commit, "unknown");
+
+        let md = bench_trend_md(&points);
+        assert!(md.contains("| 1 | unknown | `unknown` |"), "{md}");
+        let svg = bench_trend_svg(&points);
+        assert!(svg.contains("1:unknown"));
+        assert_eq!(svg, bench_trend_svg(&points));
+    }
+
+    #[test]
+    fn legacy_single_object_trajectory_parses_as_one_point() {
+        let doc = Json::parse(r#"{"name":"bench_sim","repeat":1}"#).unwrap();
+        let points = parse_trajectory(&doc).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].commit, "unknown");
+        assert_eq!(points[0].table2_scps, None);
+        assert_eq!(points[0].label(0), "1:unknown");
+
+        assert!(parse_trajectory(&Json::parse("3").unwrap()).is_err());
+        assert!(parse_trajectory(&Json::parse("[3]").unwrap())
+            .unwrap_err()
+            .contains("entry 1"));
+    }
+}

@@ -37,7 +37,11 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
     let safety_limit = (n as u32 + 4) * 64 + 1024;
 
     let mut ready: Vec<usize> = Vec::with_capacity(n);
+    // Telemetry is accumulated locally and folded into the recorder once
+    // per block, keeping the cycle loop free of atomics.
+    let mut ready_scans = 0u64;
     while placed < n {
+        ready_scans += 1;
         assert!(
             cycle < safety_limit,
             "list scheduler failed to make progress (block of {n} ops, cycle {cycle})"
@@ -81,6 +85,14 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
             }
         }
         cycle += 1;
+    }
+
+    if vmv_obs::enabled() {
+        use vmv_obs::Counter;
+        vmv_obs::incr(Counter::SchedBlocks);
+        vmv_obs::add(Counter::SchedReadyScans, ready_scans);
+        vmv_obs::add(Counter::SchedOpsPlaced, n as u64);
+        vmv_obs::add(Counter::SchedCyclesScheduled, bundles.len() as u64);
     }
 
     bundles

@@ -316,6 +316,10 @@ impl Simulator {
                     stats.region_mut(*id).add(acc);
                 }
                 stats.memory = hierarchy.stats;
+                // One fold per completed run (and only on the lowered
+                // engine, so differential runs don't double-count).
+                stats.memory.record_obs();
+                vmv_obs::incr(vmv_obs::Counter::SimRuns);
                 return Ok(stats);
             }
             if next_block >= program.blocks.len() {

@@ -76,14 +76,17 @@ impl CompileCache {
         match &*guard {
             Some(Ok(prepared)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                vmv_obs::incr(vmv_obs::Counter::CacheHits);
                 Ok(Arc::clone(prepared))
             }
             Some(Err(msg)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                vmv_obs::incr(vmv_obs::Counter::CacheHits);
                 Err(ExperimentError::Compile(msg.clone()))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                vmv_obs::incr(vmv_obs::Counter::CacheMisses);
                 let result = prepare(benchmark, machine).map(Arc::new);
                 *guard = Some(match &result {
                     Ok(prepared) => Ok(Arc::clone(prepared)),

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use vmv_core::simulate;
 use vmv_kernels::Benchmark;
+use vmv_obs::{Counter, SpanKind};
 
 use crate::cache::{CacheCounters, CompileCache};
 use crate::spec::SweepPoint;
@@ -26,6 +27,8 @@ pub struct ExecOptions {
     pub benchmarks: Vec<Benchmark>,
     /// Worker threads (0 = one per available core, capped at 16).
     pub workers: usize,
+    /// Print a ~1 Hz heartbeat line to stderr while the sweep runs.
+    pub progress: bool,
 }
 
 impl Default for ExecOptions {
@@ -33,6 +36,7 @@ impl Default for ExecOptions {
         ExecOptions {
             benchmarks: Benchmark::ALL.to_vec(),
             workers: 0,
+            progress: false,
         }
     }
 }
@@ -43,6 +47,7 @@ impl ExecOptions {
         ExecOptions {
             benchmarks: lowered.benchmarks.clone(),
             workers,
+            progress: false,
         }
     }
 
@@ -68,6 +73,58 @@ pub struct SweepReport {
     pub cache: CacheCounters,
     /// Wall-clock seconds of the parallel phase.
     pub wall_seconds: f64,
+}
+
+/// The `--progress` heartbeat: at most one line per second on stderr with
+/// runs done/total, throughput, compile-cache hit rate and an ETA.
+struct Progress {
+    on: bool,
+    total: usize,
+    skipped: usize,
+    start: Instant,
+    last: Instant,
+}
+
+impl Progress {
+    fn new(on: bool, total: usize, skipped: usize) -> Progress {
+        let now = Instant::now();
+        Progress {
+            on,
+            total,
+            skipped,
+            start: now,
+            last: now,
+        }
+    }
+
+    fn tick(&mut self, done: usize, cache: &CompileCache, force: bool) {
+        if !self.on {
+            return;
+        }
+        let now = Instant::now();
+        if !force && now.duration_since(self.last).as_secs_f64() < 1.0 {
+            return;
+        }
+        self.last = now;
+        let elapsed = now.duration_since(self.start).as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = if done > 0 {
+            format!("{:.0}s", (self.total - done) as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        let c = cache.counters();
+        let lookups = c.hits + c.misses;
+        let hit_pct = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * c.hits as f64 / lookups as f64
+        };
+        eprintln!(
+            "sweep: {done}/{} runs ({} skipped) | {rate:.1} runs/s | cache hits {hit_pct:.0}% | eta {eta}",
+            self.total, self.skipped
+        );
+    }
 }
 
 /// Run `benchmarks × points` in parallel.  When `store` is given, jobs whose
@@ -115,17 +172,39 @@ pub fn run_sweep(
         }
     }
 
+    vmv_obs::add(Counter::SweepJobsSkipped, skipped as u64);
+    // Queue wait is measured from here — the moment the job list exists —
+    // to each job's pickup, so the first histogram bucket shows pool ramp-up
+    // and the tail shows how long the last jobs sat behind the others.
+    let queued_at = Instant::now();
+
     // One job body shared by the inline and pooled paths, so the two can
     // never diverge in cache interaction, record layout or panic handling.
     let run_job = |job: &Job| -> Result<RunRecord, String> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache
-                .get_or_compile(job.benchmark, &job.point.machine)
-                .and_then(|prepared| simulate(&prepared, &job.point.machine, job.point.model))
+        vmv_obs::record_ns(
+            SpanKind::JobQueueWait,
+            queued_at.elapsed().as_nanos() as u64,
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let prepared = {
+                let _compile = vmv_obs::span(SpanKind::JobCompile);
+                cache.get_or_compile(job.benchmark, &job.point.machine)
+            };
+            prepared
+                .and_then(|prepared| {
+                    let _simulate = vmv_obs::span(SpanKind::JobSimulate);
+                    simulate(&prepared, &job.point.machine, job.point.model)
+                })
                 .map(|outcome| record_of(job.key.clone(), job.point, job.benchmark, &outcome))
                 .map_err(|e| e.to_string())
         }))
-        .unwrap_or_else(|panic| Err(panic_message(&panic)))
+        .unwrap_or_else(|panic| Err(panic_message(&panic)));
+        vmv_obs::incr(if result.is_ok() {
+            Counter::SweepJobsCompleted
+        } else {
+            Counter::SweepJobsFailed
+        });
+        result
     };
 
     // Single-worker sweeps run inline on the calling thread: no pool, no
@@ -134,28 +213,39 @@ pub fn run_sweep(
     if opts.effective_workers() == 1 {
         const BATCH: usize = 16;
         let start = Instant::now();
+        let mut progress = Progress::new(opts.progress, jobs.len(), skipped);
         let mut records = Vec::with_capacity(jobs.len());
         let mut errors = Vec::new();
         let mut committed = 0usize;
+        let mut busy_ns = 0u64;
         for job in &jobs {
+            let job_start = vmv_obs::enabled().then(Instant::now);
             match run_job(job) {
                 Ok(record) => records.push(record),
                 Err(e) => {
                     errors.push((format!("{} on {}", job.benchmark.name(), job.point.name), e))
                 }
             }
+            if let Some(t) = job_start {
+                busy_ns += t.elapsed().as_nanos() as u64;
+            }
+            progress.tick(records.len() + errors.len(), &cache, false);
             // Stream completed records in small batches so an interrupted
             // sweep keeps (almost) everything, without one write per job.
             if records.len() - committed >= BATCH {
                 if let Some(s) = store {
+                    let _append = vmv_obs::span(SpanKind::StoreAppend);
                     s.append(&records[committed..])?;
                 }
                 committed = records.len();
             }
         }
         if let Some(s) = store {
+            let _append = vmv_obs::span(SpanKind::StoreAppend);
             s.append(&records[committed..])?;
         }
+        vmv_obs::worker_record(0, (records.len() + errors.len()) as u64, busy_ns);
+        progress.tick(records.len() + errors.len(), &cache, true);
         return Ok(SweepReport {
             records,
             skipped,
@@ -176,22 +266,38 @@ pub fn run_sweep(
     let mut errors = Vec::new();
     let mut append_error: Option<std::io::Error> = None;
     std::thread::scope(|scope| {
-        for _ in 0..opts.effective_workers() {
-            scope.spawn(|| loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
+        // Shadow the shared state as references: the worker closures are
+        // `move` (each owns its `worker` index) but must share everything
+        // else, and references are `Copy`.
+        let run_job = &run_job;
+        let (jobs, slots, next, abort) = (&jobs, &slots, &next, &abort);
+        for worker in 0..opts.effective_workers() {
+            scope.spawn(move || {
+                let mut worker_jobs = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[i];
+                    let job_start = vmv_obs::enabled().then(Instant::now);
+                    *slots[i].lock().unwrap() = Some(run_job(job));
+                    worker_jobs += 1;
+                    if let Some(t) = job_start {
+                        busy_ns += t.elapsed().as_nanos() as u64;
+                    }
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                *slots[i].lock().unwrap() = Some(run_job(job));
+                vmv_obs::worker_record(worker, worker_jobs, busy_ns);
             });
         }
 
         // The main thread is the committer: persist the completed prefix of
         // the job list as it grows.
+        let mut progress = Progress::new(opts.progress, jobs.len(), skipped);
         let mut committed = 0usize;
         while committed < jobs.len() {
             let mut batch = Vec::new();
@@ -209,6 +315,7 @@ pub fn run_sweep(
             }
             if !batch.is_empty() {
                 if let Some(s) = store {
+                    let _append = vmv_obs::span(SpanKind::StoreAppend);
                     if let Err(e) = s.append(&batch) {
                         append_error = Some(e);
                         abort.store(true, Ordering::Relaxed);
@@ -217,6 +324,7 @@ pub fn run_sweep(
                 }
                 records.extend(batch);
             }
+            progress.tick(committed, &cache, committed == jobs.len());
             if committed < jobs.len() {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
@@ -290,6 +398,7 @@ mod tests {
             let opts = ExecOptions {
                 benchmarks: vec![Benchmark::GsmDec],
                 workers,
+                progress: false,
             };
             reports.push(run_sweep(&points, &opts, None).unwrap());
         }
@@ -310,6 +419,7 @@ mod tests {
         let opts = ExecOptions {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 4,
+            progress: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         // 3 lane values × 2 memory latencies = 6 points, but only the 3
@@ -332,6 +442,7 @@ mod tests {
         let opts = ExecOptions {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
+            progress: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert_eq!(report.records.len(), 1, "the healthy point still completes");
@@ -357,6 +468,7 @@ mod tests {
         let opts = ExecOptions {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
+            progress: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert!(report.errors.is_empty(), "{:?}", report.errors);
@@ -380,6 +492,7 @@ mod tests {
         let opts = ExecOptions {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
+            progress: false,
         };
         let first = run_sweep(&points, &opts, Some(&store)).unwrap();
         assert_eq!(first.records.len(), points.len());

@@ -47,7 +47,6 @@
 pub mod cache;
 pub mod executor;
 pub mod fingerprint;
-pub mod json;
 pub mod pareto;
 pub mod sensitivity;
 pub mod spec;
@@ -57,7 +56,9 @@ pub mod store;
 pub use cache::{CacheCounters, CompileCache};
 pub use executor::{run_sweep, ExecOptions, SweepReport};
 pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
-pub use json::{Json, JsonError};
+// The hand-rolled JSON module moved down to `vmv-obs` (telemetry snapshots
+// need it below the sweep layer); re-export it so every existing
+// `vmv_sweep::json::...` path keeps working unchanged.
 pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
 pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
 pub use spec::{
@@ -68,3 +69,5 @@ pub use store::{
     classify_store_line, matched_records, point_key_index, run_key, CompactStats, MergeStats,
     ResultStore, RunRecord, StoreHeader, StoreLine,
 };
+pub use vmv_obs::json;
+pub use vmv_obs::json::{Json, JsonError};

@@ -200,13 +200,17 @@ pub fn classify_store_line(line: &str) -> StoreLine {
         return StoreLine::Blank;
     }
     match Json::parse(trimmed) {
-        Err(e) => StoreLine::Malformed(e),
+        Err(e) => {
+            vmv_obs::incr(vmv_obs::Counter::StoreLinesMalformed);
+            StoreLine::Malformed(e)
+        }
         Ok(v) => {
             if let Some(r) = RunRecord::from_json(&v) {
                 StoreLine::Record(r)
             } else if let Some(h) = StoreHeader::from_json(&v) {
                 StoreLine::Header(h)
             } else {
+                vmv_obs::incr(vmv_obs::Counter::StoreLinesUnrecognized);
                 StoreLine::Unrecognized(v)
             }
         }
@@ -365,6 +369,10 @@ impl ResultStore {
             }
             .append(&fresh)?;
         }
+        vmv_obs::add(
+            vmv_obs::Counter::StoreDuplicateKeys,
+            stats.duplicates as u64,
+        );
         Ok(stats)
     }
 
@@ -444,7 +452,9 @@ impl ResultStore {
             buf.push('\n');
         }
         file.write_all(buf.as_bytes())?;
-        file.flush()
+        file.flush()?;
+        vmv_obs::add(vmv_obs::Counter::StoreRecordsAppended, records.len() as u64);
+        Ok(())
     }
 }
 

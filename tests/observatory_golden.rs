@@ -1,0 +1,164 @@
+//! Observatory determinism: `report trend` and `report html` rendered from
+//! the demo sweep (and a synthetic bench trajectory) must reproduce the
+//! committed goldens byte for byte.
+//!
+//! Regenerate after an intentional rendering change with
+//! `UPDATE_GOLDENS=1 cargo test --test observatory_golden`.
+
+use std::path::PathBuf;
+
+use vector_usimd_vliw as vmv;
+
+use vmv::report::{
+    bench_trend_md, bench_trend_svg, compare, html, markdown, pareto_report, parse_trajectory,
+    sensitivity, store_trend, trend_md, trend_svg, LoadedStore, ResolvedStore,
+};
+use vmv::sweep::{run_sweep, ExecOptions, Json, SpecFile};
+
+/// Run the embedded demo spec in-process and return the store text exactly
+/// as `sweep --demo` writes it.
+fn demo_store_text() -> String {
+    let spec = SpecFile::demo();
+    let lowered = spec.lower().expect("demo spec lowers");
+    let points = lowered.spec.expand().points;
+    let report = run_sweep(&points, &ExecOptions::for_spec(&lowered, 0), None).expect("sweep runs");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let mut text = format!("{}\n", spec.store_header().to_json().render());
+    for r in &report.records {
+        text.push_str(&r.to_json().render());
+        text.push('\n');
+    }
+    text
+}
+
+/// A deterministic "later night": the same store with one benchmark's
+/// cycle counts scaled by num/den (run keys identify the run, not its
+/// result, so the trend joins the rows).
+fn drifted(store_text: &str, benchmark: &str, num: u64, den: u64) -> String {
+    store_text
+        .lines()
+        .map(|line| {
+            let mut j = Json::parse(line).expect("store line parses");
+            if let Json::Obj(fields) = &mut j {
+                let matches = fields
+                    .iter()
+                    .any(|(k, v)| k == "benchmark" && v.as_str() == Some(benchmark));
+                if matches {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "cycles" {
+                            let c = v.as_u64().expect("integer cycles");
+                            *v = Json::u64(c * num / den);
+                        }
+                    }
+                }
+            }
+            format!("{}\n", j.render())
+        })
+        .collect()
+}
+
+fn load_as(text: &str, name: &str) -> LoadedStore {
+    let mut s = LoadedStore::from_text(text);
+    assert!(s.diagnostics.is_empty(), "{:?}", s.diagnostics);
+    s.path = PathBuf::from(format!("{name}.jsonl"));
+    s
+}
+
+/// Three nights of the demo experiment: baseline, then GSM_ENC drifting
+/// slower while GSM_DEC picks up a small win.
+fn three_nights() -> Vec<LoadedStore> {
+    let night1 = demo_store_text();
+    let night2 = drifted(&night1, "GSM_ENC", 102, 100);
+    let night3 = drifted(&drifted(&night1, "GSM_ENC", 105, 100), "GSM_DEC", 99, 100);
+    vec![
+        load_as(&night1, "night1"),
+        load_as(&night2, "night2"),
+        load_as(&night3, "night3"),
+    ]
+}
+
+/// A synthetic 3-entry trajectory: the legacy unstamped first entry, then
+/// two stamped nights with moving throughput.
+const TRAJECTORY: &str = r#"[
+{"name": "bench_sim", "table2_wall_seconds": 0.61, "synthetic_wall_seconds": 0.09, "table2": {"simulated_cycles_per_second": 50000000}, "synthetic": {"simulated_cycles_per_second": 61000000}},
+{"name": "bench_sim", "host": "ci", "commit": "aaaaaaaaaaaa", "unix_time": 1700000000, "repeat": 1, "table2_wall_seconds": 0.58, "synthetic_wall_seconds": 0.08, "table2": {"simulated_cycles_per_second": 53000000}, "synthetic": {"simulated_cycles_per_second": 64000000}},
+{"name": "bench_sim", "host": "ci", "commit": "bbbbbbbbbbbb", "unix_time": 1700086400, "repeat": 3, "table2_wall_seconds": 0.60, "synthetic_wall_seconds": 0.08, "table2": {"simulated_cycles_per_second": 52000000}, "synthetic": {"simulated_cycles_per_second": 66000000}}
+]"#;
+
+/// Compare `actual` against the committed golden, or rewrite it when
+/// `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}) — run with UPDATE_GOLDENS=1"));
+    assert!(
+        actual == expected,
+        "{name} drifted from the committed golden — if the rendering change \
+         is intentional, regenerate with `UPDATE_GOLDENS=1 cargo test --test \
+         observatory_golden`"
+    );
+}
+
+#[test]
+fn store_trend_matches_the_committed_goldens() {
+    let stores = three_nights();
+    let refs: Vec<&LoadedStore> = stores.iter().collect();
+    let t = store_trend(&refs);
+    assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+    assert_eq!(t.columns, ["1:night1", "2:night2", "3:night3"]);
+    assert_eq!(t.rows.len(), 224, "112 points x GSM pair, all joined");
+    // Every GSM_ENC row regressed 5%, every GSM_DEC row improved 1%; the
+    // regressions sort first.
+    assert!(t.rows[0].benchmark == "GSM_ENC" && t.rows[0].ratio > Some(1.0));
+    assert!(t.rows.last().unwrap().benchmark == "GSM_DEC");
+    check_golden("demo_trend.md", &trend_md(&t));
+    check_golden("demo_trend.svg", &trend_svg(&t));
+}
+
+#[test]
+fn bench_trend_matches_the_committed_goldens() {
+    let doc = Json::parse(TRAJECTORY).expect("trajectory parses");
+    let points = parse_trajectory(&doc).expect("trajectory points");
+    assert_eq!(points.len(), 3);
+    assert_eq!(points[0].host, "unknown", "legacy entry normalized");
+    assert_eq!(points[0].unix_time, 0);
+    assert_eq!(points[2].commit, "bbbbbbbbbbbb");
+    check_golden("bench_trend.md", &bench_trend_md(&points));
+    check_golden("bench_trend.svg", &bench_trend_svg(&points));
+}
+
+#[test]
+fn observatory_page_matches_the_committed_golden() {
+    let stores = three_nights();
+    let refs: Vec<&LoadedStore> = stores.iter().collect();
+    let newest = refs.last().unwrap();
+    let resolved = ResolvedStore::resolve(newest).expect("demo store resolves");
+    assert_eq!(resolved.unmatched, 0);
+
+    let name = resolved.spec.name.clone();
+    let report = compare(&newest.records, &stores[0].records);
+    let sections = vec![
+        html::pareto_section(&name, &pareto_report(&resolved.points, &resolved.records)),
+        html::sensitivity_section(&name, &sensitivity(&resolved.points, &resolved.records)),
+        html::compare_section(
+            "night1",
+            &report,
+            &markdown::rows_by_benchmark(&report.rows),
+        ),
+        html::trend_section(&store_trend(&refs)),
+        html::bench_section(
+            &parse_trajectory(&Json::parse(TRAJECTORY).unwrap()).expect("trajectory points"),
+        ),
+    ];
+    let subtitle = format!("spec {name} — fingerprint {}", resolved.spec.fingerprint());
+    let page = html::page(&format!("vmv observatory — {name}"), &subtitle, &sections);
+    assert!(page.starts_with("<!DOCTYPE html>"));
+    assert!(!page.contains("<script"), "self-contained static page");
+    check_golden("observatory_index.html", &page);
+}
