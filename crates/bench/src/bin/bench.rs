@@ -16,6 +16,12 @@
 //!   Realistic model), re-simulated from one compile per schedule key the
 //!   same way the sweep executor does.
 //!
+//! A third **replay** stage runs the committed `latency_tolerance` memory-
+//! axis sweep twice — once re-executing every run, once record-once/replay-
+//! the-rest the way `vmv_core::simulate` does behind the sweep cache —
+//! asserts the two strategies agree bit-for-bit, and records the speedup
+//! (`--min-replay-speedup` gates it in CI).
+//!
 //! Reports simulated-cycles-per-second per stage-adjusted workload and
 //! **appends** a host- and commit-stamped entry to the `BENCH_sim.json`
 //! trajectory (a JSON array, newest last), so the perf history of the hot
@@ -27,11 +33,16 @@
 
 use std::time::Instant;
 
-use vmv_core::{simulate, variant_for};
+use vmv_core::{prepare, simulate, simulate_fresh, variant_for};
 use vmv_kernels::Benchmark;
 use vmv_machine::all_configs;
 use vmv_mem::MemoryModel;
 use vmv_sweep::{schedule_fingerprint, Json, SpecFile};
+
+/// The committed memory-axis sweep the replay stage measures (chaining ×
+/// L2 latency × memory latency on the GSM pair).
+const LATENCY_TOLERANCE_SPEC: &str =
+    include_str!("../../../../examples/specs/latency_tolerance.json");
 
 fn usage() {
     eprintln!(
@@ -41,6 +52,9 @@ fn usage() {
          \x20               BENCH_sim.json)\n\
          --min-scps N    exit non-zero when the synthetic-sweep simulation\n\
          \x20               throughput is below N simulated-cycles-per-second\n\
+         --min-replay-speedup X\n\
+         \x20               exit non-zero when the replay stage's speedup over\n\
+         \x20               re-execution is below X\n\
          --repeat N      run each whole workload N times (default 1); the\n\
          \x20               trajectory entry carries the median run plus\n\
          \x20               min/median/max wall seconds per stage"
@@ -249,16 +263,12 @@ fn bench_table2() -> StageTotals {
             t.schedule_s += schedule_s;
             t.lower_s += lower_s;
             t.schedules += 1;
-            let prepared = vmv_core::Prepared {
-                benchmark: bench,
-                variant,
-                build,
-                compiled,
-                lowered,
-            };
+            let prepared = vmv_core::Prepared::new(bench, variant, build, compiled, lowered);
             for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+                // simulate_fresh: this workload measures the execution
+                // engine itself; the replay stage measures the trace cache.
                 let (outcome, sim_s) =
-                    timed(|| simulate(&prepared, machine, model).expect("simulates"));
+                    timed(|| simulate_fresh(&prepared, machine, model).expect("simulates"));
                 assert!(
                     outcome.check_failures.is_empty(),
                     "{} on {}: {:?}",
@@ -301,19 +311,16 @@ fn bench_synthetic() -> StageTotals {
                     t.schedule_s += schedule_s;
                     t.lower_s += lower_s;
                     t.schedules += 1;
-                    let p = std::sync::Arc::new(vmv_core::Prepared {
-                        benchmark: bench,
-                        variant,
-                        build,
-                        compiled,
-                        lowered,
-                    });
+                    let p = std::sync::Arc::new(vmv_core::Prepared::new(
+                        bench, variant, build, compiled, lowered,
+                    ));
                     cache.insert(key, p.clone());
                     p
                 }
             };
             let (outcome, sim_s) = timed(|| {
-                simulate(&prepared, &point.machine, MemoryModel::Realistic).expect("simulates")
+                simulate_fresh(&prepared, &point.machine, MemoryModel::Realistic)
+                    .expect("simulates")
             });
             assert!(outcome.check_failures.is_empty());
             t.simulate_s += sim_s;
@@ -324,9 +331,145 @@ fn bench_synthetic() -> StageTotals {
     t
 }
 
+/// Totals of the replay stage: the same memory-axis sweep priced by full
+/// re-execution and by record-once/replay-the-rest.
+struct ReplayTotals {
+    execute_s: f64,
+    replay_s: f64,
+    /// The `execute_s` / `replay_s` shares spent on runs the adaptive
+    /// strategy served by replay (the recording runs cost the same either
+    /// way, so this pair isolates the per-variant win).
+    execute_replayed_s: f64,
+    replay_replayed_s: f64,
+    runs: u64,
+    recorded: u64,
+    replayed: u64,
+    simulated_cycles: u64,
+}
+
+impl ReplayTotals {
+    /// Simulate-stage speedup of the replay strategy over re-execution,
+    /// over the whole sweep (recording runs included).
+    fn speedup(&self) -> f64 {
+        if self.replay_s > 0.0 {
+            self.execute_s / self.replay_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-replayed-run speedup: replay vs re-execution on just the runs
+    /// that were actually replayed.
+    fn marginal_speedup(&self) -> f64 {
+        if self.replay_replayed_s > 0.0 {
+            self.execute_replayed_s / self.replay_replayed_s
+        } else {
+            0.0
+        }
+    }
+
+    fn report(&self) {
+        println!(
+            "replay stage (latency_tolerance sweep): {} runs, {} simulated cycles",
+            self.runs, self.simulated_cycles
+        );
+        println!(
+            "  execute {:.3}s | record+replay {:.3}s ({} recorded, {} replayed) | {:.2}x speedup ({:.2}x per replayed run)",
+            self.execute_s,
+            self.replay_s,
+            self.recorded,
+            self.replayed,
+            self.speedup(),
+            self.marginal_speedup()
+        );
+    }
+
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str("replay")),
+            ("runs".into(), Json::u64(self.runs)),
+            ("recorded_runs".into(), Json::u64(self.recorded)),
+            ("replayed_runs".into(), Json::u64(self.replayed)),
+            ("simulated_cycles".into(), Json::u64(self.simulated_cycles)),
+            ("execute_seconds".into(), Json::Num(self.execute_s)),
+            ("replay_seconds".into(), Json::Num(self.replay_s)),
+            ("speedup".into(), Json::Num(self.speedup())),
+            (
+                "marginal_speedup".into(),
+                Json::Num(self.marginal_speedup()),
+            ),
+        ])
+    }
+}
+
+/// The replay stage: run the committed `latency_tolerance` memory-axis
+/// sweep both ways — every run fully executed vs each schedule key executed
+/// once and replayed for the other memory variants — and verify the two
+/// strategies produce bit-identical statistics while measuring the win.
+fn bench_replay() -> ReplayTotals {
+    let spec = SpecFile::parse(LATENCY_TOLERANCE_SPEC)
+        .expect("committed spec parses")
+        .lower()
+        .expect("committed spec lowers");
+    let points = spec.spec.expand().points;
+    let mut t = ReplayTotals {
+        execute_s: 0.0,
+        replay_s: 0.0,
+        execute_replayed_s: 0.0,
+        replay_replayed_s: 0.0,
+        runs: 0,
+        recorded: 0,
+        replayed: 0,
+        simulated_cycles: 0,
+    };
+    let mut cache: std::collections::HashMap<String, std::sync::Arc<vmv_core::Prepared>> =
+        std::collections::HashMap::new();
+    for bench in spec.benchmarks {
+        for point in &points {
+            let key = format!("{}|{}", bench.name(), schedule_fingerprint(&point.machine));
+            let prepared = cache
+                .entry(key)
+                .or_insert_with(|| {
+                    std::sync::Arc::new(prepare(bench, &point.machine).expect("prepares"))
+                })
+                .clone();
+            // Strategy A: full functional execution (what every memory
+            // variant cost before the trace cache).
+            let (executed, execute_s) = timed(|| {
+                simulate_fresh(&prepared, &point.machine, point.model).expect("simulates")
+            });
+            // Strategy B: execute-and-record on first sight of the key,
+            // replay for every other variant (what `simulate` does now).
+            let replaying = prepared.has_trace();
+            let (adaptive, replay_s) =
+                timed(|| simulate(&prepared, &point.machine, point.model).expect("simulates"));
+            assert_eq!(
+                executed.stats,
+                adaptive.stats,
+                "replay must be bit-identical to execution ({} on {})",
+                bench.name(),
+                point.name
+            );
+            t.execute_s += execute_s;
+            t.replay_s += replay_s;
+            if replaying {
+                t.replayed += 1;
+                t.execute_replayed_s += execute_s;
+                t.replay_replayed_s += replay_s;
+            } else {
+                t.recorded += 1;
+            }
+            t.runs += 1;
+            t.simulated_cycles += executed.stats.cycles();
+        }
+    }
+    t
+}
+
 fn main() {
     let mut json_path = "BENCH_sim.json".to_string();
     let mut min_scps: Option<f64> = None;
+    let mut min_replay_speedup: Option<f64> = None;
     let mut repeat = 1u32;
     let mut args = vmv_bench::args::ArgStream::new();
     while let Some(arg) = args.next() {
@@ -334,6 +477,10 @@ fn main() {
             "--json" => json_path = args.value("--json"),
             "--min-scps" => {
                 min_scps = Some(args.parsed("--min-scps", "a throughput floor in cycles/second"))
+            }
+            "--min-replay-speedup" => {
+                min_replay_speedup =
+                    Some(args.parsed("--min-replay-speedup", "a speedup floor over re-execution"))
             }
             "--repeat" => {
                 let n: u32 = args.parsed("--repeat", "a repeat count of at least 1");
@@ -360,17 +507,26 @@ fn main() {
     // median/max) instead of a single roll of the scheduler-noise dice.
     let mut table2_runs: Vec<(StageTotals, f64)> = Vec::new();
     let mut synthetic_runs: Vec<(StageTotals, f64)> = Vec::new();
+    let mut replay_runs: Vec<ReplayTotals> = Vec::new();
     for i in 0..repeat {
         if repeat > 1 {
             println!("repeat {}/{repeat}", i + 1);
         }
         table2_runs.push(timed(bench_table2));
         synthetic_runs.push(timed(bench_synthetic));
+        replay_runs.push(bench_replay());
     }
     let table2 = median_run(&table2_runs);
     let synthetic = median_run(&synthetic_runs);
+    // Median replay repeat by its record+replay wall time.
+    let replay = {
+        let mut idx: Vec<usize> = (0..replay_runs.len()).collect();
+        idx.sort_by(|&a, &b| replay_runs[a].replay_s.total_cmp(&replay_runs[b].replay_s));
+        &replay_runs[idx[(replay_runs.len() - 1) / 2]]
+    };
     table2.report("table2 suite (10 configs x 6 benchmarks x 2 memory models)");
     synthetic.report("synthetic sweep (demo points, GSM pair, realistic model)");
+    replay.report();
     let table2_wall = median(&walls(&table2_runs));
     let synthetic_wall = median(&walls(&synthetic_runs));
 
@@ -392,6 +548,7 @@ fn main() {
             "synthetic".into(),
             workload_json("synthetic", &synthetic_runs),
         ),
+        ("replay".into(), replay.json()),
         ("metrics".into(), vmv_obs::snapshot().to_json_compact()),
     ]);
     let trajectory = append_to_trajectory(&json_path, entry);
@@ -418,5 +575,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("throughput floor ok: {scps:.0} >= {floor:.0} simulated-cycles-per-second");
+    }
+    if let Some(floor) = min_replay_speedup {
+        let speedup = replay.speedup();
+        if speedup < floor {
+            eprintln!("FAIL: replay-stage speedup {speedup:.2}x < floor {floor:.2}x");
+            std::process::exit(1);
+        }
+        println!("replay floor ok: {speedup:.2}x >= {floor:.2}x over re-execution");
     }
 }

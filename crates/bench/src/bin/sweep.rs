@@ -303,6 +303,15 @@ fn main() {
          benchmarks x distinct schedule keys)",
         report.cache.misses, report.cache.hits, expected_schedules
     );
+    if report.replays > 0 {
+        println!(
+            "trace replay: {} of {} runs re-timed from a recorded trace \
+             (executed {})",
+            report.replays,
+            report.records.len(),
+            report.records.len().saturating_sub(report.replays)
+        );
+    }
     if !report.records.is_empty() && report.wall_seconds > 0.0 {
         // Simulator throughput over this invocation's parallel phase: the
         // CI smoke step surfaces this line so hot-path regressions are
@@ -371,6 +380,7 @@ fn main() {
             ("skipped".into(), Json::u64(report.skipped as u64)),
             ("schedules".into(), Json::u64(report.cache.misses)),
             ("cache_hits".into(), Json::u64(report.cache.hits)),
+            ("trace_replays".into(), Json::u64(report.replays as u64)),
             (
                 "per_run".into(),
                 Json::Arr(

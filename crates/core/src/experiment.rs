@@ -15,10 +15,15 @@
 //! `vmv-sweep` crate) can schedule a program once and re-simulate it across
 //! many memory-system variations.
 
+use std::sync::{Arc, OnceLock};
+
 use vmv_kernels::{Benchmark, BenchmarkBuild, IsaVariant};
 use vmv_machine::{IsaSupport, MachineConfig};
 use vmv_mem::MemoryModel;
-use vmv_sim::{RunStats, SimOptions, Simulator};
+use vmv_sim::{RunStats, SimOptions, Simulator, Trace};
+
+/// Hard cap on simulated (or replayed) cycles per run.
+const MAX_RUN_CYCLES: u64 = 2_000_000_000;
 
 /// Result of one (benchmark, configuration) run.
 #[derive(Debug, Clone)]
@@ -85,6 +90,46 @@ pub struct Prepared {
     /// Lowering depends only on schedule-relevant machine fields, so one
     /// lowered program serves every memory-system variant.
     pub lowered: vmv_sched::LoweredProgram,
+    /// Timing trace of one functional execution, filled by the first
+    /// [`simulate`] call and replayed by every later one.  The trace is
+    /// memory-model- and memory-geometry-independent (functional values
+    /// never change with timing), so clones and `Arc`-shared copies of a
+    /// `Prepared` — e.g. in the sweep compile cache — execute each program
+    /// once and retime it for every memory variant.
+    trace: OnceLock<Arc<Recorded>>,
+}
+
+/// What one execute-and-record run leaves behind: the timing trace plus the
+/// output-check verdict (functional, hence identical for every variant).
+#[derive(Debug)]
+struct Recorded {
+    trace: Trace,
+    check_failures: Vec<String>,
+}
+
+impl Prepared {
+    pub fn new(
+        benchmark: Benchmark,
+        variant: IsaVariant,
+        build: BenchmarkBuild,
+        compiled: vmv_sched::Compiled,
+        lowered: vmv_sched::LoweredProgram,
+    ) -> Prepared {
+        Prepared {
+            benchmark,
+            variant,
+            build,
+            compiled,
+            lowered,
+            trace: OnceLock::new(),
+        }
+    }
+
+    /// Whether a recorded trace is available (later [`simulate`] calls will
+    /// replay instead of executing).
+    pub fn has_trace(&self) -> bool {
+        self.trace.get().is_some()
+    }
 }
 
 /// Build the benchmark program, compile (schedule) it for `machine`, and
@@ -96,13 +141,7 @@ pub fn prepare(benchmark: Benchmark, machine: &MachineConfig) -> Result<Prepared
         .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
     let lowered = vmv_sched::lower(&compiled.program, machine)
         .map_err(|e| ExperimentError::Compile(format!("{}: {e}", machine.name)))?;
-    Ok(Prepared {
-        benchmark,
-        variant,
-        build,
-        compiled,
-        lowered,
-    })
+    Ok(Prepared::new(benchmark, variant, build, compiled, lowered))
 }
 
 /// Simulate an already-compiled benchmark on `machine` under `model`.
@@ -110,22 +149,67 @@ pub fn prepare(benchmark: Benchmark, machine: &MachineConfig) -> Result<Prepared
 /// `machine` must agree with the configuration the program was scheduled
 /// for in every schedule-relevant parameter; the memory-hierarchy
 /// parameters (`machine.memory`) and the memory `model` are free to vary.
+///
+/// The first call on a `Prepared` executes the program functionally and
+/// records its timing trace; every later call (any memory variant, any
+/// model) *replays* that trace — bit-identical `RunStats`, proven by
+/// `tests/lowered_differential.rs`, at a fraction of the cost.  Callers
+/// that want to benchmark raw execution use [`simulate_fresh`].
 pub fn simulate(
     prepared: &Prepared,
     machine: &MachineConfig,
     model: MemoryModel,
 ) -> Result<RunOutcome, ExperimentError> {
-    let mut sim = Simulator::new(
-        machine,
-        SimOptions {
+    if let Some(recorded) = prepared.trace.get() {
+        let stats = vmv_sim::replay(
+            &prepared.lowered,
+            &recorded.trace,
+            machine,
+            model,
+            MAX_RUN_CYCLES,
+        )
+        .map_err(|e| ExperimentError::Simulation(format!("{}: replay: {e}", machine.name)))?;
+        return Ok(RunOutcome {
+            config: machine.name.clone(),
+            benchmark: prepared.benchmark,
+            variant: prepared.variant,
             memory_model: model,
-            mem_size: prepared.build.mem_size.max(1 << 20),
-            max_cycles: 2_000_000_000,
-        },
-    );
-    for (addr, bytes) in &prepared.build.init {
-        sim.mem.write_bytes(*addr, bytes);
+            stats,
+            check_failures: recorded.check_failures.clone(),
+        });
     }
+    let mut sim = simulator_for(prepared, machine, model);
+    let (stats, trace) = sim
+        .run_lowered_recording(&prepared.lowered)
+        .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
+    let check_failures = prepared
+        .build
+        .failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len));
+    // A concurrent first-simulate may have won the race; either trace is
+    // equivalent (functional state does not depend on memory timing).
+    let _ = prepared.trace.set(Arc::new(Recorded {
+        trace,
+        check_failures: check_failures.clone(),
+    }));
+    Ok(RunOutcome {
+        config: machine.name.clone(),
+        benchmark: prepared.benchmark,
+        variant: prepared.variant,
+        memory_model: model,
+        stats,
+        check_failures,
+    })
+}
+
+/// Simulate by full functional execution, never recording or replaying a
+/// trace.  Results are identical to [`simulate`]; this entry point exists
+/// for callers that specifically measure the execution engine (`bench`).
+pub fn simulate_fresh(
+    prepared: &Prepared,
+    machine: &MachineConfig,
+    model: MemoryModel,
+) -> Result<RunOutcome, ExperimentError> {
+    let mut sim = simulator_for(prepared, machine, model);
     let stats = sim
         .run_lowered(&prepared.lowered)
         .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
@@ -140,6 +224,22 @@ pub fn simulate(
         stats,
         check_failures,
     })
+}
+
+/// A simulator with the benchmark's initial memory image written in.
+fn simulator_for(prepared: &Prepared, machine: &MachineConfig, model: MemoryModel) -> Simulator {
+    let mut sim = Simulator::new(
+        machine,
+        SimOptions {
+            memory_model: model,
+            mem_size: prepared.build.mem_size.max(1 << 20),
+            max_cycles: MAX_RUN_CYCLES,
+        },
+    );
+    for (addr, bytes) in &prepared.build.init {
+        sim.mem.write_bytes(*addr, bytes);
+    }
+    sim
 }
 
 /// Compile and simulate one benchmark on one machine configuration.

@@ -35,6 +35,10 @@ pub enum Counter {
     SchedCyclesScheduled,
     /// Completed simulator runs (lowered engine).
     SimRuns,
+    /// Timing traces recorded by an execute-and-record run.
+    TraceRecords,
+    /// Completed trace-replay runs (retimed without functional execution).
+    TraceReplays,
     /// Scalar loads/stores and vector loads/stores timed by the hierarchy.
     MemScalarLoads,
     MemScalarStores,
@@ -67,7 +71,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 29] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::SchedBlocks,
@@ -75,6 +79,8 @@ impl Counter {
         Counter::SchedOpsPlaced,
         Counter::SchedCyclesScheduled,
         Counter::SimRuns,
+        Counter::TraceRecords,
+        Counter::TraceReplays,
         Counter::MemScalarLoads,
         Counter::MemScalarStores,
         Counter::MemVectorLoads,
@@ -107,6 +113,8 @@ impl Counter {
             Counter::SchedOpsPlaced => "sched_ops_placed",
             Counter::SchedCyclesScheduled => "sched_cycles_scheduled",
             Counter::SimRuns => "sim_runs",
+            Counter::TraceRecords => "trace_records",
+            Counter::TraceReplays => "trace_replays",
             Counter::MemScalarLoads => "mem_scalar_loads",
             Counter::MemScalarStores => "mem_scalar_stores",
             Counter::MemVectorLoads => "mem_vector_loads",
@@ -144,14 +152,17 @@ pub enum SpanKind {
     JobSimulate,
     /// Time spent appending a batch to the result store.
     StoreAppend,
+    /// Time spent retiming a recorded trace (the replay engine).
+    TraceReplay,
 }
 
 impl SpanKind {
-    pub const ALL: [SpanKind; 4] = [
+    pub const ALL: [SpanKind; 5] = [
         SpanKind::JobQueueWait,
         SpanKind::JobCompile,
         SpanKind::JobSimulate,
         SpanKind::StoreAppend,
+        SpanKind::TraceReplay,
     ];
 
     /// Stable snapshot key (histogram values are nanoseconds).
@@ -161,6 +172,7 @@ impl SpanKind {
             SpanKind::JobCompile => "job_compile_ns",
             SpanKind::JobSimulate => "job_simulate_ns",
             SpanKind::StoreAppend => "store_append_ns",
+            SpanKind::TraceReplay => "trace_replay_ns",
         }
     }
 }

@@ -13,9 +13,10 @@
 //!  "workers":[{"worker":0,"jobs":4,"busy_ns":812345}]}
 //! ```
 //!
-//! `cache_hit_rate` is derived (hits / lookups) and re-derived on parse, so
-//! the schema stays redundancy-free; consumers that only want the headline
-//! number never have to do arithmetic.
+//! `cache_hit_rate` (hits / lookups) and `trace_replay_rate` (replays /
+//! completed simulations) are derived and re-derived on parse, so the schema
+//! stays redundancy-free; consumers that only want the headline numbers
+//! never have to do arithmetic.
 
 use crate::hist::HistSnapshot;
 use crate::json::{Json, JsonError};
@@ -63,6 +64,15 @@ impl Snapshot {
         (total > 0).then(|| hits as f64 / total as f64)
     }
 
+    /// Fraction of completed simulations served by trace replay instead of
+    /// functional execution, in [0, 1]; `None` before any simulation.
+    pub fn trace_replay_rate(&self) -> Option<f64> {
+        let replays = self.counter("trace_replays")?;
+        let executed = self.counter("sim_runs")?;
+        let total = replays + executed;
+        (total > 0).then(|| replays as f64 / total as f64)
+    }
+
     /// Full canonical JSON document: every counter (zero or not), every
     /// span, schema tag first.
     pub fn to_json(&self) -> Json {
@@ -82,6 +92,9 @@ impl Snapshot {
             fields.push(("enabled".into(), Json::Bool(self.enabled)));
             if let Some(rate) = self.cache_hit_rate() {
                 fields.push(("cache_hit_rate".into(), Json::Num(rate)));
+            }
+            if let Some(rate) = self.trace_replay_rate() {
+                fields.push(("trace_replay_rate".into(), Json::Num(rate)));
             }
             let counters: Vec<(String, Json)> = self
                 .counters
@@ -268,6 +281,26 @@ mod tests {
         assert_eq!(back.counter("store_records_appended"), None);
         assert_eq!(back.span("job_compile_ns").unwrap().count, 2);
         assert_eq!(back.cache_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn trace_replay_rate_is_derived_and_round_trips() {
+        let r = busy_recorder();
+        r.incr(Counter::SimRuns);
+        r.add(Counter::TraceReplays, 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.trace_replay_rate(), Some(0.75));
+        let doc = snap.to_json();
+        let rate = doc.get("trace_replay_rate").and_then(Json::as_f64).unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+        let text = doc.render();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(back.trace_replay_rate(), Some(0.75));
+        assert_eq!(back.to_json().render(), text, "canonical across the trip");
+        // No simulations at all → no rate, no field.
+        let idle = busy_recorder().snapshot();
+        assert_eq!(idle.trace_replay_rate(), None);
+        assert!(idle.to_json().get("trace_replay_rate").is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! (Table 2 resources).
 
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use vmv_isa::Op;
 use vmv_machine::MachineConfig;
@@ -26,7 +27,6 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
     let heights = graph.heights();
     let mut remaining_preds = graph.pred_counts();
     let mut earliest = vec![0u32; n];
-    let mut scheduled = vec![false; n];
     let mut table = ReservationTable::new(machine);
     let mut bundles: Vec<Vec<Op>> = Vec::new();
     let mut placed = 0usize;
@@ -36,6 +36,23 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
     // (ops × worst-case latency × occupancy).
     let safety_limit = (n as u32 + 4) * 64 + 1024;
 
+    // Released operations (every dependence placed) that are not yet
+    // eligible at the current cycle, keyed by their earliest-issue cycle.
+    // An operation's `earliest` only changes when a predecessor is placed,
+    // so it is *final* the moment its last predecessor places — the heap
+    // key can never go stale.  Together with `ready` (eligible now) this
+    // replaces the former O(cycles × n) rescan of every unplaced
+    // operation: each operation is pushed and popped exactly once.
+    let mut pending: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    for i in 0..n {
+        if remaining_preds[i] == 0 {
+            pending.push(Reverse((earliest[i], i)));
+        }
+    }
+    // Operations eligible to issue at the current cycle, kept in placement
+    // priority order: highest critical-path first, ties by program order —
+    // the exact tie-break of the former full re-sort, so schedules are
+    // byte-identical.
     let mut ready: Vec<usize> = Vec::with_capacity(n);
     // Telemetry is accumulated locally and folded into the recorder once
     // per block, keeping the cycle loop free of atomics.
@@ -47,43 +64,57 @@ pub fn schedule_block(ops: &[Op], machine: &MachineConfig) -> Vec<Vec<Op>> {
             "list scheduler failed to make progress (block of {n} ops, cycle {cycle})"
         );
 
-        // Operations whose dependences allow them to issue this cycle,
-        // highest critical-path first (ties broken by program order).
-        ready.clear();
-        ready.extend(
-            (0..n).filter(|&i| !scheduled[i] && remaining_preds[i] == 0 && earliest[i] <= cycle),
-        );
+        // Admit newly eligible operations; operations that failed a
+        // resource check in an earlier cycle carry over, already sorted,
+        // so a re-sort is only needed when the set grew.
+        let mut grew = false;
+        while let Some(&Reverse((t, i))) = pending.peek() {
+            if t > cycle {
+                break;
+            }
+            pending.pop();
+            ready.push(i);
+            grew = true;
+        }
         if ready.is_empty() {
             // Nothing can issue before the next dependence-release time:
             // jump straight there instead of probing every empty cycle
             // (placements only ever happen when something is ready, so the
             // skipped cycles are provably empty).
-            let next = (0..n)
-                .filter(|&i| !scheduled[i] && remaining_preds[i] == 0)
-                .map(|i| earliest[i])
-                .min()
+            let next = pending
+                .peek()
+                .map(|&Reverse((t, _))| t)
                 .unwrap_or(cycle + 1);
             cycle = next.max(cycle + 1);
             continue;
         }
-        ready.sort_by_key(|&i| (Reverse(heights[i]), i));
+        if grew {
+            ready.sort_by_key(|&i| (Reverse(heights[i]), i));
+        }
 
-        for &i in &ready {
-            if table.can_place(&ops[i], cycle) {
-                table.place(&ops[i], cycle);
-                if bundles.len() <= cycle as usize {
-                    bundles.resize(cycle as usize + 1, Vec::new());
-                }
-                bundles[cycle as usize].push(ops[i].clone());
-                scheduled[i] = true;
-                placed += 1;
-                for &eidx in &graph.succs[i] {
-                    let e = &graph.edges[eidx];
-                    remaining_preds[e.to] -= 1;
-                    earliest[e.to] = earliest[e.to].max(cycle + e.latency);
+        // `retain` visits in order and keeps the relative order of the
+        // survivors: placement order matches the sorted priority, and ops
+        // blocked on resources stay for the next cycle.
+        ready.retain(|&i| {
+            if !table.can_place(&ops[i], cycle) {
+                return true;
+            }
+            table.place(&ops[i], cycle);
+            if bundles.len() <= cycle as usize {
+                bundles.resize(cycle as usize + 1, Vec::new());
+            }
+            bundles[cycle as usize].push(ops[i].clone());
+            placed += 1;
+            for &eidx in &graph.succs[i] {
+                let e = &graph.edges[eidx];
+                remaining_preds[e.to] -= 1;
+                earliest[e.to] = earliest[e.to].max(cycle + e.latency);
+                if remaining_preds[e.to] == 0 {
+                    pending.push(Reverse((earliest[e.to], e.to)));
                 }
             }
-        }
+            false
+        });
         cycle += 1;
     }
 

@@ -36,6 +36,7 @@ use crate::exec::{execute_lowered, execute_op, ExecOutcome, LoweredOutcome, MemA
 use crate::memimage::MemImage;
 use crate::regfile::RegFiles;
 use crate::stats::RunStats;
+use crate::trace::{NoTrace, Trace, TraceRecorder, TraceSink};
 
 /// Simulator construction options.
 #[derive(Debug, Clone, Copy)]
@@ -147,6 +148,30 @@ impl Simulator {
 
     /// Run a lowered program to completion: the array-indexed hot path.
     pub fn run_lowered(&mut self, program: &LoweredProgram) -> Result<RunStats, SimError> {
+        self.run_lowered_with(program, &mut NoTrace)
+    }
+
+    /// Run a lowered program to completion *and* record its timing trace
+    /// (block sequence, memory accesses, VL updates) for later replay with
+    /// [`crate::replay::replay`].
+    pub fn run_lowered_recording(
+        &mut self,
+        program: &LoweredProgram,
+    ) -> Result<(RunStats, Trace), SimError> {
+        let mut recorder = TraceRecorder::new(self.regs.vl);
+        let stats = self.run_lowered_with(program, &mut recorder)?;
+        vmv_obs::incr(vmv_obs::Counter::TraceRecords);
+        Ok((stats, recorder.finish()))
+    }
+
+    /// The lowered-engine loop, generic over a [`TraceSink`] observer.  The
+    /// non-recording instantiation ([`NoTrace`]) monomorphises to exactly
+    /// the previous hot path — the sink hooks are empty inline functions.
+    fn run_lowered_with<S: TraceSink>(
+        &mut self,
+        program: &LoweredProgram,
+        sink: &mut S,
+    ) -> Result<RunStats, SimError> {
         let mut stats = RunStats::default();
         // Make sure every declared region appears in the statistics, even if
         // it executes zero cycles.
@@ -182,6 +207,7 @@ impl Simulator {
         } = self;
 
         'blocks: while block_idx < program.blocks.len() {
+            sink.block(block_idx as u32);
             let block = &program.blocks[block_idx];
             let region = block.region;
             let block_start_cycle = cycle;
@@ -211,6 +237,7 @@ impl Simulator {
                     let mut mem_access: Option<MemAccess> = None;
                     let outcome = execute_lowered($op, regs, mem, &mut mem_access)
                         .map_err(|e| SimError::Exec(e.to_string()))?;
+                    sink.op($op, &mem_access, regs);
 
                     // Determine the actual completion latency.
                     let latency = match &mem_access {
@@ -471,9 +498,10 @@ impl Simulator {
     }
 
     /// Completion latency of a memory operation against a borrowed
-    /// hierarchy (the lowered engine's split-borrow hot loop).
+    /// hierarchy (the lowered engine's split-borrow hot loop; also the
+    /// pricing rule the replay engine applies to recorded accesses).
     #[inline]
-    fn memory_latency_on(hierarchy: &mut MemoryHierarchy, access: &MemAccess) -> u32 {
+    pub(crate) fn memory_latency_on(hierarchy: &mut MemoryHierarchy, access: &MemAccess) -> u32 {
         let kind = if access.is_store {
             AccessKind::Store
         } else {

@@ -13,10 +13,14 @@ pub mod engine;
 pub mod exec;
 pub mod memimage;
 pub mod regfile;
+pub mod replay;
 pub mod stats;
+pub mod trace;
 
 pub use engine::{SimError, SimOptions, Simulator};
 pub use exec::{execute_lowered, execute_op, ExecOutcome, ExecResult, LoweredOutcome, MemAccess};
 pub use memimage::MemImage;
 pub use regfile::{RegFiles, VectorValue};
+pub use replay::{replay, ReplayError};
 pub use stats::{RegionStats, RunStats};
+pub use trace::Trace;

@@ -1,0 +1,494 @@
+//! The trace-replay engine: retime a recorded execution against a fresh
+//! memory hierarchy, without functional execution.
+//!
+//! [`replay`] is the workspace's *third* engine.  It walks the recorded
+//! block sequence of a [`Trace`] over the static [`LoweredProgram`],
+//! re-deriving the scoreboard / stall / L2-port timing exactly as
+//! [`crate::Simulator::run_lowered`] does, but it feeds the hierarchy the
+//! *recorded* `MemAccess` stream instead of executing operations — no
+//! `exec_core`, no `RegFiles`, no `MemImage` allocation.  The differential
+//! suite (`tests/lowered_differential.rs`) proves the resulting
+//! [`RunStats`] bit-identical to both existing engines on every Table 2
+//! preset × kernel × memory model, including replaying a trace recorded
+//! under one model against the other.
+//!
+//! # Why replay can skip most of the scoreboard
+//!
+//! The engine's scoreboard exists to price *stalls*.  But the list
+//! scheduler already placed every consumer at least its producer's
+//! result latency later (`ddg::raw_latency` uses the same
+//! `LatencyTable::flow_latency` values the engine charges), and bundles
+//! issue in order at one-or-more cycles apart, so a fixed-latency
+//! operation can never be the cause of a stall *within its block*.  The
+//! only operations whose completion can outrun the schedule are the
+//! dynamic ones — memory operations (actual latency depends on the cache
+//! state) and VL-dependent vector operations (actual `VL` may exceed the
+//! compiler's assumption, and chaining schedules consumers closer than
+//! the full result latency).  Across block boundaries the scheduler
+//! guarantees nothing, so a fixed-latency write is additionally kept
+//! when its latency exceeds its distance to the end of the block.
+//!
+//! [`ReplayProgram::build`] therefore classifies every register slot:
+//! a slot is **tracked** only if some dynamic operation writes it, or
+//! some fixed-latency write to it could still be in flight when its
+//! block ends.  Reads and writes of all other slots are provably
+//! stall-free and are dropped from the timing view entirely; runs of
+//! bundles left with no timing effect collapse into a single segment
+//! that advances the clock by its bundle count.  The differential suite
+//! is the empirical check that this analysis is conservative.
+//!
+//! Because the trace is memory-model- and memory-geometry-independent, a
+//! memory-axis sweep executes each functional simulation **once** and
+//! replays every other variant — the "record once, retime per variant"
+//! optimisation ROADMAP item 3 projects at 5–10× for geometry studies.
+
+use vmv_isa::{Opcode, MAX_VL, NO_SLOT};
+use vmv_machine::MachineConfig;
+use vmv_mem::{MemoryHierarchy, MemoryModel};
+use vmv_sched::LoweredProgram;
+
+use crate::engine::Simulator;
+use crate::stats::RunStats;
+use crate::trace::Trace;
+
+/// Flag bits of [`DynOp::flags`].
+const F_MEM: u8 = 1 << 0;
+const F_SETVL: u8 = 1 << 1;
+const F_HALT: u8 = 1 << 2;
+const F_READS_VL: u8 = 1 << 3;
+
+/// One *dynamic* operation of the compact timing view — an operation whose
+/// per-issue behaviour depends on the trace (memory accesses, `setvl`,
+/// VL-dependent latency) or on control (`halt`).  Reads are not stored
+/// here: every tracked read slot is flattened into the per-segment read
+/// stream used for the issue-time computation.
+#[derive(Clone, Copy)]
+struct DynOp {
+    flags: u8,
+    /// Effective lane count for the VL-dependent latency tail.
+    lanes: u8,
+    flow: u16,
+    dst_slot: u16,
+    micro_ops_unit: u16,
+}
+
+/// One segment of the compact timing view: a (possibly empty) run of
+/// timing-inert bundles followed by at most one bundle that actually
+/// touches the scoreboard, the L2 port or the trace.  A segment advances
+/// the clock by `span` bundles in one step.
+#[derive(Clone, Copy)]
+struct RSeg {
+    /// Tracked scoreboard slots read by the segment's final bundle.
+    reads: (u32, u32),
+    /// `(slot, latency)` writes of its plain fixed-latency operations.
+    writes: (u32, u32),
+    /// Its operations needing per-issue handling, in program order.
+    dynamics: (u32, u32),
+    /// Bundles this segment spans (the inert run plus the final bundle).
+    span: u32,
+    /// Operations across the whole segment.
+    op_count: u32,
+    /// Micro-ops of the segment's plain operations (VL-independent).
+    static_micro_ops: u64,
+    /// Whether the final bundle occupies the single L2 vector port.
+    vecmem: bool,
+}
+
+/// Per-block compact metadata (mirrors `LoweredBlock`, but in segments).
+#[derive(Clone, Copy)]
+struct RBlock {
+    region: vmv_isa::RegionId,
+    first_seg: u32,
+    seg_count: u32,
+    bundle_count: u32,
+}
+
+/// The precompiled compact timing view of a [`LoweredProgram`]: a
+/// structure-of-arrays form holding only what the timing walk consumes.
+/// A recorded trace re-executes each static block many times (loops), so
+/// the walk is the hot loop; the slot-tracking analysis (module docs)
+/// collapses everything provably stall-free into segment-level counters.
+/// Built in O(static ops) — negligible next to the walk — so [`replay`]
+/// constructs it per call rather than caching it.
+struct ReplayProgram {
+    blocks: Vec<RBlock>,
+    segs: Vec<RSeg>,
+    reads: Vec<u16>,
+    writes: Vec<(u16, u16)>,
+    dynamics: Vec<DynOp>,
+}
+
+/// Dynamic-behaviour flag bits of one lowered operation.
+fn flags_of(op: &vmv_sched::LoweredOp) -> u8 {
+    let mut flags = 0u8;
+    if op.opcode.is_memory() {
+        flags |= F_MEM;
+    }
+    if op.opcode == Opcode::SetVL {
+        flags |= F_SETVL;
+    }
+    if op.opcode == Opcode::Halt {
+        flags |= F_HALT;
+    }
+    if op.reads_vl {
+        flags |= F_READS_VL;
+    }
+    flags
+}
+
+impl ReplayProgram {
+    fn build(program: &LoweredProgram) -> ReplayProgram {
+        // Two same-cycle writes to one slot must apply in program order;
+        // splitting them between the static and dynamic paths would
+        // reorder them, so such bundles go fully dynamic.
+        let dup_dst = |ops: &[vmv_sched::LoweredOp]| {
+            ops.iter().enumerate().any(|(i, op)| {
+                op.dst_slot != NO_SLOT && ops[..i].iter().any(|prev| prev.dst_slot == op.dst_slot)
+            })
+        };
+
+        // Pass 1 — slot classification.  A slot must stay on the
+        // scoreboard if a dynamic operation writes it, or a fixed-latency
+        // write to it could outlive its block (latency greater than the
+        // distance to the block's end, in bundles: every later bundle
+        // takes at least one cycle, so shorter writes are always complete
+        // by the time any other block can read them).
+        let mut tracked = vec![false; program.total_slots()];
+        for block in &program.blocks {
+            let n = block.bundle_count;
+            for (i, b) in (block.first_bundle..block.first_bundle + n).enumerate() {
+                let ops = program.bundle_ops(b);
+                let demoted = dup_dst(ops);
+                for op in ops {
+                    if op.dst_slot == NO_SLOT {
+                        continue;
+                    }
+                    let dynamic = demoted || flags_of(op) != 0;
+                    if dynamic || op.flow as u32 > n - i as u32 {
+                        tracked[op.dst_slot as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 2 — emit segments: bundles with no tracked reads, no kept
+        // writes, no dynamic operations and no L2-port use merge into the
+        // following active bundle (or into one trailing inert segment).
+        let mut blocks = Vec::with_capacity(program.blocks.len());
+        let mut segs = Vec::new();
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut dynamics = Vec::new();
+        for block in &program.blocks {
+            let first_seg = segs.len() as u32;
+            let (mut pend_span, mut pend_ops, mut pend_micro) = (0u32, 0u32, 0u64);
+            for b in block.first_bundle..block.first_bundle + block.bundle_count {
+                let ops = program.bundle_ops(b);
+                let demoted = dup_dst(ops);
+                let (reads_lo, writes_lo, dyn_lo) = (
+                    reads.len() as u32,
+                    writes.len() as u32,
+                    dynamics.len() as u32,
+                );
+                let mut static_micro_ops = 0u64;
+                let mut vecmem = false;
+                for op in ops {
+                    reads.extend(
+                        op.read_slots()
+                            .iter()
+                            .filter(|&&s| tracked[s as usize])
+                            .copied(),
+                    );
+                    vecmem |= op.is_vector_memory;
+                    let flags = flags_of(op);
+                    if flags == 0 && !demoted {
+                        // Plain fixed-latency operation: at most a
+                        // pre-computed scoreboard write plus counters.
+                        if op.dst_slot != NO_SLOT && tracked[op.dst_slot as usize] {
+                            writes.push((op.dst_slot, op.flow));
+                        }
+                        static_micro_ops += op.micro_ops_unit as u64;
+                    } else {
+                        dynamics.push(DynOp {
+                            flags,
+                            lanes: op.lanes.max(1),
+                            flow: op.flow,
+                            dst_slot: op.dst_slot,
+                            micro_ops_unit: op.micro_ops_unit,
+                        });
+                    }
+                }
+                let inert = reads.len() as u32 == reads_lo
+                    && writes.len() as u32 == writes_lo
+                    && dynamics.len() as u32 == dyn_lo
+                    && !vecmem;
+                if inert {
+                    pend_span += 1;
+                    pend_ops += ops.len() as u32;
+                    pend_micro += static_micro_ops;
+                } else {
+                    segs.push(RSeg {
+                        reads: (reads_lo, reads.len() as u32),
+                        writes: (writes_lo, writes.len() as u32),
+                        dynamics: (dyn_lo, dynamics.len() as u32),
+                        span: pend_span + 1,
+                        op_count: pend_ops + ops.len() as u32,
+                        static_micro_ops: pend_micro + static_micro_ops,
+                        vecmem,
+                    });
+                    (pend_span, pend_ops, pend_micro) = (0, 0, 0);
+                }
+            }
+            if pend_span > 0 {
+                // Trailing inert run: pure clock advance.
+                segs.push(RSeg {
+                    reads: (reads.len() as u32, reads.len() as u32),
+                    writes: (writes.len() as u32, writes.len() as u32),
+                    dynamics: (dynamics.len() as u32, dynamics.len() as u32),
+                    span: pend_span,
+                    op_count: pend_ops,
+                    static_micro_ops: pend_micro,
+                    vecmem: false,
+                });
+            }
+            blocks.push(RBlock {
+                region: block.region,
+                first_seg,
+                seg_count: segs.len() as u32 - first_seg,
+                bundle_count: block.bundle_count,
+            });
+        }
+        ReplayProgram {
+            blocks,
+            segs,
+            reads,
+            writes,
+            dynamics,
+        }
+    }
+}
+
+/// Errors produced while replaying a trace.  All but `CycleLimit` indicate
+/// a malformed trace — one not produced by recording this program, or
+/// truncated/corrupted in between.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace names a block the program does not have.
+    BlockOutOfRange { step: usize, block: u32 },
+    /// A memory operation had no recorded access left to consume.
+    TruncatedAccesses { consumed: usize },
+    /// A `setvl` had no recorded VL value left to consume.
+    TruncatedVlSets { consumed: usize },
+    /// The trace ended without reaching a halting block.
+    MissingHalt,
+    /// The trace continues past the block that executed `halt`.
+    BlocksAfterHalt { step: usize },
+    /// Recorded events were left over after the final block — the trace
+    /// does not belong to this block sequence.
+    TrailingEvents { accesses: usize, vl_sets: usize },
+    /// The cycle limit was exceeded (possible when replaying under a much
+    /// slower memory variant than the recording ran on).
+    CycleLimit(u64),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::BlockOutOfRange { step, block } => {
+                write!(f, "trace step {step} names out-of-range block {block}")
+            }
+            ReplayError::TruncatedAccesses { consumed } => {
+                write!(
+                    f,
+                    "trace truncated: only {consumed} memory accesses recorded"
+                )
+            }
+            ReplayError::TruncatedVlSets { consumed } => {
+                write!(f, "trace truncated: only {consumed} setvl values recorded")
+            }
+            ReplayError::MissingHalt => write!(f, "trace ends without a halting block"),
+            ReplayError::BlocksAfterHalt { step } => {
+                write!(f, "trace continues past the halt at step {step}")
+            }
+            ReplayError::TrailingEvents { accesses, vl_sets } => write!(
+                f,
+                "trace has {accesses} unconsumed accesses and {vl_sets} unconsumed setvl values"
+            ),
+            ReplayError::CycleLimit(c) => write!(f, "cycle limit of {c} exceeded during replay"),
+        }
+    }
+}
+impl std::error::Error for ReplayError {}
+
+/// Replay `trace` over `program`, pricing memory against a fresh hierarchy
+/// for (`machine`, `model`).  `machine` may differ from the recording
+/// machine in memory-hierarchy parameters only (the same contract as
+/// re-simulating a `Prepared` under a new memory variant); `max_cycles`
+/// bounds the replayed clock exactly as `SimOptions::max_cycles` bounds
+/// execution.
+pub fn replay(
+    program: &LoweredProgram,
+    trace: &Trace,
+    machine: &MachineConfig,
+    model: MemoryModel,
+    max_cycles: u64,
+) -> Result<RunStats, ReplayError> {
+    let _span = vmv_obs::span(vmv_obs::SpanKind::TraceReplay);
+    let compact = ReplayProgram::build(program);
+    let mut hierarchy = MemoryHierarchy::for_machine(model, machine);
+    let mut stats = RunStats::default();
+    for region in &program.regions {
+        stats.region_mut(region.id);
+    }
+    let mut region_acc: Vec<(vmv_isa::RegionId, crate::stats::RegionStats)> = Vec::new();
+    let mut region_idx = 0usize;
+
+    let mut ready: Vec<u64> = vec![0; program.total_slots()];
+    let mut l2_port_free: u64 = 0;
+    let mut cycle: u64 = 0;
+    let port_elems = machine.l2_port_elems.max(1);
+
+    // The VL register, reconstructed from the recorded `setvl` stream.
+    let mut vl: u32 = trace.initial_vl;
+    let mut evl: u64 = vl.clamp(1, MAX_VL) as u64;
+    let (mut ai, mut vi) = (0usize, 0usize);
+    let mut halted = false;
+
+    for (step, &block_id) in trace.blocks.iter().enumerate() {
+        if halted {
+            return Err(ReplayError::BlocksAfterHalt { step: step - 1 });
+        }
+        let block = *compact
+            .blocks
+            .get(block_id as usize)
+            .ok_or(ReplayError::BlockOutOfRange {
+                step,
+                block: block_id,
+            })?;
+        let region = block.region;
+        let block_start_cycle = cycle;
+        let mut ops_executed = 0u64;
+        let mut micro_ops = 0u64;
+        let mut stall_cycles = 0u64;
+
+        for seg in
+            &compact.segs[block.first_seg as usize..(block.first_seg + block.seg_count) as usize]
+        {
+            // The inert run in front of the final bundle advances the
+            // clock one cycle per bundle, stall-free, by construction.
+            let base = cycle + (seg.span - 1) as u64;
+            let mut issue = base;
+            for &slot in &compact.reads[seg.reads.0 as usize..seg.reads.1 as usize] {
+                issue = issue.max(ready[slot as usize]);
+            }
+            if seg.vecmem {
+                issue = issue.max(l2_port_free);
+            }
+            stall_cycles += issue - base;
+
+            for &(slot, lat) in &compact.writes[seg.writes.0 as usize..seg.writes.1 as usize] {
+                ready[slot as usize] = issue + lat as u64;
+            }
+            micro_ops += seg.static_micro_ops;
+            ops_executed += seg.op_count as u64;
+
+            for op in &compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize] {
+                let latency = if op.flags & F_MEM != 0 {
+                    let access = trace
+                        .accesses
+                        .get(ai)
+                        .ok_or(ReplayError::TruncatedAccesses { consumed: ai })?;
+                    ai += 1;
+                    if access.is_vector {
+                        let occupancy = if access.stride == 8 {
+                            access.elems.div_ceil(port_elems)
+                        } else {
+                            access.elems
+                        };
+                        l2_port_free = issue + occupancy.max(1) as u64;
+                    }
+                    Simulator::memory_latency_on(&mut hierarchy, access) as u64
+                } else {
+                    if op.flags & F_SETVL != 0 {
+                        vl = *trace
+                            .vl_sets
+                            .get(vi)
+                            .ok_or(ReplayError::TruncatedVlSets { consumed: vi })?;
+                        vi += 1;
+                        evl = vl.clamp(1, MAX_VL) as u64;
+                    }
+                    if op.flags & F_READS_VL != 0 {
+                        let lanes = op.lanes as u64;
+                        let tail = if lanes.is_power_of_two() {
+                            (evl - 1) >> lanes.trailing_zeros()
+                        } else {
+                            (evl - 1) / lanes
+                        };
+                        op.flow as u64 + tail
+                    } else {
+                        op.flow as u64
+                    }
+                };
+
+                if op.dst_slot != NO_SLOT {
+                    ready[op.dst_slot as usize] = issue + latency;
+                }
+
+                micro_ops += if op.flags & F_READS_VL != 0 {
+                    op.micro_ops_unit as u64 * evl
+                } else {
+                    op.micro_ops_unit as u64
+                };
+
+                halted |= op.flags & F_HALT != 0;
+            }
+
+            cycle = issue + 1;
+            // The engine checks the limit after every bundle; the clock
+            // is monotone within a segment, so checking at segment ends
+            // reaches the same error decision.
+            if cycle - block_start_cycle > max_cycles || cycle > max_cycles {
+                return Err(ReplayError::CycleLimit(max_cycles));
+            }
+        }
+
+        // Even an empty block consumes a fetch cycle.
+        if block.bundle_count == 0 {
+            cycle += 1;
+        }
+
+        if region_idx >= region_acc.len() || region_acc[region_idx].0 != region {
+            region_idx = match region_acc.iter().position(|(id, _)| *id == region) {
+                Some(i) => i,
+                None => {
+                    region_acc.push((region, crate::stats::RegionStats::default()));
+                    region_acc.len() - 1
+                }
+            };
+        }
+        let r = &mut region_acc[region_idx].1;
+        r.cycles += cycle - block_start_cycle;
+        r.stall_cycles += stall_cycles;
+        r.instructions += (block.bundle_count as u64).max(1);
+        r.operations += ops_executed;
+        r.micro_ops += micro_ops;
+    }
+
+    if !halted {
+        return Err(ReplayError::MissingHalt);
+    }
+    if ai != trace.accesses.len() || vi != trace.vl_sets.len() {
+        return Err(ReplayError::TrailingEvents {
+            accesses: trace.accesses.len() - ai,
+            vl_sets: trace.vl_sets.len() - vi,
+        });
+    }
+
+    for (id, acc) in &region_acc {
+        stats.region_mut(*id).add(acc);
+    }
+    stats.memory = hierarchy.stats;
+    stats.memory.record_obs();
+    vmv_obs::incr(vmv_obs::Counter::TraceReplays);
+    Ok(stats)
+}

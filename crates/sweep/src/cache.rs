@@ -7,6 +7,11 @@
 //! A sweep over cache geometries or memory latencies therefore pays the
 //! scheduler exactly once per architecture point, no matter how many memory
 //! variants it simulates.
+//!
+//! The shared [`Prepared`] also memoizes the **execution trace**: the first
+//! run of a cached entry executes and records, and every later memory
+//! variant replays that trace against a fresh memory hierarchy
+//! (see `vmv_sim::replay`), skipping functional execution entirely.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,6 +141,36 @@ mod tests {
         assert_eq!(c.misses, 1, "one schedule for four memory-variant lookups");
         assert_eq!(c.hits, 3);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memory_variants_share_one_trace() {
+        use vmv_mem::MemoryModel;
+        let cache = CompileCache::new();
+        let machine = presets::vector2(2);
+        let prepared = cache.get_or_compile(Benchmark::GsmDec, &machine).unwrap();
+        assert!(
+            !prepared.has_trace(),
+            "nothing recorded before the first run"
+        );
+
+        // First run executes and records; the second memory variant replays
+        // the same trace and must agree bit-for-bit with a fresh execution.
+        let perfect = vmv_core::simulate(&prepared, &machine, MemoryModel::Perfect).unwrap();
+        assert!(prepared.has_trace(), "first run records the trace");
+        let replayed = vmv_core::simulate(&prepared, &machine, MemoryModel::Realistic).unwrap();
+        let executed =
+            vmv_core::simulate_fresh(&prepared, &machine, MemoryModel::Realistic).unwrap();
+        assert_eq!(replayed.stats, executed.stats);
+        assert_ne!(
+            perfect.stats.cycles(),
+            replayed.stats.cycles(),
+            "the memory model must still matter under replay"
+        );
+
+        // The cache hands out the same Arc, so the trace rides along.
+        let again = cache.get_or_compile(Benchmark::GsmDec, &machine).unwrap();
+        assert!(again.has_trace());
     }
 
     #[test]

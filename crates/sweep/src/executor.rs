@@ -8,6 +8,7 @@
 //! deterministic (point-major, benchmark-minor) regardless of the worker
 //! count or scheduling jitter.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -71,6 +72,10 @@ pub struct SweepReport {
     pub errors: Vec<(String, String)>,
     /// Compile-cache counters (misses == schedules performed).
     pub cache: CacheCounters,
+    /// Jobs served by trace replay instead of full execution: their shared
+    /// [`vmv_core::Prepared`] already held a recorded trace, so only the
+    /// memory hierarchy was re-timed.
+    pub replays: usize,
     /// Wall-clock seconds of the parallel phase.
     pub wall_seconds: f64,
 }
@@ -83,17 +88,29 @@ struct Progress {
     skipped: usize,
     start: Instant,
     last: Instant,
+    /// Recent `(instant, done)` samples.  The rate (and so the ETA) is
+    /// computed over this ~10 s sliding window instead of since sweep
+    /// start, so the estimate tracks the *current* throughput: a slow
+    /// cold-start (every job compiling) no longer drags the ETA for the
+    /// rest of a long sweep once the cache is warm.
+    window: VecDeque<(Instant, usize)>,
 }
+
+/// Width of the sliding rate window, seconds.
+const RATE_WINDOW_S: f64 = 10.0;
 
 impl Progress {
     fn new(on: bool, total: usize, skipped: usize) -> Progress {
         let now = Instant::now();
+        let mut window = VecDeque::new();
+        window.push_back((now, 0));
         Progress {
             on,
             total,
             skipped,
             start: now,
             last: now,
+            window,
         }
     }
 
@@ -106,9 +123,24 @@ impl Progress {
             return;
         }
         self.last = now;
-        let elapsed = now.duration_since(self.start).as_secs_f64().max(1e-9);
-        let rate = done as f64 / elapsed;
-        let eta = if done > 0 {
+        self.window.push_back((now, done));
+        // Keep at least two samples so a window is always defined.
+        while self.window.len() > 2
+            && now.duration_since(self.window[0].0).as_secs_f64() > RATE_WINDOW_S
+        {
+            self.window.pop_front();
+        }
+        let &(t0, d0) = self.window.front().unwrap();
+        let span = now.duration_since(t0).as_secs_f64();
+        let progressed = done.saturating_sub(d0);
+        let rate = if span > 0.0 && progressed > 0 {
+            progressed as f64 / span
+        } else {
+            // No progress inside the window yet: fall back to the
+            // since-start average rather than reporting 0 runs/s.
+            done as f64 / now.duration_since(self.start).as_secs_f64().max(1e-9)
+        };
+        let eta = if rate > 0.0 && done > 0 {
             format!("{:.0}s", (self.total - done) as f64 / rate)
         } else {
             "?".to_string()
@@ -180,6 +212,7 @@ pub fn run_sweep(
 
     // One job body shared by the inline and pooled paths, so the two can
     // never diverge in cache interaction, record layout or panic handling.
+    let replays = AtomicUsize::new(0);
     let run_job = |job: &Job| -> Result<RunRecord, String> {
         vmv_obs::record_ns(
             SpanKind::JobQueueWait,
@@ -193,7 +226,15 @@ pub fn run_sweep(
             prepared
                 .and_then(|prepared| {
                     let _simulate = vmv_obs::span(SpanKind::JobSimulate);
-                    simulate(&prepared, &job.point.machine, job.point.model)
+                    // A shared `Prepared` that already carries a trace is
+                    // served by replay; classify before the call since the
+                    // first execution is also the one that records.
+                    let replayed = prepared.has_trace();
+                    let outcome = simulate(&prepared, &job.point.machine, job.point.model)?;
+                    if replayed {
+                        replays.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(outcome)
                 })
                 .map(|outcome| record_of(job.key.clone(), job.point, job.benchmark, &outcome))
                 .map_err(|e| e.to_string())
@@ -251,6 +292,7 @@ pub fn run_sweep(
             skipped,
             errors,
             cache: cache.counters(),
+            replays: replays.load(Ordering::Relaxed),
             wall_seconds: start.elapsed().as_secs_f64(),
         });
     }
@@ -340,6 +382,7 @@ pub fn run_sweep(
         skipped,
         errors,
         cache: cache.counters(),
+        replays: replays.load(Ordering::Relaxed),
         wall_seconds,
     })
 }
@@ -411,6 +454,11 @@ mod tests {
         assert_eq!(a.records.len(), points.len());
         assert!(a.errors.is_empty(), "{:?}", a.errors);
         assert!(a.records.iter().all(|r| r.check_ok));
+        // Single-worker sweeps are strictly sequential, so exactly the
+        // second memory variant of each of the 3 schedule keys replays —
+        // and replayed runs still match fully executed ones bit-for-bit
+        // (that is what the records equality above proves).
+        assert_eq!(a.replays, 3, "one replay per re-timed memory variant");
     }
 
     #[test]
@@ -474,6 +522,14 @@ mod tests {
         assert!(report.errors.is_empty(), "{:?}", report.errors);
         assert_eq!(report.records.len(), 8);
         assert_eq!(report.cache.misses, 1, "one schedule for all geometries");
+        // At most one execute-and-record per worker can race before the
+        // shared trace lands; every later job must replay.
+        assert!(
+            report.replays >= points.len() - 2,
+            "expected >= {} replays, got {}",
+            points.len() - 2,
+            report.replays
+        );
         assert!(report.records.iter().all(|r| r.check_ok));
         // Geometry must matter: not every point can have identical cycles.
         let cycles: std::collections::HashSet<u64> =

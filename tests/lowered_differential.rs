@@ -1,15 +1,21 @@
 //! Differential harness for the lowered execution engine.
 //!
-//! The simulator has two interpretation loops: the original string-keyed
+//! The simulator has three interpretation loops: the original string-keyed
 //! reference engine (`Simulator::run_reference` — hash-map scoreboard,
-//! label-map branch resolution, per-operation metadata re-derivation) and
-//! the lowered hot path (`Simulator::run_lowered` — slot-indexed scoreboard
-//! over the pre-resolved `LoweredProgram`).  The refactor is only sound if
-//! the two agree *exactly*: same cycles, same stalls, same per-region
-//! breakdown, same memory-system counters, on every workload and machine.
+//! label-map branch resolution, per-operation metadata re-derivation), the
+//! lowered hot path (`Simulator::run_lowered` — slot-indexed scoreboard
+//! over the pre-resolved `LoweredProgram`), and the trace-replay retimer
+//! (`vmv_sim::replay` — no functional execution at all, just the recorded
+//! block/access/VL streams walked against a fresh memory hierarchy).  Any
+//! timing-semantics change is only sound if all three agree *exactly*:
+//! same cycles, same stalls, same per-region breakdown, same memory-system
+//! counters, on every workload and machine.
 //!
 //! This harness proves that on all ten Table 2 presets across the complete
-//! kernel suite, under both memory models.
+//! kernel suite, under both memory models.  The replay leg is deliberately
+//! cross-model: the trace is recorded **once under perfect memory** and
+//! replayed under both models, which is exactly how the sweep executor
+//! reuses one trace across a memory axis.
 
 use vector_usimd_vliw as vmv;
 use vmv::core::{prepare, variant_for};
@@ -51,9 +57,27 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
     let mut compared = 0usize;
     for machine in &configs {
         for bench in Benchmark::ALL {
+            let prepared = prepare(bench, machine)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+            // Record the trace once, under perfect memory; the replay leg
+            // below retimes it under *both* models (the cross-model reuse
+            // the sweep's trace cache depends on).
+            let (recorded_stats, trace) = {
+                let mut sim = Simulator::new(
+                    machine,
+                    SimOptions {
+                        memory_model: MemoryModel::Perfect,
+                        mem_size: prepared.build.mem_size.max(1 << 20),
+                        max_cycles: 2_000_000_000,
+                    },
+                );
+                for (addr, bytes) in &prepared.build.init {
+                    sim.mem.write_bytes(*addr, bytes);
+                }
+                sim.run_lowered_recording(&prepared.lowered)
+                    .expect("recording run")
+            };
             for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
-                let prepared = prepare(bench, machine)
-                    .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
                 let reference = run_with(&prepared, machine, model, false);
                 let lowered = run_with(&prepared, machine, model, true);
                 assert_eq!(
@@ -65,11 +89,39 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
                     machine.name,
                     model
                 );
+                let replayed =
+                    vmv::sim::replay(&prepared.lowered, &trace, machine, model, 2_000_000_000)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "replay: {} on {} under {model:?}: {e}",
+                                bench.name(),
+                                machine.name
+                            )
+                        });
+                assert_eq!(
+                    reference,
+                    replayed,
+                    "replay diverged: {} ({}) on {} under {:?}",
+                    bench.name(),
+                    variant_for(machine).name(),
+                    machine.name,
+                    model
+                );
+                if model == MemoryModel::Perfect {
+                    assert_eq!(
+                        recorded_stats,
+                        reference,
+                        "recording must not perturb timing: {} on {}",
+                        bench.name(),
+                        machine.name
+                    );
+                }
                 compared += 1;
             }
         }
     }
-    // 10 configurations x 6 benchmarks x 2 memory models.
+    // 10 configurations x 6 benchmarks x 2 memory models, each compared
+    // across all three engines.
     assert_eq!(compared, 120);
 }
 

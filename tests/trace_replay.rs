@@ -1,0 +1,190 @@
+//! Trace-replay behaviour beyond the three-engine differential: replay is
+//! deterministic, the adaptive `simulate` path agrees with fresh execution
+//! on a shared `Prepared`, and malformed traces are rejected with typed
+//! errors instead of garbage statistics.
+
+use vector_usimd_vliw as vmv;
+use vmv::core::{prepare, simulate, simulate_fresh};
+use vmv::kernels::Benchmark;
+use vmv::machine::presets;
+use vmv::mem::MemoryModel;
+use vmv::sim::{replay, ReplayError, SimOptions, Simulator, Trace};
+
+const MAX_CYCLES: u64 = 2_000_000_000;
+
+fn record(
+    bench: Benchmark,
+    machine: &vmv::machine::MachineConfig,
+    model: MemoryModel,
+) -> (vmv::core::Prepared, vmv::sim::RunStats, Trace) {
+    let prepared = prepare(bench, machine).expect("prepares");
+    let mut sim = Simulator::new(
+        machine,
+        SimOptions {
+            memory_model: model,
+            mem_size: prepared.build.mem_size.max(1 << 20),
+            max_cycles: MAX_CYCLES,
+        },
+    );
+    for (addr, bytes) in &prepared.build.init {
+        sim.mem.write_bytes(*addr, bytes);
+    }
+    let (stats, trace) = sim
+        .run_lowered_recording(&prepared.lowered)
+        .expect("recording run");
+    (prepared, stats, trace)
+}
+
+#[test]
+fn replaying_the_same_trace_twice_is_deterministic() {
+    let machine = presets::vector2(4);
+    let (prepared, stats, trace) = record(Benchmark::GsmDec, &machine, MemoryModel::Realistic);
+    let a = replay(
+        &prepared.lowered,
+        &trace,
+        &machine,
+        MemoryModel::Realistic,
+        MAX_CYCLES,
+    )
+    .expect("first replay");
+    let b = replay(
+        &prepared.lowered,
+        &trace,
+        &machine,
+        MemoryModel::Realistic,
+        MAX_CYCLES,
+    )
+    .expect("second replay");
+    assert_eq!(a, b, "replay must be a pure function of (program, trace)");
+    assert_eq!(a, stats, "and must reproduce the recorded run exactly");
+}
+
+#[test]
+fn adaptive_simulate_matches_fresh_execution_across_models() {
+    // The first `simulate` on a shared `Prepared` executes and records;
+    // every later call replays.  Both strategies must agree bit-for-bit,
+    // for every memory model, on the same entry.
+    let machine = presets::vector2(2);
+    let prepared = std::sync::Arc::new(prepare(Benchmark::JpegEnc, &machine).unwrap());
+    assert!(!prepared.has_trace());
+    for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+        let adaptive = simulate(&prepared, &machine, model).unwrap();
+        let fresh = simulate_fresh(&prepared, &machine, model).unwrap();
+        assert_eq!(adaptive.stats, fresh.stats, "{model:?}");
+        assert_eq!(adaptive.check_failures, fresh.check_failures);
+    }
+    assert!(prepared.has_trace(), "the first simulate recorded a trace");
+}
+
+#[test]
+fn truncated_access_stream_is_rejected() {
+    let machine = presets::vector2(2);
+    let (prepared, _, trace) = record(Benchmark::GsmDec, &machine, MemoryModel::Perfect);
+    assert!(!trace.accesses.is_empty());
+    let mut cut = trace.clone();
+    cut.accesses.truncate(trace.accesses.len() / 2);
+    match replay(
+        &prepared.lowered,
+        &cut,
+        &machine,
+        MemoryModel::Perfect,
+        MAX_CYCLES,
+    ) {
+        Err(ReplayError::TruncatedAccesses { consumed }) => {
+            assert_eq!(consumed, cut.accesses.len())
+        }
+        other => panic!("expected TruncatedAccesses, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_vl_stream_is_rejected() {
+    let machine = presets::vector2(2);
+    let (prepared, _, trace) = record(Benchmark::GsmEnc, &machine, MemoryModel::Perfect);
+    assert!(
+        !trace.vl_sets.is_empty(),
+        "a strip-mined vector kernel sets VL at least once"
+    );
+    let mut cut = trace.clone();
+    cut.vl_sets.clear();
+    match replay(
+        &prepared.lowered,
+        &cut,
+        &machine,
+        MemoryModel::Perfect,
+        MAX_CYCLES,
+    ) {
+        Err(ReplayError::TruncatedVlSets { consumed }) => assert_eq!(consumed, 0),
+        other => panic!("expected TruncatedVlSets, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_block_and_trailing_events_are_rejected() {
+    let machine = presets::vector2(2);
+    let (prepared, _, trace) = record(Benchmark::GsmDec, &machine, MemoryModel::Perfect);
+
+    let mut bogus = trace.clone();
+    bogus.blocks[0] = prepared.lowered.blocks.len() as u32 + 7;
+    assert!(matches!(
+        replay(
+            &prepared.lowered,
+            &bogus,
+            &machine,
+            MemoryModel::Perfect,
+            MAX_CYCLES
+        ),
+        Err(ReplayError::BlockOutOfRange { step: 0, .. })
+    ));
+
+    let mut padded = trace.clone();
+    padded.accesses.push(*padded.accesses.last().unwrap());
+    assert!(matches!(
+        replay(
+            &prepared.lowered,
+            &padded,
+            &machine,
+            MemoryModel::Perfect,
+            MAX_CYCLES
+        ),
+        Err(ReplayError::TrailingEvents { accesses: 1, .. })
+    ));
+}
+
+#[test]
+fn empty_trace_is_rejected_as_missing_halt() {
+    let machine = presets::vector2(2);
+    let (prepared, _, _) = record(Benchmark::GsmDec, &machine, MemoryModel::Perfect);
+    let empty = Trace::default();
+    assert!(matches!(
+        replay(
+            &prepared.lowered,
+            &empty,
+            &machine,
+            MemoryModel::Perfect,
+            MAX_CYCLES
+        ),
+        Err(ReplayError::MissingHalt)
+    ));
+}
+
+#[test]
+fn replay_errors_render_as_text() {
+    // The sweep surfaces these through `e.to_string()` — make sure every
+    // variant has a stable human-readable rendering.
+    let errors: Vec<ReplayError> = vec![
+        ReplayError::BlockOutOfRange { step: 3, block: 9 },
+        ReplayError::TruncatedAccesses { consumed: 12 },
+        ReplayError::TruncatedVlSets { consumed: 0 },
+        ReplayError::MissingHalt,
+        ReplayError::BlocksAfterHalt { step: 5 },
+        ReplayError::TrailingEvents {
+            accesses: 2,
+            vl_sets: 1,
+        },
+        ReplayError::CycleLimit(1_000_000),
+    ];
+    for e in errors {
+        assert!(!e.to_string().is_empty(), "{e:?}");
+    }
+}
