@@ -22,6 +22,12 @@
 //! asserts the two strategies agree bit-for-bit, and records the speedup
 //! (`--min-replay-speedup` gates it in CI).
 //!
+//! A fourth **replay_batch** stage retimes the same sweep's memory variants
+//! twice more — once by serial per-variant replay, once by one fused
+//! `vmv_core::simulate_batch` walk per schedule key — asserts bit-identical
+//! statistics, and records the per-retimed-variant speedup of the batched
+//! walk over serial replay (`--min-batch-speedup` gates it in CI).
+//!
 //! Reports simulated-cycles-per-second per stage-adjusted workload and
 //! **appends** a host- and commit-stamped entry to the `BENCH_sim.json`
 //! trajectory (a JSON array, newest last), so the perf history of the hot
@@ -55,6 +61,9 @@ fn usage() {
          --min-replay-speedup X\n\
          \x20               exit non-zero when the replay stage's speedup over\n\
          \x20               re-execution is below X\n\
+         --min-batch-speedup X\n\
+         \x20               exit non-zero when the replay_batch stage's speedup\n\
+         \x20               over serial replay is below X\n\
          --repeat N      run each whole workload N times (default 1); the\n\
          \x20               trajectory entry carries the median run plus\n\
          \x20               min/median/max wall seconds per stage"
@@ -466,10 +475,139 @@ fn bench_replay() -> ReplayTotals {
     t
 }
 
+/// Totals of the replay_batch stage: the same retimed variants priced by
+/// serial per-variant replay and by one fused batched walk per schedule key.
+struct BatchTotals {
+    serial_s: f64,
+    batch_s: f64,
+    batches: u64,
+    recorded: u64,
+    retimed: u64,
+    simulated_cycles: u64,
+}
+
+impl BatchTotals {
+    /// Per-retimed-variant speedup of the batched walk over serial replay
+    /// (both sides cover exactly the retimed variants, so the totals ratio
+    /// *is* the per-variant ratio).
+    fn speedup(&self) -> f64 {
+        if self.batch_s > 0.0 {
+            self.serial_s / self.batch_s
+        } else {
+            0.0
+        }
+    }
+
+    fn report(&self) {
+        println!(
+            "replay_batch stage (latency_tolerance sweep): {} recorded, {} retimed in {} batches",
+            self.recorded, self.retimed, self.batches
+        );
+        println!(
+            "  serial replay {:.3}s | batched replay {:.3}s | {:.2}x speedup per retimed variant",
+            self.serial_s,
+            self.batch_s,
+            self.speedup()
+        );
+    }
+
+    fn json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str("replay_batch")),
+            ("batches".into(), Json::u64(self.batches)),
+            ("recorded_runs".into(), Json::u64(self.recorded)),
+            ("retimed_runs".into(), Json::u64(self.retimed)),
+            ("simulated_cycles".into(), Json::u64(self.simulated_cycles)),
+            ("serial_replay_seconds".into(), Json::Num(self.serial_s)),
+            ("batch_replay_seconds".into(), Json::Num(self.batch_s)),
+            ("speedup".into(), Json::Num(self.speedup())),
+        ])
+    }
+}
+
+/// The replay_batch stage: group the committed `latency_tolerance` sweep by
+/// schedule key, execute-and-record each key once, then retime the
+/// remaining memory variants twice — serially (one replay walk per variant)
+/// and as one fused `simulate_batch` walk — verifying the two agree
+/// bit-for-bit while measuring the batching win.
+fn bench_replay_batch() -> BatchTotals {
+    let spec = SpecFile::parse(LATENCY_TOLERANCE_SPEC)
+        .expect("committed spec parses")
+        .lower()
+        .expect("committed spec lowers");
+    let points = spec.spec.expand().points;
+    let mut t = BatchTotals {
+        serial_s: 0.0,
+        batch_s: 0.0,
+        batches: 0,
+        recorded: 0,
+        retimed: 0,
+        simulated_cycles: 0,
+    };
+    // Group point indices by schedule key, preserving first-seen order.
+    let mut groups: Vec<(std::sync::Arc<vmv_core::Prepared>, Vec<usize>)> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for bench in spec.benchmarks {
+        for (i, point) in points.iter().enumerate() {
+            let key = format!("{}|{}", bench.name(), schedule_fingerprint(&point.machine));
+            match index.get(&key) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    index.insert(key, groups.len());
+                    let prepared =
+                        std::sync::Arc::new(prepare(bench, &point.machine).expect("prepares"));
+                    groups.push((prepared, vec![i]));
+                }
+            }
+        }
+    }
+    for (prepared, group) in &groups {
+        // Execute-and-record the first variant (cost identical for both
+        // strategies, so it stays outside the timed sections).
+        let first = &points[group[0]];
+        let recorded = simulate(prepared, &first.machine, first.model).expect("records");
+        assert!(prepared.has_trace());
+        t.recorded += 1;
+        t.simulated_cycles += recorded.stats.cycles();
+        let rest = &group[1..];
+        if rest.is_empty() {
+            continue;
+        }
+        // Strategy A: serial replay, one full trace walk per variant.
+        let (serial, serial_s) = timed(|| {
+            rest.iter()
+                .map(|&i| simulate(prepared, &points[i].machine, points[i].model).expect("replays"))
+                .collect::<Vec<_>>()
+        });
+        // Strategy B: one fused walk retiming every variant together.
+        let (batched, batch_s) = timed(|| {
+            let variants: Vec<_> = rest
+                .iter()
+                .map(|&i| (&points[i].machine, points[i].model))
+                .collect();
+            vmv_core::simulate_batch(prepared, &variants).expect("batch replays")
+        });
+        for ((serial_run, batch_run), &i) in serial.iter().zip(&batched).zip(rest) {
+            assert_eq!(
+                serial_run.stats, batch_run.stats,
+                "batched replay must be bit-identical to serial replay ({})",
+                points[i].name
+            );
+            t.simulated_cycles += serial_run.stats.cycles();
+        }
+        t.serial_s += serial_s;
+        t.batch_s += batch_s;
+        t.batches += 1;
+        t.retimed += rest.len() as u64;
+    }
+    t
+}
+
 fn main() {
     let mut json_path = "BENCH_sim.json".to_string();
     let mut min_scps: Option<f64> = None;
     let mut min_replay_speedup: Option<f64> = None;
+    let mut min_batch_speedup: Option<f64> = None;
     let mut repeat = 1u32;
     let mut args = vmv_bench::args::ArgStream::new();
     while let Some(arg) = args.next() {
@@ -481,6 +619,10 @@ fn main() {
             "--min-replay-speedup" => {
                 min_replay_speedup =
                     Some(args.parsed("--min-replay-speedup", "a speedup floor over re-execution"))
+            }
+            "--min-batch-speedup" => {
+                min_batch_speedup =
+                    Some(args.parsed("--min-batch-speedup", "a speedup floor over serial replay"))
             }
             "--repeat" => {
                 let n: u32 = args.parsed("--repeat", "a repeat count of at least 1");
@@ -508,6 +650,7 @@ fn main() {
     let mut table2_runs: Vec<(StageTotals, f64)> = Vec::new();
     let mut synthetic_runs: Vec<(StageTotals, f64)> = Vec::new();
     let mut replay_runs: Vec<ReplayTotals> = Vec::new();
+    let mut batch_runs: Vec<BatchTotals> = Vec::new();
     for i in 0..repeat {
         if repeat > 1 {
             println!("repeat {}/{repeat}", i + 1);
@@ -515,6 +658,7 @@ fn main() {
         table2_runs.push(timed(bench_table2));
         synthetic_runs.push(timed(bench_synthetic));
         replay_runs.push(bench_replay());
+        batch_runs.push(bench_replay_batch());
     }
     let table2 = median_run(&table2_runs);
     let synthetic = median_run(&synthetic_runs);
@@ -524,9 +668,16 @@ fn main() {
         idx.sort_by(|&a, &b| replay_runs[a].replay_s.total_cmp(&replay_runs[b].replay_s));
         &replay_runs[idx[(replay_runs.len() - 1) / 2]]
     };
+    // Median batch repeat by its batched-replay wall time.
+    let batch = {
+        let mut idx: Vec<usize> = (0..batch_runs.len()).collect();
+        idx.sort_by(|&a, &b| batch_runs[a].batch_s.total_cmp(&batch_runs[b].batch_s));
+        &batch_runs[idx[(batch_runs.len() - 1) / 2]]
+    };
     table2.report("table2 suite (10 configs x 6 benchmarks x 2 memory models)");
     synthetic.report("synthetic sweep (demo points, GSM pair, realistic model)");
     replay.report();
+    batch.report();
     let table2_wall = median(&walls(&table2_runs));
     let synthetic_wall = median(&walls(&synthetic_runs));
 
@@ -549,6 +700,7 @@ fn main() {
             workload_json("synthetic", &synthetic_runs),
         ),
         ("replay".into(), replay.json()),
+        ("replay_batch".into(), batch.json()),
         ("metrics".into(), vmv_obs::snapshot().to_json_compact()),
     ]);
     let trajectory = append_to_trajectory(&json_path, entry);
@@ -583,5 +735,13 @@ fn main() {
             std::process::exit(1);
         }
         println!("replay floor ok: {speedup:.2}x >= {floor:.2}x over re-execution");
+    }
+    if let Some(floor) = min_batch_speedup {
+        let speedup = batch.speedup();
+        if speedup < floor {
+            eprintln!("FAIL: replay_batch-stage speedup {speedup:.2}x < floor {floor:.2}x");
+            std::process::exit(1);
+        }
+        println!("batch floor ok: {speedup:.2}x >= {floor:.2}x over serial replay");
     }
 }

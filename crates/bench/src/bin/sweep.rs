@@ -306,10 +306,11 @@ fn main() {
     if report.replays > 0 {
         println!(
             "trace replay: {} of {} runs re-timed from a recorded trace \
-             (executed {})",
+             (executed {}, {} batched walks)",
             report.replays,
             report.records.len(),
-            report.records.len().saturating_sub(report.replays)
+            report.records.len().saturating_sub(report.replays),
+            report.replay_batches
         );
     }
     if !report.records.is_empty() && report.wall_seconds > 0.0 {
@@ -381,6 +382,10 @@ fn main() {
             ("schedules".into(), Json::u64(report.cache.misses)),
             ("cache_hits".into(), Json::u64(report.cache.hits)),
             ("trace_replays".into(), Json::u64(report.replays as u64)),
+            (
+                "replay_batches".into(),
+                Json::u64(report.replay_batches as u64),
+            ),
             (
                 "per_run".into(),
                 Json::Arr(

@@ -201,6 +201,49 @@ pub fn simulate(
     })
 }
 
+/// Retime an already-recorded benchmark against several memory variants in
+/// one batched trace walk.  `variants` pairs a machine configuration with a
+/// memory model under the same contract as [`simulate`]: every machine must
+/// agree with the scheduled configuration in all schedule-relevant
+/// parameters.  `outcomes[i]` is bit-identical to
+/// `simulate(prepared, variants[i].0, variants[i].1)`.
+///
+/// Requires a recorded trace (some [`simulate`] call must have run first);
+/// errors otherwise.  Any per-variant replay failure (e.g. a cycle limit)
+/// fails the whole batch — callers wanting per-variant isolation fall back
+/// to serial [`simulate`] calls.
+pub fn simulate_batch(
+    prepared: &Prepared,
+    variants: &[(&MachineConfig, MemoryModel)],
+) -> Result<Vec<RunOutcome>, ExperimentError> {
+    let recorded = prepared.trace.get().ok_or_else(|| {
+        ExperimentError::Simulation(
+            "batched replay requires a recorded trace (simulate once first)".into(),
+        )
+    })?;
+    let analysis = vmv_sim::ReplayAnalysis::build(&prepared.lowered);
+    let mut states: Vec<vmv_sim::VariantState> = variants
+        .iter()
+        .map(|&(machine, model)| {
+            vmv_sim::VariantState::new(&analysis, machine, model, MAX_RUN_CYCLES)
+        })
+        .collect();
+    let all = vmv_sim::replay_batch(&recorded.trace, &analysis, &mut states)
+        .map_err(|e| ExperimentError::Simulation(format!("batched replay: {e}")))?;
+    Ok(all
+        .into_iter()
+        .zip(variants)
+        .map(|(stats, &(machine, model))| RunOutcome {
+            config: machine.name.clone(),
+            benchmark: prepared.benchmark,
+            variant: prepared.variant,
+            memory_model: model,
+            stats,
+            check_failures: recorded.check_failures.clone(),
+        })
+        .collect())
+}
+
 /// Simulate by full functional execution, never recording or replaying a
 /// trace.  Results are identical to [`simulate`]; this entry point exists
 /// for callers that specifically measure the execution engine (`bench`).

@@ -112,6 +112,92 @@ impl MemStats {
     }
 }
 
+/// Memoized touched-line walks shared across hierarchies.
+///
+/// Batched trace replay prices the *same* recorded access against K cache
+/// states back to back.  The touched-line set of an irregular stride depends
+/// only on `(base, stride, elems, line_size)` — never on cache contents — so
+/// one naive walk can serve every variant whose line geometry matches.  The
+/// scratch lives outside the hierarchy precisely so K hierarchies can borrow
+/// it in turn while each is stepped mutably.
+#[derive(Debug, Default)]
+pub struct SharedAccessScratch {
+    /// Access the memoized walks belong to: (base, stride, elems).
+    key: Option<(u64, i64, u32)>,
+    /// One cached walk per distinct line size seen for the current access.
+    walks: Vec<(u64, Vec<u64>)>,
+    /// Recycled line buffers from previous accesses.
+    spare: Vec<Vec<u64>>,
+}
+
+impl SharedAccessScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The touched lines of the access for `line_size`-byte lines, computing
+    /// and memoizing the naive walk on first request.
+    fn lines(&mut self, base: u64, stride_bytes: i64, elems: u32, line_size: u64) -> &[u64] {
+        if self.key != Some((base, stride_bytes, elems)) {
+            self.key = Some((base, stride_bytes, elems));
+            self.spare.extend(self.walks.drain(..).map(|(_, v)| v));
+        }
+        if let Some(i) = self.walks.iter().position(|w| w.0 == line_size) {
+            return &self.walks[i].1;
+        }
+        let mut buf = self.spare.pop().unwrap_or_default();
+        lines::collect_naive(base, stride_bytes, elems, line_size, &mut buf);
+        self.walks.push((line_size, buf));
+        &self.walks.last().expect("just pushed").1
+    }
+}
+
+/// Which level served one cache-line lookup of a scalar access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    L1,
+    L2,
+    L3,
+    Mem,
+}
+
+/// The timing-relevant *events* of one access, captured from the hierarchy
+/// that simulated it.  Tag behaviour depends only on the access stream and
+/// the cache geometry — never on the latency parameters — so any
+/// [`MemoryHierarchy::tag_equivalent`] hierarchy can price the echoed
+/// events against its own latencies ([`MemoryHierarchy::apply_echo`])
+/// without walking its own tags, and land on exactly the timing and
+/// [`MemStats`] the real access would have produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessEcho {
+    Scalar {
+        kind: AccessKind,
+        /// Serving level of the first (and, when the access straddles a
+        /// line boundary, the second) L1 line.
+        first: ServedBy,
+        second: Option<ServedBy>,
+    },
+    Vector {
+        kind: AccessKind,
+        unit_stride: bool,
+        elems: u32,
+        /// L2-port transfer time (bank and port geometry, not latency).
+        transfer_cycles: u32,
+        /// Missed L2 lines refilled from the L3 / from main memory.
+        l3_fetches: u32,
+        mem_fetches: u32,
+        /// L1 lines invalidated for coherence.
+        invalidations: u64,
+    },
+}
+
+/// Refill source of one L2 line of a vector access.
+enum LineFill {
+    Hit,
+    FromL3,
+    FromMem,
+}
+
 /// The memory hierarchy.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -173,6 +259,17 @@ impl MemoryHierarchy {
 
     /// Simulate a scalar (or µSIMD 64-bit) access of `size` bytes.
     pub fn scalar_access(&mut self, addr: u64, size: usize, kind: AccessKind) -> AccessTiming {
+        self.scalar_access_echoed(addr, size, kind).0
+    }
+
+    /// [`Self::scalar_access`], additionally capturing the access's
+    /// [`AccessEcho`] for replaying against tag-equivalent hierarchies.
+    pub fn scalar_access_echoed(
+        &mut self,
+        addr: u64,
+        size: usize,
+        kind: AccessKind,
+    ) -> (AccessTiming, AccessEcho) {
         match kind {
             AccessKind::Load => self.stats.scalar_loads += 1,
             AccessKind::Store => self.stats.scalar_stores += 1,
@@ -180,10 +277,17 @@ impl MemoryHierarchy {
         let scheduled = self.scheduled_scalar_latency();
         if self.model == MemoryModel::Perfect {
             self.stats.l1_hits += 1;
-            return AccessTiming {
-                latency: scheduled,
-                stall_cycles: 0,
-            };
+            return (
+                AccessTiming {
+                    latency: scheduled,
+                    stall_cycles: 0,
+                },
+                AccessEcho::Scalar {
+                    kind,
+                    first: ServedBy::L1,
+                    second: None,
+                },
+            );
         }
 
         let write = kind == AccessKind::Store;
@@ -191,48 +295,58 @@ impl MemoryHierarchy {
         let last = addr + size.max(1) as u64 - 1;
         let first_block = self.l1.block_addr(addr);
         let last_block = self.l1.block_addr(last);
-        let mut latency = self.scalar_line_access(first_block, write);
+        let (mut latency, first) = self.scalar_line_access(first_block, write);
+        let mut second = None;
         if last_block != first_block {
-            latency = latency.max(self.scalar_line_access(last_block, write));
+            let (lat2, served2) = self.scalar_line_access(last_block, write);
+            latency = latency.max(lat2);
+            second = Some(served2);
         }
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
-        AccessTiming {
-            latency,
-            stall_cycles: stall,
-        }
+        (
+            AccessTiming {
+                latency,
+                stall_cycles: stall,
+            },
+            AccessEcho::Scalar {
+                kind,
+                first,
+                second,
+            },
+        )
     }
 
-    fn scalar_line_access(&mut self, blk: u64, write: bool) -> u32 {
+    fn scalar_line_access(&mut self, blk: u64, write: bool) -> (u32, ServedBy) {
         match self.l1.access(blk, write) {
             LookupResult::Hit => {
                 self.stats.l1_hits += 1;
-                self.params.l1_latency
+                (self.params.l1_latency, ServedBy::L1)
             }
             LookupResult::Miss => {
                 self.stats.l1_misses += 1;
                 // Miss in L1: look up the L2 (the vector cache also serves
                 // scalar refills), then the L3, then main memory.
-                let below = match self.l2.scalar_access(blk, false) {
+                let (below, served) = match self.l2.scalar_access(blk, false) {
                     LookupResult::Hit => {
                         self.stats.l2_hits += 1;
-                        self.params.l2_latency
+                        (self.params.l2_latency, ServedBy::L2)
                     }
                     LookupResult::Miss => {
                         self.stats.l2_misses += 1;
-                        let l3lat = match self.l3.access(blk, false) {
+                        let filled = match self.l3.access(blk, false) {
                             LookupResult::Hit => {
                                 self.stats.l3_hits += 1;
-                                self.params.l3_latency
+                                (self.params.l3_latency, ServedBy::L3)
                             }
                             LookupResult::Miss => {
                                 self.stats.l3_misses += 1;
                                 self.l3.fill(blk, false);
-                                self.params.mem_latency
+                                (self.params.mem_latency, ServedBy::Mem)
                             }
                         };
                         self.l2.fill(blk, false);
-                        l3lat
+                        filled
                     }
                 };
                 let out = self.l1.fill(blk, write);
@@ -240,7 +354,7 @@ impl MemoryHierarchy {
                     // Write-back of a dirty L1 line into the (inclusive) L2.
                     self.l2.fill(wb, true);
                 }
-                self.params.l1_latency + below
+                (self.params.l1_latency + below, served)
             }
         }
     }
@@ -255,26 +369,26 @@ impl MemoryHierarchy {
         self.stats.coherence_invalidations += 1;
     }
 
-    /// Probe + fill one L2 line of a vector access.  Returns whether the
-    /// line missed and the L3/memory latency charged for fetching it.
+    /// Probe + fill one L2 line of a vector access.  Returns where the line
+    /// was refilled from and the L3/memory latency charged for fetching it.
     #[inline]
-    fn l2_line_access(&mut self, blk: u64, write: bool) -> (bool, u32) {
+    fn l2_line_access(&mut self, blk: u64, write: bool) -> (LineFill, u32) {
         match self.l2.access_line(blk, write) {
-            LookupResult::Hit => (false, 0),
+            LookupResult::Hit => (LineFill::Hit, 0),
             LookupResult::Miss => {
-                let below = match self.l3.access(blk, false) {
+                let (fill, below) = match self.l3.access(blk, false) {
                     LookupResult::Hit => {
                         self.stats.l3_hits += 1;
-                        self.params.l3_latency
+                        (LineFill::FromL3, self.params.l3_latency)
                     }
                     LookupResult::Miss => {
                         self.stats.l3_misses += 1;
                         self.l3.fill(blk, false);
-                        self.params.mem_latency
+                        (LineFill::FromMem, self.params.mem_latency)
                     }
                 };
                 self.l2.fill(blk, write);
-                (true, below)
+                (fill, below)
             }
         }
     }
@@ -299,6 +413,47 @@ impl MemoryHierarchy {
         elems: u32,
         kind: AccessKind,
     ) -> AccessTiming {
+        self.vector_access_impl(base, stride_bytes, elems, kind, None)
+            .0
+    }
+
+    /// [`Self::vector_access`] with an external memoized line-walk scratch,
+    /// for stepping several hierarchies through the same access stream
+    /// (batched trace replay).  Timing and statistics are bit-identical to
+    /// `vector_access`; only the irregular-stride walk is shared.
+    pub fn vector_access_shared(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        elems: u32,
+        kind: AccessKind,
+        scratch: &mut SharedAccessScratch,
+    ) -> AccessTiming {
+        self.vector_access_impl(base, stride_bytes, elems, kind, Some(scratch))
+            .0
+    }
+
+    /// [`Self::vector_access_shared`], additionally capturing the access's
+    /// [`AccessEcho`] for replaying against tag-equivalent hierarchies.
+    pub fn vector_access_echoed(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        elems: u32,
+        kind: AccessKind,
+        scratch: &mut SharedAccessScratch,
+    ) -> (AccessTiming, AccessEcho) {
+        self.vector_access_impl(base, stride_bytes, elems, kind, Some(scratch))
+    }
+
+    fn vector_access_impl(
+        &mut self,
+        base: u64,
+        stride_bytes: i64,
+        elems: u32,
+        kind: AccessKind,
+        shared: Option<&mut SharedAccessScratch>,
+    ) -> (AccessTiming, AccessEcho) {
         match kind {
             AccessKind::Load => self.stats.vector_loads += 1,
             AccessKind::Store => self.stats.vector_stores += 1,
@@ -324,10 +479,21 @@ impl MemoryHierarchy {
             let stall = latency.saturating_sub(scheduled);
             self.stats.total_stall_cycles += stall as u64;
             self.stats.l2_hits += 1;
-            return AccessTiming {
-                latency,
-                stall_cycles: stall,
-            };
+            return (
+                AccessTiming {
+                    latency,
+                    stall_cycles: stall,
+                },
+                AccessEcho::Vector {
+                    kind,
+                    unit_stride: stride_bytes == 8,
+                    elems,
+                    transfer_cycles: transfer,
+                    l3_fetches: 0,
+                    mem_fetches: 0,
+                    invalidations: 0,
+                },
+            );
         }
 
         // One fused pass over the touched L2 lines: for each line, first
@@ -342,8 +508,10 @@ impl MemoryHierarchy {
         let l1_line = self.params.l1_line as u64;
         let l2_line = self.params.l2_line as u64;
         let l1_mask = !(l1_line - 1);
+        let invals_before = self.stats.coherence_invalidations;
         let mut lines_touched = 0u32;
-        let mut lines_missed = 0u32;
+        let mut l3_fetches = 0u32;
+        let mut mem_fetches = 0u32;
         let mut miss_penalty = 0u32;
 
         match lines::classify(base, stride_bytes, elems, l2_line) {
@@ -367,8 +535,12 @@ impl MemoryHierarchy {
                         l1_cur += l1_line;
                     }
                     lines_touched += 1;
-                    let (missed, penalty) = self.l2_line_access(blk, write);
-                    lines_missed += missed as u32;
+                    let (fill, penalty) = self.l2_line_access(blk, write);
+                    match fill {
+                        LineFill::Hit => {}
+                        LineFill::FromL3 => l3_fetches += 1,
+                        LineFill::FromMem => mem_fetches += 1,
+                    }
                     miss_penalty += penalty;
                     if blk >= last {
                         break;
@@ -392,8 +564,12 @@ impl MemoryHierarchy {
                     }
                     l1_cur = l1_cur.max(cur);
                     lines_touched += 1;
-                    let (missed, penalty) = self.l2_line_access(a & !(l2_line - 1), write);
-                    lines_missed += missed as u32;
+                    let (fill, penalty) = self.l2_line_access(a & !(l2_line - 1), write);
+                    match fill {
+                        LineFill::Hit => {}
+                        LineFill::FromL3 => l3_fetches += 1,
+                        LineFill::FromMem => mem_fetches += 1,
+                    }
                     miss_penalty += penalty;
                     a += step;
                 }
@@ -401,25 +577,48 @@ impl MemoryHierarchy {
             // Irregular (line-straddling odd strides, far negative strides,
             // address wraparound): two short naive walks through the
             // reusable scratch buffer.
-            _ => {
-                let mut scratch = std::mem::take(&mut self.scratch);
-                lines::collect_naive(base, stride_bytes, elems, l1_line, &mut scratch);
-                for &blk in &scratch {
-                    self.invalidate_l1(blk);
+            _ => match shared {
+                // Batched replay: the walk is memoized per (access, line
+                // size), so only the first of K variants pays for it.
+                Some(memo) => {
+                    for &blk in memo.lines(base, stride_bytes, elems, l1_line) {
+                        self.invalidate_l1(blk);
+                    }
+                    for &blk in memo.lines(base, stride_bytes, elems, l2_line) {
+                        lines_touched += 1;
+                        let (fill, penalty) = self.l2_line_access(blk, write);
+                        match fill {
+                            LineFill::Hit => {}
+                            LineFill::FromL3 => l3_fetches += 1,
+                            LineFill::FromMem => mem_fetches += 1,
+                        }
+                        miss_penalty += penalty;
+                    }
                 }
-                lines::collect_naive(base, stride_bytes, elems, l2_line, &mut scratch);
-                for &blk in &scratch {
-                    lines_touched += 1;
-                    let (missed, penalty) = self.l2_line_access(blk, write);
-                    lines_missed += missed as u32;
-                    miss_penalty += penalty;
+                None => {
+                    let mut scratch = std::mem::take(&mut self.scratch);
+                    lines::collect_naive(base, stride_bytes, elems, l1_line, &mut scratch);
+                    for &blk in &scratch {
+                        self.invalidate_l1(blk);
+                    }
+                    lines::collect_naive(base, stride_bytes, elems, l2_line, &mut scratch);
+                    for &blk in &scratch {
+                        lines_touched += 1;
+                        let (fill, penalty) = self.l2_line_access(blk, write);
+                        match fill {
+                            LineFill::Hit => {}
+                            LineFill::FromL3 => l3_fetches += 1,
+                            LineFill::FromMem => mem_fetches += 1,
+                        }
+                        miss_penalty += penalty;
+                    }
+                    self.scratch = scratch;
                 }
-                self.scratch = scratch;
-            }
+            },
         }
 
         self.l2.record_vector_access(unit_stride, lines_touched);
-        if lines_missed > 0 {
+        if l3_fetches + mem_fetches > 0 {
             self.stats.l2_misses += 1;
         } else {
             self.stats.l2_hits += 1;
@@ -429,15 +628,198 @@ impl MemoryHierarchy {
         let latency = self.params.l2_latency + transfer_cycles - 1 + miss_penalty;
         let stall = latency.saturating_sub(scheduled);
         self.stats.total_stall_cycles += stall as u64;
-        AccessTiming {
-            latency,
-            stall_cycles: stall,
-        }
+        (
+            AccessTiming {
+                latency,
+                stall_cycles: stall,
+            },
+            AccessEcho::Vector {
+                kind,
+                unit_stride,
+                elems,
+                transfer_cycles,
+                l3_fetches,
+                mem_fetches,
+                invalidations: self.stats.coherence_invalidations - invals_before,
+            },
+        )
+    }
+
+    /// True when `other` produces the *same tag behaviour* as `self` on
+    /// every access stream: same model, cache geometry and port width.
+    /// Latency parameters are free to differ — they only scale the pricing
+    /// — so an [`AccessEcho`] captured on one hierarchy can be
+    /// [`applied`](Self::apply_echo) to any tag-equivalent other.
+    pub fn tag_equivalent(&self, other: &Self) -> bool {
+        tag_equivalent_configs(
+            (self.model, &self.params, self.port_elems),
+            (other.model, &other.params, other.port_elems),
+        )
+    }
+
+    /// Price an echoed access against this hierarchy's latency parameters,
+    /// updating [`MemStats`] exactly as the real access would have.  The
+    /// echo must come from a [`tag_equivalent`](Self::tag_equivalent)
+    /// hierarchy stepped through the same access stream; this hierarchy's
+    /// own tags are *not* maintained, so after the first `apply_echo` it
+    /// must only ever be priced through further echoes.
+    pub fn apply_echo(&mut self, echo: &AccessEcho) -> AccessTiming {
+        price_echo(&self.params, self.port_elems, &mut self.stats, echo)
     }
 
     /// Statistics of the three cache levels (L1, L2, L3).
     pub fn cache_stats(&self) -> [crate::cache::CacheStats; 3] {
         [self.l1.stats, self.l2.stats(), self.l3.stats]
+    }
+}
+
+/// [`MemoryHierarchy::tag_equivalent`] over raw `(model, params, port)`
+/// configurations, for callers that classify variants *before* paying for
+/// hierarchy construction.
+pub fn tag_equivalent_configs(
+    (model_a, a, port_a): (MemoryModel, &MemoryParams, u32),
+    (model_b, b, port_b): (MemoryModel, &MemoryParams, u32),
+) -> bool {
+    model_a == model_b
+        && port_a.max(1) == port_b.max(1)
+        && a.l1_size == b.l1_size
+        && a.l1_assoc == b.l1_assoc
+        && a.l1_line == b.l1_line
+        && a.l2_size == b.l2_size
+        && a.l2_assoc == b.l2_assoc
+        && a.l2_line == b.l2_line
+        && a.l2_banks == b.l2_banks
+        && a.l3_size == b.l3_size
+        && a.l3_assoc == b.l3_assoc
+        && a.l3_line == b.l3_line
+}
+
+/// A latency-parameters-only echo pricer: prices [`AccessEcho`]es exactly
+/// like [`MemoryHierarchy::apply_echo`] but carries **no tag state** — it
+/// costs nothing to construct, where a full hierarchy allocates and zeroes
+/// every cache level's tag arrays.  Batched trace replay builds one real
+/// hierarchy per tag-equivalence class and one pricer per follower.
+#[derive(Debug, Clone)]
+pub struct EchoPricer {
+    params: MemoryParams,
+    port_elems: u32,
+    pub stats: MemStats,
+}
+
+impl EchoPricer {
+    pub fn new(params: MemoryParams, l2_port_elems: u32) -> Self {
+        EchoPricer {
+            params,
+            port_elems: l2_port_elems.max(1),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Construct a pricer straight from a machine configuration.
+    pub fn for_machine(machine: &vmv_machine::MachineConfig) -> Self {
+        Self::new(machine.memory, machine.l2_port_elems)
+    }
+
+    /// Price an echoed access; see [`MemoryHierarchy::apply_echo`].
+    pub fn apply_echo(&mut self, echo: &AccessEcho) -> AccessTiming {
+        price_echo(&self.params, self.port_elems, &mut self.stats, echo)
+    }
+}
+
+/// The one shared echo-pricing rule behind [`MemoryHierarchy::apply_echo`]
+/// and [`EchoPricer::apply_echo`].
+fn price_echo(
+    params: &MemoryParams,
+    port_elems: u32,
+    stats: &mut MemStats,
+    echo: &AccessEcho,
+) -> AccessTiming {
+    match *echo {
+        AccessEcho::Scalar {
+            kind,
+            first,
+            second,
+        } => {
+            match kind {
+                AccessKind::Load => stats.scalar_loads += 1,
+                AccessKind::Store => stats.scalar_stores += 1,
+            }
+            let mut latency = price_echo_line(params, stats, first);
+            if let Some(served) = second {
+                latency = latency.max(price_echo_line(params, stats, served));
+            }
+            let stall = latency.saturating_sub(params.l1_latency);
+            stats.total_stall_cycles += stall as u64;
+            AccessTiming {
+                latency,
+                stall_cycles: stall,
+            }
+        }
+        AccessEcho::Vector {
+            kind,
+            unit_stride,
+            elems,
+            transfer_cycles,
+            l3_fetches,
+            mem_fetches,
+            invalidations,
+        } => {
+            match kind {
+                AccessKind::Load => stats.vector_loads += 1,
+                AccessKind::Store => stats.vector_stores += 1,
+            }
+            if unit_stride {
+                stats.unit_stride_vector_accesses += 1;
+            } else {
+                stats.strided_vector_accesses += 1;
+            }
+            stats.coherence_invalidations += invalidations;
+            if l3_fetches + mem_fetches > 0 {
+                stats.l2_misses += 1;
+            } else {
+                stats.l2_hits += 1;
+            }
+            stats.l3_hits += l3_fetches as u64;
+            stats.l3_misses += mem_fetches as u64;
+            let latency = params.l2_latency + transfer_cycles - 1
+                + l3_fetches * params.l3_latency
+                + mem_fetches * params.mem_latency;
+            // The compiler schedules vector accesses as stride-one L2 hits.
+            let scheduled = params.l2_latency + elems.div_ceil(port_elems.max(1)).saturating_sub(1);
+            let stall = latency.saturating_sub(scheduled);
+            stats.total_stall_cycles += stall as u64;
+            AccessTiming {
+                latency,
+                stall_cycles: stall,
+            }
+        }
+    }
+}
+
+/// Stats and latency of one echoed scalar-line lookup.
+fn price_echo_line(params: &MemoryParams, stats: &mut MemStats, served: ServedBy) -> u32 {
+    match served {
+        ServedBy::L1 => {
+            stats.l1_hits += 1;
+            params.l1_latency
+        }
+        ServedBy::L2 => {
+            stats.l1_misses += 1;
+            stats.l2_hits += 1;
+            params.l1_latency + params.l2_latency
+        }
+        ServedBy::L3 => {
+            stats.l1_misses += 1;
+            stats.l2_misses += 1;
+            stats.l3_hits += 1;
+            params.l1_latency + params.l3_latency
+        }
+        ServedBy::Mem => {
+            stats.l1_misses += 1;
+            stats.l2_misses += 1;
+            stats.l3_misses += 1;
+            params.l1_latency + params.mem_latency
+        }
     }
 }
 
@@ -578,6 +960,115 @@ mod tests {
         let warm = m.vector_access(0x1003C, 200, 16, AccessKind::Load);
         assert_eq!(warm.latency, m.scheduled_vector_latency(16).max(5 + 16 - 1));
         assert_eq!(m.stats.l2_hits, 1);
+    }
+
+    #[test]
+    fn shared_scratch_vector_access_is_bit_identical() {
+        // Drive two clones of the same hierarchy through an access mix that
+        // exercises all three walk arms (contiguous, arithmetic, irregular);
+        // the shared-scratch path must produce identical timing and stats.
+        let accesses: [(u64, i64, u32, AccessKind); 6] = [
+            (0x1000, 8, 16, AccessKind::Load),          // contiguous
+            (0x40000, 4 * 64, 8, AccessKind::Store),    // arithmetic
+            (0x1003C, 200, 16, AccessKind::Load),       // irregular
+            (0x1003C, 200, 16, AccessKind::Store),      // irregular, memo reuse
+            (0x1000, 8, 16, AccessKind::Load),          // warm contiguous
+            (u64::MAX - 64, -200, 9, AccessKind::Load), // wraparound fallback
+        ];
+        for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+            let mut plain = MemoryHierarchy::new(model, MemoryParams::default(), 4);
+            let mut shared = plain.clone();
+            let mut memo = SharedAccessScratch::new();
+            for &(base, stride, elems, kind) in &accesses {
+                let a = plain.vector_access(base, stride, elems, kind);
+                let b = shared.vector_access_shared(base, stride, elems, kind, &mut memo);
+                assert_eq!(a, b, "{model:?} {base:#x} stride {stride}");
+            }
+            assert_eq!(plain.stats, shared.stats);
+            assert_eq!(plain.cache_stats(), shared.cache_stats());
+        }
+    }
+
+    #[test]
+    fn echo_pricing_matches_real_accesses_on_tag_equivalent_followers() {
+        // A follower differing ONLY in latency parameters must land on
+        // exactly the timing and stats of a real access when priced through
+        // the leader's echoes — for scalar and vector accesses, hits and
+        // misses, straddles, coherence invalidations and irregular strides.
+        let slow = MemoryParams {
+            l1_latency: 3,
+            l2_latency: 11,
+            l3_latency: 40,
+            mem_latency: 900,
+            ..MemoryParams::default()
+        };
+        for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+            let mut leader = MemoryHierarchy::new(model, MemoryParams::default(), 4);
+            let mut echoed = MemoryHierarchy::new(model, slow, 4);
+            let mut pricer = EchoPricer::new(slow, 4);
+            let mut real = echoed.clone();
+            assert!(leader.tag_equivalent(&echoed));
+            let mut memo = SharedAccessScratch::new();
+
+            // Scalar mix: cold miss, warm hit, line straddle, store.
+            for (addr, size, kind) in [
+                (0x1000u64, 8usize, AccessKind::Load),
+                (0x1004, 4, AccessKind::Load),
+                (0x101E, 8, AccessKind::Load),
+                (0x2000, 8, AccessKind::Store),
+            ] {
+                let (_, echo) = leader.scalar_access_echoed(addr, size, kind);
+                let fast = echoed.apply_echo(&echo);
+                let slow = real.scalar_access(addr, size, kind);
+                assert_eq!(fast, slow, "{model:?} scalar {addr:#x}");
+                assert_eq!(pricer.apply_echo(&echo), slow);
+            }
+            // Vector mix: cold, warm, strided, irregular, store over a
+            // dirty scalar line (coherence).
+            for (base, stride, elems, kind) in [
+                (0x4000u64, 8i64, 16u32, AccessKind::Load),
+                (0x4000, 8, 16, AccessKind::Load),
+                (0x40000, 4 * 64, 8, AccessKind::Load),
+                (0x1003C, 200, 16, AccessKind::Load),
+                (0x2000, 8, 8, AccessKind::Store),
+            ] {
+                let (_, echo) = leader.vector_access_echoed(base, stride, elems, kind, &mut memo);
+                let fast = echoed.apply_echo(&echo);
+                let slow = real.vector_access(base, stride, elems, kind);
+                assert_eq!(fast, slow, "{model:?} vector {base:#x} stride {stride}");
+                assert_eq!(pricer.apply_echo(&echo), slow);
+            }
+            assert_eq!(echoed.stats, real.stats, "{model:?} stats must agree");
+            assert_eq!(
+                pricer.stats, real.stats,
+                "{model:?} pricer stats must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_equivalence_requires_matching_geometry_and_model() {
+        let base = MemoryHierarchy::new(MemoryModel::Realistic, MemoryParams::default(), 4);
+        let slow = MemoryParams {
+            mem_latency: 900,
+            ..MemoryParams::default()
+        };
+        assert!(base.tag_equivalent(&MemoryHierarchy::new(MemoryModel::Realistic, slow, 4)));
+        let big_l2 = MemoryParams {
+            l2_size: MemoryParams::default().l2_size * 2,
+            ..MemoryParams::default()
+        };
+        assert!(!base.tag_equivalent(&MemoryHierarchy::new(MemoryModel::Realistic, big_l2, 4)));
+        assert!(!base.tag_equivalent(&MemoryHierarchy::new(
+            MemoryModel::Perfect,
+            MemoryParams::default(),
+            4
+        )));
+        assert!(!base.tag_equivalent(&MemoryHierarchy::new(
+            MemoryModel::Realistic,
+            MemoryParams::default(),
+            2
+        )));
     }
 
     #[test]

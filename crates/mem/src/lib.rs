@@ -14,6 +14,9 @@ pub mod lines;
 pub mod vector_cache;
 
 pub use cache::{Cache, CacheStats, FillOutcome, LookupResult};
-pub use hierarchy::{AccessKind, AccessTiming, MemStats, MemoryHierarchy, MemoryModel};
+pub use hierarchy::{
+    tag_equivalent_configs, AccessEcho, AccessKind, AccessTiming, EchoPricer, MemStats,
+    MemoryHierarchy, MemoryModel, ServedBy, SharedAccessScratch,
+};
 pub use lines::LineWalk;
 pub use vector_cache::{VectorAccessOutcome, VectorCache};

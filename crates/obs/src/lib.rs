@@ -30,7 +30,7 @@ pub mod snapshot;
 
 pub use hist::{bucket_floor, bucket_of, HistSnapshot, BUCKETS};
 pub use recorder::{
-    add, enabled, incr, record_ns, reset, set_enabled, snapshot, span, worker_record, Counter,
-    Recorder, SpanGuard, SpanKind, MAX_WORKERS,
+    add, enabled, incr, record_ns, record_value, reset, set_enabled, snapshot, span, worker_record,
+    Counter, Recorder, SpanGuard, SpanKind, ValueHist, MAX_WORKERS,
 };
 pub use snapshot::{Snapshot, WorkerSnapshot};

@@ -39,6 +39,9 @@ pub enum Counter {
     TraceRecords,
     /// Completed trace-replay runs (retimed without functional execution).
     TraceReplays,
+    /// Batched replay walks (one walk retiming one or more variants; the
+    /// per-variant runs land in `TraceReplays`).
+    ReplayBatches,
     /// Scalar loads/stores and vector loads/stores timed by the hierarchy.
     MemScalarLoads,
     MemScalarStores,
@@ -71,7 +74,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 30] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::SchedBlocks,
@@ -81,6 +84,7 @@ impl Counter {
         Counter::SimRuns,
         Counter::TraceRecords,
         Counter::TraceReplays,
+        Counter::ReplayBatches,
         Counter::MemScalarLoads,
         Counter::MemScalarStores,
         Counter::MemVectorLoads,
@@ -115,6 +119,7 @@ impl Counter {
             Counter::SimRuns => "sim_runs",
             Counter::TraceRecords => "trace_records",
             Counter::TraceReplays => "trace_replays",
+            Counter::ReplayBatches => "replay_batches",
             Counter::MemScalarLoads => "mem_scalar_loads",
             Counter::MemScalarStores => "mem_scalar_stores",
             Counter::MemVectorLoads => "mem_vector_loads",
@@ -154,15 +159,18 @@ pub enum SpanKind {
     StoreAppend,
     /// Time spent retiming a recorded trace (the replay engine).
     TraceReplay,
+    /// Time spent in one batched replay walk (all variants together).
+    ReplayBatch,
 }
 
 impl SpanKind {
-    pub const ALL: [SpanKind; 5] = [
+    pub const ALL: [SpanKind; 6] = [
         SpanKind::JobQueueWait,
         SpanKind::JobCompile,
         SpanKind::JobSimulate,
         SpanKind::StoreAppend,
         SpanKind::TraceReplay,
+        SpanKind::ReplayBatch,
     ];
 
     /// Stable snapshot key (histogram values are nanoseconds).
@@ -173,6 +181,28 @@ impl SpanKind {
             SpanKind::JobSimulate => "job_simulate_ns",
             SpanKind::StoreAppend => "store_append_ns",
             SpanKind::TraceReplay => "trace_replay_ns",
+            SpanKind::ReplayBatch => "replay_batch_ns",
+        }
+    }
+}
+
+/// Plain value histograms (log2 buckets over dimensionless samples, unlike
+/// the nanosecond span histograms).  Rendered under the snapshot's `hists`
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum ValueHist {
+    /// Number of variants retimed per batched replay walk.
+    ReplayBatchWidth,
+}
+
+impl ValueHist {
+    pub const ALL: [ValueHist; 1] = [ValueHist::ReplayBatchWidth];
+
+    /// Stable snapshot key.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueHist::ReplayBatchWidth => "replay_batch_width",
         }
     }
 }
@@ -193,6 +223,7 @@ pub struct Recorder {
     enabled: AtomicBool,
     counters: [AtomicU64; Counter::ALL.len()],
     spans: [AtomicHist; SpanKind::ALL.len()],
+    hists: [AtomicHist; ValueHist::ALL.len()],
     worker_jobs: [AtomicU64; MAX_WORKERS],
     worker_busy_ns: [AtomicU64; MAX_WORKERS],
 }
@@ -203,6 +234,7 @@ impl Recorder {
             enabled: AtomicBool::new(false),
             counters: [ZERO; Counter::ALL.len()],
             spans: [HIST; SpanKind::ALL.len()],
+            hists: [HIST; ValueHist::ALL.len()],
             worker_jobs: [ZERO; MAX_WORKERS],
             worker_busy_ns: [ZERO; MAX_WORKERS],
         }
@@ -234,6 +266,14 @@ impl Recorder {
         if self.enabled() {
             self.spans[s as usize].record(ns);
             self.counters[Counter::SpansEntered as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one sample into a plain value histogram.
+    #[inline]
+    pub fn record_value(&self, h: ValueHist, v: u64) {
+        if self.enabled() {
+            self.hists[h as usize].record(v);
         }
     }
 
@@ -275,6 +315,10 @@ impl Recorder {
                 .iter()
                 .map(|&s| (s.name().to_string(), self.spans[s as usize].snapshot()))
                 .collect(),
+            hists: ValueHist::ALL
+                .iter()
+                .map(|&h| (h.name().to_string(), self.hists[h as usize].snapshot()))
+                .collect(),
             workers: (0..MAX_WORKERS)
                 .filter_map(|w| {
                     let jobs = self.worker_jobs[w].load(Ordering::Relaxed);
@@ -296,6 +340,9 @@ impl Recorder {
         }
         for s in &self.spans {
             s.reset();
+        }
+        for h in &self.hists {
+            h.reset();
         }
         for w in 0..MAX_WORKERS {
             self.worker_jobs[w].store(0, Ordering::Relaxed);
@@ -360,6 +407,12 @@ pub fn record_ns(s: SpanKind, ns: u64) {
     GLOBAL.record_ns(s, ns);
 }
 
+/// Record one value-histogram sample (no-op while disabled).
+#[inline]
+pub fn record_value(h: ValueHist, v: u64) {
+    GLOBAL.record_value(h, v);
+}
+
 /// Enter a timed scope on the process-wide recorder.
 pub fn span(kind: SpanKind) -> SpanGuard<'static> {
     GLOBAL.span(kind)
@@ -390,12 +443,14 @@ mod tests {
         r.add(Counter::CacheHits, 5);
         r.record_ns(SpanKind::JobCompile, 100);
         drop(r.span(SpanKind::JobSimulate));
+        r.record_value(ValueHist::ReplayBatchWidth, 7);
         r.worker_record(0, 3, 999);
         let s = r.snapshot();
         assert!(!s.enabled);
         assert!(s.counters.iter().all(|(_, v)| *v == 0));
         assert_eq!(s.counter("spans_entered"), Some(0));
         assert!(s.spans.iter().all(|(_, h)| h.count == 0));
+        assert!(s.hists.iter().all(|(_, h)| h.count == 0));
         assert!(s.workers.is_empty());
     }
 
@@ -459,6 +514,30 @@ mod tests {
             assert!(seen.insert(s.name()), "span name collides: {}", s.name());
             assert!(s.name().ends_with("_ns"), "{}", s.name());
         }
+        for h in ValueHist::ALL {
+            assert!(seen.insert(h.name()), "hist name collides: {}", h.name());
+            assert!(
+                !h.name().ends_with("_ns"),
+                "value hists are dimensionless: {}",
+                h.name()
+            );
+        }
+    }
+
+    #[test]
+    fn value_hists_record_and_reset() {
+        let r = Recorder::new();
+        r.set_enabled(true);
+        r.record_value(ValueHist::ReplayBatchWidth, 4);
+        r.record_value(ValueHist::ReplayBatchWidth, 4);
+        r.record_value(ValueHist::ReplayBatchWidth, 8);
+        let s = r.snapshot();
+        let h = s.hist("replay_batch_width").unwrap();
+        assert_eq!((h.count, h.sum), (3, 16));
+        // Value samples are not spans: the span-entry counter stays put.
+        assert_eq!(s.counter("spans_entered"), Some(0));
+        r.reset();
+        assert_eq!(r.snapshot().hist("replay_batch_width").unwrap().count, 0);
     }
 
     #[test]

@@ -10,13 +10,17 @@
 //!  "cache_hit_rate":0.75,
 //!  "counters":{"cache_hits":3,...},
 //!  "spans":{"job_compile_ns":{"count":4,"sum_ns":812345,"buckets":[0,1,...]}},
+//!  "hists":{"replay_batch_width":{"count":12,"sum":48,"buckets":[0,0,0,12]}},
 //!  "workers":[{"worker":0,"jobs":4,"busy_ns":812345}]}
 //! ```
 //!
-//! `cache_hit_rate` (hits / lookups) and `trace_replay_rate` (replays /
-//! completed simulations) are derived and re-derived on parse, so the schema
-//! stays redundancy-free; consumers that only want the headline numbers
-//! never have to do arithmetic.
+//! `cache_hit_rate` (hits / lookups), `trace_replay_rate` (replays /
+//! completed simulations) and `mean_batch_width` (variants per batched
+//! replay walk) are derived and re-derived on parse, so the schema stays
+//! redundancy-free; consumers that only want the headline numbers never
+//! have to do arithmetic.  The `hists` section (plain value histograms, no
+//! nanosecond unit) was added after the schema shipped; documents without
+//! it parse to an empty section, so old snapshots stay readable.
 
 use crate::hist::HistSnapshot;
 use crate::json::{Json, JsonError};
@@ -39,6 +43,8 @@ pub struct Snapshot {
     pub enabled: bool,
     pub counters: Vec<(String, u64)>,
     pub spans: Vec<(String, HistSnapshot)>,
+    /// Plain value histograms (dimensionless samples, e.g. batch widths).
+    pub hists: Vec<(String, HistSnapshot)>,
     pub workers: Vec<WorkerSnapshot>,
 }
 
@@ -56,6 +62,11 @@ impl Snapshot {
         self.spans.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// Look up a value histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
     /// Compile-cache hit rate in [0, 1]; `None` before any lookup.
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let hits = self.counter("cache_hits")?;
@@ -71,6 +82,13 @@ impl Snapshot {
         let executed = self.counter("sim_runs")?;
         let total = replays + executed;
         (total > 0).then(|| replays as f64 / total as f64)
+    }
+
+    /// Mean number of variants retimed per batched replay walk; `None`
+    /// before any batch.
+    pub fn mean_batch_width(&self) -> Option<f64> {
+        let h = self.hist("replay_batch_width")?;
+        (h.count > 0).then(|| h.sum as f64 / h.count as f64)
     }
 
     /// Full canonical JSON document: every counter (zero or not), every
@@ -96,6 +114,9 @@ impl Snapshot {
             if let Some(rate) = self.trace_replay_rate() {
                 fields.push(("trace_replay_rate".into(), Json::Num(rate)));
             }
+            if let Some(width) = self.mean_batch_width() {
+                fields.push(("mean_batch_width".into(), Json::Num(width)));
+            }
             let counters: Vec<(String, Json)> = self
                 .counters
                 .iter()
@@ -107,9 +128,18 @@ impl Snapshot {
                 .spans
                 .iter()
                 .filter(|(_, h)| !compact || h.count > 0)
-                .map(|(n, h)| (n.clone(), hist_json(h)))
+                .map(|(n, h)| (n.clone(), hist_json(h, "sum_ns")))
                 .collect();
             fields.push(("spans".into(), Json::Obj(spans)));
+            let hists: Vec<(String, Json)> = self
+                .hists
+                .iter()
+                .filter(|(_, h)| !compact || h.count > 0)
+                .map(|(n, h)| (n.clone(), hist_json(h, "sum")))
+                .collect();
+            if !compact || !hists.is_empty() {
+                fields.push(("hists".into(), Json::Obj(hists)));
+            }
             if !compact || !self.workers.is_empty() {
                 fields.push((
                     "workers".into(),
@@ -157,7 +187,14 @@ impl Snapshot {
         let mut spans = Vec::new();
         if let Some(Json::Obj(fields)) = doc.get("spans") {
             for (name, h) in fields {
-                spans.push((name.clone(), hist_from_json(name, h)?));
+                spans.push((name.clone(), hist_from_json(name, h, "sum_ns")?));
+            }
+        }
+        // Pre-batching documents have no `hists` section: parse to empty.
+        let mut hists = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("hists") {
+            for (name, h) in fields {
+                hists.push((name.clone(), hist_from_json(name, h, "sum")?));
             }
         }
         let mut workers = Vec::new();
@@ -179,6 +216,7 @@ impl Snapshot {
             enabled,
             counters,
             spans,
+            hists,
             workers,
         })
     }
@@ -192,10 +230,10 @@ impl Snapshot {
     }
 }
 
-fn hist_json(h: &HistSnapshot) -> Json {
+fn hist_json(h: &HistSnapshot, sum_key: &str) -> Json {
     Json::Obj(vec![
         ("count".into(), Json::u64(h.count)),
-        ("sum_ns".into(), Json::u64(h.sum)),
+        (sum_key.into(), Json::u64(h.sum)),
         (
             "buckets".into(),
             Json::Arr(h.buckets.iter().map(|&b| Json::u64(b)).collect()),
@@ -203,24 +241,24 @@ fn hist_json(h: &HistSnapshot) -> Json {
     ])
 }
 
-fn hist_from_json(name: &str, h: &Json) -> Result<HistSnapshot, String> {
+fn hist_from_json(name: &str, h: &Json, sum_key: &str) -> Result<HistSnapshot, String> {
     let count = h
         .get("count")
         .and_then(Json::as_u64)
-        .ok_or_else(|| format!("span {name} missing count"))?;
+        .ok_or_else(|| format!("histogram {name} missing count"))?;
     let sum = h
-        .get("sum_ns")
+        .get(sum_key)
         .and_then(Json::as_u64)
-        .ok_or_else(|| format!("span {name} missing sum_ns"))?;
+        .ok_or_else(|| format!("histogram {name} missing {sum_key}"))?;
     let buckets = match h.get("buckets") {
         Some(Json::Arr(items)) => items
             .iter()
             .map(|b| {
                 b.as_u64()
-                    .ok_or_else(|| format!("span {name} bucket not a u64"))
+                    .ok_or_else(|| format!("histogram {name} bucket not a u64"))
             })
             .collect::<Result<Vec<u64>, String>>()?,
-        _ => return Err(format!("span {name} missing buckets")),
+        _ => return Err(format!("histogram {name} missing buckets")),
     };
     Ok(HistSnapshot {
         count,
@@ -232,7 +270,7 @@ fn hist_from_json(name: &str, h: &Json) -> Result<HistSnapshot, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recorder::{Counter, Recorder, SpanKind};
+    use crate::recorder::{Counter, Recorder, SpanKind, ValueHist};
 
     fn busy_recorder() -> Recorder {
         let r = Recorder::new();
@@ -301,6 +339,47 @@ mod tests {
         let idle = busy_recorder().snapshot();
         assert_eq!(idle.trace_replay_rate(), None);
         assert!(idle.to_json().get("trace_replay_rate").is_none());
+    }
+
+    #[test]
+    fn value_hists_round_trip_and_derive_mean_batch_width() {
+        let r = busy_recorder();
+        for w in [4u64, 4, 4, 8] {
+            r.add(Counter::ReplayBatches, 1);
+            r.record_value(ValueHist::ReplayBatchWidth, w);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.mean_batch_width(), Some(5.0));
+        let doc = snap.to_json();
+        let width = doc.get("mean_batch_width").and_then(Json::as_f64).unwrap();
+        assert!((width - 5.0).abs() < 1e-12);
+        let hist = doc.get("hists").unwrap().get("replay_batch_width").unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(4));
+        assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(20));
+        // Full and compact forms both survive the round trip.
+        let text = doc.render();
+        let back = Snapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json().render(), text);
+        let compact = Snapshot::parse(&snap.to_json_compact().render()).unwrap();
+        assert_eq!(compact.mean_batch_width(), Some(5.0));
+        // An idle recorder renders no hists in compact form and derives
+        // no width.
+        let idle = busy_recorder().snapshot();
+        assert_eq!(idle.mean_batch_width(), None);
+        assert!(!idle.to_json_compact().render().contains("hists"));
+    }
+
+    #[test]
+    fn documents_without_a_hists_section_still_parse() {
+        // A pre-batching snapshot (schema unchanged, section absent) must
+        // stay readable: hists parse to empty, derived width to None.
+        let old = "{\"schema\":\"vmv-metrics/1\",\"enabled\":true,\
+                   \"counters\":{\"sim_runs\":2},\"spans\":{}}";
+        let snap = Snapshot::parse(old).unwrap();
+        assert!(snap.hists.is_empty());
+        assert_eq!(snap.mean_batch_width(), None);
+        assert_eq!(snap.counter("sim_runs"), Some(2));
     }
 
     #[test]

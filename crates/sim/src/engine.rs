@@ -518,6 +518,29 @@ impl Simulator {
         }
     }
 
+    /// [`Self::memory_latency_on`] with a shared memoized line-walk scratch,
+    /// additionally capturing the access's [`vmv_mem::AccessEcho`]: batched
+    /// replay steps one leader hierarchy per tag-equivalence class through
+    /// the real tags and prices every follower from the echo.
+    #[inline]
+    pub(crate) fn memory_latency_echo(
+        hierarchy: &mut MemoryHierarchy,
+        access: &MemAccess,
+        scratch: &mut vmv_mem::SharedAccessScratch,
+    ) -> (u32, vmv_mem::AccessEcho) {
+        let kind = if access.is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let (timing, echo) = if access.is_vector {
+            hierarchy.vector_access_echoed(access.base, access.stride, access.elems, kind, scratch)
+        } else {
+            hierarchy.scalar_access_echoed(access.base, access.bytes, kind)
+        };
+        (timing.latency, echo)
+    }
+
     /// Completion latency of a memory operation, as reported by the memory
     /// hierarchy timing model.
     fn memory_latency(&mut self, access: &MemAccess) -> u32 {

@@ -21,6 +21,6 @@ pub use engine::{SimError, SimOptions, Simulator};
 pub use exec::{execute_lowered, execute_op, ExecOutcome, ExecResult, LoweredOutcome, MemAccess};
 pub use memimage::MemImage;
 pub use regfile::{RegFiles, VectorValue};
-pub use replay::{replay, ReplayError};
+pub use replay::{replay, replay_batch, ReplayAnalysis, ReplayError, VariantState};
 pub use stats::{RegionStats, RunStats};
 pub use trace::Trace;

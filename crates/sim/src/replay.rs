@@ -41,10 +41,18 @@
 //! memory-axis sweep executes each functional simulation **once** and
 //! replays every other variant — the "record once, retime per variant"
 //! optimisation ROADMAP item 3 projects at 5–10× for geometry studies.
+//!
+//! [`replay_batch`] is the *fourth* engine: it walks the decoded trace
+//! once and advances K independent timing states in lockstep — one
+//! [`VariantState`] (hierarchy + machine memory parameters) per variant,
+//! scoreboard and clocks in struct-of-arrays layout — so a memory-axis
+//! sweep pays for trace decoding, segment skipping and dispatch once per
+//! *schedule*, not once per *variant*.  Each returned `RunStats` is
+//! bit-identical to a single-variant [`replay`] of the same variant.
 
 use vmv_isa::{Opcode, MAX_VL, NO_SLOT};
 use vmv_machine::MachineConfig;
-use vmv_mem::{MemoryHierarchy, MemoryModel};
+use vmv_mem::{MemoryHierarchy, MemoryModel, SharedAccessScratch};
 use vmv_sched::LoweredProgram;
 
 use crate::engine::Simulator;
@@ -286,6 +294,13 @@ pub enum ReplayError {
     /// Recorded events were left over after the final block — the trace
     /// does not belong to this block sequence.
     TrailingEvents { accesses: usize, vl_sets: usize },
+    /// A [`VariantState`] handed to [`replay_batch`] was prepared for a
+    /// different program (its slot universe does not match the analysis).
+    VariantSlotMismatch {
+        variant: usize,
+        expected: usize,
+        got: usize,
+    },
     /// The cycle limit was exceeded (possible when replaying under a much
     /// slower memory variant than the recording ran on).
     CycleLimit(u64),
@@ -313,6 +328,15 @@ impl std::fmt::Display for ReplayError {
             ReplayError::TrailingEvents { accesses, vl_sets } => write!(
                 f,
                 "trace has {accesses} unconsumed accesses and {vl_sets} unconsumed setvl values"
+            ),
+            ReplayError::VariantSlotMismatch {
+                variant,
+                expected,
+                got,
+            } => write!(
+                f,
+                "variant {variant} was prepared for a {got}-slot program; \
+                 this analysis has {expected} slots"
             ),
             ReplayError::CycleLimit(c) => write!(f, "cycle limit of {c} exceeded during replay"),
         }
@@ -491,4 +515,377 @@ pub fn replay(
     stats.memory.record_obs();
     vmv_obs::incr(vmv_obs::Counter::TraceReplays);
     Ok(stats)
+}
+
+/// The precompiled slot analysis for batched replay: the compact timing
+/// view of one [`LoweredProgram`], built once and shared across every
+/// variant retimed from the same trace.  Single-variant [`replay`] builds
+/// the same view per call; this type only makes the sharing explicit.
+pub struct ReplayAnalysis {
+    compact: ReplayProgram,
+    total_slots: usize,
+    regions: Vec<vmv_isa::RegionId>,
+}
+
+impl ReplayAnalysis {
+    pub fn build(program: &LoweredProgram) -> ReplayAnalysis {
+        ReplayAnalysis {
+            compact: ReplayProgram::build(program),
+            total_slots: program.total_slots(),
+            regions: program.regions.iter().map(|r| r.id).collect(),
+        }
+    }
+
+    /// Size of the register-slot universe the analysis was built over.
+    pub fn total_slots(&self) -> usize {
+        self.total_slots
+    }
+}
+
+/// The per-variant timing parameters of a batched replay: the memory model
+/// and machine fields the walk prices against.  Construction is free — the
+/// walk itself decides per variant whether it needs a full tag-simulating
+/// [`MemoryHierarchy`] (one per tag-equivalence class) or only a
+/// latency-arithmetic [`vmv_mem::EchoPricer`].  Everything else
+/// (scoreboard, clock, L2-port cursor) lives in the walk's
+/// struct-of-arrays scratch.
+pub struct VariantState {
+    model: MemoryModel,
+    memory: vmv_machine::MemoryParams,
+    port_elems: u32,
+    max_cycles: u64,
+    /// Slot universe stamp, checked against the analysis on entry.
+    slots: usize,
+}
+
+impl VariantState {
+    /// Prepare one variant for [`replay_batch`].  `machine` may differ from
+    /// the recording machine in memory-hierarchy parameters only — the
+    /// same contract as single-variant [`replay`].
+    pub fn new(
+        analysis: &ReplayAnalysis,
+        machine: &MachineConfig,
+        model: MemoryModel,
+        max_cycles: u64,
+    ) -> VariantState {
+        VariantState {
+            model,
+            memory: machine.memory,
+            port_elems: machine.l2_port_elems.max(1),
+            max_cycles,
+            slots: analysis.total_slots,
+        }
+    }
+}
+
+/// How one variant of a batch prices recorded accesses: class leaders walk
+/// real tags, followers replay the leader's echoes.
+// One entry per variant, K entries total — the size skew between a full
+// hierarchy and an echo pricer is irrelevant at batch widths, and an
+// indirection on the leader would cost a pointer chase per priced access.
+#[allow(clippy::large_enum_variant)]
+enum Pricer {
+    Leader(MemoryHierarchy),
+    Follower(vmv_mem::EchoPricer),
+}
+
+impl Pricer {
+    fn stats(&self) -> vmv_mem::MemStats {
+        match self {
+            Pricer::Leader(h) => h.stats,
+            Pricer::Follower(p) => p.stats,
+        }
+    }
+}
+
+/// Replay `trace` once, retiming K independent memory variants in
+/// lockstep.  The decoded trace — block sequence, access stream, `setvl`
+/// values, collapsed timing-inert segments — is walked a single time; only
+/// the timing state (scoreboard, clock, L2-port cursor, hierarchy) is
+/// per-variant, held in struct-of-arrays layout so the inner loops are
+/// tight passes over K contiguous values.  `out[k]` is bit-identical to
+/// `replay(program, trace, machine_k, model_k, max_cycles_k)`; the
+/// differential and property suites in `tests/trace_replay.rs` enforce
+/// exactly that.
+///
+/// Errors that depend on the variant (`CycleLimit`) fail the whole batch;
+/// callers wanting per-variant error isolation fall back to serial
+/// [`replay`].  An empty `variants` slice returns an empty vector.
+pub fn replay_batch(
+    trace: &Trace,
+    analysis: &ReplayAnalysis,
+    variants: &mut [VariantState],
+) -> Result<Vec<RunStats>, ReplayError> {
+    let k = variants.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    for (i, v) in variants.iter().enumerate() {
+        if v.slots != analysis.total_slots {
+            return Err(ReplayError::VariantSlotMismatch {
+                variant: i,
+                expected: analysis.total_slots,
+                got: v.slots,
+            });
+        }
+    }
+    let _span = vmv_obs::span(vmv_obs::SpanKind::ReplayBatch);
+    let compact = &analysis.compact;
+
+    // Struct-of-arrays timing state.  The scoreboard is slot-major
+    // (`ready[slot * k + variant]`) so the per-read-slot inner loop walks
+    // K contiguous words.
+    let mut ready: Vec<u64> = vec![0; analysis.total_slots * k];
+    let mut clock: Vec<u64> = vec![0; k];
+    let mut l2_port_free: Vec<u64> = vec![0; k];
+    let mut issue: Vec<u64> = vec![0; k];
+    let mut block_start: Vec<u64> = vec![0; k];
+    let mut block_stalls: Vec<u64> = vec![0; k];
+    let mut lat: Vec<u64> = vec![0; k];
+    let mut line_memo = SharedAccessScratch::new();
+
+    // Partition the variants into tag-equivalence classes: configurations
+    // sharing model, geometry and port width produce identical hit/miss
+    // behaviour, so one *leader* per class walks the real tags and every
+    // follower is priced from the leader's access echo — pure latency
+    // arithmetic, no tag simulation, and no tag arrays to allocate.  A
+    // memory-latency sweep collapses to one class; a geometry sweep
+    // degrades gracefully to K singleton leaders.
+    let mut classes: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, v) in variants.iter().enumerate() {
+        match classes.iter_mut().find(|(leader, _)| {
+            let l = &variants[*leader];
+            vmv_mem::tag_equivalent_configs(
+                (l.model, &l.memory, l.port_elems),
+                (v.model, &v.memory, v.port_elems),
+            )
+        }) {
+            Some((_, followers)) => followers.push(i),
+            None => classes.push((i, Vec::new())),
+        }
+    }
+    let mut pricers: Vec<Pricer> = variants
+        .iter()
+        .map(|v| Pricer::Follower(vmv_mem::EchoPricer::new(v.memory, v.port_elems)))
+        .collect();
+    for (leader, _) in &classes {
+        let v = &variants[*leader];
+        pricers[*leader] = Pricer::Leader(MemoryHierarchy::new(v.model, v.memory, v.port_elems));
+    }
+
+    // Region accumulation: functional totals (instructions, operations,
+    // micro-ops) are identical across variants and accumulate once;
+    // cycles and stalls are per-variant.
+    struct RegionAcc {
+        id: vmv_isa::RegionId,
+        shared: crate::stats::RegionStats,
+        cycles: Vec<u64>,
+        stalls: Vec<u64>,
+    }
+    let mut region_acc: Vec<RegionAcc> = Vec::new();
+    let mut region_idx = 0usize;
+
+    // Shared functional state, reconstructed from the trace exactly as in
+    // single-variant replay.
+    let mut vl: u32 = trace.initial_vl;
+    let mut evl: u64 = vl.clamp(1, MAX_VL) as u64;
+    let (mut ai, mut vi) = (0usize, 0usize);
+    let mut halted = false;
+
+    for (step, &block_id) in trace.blocks.iter().enumerate() {
+        if halted {
+            return Err(ReplayError::BlocksAfterHalt { step: step - 1 });
+        }
+        let block = *compact
+            .blocks
+            .get(block_id as usize)
+            .ok_or(ReplayError::BlockOutOfRange {
+                step,
+                block: block_id,
+            })?;
+        let region = block.region;
+        block_start.copy_from_slice(&clock);
+        block_stalls.iter_mut().for_each(|s| *s = 0);
+        let mut ops_executed = 0u64;
+        let mut micro_ops = 0u64;
+
+        for seg in
+            &compact.segs[block.first_seg as usize..(block.first_seg + block.seg_count) as usize]
+        {
+            let span = (seg.span - 1) as u64;
+            for kk in 0..k {
+                issue[kk] = clock[kk] + span;
+            }
+            for &slot in &compact.reads[seg.reads.0 as usize..seg.reads.1 as usize] {
+                let row = &ready[slot as usize * k..slot as usize * k + k];
+                for kk in 0..k {
+                    issue[kk] = issue[kk].max(row[kk]);
+                }
+            }
+            if seg.vecmem {
+                for kk in 0..k {
+                    issue[kk] = issue[kk].max(l2_port_free[kk]);
+                }
+            }
+            for kk in 0..k {
+                block_stalls[kk] += issue[kk] - (clock[kk] + span);
+            }
+
+            for &(slot, lat) in &compact.writes[seg.writes.0 as usize..seg.writes.1 as usize] {
+                let row = &mut ready[slot as usize * k..slot as usize * k + k];
+                for kk in 0..k {
+                    row[kk] = issue[kk] + lat as u64;
+                }
+            }
+            micro_ops += seg.static_micro_ops;
+            ops_executed += seg.op_count as u64;
+
+            for op in &compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize] {
+                if op.flags & F_MEM != 0 {
+                    let access = trace
+                        .accesses
+                        .get(ai)
+                        .ok_or(ReplayError::TruncatedAccesses { consumed: ai })?;
+                    ai += 1;
+                    if access.is_vector {
+                        for (kk, v) in variants.iter().enumerate() {
+                            let occupancy = if access.stride == 8 {
+                                access.elems.div_ceil(v.port_elems)
+                            } else {
+                                access.elems
+                            };
+                            l2_port_free[kk] = issue[kk] + occupancy.max(1) as u64;
+                        }
+                    }
+                    // Memory latency is the one per-variant quantity: the
+                    // class leader walks its real tags (irregular line
+                    // walks memoized once across classes), and followers
+                    // are priced from the echo.
+                    for (leader, followers) in &classes {
+                        let Pricer::Leader(hierarchy) = &mut pricers[*leader] else {
+                            unreachable!("class leaders carry a full hierarchy")
+                        };
+                        let (leader_lat, echo) =
+                            Simulator::memory_latency_echo(hierarchy, access, &mut line_memo);
+                        lat[*leader] = leader_lat as u64;
+                        for &f in followers {
+                            let Pricer::Follower(pricer) = &mut pricers[f] else {
+                                unreachable!("class followers carry an echo pricer")
+                            };
+                            lat[f] = pricer.apply_echo(&echo).latency as u64;
+                        }
+                    }
+                    if op.dst_slot != NO_SLOT {
+                        let row_at = op.dst_slot as usize * k;
+                        for kk in 0..k {
+                            ready[row_at + kk] = issue[kk] + lat[kk];
+                        }
+                    }
+                } else {
+                    if op.flags & F_SETVL != 0 {
+                        vl = *trace
+                            .vl_sets
+                            .get(vi)
+                            .ok_or(ReplayError::TruncatedVlSets { consumed: vi })?;
+                        vi += 1;
+                        evl = vl.clamp(1, MAX_VL) as u64;
+                    }
+                    // Non-memory latency depends only on shared state (VL,
+                    // lanes): computed once for all variants.
+                    let latency = if op.flags & F_READS_VL != 0 {
+                        let lanes = op.lanes as u64;
+                        let tail = if lanes.is_power_of_two() {
+                            (evl - 1) >> lanes.trailing_zeros()
+                        } else {
+                            (evl - 1) / lanes
+                        };
+                        op.flow as u64 + tail
+                    } else {
+                        op.flow as u64
+                    };
+                    if op.dst_slot != NO_SLOT {
+                        let row_at = op.dst_slot as usize * k;
+                        for kk in 0..k {
+                            ready[row_at + kk] = issue[kk] + latency;
+                        }
+                    }
+                }
+
+                micro_ops += if op.flags & F_READS_VL != 0 {
+                    op.micro_ops_unit as u64 * evl
+                } else {
+                    op.micro_ops_unit as u64
+                };
+
+                halted |= op.flags & F_HALT != 0;
+            }
+
+            for (kk, v) in variants.iter().enumerate() {
+                clock[kk] = issue[kk] + 1;
+                if clock[kk] - block_start[kk] > v.max_cycles || clock[kk] > v.max_cycles {
+                    return Err(ReplayError::CycleLimit(v.max_cycles));
+                }
+            }
+        }
+
+        if block.bundle_count == 0 {
+            for c in clock.iter_mut() {
+                *c += 1;
+            }
+        }
+
+        if region_idx >= region_acc.len() || region_acc[region_idx].id != region {
+            region_idx = match region_acc.iter().position(|acc| acc.id == region) {
+                Some(i) => i,
+                None => {
+                    region_acc.push(RegionAcc {
+                        id: region,
+                        shared: crate::stats::RegionStats::default(),
+                        cycles: vec![0; k],
+                        stalls: vec![0; k],
+                    });
+                    region_acc.len() - 1
+                }
+            };
+        }
+        let acc = &mut region_acc[region_idx];
+        for kk in 0..k {
+            acc.cycles[kk] += clock[kk] - block_start[kk];
+            acc.stalls[kk] += block_stalls[kk];
+        }
+        acc.shared.instructions += (block.bundle_count as u64).max(1);
+        acc.shared.operations += ops_executed;
+        acc.shared.micro_ops += micro_ops;
+    }
+
+    if !halted {
+        return Err(ReplayError::MissingHalt);
+    }
+    if ai != trace.accesses.len() || vi != trace.vl_sets.len() {
+        return Err(ReplayError::TrailingEvents {
+            accesses: trace.accesses.len() - ai,
+            vl_sets: trace.vl_sets.len() - vi,
+        });
+    }
+
+    let mut out = Vec::with_capacity(k);
+    for (kk, pricer) in pricers.iter().enumerate() {
+        let mut stats = RunStats::default();
+        for &id in &analysis.regions {
+            stats.region_mut(id);
+        }
+        for acc in &region_acc {
+            let mut r = acc.shared;
+            r.cycles = acc.cycles[kk];
+            r.stall_cycles = acc.stalls[kk];
+            stats.region_mut(acc.id).add(&r);
+        }
+        stats.memory = pricer.stats();
+        stats.memory.record_obs();
+        vmv_obs::incr(vmv_obs::Counter::TraceReplays);
+        out.push(stats);
+    }
+    vmv_obs::incr(vmv_obs::Counter::ReplayBatches);
+    vmv_obs::record_value(vmv_obs::ValueHist::ReplayBatchWidth, k as u64);
+    Ok(out)
 }

@@ -4,16 +4,25 @@
 //! unique schedule key, and skipping jobs whose run keys are already in the
 //! result store.
 //!
+//! Jobs are dispatched in *groups*: every job sharing one compile-cache key
+//! also shares one lowered program and one recorded trace, so a group is
+//! executed as a single record-then-batch-replay unit — the first run
+//! executes and records (exactly the adaptive behaviour of
+//! [`vmv_core::simulate`]), and every remaining memory variant is retimed
+//! by one batched trace walk ([`vmv_core::simulate_batch`]).  A batch that
+//! fails or panics falls back to serial per-job simulation, preserving
+//! per-job error isolation.
+//!
 //! Results are collected into pre-assigned slots, so the report order is
 //! deterministic (point-major, benchmark-minor) regardless of the worker
 //! count or scheduling jitter.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vmv_core::simulate;
+use vmv_core::{simulate, simulate_batch, Prepared};
 use vmv_kernels::Benchmark;
 use vmv_obs::{Counter, SpanKind};
 
@@ -76,6 +85,9 @@ pub struct SweepReport {
     /// [`vmv_core::Prepared`] already held a recorded trace, so only the
     /// memory hierarchy was re-timed.
     pub replays: usize,
+    /// Batched replay walks performed (each retimes one or more variants in
+    /// a single pass over the shared trace).
+    pub replay_batches: usize,
     /// Wall-clock seconds of the parallel phase.
     pub wall_seconds: f64,
 }
@@ -205,74 +217,184 @@ pub fn run_sweep(
     }
 
     vmv_obs::add(Counter::SweepJobsSkipped, skipped as u64);
+
+    // Group jobs by compile-cache key: one group = one lowered program =
+    // one trace, executed as a record-then-batch-replay unit.  Groups keep
+    // first-seen order and ascending job indices, so the committed prefix
+    // of the point-major job list still drains in order.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut index: HashMap<crate::cache::CacheKey, usize> = HashMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let key = CompileCache::key_for(job.benchmark, &job.point.machine);
+            match index.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+    }
+
     // Queue wait is measured from here — the moment the job list exists —
-    // to each job's pickup, so the first histogram bucket shows pool ramp-up
-    // and the tail shows how long the last jobs sat behind the others.
+    // to each run's pickup, so the first histogram bucket shows pool ramp-up
+    // and the tail shows how long the last runs sat behind the others.
     let queued_at = Instant::now();
 
-    // One job body shared by the inline and pooled paths, so the two can
-    // never diverge in cache interaction, record layout or panic handling.
     let replays = AtomicUsize::new(0);
-    let run_job = |job: &Job| -> Result<RunRecord, String> {
-        vmv_obs::record_ns(
-            SpanKind::JobQueueWait,
-            queued_at.elapsed().as_nanos() as u64,
-        );
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let prepared = {
+    let replay_batches = AtomicUsize::new(0);
+    // Completed runs (not groups): the progress heartbeat reads this so a
+    // batched group finishing K runs at once advances the sliding-window
+    // rate by K, keeping the ETA smooth.
+    let done_runs = AtomicUsize::new(0);
+
+    // Serial per-job body (the pre-batching behaviour): adaptive
+    // record-or-replay with per-job panic isolation.  Used for the
+    // recording run of each group and as the fallback when a batch fails.
+    let run_serial = |i: usize, prepared: &Prepared| -> Result<RunRecord, String> {
+        let job = &jobs[i];
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _simulate = vmv_obs::span(SpanKind::JobSimulate);
+            // A shared `Prepared` that already carries a trace is served
+            // by replay; classify before the call since the first
+            // execution is also the one that records.
+            let replayed = prepared.has_trace();
+            let outcome = simulate(prepared, &job.point.machine, job.point.model)
+                .map_err(|e| e.to_string())?;
+            if replayed {
+                replays.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(record_of(
+                job.key.clone(),
+                job.point,
+                job.benchmark,
+                &outcome,
+            ))
+        }))
+        .unwrap_or_else(|panic| Err(panic_message(&panic)))
+    };
+
+    // One group body shared by the inline and pooled paths, so the two can
+    // never diverge in cache interaction, record layout or panic handling.
+    // Returns one result per job of the group, in group (= job) order.
+    let run_group = |group: &[usize]| -> Vec<(usize, Result<RunRecord, String>)> {
+        for _ in group {
+            vmv_obs::record_ns(
+                SpanKind::JobQueueWait,
+                queued_at.elapsed().as_nanos() as u64,
+            );
+        }
+        // One cache lookup per job (not per group) keeps the hit/miss
+        // accounting identical to per-job dispatch: the first lookup of a
+        // key is the miss that schedules, every other job is a hit.
+        let mut prepared: Option<std::sync::Arc<Prepared>> = None;
+        let mut compile_err: Option<String> = None;
+        for &i in group {
+            let job = &jobs[i];
+            let looked_up = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let _compile = vmv_obs::span(SpanKind::JobCompile);
                 cache.get_or_compile(job.benchmark, &job.point.machine)
-            };
-            prepared
-                .and_then(|prepared| {
-                    let _simulate = vmv_obs::span(SpanKind::JobSimulate);
-                    // A shared `Prepared` that already carries a trace is
-                    // served by replay; classify before the call since the
-                    // first execution is also the one that records.
-                    let replayed = prepared.has_trace();
-                    let outcome = simulate(&prepared, &job.point.machine, job.point.model)?;
-                    if replayed {
-                        replays.fetch_add(1, Ordering::Relaxed);
+            }));
+            match looked_up {
+                Ok(Ok(p)) => prepared = Some(p),
+                Ok(Err(e)) => compile_err = Some(e.to_string()),
+                Err(panic) => compile_err = Some(panic_message(&panic)),
+            }
+        }
+
+        let mut results: Vec<(usize, Result<RunRecord, String>)> = Vec::with_capacity(group.len());
+        match (prepared, compile_err) {
+            (Some(prepared), _) => {
+                let mut rest = group;
+                if !prepared.has_trace() {
+                    // First run of the key: execute and record the trace.
+                    let i = rest[0];
+                    rest = &rest[1..];
+                    results.push((i, run_serial(i, &prepared)));
+                }
+                if !rest.is_empty() && prepared.has_trace() {
+                    // Everything else retimes the shared trace in one
+                    // batched walk.
+                    let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _simulate = vmv_obs::span(SpanKind::JobSimulate);
+                        let variants: Vec<_> = rest
+                            .iter()
+                            .map(|&i| (&jobs[i].point.machine, jobs[i].point.model))
+                            .collect();
+                        simulate_batch(&prepared, &variants)
+                    }));
+                    if let Ok(Ok(outcomes)) = batched {
+                        replay_batches.fetch_add(1, Ordering::Relaxed);
+                        replays.fetch_add(rest.len(), Ordering::Relaxed);
+                        for (&i, outcome) in rest.iter().zip(&outcomes) {
+                            let job = &jobs[i];
+                            let record =
+                                record_of(job.key.clone(), job.point, job.benchmark, outcome);
+                            results.push((i, Ok(record)));
+                        }
+                        rest = &[];
                     }
-                    Ok(outcome)
-                })
-                .map(|outcome| record_of(job.key.clone(), job.point, job.benchmark, &outcome))
-                .map_err(|e| e.to_string())
-        }))
-        .unwrap_or_else(|panic| Err(panic_message(&panic)));
-        vmv_obs::incr(if result.is_ok() {
-            Counter::SweepJobsCompleted
-        } else {
-            Counter::SweepJobsFailed
-        });
-        result
+                    // A failed or panicked batch leaves `rest` untouched:
+                    // the serial fallback below re-runs each job on its
+                    // own, preserving per-job error isolation.
+                }
+                for &i in rest {
+                    results.push((i, run_serial(i, &prepared)));
+                }
+            }
+            (None, Some(e)) => {
+                results.extend(group.iter().map(|&i| (i, Err(e.clone()))));
+            }
+            (None, None) => unreachable!("non-empty group yields a compile result"),
+        }
+        for (_, r) in &results {
+            vmv_obs::incr(if r.is_ok() {
+                Counter::SweepJobsCompleted
+            } else {
+                Counter::SweepJobsFailed
+            });
+        }
+        done_runs.fetch_add(results.len(), Ordering::Relaxed);
+        results
     };
 
     // Single-worker sweeps run inline on the calling thread: no pool, no
     // committer polling — on a single-CPU machine the 1 ms poll loop would
-    // otherwise contend with the one worker for the core.
+    // otherwise contend with the one worker for the core.  Groups may
+    // interleave in the job list, so results land in pre-assigned slots
+    // and the completed prefix streams out after each group.
     if opts.effective_workers() == 1 {
         const BATCH: usize = 16;
         let start = Instant::now();
         let mut progress = Progress::new(opts.progress, jobs.len(), skipped);
+        let mut slots: Vec<Option<Result<RunRecord, String>>> = jobs.iter().map(|_| None).collect();
         let mut records = Vec::with_capacity(jobs.len());
         let mut errors = Vec::new();
+        let mut drained = 0usize;
         let mut committed = 0usize;
         let mut busy_ns = 0u64;
-        for job in &jobs {
-            let job_start = vmv_obs::enabled().then(Instant::now);
-            match run_job(job) {
-                Ok(record) => records.push(record),
-                Err(e) => {
-                    errors.push((format!("{} on {}", job.benchmark.name(), job.point.name), e))
-                }
+        for group in &groups {
+            let group_start = vmv_obs::enabled().then(Instant::now);
+            for (i, result) in run_group(group) {
+                slots[i] = Some(result);
             }
-            if let Some(t) = job_start {
+            if let Some(t) = group_start {
                 busy_ns += t.elapsed().as_nanos() as u64;
             }
-            progress.tick(records.len() + errors.len(), &cache, false);
+            while drained < jobs.len() && slots[drained].is_some() {
+                match slots[drained].take().expect("checked above") {
+                    Ok(record) => records.push(record),
+                    Err(e) => {
+                        let job = &jobs[drained];
+                        errors.push((format!("{} on {}", job.benchmark.name(), job.point.name), e));
+                    }
+                }
+                drained += 1;
+            }
+            progress.tick(done_runs.load(Ordering::Relaxed), &cache, false);
             // Stream completed records in small batches so an interrupted
-            // sweep keeps (almost) everything, without one write per job.
+            // sweep keeps (almost) everything, without one write per run.
             if records.len() - committed >= BATCH {
                 if let Some(s) = store {
                     let _append = vmv_obs::span(SpanKind::StoreAppend);
@@ -286,13 +408,14 @@ pub fn run_sweep(
             s.append(&records[committed..])?;
         }
         vmv_obs::worker_record(0, (records.len() + errors.len()) as u64, busy_ns);
-        progress.tick(records.len() + errors.len(), &cache, true);
+        progress.tick(done_runs.load(Ordering::Relaxed), &cache, true);
         return Ok(SweepReport {
             records,
             skipped,
             errors,
             cache: cache.counters(),
             replays: replays.load(Ordering::Relaxed),
+            replay_batches: replay_batches.load(Ordering::Relaxed),
             wall_seconds: start.elapsed().as_secs_f64(),
         });
     }
@@ -311,8 +434,8 @@ pub fn run_sweep(
         // Shadow the shared state as references: the worker closures are
         // `move` (each owns its `worker` index) but must share everything
         // else, and references are `Copy`.
-        let run_job = &run_job;
-        let (jobs, slots, next, abort) = (&jobs, &slots, &next, &abort);
+        let run_group = &run_group;
+        let (jobs, groups, slots, next, abort) = (&jobs, &groups, &slots, &next, &abort);
         for worker in 0..opts.effective_workers() {
             scope.spawn(move || {
                 let mut worker_jobs = 0u64;
@@ -321,15 +444,17 @@ pub fn run_sweep(
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
+                    let g = next.fetch_add(1, Ordering::Relaxed);
+                    if g >= groups.len() {
                         break;
                     }
-                    let job = &jobs[i];
-                    let job_start = vmv_obs::enabled().then(Instant::now);
-                    *slots[i].lock().unwrap() = Some(run_job(job));
-                    worker_jobs += 1;
-                    if let Some(t) = job_start {
+                    let group = &groups[g];
+                    let group_start = vmv_obs::enabled().then(Instant::now);
+                    for (i, result) in run_group(group) {
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
+                    worker_jobs += group.len() as u64;
+                    if let Some(t) = group_start {
                         busy_ns += t.elapsed().as_nanos() as u64;
                     }
                 }
@@ -338,7 +463,9 @@ pub fn run_sweep(
         }
 
         // The main thread is the committer: persist the completed prefix of
-        // the job list as it grows.
+        // the job list as it grows.  The heartbeat reads the completed-runs
+        // counter, not the committed prefix, so progress keeps moving even
+        // while an interleaved group holds the prefix back.
         let mut progress = Progress::new(opts.progress, jobs.len(), skipped);
         let mut committed = 0usize;
         while committed < jobs.len() {
@@ -366,7 +493,11 @@ pub fn run_sweep(
                 }
                 records.extend(batch);
             }
-            progress.tick(committed, &cache, committed == jobs.len());
+            progress.tick(
+                done_runs.load(Ordering::Relaxed),
+                &cache,
+                committed == jobs.len(),
+            );
             if committed < jobs.len() {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
@@ -383,6 +514,7 @@ pub fn run_sweep(
         errors,
         cache: cache.counters(),
         replays: replays.load(Ordering::Relaxed),
+        replay_batches: replay_batches.load(Ordering::Relaxed),
         wall_seconds,
     })
 }
@@ -454,11 +586,15 @@ mod tests {
         assert_eq!(a.records.len(), points.len());
         assert!(a.errors.is_empty(), "{:?}", a.errors);
         assert!(a.records.iter().all(|r| r.check_ok));
-        // Single-worker sweeps are strictly sequential, so exactly the
-        // second memory variant of each of the 3 schedule keys replays —
-        // and replayed runs still match fully executed ones bit-for-bit
-        // (that is what the records equality above proves).
-        assert_eq!(a.replays, 3, "one replay per re-timed memory variant");
+        // Group dispatch makes replay accounting deterministic at any
+        // worker count: each of the 3 schedule keys records once and
+        // retimes its second memory variant in one batch — and replayed
+        // runs still match fully executed ones bit-for-bit (that is what
+        // the records equality above proves).
+        for r in &reports {
+            assert_eq!(r.replays, 3, "one replay per re-timed memory variant");
+            assert_eq!(r.replay_batches, 3, "one batched walk per schedule key");
+        }
     }
 
     #[test]
@@ -522,14 +658,11 @@ mod tests {
         assert!(report.errors.is_empty(), "{:?}", report.errors);
         assert_eq!(report.records.len(), 8);
         assert_eq!(report.cache.misses, 1, "one schedule for all geometries");
-        // At most one execute-and-record per worker can race before the
-        // shared trace lands; every later job must replay.
-        assert!(
-            report.replays >= points.len() - 2,
-            "expected >= {} replays, got {}",
-            points.len() - 2,
-            report.replays
-        );
+        // The whole key is one dispatch group: the first point executes
+        // and records, the other seven retime the trace in a single
+        // batched walk.
+        assert_eq!(report.replays, points.len() - 1);
+        assert_eq!(report.replay_batches, 1, "one fused walk for the group");
         assert!(report.records.iter().all(|r| r.check_ok));
         // Geometry must matter: not every point can have identical cycles.
         let cycles: std::collections::HashSet<u64> =

@@ -6,10 +6,12 @@
 //! lowered hot path (`Simulator::run_lowered` — slot-indexed scoreboard
 //! over the pre-resolved `LoweredProgram`), and the trace-replay retimer
 //! (`vmv_sim::replay` — no functional execution at all, just the recorded
-//! block/access/VL streams walked against a fresh memory hierarchy).  Any
-//! timing-semantics change is only sound if all three agree *exactly*:
-//! same cycles, same stalls, same per-region breakdown, same memory-system
-//! counters, on every workload and machine.
+//! block/access/VL streams walked against a fresh memory hierarchy).  The
+//! batched retimer (`vmv_sim::replay_batch`) is a fourth leg: one fused
+//! walk advancing every memory variant in lockstep.  Any timing-semantics
+//! change is only sound if all four agree *exactly*: same cycles, same
+//! stalls, same per-region breakdown, same memory-system counters, on
+//! every workload and machine.
 //!
 //! This harness proves that on all ten Table 2 presets across the complete
 //! kernel suite, under both memory models.  The replay leg is deliberately
@@ -77,7 +79,32 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
                 sim.run_lowered_recording(&prepared.lowered)
                     .expect("recording run")
             };
-            for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+            // Fourth leg: one batched walk retimes the trace under both
+            // models at once; per-variant results are compared against the
+            // reference engine inside the model loop below.
+            let analysis = vmv::sim::ReplayAnalysis::build(&prepared.lowered);
+            let mut variants = vec![
+                vmv::sim::VariantState::new(
+                    &analysis,
+                    machine,
+                    MemoryModel::Perfect,
+                    2_000_000_000,
+                ),
+                vmv::sim::VariantState::new(
+                    &analysis,
+                    machine,
+                    MemoryModel::Realistic,
+                    2_000_000_000,
+                ),
+            ];
+            let batched =
+                vmv::sim::replay_batch(&trace, &analysis, &mut variants).unwrap_or_else(|e| {
+                    panic!("replay_batch: {} on {}: {e}", bench.name(), machine.name)
+                });
+            for (bi, model) in [MemoryModel::Perfect, MemoryModel::Realistic]
+                .into_iter()
+                .enumerate()
+            {
                 let reference = run_with(&prepared, machine, model, false);
                 let lowered = run_with(&prepared, machine, model, true);
                 assert_eq!(
@@ -107,6 +134,15 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
                     machine.name,
                     model
                 );
+                assert_eq!(
+                    reference,
+                    batched[bi],
+                    "batched replay diverged: {} ({}) on {} under {:?}",
+                    bench.name(),
+                    variant_for(machine).name(),
+                    machine.name,
+                    model
+                );
                 if model == MemoryModel::Perfect {
                     assert_eq!(
                         recorded_stats,
@@ -121,7 +157,7 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
         }
     }
     // 10 configurations x 6 benchmarks x 2 memory models, each compared
-    // across all three engines.
+    // across all four engines.
     assert_eq!(compared, 120);
 }
 

@@ -5,10 +5,13 @@
 
 use vector_usimd_vliw as vmv;
 use vmv::core::{prepare, simulate, simulate_fresh};
+use vmv::kernels::rng::SmallRng;
 use vmv::kernels::Benchmark;
-use vmv::machine::presets;
+use vmv::machine::{presets, MachineConfig};
 use vmv::mem::MemoryModel;
-use vmv::sim::{replay, ReplayError, SimOptions, Simulator, Trace};
+use vmv::sim::{
+    replay, replay_batch, ReplayAnalysis, ReplayError, SimOptions, Simulator, Trace, VariantState,
+};
 
 const MAX_CYCLES: u64 = 2_000_000_000;
 
@@ -182,9 +185,163 @@ fn replay_errors_render_as_text() {
             accesses: 2,
             vl_sets: 1,
         },
+        ReplayError::VariantSlotMismatch {
+            variant: 1,
+            expected: 40,
+            got: 64,
+        },
         ReplayError::CycleLimit(1_000_000),
     ];
     for e in errors {
         assert!(!e.to_string().is_empty(), "{e:?}");
+    }
+}
+
+/// A memory-parameter variant of `machine`: same schedule-relevant fields,
+/// slower lower levels.  Tag-equivalent to the base machine, so a batch
+/// containing both exercises the echo-priced follower path.
+fn slow_memory(machine: &MachineConfig) -> MachineConfig {
+    let mut m = machine.clone();
+    m.memory.l3_latency += 15;
+    m.memory.mem_latency *= 3;
+    m
+}
+
+#[test]
+fn batched_replay_is_bit_identical_to_serial_on_the_full_matrix() {
+    // The tentpole contract: for every Table 2 preset and every kernel,
+    // retiming one trace against K variants in a single fused walk must
+    // produce exactly the RunStats that K serial replays produce.  The
+    // variant set mixes both memory models and a latency-shifted machine
+    // so the batch spans tag-equivalence classes (leaders) and pure
+    // latency followers.
+    let configs = vmv::machine::all_configs();
+    assert_eq!(configs.len(), 10, "Table 2 has ten configurations");
+    for machine in &configs {
+        for bench in Benchmark::ALL {
+            let (prepared, _, trace) = record(bench, machine, MemoryModel::Perfect);
+            let analysis = ReplayAnalysis::build(&prepared.lowered);
+            let slow = slow_memory(machine);
+            let plan: Vec<(&MachineConfig, MemoryModel)> = vec![
+                (machine, MemoryModel::Perfect),
+                (machine, MemoryModel::Realistic),
+                (&slow, MemoryModel::Realistic),
+            ];
+            let mut variants: Vec<VariantState> = plan
+                .iter()
+                .map(|(m, model)| VariantState::new(&analysis, m, *model, MAX_CYCLES))
+                .collect();
+            let batched = replay_batch(&trace, &analysis, &mut variants)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+            assert_eq!(batched.len(), plan.len());
+            for ((m, model), got) in plan.iter().zip(&batched) {
+                let serial = replay(&prepared.lowered, &trace, m, *model, MAX_CYCLES)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+                assert_eq!(
+                    *got,
+                    serial,
+                    "batched replay diverged from serial: {} on {} under {:?} (mem_latency {})",
+                    bench.name(),
+                    machine.name,
+                    model,
+                    m.memory.mem_latency
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_variant_subsets_match_serial_replay() {
+    // Property test: any subset of memory variants, in any order (with
+    // repeats), batch-replays to exactly what each variant gets from a
+    // serial replay — including the degenerate batch of one.
+    let machine = presets::vector2(4);
+    let (prepared, _, trace) = record(Benchmark::GsmDec, &machine, MemoryModel::Perfect);
+    let analysis = ReplayAnalysis::build(&prepared.lowered);
+
+    // A pool of candidate variants: both models crossed with latency and
+    // geometry perturbations (the geometry change forces extra
+    // tag-equivalence classes inside a batch).
+    let mut pool: Vec<(MachineConfig, MemoryModel)> = Vec::new();
+    for model in [MemoryModel::Perfect, MemoryModel::Realistic] {
+        for (l2_lat, mem_lat, l2_size_shift) in
+            [(8, 100, 0), (8, 400, 0), (12, 100, 0), (8, 100, 1)]
+        {
+            let mut m = machine.clone();
+            m.memory.l2_latency = l2_lat;
+            m.memory.mem_latency = mem_lat;
+            m.memory.l2_size >>= l2_size_shift;
+            pool.push((m, model));
+        }
+    }
+
+    // Serial-replay oracle per pool entry, computed once.
+    let oracle: Vec<vmv::sim::RunStats> = pool
+        .iter()
+        .map(|(m, model)| replay(&prepared.lowered, &trace, m, *model, MAX_CYCLES).unwrap())
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(0x5EED_BA7C);
+    for round in 0..12 {
+        // Round 0 pins the batch-of-one case; later rounds draw 1..=6
+        // variants with replacement, in random order.
+        let width = if round == 0 {
+            1
+        } else {
+            rng.gen_range_i64(1, 6) as usize
+        };
+        let picks: Vec<usize> = (0..width)
+            .map(|_| rng.gen_range_i64(0, pool.len() as i64 - 1) as usize)
+            .collect();
+        let mut variants: Vec<VariantState> = picks
+            .iter()
+            .map(|&i| VariantState::new(&analysis, &pool[i].0, pool[i].1, MAX_CYCLES))
+            .collect();
+        let batched = replay_batch(&trace, &analysis, &mut variants).unwrap();
+        assert_eq!(batched.len(), picks.len());
+        for (slot, &i) in picks.iter().enumerate() {
+            assert_eq!(
+                batched[slot], oracle[i],
+                "round {round}: batch slot {slot} (pool entry {i}) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_batch_and_foreign_variants_are_rejected_cleanly() {
+    let machine = presets::vector2(2);
+    let (prepared, _, trace) = record(Benchmark::GsmDec, &machine, MemoryModel::Perfect);
+    let analysis = ReplayAnalysis::build(&prepared.lowered);
+
+    // A batch of zero variants is a no-op, not an error.
+    assert_eq!(replay_batch(&trace, &analysis, &mut []).unwrap(), vec![]);
+
+    // A variant stamped from a *different* program's analysis must be
+    // rejected before the walk starts, naming the offending slot.
+    let vliw = presets::vliw(2);
+    let other = prepare(Benchmark::JpegEnc, &vliw).expect("prepares");
+    let other_analysis = ReplayAnalysis::build(&other.lowered);
+    assert_ne!(
+        analysis.total_slots(),
+        other_analysis.total_slots(),
+        "test premise: the two programs use different slot universes"
+    );
+    let mut variants = vec![
+        VariantState::new(&analysis, &machine, MemoryModel::Perfect, MAX_CYCLES),
+        VariantState::new(&other_analysis, &vliw, MemoryModel::Perfect, MAX_CYCLES),
+    ];
+    match replay_batch(&trace, &analysis, &mut variants) {
+        Err(ReplayError::VariantSlotMismatch {
+            variant,
+            expected,
+            got,
+        }) => {
+            assert_eq!(variant, 1);
+            assert_eq!(expected, analysis.total_slots());
+            assert_eq!(got, other_analysis.total_slots());
+        }
+        other => panic!("expected VariantSlotMismatch, got {other:?}"),
     }
 }
