@@ -39,6 +39,7 @@ fn usage() {
     eprintln!(
         "usage: sweep --spec FILE.json | --demo  [--threads N] [--shard I/N]\n\
          \x20            [--out RESULTS.jsonl] [--json BENCH.json]\n\
+         \x20      sweep --spec FILE.json --check\n\
          \x20      sweep --print-spec [--spec FILE.json]\n\
          \x20      sweep --fingerprint [--spec FILE.json]\n\
          \x20      sweep --merge SHARD.jsonl [SHARD.jsonl ...] --out RESULTS.jsonl\n\
@@ -48,6 +49,12 @@ fn usage() {
          \x20               file (axes + constraints + defaults; see\n\
          \x20               examples/specs/)\n\
          --demo          run the built-in demonstration spec\n\
+         --check         lint the spec, then compile and statically certify\n\
+         \x20               every distinct schedule it reaches — no execution;\n\
+         \x20               exits 2 when any error diagnostic is found\n\
+         --verify        certify every freshly compiled schedule with the\n\
+         \x20               static verifier during the sweep (debug builds\n\
+         \x20               always do)\n\
          --print-spec    print the canonical JSON serialization of the spec\n\
          \x20               (the demo spec without --spec) and exit\n\
          --fingerprint   print the spec's 16-hex content fingerprint and exit\n\
@@ -88,6 +95,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut progress = false;
+    let mut check = false;
+    let mut verify = false;
 
     let mut args = ArgStream::new();
     let mut any = false;
@@ -118,6 +127,8 @@ fn main() {
             "--json" => json_path = Some(args.value("--json")),
             "--metrics" => metrics_path = Some(args.value("--metrics")),
             "--progress" => progress = true,
+            "--check" => check = true,
+            "--verify" => verify = true,
             "--help" | "-h" => {
                 usage();
                 return;
@@ -227,6 +238,25 @@ fn main() {
         }
     };
 
+    // Pre-flight: lint + compile + static certification, no execution.
+    if check {
+        let result = vmv_sweep::check_spec(&spec);
+        for d in &result.diagnostics {
+            eprintln!("{d}");
+        }
+        println!(
+            "checked spec '{}': {} design points, {} schedules certified, {} diagnostic(s)",
+            spec.name,
+            result.points,
+            result.schedules,
+            result.diagnostics.len()
+        );
+        if vmv_verify::has_errors(&result.diagnostics) {
+            std::process::exit(2);
+        }
+        return;
+    }
+
     let fingerprint = spec.fingerprint();
     let lowered = match spec.lower() {
         Ok(l) => l,
@@ -283,6 +313,7 @@ fn main() {
     }
     let mut opts = ExecOptions::for_spec(&lowered, threads);
     opts.progress = progress;
+    opts.verify = verify;
     let report = match vmv_sweep::run_sweep(&points, &opts, Some(&store)) {
         Ok(r) => r,
         Err(e) => {

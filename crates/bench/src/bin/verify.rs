@@ -1,0 +1,135 @@
+//! Static verification driver: certify schedules without running them.
+//!
+//! ```text
+//! cargo run --release -p vmv-bench --bin verify -- --all
+//! cargo run --release -p vmv-bench --bin verify -- --spec examples/specs/latency_tolerance.json
+//! ```
+//!
+//! `--all` compiles every benchmark on every preset machine and runs the
+//! full static checker (`vmv_verify::verify_compiled`) over each: the
+//! schedule-level hazard/latency/resource proofs, the lowered-level
+//! layout/metadata/control-flow checks, and the replay slot-analysis
+//! subset proof.  `--spec FILE` lints a sweep spec file and certifies every
+//! distinct schedule its expansion reaches.  Exit status is 0 only when no
+//! error diagnostic was found, so both forms gate CI.
+
+use vmv_bench::args::{fail, ArgStream};
+use vmv_kernels::Benchmark;
+use vmv_sweep::SpecFile;
+
+fn usage() {
+    eprintln!(
+        "usage: verify --all [--quiet]\n\
+         \x20      verify --spec FILE.json\n\
+         \n\
+         --all           statically verify every (preset machine, benchmark)\n\
+         \x20               schedule in the matrix\n\
+         --spec FILE     lint a sweep spec file and certify every distinct\n\
+         \x20               schedule it expands to\n\
+         --quiet         print only the summary line and failures"
+    );
+}
+
+fn main() {
+    let mut all = false;
+    let mut spec_paths: Vec<String> = Vec::new();
+    let mut quiet = false;
+
+    let mut args = ArgStream::new();
+    let mut any = false;
+    while let Some(arg) = args.next() {
+        any = true;
+        match arg.as_str() {
+            "--all" => all = true,
+            "--spec" => spec_paths.push(args.value("--spec")),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other => fail(format!("unknown argument '{other}'")),
+        }
+    }
+    if !any || (!all && spec_paths.is_empty()) {
+        usage();
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+
+    if all {
+        let machines = vmv_machine::all_configs();
+        let mut certified = 0usize;
+        for machine in &machines {
+            for &benchmark in Benchmark::ALL.iter() {
+                let prepared = match vmv_core::prepare(benchmark, machine) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("FAILED: {} / {}: {e}", machine.name, benchmark.name());
+                        failures += 1;
+                        continue;
+                    }
+                };
+                let diags = vmv_verify::verify_compiled(
+                    &prepared.compiled.program,
+                    &prepared.lowered,
+                    machine,
+                );
+                if diags.is_empty() {
+                    certified += 1;
+                    if !quiet {
+                        println!("ok: {} / {}", machine.name, benchmark.name());
+                    }
+                } else {
+                    failures += 1;
+                    eprintln!("FAILED: {} / {}:", machine.name, benchmark.name());
+                    for d in &diags {
+                        eprintln!("  {d}");
+                    }
+                }
+            }
+        }
+        println!(
+            "verified {certified}/{} schedules across {} machines x {} benchmarks \
+             ({failures} failed)",
+            machines.len() * Benchmark::ALL.len(),
+            machines.len(),
+            Benchmark::ALL.len()
+        );
+    }
+
+    for path in &spec_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(format!("cannot read spec file {path}: {e}")),
+        };
+        let spec = match SpecFile::parse(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAILED: {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let result = vmv_sweep::check_spec(&spec);
+        for d in &result.diagnostics {
+            eprintln!("{path}: {d}");
+        }
+        let errored = vmv_verify::has_errors(&result.diagnostics);
+        if errored {
+            failures += 1;
+        }
+        println!(
+            "{}: spec '{}': {} design points, {} schedules certified, {} diagnostic(s)",
+            path,
+            spec.name,
+            result.points,
+            result.schedules,
+            result.diagnostics.len()
+        );
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

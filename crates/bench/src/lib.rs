@@ -1,6 +1,8 @@
 //! Helper routines shared by the `repro`/`sweep`/`bench` binaries and the
 //! Criterion benches.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 
 use vmv_core::Suite;

@@ -9,6 +9,8 @@
 //! Figure 7 (normalised operation counts) and Table 3 (OPC / µOPC /
 //! speed-up per region class).
 
+#![forbid(unsafe_code)]
+
 pub mod experiment;
 pub mod figures;
 

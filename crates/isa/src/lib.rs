@@ -18,6 +18,8 @@
 //! kernels, the HPL-PD-style [`latency::LatencyDescriptor`]s of Fig. 3, and
 //! static well-formedness verification.
 
+#![forbid(unsafe_code)]
+
 pub mod accum;
 pub mod builder;
 pub mod latency;

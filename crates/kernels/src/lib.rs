@@ -11,6 +11,8 @@
 //! all three variants.  Golden reference implementations and synthetic
 //! workload generators allow every run to be checked bit-for-bit.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod data;
 pub mod patterns;

@@ -10,6 +10,8 @@
 //! counts, register-file sizes, cache-port counts, operation latencies and
 //! memory-hierarchy parameters.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod gen;
 pub mod presets;

@@ -8,6 +8,8 @@
 //! and both the *perfect* and *realistic* memory modes used in the paper's
 //! evaluation (Fig. 5a vs 5b).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod hierarchy;
 pub mod lines;

@@ -23,6 +23,8 @@
 //! result store all report into this crate; `sweep --metrics`, the `bench`
 //! trajectory entries and the future sweep service surface the snapshots.
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod json;
 pub mod recorder;

@@ -67,6 +67,8 @@ pub enum Counter {
     SweepJobsCompleted,
     SweepJobsFailed,
     SweepJobsSkipped,
+    /// Completed static-verifier certifications (`vmv_verify::verify_compiled`).
+    VerifyChecks,
     /// Spans entered (== histogram samples recorded via guards).  Exactly 0
     /// while the recorder is disabled — the overhead regression test keys
     /// on this.
@@ -74,7 +76,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 31] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::SchedBlocks,
@@ -104,6 +106,7 @@ impl Counter {
         Counter::SweepJobsCompleted,
         Counter::SweepJobsFailed,
         Counter::SweepJobsSkipped,
+        Counter::VerifyChecks,
         Counter::SpansEntered,
     ];
 
@@ -139,6 +142,7 @@ impl Counter {
             Counter::SweepJobsCompleted => "sweep_jobs_completed",
             Counter::SweepJobsFailed => "sweep_jobs_failed",
             Counter::SweepJobsSkipped => "sweep_jobs_skipped",
+            Counter::VerifyChecks => "verify_checks",
             Counter::SpansEntered => "spans_entered",
         }
     }

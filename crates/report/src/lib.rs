@@ -30,6 +30,8 @@
 //! The `report` binary in `vmv-bench` wires these into
 //! `report pareto|sensitivity|compare|trend|diff-specs|html`.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod diffspec;
 pub mod html;

@@ -16,6 +16,8 @@
 //! indices, per-op latency metadata baked in — which is what the simulator's
 //! hot loop consumes.
 
+#![forbid(unsafe_code)]
+
 pub mod bundle;
 pub mod ddg;
 pub mod list;

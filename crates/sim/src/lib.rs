@@ -9,6 +9,8 @@
 //! (cache misses, non-unit-stride vector accesses, cross-block dependences),
 //! exactly the stall-on-miss model of the paper.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod exec;
 pub mod memimage;

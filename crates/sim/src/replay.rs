@@ -124,6 +124,9 @@ struct ReplayProgram {
     reads: Vec<u16>,
     writes: Vec<(u16, u16)>,
     dynamics: Vec<DynOp>,
+    /// The Pass-1 slot classification (indexed by slot), kept so the
+    /// static verifier can prove it covers every must-track slot.
+    tracked: Vec<bool>,
 }
 
 /// Dynamic-behaviour flag bits of one lowered operation.
@@ -272,6 +275,7 @@ impl ReplayProgram {
             reads,
             writes,
             dynamics,
+            tracked,
         }
     }
 }
@@ -539,6 +543,14 @@ impl ReplayAnalysis {
     /// Size of the register-slot universe the analysis was built over.
     pub fn total_slots(&self) -> usize {
         self.total_slots
+    }
+
+    /// The slots the scoreboard keeps (indexed by slot): exactly the Pass-1
+    /// classification the timing walk stalls on.  Exposed so the static
+    /// verifier (`vmv-verify`) can prove the set is a superset of the slots
+    /// that must be tracked.
+    pub fn tracked_slots(&self) -> &[bool] {
+        &self.compact.tracked
     }
 }
 

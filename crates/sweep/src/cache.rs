@@ -33,11 +33,26 @@ pub type CacheKey = (Benchmark, IsaVariant, String);
 type Slot = Arc<Mutex<Option<Result<Arc<Prepared>, String>>>>;
 
 /// Thread-safe compile cache.
-#[derive(Default)]
 pub struct CompileCache {
     slots: Mutex<HashMap<CacheKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Certify each freshly compiled schedule with the static verifier
+    /// (`vmv_verify::verify_compiled`) before caching it.
+    verify: bool,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache {
+            slots: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            // Every dev/test sweep certifies its schedules for free; release
+            // sweeps opt in via `sweep --verify`.
+            verify: cfg!(debug_assertions),
+        }
+    }
 }
 
 /// Counters exposed for reporting and for the exactly-one-schedule tests.
@@ -52,6 +67,11 @@ pub struct CacheCounters {
 impl CompileCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Force schedule certification on (or off) regardless of build profile.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
     }
 
     /// The key this cache files `(benchmark, machine)` under.
@@ -92,7 +112,23 @@ impl CompileCache {
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 vmv_obs::incr(vmv_obs::Counter::CacheMisses);
-                let result = prepare(benchmark, machine).map(Arc::new);
+                let result = prepare(benchmark, machine).map(Arc::new).and_then(|p| {
+                    if self.verify {
+                        let diags =
+                            vmv_verify::verify_compiled(&p.compiled.program, &p.lowered, machine);
+                        if vmv_verify::has_errors(&diags) {
+                            let joined = diags
+                                .iter()
+                                .map(|d| d.to_string())
+                                .collect::<Vec<_>>()
+                                .join("; ");
+                            return Err(ExperimentError::Compile(format!(
+                                "schedule failed static verification: {joined}"
+                            )));
+                        }
+                    }
+                    Ok(p)
+                });
                 *guard = Some(match &result {
                     Ok(prepared) => Ok(Arc::clone(prepared)),
                     Err(e) => Err(e.to_string()),

@@ -39,6 +39,9 @@ pub struct ExecOptions {
     pub workers: usize,
     /// Print a ~1 Hz heartbeat line to stderr while the sweep runs.
     pub progress: bool,
+    /// Certify every freshly compiled schedule with the static verifier
+    /// even in release builds (debug builds always certify).
+    pub verify: bool,
 }
 
 impl Default for ExecOptions {
@@ -47,6 +50,7 @@ impl Default for ExecOptions {
             benchmarks: Benchmark::ALL.to_vec(),
             workers: 0,
             progress: false,
+            verify: false,
         }
     }
 }
@@ -58,6 +62,7 @@ impl ExecOptions {
             benchmarks: lowered.benchmarks.clone(),
             workers,
             progress: false,
+            verify: false,
         }
     }
 
@@ -186,7 +191,11 @@ pub fn run_sweep(
     opts: &ExecOptions,
     store: Option<&ResultStore>,
 ) -> std::io::Result<SweepReport> {
-    let cache = CompileCache::new();
+    let mut cache = CompileCache::new();
+    if opts.verify {
+        cache.set_verify(true);
+    }
+    let cache = cache;
     let done = match store {
         Some(s) => s.completed_keys()?,
         None => Default::default(),
@@ -574,6 +583,7 @@ mod tests {
                 benchmarks: vec![Benchmark::GsmDec],
                 workers,
                 progress: false,
+                verify: false,
             };
             reports.push(run_sweep(&points, &opts, None).unwrap());
         }
@@ -604,6 +614,7 @@ mod tests {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 4,
             progress: false,
+            verify: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         // 3 lane values × 2 memory latencies = 6 points, but only the 3
@@ -627,6 +638,7 @@ mod tests {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
             progress: false,
+            verify: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert_eq!(report.records.len(), 1, "the healthy point still completes");
@@ -653,6 +665,7 @@ mod tests {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
             progress: false,
+            verify: false,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert!(report.errors.is_empty(), "{:?}", report.errors);
@@ -682,6 +695,7 @@ mod tests {
             benchmarks: vec![Benchmark::GsmDec],
             workers: 2,
             progress: false,
+            verify: false,
         };
         let first = run_sweep(&points, &opts, Some(&store)).unwrap();
         assert_eq!(first.records.len(), points.len());

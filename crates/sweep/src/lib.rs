@@ -44,7 +44,10 @@
 //! println!("{} runs, {} schedules", report.records.len(), report.cache.misses);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
+pub mod check;
 pub mod executor;
 pub mod fingerprint;
 pub mod pareto;
@@ -54,6 +57,7 @@ pub mod specfile;
 pub mod store;
 
 pub use cache::{CacheCounters, CompileCache};
+pub use check::{check_spec, lint, SpecCheck};
 pub use executor::{run_sweep, ExecOptions, SweepReport};
 pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
 // The hand-rolled JSON module moved down to `vmv-obs` (telemetry snapshots

@@ -328,8 +328,9 @@ impl AxisSpec {
 
     /// Lower onto the closure-based expansion machinery.  `None` for the
     /// `benchmarks` pseudo-axis, which selects jobs rather than mutating the
-    /// machine draft.
-    fn lower(&self) -> Option<Axis> {
+    /// machine draft.  Crate-visible so the spec lint can enumerate the
+    /// declared value labels without re-implementing the label scheme.
+    pub(crate) fn lower(&self) -> Option<Axis> {
         match self {
             AxisSpec::Isa(v) => Some(Axis::isa(v)),
             AxisSpec::IssueWidth(v) => Some(Axis::issue_width(v)),

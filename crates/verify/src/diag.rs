@@ -1,0 +1,136 @@
+//! Verifier diagnostics: one flat, displayable record per finding, with a
+//! severity, a check class (the fault taxonomy of the mutation harness)
+//! and a pinpointed location — the same shape as the spec-file parse
+//! errors, so CI logs read uniformly.
+
+use std::fmt;
+
+/// How bad a finding is.  Errors fail verification (and the CI gates);
+/// warnings are reported but do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The check class a diagnostic belongs to.  These are the fault classes
+/// the seeded mutation harness must show 100% rejection across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Ordering violated: an operation observes a value the program order
+    /// forbids (in-bundle write→read, reordered memory ops, operations
+    /// placed after the block terminator).
+    Hazard,
+    /// Placement distance below the dependence's minimum issue distance.
+    Latency,
+    /// Issue width, functional-unit or memory-port oversubscription, or an
+    /// operation the machine cannot execute.
+    Resource,
+    /// Labels, branch targets and control-flow reachability.
+    Label,
+    /// Two same-cycle writes to one register.
+    DuplicateWrite,
+    /// Slot-layout or lowered-metadata inconsistency.
+    Layout,
+    /// The replay slot analysis drops a slot that must stay tracked.
+    Replay,
+    /// Spec-file lint findings.
+    Spec,
+}
+
+impl Check {
+    /// Stable kebab-case class name used in rendered diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Hazard => "hazard",
+            Check::Latency => "latency",
+            Check::Resource => "resource",
+            Check::Label => "label",
+            Check::DuplicateWrite => "duplicate-write",
+            Check::Layout => "layout",
+            Check::Replay => "replay",
+            Check::Spec => "spec",
+        }
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub check: Check,
+    /// Where the finding points, e.g. `block 'entry', bundle 3` or
+    /// `axes[2]`.
+    pub location: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(check: Check, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            check,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    pub fn warning(check: Check, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            check,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity,
+            self.check.name(),
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// Whether any diagnostic is an error (verification failed).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_pinned() {
+        let d = Diagnostic::error(Check::Hazard, "block 'b', bundle 2", "bad");
+        assert_eq!(d.to_string(), "error[hazard] block 'b', bundle 2: bad");
+        let w = Diagnostic::warning(Check::Spec, "axes[1]", "dead value");
+        assert_eq!(w.to_string(), "warning[spec] axes[1]: dead value");
+    }
+
+    #[test]
+    fn error_detection() {
+        assert!(!has_errors(&[]));
+        assert!(!has_errors(&[Diagnostic::warning(Check::Spec, "x", "y")]));
+        assert!(has_errors(&[
+            Diagnostic::warning(Check::Spec, "x", "y"),
+            Diagnostic::error(Check::Latency, "x", "y"),
+        ]));
+    }
+}

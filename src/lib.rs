@@ -27,6 +27,8 @@
 //! assert!(outcome.stats.cycles() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use vmv_core as core;
 pub use vmv_isa as isa;
 pub use vmv_kernels as kernels;
@@ -36,3 +38,4 @@ pub use vmv_report as report;
 pub use vmv_sched as sched;
 pub use vmv_sim as sim;
 pub use vmv_sweep as sweep;
+pub use vmv_verify as verify;
