@@ -46,7 +46,9 @@ fn usage() {
          \x20                       --bench BENCH_sim.json [--md|--svg] [--out PATH]\n\
          \x20      report diff-specs --store X.jsonl --baseline Y.jsonl [--out PATH]\n\
          \x20      report html     --store X.jsonl [--store ...] [--baseline Y.jsonl]\n\
-         \x20                       [--bench BENCH_sim.json] --out DIR\n\
+         \x20                       [--bench BENCH_sim.json] [--profiles DIR] --out DIR\n\
+         \x20      report profile  --store X.jsonl [--profiles DIR] [--run KEY]\n\
+         \x20                       [--trace] [--out PATH]\n\
          \n\
          pareto          cost/cycles table (or scatter chart) with the Pareto\n\
          \x20               frontier marked; needs a headered store\n\
@@ -63,9 +65,19 @@ fn usage() {
          html            one self-contained static page bundling pareto,\n\
          \x20               sensitivity, compare (with --baseline), trend\n\
          \x20               (with repeated --store / --bench); writes\n\
-         \x20               DIR/index.html\n\
+         \x20               DIR/index.html; picks up --profiles (or the\n\
+         \x20               store's default profile directory) for a\n\
+         \x20               Profile section\n\
+         profile         cycle-attribution profiles from `sweep --profile`:\n\
+         \x20               overview of every profiled run, one run's\n\
+         \x20               worst-stall-first detail (--run KEY), or that\n\
+         \x20               run's Chrome trace-event timeline (--run KEY\n\
+         \x20               --trace; load at chrome://tracing or Perfetto)\n\
          --md / --svg    output format (default Markdown; compare is\n\
          \x20               Markdown-only)\n\
+         --profiles DIR  profile directory (default: <store>.profiles)\n\
+         --run KEY       one run key (16 hex digits, see the overview)\n\
+         --trace         emit the Chrome trace JSON instead of Markdown\n\
          --filter a=v    keep only runs whose axis label or record field\n\
          \x20               matches (e.g. issue_width=2w, benchmark=GSM_DEC);\n\
          \x20               repeatable, conjunctive\n\
@@ -189,10 +201,10 @@ fn main() {
             usage();
             return;
         }
-        "pareto" | "sensitivity" | "compare" | "trend" | "diff-specs" | "html" => {}
+        "pareto" | "sensitivity" | "compare" | "trend" | "diff-specs" | "html" | "profile" => {}
         other => fail(format!(
             "unknown command '{other}' (expected pareto, sensitivity, compare, \
-             trend, diff-specs or html)"
+             trend, diff-specs, html or profile)"
         )),
     }
 
@@ -204,11 +216,17 @@ fn main() {
     let mut group_by: Option<String> = None;
     let mut max_regress: Option<f64> = None;
     let mut out_path: Option<String> = None;
+    let mut profiles_path: Option<String> = None;
+    let mut run_key: Option<String> = None;
+    let mut trace = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--store" => store_paths.push(args.value("--store")),
             "--baseline" => baseline_path = Some(args.value("--baseline")),
             "--bench" => bench_path = Some(args.value("--bench")),
+            "--profiles" => profiles_path = Some(args.value("--profiles")),
+            "--run" => run_key = Some(args.value("--run")),
+            "--trace" => trace = true,
             "--md" => format = Some(Format::Md),
             "--svg" => format = Some(Format::Svg),
             "--filter" => {
@@ -241,6 +259,20 @@ fn main() {
             [one] => one.clone(),
             [] => fail("--store is required"),
             _ => fail(format!("`report {command}` takes exactly one --store")),
+        }
+    };
+    if (run_key.is_some() || trace) && command != "profile" {
+        fail("--run/--trace only apply to `report profile`");
+    }
+    if profiles_path.is_some() && command != "profile" && command != "html" {
+        fail("--profiles only applies to `report profile` and `report html`");
+    }
+    // The profile directory a profiled sweep wrote: --profiles, or the
+    // store's default `<store>.profiles`.
+    let profile_dir = |store_path: &str| -> std::path::PathBuf {
+        match &profiles_path {
+            Some(p) => std::path::PathBuf::from(p),
+            None => vmv_sweep::default_profile_dir(Path::new(store_path)),
         }
     };
 
@@ -431,6 +463,44 @@ fn main() {
             let d = diff_specs(header(&loaded), header(&baseline));
             emit(&out_path, &diff_specs_md(&d));
         }
+        "profile" => {
+            if format == Some(Format::Svg) {
+                fail("`report profile` renders Markdown or --trace JSON");
+            }
+            let store_path = single_store(&store_paths);
+            let dir = profile_dir(&store_path);
+            if !dir.is_dir() {
+                fail(format!(
+                    "no profile directory {} — rerun the sweep with --profile",
+                    dir.display()
+                ));
+            }
+            let content = match &run_key {
+                Some(key) => {
+                    let doc = vmv_sweep::load_profile(&dir, key).unwrap_or_else(|e| fail(e));
+                    if trace {
+                        vmv_report::chrome_trace(&doc)
+                    } else {
+                        vmv_report::profile_detail_md(&doc)
+                    }
+                }
+                None => {
+                    if trace {
+                        fail("--trace renders one run's timeline: pass --run KEY");
+                    }
+                    let docs = vmv_sweep::load_all_profiles(&dir).unwrap_or_else(|e| fail(e));
+                    if docs.is_empty() {
+                        fail(format!("{}: no profile documents", dir.display()));
+                    }
+                    let title = Path::new(&store_path)
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| store_path.clone());
+                    vmv_report::profile_overview_md(&title, &docs)
+                }
+            };
+            emit(&out_path, &content);
+        }
         "html" => {
             let out_dir = out_path.unwrap_or_else(|| fail("`report html` needs --out DIR"));
             if store_paths.is_empty() {
@@ -472,6 +542,17 @@ fn main() {
             }
             if let Some(bp) = bench_path.as_deref() {
                 sections.push(html::bench_section(&load_bench(bp)));
+            }
+            // A profiled sweep left vmv-profile/1 documents next to the
+            // newest store (or wherever --profiles points): add the
+            // Profile section.
+            let dir = profile_dir(store_paths.last().expect("non-empty checked above"));
+            if dir.is_dir() {
+                match vmv_sweep::load_all_profiles(&dir) {
+                    Ok(docs) if !docs.is_empty() => sections.push(html::profile_section(&docs)),
+                    Ok(_) => {}
+                    Err(e) => eprintln!("WARNING: {e}"),
+                }
             }
             let subtitle = format!("spec {name} — fingerprint {}", resolved.spec.fingerprint());
             let page = html::page(&format!("vmv observatory — {name}"), &subtitle, &sections);

@@ -77,6 +77,9 @@ fn usage() {
          --metrics PATH  enable the pipeline recorder and write its snapshot\n\
          \x20               (counters, span histograms, per-worker load) as\n\
          \x20               canonical JSON after the sweep\n\
+         --profile [DIR] write one vmv-profile/1 cycle-attribution document\n\
+         \x20               per completed run into DIR (default:\n\
+         \x20               <out>.profiles/); render with `report profile`\n\
          --progress      ~1 Hz heartbeat on stderr: done/total runs, runs/s,\n\
          \x20               cache hit rate, ETA"
     );
@@ -97,6 +100,9 @@ fn main() {
     let mut progress = false;
     let mut check = false;
     let mut verify = false;
+    // None = off; Some(None) = default dir next to the store;
+    // Some(Some(dir)) = explicit directory.
+    let mut profile: Option<Option<String>> = None;
 
     let mut args = ArgStream::new();
     let mut any = false;
@@ -126,6 +132,12 @@ fn main() {
             "--out" => out_flag = Some(args.value("--out")),
             "--json" => json_path = Some(args.value("--json")),
             "--metrics" => metrics_path = Some(args.value("--metrics")),
+            "--profile" => {
+                profile = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") => Some(args.next().unwrap()),
+                    _ => None,
+                });
+            }
             "--progress" => progress = true,
             "--check" => check = true,
             "--verify" => verify = true,
@@ -314,6 +326,11 @@ fn main() {
     let mut opts = ExecOptions::for_spec(&lowered, threads);
     opts.progress = progress;
     opts.verify = verify;
+    let profile_dir = profile.map(|dir| match dir {
+        Some(d) => std::path::PathBuf::from(d),
+        None => vmv_sweep::default_profile_dir(std::path::Path::new(&out_path)),
+    });
+    opts.profile_dir = profile_dir.clone();
     let report = match vmv_sweep::run_sweep(&points, &opts, Some(&store)) {
         Ok(r) => r,
         Err(e) => {
@@ -342,6 +359,13 @@ fn main() {
             report.records.len(),
             report.records.len().saturating_sub(report.replays),
             report.replay_batches
+        );
+    }
+    if let Some(dir) = &profile_dir {
+        println!(
+            "profiles: wrote {} cycle-attribution documents to {}",
+            report.records.len(),
+            dir.display()
         );
     }
     if !report.records.is_empty() && report.wall_seconds > 0.0 {

@@ -20,7 +20,7 @@ use std::sync::{Arc, OnceLock};
 use vmv_kernels::{Benchmark, BenchmarkBuild, IsaVariant};
 use vmv_machine::{IsaSupport, MachineConfig};
 use vmv_mem::MemoryModel;
-use vmv_sim::{RunStats, SimOptions, Simulator, Trace};
+use vmv_sim::{Profile, ProfileStatics, RunStats, SimOptions, Simulator, Trace};
 
 /// Hard cap on simulated (or replayed) cycles per run.
 const MAX_RUN_CYCLES: u64 = 2_000_000_000;
@@ -97,6 +97,11 @@ pub struct Prepared {
     /// `Prepared` — e.g. in the sweep compile cache — execute each program
     /// once and retime it for every memory variant.
     trace: OnceLock<Arc<Recorded>>,
+    /// Cycle-attribution statics (bundle issue classes, op names, lanes),
+    /// built on first profiled simulate.  Like the lowered program they
+    /// depend only on schedule-relevant machine fields, so one table serves
+    /// every memory variant.
+    profile_statics: OnceLock<Arc<ProfileStatics>>,
 }
 
 /// What one execute-and-record run leaves behind: the timing trace plus the
@@ -122,6 +127,7 @@ impl Prepared {
             compiled,
             lowered,
             trace: OnceLock::new(),
+            profile_statics: OnceLock::new(),
         }
     }
 
@@ -129,6 +135,16 @@ impl Prepared {
     /// replay instead of executing).
     pub fn has_trace(&self) -> bool {
         self.trace.get().is_some()
+    }
+
+    /// The cycle-attribution statics for this program, built once per
+    /// `Prepared` and shared across every profiled run.  `machine` must be
+    /// schedule-compatible with the preparing configuration (the same
+    /// contract as [`simulate`]).
+    pub fn profile_statics(&self, machine: &MachineConfig) -> Arc<ProfileStatics> {
+        self.profile_statics
+            .get_or_init(|| Arc::new(ProfileStatics::build(&self.lowered, machine)))
+            .clone()
     }
 }
 
@@ -242,6 +258,100 @@ pub fn simulate_batch(
             check_failures: recorded.check_failures.clone(),
         })
         .collect())
+}
+
+/// [`simulate`] with cycle attribution: returns the outcome plus a
+/// [`Profile`] explaining every simulated cycle.  `outcome.stats` is
+/// bit-identical to the unprofiled [`simulate`] (enforced by
+/// `tests/lowered_differential.rs`), and the profile satisfies the
+/// sum-exactly contract `profile.check_against(&outcome.stats)`.
+pub fn simulate_profiled(
+    prepared: &Prepared,
+    machine: &MachineConfig,
+    model: MemoryModel,
+) -> Result<(RunOutcome, Profile), ExperimentError> {
+    let statics = prepared.profile_statics(machine);
+    if let Some(recorded) = prepared.trace.get() {
+        let (stats, profile) = vmv_sim::replay_profiled(
+            &prepared.lowered,
+            &recorded.trace,
+            machine,
+            model,
+            MAX_RUN_CYCLES,
+            &statics,
+        )
+        .map_err(|e| ExperimentError::Simulation(format!("{}: replay: {e}", machine.name)))?;
+        let outcome = RunOutcome {
+            config: machine.name.clone(),
+            benchmark: prepared.benchmark,
+            variant: prepared.variant,
+            memory_model: model,
+            stats,
+            check_failures: recorded.check_failures.clone(),
+        };
+        return Ok((outcome, profile));
+    }
+    let mut sim = simulator_for(prepared, machine, model);
+    let (stats, trace, profile) = sim
+        .run_lowered_recording_profiled(&prepared.lowered, &statics)
+        .map_err(|e| ExperimentError::Simulation(format!("{}: {e}", machine.name)))?;
+    let check_failures = prepared
+        .build
+        .failed_checks(|addr, len| sim.mem.read_u8_slice(addr, len));
+    let _ = prepared.trace.set(Arc::new(Recorded {
+        trace,
+        check_failures: check_failures.clone(),
+    }));
+    let outcome = RunOutcome {
+        config: machine.name.clone(),
+        benchmark: prepared.benchmark,
+        variant: prepared.variant,
+        memory_model: model,
+        stats,
+        check_failures,
+    };
+    Ok((outcome, profile))
+}
+
+/// [`simulate_batch`] with cycle attribution: the fused walk carries one
+/// extra profiling pass (not K), and `profiles[i]` is bit-identical to the
+/// profile [`simulate_profiled`] would produce for `variants[i]`.
+pub fn simulate_batch_profiled(
+    prepared: &Prepared,
+    variants: &[(&MachineConfig, MemoryModel)],
+) -> Result<(Vec<RunOutcome>, Vec<Profile>), ExperimentError> {
+    let recorded = prepared.trace.get().ok_or_else(|| {
+        ExperimentError::Simulation(
+            "batched replay requires a recorded trace (simulate once first)".into(),
+        )
+    })?;
+    let statics = match variants.first() {
+        Some(&(machine, _)) => prepared.profile_statics(machine),
+        None => return Ok((Vec::new(), Vec::new())),
+    };
+    let analysis = vmv_sim::ReplayAnalysis::build(&prepared.lowered);
+    let mut states: Vec<vmv_sim::VariantState> = variants
+        .iter()
+        .map(|&(machine, model)| {
+            vmv_sim::VariantState::new(&analysis, machine, model, MAX_RUN_CYCLES)
+        })
+        .collect();
+    let (all, profiles) =
+        vmv_sim::replay_batch_profiled(&recorded.trace, &analysis, &mut states, &statics)
+            .map_err(|e| ExperimentError::Simulation(format!("batched replay: {e}")))?;
+    let outcomes = all
+        .into_iter()
+        .zip(variants)
+        .map(|(stats, &(machine, model))| RunOutcome {
+            config: machine.name.clone(),
+            benchmark: prepared.benchmark,
+            variant: prepared.variant,
+            memory_model: model,
+            stats,
+            check_failures: recorded.check_failures.clone(),
+        })
+        .collect();
+    Ok((outcomes, profiles))
 }
 
 /// Simulate by full functional execution, never recording or replaying a

@@ -191,6 +191,46 @@ pub enum AccessEcho {
     },
 }
 
+impl ServedBy {
+    /// Depth rank: L1 < L2 < L3 < Mem.
+    fn depth(self) -> u8 {
+        match self {
+            ServedBy::L1 => 0,
+            ServedBy::L2 => 1,
+            ServedBy::L3 => 2,
+            ServedBy::Mem => 3,
+        }
+    }
+}
+
+impl AccessEcho {
+    /// The deepest level this access touched — the level whose latency
+    /// dominates the access, used by the cycle-attribution profiler to
+    /// classify waits on the producing operation.  Vector accesses always
+    /// reach at least the L2 (they bypass the L1 by construction).
+    pub fn deepest(&self) -> ServedBy {
+        match *self {
+            AccessEcho::Scalar { first, second, .. } => match second {
+                Some(s) if s.depth() > first.depth() => s,
+                _ => first,
+            },
+            AccessEcho::Vector {
+                l3_fetches,
+                mem_fetches,
+                ..
+            } => {
+                if mem_fetches > 0 {
+                    ServedBy::Mem
+                } else if l3_fetches > 0 {
+                    ServedBy::L3
+                } else {
+                    ServedBy::L2
+                }
+            }
+        }
+    }
+}
+
 /// Refill source of one L2 line of a vector access.
 enum LineFill {
     Hit,

@@ -69,6 +69,19 @@ pub enum Counter {
     SweepJobsSkipped,
     /// Completed static-verifier certifications (`vmv_verify::verify_compiled`).
     VerifyChecks,
+    /// Cycle-attribution profiles produced (one per profiled run, across
+    /// all three engines; a profiled batch contributes K).
+    ProfileRuns,
+    /// Attributed stall cycles, by cause class, summed over every profile
+    /// produced.  The six causes partition each profile's `stall_cycles`
+    /// exactly, so these counters sum to the total stall cycles of every
+    /// profiled run.
+    ProfileStallRaw,
+    ProfileStallWaitL1,
+    ProfileStallWaitL2,
+    ProfileStallWaitL3,
+    ProfileStallWaitMem,
+    ProfileStallL2Port,
     /// Spans entered (== histogram samples recorded via guards).  Exactly 0
     /// while the recorder is disabled — the overhead regression test keys
     /// on this.
@@ -76,7 +89,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 38] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::SchedBlocks,
@@ -107,6 +120,13 @@ impl Counter {
         Counter::SweepJobsFailed,
         Counter::SweepJobsSkipped,
         Counter::VerifyChecks,
+        Counter::ProfileRuns,
+        Counter::ProfileStallRaw,
+        Counter::ProfileStallWaitL1,
+        Counter::ProfileStallWaitL2,
+        Counter::ProfileStallWaitL3,
+        Counter::ProfileStallWaitMem,
+        Counter::ProfileStallL2Port,
         Counter::SpansEntered,
     ];
 
@@ -143,6 +163,13 @@ impl Counter {
             Counter::SweepJobsFailed => "sweep_jobs_failed",
             Counter::SweepJobsSkipped => "sweep_jobs_skipped",
             Counter::VerifyChecks => "verify_checks",
+            Counter::ProfileRuns => "profile_runs",
+            Counter::ProfileStallRaw => "profile_stall_raw",
+            Counter::ProfileStallWaitL1 => "profile_stall_wait_l1",
+            Counter::ProfileStallWaitL2 => "profile_stall_wait_l2",
+            Counter::ProfileStallWaitL3 => "profile_stall_wait_l3",
+            Counter::ProfileStallWaitMem => "profile_stall_wait_mem",
+            Counter::ProfileStallL2Port => "profile_stall_l2_port",
             Counter::SpansEntered => "spans_entered",
         }
     }

@@ -55,15 +55,29 @@ pub fn table(headers: &[(&str, Align)], rows: &[Vec<String>]) -> String {
     out
 }
 
-fn section(id: &str, heading: &str, body: String) -> String {
-    format!(
-        "<section id=\"{id}\">\n<h2>{}</h2>\n{body}</section>\n",
-        esc(heading)
-    )
+/// One rendered page section: a stable `id=` anchor (fixed per section
+/// kind, never derived from data), the heading for the table of contents,
+/// and the rendered body.
+#[derive(Debug, Clone)]
+pub struct Section {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub html: String,
+}
+
+fn section(id: &'static str, heading: &'static str, body: String) -> Section {
+    Section {
+        id,
+        title: heading,
+        html: format!(
+            "<section id=\"{id}\">\n<h2>{}</h2>\n{body}</section>\n",
+            esc(heading)
+        ),
+    }
 }
 
 /// Pareto section: chart + cost/cycles table.
-pub fn pareto_section(spec_name: &str, entries: &[ParetoEntry]) -> String {
+pub fn pareto_section(spec_name: &str, entries: &[ParetoEntry]) -> Section {
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|e| {
@@ -94,7 +108,7 @@ pub fn pareto_section(spec_name: &str, entries: &[ParetoEntry]) -> String {
 }
 
 /// Sensitivity section: chart + per-axis swing table.
-pub fn sensitivity_section(spec_name: &str, rows: &[AxisSensitivity]) -> String {
+pub fn sensitivity_section(spec_name: &str, rows: &[AxisSensitivity]) -> Section {
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -127,7 +141,7 @@ pub fn compare_section(
     baseline_name: &str,
     report: &CompareReport,
     groups: &BTreeMap<String, Vec<CompareRow>>,
-) -> String {
+) -> Section {
     let summary = table(
         &[("metric", Align::Left), ("value", Align::Right)],
         &[
@@ -206,7 +220,7 @@ pub fn compare_section(
 }
 
 /// Trend section: cycles-over-stores chart + the per-run table.
-pub fn trend_section(t: &StoreTrend) -> String {
+pub fn trend_section(t: &StoreTrend) -> Section {
     let mut body = String::new();
     for w in &t.warnings {
         body.push_str(&format!("<p class=\"warn\">warning: {}</p>\n", esc(w)));
@@ -238,7 +252,7 @@ pub fn trend_section(t: &StoreTrend) -> String {
 }
 
 /// Bench-trajectory section: throughput chart + per-entry table.
-pub fn bench_section(points: &[BenchPoint]) -> String {
+pub fn bench_section(points: &[BenchPoint]) -> Section {
     let mut body = crate::trend::bench_trend_svg(points);
     let num = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.0}"));
     let rows: Vec<Vec<String>> = points
@@ -267,9 +281,48 @@ pub fn bench_section(points: &[BenchPoint]) -> String {
     section("bench", "Bench trajectory", body)
 }
 
-/// Assemble the page: fixed minimal CSS, the sections in caller order,
-/// nothing machine- or time-dependent.
-pub fn page(title: &str, subtitle: &str, sections: &[String]) -> String {
+/// Profile section: per-benchmark stall-cause stacked bars + totals table,
+/// from the `vmv-profile/1` documents a profiled sweep left next to the
+/// store.
+pub fn profile_section(docs: &[vmv_sweep::ProfileDoc]) -> Section {
+    let rows = crate::profile::stalls_by_benchmark(docs);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, stalls)| {
+            vec![
+                name.clone(),
+                docs.iter()
+                    .filter(|d| &d.meta.benchmark == name)
+                    .count()
+                    .to_string(),
+                stalls.iter().sum::<u64>().to_string(),
+                crate::profile::top_stall(stalls).to_string(),
+            ]
+        })
+        .collect();
+    let body = format!(
+        "<p>{} profiled runs — stall cycles by cause, summed per benchmark; \
+         attributed cycles sum exactly to each run's cycle count \
+         (<code>report profile</code> drills into one run).</p>\n{}\n{}",
+        docs.len(),
+        crate::profile::stall_stacked_svg(&rows),
+        table(
+            &[
+                ("benchmark", Align::Left),
+                ("runs", Align::Right),
+                ("stall cycles", Align::Right),
+                ("top stall cause", Align::Left),
+            ],
+            &table_rows,
+        )
+    );
+    section("profile", "Profile", body)
+}
+
+/// Assemble the page: fixed minimal CSS, a table of contents anchored on
+/// the sections' stable ids, the sections in caller order, nothing
+/// machine- or time-dependent.
+pub fn page(title: &str, subtitle: &str, sections: &[Section]) -> String {
     let mut out = String::new();
     out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
     out.push_str(&format!("<title>{}</title>\n", esc(title)));
@@ -282,14 +335,25 @@ pub fn page(title: &str, subtitle: &str, sections: &[String]) -> String {
          th{background:#f3f4f6}.r{text-align:right}.c{text-align:center}.l{text-align:left}\n\
          .warn{color:#b45309}\n\
          svg{max-width:100%;height:auto}\n\
+         nav#toc ul{list-style:none;padding:0;margin:.5em 0}\n\
+         nav#toc li{display:inline-block;margin-right:1.2em}\n\
          </style>\n</head>\n<body>\n",
     );
     out.push_str(&format!("<h1>{}</h1>\n", esc(title)));
     if !subtitle.is_empty() {
         out.push_str(&format!("<p>{}</p>\n", esc(subtitle)));
     }
+    out.push_str("<nav id=\"toc\"><ul>\n");
     for s in sections {
-        out.push_str(s);
+        out.push_str(&format!(
+            "<li><a href=\"#{}\">{}</a></li>\n",
+            s.id,
+            esc(s.title)
+        ));
+    }
+    out.push_str("</ul></nav>\n");
+    for s in sections {
+        out.push_str(&s.html);
     }
     out.push_str("</body>\n</html>\n");
     out
@@ -326,6 +390,24 @@ mod tests {
     }
 
     #[test]
+    fn page_toc_links_every_section_anchor() {
+        let sections = vec![
+            section("alpha", "Alpha", "<p>a</p>\n".to_string()),
+            section("beta", "Beta", "<p>b</p>\n".to_string()),
+        ];
+        let a = page("observatory", "", &sections);
+        assert!(a.contains("<nav id=\"toc\">"));
+        for s in &sections {
+            assert!(a.contains(&format!("<a href=\"#{}\">", s.id)));
+            assert!(a.contains(&format!("<section id=\"{}\">", s.id)));
+        }
+        // The TOC lists sections in page order.
+        let toc_alpha = a.find("href=\"#alpha\"").unwrap();
+        let toc_beta = a.find("href=\"#beta\"").unwrap();
+        assert!(toc_alpha < toc_beta);
+    }
+
+    #[test]
     fn pareto_section_inlines_the_chart_and_table() {
         let entries = vec![vmv_sweep::ParetoEntry {
             name: "2w/vu1".to_string(),
@@ -335,8 +417,9 @@ mod tests {
             on_frontier: true,
         }];
         let s = pareto_section("demo", &entries);
-        assert!(s.contains("<svg "), "chart inlined");
-        assert!(s.contains("<td class=\"l\">2w/vu1</td>"));
-        assert!(s.contains("id=\"pareto\""));
+        assert!(s.html.contains("<svg "), "chart inlined");
+        assert!(s.html.contains("<td class=\"l\">2w/vu1</td>"));
+        assert!(s.html.contains("id=\"pareto\""));
+        assert_eq!(s.id, "pareto");
     }
 }

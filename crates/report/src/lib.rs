@@ -27,8 +27,13 @@
 //!   [`diffspec`] names the axis values two store headers don't share, and
 //!   [`html`] bundles every analysis into one self-contained static page;
 //!
+//! * the profiler view — [`profile`] renders the `vmv-profile/1` documents
+//!   a profiled sweep writes next to its store: worst-stall-first Markdown
+//!   tables, a Perfetto-loadable Chrome trace-event timeline, and the
+//!   stacked-bar Profile section of the HTML page.
+//!
 //! The `report` binary in `vmv-bench` wires these into
-//! `report pareto|sensitivity|compare|trend|diff-specs|html`.
+//! `report pareto|sensitivity|compare|trend|diff-specs|html|profile`.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +42,7 @@ pub mod diffspec;
 pub mod html;
 pub mod loader;
 pub mod markdown;
+pub mod profile;
 pub mod resolve;
 pub mod svg;
 pub mod trend;
@@ -44,6 +50,9 @@ pub mod trend;
 pub use compare::{compare, geomean, CompareReport, CompareRow};
 pub use diffspec::{diff_specs, diff_specs_md, AxisDiff, SpecDiff};
 pub use loader::{LoadedStore, StoreDiagnostic};
+pub use profile::{
+    chrome_trace, profile_detail_md, profile_overview_md, stall_stacked_svg, stalls_by_benchmark,
+};
 pub use resolve::{
     is_record_field, parse_filter, record_field, Filter, ReportError, ResolvedStore,
 };

@@ -26,6 +26,7 @@
 //!   [`RunStats`] cycle for cycle.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use vmv_isa::{LatencyDescriptor, Op, Reg, NO_SLOT};
 use vmv_machine::MachineConfig;
@@ -34,6 +35,9 @@ use vmv_sched::{lower, LoweredProgram, ScheduledProgram};
 
 use crate::exec::{execute_lowered, execute_op, ExecOutcome, LoweredOutcome, MemAccess};
 use crate::memimage::MemImage;
+use crate::profile::{
+    Binding, Cause, NoProfile, Profile, ProfileRecorder, ProfileSink, ProfileStatics,
+};
 use crate::regfile::RegFiles;
 use crate::stats::RunStats;
 use crate::trace::{NoTrace, Trace, TraceRecorder, TraceSink};
@@ -148,7 +152,7 @@ impl Simulator {
 
     /// Run a lowered program to completion: the array-indexed hot path.
     pub fn run_lowered(&mut self, program: &LoweredProgram) -> Result<RunStats, SimError> {
-        self.run_lowered_with(program, &mut NoTrace)
+        self.run_lowered_with(program, &mut NoTrace, &mut NoProfile)
     }
 
     /// Run a lowered program to completion *and* record its timing trace
@@ -159,18 +163,55 @@ impl Simulator {
         program: &LoweredProgram,
     ) -> Result<(RunStats, Trace), SimError> {
         let mut recorder = TraceRecorder::new(self.regs.vl);
-        let stats = self.run_lowered_with(program, &mut recorder)?;
+        let stats = self.run_lowered_with(program, &mut recorder, &mut NoProfile)?;
         vmv_obs::incr(vmv_obs::Counter::TraceRecords);
         Ok((stats, recorder.finish()))
     }
 
-    /// The lowered-engine loop, generic over a [`TraceSink`] observer.  The
-    /// non-recording instantiation ([`NoTrace`]) monomorphises to exactly
-    /// the previous hot path — the sink hooks are empty inline functions.
-    fn run_lowered_with<S: TraceSink>(
+    /// Run a lowered program to completion *and* attribute every simulated
+    /// cycle to a [`Cause`].  The returned [`RunStats`] are bit-identical
+    /// to [`Simulator::run_lowered`]; the profile sums exactly to them
+    /// (see [`Profile::check_against`]).
+    pub fn run_lowered_profiled(
+        &mut self,
+        program: &LoweredProgram,
+        statics: &Arc<ProfileStatics>,
+    ) -> Result<(RunStats, Profile), SimError> {
+        let mut rec = ProfileRecorder::new(statics.clone());
+        let stats = self.run_lowered_with(program, &mut NoTrace, &mut rec)?;
+        let profile = rec.finish();
+        profile.record_obs();
+        Ok((stats, profile))
+    }
+
+    /// [`Simulator::run_lowered_recording`] and
+    /// [`Simulator::run_lowered_profiled`] in one pass: record the timing
+    /// trace *and* the cycle attribution of the same execution.
+    pub fn run_lowered_recording_profiled(
+        &mut self,
+        program: &LoweredProgram,
+        statics: &Arc<ProfileStatics>,
+    ) -> Result<(RunStats, Trace, Profile), SimError> {
+        let mut recorder = TraceRecorder::new(self.regs.vl);
+        let mut rec = ProfileRecorder::new(statics.clone());
+        let stats = self.run_lowered_with(program, &mut recorder, &mut rec)?;
+        vmv_obs::incr(vmv_obs::Counter::TraceRecords);
+        let profile = rec.finish();
+        profile.record_obs();
+        Ok((stats, recorder.finish(), profile))
+    }
+
+    /// The lowered-engine loop, generic over a [`TraceSink`] observer and a
+    /// [`ProfileSink`].  The non-observing instantiations ([`NoTrace`],
+    /// [`NoProfile`]) monomorphise to exactly the previous hot path — the
+    /// sink hooks are empty inline functions, and the work of *computing*
+    /// profile hook arguments (echo pricing, binding scans, op indices) is
+    /// gated on `P::ENABLED`, a monomorphisation-time constant.
+    fn run_lowered_with<S: TraceSink, P: ProfileSink>(
         &mut self,
         program: &LoweredProgram,
         sink: &mut S,
+        prof: &mut P,
     ) -> Result<RunStats, SimError> {
         let mut stats = RunStats::default();
         // Make sure every declared region appears in the statistics, even if
@@ -199,6 +240,10 @@ impl Simulator {
         // the optimiser must re-derive per operation.
         let max_cycles = self.options.max_cycles;
         let port_elems = self.machine.l2_port_elems.max(1);
+        // Echo scratch for profiled runs: profiling prices memory through
+        // the echoed access path (bit-identical timing and MemStats) to
+        // learn which level served each access.
+        let mut echo_scratch = vmv_mem::SharedAccessScratch::new();
         let Simulator {
             regs,
             mem,
@@ -208,6 +253,7 @@ impl Simulator {
 
         'blocks: while block_idx < program.blocks.len() {
             sink.block(block_idx as u32);
+            prof.begin_block(block_idx as u32);
             let block = &program.blocks[block_idx];
             let region = block.region;
             let block_start_cycle = cycle;
@@ -231,13 +277,15 @@ impl Simulator {
             }
             // Execute one operation at its bundle's issue time: functional
             // effects, completion latency into the scoreboard, port
-            // occupancy, statistics and the control-flow decision.
+            // occupancy, statistics and the control-flow decision.  `$opi`
+            // is the op's global index (only evaluated when profiling).
             macro_rules! exec_at {
-                ($op:expr, $issue:expr) => {{
+                ($op:expr, $opi:expr, $issue:expr) => {{
                     let mut mem_access: Option<MemAccess> = None;
                     let outcome = execute_lowered($op, regs, mem, &mut mem_access)
                         .map_err(|e| SimError::Exec(e.to_string()))?;
                     sink.op($op, &mem_access, regs);
+                    let mut cause = Cause::RawStall;
 
                     // Determine the actual completion latency.
                     let latency = match &mem_access {
@@ -249,8 +297,18 @@ impl Simulator {
                                     access.elems
                                 };
                                 l2_port_free = $issue + occupancy.max(1) as u64;
+                                if P::ENABLED {
+                                    prof.vec_port($opi);
+                                }
                             }
-                            Self::memory_latency_on(hierarchy, access)
+                            if P::ENABLED {
+                                let (lat, echo) =
+                                    Self::memory_latency_echo(hierarchy, access, &mut echo_scratch);
+                                cause = Cause::wait_for_echo(&echo);
+                                lat
+                            } else {
+                                Self::memory_latency_on(hierarchy, access)
+                            }
                         }
                         None => {
                             if $op.reads_vl {
@@ -273,7 +331,11 @@ impl Simulator {
 
                     if $op.dst_slot != NO_SLOT {
                         ready[$op.dst_slot as usize] = $issue + latency;
+                        if P::ENABLED {
+                            prof.write($opi, $op.dst_slot, cause);
+                        }
                     }
+                    let _ = cause;
 
                     ops_executed += 1;
                     micro_ops += if $op.reads_vl {
@@ -290,8 +352,40 @@ impl Simulator {
                 }};
             }
 
+            // Profiling: attribute a bundle's stall to the first read slot
+            // (program order) that is still busy at the issue cycle — the
+            // blame side table in the recorder turns the slot into a cause
+            // — or to the L2 vector port when no slot explains it.
+            macro_rules! profile_bundle {
+                ($bundle:expr, $b:expr, $issue:expr) => {
+                    if P::ENABLED {
+                        let stall = $issue - cycle;
+                        let binding = if stall == 0 {
+                            Binding::None
+                        } else {
+                            let mut found = Binding::Port;
+                            'scan: for op in $bundle {
+                                for &slot in op.read_slots() {
+                                    if ready[slot as usize] == $issue {
+                                        found = Binding::Slot(slot);
+                                        break 'scan;
+                                    }
+                                }
+                            }
+                            found
+                        };
+                        prof.bundle($b, cycle, stall, binding);
+                    }
+                };
+            }
+
             for b in block.first_bundle..block.first_bundle + block.bundle_count {
                 let bundle = program.bundle_ops(b);
+                let op_base = if P::ENABLED {
+                    program.bundle_bounds[b as usize]
+                } else {
+                    0
+                };
                 // In-order issue: the bundle stalls until every source
                 // operand of every operation in it is ready.
                 let mut issue = cycle;
@@ -300,14 +394,16 @@ impl Simulator {
                     // the issue scan and the execution into a single pass.
                     issue_of!(op, issue);
                     stall_cycles += issue - cycle;
-                    exec_at!(op, issue);
+                    profile_bundle!(bundle, b, issue);
+                    exec_at!(op, op_base, issue);
                 } else {
                     for op in bundle {
                         issue_of!(op, issue);
                     }
                     stall_cycles += issue - cycle;
-                    for op in bundle {
-                        exec_at!(op, issue);
+                    profile_bundle!(bundle, b, issue);
+                    for (i, op) in bundle.iter().enumerate() {
+                        exec_at!(op, op_base + i as u32, issue);
                     }
                 }
 

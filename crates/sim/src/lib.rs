@@ -14,6 +14,7 @@
 pub mod engine;
 pub mod exec;
 pub mod memimage;
+pub mod profile;
 pub mod regfile;
 pub mod replay;
 pub mod stats;
@@ -22,7 +23,14 @@ pub mod trace;
 pub use engine::{SimError, SimOptions, Simulator};
 pub use exec::{execute_lowered, execute_op, ExecOutcome, ExecResult, LoweredOutcome, MemAccess};
 pub use memimage::MemImage;
+pub use profile::{
+    BlockProfile, BundleProfile, Cause, OpProfile, Profile, ProfileStatics, RegionProfile,
+    TimelineEvent, LANE_NAMES, N_CAUSES, N_STALLS, STALL_BASE, TIMELINE_CAP,
+};
 pub use regfile::{RegFiles, VectorValue};
-pub use replay::{replay, replay_batch, ReplayAnalysis, ReplayError, VariantState};
+pub use replay::{
+    replay, replay_batch, replay_batch_profiled, replay_profiled, ReplayAnalysis, ReplayError,
+    VariantState,
+};
 pub use stats::{RegionStats, RunStats};
 pub use trace::Trace;

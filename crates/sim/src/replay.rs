@@ -50,12 +50,18 @@
 //! *schedule*, not once per *variant*.  Each returned `RunStats` is
 //! bit-identical to a single-variant [`replay`] of the same variant.
 
+use std::sync::Arc;
+
 use vmv_isa::{Opcode, MAX_VL, NO_SLOT};
 use vmv_machine::MachineConfig;
 use vmv_mem::{MemoryHierarchy, MemoryModel, SharedAccessScratch};
 use vmv_sched::LoweredProgram;
 
 use crate::engine::Simulator;
+use crate::profile::{
+    BatchProfiler, BatchSink, Binding, Cause, NoBatchProfile, NoProfile, Profile, ProfileRecorder,
+    ProfileSink, ProfileStatics,
+};
 use crate::stats::RunStats;
 use crate::trace::Trace;
 
@@ -109,6 +115,9 @@ struct RBlock {
     first_seg: u32,
     seg_count: u32,
     bundle_count: u32,
+    /// Global index of the block's first bundle — the profiled walk maps
+    /// segments back to the bundle indices the engine reports.
+    first_bundle: u32,
 }
 
 /// The precompiled compact timing view of a [`LoweredProgram`]: a
@@ -124,6 +133,10 @@ struct ReplayProgram {
     reads: Vec<u16>,
     writes: Vec<(u16, u16)>,
     dynamics: Vec<DynOp>,
+    /// Global op index of each entry of `writes` (profiled blame tables).
+    write_ops: Vec<u32>,
+    /// Global op index of each entry of `dynamics`.
+    dyn_ops: Vec<u32>,
     /// The Pass-1 slot classification (indexed by slot), kept so the
     /// static verifier can prove it covers every must-track slot.
     tracked: Vec<bool>,
@@ -190,6 +203,8 @@ impl ReplayProgram {
         let mut reads = Vec::new();
         let mut writes = Vec::new();
         let mut dynamics = Vec::new();
+        let mut write_ops = Vec::new();
+        let mut dyn_ops = Vec::new();
         for block in &program.blocks {
             let first_seg = segs.len() as u32;
             let (mut pend_span, mut pend_ops, mut pend_micro) = (0u32, 0u32, 0u64);
@@ -203,7 +218,8 @@ impl ReplayProgram {
                 );
                 let mut static_micro_ops = 0u64;
                 let mut vecmem = false;
-                for op in ops {
+                for (j, op) in ops.iter().enumerate() {
+                    let op_idx = program.bundle_bounds[b as usize] + j as u32;
                     reads.extend(
                         op.read_slots()
                             .iter()
@@ -217,6 +233,7 @@ impl ReplayProgram {
                         // pre-computed scoreboard write plus counters.
                         if op.dst_slot != NO_SLOT && tracked[op.dst_slot as usize] {
                             writes.push((op.dst_slot, op.flow));
+                            write_ops.push(op_idx);
                         }
                         static_micro_ops += op.micro_ops_unit as u64;
                     } else {
@@ -227,6 +244,7 @@ impl ReplayProgram {
                             dst_slot: op.dst_slot,
                             micro_ops_unit: op.micro_ops_unit,
                         });
+                        dyn_ops.push(op_idx);
                     }
                 }
                 let inert = reads.len() as u32 == reads_lo
@@ -267,6 +285,7 @@ impl ReplayProgram {
                 first_seg,
                 seg_count: segs.len() as u32 - first_seg,
                 bundle_count: block.bundle_count,
+                first_bundle: block.first_bundle,
             });
         }
         ReplayProgram {
@@ -275,6 +294,8 @@ impl ReplayProgram {
             reads,
             writes,
             dynamics,
+            write_ops,
+            dyn_ops,
             tracked,
         }
     }
@@ -361,8 +382,40 @@ pub fn replay(
     model: MemoryModel,
     max_cycles: u64,
 ) -> Result<RunStats, ReplayError> {
+    replay_with(program, trace, machine, model, max_cycles, &mut NoProfile)
+}
+
+/// [`replay`] with cycle attribution.  `statics` must have been built from
+/// the same `program` (and the recording machine's schedule-relevant
+/// fields).  The returned [`RunStats`] are bit-identical to an unprofiled
+/// [`replay`]; the profile is identical to the one the lowered engine
+/// derives for the same run.
+pub fn replay_profiled(
+    program: &LoweredProgram,
+    trace: &Trace,
+    machine: &MachineConfig,
+    model: MemoryModel,
+    max_cycles: u64,
+    statics: &Arc<ProfileStatics>,
+) -> Result<(RunStats, Profile), ReplayError> {
+    let mut rec = ProfileRecorder::new(statics.clone());
+    let stats = replay_with(program, trace, machine, model, max_cycles, &mut rec)?;
+    let profile = rec.finish();
+    profile.record_obs();
+    Ok((stats, profile))
+}
+
+fn replay_with<P: ProfileSink>(
+    program: &LoweredProgram,
+    trace: &Trace,
+    machine: &MachineConfig,
+    model: MemoryModel,
+    max_cycles: u64,
+    prof: &mut P,
+) -> Result<RunStats, ReplayError> {
     let _span = vmv_obs::span(vmv_obs::SpanKind::TraceReplay);
     let compact = ReplayProgram::build(program);
+    let mut echo_scratch = SharedAccessScratch::new();
     let mut hierarchy = MemoryHierarchy::for_machine(model, machine);
     let mut stats = RunStats::default();
     for region in &program.regions {
@@ -398,6 +451,8 @@ pub fn replay(
         let mut ops_executed = 0u64;
         let mut micro_ops = 0u64;
         let mut stall_cycles = 0u64;
+        prof.begin_block(block_id);
+        let mut bundle_cursor = block.first_bundle;
 
         for seg in
             &compact.segs[block.first_seg as usize..(block.first_seg + block.seg_count) as usize]
@@ -414,13 +469,59 @@ pub fn replay(
             }
             stall_cycles += issue - base;
 
-            for &(slot, lat) in &compact.writes[seg.writes.0 as usize..seg.writes.1 as usize] {
+            if P::ENABLED {
+                // Reconstruct the per-bundle issue events the engine
+                // reports: the inert run issues stall-free at consecutive
+                // cycles, the final bundle carries the segment's stall.
+                // Binding: first tracked read slot busy at the issue cycle
+                // (untracked slots are provably never the binder), else
+                // the L2 port.
+                for i in 0..seg.span - 1 {
+                    prof.bundle(bundle_cursor + i, cycle + i as u64, 0, Binding::None);
+                }
+                let stall = issue - base;
+                let binding = if stall == 0 {
+                    Binding::None
+                } else {
+                    let mut found = Binding::Port;
+                    for &slot in &compact.reads[seg.reads.0 as usize..seg.reads.1 as usize] {
+                        if ready[slot as usize] == issue {
+                            found = Binding::Slot(slot);
+                            break;
+                        }
+                    }
+                    found
+                };
+                prof.bundle(bundle_cursor + seg.span - 1, base, stall, binding);
+                bundle_cursor += seg.span;
+            }
+
+            for (wi, &(slot, lat)) in compact.writes[seg.writes.0 as usize..seg.writes.1 as usize]
+                .iter()
+                .enumerate()
+            {
                 ready[slot as usize] = issue + lat as u64;
+                if P::ENABLED {
+                    prof.write(
+                        compact.write_ops[seg.writes.0 as usize + wi],
+                        slot,
+                        Cause::RawStall,
+                    );
+                }
             }
             micro_ops += seg.static_micro_ops;
             ops_executed += seg.op_count as u64;
 
-            for op in &compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize] {
+            for (di, op) in compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize]
+                .iter()
+                .enumerate()
+            {
+                let op_idx = if P::ENABLED {
+                    compact.dyn_ops[seg.dynamics.0 as usize + di]
+                } else {
+                    0
+                };
+                let mut cause = Cause::RawStall;
                 let latency = if op.flags & F_MEM != 0 {
                     let access = trace
                         .accesses
@@ -434,8 +535,21 @@ pub fn replay(
                             access.elems
                         };
                         l2_port_free = issue + occupancy.max(1) as u64;
+                        if P::ENABLED {
+                            prof.vec_port(op_idx);
+                        }
                     }
-                    Simulator::memory_latency_on(&mut hierarchy, access) as u64
+                    if P::ENABLED {
+                        let (lat, echo) = Simulator::memory_latency_echo(
+                            &mut hierarchy,
+                            access,
+                            &mut echo_scratch,
+                        );
+                        cause = Cause::wait_for_echo(&echo);
+                        lat as u64
+                    } else {
+                        Simulator::memory_latency_on(&mut hierarchy, access) as u64
+                    }
                 } else {
                     if op.flags & F_SETVL != 0 {
                         vl = *trace
@@ -457,9 +571,13 @@ pub fn replay(
                         op.flow as u64
                     }
                 };
+                let _ = cause;
 
                 if op.dst_slot != NO_SLOT {
                     ready[op.dst_slot as usize] = issue + latency;
+                    if P::ENABLED {
+                        prof.write(op_idx, op.dst_slot, cause);
+                    }
                 }
 
                 micro_ops += if op.flags & F_READS_VL != 0 {
@@ -628,6 +746,34 @@ pub fn replay_batch(
     analysis: &ReplayAnalysis,
     variants: &mut [VariantState],
 ) -> Result<Vec<RunStats>, ReplayError> {
+    replay_batch_with(trace, analysis, variants, &mut NoBatchProfile)
+}
+
+/// [`replay_batch`] with cycle attribution: one extra pass piggybacked on
+/// the fused walk, not K profiled replays.  `profiles[k]` is bit-identical
+/// to the profile `replay_profiled` would produce for variant `k`, and
+/// `out[k]` is unchanged from the unprofiled batch.
+pub fn replay_batch_profiled(
+    trace: &Trace,
+    analysis: &ReplayAnalysis,
+    variants: &mut [VariantState],
+    statics: &Arc<ProfileStatics>,
+) -> Result<(Vec<RunStats>, Vec<Profile>), ReplayError> {
+    let mut bp = BatchProfiler::new(statics, variants.len());
+    let out = replay_batch_with(trace, analysis, variants, &mut bp)?;
+    let profiles = bp.finish();
+    for p in &profiles {
+        p.record_obs();
+    }
+    Ok((out, profiles))
+}
+
+fn replay_batch_with<BP: BatchSink>(
+    trace: &Trace,
+    analysis: &ReplayAnalysis,
+    variants: &mut [VariantState],
+    bp: &mut BP,
+) -> Result<Vec<RunStats>, ReplayError> {
     let k = variants.len();
     if k == 0 {
         return Ok(Vec::new());
@@ -655,6 +801,10 @@ pub fn replay_batch(
     let mut block_stalls: Vec<u64> = vec![0; k];
     let mut lat: Vec<u64> = vec![0; k];
     let mut line_memo = SharedAccessScratch::new();
+    // Per-variant wait-level causes for one memory access, broadcast from
+    // each class leader's echo (followers share the leader's hit/miss
+    // pattern by construction of the tag-equivalence classes).
+    let mut cause_k: Vec<Cause> = vec![Cause::RawStall; if BP::ENABLED { k } else { 0 }];
 
     // Partition the variants into tag-equivalence classes: configurations
     // sharing model, geometry and port width produce identical hit/miss
@@ -720,6 +870,8 @@ pub fn replay_batch(
         block_stalls.iter_mut().for_each(|s| *s = 0);
         let mut ops_executed = 0u64;
         let mut micro_ops = 0u64;
+        bp.begin_block(block_id);
+        let mut bundle_cursor = block.first_bundle;
 
         for seg in
             &compact.segs[block.first_seg as usize..(block.first_seg + block.seg_count) as usize]
@@ -743,16 +895,68 @@ pub fn replay_batch(
                 block_stalls[kk] += issue[kk] - (clock[kk] + span);
             }
 
-            for &(slot, lat) in &compact.writes[seg.writes.0 as usize..seg.writes.1 as usize] {
+            if BP::ENABLED {
+                // Same bundle-event reconstruction as serial replay, once
+                // per variant: inert bundles issue stall-free at
+                // consecutive cycles, the final bundle carries the
+                // segment's stall, bound by a strided scoreboard scan.
+                for kk in 0..k {
+                    for i in 0..seg.span - 1 {
+                        bp.bundle(
+                            kk,
+                            bundle_cursor + i,
+                            clock[kk] + i as u64,
+                            0,
+                            Binding::None,
+                        );
+                    }
+                    let base = clock[kk] + span;
+                    let stall = issue[kk] - base;
+                    let binding = if stall == 0 {
+                        Binding::None
+                    } else {
+                        let mut found = Binding::Port;
+                        for &slot in &compact.reads[seg.reads.0 as usize..seg.reads.1 as usize] {
+                            if ready[slot as usize * k + kk] == issue[kk] {
+                                found = Binding::Slot(slot);
+                                break;
+                            }
+                        }
+                        found
+                    };
+                    bp.bundle(kk, bundle_cursor + seg.span - 1, base, stall, binding);
+                }
+                bundle_cursor += seg.span;
+            }
+
+            for (wi, &(slot, lat)) in compact.writes[seg.writes.0 as usize..seg.writes.1 as usize]
+                .iter()
+                .enumerate()
+            {
                 let row = &mut ready[slot as usize * k..slot as usize * k + k];
                 for kk in 0..k {
                     row[kk] = issue[kk] + lat as u64;
+                }
+                if BP::ENABLED {
+                    bp.write_all(
+                        compact.write_ops[seg.writes.0 as usize + wi],
+                        slot,
+                        Cause::RawStall,
+                    );
                 }
             }
             micro_ops += seg.static_micro_ops;
             ops_executed += seg.op_count as u64;
 
-            for op in &compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize] {
+            for (di, op) in compact.dynamics[seg.dynamics.0 as usize..seg.dynamics.1 as usize]
+                .iter()
+                .enumerate()
+            {
+                let op_idx = if BP::ENABLED {
+                    compact.dyn_ops[seg.dynamics.0 as usize + di]
+                } else {
+                    0
+                };
                 if op.flags & F_MEM != 0 {
                     let access = trace
                         .accesses
@@ -768,6 +972,9 @@ pub fn replay_batch(
                             };
                             l2_port_free[kk] = issue[kk] + occupancy.max(1) as u64;
                         }
+                        if BP::ENABLED {
+                            bp.vec_port_all(op_idx);
+                        }
                     }
                     // Memory latency is the one per-variant quantity: the
                     // class leader walks its real tags (irregular line
@@ -780,6 +987,15 @@ pub fn replay_batch(
                         let (leader_lat, echo) =
                             Simulator::memory_latency_echo(hierarchy, access, &mut line_memo);
                         lat[*leader] = leader_lat as u64;
+                        if BP::ENABLED {
+                            // Followers share the leader's hit/miss pattern,
+                            // so the wait level broadcasts across the class.
+                            let cause = Cause::wait_for_echo(&echo);
+                            cause_k[*leader] = cause;
+                            for &f in followers {
+                                cause_k[f] = cause;
+                            }
+                        }
                         for &f in followers {
                             let Pricer::Follower(pricer) = &mut pricers[f] else {
                                 unreachable!("class followers carry an echo pricer")
@@ -791,6 +1007,9 @@ pub fn replay_batch(
                         let row_at = op.dst_slot as usize * k;
                         for kk in 0..k {
                             ready[row_at + kk] = issue[kk] + lat[kk];
+                        }
+                        if BP::ENABLED {
+                            bp.write_k(op_idx, op.dst_slot, &cause_k);
                         }
                     }
                 } else {
@@ -819,6 +1038,9 @@ pub fn replay_batch(
                         let row_at = op.dst_slot as usize * k;
                         for kk in 0..k {
                             ready[row_at + kk] = issue[kk] + latency;
+                        }
+                        if BP::ENABLED {
+                            bp.write_all(op_idx, op.dst_slot, Cause::RawStall);
                         }
                     }
                 }

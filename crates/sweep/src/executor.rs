@@ -22,11 +22,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use vmv_core::{simulate, simulate_batch, Prepared};
+use vmv_core::{simulate, simulate_batch, simulate_batch_profiled, simulate_profiled, Prepared};
 use vmv_kernels::Benchmark;
 use vmv_obs::{Counter, SpanKind};
 
 use crate::cache::{CacheCounters, CompileCache};
+use crate::profiles::{write_profile, ProfileMeta};
 use crate::spec::SweepPoint;
 use crate::store::{run_key, ResultStore, RunRecord};
 
@@ -42,6 +43,10 @@ pub struct ExecOptions {
     /// Certify every freshly compiled schedule with the static verifier
     /// even in release builds (debug builds always certify).
     pub verify: bool,
+    /// Write a `vmv-profile/1` cycle-attribution document per completed
+    /// run into this directory (`None` = profiling off; the engines run
+    /// their unprofiled, byte-identical paths).
+    pub profile_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ExecOptions {
@@ -51,6 +56,7 @@ impl Default for ExecOptions {
             workers: 0,
             progress: false,
             verify: false,
+            profile_dir: None,
         }
     }
 }
@@ -63,6 +69,7 @@ impl ExecOptions {
             workers,
             progress: false,
             verify: false,
+            profile_dir: None,
         }
     }
 
@@ -269,8 +276,22 @@ pub fn run_sweep(
             // by replay; classify before the call since the first
             // execution is also the one that records.
             let replayed = prepared.has_trace();
-            let outcome = simulate(prepared, &job.point.machine, job.point.model)
-                .map_err(|e| e.to_string())?;
+            let outcome = match &opts.profile_dir {
+                Some(dir) => {
+                    let (outcome, profile) =
+                        simulate_profiled(prepared, &job.point.machine, job.point.model)
+                            .map_err(|e| e.to_string())?;
+                    write_profile(
+                        dir,
+                        &meta_of(&job.key, job.point, job.benchmark, &outcome),
+                        &profile,
+                    )
+                    .map_err(|e| format!("profile write: {e}"))?;
+                    outcome
+                }
+                None => simulate(prepared, &job.point.machine, job.point.model)
+                    .map_err(|e| e.to_string())?,
+            };
             if replayed {
                 replays.fetch_add(1, Ordering::Relaxed);
             }
@@ -325,14 +346,39 @@ pub fn run_sweep(
                 if !rest.is_empty() && prepared.has_trace() {
                     // Everything else retimes the shared trace in one
                     // batched walk.
-                    let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let _simulate = vmv_obs::span(SpanKind::JobSimulate);
-                        let variants: Vec<_> = rest
-                            .iter()
-                            .map(|&i| (&jobs[i].point.machine, jobs[i].point.model))
-                            .collect();
-                        simulate_batch(&prepared, &variants)
-                    }));
+                    let batched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || -> Result<Vec<vmv_core::RunOutcome>, String> {
+                            let _simulate = vmv_obs::span(SpanKind::JobSimulate);
+                            let variants: Vec<_> = rest
+                                .iter()
+                                .map(|&i| (&jobs[i].point.machine, jobs[i].point.model))
+                                .collect();
+                            match &opts.profile_dir {
+                                Some(dir) => {
+                                    // Attribution piggybacks on the fused
+                                    // walk: one extra pass, not K runs.
+                                    let (outcomes, profiles) =
+                                        simulate_batch_profiled(&prepared, &variants)
+                                            .map_err(|e| e.to_string())?;
+                                    for ((&i, outcome), profile) in
+                                        rest.iter().zip(&outcomes).zip(&profiles)
+                                    {
+                                        let job = &jobs[i];
+                                        write_profile(
+                                            dir,
+                                            &meta_of(&job.key, job.point, job.benchmark, outcome),
+                                            profile,
+                                        )
+                                        .map_err(|e| format!("profile write: {e}"))?;
+                                    }
+                                    Ok(outcomes)
+                                }
+                                None => {
+                                    simulate_batch(&prepared, &variants).map_err(|e| e.to_string())
+                                }
+                            }
+                        },
+                    ));
                     if let Ok(Ok(outcomes)) = batched {
                         replay_batches.fetch_add(1, Ordering::Relaxed);
                         replays.fetch_add(rest.len(), Ordering::Relaxed);
@@ -550,6 +596,22 @@ fn record_of(
     }
 }
 
+/// Run metadata stamped into a persisted profile document.
+fn meta_of(
+    key: &str,
+    point: &SweepPoint,
+    benchmark: Benchmark,
+    outcome: &vmv_core::RunOutcome,
+) -> ProfileMeta {
+    ProfileMeta {
+        key: key.to_string(),
+        config: point.name.clone(),
+        benchmark: benchmark.name().to_string(),
+        variant: outcome.variant.name().to_string(),
+        model: format!("{:?}", point.model),
+    }
+}
+
 /// Best-effort text of a worker panic payload.
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
@@ -584,6 +646,7 @@ mod tests {
                 workers,
                 progress: false,
                 verify: false,
+                profile_dir: None,
             };
             reports.push(run_sweep(&points, &opts, None).unwrap());
         }
@@ -615,6 +678,7 @@ mod tests {
             workers: 4,
             progress: false,
             verify: false,
+            profile_dir: None,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         // 3 lane values × 2 memory latencies = 6 points, but only the 3
@@ -639,6 +703,7 @@ mod tests {
             workers: 2,
             progress: false,
             verify: false,
+            profile_dir: None,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert_eq!(report.records.len(), 1, "the healthy point still completes");
@@ -666,6 +731,7 @@ mod tests {
             workers: 2,
             progress: false,
             verify: false,
+            profile_dir: None,
         };
         let report = run_sweep(&points, &opts, None).unwrap();
         assert!(report.errors.is_empty(), "{:?}", report.errors);
@@ -696,6 +762,7 @@ mod tests {
             workers: 2,
             progress: false,
             verify: false,
+            profile_dir: None,
         };
         let first = run_sweep(&points, &opts, Some(&store)).unwrap();
         assert_eq!(first.records.len(), points.len());

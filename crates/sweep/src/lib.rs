@@ -51,6 +51,7 @@ pub mod check;
 pub mod executor;
 pub mod fingerprint;
 pub mod pareto;
+pub mod profiles;
 pub mod sensitivity;
 pub mod spec;
 pub mod specfile;
@@ -64,6 +65,11 @@ pub use fingerprint::{fnv1a64, full_fingerprint, schedule_fingerprint};
 // need it below the sweep layer); re-export it so every existing
 // `vmv_sweep::json::...` path keeps working unchanged.
 pub use pareto::{frontier_indices, hardware_cost, pareto_report, render_pareto, ParetoEntry};
+pub use profiles::{
+    default_dir as default_profile_dir, load_all as load_all_profiles, load_profile, parse_profile,
+    profile_json, write_profile, DocBlock, DocBundle, DocEvent, DocOp, DocRegion, ProfileDoc,
+    ProfileMeta, PROFILE_SCHEMA,
+};
 pub use sensitivity::{render_sensitivity, sensitivity, AxisSensitivity};
 pub use spec::{
     parse_shard, shard_points, Axis, AxisValue, Draft, Expansion, SweepPoint, SweepSpec,

@@ -161,6 +161,160 @@ fn lowered_engine_matches_reference_on_all_table2_presets() {
     assert_eq!(compared, 120);
 }
 
+/// The cycle-attribution contract, on the same 120-case matrix: for every
+/// preset x kernel x memory model and for all three profiled engines
+/// (lowered, serial replay, batched replay), the per-cause attributed
+/// cycles sum *exactly* to the `RunStats` totals (in total and per region,
+/// via `Profile::check_against`), enabling profiling never changes
+/// `RunStats`, and all three engines derive the *same* profile.
+#[test]
+fn profiler_attribution_contract_on_all_presets() {
+    let configs = all_configs();
+    let mut checked = 0usize;
+    for machine in &configs {
+        for bench in Benchmark::ALL {
+            let prepared = prepare(bench, machine)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", bench.name(), machine.name));
+            let statics = prepared.profile_statics(machine);
+            // Record once under perfect memory, with profiling on.
+            let (rec_stats, trace, rec_profile) = {
+                let mut sim = Simulator::new(
+                    machine,
+                    SimOptions {
+                        memory_model: MemoryModel::Perfect,
+                        mem_size: prepared.build.mem_size.max(1 << 20),
+                        max_cycles: 2_000_000_000,
+                    },
+                );
+                for (addr, bytes) in &prepared.build.init {
+                    sim.mem.write_bytes(*addr, bytes);
+                }
+                sim.run_lowered_recording_profiled(&prepared.lowered, &statics)
+                    .expect("profiled recording run")
+            };
+            rec_profile
+                .check_against(&rec_stats)
+                .unwrap_or_else(|e| panic!("recording: {} on {}: {e}", bench.name(), machine.name));
+            let analysis = vmv::sim::ReplayAnalysis::build(&prepared.lowered);
+            let mut variants = vec![
+                vmv::sim::VariantState::new(
+                    &analysis,
+                    machine,
+                    MemoryModel::Perfect,
+                    2_000_000_000,
+                ),
+                vmv::sim::VariantState::new(
+                    &analysis,
+                    machine,
+                    MemoryModel::Realistic,
+                    2_000_000_000,
+                ),
+            ];
+            let (batch_stats, batch_profiles) =
+                vmv::sim::replay_batch_profiled(&trace, &analysis, &mut variants, &statics)
+                    .unwrap_or_else(|e| {
+                        panic!("batch profiled: {} on {}: {e}", bench.name(), machine.name)
+                    });
+            for (bi, model) in [MemoryModel::Perfect, MemoryModel::Realistic]
+                .into_iter()
+                .enumerate()
+            {
+                let ctx = || {
+                    format!(
+                        "{} ({}) on {} under {:?}",
+                        bench.name(),
+                        variant_for(machine).name(),
+                        machine.name,
+                        model
+                    )
+                };
+                let unprofiled = run_with(&prepared, machine, model, true);
+
+                // Lowered engine, profiled.
+                let (lp_stats, lp_profile) = {
+                    let mut sim = Simulator::new(
+                        machine,
+                        SimOptions {
+                            memory_model: model,
+                            mem_size: prepared.build.mem_size.max(1 << 20),
+                            max_cycles: 2_000_000_000,
+                        },
+                    );
+                    for (addr, bytes) in &prepared.build.init {
+                        sim.mem.write_bytes(*addr, bytes);
+                    }
+                    sim.run_lowered_profiled(&prepared.lowered, &statics)
+                        .expect("profiled lowered run")
+                };
+                assert_eq!(
+                    lp_stats,
+                    unprofiled,
+                    "profiling changed RunStats: {}",
+                    ctx()
+                );
+                lp_profile
+                    .check_against(&lp_stats)
+                    .unwrap_or_else(|e| panic!("lowered attribution: {}: {e}", ctx()));
+
+                // Serial replay, profiled.
+                let (rp_stats, rp_profile) = vmv::sim::replay_profiled(
+                    &prepared.lowered,
+                    &trace,
+                    machine,
+                    model,
+                    2_000_000_000,
+                    &statics,
+                )
+                .unwrap_or_else(|e| panic!("profiled replay: {}: {e}", ctx()));
+                assert_eq!(
+                    rp_stats,
+                    unprofiled,
+                    "profiled replay changed RunStats: {}",
+                    ctx()
+                );
+                rp_profile
+                    .check_against(&rp_stats)
+                    .unwrap_or_else(|e| panic!("replay attribution: {}: {e}", ctx()));
+
+                // Batched replay, profiled.
+                assert_eq!(
+                    batch_stats[bi],
+                    unprofiled,
+                    "profiled batch changed RunStats: {}",
+                    ctx()
+                );
+                batch_profiles[bi]
+                    .check_against(&batch_stats[bi])
+                    .unwrap_or_else(|e| panic!("batch attribution: {}: {e}", ctx()));
+
+                // All three engines attribute identically, event for event.
+                assert_eq!(
+                    lp_profile,
+                    rp_profile,
+                    "lowered vs replay profile: {}",
+                    ctx()
+                );
+                assert_eq!(
+                    rp_profile,
+                    batch_profiles[bi],
+                    "replay vs batch profile: {}",
+                    ctx()
+                );
+                if model == MemoryModel::Perfect {
+                    assert_eq!(
+                        lp_profile,
+                        rec_profile,
+                        "recording+profiling diverged: {}",
+                        ctx()
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert_eq!(checked, 120);
+}
+
 #[test]
 fn lowered_engine_matches_reference_functionally() {
     // Beyond timing: the memory image after a run must agree, so the
